@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md for the index).  The experiment scale is controlled by
+the ``REPRO_PROFILE`` environment variable (default ``bench``): set
+``REPRO_PROFILE=quick`` or ``REPRO_PROFILE=paper`` for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile used by all accuracy benchmarks."""
+    return get_profile()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,13 @@
+"""Figure 10 — top-3 methods on the UA task, Shoaib dataset."""
+
+from repro.evaluation.figures import figure10_ua_shoaib
+
+from .conftest import run_once
+
+
+def test_figure10_ua_shoaib(benchmark, profile):
+    result = run_once(benchmark, figure10_ua_shoaib, profile=profile)
+    assert result.task == "UA" and result.dataset == "shoaib"
+    print("\n" + "=" * 70)
+    print(f"Figure 10 (profile={profile.name})")
+    print(result.format())

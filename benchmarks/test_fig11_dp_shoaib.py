@@ -1,0 +1,13 @@
+"""Figure 11 — top-3 methods on the DP task, Shoaib dataset."""
+
+from repro.evaluation.figures import figure11_dp_shoaib
+
+from .conftest import run_once
+
+
+def test_figure11_dp_shoaib(benchmark, profile):
+    result = run_once(benchmark, figure11_dp_shoaib, profile=profile)
+    assert result.task == "DP" and result.dataset == "shoaib"
+    print("\n" + "=" * 70)
+    print(f"Figure 11 (profile={profile.name})")
+    print(result.format())

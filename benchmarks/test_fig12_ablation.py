@@ -1,0 +1,31 @@
+"""Figure 12 — ablation: single-level masks, random weights, full Saga.
+
+Expected shape (paper): every single-level variant is roughly comparable to
+point-level masking (LIMU's task); combining all four levels with random
+weights beats any single level; the LWS-searched weights beat random
+weights.
+
+The full-Saga variant here uses the LWS search explicitly (``saga_search``)
+so the ablation is meaningful even under profiles whose default Saga policy
+is uniform weights.  To bound benchmark time the ablation uses the lowest and
+highest labelling rates only.
+"""
+
+from repro.evaluation.figures import figure12_ablation
+
+from .conftest import run_once
+
+ABLATION_VARIANTS = (
+    "saga_sensor", "saga_point", "saga_subperiod", "saga_period", "saga_random", "saga_search",
+)
+
+
+def test_figure12_ablation(benchmark, profile):
+    rates = (profile.labelling_rates[0], profile.labelling_rates[-1])
+    result = run_once(
+        benchmark, figure12_ablation, profile, "AR", "hhar", ABLATION_VARIANTS, rates,
+    )
+    assert set(result.mean_accuracy) == set(ABLATION_VARIANTS)
+    print("\n" + "=" * 70)
+    print(f"Figure 12 (profile={profile.name}) — AR on HHAR, rates {rates}")
+    print(result.format())

@@ -1,0 +1,31 @@
+"""Figure 13 — simulated single-window inference latency on the five phones.
+
+Expected shape (paper): Saga's latency equals LIMU's (identical deployed
+model); TPN is the fastest; every method stays within a real-time budget on
+every phone; newer SoCs are faster.
+"""
+
+import pytest
+
+from repro.deployment.latency import check_realtime_budget, latency_by_phone
+from repro.evaluation.figures import figure13_inference_latency, format_latency_measurements
+
+from .conftest import run_once
+
+METHODS = ("saga", "limu", "clhar", "tpn")
+
+
+def test_figure13_inference_latency(benchmark, profile):
+    measurements = run_once(benchmark, figure13_inference_latency, profile, "hhar", METHODS)
+    pivot = latency_by_phone(measurements)
+    assert len(pivot) == 5
+    for per_method in pivot.values():
+        assert set(per_method) == set(METHODS)
+        # Saga deploys the same backbone + classifier as LIMU.
+        assert per_method["saga"] == pytest.approx(per_method["limu"], rel=0.2)
+        # TPN's compact encoder is the fastest.
+        assert per_method["tpn"] <= min(per_method.values()) + 1e-9
+    assert check_realtime_budget(measurements, budget_ms=12.0)
+    print("\n" + "=" * 70)
+    print(f"Figure 13 (profile={profile.name}) — inference latency (ms) per phone")
+    print(format_latency_measurements(measurements))

@@ -1,0 +1,24 @@
+"""Figure 6 — overall comparison of all candidate methods.
+
+All five methods (Saga, LIMU, CL-HAR, TPN, no-pre-training) on every
+(task, dataset) pair of Table III at labelling rates 5/10/15/20%.
+
+Expected shape (paper): pre-trained methods beat the no-pre-training
+baseline; masking-based methods (Saga, LIMU) beat contrastive ones
+(CL-HAR, TPN); Saga is the best overall, with the largest margins at the
+lowest labelling rates.
+"""
+
+from repro.core.experiment import ALL_METHOD_NAMES
+from repro.evaluation.figures import figure6_overall
+
+from .conftest import run_once
+
+
+def test_figure6_overall(benchmark, profile):
+    result = run_once(benchmark, figure6_overall, profile, ALL_METHOD_NAMES)
+    assert set(result.mean_accuracy) == set(ALL_METHOD_NAMES)
+    assert len(result.table) == len(ALL_METHOD_NAMES) * 5 * len(profile.labelling_rates)
+    print("\n" + "=" * 70)
+    print(f"Figure 6 (profile={profile.name}) — all methods, all tasks/datasets")
+    print(result.format())

@@ -1,0 +1,14 @@
+"""Figure 7 — top-3 methods on the AR task, HHAR dataset."""
+
+from repro.evaluation.figures import figure7_ar_hhar
+
+from .conftest import run_once
+
+
+def test_figure7_ar_hhar(benchmark, profile):
+    result = run_once(benchmark, figure7_ar_hhar, profile=profile)
+    assert result.task == "AR" and result.dataset == "hhar"
+    assert set(result.table.methods()) == {"saga", "limu", "clhar"}
+    print("\n" + "=" * 70)
+    print(f"Figure 7 (profile={profile.name})")
+    print(result.format())

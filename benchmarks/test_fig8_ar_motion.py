@@ -1,0 +1,13 @@
+"""Figure 8 — top-3 methods on the AR task, Motion dataset."""
+
+from repro.evaluation.figures import figure8_ar_motion
+
+from .conftest import run_once
+
+
+def test_figure8_ar_motion(benchmark, profile):
+    result = run_once(benchmark, figure8_ar_motion, profile=profile)
+    assert result.task == "AR" and result.dataset == "motion"
+    print("\n" + "=" * 70)
+    print(f"Figure 8 (profile={profile.name})")
+    print(result.format())

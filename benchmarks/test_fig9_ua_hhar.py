@@ -1,0 +1,13 @@
+"""Figure 9 — top-3 methods on the UA task, HHAR dataset."""
+
+from repro.evaluation.figures import figure9_ua_hhar
+
+from .conftest import run_once
+
+
+def test_figure9_ua_hhar(benchmark, profile):
+    result = run_once(benchmark, figure9_ua_hhar, profile=profile)
+    assert result.task == "UA" and result.dataset == "hhar"
+    print("\n" + "=" * 70)
+    print(f"Figure 9 (profile={profile.name})")
+    print(result.format())

@@ -1,0 +1,14 @@
+"""Table I — hardware configuration of the five evaluation phones."""
+
+from repro.evaluation.figures import table1_devices
+from repro.evaluation.results import format_mapping_table
+
+from .conftest import run_once
+
+
+def test_table1_devices(benchmark):
+    rows = run_once(benchmark, table1_devices)
+    assert len(rows) == 5
+    print("\n" + "=" * 70)
+    print("Table I — evaluation phones")
+    print(format_mapping_table(rows, columns=("phone", "soc", "memory_gb", "disk_gb")))

@@ -1,0 +1,22 @@
+"""Table II — dataset summary (sensors, classes, window, sample counts)."""
+
+from repro.evaluation.figures import table2_datasets
+from repro.evaluation.results import format_mapping_table
+
+from .conftest import run_once
+
+
+def test_table2_datasets(benchmark):
+    rows = run_once(benchmark, table2_datasets, 0.02)
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["hhar"]["users"] == 9
+    assert by_name["motion"]["users"] == 24
+    assert by_name["shoaib"]["placements"] == 5
+    print("\n" + "=" * 70)
+    print("Table II — dataset summary (samples column is at benchmark scale;")
+    print("paper_samples is the full-scale Table II count)")
+    print(format_mapping_table(
+        rows,
+        columns=("dataset", "sensors", "activities", "users", "placements",
+                 "window", "samples", "paper_samples"),
+    ))

@@ -1,0 +1,14 @@
+"""Table III — downstream user-perception tasks."""
+
+from repro.evaluation.figures import table3_tasks
+from repro.evaluation.results import format_mapping_table
+
+from .conftest import run_once
+
+
+def test_table3_tasks(benchmark):
+    rows = run_once(benchmark, table3_tasks)
+    assert {row["task"] for row in rows} == {"AR", "UA", "DP"}
+    print("\n" + "=" * 70)
+    print("Table III — tasks considered for evaluation")
+    print(format_mapping_table(rows, columns=("task", "description", "label_field", "datasets")))

@@ -1,0 +1,31 @@
+"""Table IV — training costs of all candidate methods.
+
+Expected shape (paper): Saga's parameter count and disk size equal LIMU's
+(the extra pre-training tasks add no model structure); Saga's per-batch train
+time and training memory are moderately higher than LIMU's; TPN is the
+cheapest to train; CL-HAR has the largest disk footprint.
+"""
+
+import pytest
+
+from repro.evaluation.figures import table4_training_costs
+from repro.evaluation.results import format_mapping_table
+
+from .conftest import run_once
+
+METHODS = ("limu", "clhar", "tpn", "saga")
+
+
+def test_table4_training_costs(benchmark, profile):
+    rows = run_once(benchmark, table4_training_costs, profile, "hhar", METHODS)
+    by_method = {row["method"]: row for row in rows}
+    assert set(by_method) == set(METHODS)
+    # Structural claims of Table IV that must hold at any scale:
+    assert by_method["saga"]["parameters_kb"] == pytest.approx(by_method["limu"]["parameters_kb"])
+    assert by_method["saga"]["disk_kb"] == pytest.approx(by_method["limu"]["disk_kb"])
+    assert by_method["tpn"]["train_time_ms"] <= by_method["saga"]["train_time_ms"]
+    print("\n" + "=" * 70)
+    print(f"Table IV (profile={profile.name}) — training costs")
+    print(format_mapping_table(
+        rows, columns=("method", "train_time_ms", "parameters_kb", "disk_kb", "memory_gb")
+    ))

@@ -1,0 +1,87 @@
+"""Quickstart: pre-train a Saga backbone and fine-tune it with very few labels.
+
+This example runs the whole Saga pipeline end to end on a small simulated
+HHAR-like dataset:
+
+1. load a dataset and split it 6:2:2;
+2. pre-train the backbone on the (unlabelled) training windows with the four
+   multi-granularity masking tasks and uniform task weights;
+3. fine-tune a GRU classifier using only 10 labelled windows per activity;
+4. evaluate on the held-out test split and compare against training the same
+   model from scratch on the same 10 labels.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SagaPipeline, load_dataset
+from repro.bayesopt import LWSConfig
+from repro.core import SagaConfig
+from repro.models import BackboneConfig
+from repro.training import FinetuneConfig, Finetuner, PretrainConfig, evaluate_model
+
+SEED = 0
+LABELS_PER_CLASS = 10
+
+
+def build_pipeline(dataset) -> SagaPipeline:
+    """A laptop-scale Saga configuration (smaller than the paper's, same shape)."""
+    config = SagaConfig(
+        backbone=BackboneConfig(
+            input_channels=dataset.num_channels,
+            window_length=dataset.window_length,
+            hidden_dim=24,
+            num_layers=2,
+            num_heads=2,
+            intermediate_dim=48,
+        ),
+        pretrain=PretrainConfig(epochs=6, batch_size=32, learning_rate=2e-3, seed=SEED),
+        finetune=FinetuneConfig(epochs=20, batch_size=32, learning_rate=2e-3, seed=SEED),
+        lws=LWSConfig(budget=3, initial_random=2),
+    )
+    return SagaPipeline(config)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    print("Loading the simulated HHAR dataset ...")
+    dataset = load_dataset("hhar", scale=0.08)
+    splits = dataset.split(rng=rng, stratify_task="activity")
+    few_labels = splits.train.few_shot("activity", LABELS_PER_CLASS, rng=rng)
+    print(f"  windows: {len(dataset)}  train/val/test: {splits.sizes()}")
+    print(f"  labelled subset: {len(few_labels)} windows ({LABELS_PER_CLASS} per activity)")
+
+    print("\nPre-training the backbone with multi-level masking (uniform weights) ...")
+    pipeline = build_pipeline(dataset)
+    pipeline.pretrain(splits.train, rng=rng)
+    print(f"  pre-training weights: {pipeline.weights}")
+
+    print("\nFine-tuning the GRU classifier on the labelled subset ...")
+    pipeline.finetune(few_labels, "activity", validation=splits.validation, rng=rng)
+    saga_metrics = pipeline.evaluate(splits.test, "activity")
+
+    print("\nTraining the same architecture from scratch on the same labels ...")
+    from repro.models import SagaBackbone
+
+    scratch_backbone = SagaBackbone(pipeline.config.backbone, rng=np.random.default_rng(SEED))
+    scratch = Finetuner(pipeline.config.finetune).finetune(
+        scratch_backbone, few_labels, "activity",
+        validation_dataset=splits.validation, rng=np.random.default_rng(SEED),
+    )
+    scratch_metrics = evaluate_model(scratch.model, splits.test, "activity")
+
+    print("\n=== Test-set results (activity recognition, %d labels/class) ===" % LABELS_PER_CLASS)
+    print(f"  Saga (pre-trained):   accuracy={saga_metrics.accuracy:.3f}  F1={saga_metrics.f1:.3f}")
+    print(f"  No pre-training:      accuracy={scratch_metrics.accuracy:.3f}  F1={scratch_metrics.f1:.3f}")
+    if saga_metrics.accuracy >= scratch_metrics.accuracy:
+        print("  -> pre-training on unlabelled IMU data pays off at this labelling budget.")
+    else:
+        print("  -> at this tiny scale the gap can flip; increase scale/epochs to match the paper.")
+
+
+if __name__ == "__main__":
+    main()

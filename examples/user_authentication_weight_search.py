@@ -1,0 +1,67 @@
+"""User authentication with Low-Cost Weight Searching (LWS).
+
+The weights of the four pre-training tasks are task-dependent: user
+authentication (UA) leans on per-user signal idiosyncrasies, so the optimal
+mix differs from activity recognition.  This example runs the paper's
+Algorithm 1 — Bayesian Optimization over the weight simplex with a Gaussian
+Process performance model and Expected Improvement — on the UA task of the
+simulated HHAR dataset, then trains the final model with the searched
+weights.
+
+Run with:  python examples/user_authentication_weight_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SagaPipeline, load_dataset
+from repro.bayesopt import LWSConfig
+from repro.core import SagaConfig
+from repro.models import BackboneConfig
+from repro.training import FinetuneConfig, PretrainConfig
+
+SEED = 1
+LABELLING_RATE = 0.10  # 10% of the training labels, as in the paper's sweep
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    dataset = load_dataset("hhar", scale=0.06)
+    splits = dataset.split(rng=rng, stratify_task="user")
+    labelled = splits.train.labelled_fraction("user", LABELLING_RATE, rng=rng)
+    print(f"UA task on simulated HHAR: {dataset.num_classes('user')} users, "
+          f"{len(labelled)} labelled windows ({LABELLING_RATE:.0%} of the training split)")
+
+    config = SagaConfig(
+        backbone=BackboneConfig(
+            input_channels=dataset.num_channels,
+            window_length=dataset.window_length,
+            hidden_dim=16, num_layers=1, num_heads=2, intermediate_dim=32,
+        ),
+        pretrain=PretrainConfig(epochs=4, batch_size=32, learning_rate=3e-3, seed=SEED),
+        finetune=FinetuneConfig(epochs=12, batch_size=32, learning_rate=3e-3, seed=SEED),
+        # A small search budget already improves over random weights; the paper
+        # uses a larger budget on GPU hardware.
+        lws=LWSConfig(budget=4, initial_random=2, grid_resolution=3, seed=SEED),
+    )
+    pipeline = SagaPipeline(config)
+
+    print("\nRunning LWS (each trial = pre-train + fine-tune + validate) ...")
+    search = pipeline.search_weights(splits.train, labelled, "user", splits.validation, rng=rng)
+    for trial in search.trials:
+        pretty = {k: round(v, 2) for k, v in trial.weights.items()}
+        print(f"  trial {trial.iteration}: weights={pretty}  val.accuracy={trial.performance:.3f}")
+    print(f"  best weights: { {k: round(v, 2) for k, v in search.best_weights.items()} } "
+          f"(val.accuracy={search.best_performance:.3f})")
+
+    print("\nTraining the final model with the searched weights ...")
+    pipeline.pretrain(splits.train, weights=search.best_weights, rng=rng)
+    pipeline.finetune(labelled, "user", validation=splits.validation, rng=rng)
+    metrics = pipeline.evaluate(splits.test, "user")
+    print(f"\nTest-set user authentication: accuracy={metrics.accuracy:.3f}  F1={metrics.f1:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so ``pip install -e .`` works without network access.
+
+The offline environment has setuptools but not the ``wheel`` package, so the
+legacy ``setup.py develop`` code path is used for editable installs.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

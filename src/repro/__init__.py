@@ -1,0 +1,67 @@
+"""repro — reproduction of "Saga: Capturing Multi-granularity Semantics from
+Massive Unlabelled IMU Data" (ICDCS 2025).
+
+The package is organised as a small stack of subsystems (see ``DESIGN.md``):
+
+* :mod:`repro.nn` — from-scratch autograd / neural-network framework;
+* :mod:`repro.signal` — IMU signal processing (energy, key points, periods);
+* :mod:`repro.datasets` — synthetic HHAR / Motion / Shoaib-shaped datasets;
+* :mod:`repro.masking` — the four semantic masking levels (MM module);
+* :mod:`repro.models` — LIMU-BERT backbone, decoder, GRU classifier;
+* :mod:`repro.training` — masked pre-training and downstream fine-tuning;
+* :mod:`repro.bayesopt` — Gaussian Process + Expected Improvement (LWS);
+* :mod:`repro.baselines` — LIMU, CL-HAR, TPN, no-pre-training;
+* :mod:`repro.deployment` — phone cost model and latency simulation;
+* :mod:`repro.core` / :mod:`repro.evaluation` — pipeline, experiments, figures.
+
+Quick start
+-----------
+>>> from repro import SagaPipeline, load_dataset
+>>> dataset = load_dataset("hhar", scale=0.02)
+>>> splits = dataset.split(stratify_task="activity")
+>>> pipeline = SagaPipeline()
+>>> pipeline.fit(splits.train, splits.train.few_shot("activity", 10),
+...              "activity", splits.validation, weights="uniform")
+>>> pipeline.evaluate(splits.test, "activity")
+"""
+
+from .core.experiment import ExperimentProfile, ExperimentRunner, get_profile
+from .core.saga import SagaConfig, SagaMethod, SagaPipeline
+from .datasets.base import IMUDataset
+from .datasets.registry import load_dataset
+from .exceptions import (
+    ConfigurationError,
+    DataError,
+    DeploymentError,
+    MaskingError,
+    ReproError,
+    SearchError,
+    TrainingError,
+)
+from .logging_utils import configure_logging, get_logger
+from .rng import RNGRegistry, make_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SagaPipeline",
+    "SagaConfig",
+    "SagaMethod",
+    "ExperimentRunner",
+    "ExperimentProfile",
+    "get_profile",
+    "IMUDataset",
+    "load_dataset",
+    "RNGRegistry",
+    "make_rng",
+    "configure_logging",
+    "get_logger",
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "MaskingError",
+    "TrainingError",
+    "SearchError",
+    "DeploymentError",
+]

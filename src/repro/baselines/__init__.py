@@ -1,0 +1,19 @@
+"""Candidate baseline methods compared against Saga (paper Section VII-A-3)."""
+
+from .base import MethodBudget, PerceptionMethod
+from .clhar import CLHARMethod, ConvEncoder, ProjectionHead
+from .limu import LIMUMethod
+from .no_pretrain import NoPretrainMethod
+from .tpn import SmallConvEncoder, TPNMethod
+
+__all__ = [
+    "PerceptionMethod",
+    "MethodBudget",
+    "LIMUMethod",
+    "CLHARMethod",
+    "ConvEncoder",
+    "ProjectionHead",
+    "TPNMethod",
+    "SmallConvEncoder",
+    "NoPretrainMethod",
+]

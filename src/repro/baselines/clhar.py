@@ -1,0 +1,178 @@
+"""CL-HAR baseline (Qian et al., KDD 2022) — contrastive pre-training.
+
+CL-HAR pre-trains a convolutional encoder with SimCLR-style contrastive
+learning: every window is transformed into two augmented views, projected
+through an MLP head, and the NT-Xent loss pulls the two views of the same
+window together while pushing the other windows in the batch apart.  The
+encoder is then fine-tuned with an MLP classifier on the labelled subset.
+
+Following the paper's setup, only "complete" augmentations (expressible in
+terms of the original observations and known physical states) are used —
+rotation, scaling and jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import IMUDataset
+from ..datasets.loaders import DataLoader
+from ..exceptions import TrainingError
+from ..models.classifier import MLPClassifier
+from ..nn import Adam, Conv1d, GlobalMaxPool1d, Linear, Module, NTXentLoss, Tensor, clip_grad_norm
+from ..signal.augmentations import compose
+from ..training.metrics import ClassificationMetrics, evaluate_predictions
+from .base import MethodBudget, PerceptionMethod
+
+
+class ConvEncoder(Module):
+    """Three-block 1-D convolutional encoder producing window-level embeddings."""
+
+    def __init__(
+        self,
+        input_channels: int,
+        embedding_dim: int = 96,
+        channel_sizes: Sequence[int] = (32, 64, 96),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        sizes = list(channel_sizes)
+        self.conv1 = Conv1d(input_channels, sizes[0], kernel_size=5, stride=2, padding=2, rng=generator)
+        self.conv2 = Conv1d(sizes[0], sizes[1], kernel_size=5, stride=2, padding=2, rng=generator)
+        self.conv3 = Conv1d(sizes[1], sizes[2], kernel_size=3, stride=1, padding=1, rng=generator)
+        self.pool = GlobalMaxPool1d()
+        self.projection = Linear(sizes[2], embedding_dim, rng=generator)
+        self.embedding_dim = embedding_dim
+
+    def forward(self, windows) -> Tensor:
+        x = Tensor(np.asarray(windows, dtype=np.float64)) if not isinstance(windows, Tensor) else windows
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        x = self.conv3(x).relu()
+        return self.projection(self.pool(x))
+
+
+class ProjectionHead(Module):
+    """Two-layer MLP projection head used only during contrastive pre-training."""
+
+    def __init__(self, input_dim: int, output_dim: int = 48, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        self.dense = Linear(input_dim, input_dim, rng=generator)
+        self.output = Linear(input_dim, output_dim, rng=generator)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.output(self.dense(x).relu())
+
+
+class CLHARMethod(PerceptionMethod):
+    """SimCLR-style contrastive pre-training on IMU windows."""
+
+    name = "clhar"
+
+    def __init__(
+        self,
+        budget: Optional[MethodBudget] = None,
+        embedding_dim: int = 96,
+        temperature: float = 0.5,
+        augmentations: Sequence[str] = ("rotation", "scaling", "jitter"),
+        classifier_hidden_dim: int = 64,
+    ) -> None:
+        self.budget = budget if budget is not None else MethodBudget()
+        self.embedding_dim = embedding_dim
+        self.temperature = temperature
+        self.augmentations = tuple(augmentations)
+        self.classifier_hidden_dim = classifier_hidden_dim
+        self._encoder: Optional[ConvEncoder] = None
+        self._classifier: Optional[MLPClassifier] = None
+
+    # ------------------------------------------------------------------
+    def pretrain(self, unlabelled: IMUDataset, rng: np.random.Generator) -> None:
+        encoder = ConvEncoder(unlabelled.num_channels, embedding_dim=self.embedding_dim, rng=rng)
+        projector = ProjectionHead(self.embedding_dim, rng=rng)
+        loss_fn = NTXentLoss(temperature=self.temperature)
+        parameters = encoder.parameters() + projector.parameters()
+        optimizer = Adam(parameters, lr=self.budget.learning_rate)
+        augment = compose(self.augmentations)
+        loader = DataLoader(
+            unlabelled,
+            batch_size=self.budget.batch_size,
+            shuffle=True,
+            drop_last=True,
+            rng=rng,
+        )
+        encoder.train()
+        projector.train()
+        for _ in range(self.budget.pretrain_epochs):
+            for batch in loader:
+                if len(batch) < 2:
+                    continue
+                view1 = augment(batch.windows, rng)
+                view2 = augment(batch.windows, rng)
+                z1 = projector(encoder(view1))
+                z2 = projector(encoder(view2))
+                loss = loss_fn(z1, z2)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(parameters, 5.0)
+                optimizer.step()
+        encoder.eval()
+        self._encoder = encoder
+
+    def fit(
+        self,
+        labelled: IMUDataset,
+        task: str,
+        validation: Optional[IMUDataset],
+        rng: np.random.Generator,
+    ) -> None:
+        if self._encoder is None:
+            raise TrainingError("CL-HAR requires pretrain() before fit()")
+        del validation  # the contrastive baseline does not early-stop
+        num_classes = labelled.num_classes(task)
+        classifier = MLPClassifier(
+            self.embedding_dim, num_classes, hidden_dim=self.classifier_hidden_dim, rng=rng
+        )
+        from ..nn import CrossEntropyLoss
+
+        loss_fn = CrossEntropyLoss()
+        parameters = self._encoder.parameters() + classifier.parameters()
+        optimizer = Adam(parameters, lr=self.budget.learning_rate)
+        loader = DataLoader(
+            labelled, batch_size=self.budget.batch_size, task=task, shuffle=True, rng=rng
+        )
+        self._encoder.train()
+        classifier.train()
+        for _ in range(self.budget.finetune_epochs):
+            for batch in loader:
+                logits = classifier(self._encoder(batch.windows))
+                loss = loss_fn(logits, batch.labels)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(parameters, 5.0)
+                optimizer.step()
+        self._encoder.eval()
+        classifier.eval()
+        self._classifier = classifier
+
+    def evaluate(self, dataset: IMUDataset, task: str) -> ClassificationMetrics:
+        if self._encoder is None or self._classifier is None:
+            raise TrainingError("CL-HAR must be fitted before evaluation")
+        labels = dataset.task_labels(task)
+        predictions = np.empty(len(dataset), dtype=np.int64)
+        loader = DataLoader(dataset, batch_size=128, task=task, shuffle=False)
+        for batch in loader:
+            logits = self._classifier(self._encoder(batch.windows))
+            predictions[batch.indices] = logits.data.argmax(axis=-1)
+        return evaluate_predictions(predictions, labels, dataset.num_classes(task))
+
+    def num_parameters(self) -> int:
+        if self._encoder is None:
+            raise TrainingError("CL-HAR has no model yet")
+        total = self._encoder.num_parameters()
+        if self._classifier is not None:
+            total += self._classifier.num_parameters()
+        return total

@@ -1,0 +1,99 @@
+"""LIMU-BERT baseline (Xu et al., SenSys 2021).
+
+LIMU pre-trains the same transformer backbone used by Saga but with a single
+pre-training task: point-level span masking (the Masked-Language-Model
+analogue for IMU data).  Saga is implemented on top of LIMU (paper Section
+VII-A-1: "Our implementation is based on LIMU and incorporates multi-level
+masking techniques and weight searching"), so this baseline is literally the
+Saga pipeline restricted to the point level with weight 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.base import IMUDataset
+from ..exceptions import TrainingError
+from ..masking.multi import MultiLevelMaskingConfig
+from ..models.backbone import BackboneConfig, SagaBackbone
+from ..training.finetune import FinetuneConfig, Finetuner, evaluate_model
+from ..training.metrics import ClassificationMetrics
+from ..training.pretrain import PretrainConfig, Pretrainer
+from .base import MethodBudget, PerceptionMethod
+
+
+class LIMUMethod(PerceptionMethod):
+    """Point-level masked pre-training + GRU classifier fine-tuning."""
+
+    name = "limu"
+
+    def __init__(
+        self,
+        backbone_config: Optional[BackboneConfig] = None,
+        budget: Optional[MethodBudget] = None,
+        point_success_probability: float = 0.3,
+        point_max_span_length: int = 20,
+    ) -> None:
+        self.backbone_config = backbone_config
+        self.budget = budget if budget is not None else MethodBudget()
+        self.point_success_probability = point_success_probability
+        self.point_max_span_length = point_max_span_length
+        self._backbone: Optional[SagaBackbone] = None
+        self._classifier_model = None
+
+    # ------------------------------------------------------------------
+    def pretrain(self, unlabelled: IMUDataset, rng: np.random.Generator) -> None:
+        masking = MultiLevelMaskingConfig(
+            levels=("point",),
+            point_success_probability=self.point_success_probability,
+            point_max_span_length=self.point_max_span_length,
+        )
+        config = PretrainConfig(
+            epochs=self.budget.pretrain_epochs,
+            batch_size=self.budget.batch_size,
+            learning_rate=self.budget.learning_rate,
+            masking=masking,
+        )
+        backbone_config = self.backbone_config
+        if backbone_config is None:
+            backbone_config = BackboneConfig(
+                input_channels=unlabelled.num_channels,
+                window_length=unlabelled.window_length,
+            )
+        result = Pretrainer(config, backbone_config).pretrain(
+            unlabelled, weights={"point": 1.0}, rng=rng
+        )
+        self._backbone = result.model.backbone
+
+    def fit(
+        self,
+        labelled: IMUDataset,
+        task: str,
+        validation: Optional[IMUDataset],
+        rng: np.random.Generator,
+    ) -> None:
+        if self._backbone is None:
+            raise TrainingError("LIMU requires pretrain() before fit()")
+        config = FinetuneConfig(
+            epochs=self.budget.finetune_epochs,
+            batch_size=self.budget.batch_size,
+            learning_rate=self.budget.learning_rate,
+        )
+        result = Finetuner(config).finetune(
+            self._backbone, labelled, task, validation_dataset=validation, rng=rng
+        )
+        self._classifier_model = result.model
+
+    def evaluate(self, dataset: IMUDataset, task: str) -> ClassificationMetrics:
+        if self._classifier_model is None:
+            raise TrainingError("LIMU must be fitted before evaluation")
+        return evaluate_model(self._classifier_model, dataset, task)
+
+    def num_parameters(self) -> int:
+        if self._classifier_model is not None:
+            return self._classifier_model.num_parameters()
+        if self._backbone is not None:
+            return self._backbone.num_parameters()
+        raise TrainingError("LIMU has no model yet")

@@ -1,0 +1,160 @@
+"""TPN baseline (Saeed et al., IMWUT 2019) — transformation-prediction networks.
+
+TPN pre-trains a small convolutional encoder with multi-task self-supervision:
+for each of a set of signal transformations, a binary head predicts whether
+the transformation was applied to the input window.  After pre-training, an
+MLP classifier is trained on top of the (frozen-structure, trainable) encoder.
+
+TPN's encoder is deliberately small — the paper's Table IV / Figure 13 show
+it has the lowest training time and inference latency but also markedly lower
+accuracy, which this implementation reproduces structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.base import IMUDataset
+from ..datasets.loaders import DataLoader
+from ..exceptions import TrainingError
+from ..models.classifier import MLPClassifier
+from ..nn import Adam, Conv1d, CrossEntropyLoss, GlobalMaxPool1d, Linear, Module, Tensor, clip_grad_norm
+from ..signal.augmentations import get_augmentation
+from ..training.metrics import ClassificationMetrics, evaluate_predictions
+from .base import MethodBudget, PerceptionMethod
+
+
+class SmallConvEncoder(Module):
+    """Compact two-block convolutional encoder (the TPN trunk)."""
+
+    def __init__(
+        self,
+        input_channels: int,
+        embedding_dim: int = 48,
+        channel_sizes: Sequence[int] = (24, 48),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        sizes = list(channel_sizes)
+        self.conv1 = Conv1d(input_channels, sizes[0], kernel_size=7, stride=3, padding=3, rng=generator)
+        self.conv2 = Conv1d(sizes[0], sizes[1], kernel_size=5, stride=2, padding=2, rng=generator)
+        self.pool = GlobalMaxPool1d()
+        self.projection = Linear(sizes[1], embedding_dim, rng=generator)
+        self.embedding_dim = embedding_dim
+
+    def forward(self, windows) -> Tensor:
+        x = Tensor(np.asarray(windows, dtype=np.float64)) if not isinstance(windows, Tensor) else windows
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        return self.projection(self.pool(x))
+
+
+class TPNMethod(PerceptionMethod):
+    """Multi-task transformation-prediction pre-training."""
+
+    name = "tpn"
+
+    def __init__(
+        self,
+        budget: Optional[MethodBudget] = None,
+        embedding_dim: int = 48,
+        transformations: Sequence[str] = ("rotation", "scaling", "jitter", "negation"),
+        classifier_hidden_dim: int = 48,
+    ) -> None:
+        self.budget = budget if budget is not None else MethodBudget()
+        self.embedding_dim = embedding_dim
+        self.transformations = tuple(transformations)
+        self.classifier_hidden_dim = classifier_hidden_dim
+        self._encoder: Optional[SmallConvEncoder] = None
+        self._heads: Optional[list] = None
+        self._classifier: Optional[MLPClassifier] = None
+
+    # ------------------------------------------------------------------
+    def pretrain(self, unlabelled: IMUDataset, rng: np.random.Generator) -> None:
+        encoder = SmallConvEncoder(unlabelled.num_channels, embedding_dim=self.embedding_dim, rng=rng)
+        heads = [Linear(self.embedding_dim, 2, rng=rng) for _ in self.transformations]
+        parameters = encoder.parameters()
+        for head in heads:
+            parameters = parameters + head.parameters()
+        optimizer = Adam(parameters, lr=self.budget.learning_rate)
+        loss_fn = CrossEntropyLoss()
+        loader = DataLoader(
+            unlabelled, batch_size=self.budget.batch_size, shuffle=True, rng=rng
+        )
+        encoder.train()
+        for _ in range(self.budget.pretrain_epochs):
+            for batch in loader:
+                total_loss = None
+                for transform_name, head in zip(self.transformations, heads):
+                    transform = get_augmentation(transform_name)
+                    apply_mask = rng.random(len(batch)) < 0.5
+                    inputs = batch.windows.copy()
+                    if apply_mask.any():
+                        inputs[apply_mask] = transform(inputs[apply_mask], rng)
+                    labels = apply_mask.astype(np.int64)
+                    logits = head(encoder(inputs))
+                    loss = loss_fn(logits, labels)
+                    total_loss = loss if total_loss is None else total_loss + loss
+                optimizer.zero_grad()
+                total_loss.backward()
+                clip_grad_norm(parameters, 5.0)
+                optimizer.step()
+        encoder.eval()
+        self._encoder = encoder
+        self._heads = heads
+
+    def fit(
+        self,
+        labelled: IMUDataset,
+        task: str,
+        validation: Optional[IMUDataset],
+        rng: np.random.Generator,
+    ) -> None:
+        if self._encoder is None:
+            raise TrainingError("TPN requires pretrain() before fit()")
+        del validation
+        num_classes = labelled.num_classes(task)
+        classifier = MLPClassifier(
+            self.embedding_dim, num_classes, hidden_dim=self.classifier_hidden_dim, rng=rng
+        )
+        loss_fn = CrossEntropyLoss()
+        parameters = self._encoder.parameters() + classifier.parameters()
+        optimizer = Adam(parameters, lr=self.budget.learning_rate)
+        loader = DataLoader(
+            labelled, batch_size=self.budget.batch_size, task=task, shuffle=True, rng=rng
+        )
+        self._encoder.train()
+        classifier.train()
+        for _ in range(self.budget.finetune_epochs):
+            for batch in loader:
+                logits = classifier(self._encoder(batch.windows))
+                loss = loss_fn(logits, batch.labels)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(parameters, 5.0)
+                optimizer.step()
+        self._encoder.eval()
+        classifier.eval()
+        self._classifier = classifier
+
+    def evaluate(self, dataset: IMUDataset, task: str) -> ClassificationMetrics:
+        if self._encoder is None or self._classifier is None:
+            raise TrainingError("TPN must be fitted before evaluation")
+        labels = dataset.task_labels(task)
+        predictions = np.empty(len(dataset), dtype=np.int64)
+        loader = DataLoader(dataset, batch_size=128, task=task, shuffle=False)
+        for batch in loader:
+            logits = self._classifier(self._encoder(batch.windows))
+            predictions[batch.indices] = logits.data.argmax(axis=-1)
+        return evaluate_predictions(predictions, labels, dataset.num_classes(task))
+
+    def num_parameters(self) -> int:
+        if self._encoder is None:
+            raise TrainingError("TPN has no model yet")
+        total = self._encoder.num_parameters()
+        if self._classifier is not None:
+            total += self._classifier.num_parameters()
+        return total

@@ -1,0 +1,38 @@
+"""Bayesian Optimization substrate: GP regression, acquisition, LWS search."""
+
+from .acquisition import AcquisitionFunction, expected_improvement, upper_confidence_bound
+from .gp import GaussianProcessRegressor
+from .kernels import KERNEL_REGISTRY, Kernel, Matern52Kernel, RBFKernel, make_kernel
+from .optimizer import BayesianOptimizer, Observation
+from .search import (
+    LWSConfig,
+    LWSResult,
+    LWSTrial,
+    LowCostWeightSearch,
+    random_weights,
+    vector_to_weights,
+    weight_simplex_grid,
+    weights_to_vector,
+)
+
+__all__ = [
+    "Kernel",
+    "RBFKernel",
+    "Matern52Kernel",
+    "KERNEL_REGISTRY",
+    "make_kernel",
+    "GaussianProcessRegressor",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "AcquisitionFunction",
+    "BayesianOptimizer",
+    "Observation",
+    "LWSConfig",
+    "LWSResult",
+    "LWSTrial",
+    "LowCostWeightSearch",
+    "weight_simplex_grid",
+    "vector_to_weights",
+    "weights_to_vector",
+    "random_weights",
+]

@@ -1,0 +1,105 @@
+"""Gaussian-Process regression (the performance model ``M_P`` of the LWS module).
+
+The paper uses a scikit-learn ``GaussianProcessRegressor``; this is a compact
+equivalent: exact GP regression with a Cholesky solve, observation noise, and
+posterior mean / standard-deviation prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import SearchError
+from .kernels import Kernel, RBFKernel
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression with a fixed kernel and Gaussian observation noise."""
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise: float = 1e-4,
+        normalize_y: bool = True,
+    ) -> None:
+        if noise <= 0:
+            raise SearchError("observation noise must be positive")
+        self.kernel = kernel if kernel is not None else RBFKernel()
+        self.noise = noise
+        self.normalize_y = normalize_y
+        self._train_x: Optional[np.ndarray] = None
+        self._train_y: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._cholesky: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_x is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit the posterior to observations ``(x, y)``.
+
+        ``x`` has shape ``(n, d)`` and ``y`` shape ``(n,)``.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.shape[0] != y.shape[0]:
+            raise SearchError(
+                f"number of inputs ({x.shape[0]}) and targets ({y.shape[0]}) differ"
+            )
+        if x.shape[0] == 0:
+            raise SearchError("cannot fit a GP to zero observations")
+
+        self._train_x = x
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) if y.std() > 1e-12 else 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._train_y = (y - self._y_mean) / self._y_std
+
+        covariance = self.kernel(x, x) + self.noise * np.eye(x.shape[0])
+        # Add jitter progressively if the Cholesky fails (near-duplicate inputs).
+        jitter = 0.0
+        for attempt in range(6):
+            try:
+                self._cholesky = np.linalg.cholesky(covariance + jitter * np.eye(x.shape[0]))
+                break
+            except np.linalg.LinAlgError:
+                jitter = 10.0 ** (attempt - 8)
+        else:
+            raise SearchError("GP covariance matrix is not positive definite")
+        self._alpha = np.linalg.solve(
+            self._cholesky.T, np.linalg.solve(self._cholesky, self._train_y)
+        )
+        return self
+
+    def predict(self, x: np.ndarray, return_std: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean (and standard deviation) at query points ``x``."""
+        if not self.is_fitted:
+            raise SearchError("predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        cross = self.kernel(x, self._train_x)
+        mean = cross @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean, np.zeros_like(mean)
+        solved = np.linalg.solve(self._cholesky, cross.T)
+        prior_var = np.diag(self.kernel(x, x))
+        posterior_var = np.maximum(prior_var - np.sum(solved ** 2, axis=0), 1e-12)
+        std = np.sqrt(posterior_var) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood of the training data under the fitted GP."""
+        if not self.is_fitted:
+            raise SearchError("log_marginal_likelihood() called before fit()")
+        n = self._train_y.shape[0]
+        data_fit = -0.5 * float(self._train_y @ self._alpha)
+        complexity = -float(np.sum(np.log(np.diag(self._cholesky))))
+        normaliser = -0.5 * n * np.log(2 * np.pi)
+        return data_fit + complexity + normaliser

@@ -1,0 +1,79 @@
+"""Covariance kernels for Gaussian-Process regression.
+
+The LWS module (paper Section VI) models the mapping from pre-training task
+weights to downstream validation performance with a Gaussian Process.  The
+default kernel is the RBF (squared-exponential); a Matérn-5/2 kernel is also
+provided because it is the usual default in Bayesian-Optimization practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Kernel:
+    """Base class: a positive-definite covariance function ``k(x, x')``."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        if a.shape[1] != b.shape[1]:
+            raise ValueError(
+                f"kernel inputs must share the feature dimension, got {a.shape} and {b.shape}"
+            )
+        a_sq = np.sum(a ** 2, axis=1)[:, None]
+        b_sq = np.sum(b ** 2, axis=1)[None, :]
+        sq_dists = a_sq + b_sq - 2.0 * a @ b.T
+        return np.maximum(sq_dists, 0.0)
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``sigma^2 * exp(-||x - x'||^2 / (2 l^2))``."""
+
+    def __init__(self, length_scale: float = 0.2, signal_variance: float = 1.0) -> None:
+        if length_scale <= 0 or signal_variance <= 0:
+            raise ValueError("length_scale and signal_variance must be positive")
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq_dists = self._pairwise_sq_dists(a, b)
+        return self.signal_variance * np.exp(-0.5 * sq_dists / self.length_scale ** 2)
+
+    def __repr__(self) -> str:
+        return f"RBFKernel(length_scale={self.length_scale}, signal_variance={self.signal_variance})"
+
+
+class Matern52Kernel(Kernel):
+    """Matérn kernel with smoothness parameter 5/2."""
+
+    def __init__(self, length_scale: float = 0.2, signal_variance: float = 1.0) -> None:
+        if length_scale <= 0 or signal_variance <= 0:
+            raise ValueError("length_scale and signal_variance must be positive")
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        dists = np.sqrt(self._pairwise_sq_dists(a, b))
+        scaled = np.sqrt(5.0) * dists / self.length_scale
+        return self.signal_variance * (1.0 + scaled + scaled ** 2 / 3.0) * np.exp(-scaled)
+
+    def __repr__(self) -> str:
+        return f"Matern52Kernel(length_scale={self.length_scale}, signal_variance={self.signal_variance})"
+
+
+KERNEL_REGISTRY = {
+    "rbf": RBFKernel,
+    "matern52": Matern52Kernel,
+}
+
+
+def make_kernel(name: str, **kwargs) -> Kernel:
+    """Instantiate a kernel by name (``rbf`` or ``matern52``)."""
+    if name not in KERNEL_REGISTRY:
+        raise KeyError(f"unknown kernel {name!r}; available: {sorted(KERNEL_REGISTRY)}")
+    return KERNEL_REGISTRY[name](**kwargs)

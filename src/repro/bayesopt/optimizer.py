@@ -1,0 +1,157 @@
+"""Generic Bayesian optimizer over a candidate set (maximisation).
+
+This is the reusable engine behind the LWS weight search: it maintains the
+history of evaluated points, fits the GP performance model, scores candidates
+with an acquisition function, and proposes the next point to evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import SearchError
+from .acquisition import AcquisitionFunction
+from .gp import GaussianProcessRegressor
+from .kernels import Kernel
+
+
+@dataclass
+class Observation:
+    """One evaluated point and its measured objective value."""
+
+    point: np.ndarray
+    value: float
+
+
+@dataclass
+class BayesianOptimizer:
+    """Sequential model-based optimizer over a finite candidate set.
+
+    Parameters
+    ----------
+    candidates:
+        Array ``(num_candidates, dim)`` of allowed points (the paper
+        discretises the weight simplex into a candidate grid ``W``).
+    kernel:
+        Optional kernel for the GP performance model.
+    acquisition:
+        Acquisition function wrapper (EI by default).
+    noise:
+        GP observation noise.
+    """
+
+    candidates: np.ndarray
+    kernel: Optional[Kernel] = None
+    acquisition: AcquisitionFunction = field(default_factory=AcquisitionFunction)
+    noise: float = 1e-4
+    observations: List[Observation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.candidates = np.atleast_2d(np.asarray(self.candidates, dtype=np.float64))
+        if self.candidates.shape[0] == 0:
+            raise SearchError("candidate set must not be empty")
+
+    # ------------------------------------------------------------------
+    # History management
+    # ------------------------------------------------------------------
+    def tell(self, point: np.ndarray, value: float) -> None:
+        """Record the measured objective ``value`` at ``point``."""
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if point.shape[0] != self.candidates.shape[1]:
+            raise SearchError(
+                f"point dimension {point.shape[0]} does not match candidates "
+                f"dimension {self.candidates.shape[1]}"
+            )
+        self.observations.append(Observation(point=point, value=float(value)))
+
+    @property
+    def best_observation(self) -> Observation:
+        if not self.observations:
+            raise SearchError("no observations recorded yet")
+        return max(self.observations, key=lambda obs: obs.value)
+
+    def history(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return observed points ``(n, d)`` and values ``(n,)``."""
+        if not self.observations:
+            return np.empty((0, self.candidates.shape[1])), np.empty((0,))
+        points = np.stack([obs.point for obs in self.observations])
+        values = np.asarray([obs.value for obs in self.observations])
+        return points, values
+
+    # ------------------------------------------------------------------
+    # Model fitting and proposal
+    # ------------------------------------------------------------------
+    def fit_model(self) -> GaussianProcessRegressor:
+        """Fit the GP performance model to all recorded observations."""
+        points, values = self.history()
+        if points.shape[0] == 0:
+            raise SearchError("cannot fit the performance model without observations")
+        model = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
+        model.fit(points, values)
+        return model
+
+    def suggest(self, rng: Optional[np.random.Generator] = None, exclude_observed: bool = True) -> np.ndarray:
+        """Propose the next candidate to evaluate.
+
+        With no observations yet, a uniformly random candidate is returned.
+        Otherwise the acquisition function is maximised over the candidate
+        set (optionally excluding already-evaluated points).
+        """
+        generator = rng if rng is not None else np.random.default_rng()
+        if not self.observations:
+            index = int(generator.integers(0, self.candidates.shape[0]))
+            return self.candidates[index].copy()
+
+        model = self.fit_model()
+        best_value = self.best_observation.value
+        scores = self.acquisition(model, self.candidates, best_value)
+
+        if exclude_observed:
+            observed_points, _ = self.history()
+            for point in observed_points:
+                matches = np.all(np.isclose(self.candidates, point[None, :], atol=1e-9), axis=1)
+                scores = np.where(matches, -np.inf, scores)
+            if not np.isfinite(scores).any():
+                # Everything has been evaluated: fall back to the best point.
+                return self.best_observation.point.copy()
+
+        best_index = int(np.argmax(scores))
+        return self.candidates[best_index].copy()
+
+    # ------------------------------------------------------------------
+    # End-to-end convenience loop
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        objective: Callable[[np.ndarray], float],
+        budget: int,
+        initial_random: int = 2,
+        rng: Optional[np.random.Generator] = None,
+        convergence_patience: int = 0,
+        convergence_tolerance: float = 1e-4,
+    ) -> Observation:
+        """Run the full suggest/evaluate/tell loop for ``budget`` evaluations."""
+        if budget <= 0:
+            raise SearchError("budget must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        stale_rounds = 0
+        best_so_far = -np.inf
+        for iteration in range(budget):
+            if iteration < initial_random or not self.observations:
+                index = int(generator.integers(0, self.candidates.shape[0]))
+                point = self.candidates[index].copy()
+            else:
+                point = self.suggest(rng=generator)
+            value = float(objective(point))
+            self.tell(point, value)
+            if value > best_so_far + convergence_tolerance:
+                best_so_far = value
+                stale_rounds = 0
+            else:
+                stale_rounds += 1
+                if convergence_patience and stale_rounds >= convergence_patience:
+                    break
+        return self.best_observation

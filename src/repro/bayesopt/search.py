@@ -1,0 +1,213 @@
+"""Low-Cost Weight Searching (LWS) — Algorithm 1 of the paper.
+
+Given a downstream task and a small labelled subset, LWS searches the
+weights ``w = {w_se, w_po, w_sp, w_pe}`` of the four pre-training tasks:
+
+1. sample a few random weight vectors and measure the downstream validation
+   performance obtained after pre-training with them and fine-tuning;
+2. fit a Gaussian-Process performance model to (weights, performance) pairs;
+3. pick the candidate weights maximising Expected Improvement, evaluate them
+   (full pre-train + fine-tune cycle), and add the outcome to the history;
+4. repeat until the budget is exhausted or the results converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SearchError
+from ..logging_utils import get_logger
+from ..masking.multi import MASK_LEVELS
+from .acquisition import AcquisitionFunction
+from .kernels import Kernel
+from .optimizer import BayesianOptimizer, Observation
+
+logger = get_logger(__name__)
+
+WeightVector = Dict[str, float]
+PerformanceFn = Callable[[WeightVector], float]
+
+
+def weight_simplex_grid(levels: Sequence[str] = MASK_LEVELS, resolution: int = 5) -> np.ndarray:
+    """Enumerate the candidate weight set ``W`` on the probability simplex.
+
+    Every candidate assigns each level a weight ``k / resolution`` with
+    non-negative integers ``k`` summing to ``resolution``; at least one level
+    must receive positive weight.  With 4 levels and resolution 5 this yields
+    56 candidates, a practical discretisation of the continuous search space.
+    """
+    if resolution < 1:
+        raise SearchError("resolution must be at least 1")
+    num_levels = len(levels)
+    if num_levels < 1:
+        raise SearchError("at least one level is required")
+
+    candidates: List[Tuple[float, ...]] = []
+
+    def _recurse(prefix: List[int], remaining: int, slots: int) -> None:
+        if slots == 1:
+            candidates.append(tuple(prefix + [remaining]))
+            return
+        for value in range(remaining + 1):
+            _recurse(prefix + [value], remaining - value, slots - 1)
+
+    _recurse([], resolution, num_levels)
+    grid = np.asarray(candidates, dtype=np.float64) / float(resolution)
+    # Remove the all-zero vector if it sneaked in (cannot: rows sum to 1).
+    return grid
+
+
+def vector_to_weights(vector: np.ndarray, levels: Sequence[str] = MASK_LEVELS) -> WeightVector:
+    """Convert a numeric weight vector to the named mapping used by the trainer."""
+    vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+    if vector.shape[0] != len(levels):
+        raise SearchError(
+            f"weight vector has {vector.shape[0]} entries but {len(levels)} levels are active"
+        )
+    return {level: float(value) for level, value in zip(levels, vector)}
+
+
+def weights_to_vector(weights: WeightVector, levels: Sequence[str] = MASK_LEVELS) -> np.ndarray:
+    """Convert a named weight mapping back to a numeric vector."""
+    return np.asarray([float(weights.get(level, 0.0)) for level in levels], dtype=np.float64)
+
+
+@dataclass
+class LWSConfig:
+    """Configuration of the LWS search loop (Algorithm 1)."""
+
+    budget: int = 8
+    """``N_bud``: total number of pre-train + fine-tune evaluations."""
+
+    initial_random: int = 3
+    """Number of initial uniformly-random weight evaluations (``W_ran``)."""
+
+    grid_resolution: int = 5
+    """Resolution of the weight-simplex candidate grid."""
+
+    acquisition: str = "ei"
+    """Acquisition function: ``ei`` (paper) or ``ucb`` (extension)."""
+
+    convergence_patience: int = 0
+    """Stop early after this many non-improving iterations (0 disables)."""
+
+    convergence_tolerance: float = 1e-4
+    levels: Tuple[str, ...] = MASK_LEVELS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise SearchError("budget must be positive")
+        if self.initial_random < 1:
+            raise SearchError("initial_random must be at least 1")
+        if self.initial_random > self.budget:
+            raise SearchError("initial_random cannot exceed the budget")
+
+
+@dataclass
+class LWSTrial:
+    """One evaluated weight configuration."""
+
+    iteration: int
+    weights: WeightVector
+    performance: float
+
+
+@dataclass
+class LWSResult:
+    """Outcome of a complete LWS search."""
+
+    best_weights: WeightVector
+    best_performance: float
+    trials: List[LWSTrial] = field(default_factory=list)
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.trials)
+
+    def performance_trace(self) -> List[float]:
+        """Best-so-far performance after each evaluation."""
+        trace: List[float] = []
+        best = -np.inf
+        for trial in self.trials:
+            best = max(best, trial.performance)
+            trace.append(best)
+        return trace
+
+
+class LowCostWeightSearch:
+    """Bayesian-Optimization search over pre-training task weights (Algorithm 1)."""
+
+    def __init__(self, config: Optional[LWSConfig] = None, kernel: Optional[Kernel] = None) -> None:
+        self.config = config if config is not None else LWSConfig()
+        self.kernel = kernel
+
+    def search(
+        self,
+        evaluate: PerformanceFn,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LWSResult:
+        """Run the search.
+
+        Parameters
+        ----------
+        evaluate:
+            Callable mapping a named weight vector to downstream validation
+            performance (higher is better).  In the full pipeline this is one
+            pre-training + fine-tuning cycle (see
+            :meth:`repro.core.saga.SagaPipeline.search_weights`).
+        rng:
+            Random generator for the initial random trials.
+        """
+        cfg = self.config
+        generator = rng if rng is not None else np.random.default_rng(cfg.seed)
+        candidates = weight_simplex_grid(cfg.levels, cfg.grid_resolution)
+        optimizer = BayesianOptimizer(
+            candidates=candidates,
+            kernel=self.kernel,
+            acquisition=AcquisitionFunction(kind=cfg.acquisition),
+        )
+
+        trials: List[LWSTrial] = []
+        best_value = -np.inf
+        stale_rounds = 0
+        for iteration in range(cfg.budget):
+            if iteration < cfg.initial_random:
+                index = int(generator.integers(0, candidates.shape[0]))
+                point = candidates[index]
+            else:
+                point = optimizer.suggest(rng=generator)
+            weights = vector_to_weights(point, cfg.levels)
+            performance = float(evaluate(weights))
+            optimizer.tell(point, performance)
+            trials.append(LWSTrial(iteration=iteration, weights=weights, performance=performance))
+            logger.info(
+                "LWS iteration %d: weights=%s performance=%.4f", iteration, weights, performance
+            )
+            if performance > best_value + cfg.convergence_tolerance:
+                best_value = performance
+                stale_rounds = 0
+            else:
+                stale_rounds += 1
+                if cfg.convergence_patience and stale_rounds >= cfg.convergence_patience:
+                    logger.info("LWS converged after %d iterations", iteration + 1)
+                    break
+
+        best: Observation = optimizer.best_observation
+        return LWSResult(
+            best_weights=vector_to_weights(best.point, cfg.levels),
+            best_performance=best.value,
+            trials=trials,
+        )
+
+
+def random_weights(
+    rng: np.random.Generator,
+    levels: Sequence[str] = MASK_LEVELS,
+) -> WeightVector:
+    """Draw uniformly random weights on the simplex (the Saga(ran.) ablation)."""
+    raw = rng.dirichlet(np.ones(len(levels)))
+    return {level: float(value) for level, value in zip(levels, raw)}

@@ -1,0 +1,27 @@
+"""Core public API: the Saga pipeline and the experiment runner."""
+
+from .experiment import (
+    ABLATION_METHOD_NAMES,
+    ALL_METHOD_NAMES,
+    PROFILES,
+    TOP3_METHOD_NAMES,
+    ExperimentProfile,
+    ExperimentRunner,
+    build_method,
+    get_profile,
+)
+from .saga import SagaConfig, SagaMethod, SagaPipeline
+
+__all__ = [
+    "SagaConfig",
+    "SagaPipeline",
+    "SagaMethod",
+    "ExperimentProfile",
+    "ExperimentRunner",
+    "PROFILES",
+    "get_profile",
+    "build_method",
+    "ALL_METHOD_NAMES",
+    "TOP3_METHOD_NAMES",
+    "ABLATION_METHOD_NAMES",
+]

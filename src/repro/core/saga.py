@@ -1,0 +1,342 @@
+"""Saga: the end-to-end pipeline and its :class:`PerceptionMethod` wrapper.
+
+This module is the primary public API of the reproduction.  Two entry points
+are provided:
+
+* :class:`SagaPipeline` — an explicit, step-by-step API: pre-train with given
+  weights, search weights with LWS, fine-tune, evaluate.
+* :class:`SagaMethod` — the same pipeline behind the common
+  :class:`~repro.baselines.base.PerceptionMethod` interface used by the
+  experiment runner, configurable as full Saga (LWS search), Saga with fixed
+  or random weights (the Saga(ran.) ablation), or single-level ablations
+  (Saga(se.), Saga(po.), Saga(sp.), Saga(pe.)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..baselines.base import MethodBudget, PerceptionMethod
+from ..bayesopt.search import LWSConfig, LWSResult, LowCostWeightSearch, random_weights
+from ..datasets.base import IMUDataset
+from ..exceptions import ConfigurationError, TrainingError
+from ..logging_utils import get_logger
+from ..masking.multi import MASK_LEVELS, MultiLevelMaskingConfig
+from ..models.backbone import BackboneConfig, SagaBackbone
+from ..models.composite import ClassificationModel
+from ..training.finetune import FinetuneConfig, Finetuner, evaluate_model
+from ..training.metrics import ClassificationMetrics
+from ..training.pretrain import PretrainConfig, Pretrainer
+from ..nn.serialization import load_module, save_module
+
+logger = get_logger(__name__)
+
+WeightsSpec = Union[str, Mapping[str, float]]
+"""Either a named policy (``"uniform"``, ``"random"``, ``"search"``) or explicit weights."""
+
+
+@dataclass
+class SagaConfig:
+    """Complete configuration of the Saga pipeline."""
+
+    backbone: Optional[BackboneConfig] = None
+    pretrain: PretrainConfig = field(default_factory=PretrainConfig)
+    finetune: FinetuneConfig = field(default_factory=FinetuneConfig)
+    lws: LWSConfig = field(default_factory=LWSConfig)
+    levels: Tuple[str, ...] = MASK_LEVELS
+
+    def __post_init__(self) -> None:
+        unknown = set(self.levels) - set(MASK_LEVELS)
+        if unknown:
+            raise ConfigurationError(f"unknown masking levels: {sorted(unknown)}")
+        if not self.levels:
+            raise ConfigurationError("at least one masking level is required")
+        # Restrict the masking configuration (and the LWS search space) to the
+        # requested levels.
+        self.pretrain.masking = MultiLevelMaskingConfig(
+            **{**self.pretrain.masking.__dict__, "levels": self.levels}
+        )
+        self.lws.levels = self.levels
+
+
+class SagaPipeline:
+    """Step-by-step Saga pipeline: pre-train, (optionally) search weights, fine-tune."""
+
+    def __init__(self, config: Optional[SagaConfig] = None) -> None:
+        self.config = config if config is not None else SagaConfig()
+        self.backbone: Optional[SagaBackbone] = None
+        self.classifier_model: Optional[ClassificationModel] = None
+        self.search_result: Optional[LWSResult] = None
+        self.weights: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+    # Pre-training
+    # ------------------------------------------------------------------
+    def pretrain(
+        self,
+        unlabelled: IMUDataset,
+        weights: Optional[Mapping[str, float]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SagaBackbone:
+        """Pre-train a fresh backbone with the given pre-training task weights."""
+        backbone_config = self._backbone_config_for(unlabelled)
+        result = Pretrainer(self.config.pretrain, backbone_config).pretrain(
+            unlabelled, weights=weights, rng=rng
+        )
+        self.backbone = result.model.backbone
+        self.weights = result.weights
+        return self.backbone
+
+    # ------------------------------------------------------------------
+    # Weight search (LWS)
+    # ------------------------------------------------------------------
+    def search_weights(
+        self,
+        unlabelled: IMUDataset,
+        labelled: IMUDataset,
+        task: str,
+        validation: IMUDataset,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LWSResult:
+        """Run the LWS Bayesian-Optimization search for this downstream task.
+
+        Each evaluation pre-trains a fresh backbone with the candidate weights
+        and fine-tunes it on ``labelled``; the validation accuracy is the
+        performance signal (paper Algorithm 1).
+        """
+        generator = rng if rng is not None else np.random.default_rng(self.config.lws.seed)
+        backbone_config = self._backbone_config_for(unlabelled)
+
+        def evaluate(weights: Mapping[str, float]) -> float:
+            eval_rng = np.random.default_rng(generator.integers(0, 2**63 - 1))
+            pretrain_result = Pretrainer(self.config.pretrain, backbone_config).pretrain(
+                unlabelled, weights=weights, rng=eval_rng
+            )
+            finetune_result = Finetuner(self.config.finetune).finetune(
+                pretrain_result.model.backbone,
+                labelled,
+                task,
+                validation_dataset=validation,
+                rng=eval_rng,
+            )
+            metrics = finetune_result.validation_metrics
+            if metrics is None:
+                raise TrainingError("LWS evaluation requires a non-empty validation set")
+            return metrics.accuracy
+
+        search = LowCostWeightSearch(self.config.lws)
+        self.search_result = search.search(evaluate, rng=generator)
+        self.weights = dict(self.search_result.best_weights)
+        logger.info(
+            "LWS finished: best weights %s with validation accuracy %.4f",
+            self.weights,
+            self.search_result.best_performance,
+        )
+        return self.search_result
+
+    # ------------------------------------------------------------------
+    # Fine-tuning and evaluation
+    # ------------------------------------------------------------------
+    def finetune(
+        self,
+        labelled: IMUDataset,
+        task: str,
+        validation: Optional[IMUDataset] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ClassificationModel:
+        """Fine-tune the pre-trained backbone end-to-end with a GRU classifier."""
+        if self.backbone is None:
+            raise TrainingError("pretrain() must be called before finetune()")
+        result = Finetuner(self.config.finetune).finetune(
+            self.backbone, labelled, task, validation_dataset=validation, rng=rng
+        )
+        self.classifier_model = result.model
+        return self.classifier_model
+
+    def fit(
+        self,
+        unlabelled: IMUDataset,
+        labelled: IMUDataset,
+        task: str,
+        validation: IMUDataset,
+        weights: WeightsSpec = "search",
+        rng: Optional[np.random.Generator] = None,
+    ) -> ClassificationModel:
+        """Run the complete pipeline: resolve weights, pre-train, fine-tune."""
+        generator = rng if rng is not None else np.random.default_rng(self.config.pretrain.seed)
+        resolved = self._resolve_weights(weights, unlabelled, labelled, task, validation, generator)
+        self.pretrain(unlabelled, weights=resolved, rng=generator)
+        return self.finetune(labelled, task, validation=validation, rng=generator)
+
+    def evaluate(self, dataset: IMUDataset, task: str) -> ClassificationMetrics:
+        """Evaluate the fine-tuned model on ``dataset``."""
+        if self.classifier_model is None:
+            raise TrainingError("finetune() must be called before evaluate()")
+        return evaluate_model(self.classifier_model, dataset, task)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_backbone(self, path) -> None:
+        """Save the pre-trained backbone parameters and weights to ``path``."""
+        if self.backbone is None:
+            raise TrainingError("no backbone to save; call pretrain() first")
+        save_module(self.backbone, path, metadata={"weights": self.weights or {}})
+
+    def load_backbone(self, path, template_dataset: IMUDataset) -> SagaBackbone:
+        """Load a backbone checkpoint, building the architecture from ``template_dataset``."""
+        backbone = SagaBackbone(self._backbone_config_for(template_dataset))
+        metadata = load_module(backbone, path)
+        self.backbone = backbone
+        self.weights = dict(metadata.get("weights", {})) or None
+        return backbone
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _backbone_config_for(self, dataset: IMUDataset) -> BackboneConfig:
+        if self.config.backbone is not None:
+            return self.config.backbone
+        return BackboneConfig(
+            input_channels=dataset.num_channels,
+            window_length=dataset.window_length,
+        )
+
+    def _resolve_weights(
+        self,
+        weights: WeightsSpec,
+        unlabelled: IMUDataset,
+        labelled: IMUDataset,
+        task: str,
+        validation: IMUDataset,
+        rng: np.random.Generator,
+    ) -> Dict[str, float]:
+        if isinstance(weights, Mapping):
+            return dict(weights)
+        policy = str(weights).lower()
+        levels = self.config.levels
+        if policy == "uniform":
+            return {level: 1.0 / len(levels) for level in levels}
+        if policy == "random":
+            return random_weights(rng, levels=levels)
+        if policy == "search":
+            result = self.search_weights(unlabelled, labelled, task, validation, rng=rng)
+            return dict(result.best_weights)
+        raise ConfigurationError(
+            f"unknown weights policy {weights!r}; use 'uniform', 'random', 'search' or a mapping"
+        )
+
+
+class SagaMethod(PerceptionMethod):
+    """Saga behind the common candidate-method interface.
+
+    Parameters
+    ----------
+    weights:
+        ``"search"`` (full Saga with LWS), ``"uniform"``, ``"random"``
+        (Saga(ran.)), or an explicit mapping.
+    levels:
+        Active masking levels; single-level tuples give the Saga(se./po./sp./pe.)
+        ablations.
+    """
+
+    def __init__(
+        self,
+        weights: WeightsSpec = "search",
+        levels: Sequence[str] = MASK_LEVELS,
+        backbone_config: Optional[BackboneConfig] = None,
+        budget: Optional[MethodBudget] = None,
+        lws_config: Optional[LWSConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.weights_spec = weights
+        self.levels = tuple(levels)
+        self.backbone_config = backbone_config
+        self.budget = budget if budget is not None else MethodBudget()
+        self.lws_config = lws_config
+        self.name = name if name is not None else self._default_name()
+        self._unlabelled: Optional[IMUDataset] = None
+        self._pipeline: Optional[SagaPipeline] = None
+
+    def _default_name(self) -> str:
+        if isinstance(self.weights_spec, str) and self.weights_spec == "search":
+            return "saga"
+        if isinstance(self.weights_spec, str) and self.weights_spec == "random":
+            return "saga_random"
+        if len(self.levels) == 1:
+            return f"saga_{self.levels[0]}"
+        return "saga_fixed"
+
+    def _build_pipeline(self, dataset: IMUDataset) -> SagaPipeline:
+        backbone_config = self.backbone_config
+        if backbone_config is None:
+            backbone_config = BackboneConfig(
+                input_channels=dataset.num_channels,
+                window_length=dataset.window_length,
+            )
+        config = SagaConfig(
+            backbone=backbone_config,
+            pretrain=PretrainConfig(
+                epochs=self.budget.pretrain_epochs,
+                batch_size=self.budget.batch_size,
+                learning_rate=self.budget.learning_rate,
+            ),
+            finetune=FinetuneConfig(
+                epochs=self.budget.finetune_epochs,
+                batch_size=self.budget.batch_size,
+                learning_rate=self.budget.learning_rate,
+            ),
+            lws=self.lws_config if self.lws_config is not None else LWSConfig(),
+            levels=self.levels,
+        )
+        return SagaPipeline(config)
+
+    # ------------------------------------------------------------------
+    # PerceptionMethod interface
+    # ------------------------------------------------------------------
+    def pretrain(self, unlabelled: IMUDataset, rng: np.random.Generator) -> None:
+        """Record the unlabelled pool; actual pre-training happens in :meth:`fit`.
+
+        Saga's pre-training depends on the downstream task when weight search
+        is enabled, so the expensive work is deferred until labels are known.
+        """
+        del rng
+        self._unlabelled = unlabelled
+        self._pipeline = self._build_pipeline(unlabelled)
+
+    def fit(
+        self,
+        labelled: IMUDataset,
+        task: str,
+        validation: Optional[IMUDataset],
+        rng: np.random.Generator,
+    ) -> None:
+        if self._pipeline is None or self._unlabelled is None:
+            raise TrainingError("SagaMethod requires pretrain() before fit()")
+        if validation is None:
+            raise TrainingError("SagaMethod requires a validation set (for LWS and evaluation)")
+        self._pipeline.fit(
+            self._unlabelled, labelled, task, validation, weights=self.weights_spec, rng=rng
+        )
+
+    def evaluate(self, dataset: IMUDataset, task: str) -> ClassificationMetrics:
+        if self._pipeline is None:
+            raise TrainingError("SagaMethod must be fitted before evaluation")
+        return self._pipeline.evaluate(dataset, task)
+
+    def num_parameters(self) -> int:
+        if self._pipeline is None:
+            raise TrainingError("SagaMethod has no model yet")
+        if self._pipeline.classifier_model is not None:
+            return self._pipeline.classifier_model.num_parameters()
+        if self._pipeline.backbone is not None:
+            return self._pipeline.backbone.num_parameters()
+        raise TrainingError("SagaMethod has no model yet")
+
+    @property
+    def searched_weights(self) -> Optional[Dict[str, float]]:
+        """The pre-training weights actually used (after search, if any)."""
+        return self._pipeline.weights if self._pipeline is not None else None

@@ -1,0 +1,56 @@
+"""Datasets: synthetic IMU generator and the paper's three evaluation datasets."""
+
+from .base import (
+    KNOWN_TASKS,
+    TASK_ACTIVITY,
+    TASK_PLACEMENT,
+    TASK_USER,
+    DatasetMetadata,
+    DatasetSplits,
+    IMUDataset,
+)
+from .hhar import HHAR_ACTIVITIES, HHAR_NUM_USERS, make_hhar
+from .loaders import Batch, DataLoader, train_validation_batches
+from .motion import MOTION_ACTIVITIES, MOTION_NUM_USERS, make_motion
+from .registry import DATASET_REGISTRY, available_datasets, load_dataset
+from .shoaib import SHOAIB_ACTIVITIES, SHOAIB_NUM_USERS, SHOAIB_PLACEMENTS, make_shoaib
+from .synthetic import (
+    DEFAULT_ACTIVITIES,
+    DEFAULT_PLACEMENTS,
+    ActivityProfile,
+    SyntheticIMUConfig,
+    SyntheticIMUGenerator,
+    generate_synthetic_dataset,
+)
+
+__all__ = [
+    "IMUDataset",
+    "DatasetMetadata",
+    "DatasetSplits",
+    "TASK_ACTIVITY",
+    "TASK_USER",
+    "TASK_PLACEMENT",
+    "KNOWN_TASKS",
+    "Batch",
+    "DataLoader",
+    "train_validation_batches",
+    "ActivityProfile",
+    "SyntheticIMUConfig",
+    "SyntheticIMUGenerator",
+    "generate_synthetic_dataset",
+    "DEFAULT_ACTIVITIES",
+    "DEFAULT_PLACEMENTS",
+    "make_hhar",
+    "make_motion",
+    "make_shoaib",
+    "HHAR_ACTIVITIES",
+    "HHAR_NUM_USERS",
+    "MOTION_ACTIVITIES",
+    "MOTION_NUM_USERS",
+    "SHOAIB_ACTIVITIES",
+    "SHOAIB_NUM_USERS",
+    "SHOAIB_PLACEMENTS",
+    "DATASET_REGISTRY",
+    "available_datasets",
+    "load_dataset",
+]

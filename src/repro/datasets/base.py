@@ -1,0 +1,250 @@
+"""Dataset container, splits, and low-label subsetting.
+
+The central object is :class:`IMUDataset`: a batch of fixed-length IMU
+windows together with one integer label array per downstream task (activity,
+user, placement).  It supports the evaluation protocol of the paper:
+
+* 6:2:2 train/validation/test splits (Section VII-A-2);
+* labelling-rate subsetting — keeping only ``r%`` of the training labels,
+  stratified per class (Section VII-B evaluates r in {5, 10, 15, 20}%);
+* per-class few-shot sampling ("about 100 training samples per class").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+
+TASK_ACTIVITY = "activity"
+TASK_USER = "user"
+TASK_PLACEMENT = "placement"
+
+KNOWN_TASKS = (TASK_ACTIVITY, TASK_USER, TASK_PLACEMENT)
+
+
+@dataclass
+class DatasetMetadata:
+    """Descriptive metadata of an IMU dataset."""
+
+    name: str
+    sensor_channels: Tuple[str, ...]
+    sampling_rate_hz: float
+    window_length: int
+    class_names: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.sensor_channels)
+
+    def num_classes(self, task: str) -> int:
+        if task not in self.class_names:
+            raise DataError(f"dataset {self.name!r} has no labels for task {task!r}")
+        return len(self.class_names[task])
+
+
+class IMUDataset:
+    """A set of IMU windows with per-task labels.
+
+    Parameters
+    ----------
+    windows:
+        Array of shape ``(N, L_win, C)``.
+    labels:
+        Mapping ``task name -> integer label array of shape (N,)``.
+    metadata:
+        Dataset description (name, channels, class names, ...).
+    """
+
+    def __init__(
+        self,
+        windows: np.ndarray,
+        labels: Mapping[str, np.ndarray],
+        metadata: DatasetMetadata,
+    ) -> None:
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise DataError(f"windows must have shape (N, L, C), got {windows.shape}")
+        self.windows = windows
+        self.labels: Dict[str, np.ndarray] = {}
+        for task, values in labels.items():
+            values = np.asarray(values, dtype=np.int64)
+            if values.shape != (windows.shape[0],):
+                raise DataError(
+                    f"label array for task {task!r} has shape {values.shape}, "
+                    f"expected ({windows.shape[0]},)"
+                )
+            self.labels[task] = values
+        self.metadata = metadata
+        if metadata.window_length != windows.shape[1]:
+            raise DataError(
+                f"metadata window_length {metadata.window_length} does not match data "
+                f"window length {windows.shape[1]}"
+            )
+        if metadata.num_channels != windows.shape[2]:
+            raise DataError(
+                f"metadata declares {metadata.num_channels} channels but data has "
+                f"{windows.shape[2]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.windows.shape[0]
+
+    @property
+    def window_length(self) -> int:
+        return self.windows.shape[1]
+
+    @property
+    def num_channels(self) -> int:
+        return self.windows.shape[2]
+
+    @property
+    def tasks(self) -> Tuple[str, ...]:
+        return tuple(self.labels.keys())
+
+    def num_classes(self, task: str) -> int:
+        """Number of classes of ``task`` (from metadata when present, else labels)."""
+        if task in self.metadata.class_names:
+            return self.metadata.num_classes(task)
+        if task not in self.labels:
+            raise DataError(f"unknown task {task!r}; available: {self.tasks}")
+        return int(self.labels[task].max()) + 1
+
+    def task_labels(self, task: str) -> np.ndarray:
+        if task not in self.labels:
+            raise DataError(f"unknown task {task!r}; available: {self.tasks}")
+        return self.labels[task]
+
+    # ------------------------------------------------------------------
+    # Subsetting
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "IMUDataset":
+        """Return a new dataset restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self)):
+            raise DataError("subset indices out of range")
+        return IMUDataset(
+            windows=self.windows[indices],
+            labels={task: values[indices] for task, values in self.labels.items()},
+            metadata=self.metadata,
+        )
+
+    def split(
+        self,
+        ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+        rng: Optional[np.random.Generator] = None,
+        stratify_task: Optional[str] = None,
+    ) -> "DatasetSplits":
+        """Split into train/validation/test subsets.
+
+        The paper uses a 6:2:2 split.  When ``stratify_task`` is given, the
+        split preserves per-class proportions for that task, which keeps every
+        class represented even at small dataset sizes.
+        """
+        if len(ratios) != 3 or abs(sum(ratios) - 1.0) > 1e-6:
+            raise DataError(f"split ratios must have length 3 and sum to 1, got {ratios}")
+        generator = rng if rng is not None else np.random.default_rng()
+
+        if stratify_task is None:
+            permutation = generator.permutation(len(self))
+            groups = [permutation]
+        else:
+            labels = self.task_labels(stratify_task)
+            groups = [
+                generator.permutation(np.flatnonzero(labels == cls))
+                for cls in np.unique(labels)
+            ]
+
+        train_idx: List[int] = []
+        val_idx: List[int] = []
+        test_idx: List[int] = []
+        for group in groups:
+            n = len(group)
+            n_train = int(round(ratios[0] * n))
+            n_val = int(round(ratios[1] * n))
+            train_idx.extend(group[:n_train].tolist())
+            val_idx.extend(group[n_train:n_train + n_val].tolist())
+            test_idx.extend(group[n_train + n_val:].tolist())
+
+        return DatasetSplits(
+            train=self.subset(sorted(train_idx)),
+            validation=self.subset(sorted(val_idx)),
+            test=self.subset(sorted(test_idx)),
+        )
+
+    def labelled_fraction(
+        self,
+        task: str,
+        labelling_rate: float,
+        rng: Optional[np.random.Generator] = None,
+        min_per_class: int = 1,
+    ) -> "IMUDataset":
+        """Keep only ``labelling_rate`` of the samples, stratified per class.
+
+        This models the paper's low-label regime: the remaining samples are
+        treated as unlabelled and are only used for pre-training.
+        """
+        if not 0.0 < labelling_rate <= 1.0:
+            raise DataError(f"labelling_rate must be in (0, 1], got {labelling_rate}")
+        generator = rng if rng is not None else np.random.default_rng()
+        labels = self.task_labels(task)
+        kept: List[int] = []
+        for cls in np.unique(labels):
+            class_indices = np.flatnonzero(labels == cls)
+            count = max(min_per_class, int(round(labelling_rate * class_indices.size)))
+            count = min(count, class_indices.size)
+            chosen = generator.choice(class_indices, size=count, replace=False)
+            kept.extend(chosen.tolist())
+        return self.subset(sorted(kept))
+
+    def few_shot(
+        self,
+        task: str,
+        samples_per_class: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "IMUDataset":
+        """Keep at most ``samples_per_class`` samples of every class of ``task``."""
+        if samples_per_class <= 0:
+            raise DataError("samples_per_class must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        labels = self.task_labels(task)
+        kept: List[int] = []
+        for cls in np.unique(labels):
+            class_indices = np.flatnonzero(labels == cls)
+            count = min(samples_per_class, class_indices.size)
+            chosen = generator.choice(class_indices, size=count, replace=False)
+            kept.extend(chosen.tolist())
+        return self.subset(sorted(kept))
+
+    def class_distribution(self, task: str) -> Dict[int, int]:
+        """Return ``class -> count`` for ``task``."""
+        labels = self.task_labels(task)
+        unique, counts = np.unique(labels, return_counts=True)
+        return {int(cls): int(count) for cls, count in zip(unique, counts)}
+
+    def __repr__(self) -> str:
+        return (
+            f"IMUDataset(name={self.metadata.name!r}, n={len(self)}, "
+            f"window={self.window_length}, channels={self.num_channels}, tasks={self.tasks})"
+        )
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test subsets of one dataset."""
+
+    train: IMUDataset
+    validation: IMUDataset
+    test: IMUDataset
+
+    def __iter__(self):
+        return iter((self.train, self.validation, self.test))
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train), len(self.validation), len(self.test))

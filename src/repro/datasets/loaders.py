@@ -1,0 +1,99 @@
+"""Mini-batch iteration over :class:`~repro.datasets.base.IMUDataset`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from .base import IMUDataset
+
+
+@dataclass
+class Batch:
+    """One mini-batch of windows (and optionally labels for one task)."""
+
+    windows: np.ndarray
+    labels: Optional[np.ndarray] = None
+    indices: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self.windows.shape[0]
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled (or ordered) mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate over.
+    batch_size:
+        Number of windows per batch.
+    task:
+        When given, each batch also carries the integer labels for this task.
+    shuffle:
+        Reshuffle the sample order at the start of every epoch.
+    drop_last:
+        Drop the final incomplete batch (useful for contrastive losses that
+        need a fixed batch size).
+    rng:
+        Generator used for shuffling; defaults to a fresh unseeded generator.
+    """
+
+    def __init__(
+        self,
+        dataset: IMUDataset,
+        batch_size: int,
+        task: Optional[str] = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise DataError("batch_size must be positive")
+        if len(dataset) == 0:
+            raise DataError("cannot build a DataLoader over an empty dataset")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.task = task
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if task is not None and task not in dataset.labels:
+            raise DataError(f"dataset has no labels for task {task!r}")
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        labels = self.dataset.task_labels(self.task) if self.task is not None else None
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and indices.size < self.batch_size:
+                break
+            yield Batch(
+                windows=self.dataset.windows[indices],
+                labels=labels[indices] if labels is not None else None,
+                indices=indices,
+            )
+
+
+def train_validation_batches(
+    splits,
+    batch_size: int,
+    task: str,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[DataLoader, DataLoader]:
+    """Convenience helper returning train and validation loaders for a task."""
+    train_loader = DataLoader(splits.train, batch_size=batch_size, task=task, shuffle=True, rng=rng)
+    val_loader = DataLoader(splits.validation, batch_size=batch_size, task=task, shuffle=False, rng=rng)
+    return train_loader, val_loader

@@ -1,0 +1,37 @@
+"""Simulated MotionSense dataset (Malekzadeh et al., IoTDI 2019).
+
+Paper Table II: accelerometer + gyroscope, 6 activities, 24 users, window
+120, 4,534 samples after preprocessing.  Data was collected with an iPhone 6s
+in the subjects' front trouser pockets, so there is a single placement and a
+single device model.
+"""
+
+from __future__ import annotations
+
+from .base import IMUDataset
+from .synthetic import SyntheticIMUConfig, SyntheticIMUGenerator
+
+MOTION_ACTIVITIES = ("walking", "jogging", "sitting", "standing", "upstairs", "downstairs")
+MOTION_NUM_USERS = 24
+MOTION_WINDOW_LENGTH = 120
+MOTION_TARGET_SAMPLES = 4534
+
+
+def make_motion(scale: float = 1.0, seed: int = 23, window_length: int = MOTION_WINDOW_LENGTH) -> IMUDataset:
+    """Build the simulated Motion dataset (see :func:`repro.datasets.hhar.make_hhar`)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    combinations = MOTION_NUM_USERS * len(MOTION_ACTIVITIES)
+    windows_per_combination = max(1, int(round(MOTION_TARGET_SAMPLES * scale / combinations)))
+    config = SyntheticIMUConfig(
+        num_users=MOTION_NUM_USERS,
+        activities=MOTION_ACTIVITIES,
+        placements=(),
+        num_devices=1,
+        windows_per_combination=windows_per_combination,
+        window_length=window_length,
+        include_magnetometer=False,
+        seed=seed,
+        name="motion",
+    )
+    return SyntheticIMUGenerator(config).generate()

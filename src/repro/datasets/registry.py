@@ -1,0 +1,46 @@
+"""Dataset registry mapping paper dataset names to factory functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import DataError
+from .base import IMUDataset
+from .hhar import make_hhar
+from .motion import make_motion
+from .shoaib import make_shoaib
+
+DatasetFactory = Callable[..., IMUDataset]
+
+DATASET_REGISTRY: Dict[str, DatasetFactory] = {
+    "hhar": make_hhar,
+    "motion": make_motion,
+    "shoaib": make_shoaib,
+}
+"""The three evaluation datasets of the paper (Table II)."""
+
+
+def available_datasets() -> tuple:
+    """Names of all registered datasets."""
+    return tuple(sorted(DATASET_REGISTRY))
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> IMUDataset:
+    """Build a registered dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``hhar``, ``motion``, ``shoaib`` (case-insensitive).
+    scale:
+        Fraction of the paper's sample count to generate.
+    seed:
+        Optional seed override; each dataset has a fixed default seed.
+    """
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise DataError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    factory = DATASET_REGISTRY[key]
+    if seed is None:
+        return factory(scale=scale)
+    return factory(scale=scale, seed=seed)

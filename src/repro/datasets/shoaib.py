@@ -1,0 +1,40 @@
+"""Simulated Shoaib dataset (Shoaib et al., Sensors 2014).
+
+Paper Table II: accelerometer + gyroscope + magnetometer, 7 activities, 10
+users, 5 device placements (right pocket, left pocket, belt, upper arm,
+wrist), window 120, 10,500 samples.  Shoaib is the only dataset providing the
+device-placement (DP) downstream task.
+"""
+
+from __future__ import annotations
+
+from .base import IMUDataset
+from .synthetic import DEFAULT_PLACEMENTS, SyntheticIMUConfig, SyntheticIMUGenerator
+
+SHOAIB_ACTIVITIES = (
+    "walking", "sitting", "standing", "jogging", "biking", "upstairs", "downstairs",
+)
+SHOAIB_NUM_USERS = 10
+SHOAIB_PLACEMENTS = DEFAULT_PLACEMENTS
+SHOAIB_WINDOW_LENGTH = 120
+SHOAIB_TARGET_SAMPLES = 10500
+
+
+def make_shoaib(scale: float = 1.0, seed: int = 37, window_length: int = SHOAIB_WINDOW_LENGTH) -> IMUDataset:
+    """Build the simulated Shoaib dataset (see :func:`repro.datasets.hhar.make_hhar`)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    combinations = SHOAIB_NUM_USERS * len(SHOAIB_ACTIVITIES) * len(SHOAIB_PLACEMENTS)
+    windows_per_combination = max(1, int(round(SHOAIB_TARGET_SAMPLES * scale / combinations)))
+    config = SyntheticIMUConfig(
+        num_users=SHOAIB_NUM_USERS,
+        activities=SHOAIB_ACTIVITIES,
+        placements=SHOAIB_PLACEMENTS,
+        num_devices=1,
+        windows_per_combination=windows_per_combination,
+        window_length=window_length,
+        include_magnetometer=True,
+        seed=seed,
+        name="shoaib",
+    )
+    return SyntheticIMUGenerator(config).generate()

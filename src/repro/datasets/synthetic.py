@@ -1,0 +1,438 @@
+"""Parametric synthetic IMU motion generator.
+
+The public IMU datasets the paper evaluates on (HHAR, Motion, Shoaib) cannot
+be downloaded in the offline reproduction environment, so this module
+synthesises datasets with the same shapes and — crucially — the same
+*semantic structure* that Saga's pre-training tasks exploit:
+
+* **Periodicity** — locomotion activities (walk, run, bike, stairs) are
+  quasi-periodic with an activity-specific base cadence; the period-level
+  masking task depends on this.
+* **Sub-period structure** — each gait cycle is built from harmonics with
+  user-specific phases/amplitudes, producing the peaks and valleys that the
+  key-point detector partitions into sub-periods.
+* **Per-user signatures** — every simulated user has an idiosyncratic cadence
+  offset, harmonic amplitude profile, micro-tremor frequency, and posture
+  bias.  These make the user-authentication (UA) task learnable.
+* **Per-placement orientation** — device placements (pocket, belt, wrist, ...)
+  apply distinct rotations, gains and noise to the body-frame motion, making
+  the device-placement (DP) task learnable.
+* **Cross-axis dependence** — gyroscope channels are generated as phase-
+  shifted derivatives of the acceleration pattern, so all channels experience
+  key points simultaneously (paper Figure 3, observation 2), which is what the
+  sensor-level masking task exploits.
+* **Per-device heterogeneity** — device models add bias and noise, mirroring
+  the hardware heterogeneity of HHAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from .base import (
+    TASK_ACTIVITY,
+    TASK_PLACEMENT,
+    TASK_USER,
+    DatasetMetadata,
+    IMUDataset,
+)
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Motion template of a single activity class."""
+
+    name: str
+    base_frequency_hz: float
+    """Dominant cadence of the activity (0 for static postures)."""
+
+    amplitude_g: float
+    """Peak acceleration amplitude in units of g."""
+
+    harmonic_weights: Tuple[float, ...] = (1.0, 0.45, 0.2)
+    """Relative weights of the harmonic components of each cycle."""
+
+    vertical_bias_g: float = 0.0
+    """Extra quasi-static vertical acceleration (e.g. stair climbing)."""
+
+    gyro_scale: float = 1.0
+    """Ratio of angular-rate amplitude to acceleration amplitude."""
+
+    noise_g: float = 0.02
+    """Standard deviation of the per-sample measurement noise (in g)."""
+
+    @property
+    def is_static(self) -> bool:
+        return self.base_frequency_hz <= 0.0
+
+
+DEFAULT_ACTIVITIES: Dict[str, ActivityProfile] = {
+    "walking": ActivityProfile("walking", base_frequency_hz=1.8, amplitude_g=0.45,
+                               harmonic_weights=(1.0, 0.5, 0.22), gyro_scale=1.1),
+    "jogging": ActivityProfile("jogging", base_frequency_hz=2.7, amplitude_g=1.1,
+                               harmonic_weights=(1.0, 0.6, 0.3), gyro_scale=1.4, noise_g=0.03),
+    "sitting": ActivityProfile("sitting", base_frequency_hz=0.0, amplitude_g=0.03,
+                               harmonic_weights=(1.0,), gyro_scale=0.4, noise_g=0.01),
+    "standing": ActivityProfile("standing", base_frequency_hz=0.0, amplitude_g=0.05,
+                                harmonic_weights=(1.0,), gyro_scale=0.5, noise_g=0.012),
+    "upstairs": ActivityProfile("upstairs", base_frequency_hz=1.5, amplitude_g=0.55,
+                                harmonic_weights=(1.0, 0.4, 0.3), vertical_bias_g=0.12,
+                                gyro_scale=1.2),
+    "downstairs": ActivityProfile("downstairs", base_frequency_hz=1.6, amplitude_g=0.6,
+                                  harmonic_weights=(1.0, 0.35, 0.32), vertical_bias_g=-0.12,
+                                  gyro_scale=1.25),
+    "biking": ActivityProfile("biking", base_frequency_hz=1.2, amplitude_g=0.35,
+                              harmonic_weights=(1.0, 0.25, 0.1), gyro_scale=0.9),
+}
+"""Activity templates covering the union of HHAR / Motion / Shoaib label sets."""
+
+
+DEFAULT_PLACEMENTS: Tuple[str, ...] = (
+    "right_pocket", "left_pocket", "belt", "upper_arm", "wrist",
+)
+"""The five body positions of the Shoaib dataset."""
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Idiosyncratic motion signature of a simulated user."""
+
+    user_id: int
+    cadence_scale: float
+    amplitude_scale: float
+    harmonic_phases: Tuple[float, ...]
+    harmonic_gains: Tuple[float, ...]
+    tremor_frequency_hz: float
+    tremor_amplitude_g: float
+    posture_tilt_rad: Tuple[float, float]
+    axis_mixing: Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class PlacementProfile:
+    """Orientation and gain signature of a device placement on the body."""
+
+    name: str
+    rotation: np.ndarray
+    gain: float
+    noise_scale: float
+    sway_frequency_hz: float
+    sway_amplitude_g: float
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Per-device-model measurement characteristics (HHAR-style heterogeneity)."""
+
+    name: str
+    accel_bias_g: Tuple[float, float, float]
+    gyro_bias: Tuple[float, float, float]
+    noise_multiplier: float
+
+
+@dataclass
+class SyntheticIMUConfig:
+    """Configuration of the synthetic IMU generator."""
+
+    num_users: int = 9
+    activities: Tuple[str, ...] = ("walking", "jogging", "sitting", "standing", "upstairs", "downstairs")
+    placements: Tuple[str, ...] = ()
+    num_devices: int = 4
+    windows_per_combination: int = 8
+    window_length: int = 120
+    sampling_rate_hz: float = 20.0
+    include_magnetometer: bool = False
+    normalize: bool = True
+    """Apply the paper's normalisation (acc / g, mag / |m|) to generated windows."""
+
+    seed: int = 0
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise DataError("num_users must be positive")
+        if self.window_length <= 0:
+            raise DataError("window_length must be positive")
+        if self.windows_per_combination <= 0:
+            raise DataError("windows_per_combination must be positive")
+        unknown = [a for a in self.activities if a not in DEFAULT_ACTIVITIES]
+        if unknown:
+            raise DataError(f"unknown activities: {unknown}; known: {sorted(DEFAULT_ACTIVITIES)}")
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        base = ("acc_x", "acc_y", "acc_z", "gyr_x", "gyr_y", "gyr_z")
+        if self.include_magnetometer:
+            return base + ("mag_x", "mag_y", "mag_z")
+        return base
+
+
+def _rotation_matrix(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Intrinsic XYZ rotation matrix."""
+    cr, sr = np.cos(roll), np.sin(roll)
+    cp, sp = np.cos(pitch), np.sin(pitch)
+    cy, sy = np.cos(yaw), np.sin(yaw)
+    rx = np.array([[1, 0, 0], [0, cr, -sr], [0, sr, cr]])
+    ry = np.array([[cp, 0, sp], [0, 1, 0], [-sp, 0, cp]])
+    rz = np.array([[cy, -sy, 0], [sy, cy, 0], [0, 0, 1]])
+    return rz @ ry @ rx
+
+
+class SyntheticIMUGenerator:
+    """Generate :class:`IMUDataset` objects from a :class:`SyntheticIMUConfig`."""
+
+    def __init__(self, config: SyntheticIMUConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.users = self._make_users()
+        self.placements = self._make_placements()
+        self.devices = self._make_devices()
+
+    # ------------------------------------------------------------------
+    # Profile synthesis
+    # ------------------------------------------------------------------
+    def _make_users(self) -> Tuple[UserProfile, ...]:
+        users = []
+        for user_id in range(self.config.num_users):
+            users.append(
+                UserProfile(
+                    user_id=user_id,
+                    cadence_scale=float(self._rng.uniform(0.85, 1.15)),
+                    amplitude_scale=float(self._rng.uniform(0.75, 1.3)),
+                    harmonic_phases=tuple(self._rng.uniform(0, 2 * np.pi, size=4).tolist()),
+                    harmonic_gains=tuple(self._rng.uniform(0.6, 1.4, size=4).tolist()),
+                    tremor_frequency_hz=float(self._rng.uniform(7.0, 9.5)),
+                    tremor_amplitude_g=float(self._rng.uniform(0.004, 0.02)),
+                    posture_tilt_rad=(
+                        float(self._rng.uniform(-0.25, 0.25)),
+                        float(self._rng.uniform(-0.25, 0.25)),
+                    ),
+                    axis_mixing=tuple(self._rng.uniform(0.7, 1.3, size=3).tolist()),
+                )
+            )
+        return tuple(users)
+
+    def _make_placements(self) -> Tuple[PlacementProfile, ...]:
+        profiles = []
+        names = self.config.placements if self.config.placements else ("default",)
+        for index, name in enumerate(names):
+            angles = self._rng.uniform(-np.pi / 3, np.pi / 3, size=3)
+            profiles.append(
+                PlacementProfile(
+                    name=name,
+                    rotation=_rotation_matrix(*angles),
+                    gain=float(self._rng.uniform(0.8, 1.2)),
+                    noise_scale=float(self._rng.uniform(0.9, 1.4)),
+                    sway_frequency_hz=float(self._rng.uniform(0.3, 0.9)),
+                    sway_amplitude_g=float(self._rng.uniform(0.01, 0.08)) * (index + 1) / len(names),
+                )
+            )
+        return tuple(profiles)
+
+    def _make_devices(self) -> Tuple[DeviceProfile, ...]:
+        devices = []
+        for index in range(max(1, self.config.num_devices)):
+            devices.append(
+                DeviceProfile(
+                    name=f"device_{index}",
+                    accel_bias_g=tuple(self._rng.normal(0.0, 0.015, size=3).tolist()),
+                    gyro_bias=tuple(self._rng.normal(0.0, 0.01, size=3).tolist()),
+                    noise_multiplier=float(self._rng.uniform(0.8, 1.5)),
+                )
+            )
+        return tuple(devices)
+
+    # ------------------------------------------------------------------
+    # Window synthesis
+    # ------------------------------------------------------------------
+    def _synthesize_body_motion(
+        self,
+        activity: ActivityProfile,
+        user: UserProfile,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return body-frame acceleration (in g) and angular rate for one window."""
+        length = self.config.window_length
+        dt = 1.0 / self.config.sampling_rate_hz
+        time = np.arange(length) * dt
+        phase_offset = rng.uniform(0, 2 * np.pi)
+
+        accel = np.zeros((length, 3))
+        gyro = np.zeros((length, 3))
+
+        if activity.is_static:
+            # Static postures: micro-tremor plus slow drift; the tremor
+            # frequency is a user signature.
+            tremor = user.tremor_amplitude_g * np.sin(
+                2 * np.pi * user.tremor_frequency_hz * time + phase_offset
+            )
+            drift = 0.01 * np.sin(2 * np.pi * 0.2 * time + rng.uniform(0, 2 * np.pi))
+            accel[:, 0] = tremor * user.axis_mixing[0]
+            accel[:, 1] = (tremor * 0.6 + drift) * user.axis_mixing[1]
+            accel[:, 2] = activity.amplitude_g * 0.5 * np.sin(
+                2 * np.pi * 0.15 * time + phase_offset
+            ) * user.axis_mixing[2]
+            gyro[:, :] = activity.gyro_scale * np.stack(
+                [
+                    0.3 * tremor,
+                    0.2 * drift * np.ones(length) if np.ndim(drift) else np.full(length, drift),
+                    0.25 * tremor,
+                ],
+                axis=1,
+            )
+            return accel, gyro
+
+        frequency = activity.base_frequency_hz * user.cadence_scale
+        amplitude = activity.amplitude_g * user.amplitude_scale
+        for harmonic_index, weight in enumerate(activity.harmonic_weights, start=1):
+            user_gain = user.harmonic_gains[(harmonic_index - 1) % len(user.harmonic_gains)]
+            user_phase = user.harmonic_phases[(harmonic_index - 1) % len(user.harmonic_phases)]
+            omega = 2 * np.pi * frequency * harmonic_index
+            component = weight * user_gain * amplitude * np.sin(omega * time + phase_offset + user_phase)
+            # Vertical axis carries the dominant gait oscillation; the
+            # horizontal axes carry phase-shifted, attenuated copies.
+            accel[:, 2] += component
+            accel[:, 0] += 0.55 * weight * user_gain * amplitude * np.sin(
+                omega * time + phase_offset + user_phase + np.pi / 3
+            )
+            accel[:, 1] += 0.4 * weight * user_gain * amplitude * np.sin(
+                omega * time + phase_offset + user_phase + 2 * np.pi / 3
+            )
+            # Angular rate approximately follows the derivative of acceleration,
+            # keeping key points aligned across sensors (paper Figure 3).
+            gyro[:, 0] += activity.gyro_scale * 0.8 * weight * amplitude * np.cos(
+                omega * time + phase_offset + user_phase
+            )
+            gyro[:, 1] += activity.gyro_scale * 0.6 * weight * amplitude * np.cos(
+                omega * time + phase_offset + user_phase + np.pi / 4
+            )
+            gyro[:, 2] += activity.gyro_scale * 0.3 * weight * amplitude * np.cos(
+                omega * time + phase_offset + user_phase + np.pi / 2
+            )
+
+        accel[:, 2] += activity.vertical_bias_g
+        accel *= np.asarray(user.axis_mixing)[None, :]
+        return accel, gyro
+
+    def _generate_window(
+        self,
+        activity: ActivityProfile,
+        user: UserProfile,
+        placement: PlacementProfile,
+        device: DeviceProfile,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Generate one sensor-frame window ``(L, C)`` in physical units (g / rad/s)."""
+        length = self.config.window_length
+        dt = 1.0 / self.config.sampling_rate_hz
+        time = np.arange(length) * dt
+
+        accel, gyro = self._synthesize_body_motion(activity, user, rng)
+
+        # Gravity in the body frame, tilted by the user's posture.
+        tilt_roll, tilt_pitch = user.posture_tilt_rad
+        gravity_direction = _rotation_matrix(tilt_roll, tilt_pitch, 0.0) @ np.array([0.0, 0.0, 1.0])
+        accel = accel + gravity_direction[None, :]
+
+        # Placement sway (e.g. arm swing for wrist placement).
+        sway = placement.sway_amplitude_g * np.sin(
+            2 * np.pi * placement.sway_frequency_hz * time + rng.uniform(0, 2 * np.pi)
+        )
+        accel[:, 0] += sway
+        gyro[:, 2] += 0.5 * sway
+
+        # Rotate into the device frame for this placement and apply gain.
+        accel = (accel @ placement.rotation.T) * placement.gain
+        gyro = (gyro @ placement.rotation.T) * placement.gain
+
+        # Device bias and measurement noise.
+        noise_std = activity.noise_g * device.noise_multiplier * placement.noise_scale
+        accel = accel + np.asarray(device.accel_bias_g)[None, :]
+        accel = accel + rng.normal(0.0, noise_std, size=accel.shape)
+        gyro = gyro + np.asarray(device.gyro_bias)[None, :]
+        gyro = gyro + rng.normal(0.0, noise_std, size=gyro.shape)
+
+        channels = [accel, gyro]
+        if self.config.include_magnetometer:
+            # Earth's magnetic field rotated into the device frame plus noise;
+            # slightly modulated by motion so it is not a constant channel.
+            field = placement.rotation @ np.array([0.6, 0.0, 0.8])
+            magnetometer = np.tile(field, (length, 1))
+            magnetometer += 0.05 * np.sin(2 * np.pi * 0.5 * time)[:, None]
+            magnetometer += rng.normal(0.0, 0.02, size=magnetometer.shape)
+            channels.append(magnetometer)
+
+        # Convert acceleration from g to m/s^2 so that the preprocessing
+        # normalisation (divide by g) matches the paper's pipeline.
+        window = np.concatenate(channels, axis=1)
+        window[:, :3] *= 9.80665
+        return window
+
+    # ------------------------------------------------------------------
+    # Dataset assembly
+    # ------------------------------------------------------------------
+    def generate(self) -> IMUDataset:
+        """Generate the full dataset described by the configuration."""
+        config = self.config
+        activity_names = list(config.activities)
+        placement_names = [p.name for p in self.placements]
+        has_placement_task = bool(config.placements)
+
+        windows = []
+        activity_labels = []
+        user_labels = []
+        placement_labels = []
+
+        for user in self.users:
+            for activity_index, activity_name in enumerate(activity_names):
+                activity = DEFAULT_ACTIVITIES[activity_name]
+                for placement_index, placement in enumerate(self.placements):
+                    for _ in range(config.windows_per_combination):
+                        device = self.devices[
+                            int(self._rng.integers(0, len(self.devices)))
+                        ]
+                        window = self._generate_window(
+                            activity, user, placement, device, self._rng
+                        )
+                        windows.append(window)
+                        activity_labels.append(activity_index)
+                        user_labels.append(user.user_id)
+                        placement_labels.append(placement_index)
+
+        data = np.stack(windows, axis=0)
+        if config.normalize:
+            from ..signal.preprocessing import normalize_imu
+
+            magnetometer_axes = (6, 7, 8) if config.include_magnetometer else ()
+            data = normalize_imu(
+                data, accel_axes=(0, 1, 2), magnetometer_axes=magnetometer_axes
+            )
+        labels: Dict[str, np.ndarray] = {
+            TASK_ACTIVITY: np.asarray(activity_labels),
+            TASK_USER: np.asarray(user_labels),
+        }
+        class_names: Dict[str, Tuple[str, ...]] = {
+            TASK_ACTIVITY: tuple(activity_names),
+            TASK_USER: tuple(f"user_{u.user_id}" for u in self.users),
+        }
+        if has_placement_task:
+            labels[TASK_PLACEMENT] = np.asarray(placement_labels)
+            class_names[TASK_PLACEMENT] = tuple(placement_names)
+
+        metadata = DatasetMetadata(
+            name=config.name,
+            sensor_channels=config.channels,
+            sampling_rate_hz=config.sampling_rate_hz,
+            window_length=config.window_length,
+            class_names=class_names,
+        )
+        return IMUDataset(windows=data, labels=labels, metadata=metadata)
+
+
+def generate_synthetic_dataset(config: Optional[SyntheticIMUConfig] = None) -> IMUDataset:
+    """Convenience wrapper: build a generator and produce one dataset."""
+    return SyntheticIMUGenerator(config if config is not None else SyntheticIMUConfig()).generate()

@@ -1,0 +1,45 @@
+"""Deployment cost model: devices, FLOPs/params accounting, latency simulation."""
+
+from .cost_model import (
+    FLOAT32_BYTES,
+    ModelCost,
+    TrainingCost,
+    estimate_activation_bytes,
+    estimate_flops,
+    make_training_cost,
+    model_cost,
+    training_memory_bytes,
+)
+from .devices import PHONE_ORDER, PHONES, PhoneSpec, all_phones, get_phone
+from .latency import (
+    LatencyMeasurement,
+    check_realtime_budget,
+    latency_by_phone,
+    latency_table,
+    model_latency,
+    phone_latency_profile,
+    simulate_latency,
+)
+
+__all__ = [
+    "PhoneSpec",
+    "PHONES",
+    "PHONE_ORDER",
+    "get_phone",
+    "all_phones",
+    "ModelCost",
+    "TrainingCost",
+    "FLOAT32_BYTES",
+    "model_cost",
+    "estimate_flops",
+    "estimate_activation_bytes",
+    "training_memory_bytes",
+    "make_training_cost",
+    "LatencyMeasurement",
+    "simulate_latency",
+    "model_latency",
+    "latency_table",
+    "latency_by_phone",
+    "check_realtime_budget",
+    "phone_latency_profile",
+]

@@ -1,0 +1,58 @@
+"""Mobile-device profiles (paper Table I).
+
+The paper deploys the trained models on five phones with ONNX Runtime and
+measures inference latency (Figure 13).  Physical phones are unavailable in
+the reproduction environment, so each phone is modelled by an *effective*
+sustained throughput (GFLOP/s for small-batch NN inference on the CPU) and a
+fixed per-inference runtime overhead.  Throughputs are ordered by SoC
+generation so that relative latencies across phones follow the paper's shape
+(older SoCs are slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..exceptions import DeploymentError
+
+
+@dataclass(frozen=True)
+class PhoneSpec:
+    """Hardware description of one evaluation phone."""
+
+    name: str
+    soc: str
+    memory_gb: int
+    disk_gb: int
+    effective_gflops: float
+    """Sustained single-core NN inference throughput (GFLOP/s), not peak."""
+
+    runtime_overhead_ms: float
+    """Fixed per-inference overhead of the runtime (graph dispatch, I/O)."""
+
+
+PHONES: Dict[str, PhoneSpec] = {
+    "mi6": PhoneSpec("Mi 6", "Snapdragon 835", 6, 64, effective_gflops=12.0, runtime_overhead_ms=1.6),
+    "pixel3xl": PhoneSpec("Pixel 3 XL", "Snapdragon 845", 4, 128, effective_gflops=16.0, runtime_overhead_ms=1.4),
+    "honorv9": PhoneSpec("Honor v9", "Kirin 960", 6, 64, effective_gflops=11.0, runtime_overhead_ms=1.7),
+    "mi10": PhoneSpec("Mi 10", "Snapdragon 870", 6, 128, effective_gflops=24.0, runtime_overhead_ms=1.1),
+    "mi11": PhoneSpec("Mi 11", "Snapdragon 888", 8, 256, effective_gflops=30.0, runtime_overhead_ms=1.0),
+}
+"""The five phones of Table I, keyed by a short identifier."""
+
+PHONE_ORDER: Tuple[str, ...] = ("mi6", "pixel3xl", "honorv9", "mi10", "mi11")
+"""Presentation order used in the paper's Table I and Figure 13."""
+
+
+def get_phone(name: str) -> PhoneSpec:
+    """Look up a phone by its short identifier (case-insensitive)."""
+    key = name.lower().replace(" ", "").replace("_", "")
+    if key not in PHONES:
+        raise DeploymentError(f"unknown phone {name!r}; available: {PHONE_ORDER}")
+    return PHONES[key]
+
+
+def all_phones() -> Tuple[PhoneSpec, ...]:
+    """All phone specs in presentation order."""
+    return tuple(PHONES[name] for name in PHONE_ORDER)

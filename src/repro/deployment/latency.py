@@ -1,0 +1,105 @@
+"""Inference-latency simulation on mobile phones (paper Figure 13).
+
+The latency of one inference (a single 1 x L x C window) on a phone is
+modelled as::
+
+    latency_ms = runtime_overhead_ms + flops / (effective_gflops * 1e6)
+
+The FLOPs come from the analytic cost model; phone throughputs come from
+:mod:`repro.deployment.devices`.  Absolute numbers are approximate, but the
+orderings the paper highlights — TPN fastest, Saga no slower than LIMU, and
+every method under ~12 ms even on the oldest phone — are structural
+consequences of the model sizes and therefore reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..exceptions import DeploymentError
+from ..nn.module import Module
+from .cost_model import estimate_flops
+from .devices import PhoneSpec, all_phones, get_phone
+
+
+@dataclass(frozen=True)
+class LatencyMeasurement:
+    """Simulated latency of one method on one phone."""
+
+    method: str
+    phone: str
+    latency_ms: float
+
+
+def simulate_latency(flops_per_window: float, phone: PhoneSpec) -> float:
+    """Latency (ms) of one window inference on ``phone``."""
+    if flops_per_window < 0:
+        raise DeploymentError("flops_per_window must be non-negative")
+    compute_ms = flops_per_window / (phone.effective_gflops * 1e6)
+    return phone.runtime_overhead_ms + compute_ms
+
+
+def model_latency(model: Module, window_length: int, phone: PhoneSpec) -> float:
+    """Latency of ``model`` for one ``window_length`` window on ``phone``."""
+    return simulate_latency(estimate_flops(model, window_length), phone)
+
+
+def latency_table(
+    models: Mapping[str, Module],
+    window_length: int,
+    phones: Optional[Iterable[PhoneSpec]] = None,
+) -> List[LatencyMeasurement]:
+    """Simulate the full Figure-13 grid: every method on every phone."""
+    phone_list = list(phones) if phones is not None else list(all_phones())
+    measurements: List[LatencyMeasurement] = []
+    for method, model in models.items():
+        flops = estimate_flops(model, window_length)
+        for phone in phone_list:
+            measurements.append(
+                LatencyMeasurement(
+                    method=method,
+                    phone=phone.name,
+                    latency_ms=simulate_latency(flops, phone),
+                )
+            )
+    return measurements
+
+
+def latency_by_phone(measurements: Iterable[LatencyMeasurement]) -> Dict[str, Dict[str, float]]:
+    """Pivot a list of measurements into ``phone -> method -> latency_ms``."""
+    table: Dict[str, Dict[str, float]] = {}
+    for measurement in measurements:
+        table.setdefault(measurement.phone, {})[measurement.method] = measurement.latency_ms
+    return table
+
+
+def check_realtime_budget(
+    measurements: Iterable[LatencyMeasurement], budget_ms: float = 12.0
+) -> bool:
+    """True when every measured latency is within the real-time budget.
+
+    The paper reports that all methods stay under 12 ms on all phones.
+    """
+    if budget_ms <= 0:
+        raise DeploymentError("budget_ms must be positive")
+    return all(measurement.latency_ms <= budget_ms for measurement in measurements)
+
+
+def phone_latency_profile(model: Module, window_length: int) -> Dict[str, float]:
+    """Latency of one model on every phone, keyed by phone name."""
+    return {
+        phone.name: model_latency(model, window_length, phone) for phone in all_phones()
+    }
+
+
+__all__ = [
+    "LatencyMeasurement",
+    "simulate_latency",
+    "model_latency",
+    "latency_table",
+    "latency_by_phone",
+    "check_realtime_budget",
+    "phone_latency_profile",
+    "get_phone",
+]

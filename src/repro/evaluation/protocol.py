@@ -1,0 +1,84 @@
+"""Evaluation protocol: tasks, dataset mapping, labelling rates (Tables II & III).
+
+Three downstream user-perception tasks are evaluated:
+
+* **AR** — activity recognition on HHAR and Motion;
+* **UA** — user authentication on HHAR and Shoaib;
+* **DP** — device-placement recognition on Shoaib.
+
+Each is evaluated at labelling rates of 5%, 10%, 15% and 20% of the training
+split; accuracy and macro-F1 are reported, optionally relative to a
+full-label reference (the paper normalises by LIMU trained on all labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..datasets.base import TASK_ACTIVITY, TASK_PLACEMENT, TASK_USER
+from ..exceptions import ConfigurationError
+
+LABELLING_RATES: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.20)
+"""The four labelling rates of the paper's evaluation."""
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One downstream user-perception task (a row of Table III)."""
+
+    code: str
+    description: str
+    label_field: str
+    datasets: Tuple[str, ...]
+
+
+TASKS: Dict[str, TaskSpec] = {
+    "AR": TaskSpec(
+        code="AR",
+        description="activity recognition",
+        label_field=TASK_ACTIVITY,
+        datasets=("hhar", "motion"),
+    ),
+    "UA": TaskSpec(
+        code="UA",
+        description="user authentication",
+        label_field=TASK_USER,
+        datasets=("hhar", "shoaib"),
+    ),
+    "DP": TaskSpec(
+        code="DP",
+        description="device placement recognition",
+        label_field=TASK_PLACEMENT,
+        datasets=("shoaib",),
+    ),
+}
+"""The three tasks of Table III, keyed by their paper code."""
+
+
+def get_task(code: str) -> TaskSpec:
+    """Look up a task by its paper code (AR / UA / DP, case-insensitive)."""
+    key = code.upper()
+    if key not in TASKS:
+        raise ConfigurationError(f"unknown task {code!r}; available: {sorted(TASKS)}")
+    return TASKS[key]
+
+
+def task_dataset_pairs() -> Tuple[Tuple[str, str], ...]:
+    """All (task code, dataset name) pairs evaluated by the paper (5 in total)."""
+    pairs = []
+    for code, spec in TASKS.items():
+        for dataset in spec.datasets:
+            pairs.append((code, dataset))
+    return tuple(pairs)
+
+
+def validate_pair(task_code: str, dataset_name: str) -> TaskSpec:
+    """Check that ``dataset_name`` is a valid evaluation dataset for ``task_code``."""
+    spec = get_task(task_code)
+    if dataset_name.lower() not in spec.datasets:
+        raise ConfigurationError(
+            f"task {task_code} is not evaluated on dataset {dataset_name!r}; "
+            f"valid datasets: {spec.datasets}"
+        )
+    return spec

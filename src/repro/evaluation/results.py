@@ -1,0 +1,163 @@
+"""Experiment result records, aggregation and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Outcome of one (method, task, dataset, labelling rate) evaluation."""
+
+    method: str
+    task: str
+    dataset: str
+    labelling_rate: float
+    accuracy: float
+    f1: float
+    num_train_samples: int
+    seed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def relative_to(self, reference_accuracy: float, reference_f1: float) -> "ExperimentRecord":
+        """Return a copy with accuracy/F1 expressed relative (%) to a reference."""
+        if reference_accuracy <= 0 or reference_f1 <= 0:
+            raise ValueError("reference metrics must be positive")
+        return ExperimentRecord(
+            method=self.method,
+            task=self.task,
+            dataset=self.dataset,
+            labelling_rate=self.labelling_rate,
+            accuracy=100.0 * self.accuracy / reference_accuracy,
+            f1=100.0 * self.f1 / reference_f1,
+            num_train_samples=self.num_train_samples,
+            seed=self.seed,
+            extra=dict(self.extra),
+        )
+
+
+class ResultTable:
+    """A flat collection of :class:`ExperimentRecord` objects with query helpers."""
+
+    def __init__(self, records: Optional[Iterable[ExperimentRecord]] = None) -> None:
+        self.records: List[ExperimentRecord] = list(records) if records is not None else []
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[ExperimentRecord]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[ExperimentRecord], bool]) -> "ResultTable":
+        return ResultTable(record for record in self.records if predicate(record))
+
+    def for_method(self, method: str) -> "ResultTable":
+        return self.filter(lambda record: record.method == method)
+
+    def for_rate(self, labelling_rate: float) -> "ResultTable":
+        return self.filter(lambda record: abs(record.labelling_rate - labelling_rate) < 1e-9)
+
+    def methods(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.method not in seen:
+                seen.append(record.method)
+        return seen
+
+    def accuracies(self) -> np.ndarray:
+        return np.asarray([record.accuracy for record in self.records])
+
+    def f1_scores(self) -> np.ndarray:
+        return np.asarray([record.f1 for record in self.records])
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def mean_by_method(self, metric: str = "accuracy") -> Dict[str, float]:
+        """Average the metric over everything except the method dimension."""
+        values: Dict[str, List[float]] = {}
+        for record in self.records:
+            values.setdefault(record.method, []).append(getattr(record, metric))
+        return {method: float(np.mean(vals)) for method, vals in values.items()}
+
+    def mean_by_method_and_rate(self, metric: str = "accuracy") -> Dict[str, Dict[float, float]]:
+        """Average the metric per (method, labelling rate) cell."""
+        values: Dict[str, Dict[float, List[float]]] = {}
+        for record in self.records:
+            values.setdefault(record.method, {}).setdefault(record.labelling_rate, []).append(
+                getattr(record, metric)
+            )
+        return {
+            method: {rate: float(np.mean(vals)) for rate, vals in by_rate.items()}
+            for method, by_rate in values.items()
+        }
+
+    def ranking(self, metric: str = "accuracy") -> List[str]:
+        """Methods ordered from best to worst mean metric."""
+        means = self.mean_by_method(metric)
+        return sorted(means, key=means.get, reverse=True)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Records as plain dicts (for JSON dumping or DataFrame-free analysis)."""
+        return [
+            {
+                "method": record.method,
+                "task": record.task,
+                "dataset": record.dataset,
+                "labelling_rate": record.labelling_rate,
+                "accuracy": record.accuracy,
+                "f1": record.f1,
+                "num_train_samples": record.num_train_samples,
+                "seed": record.seed,
+                **record.extra,
+            }
+            for record in self.records
+        ]
+
+    def format_table(self, metric: str = "accuracy", digits: int = 3) -> str:
+        """Render a ``method x labelling-rate`` text table of mean metric values."""
+        by_cell = self.mean_by_method_and_rate(metric)
+        rates = sorted({record.labelling_rate for record in self.records})
+        header = ["method"] + [f"{rate:.0%}" for rate in rates]
+        lines = ["  ".join(f"{cell:>12}" for cell in header)]
+        for method in self.methods():
+            row = [method]
+            for rate in rates:
+                value = by_cell.get(method, {}).get(rate)
+                row.append("-" if value is None else f"{value:.{digits}f}")
+            lines.append("  ".join(f"{cell:>12}" for cell in row))
+        return "\n".join(lines)
+
+
+def format_mapping_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    digits: int = 3,
+) -> str:
+    """Render a list of dict rows as an aligned text table (shared helper)."""
+    lines = ["  ".join(f"{column:>14}" for column in columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "-")
+            if isinstance(value, float):
+                cells.append(f"{value:.{digits}f}")
+            else:
+                cells.append(str(value))
+        lines.append("  ".join(f"{cell:>14}" for cell in cells))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Saga reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object contains invalid values."""
+
+
+class DataError(ReproError):
+    """Raised when dataset construction or loading fails validation."""
+
+
+class MaskingError(ReproError):
+    """Raised when a masking strategy cannot be applied to a window."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training loop encounters an unrecoverable condition."""
+
+
+class SearchError(ReproError):
+    """Raised when the Bayesian-Optimization weight search is misconfigured."""
+
+
+class DeploymentError(ReproError):
+    """Raised by the deployment cost model for unknown devices or models."""

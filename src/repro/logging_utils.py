@@ -1,0 +1,31 @@
+"""Library-wide logging configuration helpers."""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a child logger under the library's namespace."""
+    if name is None or name == _LIBRARY_LOGGER_NAME:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(f"{_LIBRARY_LOGGER_NAME}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a simple stream handler to the library logger (idempotent)."""
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

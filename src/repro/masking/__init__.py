@@ -1,0 +1,23 @@
+"""Multi-level semantic masking (the MM module of Saga)."""
+
+from .base import MaskResult, Masker, apply_mask, mask_batch
+from .multi import MASK_LEVELS, MultiLevelMasker, MultiLevelMaskingConfig
+from .period_level import PeriodLevelMasker
+from .point_level import PointLevelMasker, sample_span_length
+from .sensor_level import SensorLevelMasker
+from .subperiod_level import SubPeriodLevelMasker
+
+__all__ = [
+    "MaskResult",
+    "Masker",
+    "apply_mask",
+    "mask_batch",
+    "SensorLevelMasker",
+    "PointLevelMasker",
+    "sample_span_length",
+    "SubPeriodLevelMasker",
+    "PeriodLevelMasker",
+    "MultiLevelMasker",
+    "MultiLevelMaskingConfig",
+    "MASK_LEVELS",
+]

@@ -1,0 +1,89 @@
+"""Masking abstractions shared by the four semantic levels.
+
+A masker consumes a window ``x`` of shape ``(L_win, C)`` (or a batch
+``(N, L_win, C)``) and produces a :class:`MaskResult`: the masked window
+``x*`` (masked entries set to zero, Eq. 3–6 of the paper) together with a
+boolean mask marking which entries were removed.  The pre-training loss is
+computed only over the masked entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+import numpy as np
+
+from ..exceptions import MaskingError
+
+
+@dataclass
+class MaskResult:
+    """Masked window(s) plus the boolean mask of removed entries."""
+
+    masked: np.ndarray
+    """Window with masked entries zeroed, same shape as the input."""
+
+    mask: np.ndarray
+    """Boolean array, ``True`` where the entry was masked (removed)."""
+
+    level: str
+    """Name of the masking level that produced this result."""
+
+    @property
+    def masked_fraction(self) -> float:
+        """Fraction of entries that were masked."""
+        return float(self.mask.mean()) if self.mask.size else 0.0
+
+    def validate_against(self, original: np.ndarray) -> None:
+        """Check the core masking invariants against the original window."""
+        original = np.asarray(original, dtype=np.float64)
+        if self.masked.shape != original.shape or self.mask.shape != original.shape:
+            raise MaskingError("mask result shapes do not match the original window")
+        if not np.allclose(self.masked[~self.mask], original[~self.mask]):
+            raise MaskingError("unmasked entries were modified by the masker")
+        if not np.allclose(self.masked[self.mask], 0.0):
+            raise MaskingError("masked entries are not zeroed")
+
+
+class Masker(Protocol):
+    """Protocol implemented by the four level-specific maskers."""
+
+    level: str
+
+    def mask_window(self, window: np.ndarray, rng: np.random.Generator) -> MaskResult:
+        """Mask a single window of shape ``(L_win, C)``."""
+        ...
+
+
+def apply_mask(window: np.ndarray, mask: np.ndarray, level: str) -> MaskResult:
+    """Zero the entries selected by ``mask`` (Eq. 3–6: ``x_i * (1 - 1_mask(i))``)."""
+    window = np.asarray(window, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != window.shape:
+        raise MaskingError(
+            f"mask shape {mask.shape} does not match window shape {window.shape}"
+        )
+    masked = window.copy()
+    masked[mask] = 0.0
+    return MaskResult(masked=masked, mask=mask, level=level)
+
+
+def mask_batch(masker: Masker, windows: np.ndarray, rng: np.random.Generator) -> MaskResult:
+    """Apply a per-window masker independently to every window of a batch."""
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim == 2:
+        return masker.mask_window(windows, rng)
+    if windows.ndim != 3:
+        raise MaskingError(f"expected 2-D or 3-D input, got shape {windows.shape}")
+    masked_list: List[np.ndarray] = []
+    mask_list: List[np.ndarray] = []
+    for window in windows:
+        result = masker.mask_window(window, rng)
+        masked_list.append(result.masked)
+        mask_list.append(result.mask)
+    return MaskResult(
+        masked=np.stack(masked_list, axis=0),
+        mask=np.stack(mask_list, axis=0),
+        level=masker.level,
+    )

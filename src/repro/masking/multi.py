@@ -1,0 +1,114 @@
+"""Multi-level masking: the MM module of Saga (paper Section III / Figure 2).
+
+Given a batch of unlabelled windows, :class:`MultiLevelMasker` produces one
+masked copy per semantic level (``x_se``, ``x_po``, ``x_sp``, ``x_pe``).  The
+pre-trainer reconstructs all four and combines the per-level losses with the
+weights searched by the LWS module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import MaskingError
+from .base import MaskResult, Masker, mask_batch
+from .period_level import PeriodLevelMasker
+from .point_level import PointLevelMasker
+from .sensor_level import SensorLevelMasker
+from .subperiod_level import SubPeriodLevelMasker
+
+MASK_LEVELS: Tuple[str, ...] = ("sensor", "point", "subperiod", "period")
+"""Canonical ordering of the four semantic levels (se, po, sp, pe)."""
+
+
+@dataclass
+class MultiLevelMaskingConfig:
+    """Hyper-parameters of the four maskers."""
+
+    sensor_num_masked_axes: int = 1
+    point_success_probability: float = 0.3
+    point_max_span_length: int = 20
+    point_num_spans: int = 1
+    subperiod_filter_window: int = 5
+    subperiod_min_distance: int = 5
+    period_min_period: int = 4
+    period_max_fraction: float = 0.5
+    accel_axes: int = 3
+    levels: Tuple[str, ...] = MASK_LEVELS
+
+    def __post_init__(self) -> None:
+        unknown = set(self.levels) - set(MASK_LEVELS)
+        if unknown:
+            raise MaskingError(f"unknown masking levels: {sorted(unknown)}")
+        if not self.levels:
+            raise MaskingError("at least one masking level is required")
+
+
+class MultiLevelMasker:
+    """Produce all four level-specific masked copies of a batch of windows."""
+
+    def __init__(self, config: Optional[MultiLevelMaskingConfig] = None) -> None:
+        self.config = config if config is not None else MultiLevelMaskingConfig()
+        self._maskers: Dict[str, Masker] = {}
+        cfg = self.config
+        if "sensor" in cfg.levels:
+            self._maskers["sensor"] = SensorLevelMasker(num_masked_axes=cfg.sensor_num_masked_axes)
+        if "point" in cfg.levels:
+            self._maskers["point"] = PointLevelMasker(
+                success_probability=cfg.point_success_probability,
+                max_span_length=cfg.point_max_span_length,
+                num_spans=cfg.point_num_spans,
+            )
+        if "subperiod" in cfg.levels:
+            self._maskers["subperiod"] = SubPeriodLevelMasker(
+                filter_window=cfg.subperiod_filter_window,
+                min_distance=cfg.subperiod_min_distance,
+                accel_axes=cfg.accel_axes,
+            )
+        if "period" in cfg.levels:
+            self._maskers["period"] = PeriodLevelMasker(
+                min_period=cfg.period_min_period,
+                max_period_fraction=cfg.period_max_fraction,
+                accel_axes=cfg.accel_axes,
+            )
+
+    @property
+    def levels(self) -> Tuple[str, ...]:
+        """Active masking levels, in canonical order."""
+        return tuple(level for level in MASK_LEVELS if level in self._maskers)
+
+    def masker(self, level: str) -> Masker:
+        """Return the level-specific masker."""
+        if level not in self._maskers:
+            raise MaskingError(f"masking level {level!r} is not active; active: {self.levels}")
+        return self._maskers[level]
+
+    def mask_all_levels(
+        self,
+        windows: np.ndarray,
+        rng: np.random.Generator,
+        levels: Optional[Sequence[str]] = None,
+    ) -> Dict[str, MaskResult]:
+        """Mask ``windows`` once per active level.
+
+        Parameters
+        ----------
+        windows:
+            Batch of windows ``(N, L, C)`` (or a single window ``(L, C)``).
+        rng:
+            Random generator driving all stochastic choices.
+        levels:
+            Optional subset of levels to produce; defaults to all active ones.
+
+        Returns
+        -------
+        Mapping ``level -> MaskResult``.
+        """
+        selected = tuple(levels) if levels is not None else self.levels
+        unknown = set(selected) - set(self.levels)
+        if unknown:
+            raise MaskingError(f"requested inactive masking levels: {sorted(unknown)}")
+        return {level: mask_batch(self._maskers[level], windows, rng) for level in selected}

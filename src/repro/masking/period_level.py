@@ -1,0 +1,56 @@
+"""Period-level masking (paper Section IV-E).
+
+The main period of the window is identified from the maximum-amplitude
+frequency of the energy spectrum (``T_main = 1 / f_max``); the window is
+partitioned into consecutive main periods and one of them, chosen uniformly
+at random, is masked on all axes.  Reconstructing a whole period requires the
+backbone to capture the semantics of the complete periodic action.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MaskingError
+from ..signal.energy import acceleration_energy
+from ..signal.period import find_main_period, period_boundaries
+from .base import MaskResult, apply_mask
+
+
+class PeriodLevelMasker:
+    """Mask one full main period of the window (Eq. 6)."""
+
+    level = "period"
+
+    def __init__(
+        self,
+        min_period: int = 4,
+        max_period_fraction: float = 0.5,
+        accel_axes: int = 3,
+    ) -> None:
+        if min_period < 1:
+            raise MaskingError("min_period must be at least 1")
+        if not 0.0 < max_period_fraction <= 1.0:
+            raise MaskingError("max_period_fraction must be in (0, 1]")
+        self.min_period = min_period
+        self.max_period_fraction = max_period_fraction
+        self.accel_axes = accel_axes
+
+    def main_period(self, window: np.ndarray) -> int:
+        """Main period (in samples) of one window, capped by the masking budget."""
+        energy = acceleration_energy(window, accel_axes=self.accel_axes)
+        length = window.shape[0]
+        max_period = max(self.min_period, int(self.max_period_fraction * length))
+        analysis = find_main_period(energy, min_period=self.min_period, max_period=max_period)
+        return min(analysis.period, max_period)
+
+    def mask_window(self, window: np.ndarray, rng: np.random.Generator) -> MaskResult:
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise MaskingError(f"window must be 2-D (length, channels), got {window.shape}")
+        period = self.main_period(window)
+        intervals = period_boundaries(period, window.shape[0])
+        start, end = intervals[int(rng.integers(0, len(intervals)))]
+        mask = np.zeros_like(window, dtype=bool)
+        mask[start:end, :] = True
+        return apply_mask(window, mask, self.level)

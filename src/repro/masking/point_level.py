@@ -1,0 +1,60 @@
+"""Point-level (span) masking (paper Section IV-C).
+
+IMU data is continuous in time, so masking isolated points is trivially
+solvable by interpolation.  Following LIMU-BERT and SpanBERT, a contiguous
+span of time steps is masked on *all* axes: the span length is drawn from a
+geometric distribution clipped at ``l_max`` and the start position uniformly
+from the window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MaskingError
+from .base import MaskResult, apply_mask
+
+
+def sample_span_length(rng: np.random.Generator, success_probability: float, max_length: int) -> int:
+    """Draw a span length from ``Geo(p)`` clipped to ``[1, max_length]``."""
+    if not 0.0 < success_probability < 1.0:
+        raise MaskingError("success_probability must be in (0, 1)")
+    if max_length < 1:
+        raise MaskingError("max_length must be at least 1")
+    length = int(rng.geometric(success_probability))
+    return min(max(length, 1), max_length)
+
+
+class PointLevelMasker:
+    """Mask a contiguous span of time steps on all axes (Eq. 4)."""
+
+    level = "point"
+
+    def __init__(
+        self,
+        success_probability: float = 0.3,
+        max_span_length: int = 20,
+        num_spans: int = 1,
+    ) -> None:
+        if not 0.0 < success_probability < 1.0:
+            raise MaskingError("success_probability must be in (0, 1)")
+        if max_span_length < 1:
+            raise MaskingError("max_span_length must be at least 1")
+        if num_spans < 1:
+            raise MaskingError("num_spans must be at least 1")
+        self.success_probability = success_probability
+        self.max_span_length = max_span_length
+        self.num_spans = num_spans
+
+    def mask_window(self, window: np.ndarray, rng: np.random.Generator) -> MaskResult:
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise MaskingError(f"window must be 2-D (length, channels), got {window.shape}")
+        length = window.shape[0]
+        mask = np.zeros_like(window, dtype=bool)
+        for _ in range(self.num_spans):
+            span = sample_span_length(rng, self.success_probability, min(self.max_span_length, length))
+            start = int(rng.integers(0, length))
+            end = min(start + span, length)
+            mask[start:end, :] = True
+        return apply_mask(window, mask, self.level)

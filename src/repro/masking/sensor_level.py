@@ -1,0 +1,40 @@
+"""Sensor-level masking (paper Section IV-B).
+
+Masks the recordings of one or more randomly chosen sensor axes over the
+whole window, forcing the backbone to reconstruct one axis from the others —
+i.e. to learn the cross-axis dependencies that identify the underlying
+device and its orientation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MaskingError
+from .base import MaskResult, apply_mask
+
+
+class SensorLevelMasker:
+    """Mask entire sensor axes chosen uniformly at random (Eq. 3)."""
+
+    level = "sensor"
+
+    def __init__(self, num_masked_axes: int = 1) -> None:
+        if num_masked_axes <= 0:
+            raise MaskingError("num_masked_axes must be positive")
+        self.num_masked_axes = num_masked_axes
+
+    def mask_window(self, window: np.ndarray, rng: np.random.Generator) -> MaskResult:
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise MaskingError(f"window must be 2-D (length, channels), got {window.shape}")
+        num_channels = window.shape[1]
+        if self.num_masked_axes >= num_channels:
+            raise MaskingError(
+                f"cannot mask {self.num_masked_axes} axes of a {num_channels}-channel window"
+            )
+        # m_se ~ U[0, 3 N_se): sample the masked axis indices without replacement.
+        masked_axes = rng.choice(num_channels, size=self.num_masked_axes, replace=False)
+        mask = np.zeros_like(window, dtype=bool)
+        mask[:, masked_axes] = True
+        return apply_mask(window, mask, self.level)

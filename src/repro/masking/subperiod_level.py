@@ -1,0 +1,64 @@
+"""Sub-period-level masking (paper Section IV-D).
+
+The acceleration energy signal is partitioned into sub-periods delimited by
+the filtered peak/valley key points; one sub-period chosen uniformly at
+random is masked on all axes.  This forces the backbone to model the
+composition of actions within a gait cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MaskingError
+from ..signal.energy import acceleration_energy
+from ..signal.keypoints import find_key_points, subperiod_boundaries
+from .base import MaskResult, apply_mask
+
+
+class SubPeriodLevelMasker:
+    """Mask one sub-period between consecutive key points (Eq. 5)."""
+
+    level = "subperiod"
+
+    def __init__(
+        self,
+        filter_window: int = 5,
+        min_distance: int = 5,
+        accel_axes: int = 3,
+        max_masked_fraction: float = 0.5,
+    ) -> None:
+        if filter_window < 0 or min_distance < 0:
+            raise MaskingError("filter_window and min_distance must be non-negative")
+        if not 0.0 < max_masked_fraction <= 1.0:
+            raise MaskingError("max_masked_fraction must be in (0, 1]")
+        self.filter_window = filter_window
+        self.min_distance = min_distance
+        self.accel_axes = accel_axes
+        self.max_masked_fraction = max_masked_fraction
+
+    def partition(self, window: np.ndarray) -> list:
+        """Compute the sub-period ``(start, end)`` intervals of one window."""
+        energy = acceleration_energy(window, accel_axes=self.accel_axes)
+        key_points = find_key_points(
+            energy, filter_window=self.filter_window, min_distance=self.min_distance
+        )
+        return subperiod_boundaries(key_points, window.shape[0])
+
+    def mask_window(self, window: np.ndarray, rng: np.random.Generator) -> MaskResult:
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise MaskingError(f"window must be 2-D (length, channels), got {window.shape}")
+        intervals = self.partition(window)
+        if not intervals:
+            raise MaskingError("sub-period partition is empty")
+        # Prefer sub-periods that do not exceed the masking budget; if every
+        # sub-period is larger (e.g. a static window with no key points), fall
+        # back to the full candidate list so a mask is always produced.
+        length = window.shape[0]
+        budget = self.max_masked_fraction * length
+        candidates = [iv for iv in intervals if (iv[1] - iv[0]) <= budget] or intervals
+        start, end = candidates[int(rng.integers(0, len(candidates)))]
+        mask = np.zeros_like(window, dtype=bool)
+        mask[start:end, :] = True
+        return apply_mask(window, mask, self.level)

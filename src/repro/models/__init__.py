@@ -1,0 +1,23 @@
+"""Model definitions: backbone, reconstruction decoder, classifiers."""
+
+from .backbone import BackboneConfig, SagaBackbone
+from .classifier import GRUClassifier, MLPClassifier
+from .composite import (
+    ClassificationModel,
+    MaskedReconstructionModel,
+    build_classification_model,
+    build_pretraining_model,
+)
+from .decoder import ReconstructionDecoder
+
+__all__ = [
+    "BackboneConfig",
+    "SagaBackbone",
+    "ReconstructionDecoder",
+    "GRUClassifier",
+    "MLPClassifier",
+    "MaskedReconstructionModel",
+    "ClassificationModel",
+    "build_pretraining_model",
+    "build_classification_model",
+]

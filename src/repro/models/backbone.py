@@ -1,0 +1,97 @@
+"""Saga / LIMU-BERT backbone feature extractor.
+
+The backbone `M_B` (paper Sections III and V) is the LIMU-BERT encoder: the
+raw IMU window is linearly projected to the hidden dimension, learned
+positional embeddings are added, and a stack of 4 lightweight transformer
+blocks with hidden dimension 72 produces one representation per time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn import Dropout, LayerNorm, Linear, Module, PositionalEmbedding, Tensor, TransformerEncoder
+from ..nn.tensor import ensure_tensor
+
+
+@dataclass
+class BackboneConfig:
+    """Architecture of the backbone encoder (paper Section VII-A-1)."""
+
+    input_channels: int = 6
+    window_length: int = 120
+    hidden_dim: int = 72
+    num_layers: int = 4
+    num_heads: int = 4
+    intermediate_dim: int = 144
+    dropout: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.input_channels <= 0 or self.window_length <= 0:
+            raise ConfigurationError("input_channels and window_length must be positive")
+        if self.hidden_dim <= 0 or self.num_layers <= 0 or self.num_heads <= 0:
+            raise ConfigurationError("hidden_dim, num_layers and num_heads must be positive")
+        if self.hidden_dim % self.num_heads != 0:
+            raise ConfigurationError("hidden_dim must be divisible by num_heads")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigurationError("dropout must be in [0, 1)")
+
+
+class SagaBackbone(Module):
+    """LIMU-BERT-style transformer encoder over IMU windows.
+
+    Forward input: ``(batch, window_length, input_channels)``.
+    Forward output: ``(batch, window_length, hidden_dim)``.
+    """
+
+    def __init__(self, config: Optional[BackboneConfig] = None, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else BackboneConfig()
+        generator = rng if rng is not None else np.random.default_rng()
+        cfg = self.config
+        self.input_projection = Linear(cfg.input_channels, cfg.hidden_dim, rng=generator)
+        self.input_norm = LayerNorm(cfg.hidden_dim)
+        self.positional = PositionalEmbedding(cfg.window_length, cfg.hidden_dim, rng=generator)
+        self.embedding_dropout = Dropout(cfg.dropout, rng=generator)
+        self.encoder = TransformerEncoder(
+            num_layers=cfg.num_layers,
+            hidden_dim=cfg.hidden_dim,
+            num_heads=cfg.num_heads,
+            intermediate_dim=cfg.intermediate_dim,
+            dropout=cfg.dropout,
+            rng=generator,
+        )
+
+    def forward(self, windows, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = ensure_tensor(windows)
+        if x.ndim != 3:
+            raise ConfigurationError(
+                f"backbone expects input of shape (batch, length, channels), got {x.shape}"
+            )
+        if x.shape[2] != self.config.input_channels:
+            raise ConfigurationError(
+                f"backbone was built for {self.config.input_channels} channels, got {x.shape[2]}"
+            )
+        hidden = self.input_norm(self.input_projection(x))
+        hidden = self.positional(hidden)
+        hidden = self.embedding_dropout(hidden)
+        return self.encoder(hidden, attention_mask=attention_mask)
+
+    def representation(self, windows, pooling: str = "mean") -> Tensor:
+        """Window-level representation obtained by pooling over time.
+
+        ``mean`` pooling is the LIMU-BERT default; ``last`` takes the final
+        time step, ``max`` the elementwise maximum.
+        """
+        sequence = self.forward(windows)
+        if pooling == "mean":
+            return sequence.mean(axis=1)
+        if pooling == "last":
+            return sequence[:, -1, :]
+        if pooling == "max":
+            return sequence.max(axis=1)
+        raise ConfigurationError(f"unknown pooling {pooling!r}; use 'mean', 'last' or 'max'")

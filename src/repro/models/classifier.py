@@ -1,0 +1,77 @@
+"""Downstream classifier heads.
+
+The paper fine-tunes the backbone with a GRU classifier (Section VII-A-1).
+A simple MLP head is also provided for ablations and for the contrastive
+baselines' linear-evaluation protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn import GRU, Dropout, Linear, Module, Tensor
+from ..nn.tensor import ensure_tensor
+
+
+class GRUClassifier(Module):
+    """GRU over backbone representations followed by a linear class head."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_dim: int = 32,
+        num_layers: int = 1,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0 or num_classes <= 0 or hidden_dim <= 0:
+            raise ConfigurationError("input_dim, num_classes and hidden_dim must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.gru = GRU(input_dim, hidden_dim, num_layers=num_layers, rng=generator)
+        self.dropout = Dropout(dropout, rng=generator)
+        self.head = Linear(hidden_dim, num_classes, rng=generator)
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        """Return class logits ``(batch, num_classes)`` from ``(batch, length, input_dim)``."""
+        sequence = ensure_tensor(sequence)
+        if sequence.ndim != 3:
+            raise ConfigurationError(
+                f"classifier expects (batch, length, dim) input, got shape {sequence.shape}"
+            )
+        _, final_hidden = self.gru(sequence)
+        return self.head(self.dropout(final_hidden))
+
+
+class MLPClassifier(Module):
+    """Two-layer MLP over pooled (window-level) representations."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_dim: int = 64,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0 or num_classes <= 0 or hidden_dim <= 0:
+            raise ConfigurationError("input_dim, num_classes and hidden_dim must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        self.dense = Linear(input_dim, hidden_dim, rng=generator)
+        self.dropout = Dropout(dropout, rng=generator)
+        self.head = Linear(hidden_dim, num_classes, rng=generator)
+
+    def forward(self, features: Tensor) -> Tensor:
+        features = ensure_tensor(features)
+        if features.ndim != 2:
+            raise ConfigurationError(
+                f"MLP classifier expects (batch, dim) input, got shape {features.shape}"
+            )
+        return self.head(self.dropout(self.dense(features).relu()))

@@ -1,0 +1,114 @@
+"""Composite models wiring the backbone to pre-training and downstream heads."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn import Module, Tensor
+from .backbone import BackboneConfig, SagaBackbone
+from .classifier import GRUClassifier
+from .decoder import ReconstructionDecoder
+
+
+class MaskedReconstructionModel(Module):
+    """Backbone + reconstruction decoder used during pre-training.
+
+    The same decoder is shared across all four masking levels: the levels
+    differ only in *which* entries are masked, not in the reconstruction
+    head, so multi-task pre-training adds no extra model structure (this is
+    why Saga's parameter and disk costs equal LIMU's in Table IV).
+    """
+
+    def __init__(
+        self,
+        backbone: SagaBackbone,
+        decoder: Optional[ReconstructionDecoder] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.backbone = backbone
+        if decoder is None:
+            decoder = ReconstructionDecoder(
+                hidden_dim=backbone.config.hidden_dim,
+                output_channels=backbone.config.input_channels,
+                rng=rng,
+            )
+        if decoder.output_channels != backbone.config.input_channels:
+            raise ConfigurationError(
+                "decoder output channels must match the backbone input channels"
+            )
+        self.decoder = decoder
+
+    def forward(self, masked_windows) -> Tensor:
+        """Reconstruct the original window from a masked copy."""
+        return self.decoder(self.backbone(masked_windows))
+
+    def reconstruct_all_levels(self, masked_by_level: Mapping[str, np.ndarray]) -> Dict[str, Tensor]:
+        """Reconstruct one masked copy per level; returns ``level -> reconstruction``."""
+        return {level: self.forward(masked) for level, masked in masked_by_level.items()}
+
+
+class ClassificationModel(Module):
+    """Backbone + GRU classifier used for downstream fine-tuning and inference.
+
+    All parameters (backbone included) stay trainable during fine-tuning, as
+    in the paper ("All parameters are kept trainable during fine-tuning").
+    """
+
+    def __init__(
+        self,
+        backbone: SagaBackbone,
+        num_classes: int,
+        classifier_hidden_dim: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_classes <= 0:
+            raise ConfigurationError("num_classes must be positive")
+        self.backbone = backbone
+        self.num_classes = num_classes
+        self.classifier = GRUClassifier(
+            input_dim=backbone.config.hidden_dim,
+            num_classes=num_classes,
+            hidden_dim=classifier_hidden_dim,
+            rng=rng,
+        )
+
+    def forward(self, windows) -> Tensor:
+        """Return class logits for a batch of raw IMU windows."""
+        return self.classifier(self.backbone(windows))
+
+    def predict(self, windows) -> np.ndarray:
+        """Return hard class predictions (argmax over logits) without gradients."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.forward(windows)
+        finally:
+            self.train(was_training)
+        return logits.data.argmax(axis=-1)
+
+
+def build_pretraining_model(
+    config: Optional[BackboneConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> MaskedReconstructionModel:
+    """Construct a fresh backbone + decoder pair for pre-training."""
+    generator = rng if rng is not None else np.random.default_rng()
+    backbone = SagaBackbone(config, rng=generator)
+    return MaskedReconstructionModel(backbone, rng=generator)
+
+
+def build_classification_model(
+    backbone: SagaBackbone,
+    num_classes: int,
+    classifier_hidden_dim: int = 32,
+    rng: Optional[np.random.Generator] = None,
+) -> ClassificationModel:
+    """Attach a GRU classifier to an (optionally pre-trained) backbone."""
+    return ClassificationModel(
+        backbone, num_classes, classifier_hidden_dim=classifier_hidden_dim, rng=rng
+    )

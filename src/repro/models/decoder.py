@@ -1,0 +1,48 @@
+"""Reconstruction decoder used during masked pre-training.
+
+The pre-training objective regresses the original IMU values at the masked
+positions from the backbone representations.  Following LIMU-BERT, the
+decoder is a small per-time-step MLP projecting the hidden representation
+back to the raw channel dimension; it adds no parameters to the deployed
+model because only the backbone (plus classifier) is used at inference time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn import LayerNorm, Linear, Module, Tensor
+from ..nn.tensor import ensure_tensor
+
+
+class ReconstructionDecoder(Module):
+    """Per-time-step MLP mapping hidden representations back to IMU channels."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        output_channels: int,
+        intermediate_dim: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_dim <= 0 or output_channels <= 0:
+            raise ConfigurationError("hidden_dim and output_channels must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        intermediate = intermediate_dim if intermediate_dim is not None else hidden_dim
+        self.hidden_dim = hidden_dim
+        self.output_channels = output_channels
+        self.dense = Linear(hidden_dim, intermediate, rng=generator)
+        self.norm = LayerNorm(intermediate)
+        self.output = Linear(intermediate, output_channels, rng=generator)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        hidden = ensure_tensor(hidden)
+        if hidden.shape[-1] != self.hidden_dim:
+            raise ConfigurationError(
+                f"decoder expects hidden dim {self.hidden_dim}, got {hidden.shape[-1]}"
+            )
+        return self.output(self.norm(self.dense(hidden).gelu()))

@@ -1,0 +1,87 @@
+"""Minimal neural-network framework (autograd, layers, losses, optimizers).
+
+This package substitutes for PyTorch in the offline reproduction environment.
+See ``DESIGN.md`` for the substitution rationale.
+"""
+
+from . import functional
+from .attention import FeedForward, MultiHeadSelfAttention, TransformerBlock, TransformerEncoder
+from .conv import Conv1d, GlobalAveragePool1d, GlobalMaxPool1d
+from .layers import (
+    Dropout,
+    Embedding,
+    Flatten,
+    GELUActivation,
+    LayerNorm,
+    Linear,
+    PositionalEmbedding,
+    ReLUActivation,
+    TanhActivation,
+)
+from .losses import CrossEntropyLoss, MSELoss, NTXentLoss, WeightedReconstructionLoss
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, CosineAnnealingLR, LRScheduler, StepLR, WarmupLR, clip_grad_norm
+from .recurrent import GRU, GRUCell
+from .serialization import (
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+    state_dict_num_bytes,
+)
+from .tensor import Tensor, concatenate, ensure_tensor, stack, where
+from .utils import check_gradient, count_parameters, modules_allclose, numerical_gradient
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "concatenate",
+    "ensure_tensor",
+    "stack",
+    "where",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Embedding",
+    "PositionalEmbedding",
+    "Flatten",
+    "GELUActivation",
+    "ReLUActivation",
+    "TanhActivation",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "TransformerEncoder",
+    "GRU",
+    "GRUCell",
+    "Conv1d",
+    "GlobalMaxPool1d",
+    "GlobalAveragePool1d",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "NTXentLoss",
+    "WeightedReconstructionLoss",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+    "state_dict_num_bytes",
+    "count_parameters",
+    "parameter_summary",
+    "modules_allclose",
+    "numerical_gradient",
+    "check_gradient",
+]
+
+from .utils import parameter_summary  # noqa: E402  (re-export after __all__)

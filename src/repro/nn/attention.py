@@ -1,0 +1,143 @@
+"""Multi-head self-attention and transformer encoder blocks.
+
+The Saga backbone is the LIMU-BERT encoder: 4 lightweight transformer blocks
+with hidden dimension 72 (Section VII-A-1 of the paper).  The blocks here are
+standard post-norm transformer encoder blocks (attention -> add & norm ->
+feed-forward -> add & norm), matching the BERT reference the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module, ModuleList
+from .tensor import Tensor, ensure_tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with multiple heads."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_dim % num_heads != 0:
+            raise ValueError(
+                f"hidden_dim ({hidden_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.query = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.key = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.value = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.attention_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        """Reshape ``(batch, length, hidden)`` to ``(batch, heads, length, head_dim)``."""
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        """Reshape ``(batch, heads, length, head_dim)`` back to ``(batch, length, hidden)``."""
+        batch, _, length, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.hidden_dim)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = ensure_tensor(x)
+        queries = self._split_heads(self.query(x))
+        keys = self._split_heads(self.key(x))
+        values = self._split_heads(self.value(x))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * scale
+        if attention_mask is not None:
+            # attention_mask: (batch, length) with 1 for valid and 0 for padding.
+            mask = np.asarray(attention_mask, dtype=np.float64)
+            bias = (1.0 - mask)[:, None, None, :] * -1e9
+            scores = scores + Tensor(bias)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attention_dropout(weights)
+        context = weights.matmul(values)
+        return self.output(self._merge_heads(context))
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network with GELU activation."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        intermediate_dim: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dense_in = Linear(hidden_dim, intermediate_dim, rng=rng)
+        self.dense_out = Linear(intermediate_dim, hidden_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.dense_out(self.dense_in(x).gelu()))
+
+
+class TransformerBlock(Module):
+    """Post-norm transformer encoder block (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        intermediate_dim: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(hidden_dim, num_heads, dropout=dropout, rng=rng)
+        self.attention_norm = LayerNorm(hidden_dim)
+        self.feed_forward = FeedForward(hidden_dim, intermediate_dim, dropout=dropout, rng=rng)
+        self.output_norm = LayerNorm(hidden_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask)
+        x = self.attention_norm(x + self.dropout(attended))
+        x = self.output_norm(x + self.feed_forward(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of :class:`TransformerBlock` modules."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        hidden_dim: int,
+        num_heads: int,
+        intermediate_dim: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("TransformerEncoder requires at least one layer")
+        self.blocks = ModuleList(
+            [
+                TransformerBlock(hidden_dim, num_heads, intermediate_dim, dropout=dropout, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        for block in self.blocks:
+            x = block(x, attention_mask=attention_mask)
+        return x

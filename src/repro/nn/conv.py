@@ -1,0 +1,137 @@
+"""1-D convolution and pooling layers.
+
+These are used by the contrastive baselines (CL-HAR and TPN both use
+convolutional encoders over the IMU time axis in their reference
+implementations), not by the Saga backbone itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, ensure_tensor
+
+
+def _sliding_windows(data: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
+    """Extract sliding windows over the time axis.
+
+    ``data`` has shape ``(batch, length, channels)``; the result has shape
+    ``(batch, out_length, kernel_size, channels)``.
+    """
+    batch, length, channels = data.shape
+    out_length = (length - kernel_size) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(data, kernel_size, axis=1)
+    # sliding_window_view returns (batch, length - k + 1, channels, kernel);
+    # subsample by stride and reorder to (batch, out_length, kernel, channels).
+    windows = windows[:, ::stride][:, :out_length]
+    return np.ascontiguousarray(np.transpose(windows, (0, 1, 3, 2)))
+
+
+class Conv1d(Module):
+    """1-D convolution over sequences of shape ``(batch, length, in_channels)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        # Weight shape: (kernel_size * in_channels, out_channels) so the
+        # convolution reduces to an im2col matmul that autograd handles.
+        self.weight = Parameter(
+            init.kaiming_uniform((kernel_size * in_channels, out_channels), generator)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def output_length(self, input_length: int) -> int:
+        """Length of the time axis after convolution."""
+        padded = input_length + 2 * self.padding
+        return (padded - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        data = x.data
+        if self.padding > 0:
+            pad_width = ((0, 0), (self.padding, self.padding), (0, 0))
+            data = np.pad(data, pad_width)
+        batch, length, channels = data.shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {channels}"
+            )
+        out_length = (length - self.kernel_size) // self.stride + 1
+        if out_length <= 0:
+            raise ValueError(
+                f"kernel_size {self.kernel_size} too large for input length {length}"
+            )
+
+        windows = _sliding_windows(data, self.kernel_size, self.stride)
+        columns = windows.reshape(batch, out_length, self.kernel_size * channels)
+
+        columns_tensor = Tensor(
+            columns,
+            requires_grad=x.requires_grad,
+            _prev=(x,),
+            _op="im2col",
+        )
+
+        stride, kernel_size, padding = self.stride, self.kernel_size, self.padding
+        input_shape = x.data.shape
+
+        def _backward() -> None:
+            if columns_tensor.grad is None or not x.requires_grad:
+                return
+            grad_cols = columns_tensor.grad.reshape(batch, out_length, kernel_size, channels)
+            grad_padded = np.zeros((batch, length, channels))
+            for window_index in range(out_length):
+                start = window_index * stride
+                grad_padded[:, start:start + kernel_size, :] += grad_cols[:, window_index]
+            if padding > 0:
+                grad_input = grad_padded[:, padding:padding + input_shape[1], :]
+            else:
+                grad_input = grad_padded
+            x._accumulate_grad(grad_input)
+
+        columns_tensor._backward = _backward
+
+        out = columns_tensor.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv1d(in={self.in_channels}, out={self.out_channels}, "
+            f"kernel={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )
+
+
+class GlobalMaxPool1d(Module):
+    """Max pooling over the entire time axis: ``(batch, length, channels) -> (batch, channels)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).max(axis=1)
+
+
+class GlobalAveragePool1d(Module):
+    """Average pooling over the entire time axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).mean(axis=1)

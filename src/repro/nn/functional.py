@@ -1,0 +1,105 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+These mirror the subset of ``torch.nn.functional`` that the Saga models and
+baselines need: softmax, log-softmax, layer normalisation, dropout, one-hot
+encoding, and the masked reconstruction helpers used during pre-training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = ensure_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    return ensure_tensor(x).relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    return ensure_tensor(x).gelu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return ensure_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return ensure_tensor(x).tanh()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalised = (x - mean) * ((var + eps) ** -0.5)
+    return normalised * weight + bias
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: active only while training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError(f"dropout probability must be < 1, got {p}")
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels ``(N,)`` as a one-hot matrix ``(N, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for the requested number of classes")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def masked_mse(prediction: Tensor, target: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean squared error, optionally restricted to the masked positions.
+
+    The paper's reconstruction loss (Section V-A) averages the squared error
+    over the window; when ``mask`` is provided we average only over the
+    positions that were actually masked, which is the behaviour of the
+    LIMU-BERT reference implementation Saga builds on.
+    """
+    prediction, target = ensure_tensor(prediction), ensure_tensor(target)
+    diff = prediction - target
+    squared = diff * diff
+    if mask is None:
+        return squared.mean()
+    mask = np.asarray(mask, dtype=np.float64)
+    masked_count = float(mask.sum())
+    if masked_count == 0:
+        return squared.mean() * 0.0
+    return (squared * Tensor(mask)).sum() * (1.0 / masked_count)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """Cosine similarity along ``axis``."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps) ** 0.5
+    norm_b = ((b * b).sum(axis=axis) + eps) ** 0.5
+    return dot / (norm_a * norm_b)

@@ -1,0 +1,53 @@
+"""Weight initialisation schemes for :mod:`repro.nn` modules."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Fan-in and fan-out are taken from the last two dimensions, matching the
+    PyTorch convention for linear layers.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation (fan-in mode, ReLU gain)."""
+    fan_in = shape[0] if len(shape) < 2 else shape[-2]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small-variance normal initialisation (BERT-style)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, layer-norm offsets)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (layer-norm scales)."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,161 @@
+"""Core layers: Linear, LayerNorm, Dropout, Embedding, PositionalEmbedding.
+
+These are the building blocks of the LIMU-BERT-style backbone used by Saga
+(Section V of the paper: 4 lightweight transformer blocks, hidden dim 72).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, ensure_tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        generator = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), generator))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learnable scale/offset."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(ensure_tensor(x), self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(ensure_tensor(x), self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), generator))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.weight[indices]
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class PositionalEmbedding(Module):
+    """Learned positional embedding added to the projected IMU sequence.
+
+    LIMU-BERT (and therefore Saga) uses learned positional embeddings over the
+    fixed window length ``L_win`` rather than sinusoidal encodings.
+    """
+
+    def __init__(self, max_length: int, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        self.max_length = max_length
+        self.dim = dim
+        self.weight = Parameter(init.normal((max_length, dim), generator))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Add positional embeddings to ``x`` of shape ``(batch, length, dim)``."""
+        x = ensure_tensor(x)
+        length = x.shape[-2]
+        if length > self.max_length:
+            raise ValueError(
+                f"sequence length {length} exceeds maximum positional length {self.max_length}"
+            )
+        return x + self.weight[np.arange(length)]
+
+    def __repr__(self) -> str:
+        return f"PositionalEmbedding(max_length={self.max_length}, dim={self.dim})"
+
+
+class GELUActivation(Module):
+    """GELU as a module (for use inside Sequential stacks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).gelu()
+
+
+class ReLUActivation(Module):
+    """ReLU as a module (for use inside Sequential stacks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).relu()
+
+
+class TanhActivation(Module):
+    """Tanh as a module (for use inside Sequential stacks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).tanh()
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        batch = x.shape[0]
+        return x.reshape(batch, int(np.prod(x.shape[1:])))

@@ -1,0 +1,132 @@
+"""Loss functions used across pre-training, fine-tuning and the baselines.
+
+* :class:`MSELoss` — masked-reconstruction pre-training (paper Eq. in V-A).
+* :class:`CrossEntropyLoss` — downstream classifier fine-tuning (paper Eq. 8).
+* :class:`NTXentLoss` — normalised temperature-scaled cross-entropy used by the
+  CL-HAR contrastive baseline (SimCLR-style).
+* :class:`WeightedReconstructionLoss` — the weighted sum of the four per-level
+  reconstruction losses (paper Eq. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor, concatenate, ensure_tensor
+
+
+class MSELoss(Module):
+    """Mean squared error, optionally restricted to masked positions."""
+
+    def forward(
+        self,
+        prediction: Tensor,
+        target: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        return F.masked_mse(prediction, target, mask=mask)
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy over logits with integer class labels (paper Eq. 8)."""
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        logits = ensure_tensor(logits)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ValueError("labels must be 1-D and match the batch dimension of logits")
+        num_classes = logits.shape[1]
+        log_probs = F.log_softmax(logits, axis=-1)
+        target = F.one_hot(labels, num_classes)
+        return -(log_probs * Tensor(target)).sum() * (1.0 / labels.shape[0])
+
+
+class NTXentLoss(Module):
+    """Normalised temperature-scaled cross-entropy (SimCLR / CL-HAR).
+
+    Given two batches of projections ``z1`` and ``z2`` where ``z1[i]`` and
+    ``z2[i]`` are two augmented views of the same IMU window, each view is
+    attracted to its positive pair and repelled from the other ``2N - 2``
+    samples in the combined batch.
+    """
+
+    def __init__(self, temperature: float = 0.5) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def forward(self, z1: Tensor, z2: Tensor) -> Tensor:
+        z1, z2 = ensure_tensor(z1), ensure_tensor(z2)
+        if z1.shape != z2.shape:
+            raise ValueError("the two views must have identical shapes")
+        batch = z1.shape[0]
+        z = concatenate([z1, z2], axis=0)
+        # L2-normalise each projection.
+        norms = ((z * z).sum(axis=-1, keepdims=True) + 1e-12) ** 0.5
+        z = z / norms
+        similarity = z.matmul(z.transpose()) * (1.0 / self.temperature)
+        # Mask out self-similarity with a large negative constant.
+        self_mask = np.eye(2 * batch) * -1e9
+        similarity = similarity + Tensor(self_mask)
+        positives = np.concatenate([np.arange(batch, 2 * batch), np.arange(0, batch)])
+        log_probs = F.log_softmax(similarity, axis=-1)
+        target = F.one_hot(positives, 2 * batch)
+        return -(log_probs * Tensor(target)).sum() * (1.0 / (2 * batch))
+
+
+class WeightedReconstructionLoss(Module):
+    """Weighted combination of per-level reconstruction losses (paper Eq. 7).
+
+    ``L = w_se * L_se + w_po * L_po + w_sp * L_sp + w_pe * L_pe``
+    """
+
+    def __init__(self, level_names: Optional[tuple] = None) -> None:
+        super().__init__()
+        self.level_names = tuple(level_names) if level_names is not None else (
+            "sensor", "point", "subperiod", "period",
+        )
+        self.mse = MSELoss()
+
+    def forward(
+        self,
+        per_level_losses: Mapping[str, Tensor],
+        weights: Mapping[str, float],
+    ) -> Tensor:
+        """Combine already-computed per-level losses with the given weights."""
+        unknown = set(per_level_losses) - set(self.level_names)
+        if unknown:
+            raise KeyError(f"unknown loss levels: {sorted(unknown)}")
+        total: Optional[Tensor] = None
+        for level in self.level_names:
+            if level not in per_level_losses:
+                continue
+            weight = float(weights.get(level, 0.0))
+            term = per_level_losses[level] * weight
+            total = term if total is None else total + term
+        if total is None:
+            raise ValueError("no per-level losses were provided")
+        return total
+
+    def compute(
+        self,
+        reconstructions: Mapping[str, Tensor],
+        target: Tensor,
+        masks: Mapping[str, np.ndarray],
+        weights: Mapping[str, float],
+    ) -> Dict[str, Tensor]:
+        """Compute per-level masked MSE losses plus the weighted total.
+
+        Returns a dict with one entry per level plus the key ``"total"``.
+        """
+        per_level: Dict[str, Tensor] = {}
+        for level, reconstruction in reconstructions.items():
+            per_level[level] = self.mse(reconstruction, target, mask=masks.get(level))
+        per_level["total"] = self.forward(per_level, weights)
+        return per_level

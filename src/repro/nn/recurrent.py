@@ -1,0 +1,119 @@
+"""Recurrent layers: GRU cell and multi-step GRU.
+
+The paper fine-tunes the pre-trained backbone with a GRU classifier head
+(Section VII-A-1: "we opt for a GRU classifier, as it has demonstrated
+superior performance in classification tasks according to [LIMU-BERT]").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate, ensure_tensor
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit.
+
+    Gates follow the standard formulation::
+
+        r = sigmoid(x W_ir + h W_hr + b_r)
+        z = sigmoid(x W_iz + h W_hz + b_z)
+        n = tanh(x W_in + r * (h W_hn) + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        generator = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Input-to-hidden and hidden-to-hidden weights for the three gates,
+        # packed as single matrices for efficiency: columns are [r | z | n].
+        self.weight_ih = Parameter(init.xavier_uniform((input_dim, 3 * hidden_dim), generator))
+        self.weight_hh = Parameter(init.xavier_uniform((hidden_dim, 3 * hidden_dim), generator))
+        self.bias_ih = Parameter(init.zeros((3 * hidden_dim,)))
+        self.bias_hh = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        x, hidden = ensure_tensor(x), ensure_tensor(hidden)
+        gates_x = x.matmul(self.weight_ih) + self.bias_ih
+        gates_h = hidden.matmul(self.weight_hh) + self.bias_hh
+        h = self.hidden_dim
+        reset = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
+        update = (gates_x[:, h:2 * h] + gates_h[:, h:2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h:] + reset * gates_h[:, 2 * h:]).tanh()
+        one = Tensor(np.ones_like(update.data))
+        return (one - update) * candidate + update * hidden
+
+
+class GRU(Module):
+    """Multi-step (optionally multi-layer) GRU over sequences ``(batch, length, dim)``."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("GRU requires at least one layer")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        for layer_index in range(num_layers):
+            cell_input = input_dim if layer_index == 0 else hidden_dim
+            setattr(self, f"cell{layer_index}", GRUCell(cell_input, hidden_dim, rng=rng))
+
+    def _cell(self, layer_index: int) -> GRUCell:
+        return getattr(self, f"cell{layer_index}")
+
+    def forward(
+        self,
+        x: Tensor,
+        initial_hidden: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Run the GRU over a full sequence.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, length, input_dim)``.
+        initial_hidden:
+            Optional initial hidden state of shape ``(num_layers, batch, hidden_dim)``.
+
+        Returns
+        -------
+        outputs:
+            Hidden states of the top layer at every step, ``(batch, length, hidden_dim)``.
+        final_hidden:
+            Final hidden state of the top layer, ``(batch, hidden_dim)``.
+        """
+        x = ensure_tensor(x)
+        batch, length, _ = x.shape
+        hiddens = []
+        for layer_index in range(self.num_layers):
+            if initial_hidden is not None:
+                hiddens.append(initial_hidden[layer_index])
+            else:
+                hiddens.append(Tensor(np.zeros((batch, self.hidden_dim))))
+
+        layer_input_steps = [x[:, t, :] for t in range(length)]
+        for layer_index in range(self.num_layers):
+            cell = self._cell(layer_index)
+            hidden = hiddens[layer_index]
+            outputs = []
+            for step_input in layer_input_steps:
+                hidden = cell(step_input, hidden)
+                outputs.append(hidden)
+            hiddens[layer_index] = hidden
+            layer_input_steps = outputs
+
+        stacked = concatenate([h.expand_dims(1) for h in layer_input_steps], axis=1)
+        return stacked, hiddens[-1]

@@ -1,0 +1,72 @@
+"""Model checkpoint serialization.
+
+State dicts are flat ``{name: ndarray}`` mappings saved as ``.npz`` archives,
+so checkpoints are portable and need no pickling of custom classes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+_METADATA_KEY = "__metadata_json__"
+
+
+def save_state_dict(
+    state: Dict[str, np.ndarray],
+    path: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Save a state dict (plus optional JSON-serialisable metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **payload)
+    # np.savez appends ".npz" when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: PathLike) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Load a state dict and its metadata from an ``.npz`` checkpoint."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+        metadata: Dict[str, Any] = {}
+        if _METADATA_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_METADATA_KEY].tobytes()).decode("utf-8"))
+    return state, metadata
+
+
+def save_module(module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Save a module's parameters to ``path``."""
+    return save_state_dict(module.state_dict(), path, metadata=metadata)
+
+
+def load_module(module: Module, path: PathLike, strict: bool = True) -> Dict[str, Any]:
+    """Load parameters into ``module`` from ``path``; returns the stored metadata."""
+    state, metadata = load_state_dict(path)
+    module.load_state_dict(state, strict=strict)
+    return metadata
+
+
+def state_dict_num_bytes(state: Dict[str, np.ndarray], dtype_bytes: int = 4) -> int:
+    """Size of a state dict on disk assuming ``dtype_bytes`` per scalar.
+
+    The paper reports model disk sizes for float32 checkpoints (Table IV), so
+    the default is 4 bytes per parameter even though the in-memory arrays here
+    are float64.
+    """
+    return sum(array.size * dtype_bytes for array in state.values())

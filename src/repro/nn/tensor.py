@@ -1,0 +1,693 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper's
+reference implementation uses PyTorch; this reproduction runs in an offline
+environment without PyTorch, so a small but complete autograd engine is
+provided instead.  The engine supports every operation required by the Saga
+models (transformer encoder, GRU classifier, reconstruction decoder) and the
+baselines (CL-HAR contrastive projector, TPN multi-head transform classifier).
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``numpy.ndarray`` (``float64`` by default) and
+  records the operations that produced it.  Calling :meth:`Tensor.backward`
+  performs a topological sort of the recorded graph and accumulates gradients
+  into ``Tensor.grad`` for every tensor with ``requires_grad=True``.
+* Broadcasting follows numpy semantics; gradients of broadcast operands are
+  reduced back to the operand shape by :func:`unbroadcast`.
+* The engine is intentionally eager and define-by-run, mirroring PyTorch, so
+  the model code in :mod:`repro.models` reads almost identically to the
+  paper's reference PyTorch code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def set_default_dtype(dtype: np.dtype) -> None:
+    """Set the dtype used when constructing tensors from python scalars/lists."""
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = np.dtype(dtype)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the current default floating dtype for new tensors."""
+    return np.dtype(_DEFAULT_DTYPE)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    When an operand of shape ``shape`` was broadcast to the shape of ``grad``
+    during the forward pass, the gradient flowing back must be summed over the
+    broadcast dimensions.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value, dtype=dtype if dtype is not None else None)
+    if arr.dtype.kind in "iub":
+        arr = arr.astype(_DEFAULT_DTYPE)
+    return arr
+
+
+def ensure_tensor(value: ArrayLike) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy if already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+class Tensor:
+    """A multi-dimensional array with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op", "name")
+    __array_priority__ = 200  # ensure numpy defers to Tensor's operators
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Iterable["Tensor"] = (),
+        _op: str = "",
+        name: Optional[str] = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = tuple(_prev)
+        self._op: str = _op
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_fn = f", op={self._op!r}" if self._op else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{grad_fn})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a detached deep copy of this tensor."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph management
+    # ------------------------------------------------------------------
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.  If
+            omitted, this tensor must be a scalar and the seed gradient is 1.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor; "
+                    f"got shape {self.shape}"
+                )
+            seed = np.ones_like(self.data)
+        else:
+            seed = _as_array(grad)
+            if seed.shape != self.data.shape:
+                seed = np.broadcast_to(seed, self.data.shape).copy()
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self.grad = seed if self.grad is None else self.grad + seed
+        for node in reversed(topo):
+            node._backward()
+
+    @staticmethod
+    def _needs_grad(*tensors: "Tensor") -> bool:
+        return any(t.requires_grad for t in tensors)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+            _op="add",
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate_grad(unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate_grad(unbroadcast(out.grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-ensure_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+            _op="mul",
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if self.requires_grad:
+                self._accumulate_grad(unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate_grad(unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = ensure_tensor(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return ensure_tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out = Tensor(
+            self.data ** exponent,
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="pow",
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product following numpy ``@`` semantics (with batching)."""
+        other = ensure_tensor(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+            _op="matmul",
+        )
+
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            grad = out.grad
+            a, b = self.data, other.data
+            if self.requires_grad:
+                if b.ndim == 1:
+                    grad_a = np.expand_dims(grad, -1) * b
+                elif a.ndim == 1:
+                    grad_a = grad @ np.swapaxes(b, -1, -2)
+                else:
+                    grad_a = grad @ np.swapaxes(b, -1, -2)
+                self._accumulate_grad(unbroadcast(grad_a, self.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    grad_b = np.expand_dims(a, -1) * grad
+                elif b.ndim == 1:
+                    grad_b = np.swapaxes(a, -1, -2) @ grad if grad.ndim > 1 else a.T @ grad
+                else:
+                    grad_b = np.swapaxes(a, -1, -2) @ grad
+                other._accumulate_grad(unbroadcast(grad_b, other.shape))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="exp")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * out_data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,), _op="log")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="tanh")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * (1.0 - out_data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="sigmoid")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * out_data * (1.0 - out_data))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,), _op="relu")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian Error Linear Unit (tanh approximation, as used by BERT)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        tanh_inner = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh_inner)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="gelu")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            sech2 = 1.0 - tanh_inner ** 2
+            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            self._accumulate_grad(out.grad * grad)
+
+        out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,), _op="abs")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * sign)
+
+        out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values into ``[low, high]`` (gradient is passed only inside the range)."""
+        clipped = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+        out = Tensor(clipped, requires_grad=self.requires_grad, _prev=(self,), _op="clip")
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad * mask)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="sum",
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+            self._accumulate_grad(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="max")
+        if axis is None:
+            mask = (self.data == self.data.max()).astype(self.data.dtype)
+        else:
+            mask = (self.data == self.data.max(axis=axis, keepdims=True)).astype(self.data.dtype)
+        mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate_grad(mask * grad)
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        out = Tensor(
+            self.data.reshape(shape),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="reshape",
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad.reshape(original_shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out = Tensor(
+            self.data.transpose(axes),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="transpose",
+        )
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor(
+            self.data[index],
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="getitem",
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate_grad(grad)
+
+        out._backward = _backward
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = Tensor(
+            np.expand_dims(self.data, axis),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="expand_dims",
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(np.squeeze(out.grad, axis=axis))
+
+        out._backward = _backward
+        return out
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        original_shape = self.shape
+        out = Tensor(
+            np.squeeze(self.data, axis=axis) if axis is not None else np.squeeze(self.data),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="squeeze",
+        )
+
+        def _backward() -> None:
+            if out.grad is None or not self.requires_grad:
+                return
+            self._accumulate_grad(out.grad.reshape(original_shape))
+
+        out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (return plain numpy arrays, no gradient)
+    # ------------------------------------------------------------------
+    def argmax(self, axis: Optional[int] = None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+
+# ----------------------------------------------------------------------
+# Free functions that combine several tensors
+# ----------------------------------------------------------------------
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate a sequence of tensors along ``axis`` with gradient support."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in tensors),
+        _prev=tuple(tensors),
+        _op="concatenate",
+    )
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            slicer = [slice(None)] * out.grad.ndim
+            slicer[axis] = slice(start, end)
+            tensor._accumulate_grad(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = Tensor(
+        data,
+        requires_grad=any(t.requires_grad for t in tensors),
+        _prev=tuple(tensors),
+        _op="stack",
+    )
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for tensor, grad in zip(tensors, grads):
+            if tensor.requires_grad:
+                tensor._accumulate_grad(np.squeeze(grad, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise selection: ``condition ? a : b`` with gradient support."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out = Tensor(
+        np.where(cond, a.data, b.data),
+        requires_grad=Tensor._needs_grad(a, b),
+        _prev=(a, b),
+        _op="where",
+    )
+
+    def _backward() -> None:
+        if out.grad is None:
+            return
+        if a.requires_grad:
+            a._accumulate_grad(unbroadcast(out.grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate_grad(unbroadcast(out.grad * (~cond), b.shape))
+
+    out._backward = _backward
+    return out
+
+
+def no_grad_tensor(data: ArrayLike) -> Tensor:
+    """Construct a tensor that never requires gradient (convenience helper)."""
+    return Tensor(data, requires_grad=False)

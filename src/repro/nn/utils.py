@@ -1,0 +1,73 @@
+"""Utilities for inspecting and comparing modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor
+
+
+def count_parameters(module: Module) -> int:
+    """Number of scalar trainable parameters in ``module``."""
+    return module.num_parameters()
+
+
+def parameter_summary(module: Module) -> Dict[str, Tuple[int, ...]]:
+    """Mapping ``parameter name -> shape`` for every parameter in ``module``."""
+    return {name: tuple(param.shape) for name, param in module.named_parameters()}
+
+
+def modules_allclose(a: Module, b: Module, atol: float = 1e-8) -> bool:
+    """True if two modules have identical parameter names and near-equal values."""
+    state_a, state_b = a.state_dict(), b.state_dict()
+    if set(state_a) != set(state_b):
+        return False
+    return all(np.allclose(state_a[name], state_b[name], atol=atol) for name in state_a)
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function of ``x``.
+
+    Used by the test-suite to verify the autograd engine against finite
+    differences.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for index in range(flat_x.size):
+        original = flat_x[index]
+        flat_x[index] = original + eps
+        plus = func(x)
+        flat_x[index] = original - eps
+        minus = func(x)
+        flat_x[index] = original
+        flat_grad[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(
+    func: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare the autograd gradient of ``func`` with finite differences."""
+    tensor = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    output = func(tensor)
+    output.backward()
+    analytic = tensor.grad
+
+    def scalar_func(values: np.ndarray) -> float:
+        return float(func(Tensor(values)).data)
+
+    numeric = numerical_gradient(scalar_func, np.asarray(x, dtype=np.float64), eps=eps)
+    return np.allclose(analytic, numeric, atol=atol, rtol=rtol)

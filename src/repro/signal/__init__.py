@@ -1,0 +1,59 @@
+"""IMU signal-processing substrate (energy, key points, periods, preprocessing)."""
+
+from .augmentations import (
+    AUGMENTATION_REGISTRY,
+    channel_shuffle,
+    compose,
+    get_augmentation,
+    jitter,
+    magnitude_warp,
+    negation,
+    permutation,
+    rotation,
+    scaling,
+    time_reversal,
+    time_warp,
+)
+from .energy import acceleration_energy, normalized_energy
+from .keypoints import (
+    KeyPoints,
+    filter_extrema,
+    find_key_points,
+    local_maxima,
+    local_minima,
+    subperiod_boundaries,
+)
+from .period import MainPeriod, find_main_period, magnitude_spectrum, period_boundaries
+from .preprocessing import GRAVITY, downsample, normalize_imu, slice_windows, standardize
+
+__all__ = [
+    "acceleration_energy",
+    "normalized_energy",
+    "KeyPoints",
+    "local_maxima",
+    "local_minima",
+    "filter_extrema",
+    "find_key_points",
+    "subperiod_boundaries",
+    "MainPeriod",
+    "magnitude_spectrum",
+    "find_main_period",
+    "period_boundaries",
+    "GRAVITY",
+    "downsample",
+    "slice_windows",
+    "normalize_imu",
+    "standardize",
+    "AUGMENTATION_REGISTRY",
+    "get_augmentation",
+    "compose",
+    "jitter",
+    "scaling",
+    "negation",
+    "time_reversal",
+    "channel_shuffle",
+    "rotation",
+    "permutation",
+    "time_warp",
+    "magnitude_warp",
+]

@@ -1,0 +1,184 @@
+"""IMU data augmentations used by the contrastive baselines (CL-HAR, TPN).
+
+The paper's baselines rely on "complete data augmentations" — transformations
+that can be expressed entirely in terms of the original observations and
+known physical states (Section VII-A-3).  The standard augmentation set from
+the TPN / CL-HAR literature is provided: jitter, scaling, rotation, axis
+permutation, time-warping, magnitude-warping, channel shuffling and negation.
+
+Every augmentation takes and returns an array of shape ``(L, C)`` or a batch
+``(N, L, C)`` and leaves its input untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+def _apply_per_window(
+    windows: np.ndarray,
+    func: Callable[[np.ndarray, np.random.Generator], np.ndarray],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim == 2:
+        return func(windows, rng)
+    if windows.ndim == 3:
+        return np.stack([func(window, rng) for window in windows], axis=0)
+    raise ValueError(f"expected 2-D or 3-D input, got shape {windows.shape}")
+
+
+def jitter(windows: np.ndarray, rng: np.random.Generator, sigma: float = 0.05) -> np.ndarray:
+    """Add zero-mean Gaussian noise to every sample."""
+    windows = np.asarray(windows, dtype=np.float64)
+    return windows + rng.normal(0.0, sigma, size=windows.shape)
+
+
+def scaling(windows: np.ndarray, rng: np.random.Generator, sigma: float = 0.1) -> np.ndarray:
+    """Multiply each channel by a random factor close to 1."""
+
+    def _scale(window: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+        factors = generator.normal(1.0, sigma, size=(1, window.shape[1]))
+        return window * factors
+
+    return _apply_per_window(windows, _scale, rng)
+
+
+def negation(windows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Negate the signal (mirror about zero)."""
+    del rng  # deterministic transform; signature kept uniform
+    return -np.asarray(windows, dtype=np.float64)
+
+
+def time_reversal(windows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Reverse the time axis."""
+    del rng
+    windows = np.asarray(windows, dtype=np.float64)
+    return windows[..., ::-1, :].copy()
+
+
+def channel_shuffle(windows: np.ndarray, rng: np.random.Generator, group_size: int = 3) -> np.ndarray:
+    """Randomly permute axes within each sensor triad (e.g. acc_x/acc_y/acc_z)."""
+
+    def _shuffle(window: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+        result = window.copy()
+        channels = window.shape[1]
+        for start in range(0, channels - channels % group_size, group_size):
+            permutation = generator.permutation(group_size)
+            result[:, start:start + group_size] = window[:, start + permutation]
+        return result
+
+    return _apply_per_window(windows, _shuffle, rng)
+
+
+def rotation(windows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Apply a random 3-D rotation to every sensor triad.
+
+    Models a different (unknown) device orientation, a physically complete
+    transformation for IMU data.
+    """
+
+    def _random_rotation_matrix(generator: np.random.Generator) -> np.ndarray:
+        # Random rotation via QR decomposition of a Gaussian matrix.
+        gaussian = generator.normal(size=(3, 3))
+        q, r = np.linalg.qr(gaussian)
+        q = q * np.sign(np.diag(r))
+        if np.linalg.det(q) < 0:
+            q[:, 0] = -q[:, 0]
+        return q
+
+    def _rotate(window: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+        result = window.copy()
+        channels = window.shape[1]
+        matrix = _random_rotation_matrix(generator)
+        for start in range(0, channels - channels % 3, 3):
+            result[:, start:start + 3] = window[:, start:start + 3] @ matrix.T
+        return result
+
+    return _apply_per_window(windows, _rotate, rng)
+
+
+def permutation(windows: np.ndarray, rng: np.random.Generator, num_segments: int = 4) -> np.ndarray:
+    """Split the window into segments and permute their order."""
+    if num_segments < 2:
+        raise ValueError("num_segments must be at least 2")
+
+    def _permute(window: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+        length = window.shape[0]
+        segments = np.array_split(np.arange(length), num_segments)
+        order = generator.permutation(len(segments))
+        indices = np.concatenate([segments[i] for i in order])
+        return window[indices]
+
+    return _apply_per_window(windows, _permute, rng)
+
+
+def time_warp(windows: np.ndarray, rng: np.random.Generator, sigma: float = 0.2, knots: int = 4) -> np.ndarray:
+    """Smoothly warp the time axis using a random cubic-ish warping curve."""
+
+    def _warp(window: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+        length = window.shape[0]
+        anchor_positions = np.linspace(0, length - 1, knots + 2)
+        anchor_offsets = generator.normal(1.0, sigma, size=knots + 2)
+        warp_steps = np.interp(np.arange(length), anchor_positions, anchor_offsets)
+        cumulative = np.cumsum(warp_steps)
+        cumulative = cumulative / cumulative[-1] * (length - 1)
+        warped = np.empty_like(window)
+        for channel in range(window.shape[1]):
+            warped[:, channel] = np.interp(np.arange(length), cumulative, window[:, channel])
+        return warped
+
+    return _apply_per_window(windows, _warp, rng)
+
+
+def magnitude_warp(windows: np.ndarray, rng: np.random.Generator, sigma: float = 0.2, knots: int = 4) -> np.ndarray:
+    """Multiply the signal by a smooth random envelope."""
+
+    def _warp(window: np.ndarray, generator: np.random.Generator) -> np.ndarray:
+        length = window.shape[0]
+        anchor_positions = np.linspace(0, length - 1, knots + 2)
+        envelope = np.empty_like(window)
+        for channel in range(window.shape[1]):
+            anchors = generator.normal(1.0, sigma, size=knots + 2)
+            envelope[:, channel] = np.interp(np.arange(length), anchor_positions, anchors)
+        return window * envelope
+
+    return _apply_per_window(windows, _warp, rng)
+
+
+AUGMENTATION_REGISTRY: Dict[str, Callable[..., np.ndarray]] = {
+    "jitter": jitter,
+    "scaling": scaling,
+    "negation": negation,
+    "time_reversal": time_reversal,
+    "channel_shuffle": channel_shuffle,
+    "rotation": rotation,
+    "permutation": permutation,
+    "time_warp": time_warp,
+    "magnitude_warp": magnitude_warp,
+}
+"""Name -> augmentation function registry, used by the TPN baseline heads."""
+
+
+def get_augmentation(name: str) -> Callable[..., np.ndarray]:
+    """Look up an augmentation by name."""
+    if name not in AUGMENTATION_REGISTRY:
+        raise KeyError(
+            f"unknown augmentation {name!r}; available: {sorted(AUGMENTATION_REGISTRY)}"
+        )
+    return AUGMENTATION_REGISTRY[name]
+
+
+def compose(names: Sequence[str]) -> Callable[[np.ndarray, np.random.Generator], np.ndarray]:
+    """Compose several named augmentations into a single callable."""
+    functions: List[Callable[..., np.ndarray]] = [get_augmentation(name) for name in names]
+
+    def _composed(windows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        result = np.asarray(windows, dtype=np.float64)
+        for function in functions:
+            result = function(result, rng)
+        return result
+
+    return _composed

@@ -1,0 +1,141 @@
+"""Key-point (peak / valley) detection on the IMU energy signal.
+
+Implements the filtering rules of paper Section IV-A-1:
+
+1. a candidate local maximum (minimum) survives only if it dominates every
+   sample within a window of ``w`` steps around it (Eq. 1);
+2. surviving key points must be at least ``d`` steps apart (Eq. 2) — when two
+   are closer than ``d``, the more extreme one is kept.
+
+The filtered peaks and valleys partition a window into sub-periods, which are
+the masking unit of the sub-period-level pre-training task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KeyPoints:
+    """Filtered peak and valley indices of one IMU window."""
+
+    peaks: Tuple[int, ...]
+    valleys: Tuple[int, ...]
+
+    @property
+    def all_points(self) -> Tuple[int, ...]:
+        """All key points (peaks and valleys) in increasing index order."""
+        return tuple(sorted(set(self.peaks) | set(self.valleys)))
+
+    def __len__(self) -> int:
+        return len(self.peaks) + len(self.valleys)
+
+
+def local_maxima(signal: np.ndarray) -> np.ndarray:
+    """Indices ``i`` with ``e_i >= e_{i-1}`` and ``e_i >= e_{i+1}`` (interior points)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1 or signal.size < 3:
+        return np.array([], dtype=np.int64)
+    interior = np.arange(1, signal.size - 1)
+    mask = (signal[interior] >= signal[interior - 1]) & (signal[interior] >= signal[interior + 1])
+    return interior[mask]
+
+
+def local_minima(signal: np.ndarray) -> np.ndarray:
+    """Indices ``i`` with ``e_i <= e_{i-1}`` and ``e_i <= e_{i+1}`` (interior points)."""
+    return local_maxima(-np.asarray(signal, dtype=np.float64))
+
+
+def _dominates_window(signal: np.ndarray, index: int, window: int, maximum: bool) -> bool:
+    """Check Eq. 1: the candidate dominates every sample within ``window`` steps."""
+    start = max(0, index - window)
+    end = min(signal.size, index + window + 1)
+    neighbourhood = signal[start:end]
+    if maximum:
+        return bool(signal[index] >= neighbourhood.max())
+    return bool(signal[index] <= neighbourhood.min())
+
+
+def _enforce_min_distance(
+    candidates: Sequence[int],
+    signal: np.ndarray,
+    min_distance: int,
+    maximum: bool,
+) -> List[int]:
+    """Enforce Eq. 2: keep the more extreme of any two candidates closer than ``d``."""
+    kept: List[int] = []
+    for index in sorted(candidates):
+        if not kept or index - kept[-1] >= min_distance:
+            kept.append(index)
+            continue
+        previous = kept[-1]
+        better_current = signal[index] > signal[previous] if maximum else signal[index] < signal[previous]
+        if better_current:
+            kept[-1] = index
+    return kept
+
+
+def filter_extrema(
+    signal: np.ndarray,
+    candidates: np.ndarray,
+    window: int,
+    min_distance: int,
+    maximum: bool,
+) -> List[int]:
+    """Apply both filtering conditions (Eq. 1 and Eq. 2) to extremum candidates."""
+    signal = np.asarray(signal, dtype=np.float64)
+    surviving = [
+        int(index)
+        for index in candidates
+        if _dominates_window(signal, int(index), window, maximum)
+    ]
+    return _enforce_min_distance(surviving, signal, min_distance, maximum)
+
+
+def find_key_points(
+    energy: np.ndarray,
+    filter_window: int = 5,
+    min_distance: int = 5,
+) -> KeyPoints:
+    """Find the filtered peaks and valleys of an energy signal.
+
+    Parameters
+    ----------
+    energy:
+        1-D energy signal (see :func:`repro.signal.energy.acceleration_energy`).
+    filter_window:
+        ``w`` in Eq. 1 — half-width of the dominance window.
+    min_distance:
+        ``d`` in Eq. 2 — minimum spacing between surviving key points.
+    """
+    energy = np.asarray(energy, dtype=np.float64)
+    if energy.ndim != 1:
+        raise ValueError(f"energy must be 1-D, got shape {energy.shape}")
+    if filter_window < 0 or min_distance < 0:
+        raise ValueError("filter_window and min_distance must be non-negative")
+    peaks = filter_extrema(energy, local_maxima(energy), filter_window, min_distance, maximum=True)
+    valleys = filter_extrema(energy, local_minima(energy), filter_window, min_distance, maximum=False)
+    return KeyPoints(peaks=tuple(peaks), valleys=tuple(valleys))
+
+
+def subperiod_boundaries(key_points: KeyPoints, window_length: int) -> List[Tuple[int, int]]:
+    """Partition ``[0, window_length)`` into sub-periods delimited by key points.
+
+    The returned list of ``(start, end)`` half-open intervals always covers the
+    whole window: the first sub-period starts at 0 and the last one ends at
+    ``window_length`` even if no key point falls at the boundaries.
+    """
+    if window_length <= 0:
+        raise ValueError("window_length must be positive")
+    cuts = [point for point in key_points.all_points if 0 < point < window_length]
+    boundaries = [0] + cuts + [window_length]
+    intervals = [
+        (start, end)
+        for start, end in zip(boundaries[:-1], boundaries[1:])
+        if end > start
+    ]
+    return intervals

@@ -1,0 +1,117 @@
+"""Main-period identification via the Fourier transform (paper Section IV-A-2).
+
+The energy signal of an IMU window is transformed to the frequency domain;
+the frequency with the largest (non-DC) amplitude defines the main period
+``T_main = L_win / k_max`` in samples, where ``k_max`` is the dominant DFT
+bin.  The period-level masking task removes one whole main period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MainPeriod:
+    """Result of main-period analysis of one window."""
+
+    period: int
+    """Main period length in samples (``T_main``)."""
+
+    frequency_bin: int
+    """Index of the dominant non-DC DFT bin."""
+
+    amplitude: float
+    """Amplitude of the dominant bin."""
+
+    spectrum: Tuple[float, ...]
+    """Magnitude spectrum (one-sided, including DC) — useful for diagnostics."""
+
+
+def magnitude_spectrum(signal: np.ndarray) -> np.ndarray:
+    """One-sided magnitude spectrum of a real 1-D signal (DC included)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError(f"signal must be 1-D, got shape {signal.shape}")
+    return np.abs(np.fft.rfft(signal - signal.mean()))
+
+
+def find_main_period(
+    energy: np.ndarray,
+    min_period: int = 4,
+    max_period: int | None = None,
+) -> MainPeriod:
+    """Find the dominant period of an energy signal.
+
+    Parameters
+    ----------
+    energy:
+        1-D energy signal of length ``L_win``.
+    min_period:
+        Ignore periods shorter than this many samples (suppresses
+        high-frequency sensor noise claiming the maximum amplitude).
+    max_period:
+        Ignore periods longer than this; defaults to the window length, i.e.
+        no upper constraint beyond excluding DC.
+
+    Returns
+    -------
+    :class:`MainPeriod` with ``period`` clamped into ``[min_period, L_win]``.
+    """
+    energy = np.asarray(energy, dtype=np.float64)
+    if energy.ndim != 1:
+        raise ValueError(f"energy must be 1-D, got shape {energy.shape}")
+    length = energy.size
+    if length < 4:
+        raise ValueError("energy signal too short for period analysis")
+    if min_period < 1:
+        raise ValueError("min_period must be at least 1")
+    max_period = length if max_period is None else min(max_period, length)
+
+    spectrum = magnitude_spectrum(energy)
+    # Bin k corresponds to period length / k; exclude DC (k = 0).
+    candidate_bins = []
+    for bin_index in range(1, spectrum.size):
+        period = length / bin_index
+        if min_period <= period <= max_period:
+            candidate_bins.append(bin_index)
+    if not candidate_bins:
+        # Degenerate window (e.g. constant signal): fall back to the full window.
+        return MainPeriod(
+            period=length,
+            frequency_bin=0,
+            amplitude=float(spectrum[0]) if spectrum.size else 0.0,
+            spectrum=tuple(spectrum.tolist()),
+        )
+
+    best_bin = max(candidate_bins, key=lambda k: spectrum[k])
+    period = int(round(length / best_bin))
+    period = max(min_period, min(period, length))
+    return MainPeriod(
+        period=period,
+        frequency_bin=int(best_bin),
+        amplitude=float(spectrum[best_bin]),
+        spectrum=tuple(spectrum.tolist()),
+    )
+
+
+def period_boundaries(period: int, window_length: int) -> List[Tuple[int, int]]:
+    """Partition ``[0, window_length)`` into consecutive main periods.
+
+    The last interval may be shorter than ``period`` if the window length is
+    not an exact multiple; it is still a valid masking unit.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if window_length <= 0:
+        raise ValueError("window_length must be positive")
+    boundaries = []
+    start = 0
+    while start < window_length:
+        end = min(start + period, window_length)
+        boundaries.append((start, end))
+        start = end
+    return boundaries

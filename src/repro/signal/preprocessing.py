@@ -1,0 +1,113 @@
+"""IMU preprocessing: downsampling, windowing, and normalisation.
+
+Mirrors paper Section VII-A-2: raw recordings are downsampled to 20 Hz,
+sliced into 6-second windows of 120 samples, and normalised — accelerometer
+values by the gravitational constant ``g`` and magnetometer values by the
+per-sample field magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+GRAVITY = 9.80665
+"""Standard gravitational acceleration, used to normalise accelerometer axes."""
+
+
+def downsample(samples: np.ndarray, source_rate: float, target_rate: float) -> np.ndarray:
+    """Downsample a ``(length, channels)`` recording by integer decimation.
+
+    The paper downsamples all datasets (50–200 Hz) to 20 Hz.  We use simple
+    decimation after block averaging, which is adequate for the synthetic
+    substitute datasets and keeps the implementation dependency-free.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ValueError(f"samples must be 2-D (length, channels), got {samples.shape}")
+    if source_rate <= 0 or target_rate <= 0:
+        raise ValueError("rates must be positive")
+    if target_rate > source_rate:
+        raise ValueError("target_rate must not exceed source_rate")
+    factor = int(round(source_rate / target_rate))
+    if factor <= 1:
+        return samples.copy()
+    usable = (samples.shape[0] // factor) * factor
+    truncated = samples[:usable]
+    return truncated.reshape(-1, factor, samples.shape[1]).mean(axis=1)
+
+
+def slice_windows(
+    samples: np.ndarray,
+    window_length: int,
+    stride: int | None = None,
+    drop_last: bool = True,
+) -> np.ndarray:
+    """Slice a ``(length, channels)`` recording into fixed-length windows.
+
+    Returns an array of shape ``(num_windows, window_length, channels)``.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ValueError(f"samples must be 2-D, got {samples.shape}")
+    if window_length <= 0:
+        raise ValueError("window_length must be positive")
+    stride = window_length if stride is None else stride
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+
+    windows: List[np.ndarray] = []
+    start = 0
+    while start + window_length <= samples.shape[0]:
+        windows.append(samples[start:start + window_length])
+        start += stride
+    if not drop_last and start < samples.shape[0] and not windows:
+        raise ValueError("recording shorter than one window and drop_last=False")
+    if not windows:
+        return np.empty((0, window_length, samples.shape[1]))
+    return np.stack(windows, axis=0)
+
+
+def normalize_imu(
+    windows: np.ndarray,
+    accel_axes: Sequence[int] = (0, 1, 2),
+    magnetometer_axes: Sequence[int] = (),
+    gravity: float = GRAVITY,
+) -> np.ndarray:
+    """Normalise IMU windows following the paper.
+
+    * accelerometer channels are divided by ``g``;
+    * magnetometer channels are divided by the per-sample field magnitude
+      ``sqrt(sum_k m_k^2)``;
+    * all other channels (gyroscope) are left unchanged.
+
+    Accepts either a single window ``(L, C)`` or a batch ``(N, L, C)``.
+    """
+    windows = np.asarray(windows, dtype=np.float64)
+    squeeze = windows.ndim == 2
+    if squeeze:
+        windows = windows[None]
+    if windows.ndim != 3:
+        raise ValueError(f"windows must be 2-D or 3-D, got shape {windows.shape}")
+
+    normalised = windows.copy()
+    accel_axes = list(accel_axes)
+    magnetometer_axes = list(magnetometer_axes)
+    if accel_axes:
+        normalised[:, :, accel_axes] = normalised[:, :, accel_axes] / gravity
+    if magnetometer_axes:
+        magnitude = np.sqrt(
+            np.sum(normalised[:, :, magnetometer_axes] ** 2, axis=-1, keepdims=True)
+        )
+        magnitude = np.where(magnitude <= 1e-12, 1.0, magnitude)
+        normalised[:, :, magnetometer_axes] = normalised[:, :, magnetometer_axes] / magnitude
+    return normalised[0] if squeeze else normalised
+
+
+def standardize(windows: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Per-channel z-score standardisation across the whole batch."""
+    windows = np.asarray(windows, dtype=np.float64)
+    mean = windows.mean(axis=tuple(range(windows.ndim - 1)), keepdims=True)
+    std = windows.std(axis=tuple(range(windows.ndim - 1)), keepdims=True)
+    return (windows - mean) / (std + eps)

@@ -1,0 +1,47 @@
+"""Training loops: masked pre-training, downstream fine-tuning, metrics."""
+
+from .finetune import FinetuneConfig, FinetuneResult, Finetuner, evaluate_model, finetune_classifier
+from .history import EpochRecord, TrainingHistory
+from .metrics import (
+    ClassificationMetrics,
+    accuracy,
+    confusion_matrix,
+    evaluate_predictions,
+    macro_f1,
+    precision_recall_per_class,
+    relative_metric,
+)
+from .pretrain import (
+    DEFAULT_WEIGHTS,
+    PretrainConfig,
+    PretrainResult,
+    Pretrainer,
+    normalize_weights,
+    pretrain_backbone,
+)
+from .trainer import SupervisedTrainer, TrainerConfig
+
+__all__ = [
+    "accuracy",
+    "macro_f1",
+    "confusion_matrix",
+    "precision_recall_per_class",
+    "evaluate_predictions",
+    "relative_metric",
+    "ClassificationMetrics",
+    "EpochRecord",
+    "TrainingHistory",
+    "PretrainConfig",
+    "PretrainResult",
+    "Pretrainer",
+    "pretrain_backbone",
+    "normalize_weights",
+    "DEFAULT_WEIGHTS",
+    "FinetuneConfig",
+    "FinetuneResult",
+    "Finetuner",
+    "finetune_classifier",
+    "evaluate_model",
+    "SupervisedTrainer",
+    "TrainerConfig",
+]

@@ -1,0 +1,56 @@
+"""Training history: per-epoch records of losses and metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Quantities logged at the end of one epoch."""
+
+    epoch: int
+    train_loss: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Chronological list of :class:`EpochRecord` objects with helpers."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def losses(self) -> List[float]:
+        """Per-epoch training losses."""
+        return [record.train_loss for record in self.records]
+
+    def metric(self, name: str) -> List[float]:
+        """Per-epoch values of the metric ``name`` (epochs missing it are skipped)."""
+        return [record.metrics[name] for record in self.records if name in record.metrics]
+
+    def best(self, name: str, maximize: bool = True) -> Optional[EpochRecord]:
+        """Record with the best value of metric ``name`` (None when never logged)."""
+        candidates = [record for record in self.records if name in record.metrics]
+        if not candidates:
+            return None
+        key = lambda record: record.metrics[name]  # noqa: E731
+        return max(candidates, key=key) if maximize else min(candidates, key=key)
+
+    def final_loss(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].train_loss
+
+    def improved(self, window: int = 5, tolerance: float = 1e-4) -> bool:
+        """True if the loss improved by more than ``tolerance`` over the last ``window`` epochs."""
+        losses = self.losses()
+        if len(losses) <= window:
+            return True
+        return (min(losses[:-window]) - min(losses[-window:])) > tolerance

@@ -1,0 +1,99 @@
+"""Classification metrics: accuracy, macro-F1, confusion matrix (paper Section VII-A-4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Proportion of correctly predicted samples."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"predictions shape {predictions.shape} does not match labels shape {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = number of samples of class i predicted as j."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def precision_recall_per_class(matrix: np.ndarray) -> Dict[str, np.ndarray]:
+    """Per-class precision and recall from a confusion matrix (0 when undefined)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    true_positive = np.diag(matrix)
+    predicted_positive = matrix.sum(axis=0)
+    actual_positive = matrix.sum(axis=1)
+    precision = np.divide(
+        true_positive, predicted_positive,
+        out=np.zeros_like(true_positive), where=predicted_positive > 0,
+    )
+    recall = np.divide(
+        true_positive, actual_positive,
+        out=np.zeros_like(true_positive), where=actual_positive > 0,
+    )
+    return {"precision": precision, "recall": recall}
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Macro-averaged F1 score as defined in the paper:
+
+    ``F1 = (1 / N_c) * sum_i 2 p_i r_i / (p_i + r_i)``.
+    """
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    stats = precision_recall_per_class(matrix)
+    precision, recall = stats["precision"], stats["recall"]
+    denominator = precision + recall
+    f1_per_class = np.divide(
+        2 * precision * recall, denominator,
+        out=np.zeros_like(precision), where=denominator > 0,
+    )
+    return float(f1_per_class.mean())
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """Accuracy and macro-F1 of one evaluation."""
+
+    accuracy: float
+    f1: float
+    num_samples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"accuracy": self.accuracy, "f1": self.f1, "num_samples": float(self.num_samples)}
+
+
+def evaluate_predictions(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> ClassificationMetrics:
+    """Compute accuracy and macro-F1 in one call."""
+    return ClassificationMetrics(
+        accuracy=accuracy(predictions, labels),
+        f1=macro_f1(predictions, labels, num_classes),
+        num_samples=int(np.asarray(labels).shape[0]),
+    )
+
+
+def relative_metric(value: float, reference: float) -> float:
+    """Relative performance (in %) against a reference value.
+
+    The paper reports accuracy/F1 *relative to the SOTA method trained with
+    all labelled data* (Figure 6); this helper implements that normalisation.
+    """
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return 100.0 * value / reference

@@ -1,0 +1,135 @@
+"""Generic supervised training loop used by the baselines.
+
+The Saga-specific loops live in :mod:`repro.training.pretrain` and
+:mod:`repro.training.finetune`; this module provides a small reusable
+trainer for plain supervised models (the "no pre-training" baseline and the
+contrastive baselines' classifier stages) with optional early stopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..datasets.base import IMUDataset
+from ..datasets.loaders import DataLoader
+from ..exceptions import ConfigurationError, TrainingError
+from ..logging_utils import get_logger
+from ..nn import Adam, CrossEntropyLoss, Module, clip_grad_norm
+from .history import EpochRecord, TrainingHistory
+from .metrics import evaluate_predictions
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of the generic supervised trainer."""
+
+    epochs: int = 50
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    early_stopping_patience: int = 0
+    log_every: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ConfigurationError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.early_stopping_patience < 0:
+            raise ConfigurationError("early_stopping_patience must be non-negative")
+
+
+class SupervisedTrainer:
+    """Train any ``Module`` mapping windows to class logits with cross-entropy."""
+
+    def __init__(self, config: Optional[TrainerConfig] = None) -> None:
+        self.config = config if config is not None else TrainerConfig()
+
+    def fit(
+        self,
+        model: Module,
+        train_dataset: IMUDataset,
+        task: str,
+        validation_dataset: Optional[IMUDataset] = None,
+        forward: Optional[Callable] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TrainingHistory:
+        """Train ``model`` on ``train_dataset`` and return the training history.
+
+        ``forward`` may override how logits are obtained from a batch of
+        windows (default: ``model(windows)``).
+        """
+        if len(train_dataset) == 0:
+            raise TrainingError("cannot train on an empty dataset")
+        cfg = self.config
+        generator = rng if rng is not None else np.random.default_rng(cfg.seed)
+        forward_fn = forward if forward is not None else model
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
+        loss_fn = CrossEntropyLoss()
+        loader = DataLoader(
+            train_dataset, batch_size=cfg.batch_size, task=task, shuffle=True, rng=generator
+        )
+        num_classes = train_dataset.num_classes(task)
+
+        history = TrainingHistory()
+        best_val = -np.inf
+        epochs_without_improvement = 0
+        model.train()
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for batch in loader:
+                logits = forward_fn(batch.windows)
+                loss = loss_fn(logits, batch.labels)
+                optimizer.zero_grad()
+                loss.backward()
+                if cfg.grad_clip > 0:
+                    clip_grad_norm(model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            mean_loss = epoch_loss / max(batches, 1)
+            metrics = {}
+            if validation_dataset is not None and len(validation_dataset) > 0:
+                metrics = self.evaluate(model, validation_dataset, task, forward=forward_fn).as_dict()
+            history.append(EpochRecord(epoch=epoch, train_loss=mean_loss, metrics=metrics))
+            if cfg.log_every and epoch % cfg.log_every == 0:
+                logger.info("train[%s] epoch %d loss %.5f", task, epoch, mean_loss)
+
+            if cfg.early_stopping_patience and metrics:
+                if metrics["accuracy"] > best_val + 1e-6:
+                    best_val = metrics["accuracy"]
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= cfg.early_stopping_patience:
+                        logger.info("early stopping at epoch %d", epoch)
+                        break
+        model.eval()
+        del num_classes  # evaluated lazily inside self.evaluate
+        return history
+
+    @staticmethod
+    def evaluate(model: Module, dataset: IMUDataset, task: str, forward: Optional[Callable] = None,
+                 batch_size: int = 128):
+        """Evaluate accuracy / macro-F1 of ``model`` on ``dataset``."""
+        forward_fn = forward if forward is not None else model
+        was_training = model.training
+        model.eval()
+        try:
+            labels = dataset.task_labels(task)
+            predictions = np.empty(len(dataset), dtype=np.int64)
+            loader = DataLoader(dataset, batch_size=batch_size, task=task, shuffle=False)
+            for batch in loader:
+                logits = forward_fn(batch.windows)
+                predictions[batch.indices] = logits.data.argmax(axis=-1)
+        finally:
+            model.train(was_training)
+        return evaluate_predictions(predictions, labels, dataset.num_classes(task))

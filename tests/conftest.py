@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import IMUDataset, SyntheticIMUConfig, generate_synthetic_dataset
+from repro.models import BackboneConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> IMUDataset:
+    """A small but fully structured synthetic dataset (2 tasks, 6 channels)."""
+    config = SyntheticIMUConfig(
+        num_users=3,
+        activities=("walking", "jogging", "sitting"),
+        windows_per_combination=4,
+        window_length=48,
+        seed=7,
+        name="tiny",
+    )
+    return generate_synthetic_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def placement_dataset() -> IMUDataset:
+    """A small dataset with the placement task and magnetometer channels."""
+    config = SyntheticIMUConfig(
+        num_users=2,
+        activities=("walking", "sitting"),
+        placements=("right_pocket", "wrist"),
+        windows_per_combination=3,
+        window_length=48,
+        include_magnetometer=True,
+        seed=11,
+        name="tiny_placement",
+    )
+    return generate_synthetic_dataset(config)
+
+
+@pytest.fixture()
+def tiny_backbone_config(tiny_dataset) -> BackboneConfig:
+    return BackboneConfig(
+        input_channels=tiny_dataset.num_channels,
+        window_length=tiny_dataset.window_length,
+        hidden_dim=8,
+        num_layers=1,
+        num_heads=2,
+        intermediate_dim=16,
+        dropout=0.0,
+    )

@@ -1,0 +1,309 @@
+"""Tests of layers, attention, recurrence, convolution and module plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    Adam,
+    Conv1d,
+    CrossEntropyLoss,
+    Dropout,
+    Embedding,
+    GlobalAveragePool1d,
+    GlobalMaxPool1d,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MSELoss,
+    NTXentLoss,
+    Parameter,
+    PositionalEmbedding,
+    Sequential,
+    Tensor,
+    TransformerBlock,
+    TransformerEncoder,
+    WeightedReconstructionLoss,
+    count_parameters,
+    modules_allclose,
+    functional as F,
+)
+
+
+@pytest.fixture()
+def local_rng():
+    return np.random.default_rng(0)
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_recursively(self, local_rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(3, 4, rng=local_rng)
+                self.b = Sequential(Linear(4, 4, rng=local_rng), Linear(4, 2, rng=local_rng))
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "a.weight" in names and "b.layer1.bias" in names
+        assert count_parameters(net) == (3 * 4 + 4) + (4 * 4 + 4) + (4 * 2 + 2)
+
+    def test_state_dict_roundtrip(self, local_rng):
+        layer1 = Linear(4, 3, rng=local_rng)
+        layer2 = Linear(4, 3, rng=np.random.default_rng(99))
+        assert not modules_allclose(layer1, layer2)
+        layer2.load_state_dict(layer1.state_dict())
+        assert modules_allclose(layer1, layer2)
+
+    def test_load_state_dict_strict_mismatch(self, local_rng):
+        layer = Linear(4, 3, rng=local_rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})
+
+    def test_load_state_dict_shape_mismatch(self, local_rng):
+        layer = Linear(4, 3, rng=local_rng)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_train_eval_propagates(self, local_rng):
+        model = Sequential(Linear(3, 3, rng=local_rng), Dropout(0.5, rng=local_rng))
+        model.eval()
+        assert all(not m.training for m in model)
+        model.train()
+        assert all(m.training for m in model)
+
+    def test_module_list(self, local_rng):
+        modules = ModuleList([Linear(2, 2, rng=local_rng) for _ in range(3)])
+        assert len(modules) == 3
+        assert len(list(modules.named_parameters())) == 6
+        with pytest.raises(NotImplementedError):
+            modules(Tensor(np.zeros((1, 2))))
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self, local_rng):
+        layer = Linear(5, 7, rng=local_rng)
+        out = layer(Tensor(np.ones((4, 5))))
+        assert out.shape == (4, 7)
+        no_bias = Linear(5, 7, bias=False, rng=local_rng)
+        assert no_bias.bias is None
+
+    def test_linear_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_layer_norm_normalises_last_dim(self, local_rng):
+        layer = LayerNorm(6)
+        x = Tensor(local_rng.normal(5.0, 3.0, size=(10, 6)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_is_identity(self, local_rng):
+        layer = Dropout(0.5, rng=local_rng)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_dropout_train_scales_survivors(self, local_rng):
+        layer = Dropout(0.5, rng=local_rng)
+        out = layer(Tensor(np.ones((200, 50)))).data
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_embedding_lookup(self, local_rng):
+        emb = Embedding(10, 4, rng=local_rng)
+        out = emb(np.array([1, 5, 1]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[2])
+
+    def test_positional_embedding_adds_per_position(self, local_rng):
+        pos = PositionalEmbedding(10, 4, rng=local_rng)
+        x = Tensor(np.zeros((2, 6, 4)))
+        out = pos(x)
+        assert out.shape == (2, 6, 4)
+        assert np.allclose(out.data[0], pos.weight.data[:6])
+
+    def test_positional_embedding_length_check(self, local_rng):
+        pos = PositionalEmbedding(4, 4, rng=local_rng)
+        with pytest.raises(ValueError):
+            pos(Tensor(np.zeros((1, 8, 4))))
+
+
+class TestAttentionAndTransformer:
+    def test_attention_output_shape(self, local_rng):
+        attn = TransformerBlock(8, 2, 16, dropout=0.0, rng=local_rng)
+        out = attn(Tensor(local_rng.normal(size=(3, 12, 8))))
+        assert out.shape == (3, 12, 8)
+
+    def test_attention_mask_blocks_padding(self, local_rng):
+        from repro.nn import MultiHeadSelfAttention
+
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=local_rng)
+        x = local_rng.normal(size=(1, 6, 8))
+        mask = np.array([[1, 1, 1, 0, 0, 0]])
+        out_masked = attn(Tensor(x), attention_mask=mask).data
+        x_perturbed = x.copy()
+        x_perturbed[:, 3:] += 10.0
+        out_masked_perturbed = attn(Tensor(x_perturbed), attention_mask=mask).data
+        # Perturbing masked-out positions must not change unmasked outputs.
+        assert np.allclose(out_masked[:, :3], out_masked_perturbed[:, :3], atol=1e-8)
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            TransformerEncoder(1, 10, 3, 20)
+
+    def test_encoder_gradients_flow_to_input(self, local_rng):
+        encoder = TransformerEncoder(2, 8, 2, 16, dropout=0.0, rng=local_rng)
+        x = Tensor(local_rng.normal(size=(2, 5, 8)), requires_grad=True)
+        encoder(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_encoder_requires_positive_layers(self):
+        with pytest.raises(ValueError):
+            TransformerEncoder(0, 8, 2, 16)
+
+
+class TestRecurrent:
+    def test_gru_cell_step(self, local_rng):
+        cell = GRUCell(4, 6, rng=local_rng)
+        h = cell(Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_gru_sequence_shapes(self, local_rng):
+        gru = GRU(4, 6, num_layers=2, rng=local_rng)
+        seq, final = gru(Tensor(local_rng.normal(size=(3, 7, 4))))
+        assert seq.shape == (3, 7, 6)
+        assert final.shape == (3, 6)
+        assert np.allclose(seq.data[:, -1, :], final.data)
+
+    def test_gru_gradients_reach_early_steps(self, local_rng):
+        gru = GRU(3, 4, rng=local_rng)
+        x = Tensor(local_rng.normal(size=(2, 6, 3)), requires_grad=True)
+        _, final = gru(x)
+        final.sum().backward()
+        assert np.abs(x.grad[:, 0, :]).sum() > 0
+
+    def test_gru_invalid_layers(self):
+        with pytest.raises(ValueError):
+            GRU(3, 4, num_layers=0)
+
+
+class TestConv:
+    def test_conv_output_length(self, local_rng):
+        conv = Conv1d(6, 8, kernel_size=5, stride=2, padding=2, rng=local_rng)
+        assert conv.output_length(40) == 20
+        out = conv(Tensor(local_rng.normal(size=(2, 40, 6))))
+        assert out.shape == (2, 20, 8)
+
+    def test_conv_matches_manual_computation(self, local_rng):
+        conv = Conv1d(1, 1, kernel_size=3, stride=1, padding=0, bias=False, rng=local_rng)
+        x = local_rng.normal(size=(1, 5, 1))
+        out = conv(Tensor(x)).data[0, :, 0]
+        kernel = conv.weight.data[:, 0]
+        expected = [float(x[0, i:i + 3, 0] @ kernel) for i in range(3)]
+        assert np.allclose(out, expected)
+
+    def test_conv_gradient_flows(self, local_rng):
+        conv = Conv1d(2, 3, kernel_size=3, stride=1, padding=1, rng=local_rng)
+        x = Tensor(local_rng.normal(size=(2, 10, 2)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad.shape == (2, 10, 2)
+        assert np.abs(x.grad).sum() > 0
+
+    def test_conv_channel_mismatch(self, local_rng):
+        conv = Conv1d(3, 4, kernel_size=3, rng=local_rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 10, 5))))
+
+    def test_pooling(self, local_rng):
+        x = Tensor(local_rng.normal(size=(2, 7, 4)))
+        assert GlobalMaxPool1d()(x).shape == (2, 4)
+        assert GlobalAveragePool1d()(x).shape == (2, 4)
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(np.ones((3, 4)))
+        assert MSELoss()(x, x).item() == pytest.approx(0.0)
+
+    def test_mse_masked_only_counts_masked(self):
+        pred = Tensor(np.zeros((2, 2)))
+        target = Tensor(np.ones((2, 2)))
+        mask = np.array([[1, 0], [0, 0]], dtype=bool)
+        assert MSELoss()(pred, target, mask=mask).item() == pytest.approx(1.0)
+
+    def test_mse_empty_mask_is_zero(self):
+        pred, target = Tensor(np.zeros((2, 2))), Tensor(np.ones((2, 2)))
+        assert MSELoss()(pred, target, mask=np.zeros((2, 2), dtype=bool)).item() == 0.0
+
+    def test_cross_entropy_matches_manual(self, local_rng):
+        logits = Tensor(local_rng.normal(size=(5, 3)))
+        labels = np.array([0, 1, 2, 1, 0])
+        loss = CrossEntropyLoss()(logits, labels).item()
+        probs = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        manual = -np.mean(np.log(probs[np.arange(5), labels]))
+        assert loss == pytest.approx(manual, rel=1e-6)
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+
+    def test_cross_entropy_decreases_with_training(self, local_rng):
+        layer = Linear(4, 3, rng=local_rng)
+        optimizer = Adam(layer.parameters(), lr=5e-2)
+        x = Tensor(local_rng.normal(size=(12, 4)))
+        y = local_rng.integers(0, 3, size=12)
+        losses = []
+        for _ in range(40):
+            loss = CrossEntropyLoss()(layer(x), y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_ntxent_identical_views_lower_than_random(self, local_rng):
+        z = Tensor(local_rng.normal(size=(8, 16)))
+        other = Tensor(local_rng.normal(size=(8, 16)))
+        loss_fn = NTXentLoss(temperature=0.5)
+        assert loss_fn(z, z).item() < loss_fn(z, other).item()
+
+    def test_ntxent_requires_same_shape(self):
+        with pytest.raises(ValueError):
+            NTXentLoss()(Tensor(np.zeros((4, 8))), Tensor(np.zeros((5, 8))))
+
+    def test_weighted_reconstruction_combination(self):
+        loss_fn = WeightedReconstructionLoss()
+        per_level = {"sensor": Tensor(2.0), "point": Tensor(4.0)}
+        combined = loss_fn(per_level, {"sensor": 0.5, "point": 0.25})
+        assert combined.item() == pytest.approx(2.0)
+
+    def test_weighted_reconstruction_unknown_level(self):
+        loss_fn = WeightedReconstructionLoss()
+        with pytest.raises(KeyError):
+            loss_fn({"bogus": Tensor(1.0)}, {"bogus": 1.0})
+
+    def test_functional_softmax_sums_to_one(self, local_rng):
+        probs = F.softmax(Tensor(local_rng.normal(size=(3, 7)))).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_functional_one_hot_validation(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 5]), num_classes=3)

@@ -1,0 +1,167 @@
+"""Optimizers, LR schedules, gradient clipping and checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CosineAnnealingLR,
+    Linear,
+    MSELoss,
+    StepLR,
+    Tensor,
+    WarmupLR,
+    clip_grad_norm,
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+    state_dict_num_bytes,
+)
+
+
+@pytest.fixture()
+def local_rng():
+    return np.random.default_rng(3)
+
+
+def _quadratic_problem(rng):
+    """A tiny regression problem: fit y = x W* with a linear layer."""
+    target_w = rng.normal(size=(4, 2))
+    x = rng.normal(size=(32, 4))
+    y = x @ target_w
+    return Tensor(x), Tensor(y)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.05}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.05}),
+        (Adam, {"lr": 0.05, "weight_decay": 1e-4}),
+    ])
+    def test_optimizers_reduce_loss(self, optimizer_cls, kwargs, local_rng):
+        x, y = _quadratic_problem(local_rng)
+        layer = Linear(4, 2, rng=local_rng)
+        optimizer = optimizer_cls(layer.parameters(), **kwargs)
+        loss_fn = MSELoss()
+        initial = loss_fn(layer(x), y).item()
+        for _ in range(60):
+            loss = loss_fn(layer(x), y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss_fn(layer(x), y).item() < initial * 0.2
+
+    def test_optimizer_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=1e-3)
+
+    def test_optimizer_rejects_bad_lr(self, local_rng):
+        with pytest.raises(ValueError):
+            SGD(Linear(2, 2, rng=local_rng).parameters(), lr=0.0)
+
+    def test_adam_rejects_bad_betas(self, local_rng):
+        with pytest.raises(ValueError):
+            Adam(Linear(2, 2, rng=local_rng).parameters(), betas=(1.5, 0.9))
+
+    def test_step_skips_params_without_grad(self, local_rng):
+        layer = Linear(2, 2, rng=local_rng)
+        before = layer.weight.data.copy()
+        Adam(layer.parameters()).step()
+        assert np.allclose(layer.weight.data, before)
+
+    def test_sgd_momentum_accumulates_velocity(self, local_rng):
+        layer = Linear(2, 1, rng=local_rng)
+        optimizer = SGD(layer.parameters(), lr=0.1, momentum=0.9)
+        for param in layer.parameters():
+            param.grad = np.ones_like(param.data)
+        optimizer.step()
+        first_change = layer.weight.data.copy()
+        for param in layer.parameters():
+            param.grad = np.ones_like(param.data)
+        optimizer.step()
+        # With momentum, the second step moves further than the first.
+        assert np.abs(layer.weight.data - first_change).max() > 0.1 * 0.99
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self, local_rng):
+        optimizer = Adam(Linear(2, 2, rng=local_rng).parameters(), lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.01)
+
+    def test_cosine_lr_reaches_min(self, local_rng):
+        optimizer = Adam(Linear(2, 2, rng=local_rng).parameters(), lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_steps=10, min_lr=0.1)
+        for _ in range(10):
+            last = scheduler.step()
+        assert last == pytest.approx(0.1)
+
+    def test_warmup_reaches_base_lr(self, local_rng):
+        optimizer = Adam(Linear(2, 2, rng=local_rng).parameters(), lr=0.5)
+        scheduler = WarmupLR(optimizer, warmup_steps=5)
+        values = [scheduler.step() for _ in range(6)]
+        assert values[0] == pytest.approx(0.1)
+        assert values[-1] == pytest.approx(0.5)
+
+    def test_scheduler_validation(self, local_rng):
+        optimizer = Adam(Linear(2, 2, rng=local_rng).parameters())
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_steps=0)
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self, local_rng):
+        layer = Linear(4, 4, rng=local_rng)
+        for param in layer.parameters():
+            param.grad = np.full_like(param.data, 10.0)
+        norm_before = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        norm_after = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in layer.parameters())))
+        assert norm_before > 1.0
+        assert norm_after == pytest.approx(1.0, rel=1e-3)
+
+    def test_clip_noop_below_threshold(self, local_rng):
+        layer = Linear(2, 2, rng=local_rng)
+        for param in layer.parameters():
+            param.grad = np.full_like(param.data, 1e-3)
+        before = [p.grad.copy() for p in layer.parameters()]
+        clip_grad_norm(layer.parameters(), max_norm=10.0)
+        for param, original in zip(layer.parameters(), before):
+            assert np.allclose(param.grad, original)
+
+    def test_clip_handles_no_grads(self, local_rng):
+        assert clip_grad_norm(Linear(2, 2, rng=local_rng).parameters(), 1.0) == 0.0
+
+
+class TestSerialization:
+    def test_module_roundtrip(self, tmp_path, local_rng):
+        layer = Linear(5, 3, rng=local_rng)
+        path = save_module(layer, tmp_path / "layer.npz", metadata={"note": "test"})
+        fresh = Linear(5, 3, rng=np.random.default_rng(77))
+        metadata = load_module(fresh, path)
+        assert metadata == {"note": "test"}
+        assert np.allclose(fresh.weight.data, layer.weight.data)
+
+    def test_state_dict_roundtrip_without_metadata(self, tmp_path, local_rng):
+        state = {"a": local_rng.normal(size=(3, 3)), "b": local_rng.normal(size=(2,))}
+        path = save_state_dict(state, tmp_path / "state")
+        loaded, metadata = load_state_dict(path)
+        assert metadata == {}
+        assert set(loaded) == {"a", "b"}
+        assert np.allclose(loaded["a"], state["a"])
+
+    def test_state_dict_num_bytes(self):
+        state = {"a": np.zeros((10, 10)), "b": np.zeros(5)}
+        assert state_dict_num_bytes(state) == (100 + 5) * 4
+
+    def test_load_missing_extension(self, tmp_path, local_rng):
+        layer = Linear(2, 2, rng=local_rng)
+        save_module(layer, tmp_path / "checkpoint")
+        loaded, _ = load_state_dict(tmp_path / "checkpoint")
+        assert "weight" in loaded

@@ -1,0 +1,259 @@
+"""Autograd engine tests: forward values and gradients vs finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, check_gradient, concatenate, stack, where
+from repro.nn.tensor import unbroadcast
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+        assert not t.requires_grad
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_repr_contains_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_backward_requires_scalar_without_seed(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones((2,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 2)))
+        assert np.allclose(b.grad, [3.0, 3.0])
+
+    def test_mul_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([4.0], requires_grad=True)
+        (-(a - 1.0)).backward()
+        assert np.allclose(a.grad, [-1.0])
+
+    def test_div_grad(self):
+        a = Tensor([6.0], requires_grad=True)
+        (a / 3.0).backward()
+        assert np.allclose(a.grad, [1.0 / 3.0])
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor([2.0])
+        assert np.allclose((5.0 - a).data, [3.0])
+        assert np.allclose((6.0 / a).data, [3.0])
+
+    def test_pow_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a + a).backward()
+        assert np.allclose(a.grad, [5.0])
+
+
+class TestMatmul:
+    def test_matmul_forward(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_grad_matches_numeric(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 2))
+        assert check_gradient(lambda t: (t.matmul(Tensor(w))).sum(), x)
+        assert check_gradient(lambda t: (Tensor(x).matmul(t)).sum(), w)
+
+    def test_batched_matmul_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_vector_matmul(self, rng):
+        a = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (4,)
+        assert b.grad.shape == (4, 3)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["tanh", "sigmoid", "relu", "gelu", "exp", "abs"])
+    def test_gradcheck(self, op, rng):
+        x = rng.normal(size=(3, 3)) + 0.1
+        assert check_gradient(lambda t: getattr(t, op)().sum(), x)
+
+    def test_log_gradcheck(self, rng):
+        x = rng.uniform(0.5, 2.0, size=(3, 3))
+        assert check_gradient(lambda t: t.log().sum(), x)
+
+    def test_sqrt(self):
+        assert np.allclose(Tensor([4.0]).sqrt().data, [2.0])
+
+    def test_relu_zeroes_negatives(self):
+        assert np.allclose(Tensor([-1.0, 2.0]).relu().data, [0.0, 2.0])
+
+    def test_clip_gradient_masked_outside_range(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        assert check_gradient(lambda t: t.sum(axis=1).sum(), x)
+        out = Tensor(x).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1, 4)
+
+    def test_mean_and_var(self, rng):
+        x = rng.normal(size=(4, 5))
+        t = Tensor(x)
+        assert np.allclose(t.mean().data, x.mean())
+        assert np.allclose(t.var(axis=0).data, x.var(axis=0))
+
+    def test_max_grad_spreads_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape_and_transpose_gradcheck(self, rng):
+        x = rng.normal(size=(2, 6))
+        assert check_gradient(lambda t: (t.reshape(3, 4) * 2).sum(), x)
+        assert check_gradient(lambda t: (t.transpose() ** 2).sum(), x)
+
+    def test_swapaxes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert x.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        expected = np.zeros((2, 3))
+        expected[0] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_expand_dims_and_squeeze(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y = x.expand_dims(1)
+        assert y.shape == (3, 1, 4)
+        z = y.squeeze(1)
+        z.sum().backward()
+        assert x.grad.shape == (3, 4)
+
+
+class TestCombinators:
+    def test_concatenate_grad(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        concatenate([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+        assert np.allclose(b.grad, np.ones((4, 3)))
+
+    def test_stack_grad(self, rng):
+        tensors = [Tensor(rng.normal(size=(3,)), requires_grad=True) for _ in range(4)]
+        stack(tensors, axis=0).sum().backward()
+        for t in tensors:
+            assert np.allclose(t.grad, np.ones(3))
+
+    def test_where_selects_and_routes_gradients(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([10.0, 20.0], requires_grad=True)
+        out = where(cond, a, b)
+        assert np.allclose(out.data, [1.0, 20.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_comparisons_return_numpy(self):
+        a = Tensor([1.0, 3.0])
+        assert isinstance(a > 2.0, np.ndarray)
+        assert (a > 2.0).tolist() == [False, True]
+
+
+class TestUnbroadcast:
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_restores_shape(self, rows, cols):
+        grad = np.ones((rows, cols))
+        assert unbroadcast(grad, (1, cols)).shape == (1, cols)
+        assert unbroadcast(grad, (cols,)).shape == (cols,)
+        assert np.allclose(unbroadcast(grad, (cols,)), rows)
+
+    def test_unbroadcast_noop_on_matching_shape(self):
+        grad = np.ones((2, 3))
+        assert unbroadcast(grad, (2, 3)) is grad
+
+
+class TestGraphProperties:
+    @given(st.lists(st.floats(min_value=-3, max_value=3), min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_chain_rule_consistency(self, values):
+        x = np.asarray(values)
+        assert check_gradient(lambda t: ((t * 2 + 1).tanh() ** 2).sum(), x, atol=1e-3)
+
+    def test_backward_twice_accumulates(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 3
+        y.backward()
+        first = x.grad.copy()
+        # A second backward pass accumulates on top of existing gradients
+        # (both the output seed and the leaf gradient grow).
+        y.backward()
+        assert np.all(x.grad > first)
+
+    def test_zero_grad_clears(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None

@@ -1,0 +1,163 @@
+"""Baseline-method tests: LIMU, CL-HAR, TPN, no-pre-training (shared interface)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CLHARMethod,
+    ConvEncoder,
+    LIMUMethod,
+    MethodBudget,
+    NoPretrainMethod,
+    SmallConvEncoder,
+    TPNMethod,
+)
+from repro.datasets import SyntheticIMUConfig, generate_synthetic_dataset
+from repro.exceptions import TrainingError
+from repro.models import BackboneConfig
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def splits():
+    dataset = generate_synthetic_dataset(
+        SyntheticIMUConfig(
+            num_users=3, activities=("walking", "sitting"), windows_per_combination=6,
+            window_length=32, seed=21,
+        )
+    )
+    return dataset.split(rng=np.random.default_rng(0), stratify_task="activity")
+
+
+@pytest.fixture()
+def tiny_budget():
+    return MethodBudget(pretrain_epochs=1, finetune_epochs=3, batch_size=16, learning_rate=3e-3)
+
+
+@pytest.fixture()
+def tiny_backbone(splits):
+    return BackboneConfig(
+        input_channels=splits.train.num_channels,
+        window_length=splits.train.window_length,
+        hidden_dim=8, num_layers=1, num_heads=2, intermediate_dim=16, dropout=0.0,
+    )
+
+
+def _run_method(method, splits, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    method.pretrain(splits.train, rng)
+    labelled = splits.train.few_shot("activity", 6, rng=rng)
+    method.fit(labelled, "activity", splits.validation, rng)
+    return method.evaluate(splits.test, "activity")
+
+
+class TestMethodBudget:
+    def test_defaults_match_paper(self):
+        budget = MethodBudget()
+        assert budget.pretrain_epochs == 50
+        assert budget.finetune_epochs == 50
+        assert budget.learning_rate == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MethodBudget(finetune_epochs=0)
+        with pytest.raises(ValueError):
+            MethodBudget(batch_size=0)
+
+
+class TestLIMU:
+    def test_end_to_end(self, splits, tiny_budget, tiny_backbone):
+        method = LIMUMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        metrics = _run_method(method, splits)
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert method.num_parameters() > 0
+
+    def test_requires_pretrain_before_fit(self, splits, tiny_budget, tiny_backbone):
+        method = LIMUMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        with pytest.raises(TrainingError):
+            method.fit(splits.train, "activity", splits.validation, np.random.default_rng(0))
+
+    def test_evaluate_before_fit_raises(self, splits, tiny_budget, tiny_backbone):
+        method = LIMUMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        with pytest.raises(TrainingError):
+            method.evaluate(splits.test, "activity")
+
+    def test_num_parameters_before_any_model(self, tiny_budget, tiny_backbone):
+        method = LIMUMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        with pytest.raises(TrainingError):
+            method.num_parameters()
+
+
+class TestCLHAR:
+    def test_end_to_end(self, splits, tiny_budget):
+        method = CLHARMethod(budget=tiny_budget, embedding_dim=16, classifier_hidden_dim=16)
+        metrics = _run_method(method, splits)
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_conv_encoder_shapes(self):
+        encoder = ConvEncoder(6, embedding_dim=16, channel_sizes=(8, 12, 16),
+                              rng=np.random.default_rng(0))
+        out = encoder(Tensor(np.random.default_rng(0).normal(size=(3, 32, 6))))
+        assert out.shape == (3, 16)
+
+    def test_requires_pretrain(self, splits, tiny_budget):
+        method = CLHARMethod(budget=tiny_budget)
+        with pytest.raises(TrainingError):
+            method.fit(splits.train, "activity", None, np.random.default_rng(0))
+
+
+class TestTPN:
+    def test_end_to_end(self, splits, tiny_budget):
+        method = TPNMethod(budget=tiny_budget, embedding_dim=12, classifier_hidden_dim=12)
+        metrics = _run_method(method, splits)
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_small_encoder_shapes(self):
+        encoder = SmallConvEncoder(6, embedding_dim=12, rng=np.random.default_rng(0))
+        out = encoder(Tensor(np.random.default_rng(0).normal(size=(2, 32, 6))))
+        assert out.shape == (2, 12)
+
+    def test_tpn_encoder_smaller_than_clhar(self):
+        tpn = SmallConvEncoder(6, rng=np.random.default_rng(0))
+        clhar = ConvEncoder(6, rng=np.random.default_rng(0))
+        assert tpn.num_parameters() < clhar.num_parameters()
+
+    def test_requires_pretrain(self, splits, tiny_budget):
+        with pytest.raises(TrainingError):
+            TPNMethod(budget=tiny_budget).fit(splits.train, "activity", None, np.random.default_rng(0))
+
+
+class TestNoPretrain:
+    def test_end_to_end(self, splits, tiny_budget, tiny_backbone):
+        method = NoPretrainMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        metrics = _run_method(method, splits)
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_fit_without_explicit_pretrain(self, splits, tiny_budget, tiny_backbone):
+        method = NoPretrainMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        rng = np.random.default_rng(0)
+        method.fit(splits.train.few_shot("activity", 4, rng=rng), "activity", None, rng)
+        metrics = method.evaluate(splits.test, "activity")
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_pretrain_does_not_train(self, splits, tiny_budget, tiny_backbone):
+        method = NoPretrainMethod(backbone_config=tiny_backbone, budget=tiny_budget)
+        method.pretrain(splits.train, np.random.default_rng(0))
+        # Pre-training is a no-op: only the randomly initialised backbone exists.
+        assert method.num_parameters() > 0
+        with pytest.raises(TrainingError):
+            method.evaluate(splits.test, "activity")
+
+
+class TestSharedInterface:
+    def test_all_methods_report_name_and_repr(self, tiny_budget, tiny_backbone):
+        methods = [
+            LIMUMethod(backbone_config=tiny_backbone, budget=tiny_budget),
+            CLHARMethod(budget=tiny_budget),
+            TPNMethod(budget=tiny_budget),
+            NoPretrainMethod(backbone_config=tiny_backbone, budget=tiny_budget),
+        ]
+        names = {method.name for method in methods}
+        assert names == {"limu", "clhar", "tpn", "no_pretrain"}
+        for method in methods:
+            assert method.name in repr(method)

@@ -1,0 +1,185 @@
+"""Tests of the top-level Saga pipeline and the SagaMethod wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MethodBudget
+from repro.bayesopt import LWSConfig
+from repro.core import SagaConfig, SagaMethod, SagaPipeline
+from repro.datasets import SyntheticIMUConfig, generate_synthetic_dataset
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.models import BackboneConfig
+from repro.training import FinetuneConfig, PretrainConfig
+
+
+@pytest.fixture(scope="module")
+def splits():
+    dataset = generate_synthetic_dataset(
+        SyntheticIMUConfig(
+            num_users=3, activities=("walking", "sitting"), windows_per_combination=6,
+            window_length=32, seed=31,
+        )
+    )
+    return dataset.split(rng=np.random.default_rng(0), stratify_task="activity")
+
+
+def _tiny_config(splits, levels=("sensor", "point", "subperiod", "period")):
+    return SagaConfig(
+        backbone=BackboneConfig(
+            input_channels=splits.train.num_channels,
+            window_length=splits.train.window_length,
+            hidden_dim=8, num_layers=1, num_heads=2, intermediate_dim=16, dropout=0.0,
+        ),
+        pretrain=PretrainConfig(epochs=1, batch_size=16, learning_rate=3e-3),
+        finetune=FinetuneConfig(epochs=3, batch_size=16, learning_rate=3e-3),
+        lws=LWSConfig(budget=2, initial_random=1, grid_resolution=2),
+        levels=levels,
+    )
+
+
+class TestSagaConfig:
+    def test_levels_propagate_to_masking_and_lws(self, splits):
+        config = _tiny_config(splits, levels=("point", "period"))
+        assert set(config.pretrain.masking.levels) == {"point", "period"}
+        assert set(config.lws.levels) == {"point", "period"}
+
+    def test_invalid_levels_rejected(self, splits):
+        with pytest.raises(ConfigurationError):
+            _tiny_config(splits, levels=("bogus",))
+        with pytest.raises(ConfigurationError):
+            _tiny_config(splits, levels=())
+
+
+class TestSagaPipeline:
+    def test_explicit_steps(self, splits):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        backbone = pipeline.pretrain(splits.train, rng=np.random.default_rng(0))
+        assert backbone is pipeline.backbone
+        assert sum(pipeline.weights.values()) == pytest.approx(1.0)
+        model = pipeline.finetune(
+            splits.train.few_shot("activity", 5), "activity",
+            validation=splits.validation, rng=np.random.default_rng(0),
+        )
+        assert model is pipeline.classifier_model
+        metrics = pipeline.evaluate(splits.test, "activity")
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_finetune_before_pretrain_raises(self, splits):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        with pytest.raises(TrainingError):
+            pipeline.finetune(splits.train, "activity")
+
+    def test_evaluate_before_finetune_raises(self, splits):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        with pytest.raises(TrainingError):
+            pipeline.evaluate(splits.test, "activity")
+
+    @pytest.mark.parametrize("policy", ["uniform", "random"])
+    def test_fit_with_named_policies(self, splits, policy):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        pipeline.fit(
+            splits.train, splits.train.few_shot("activity", 5), "activity",
+            splits.validation, weights=policy, rng=np.random.default_rng(0),
+        )
+        assert pipeline.weights is not None
+        assert sum(pipeline.weights.values()) == pytest.approx(1.0)
+
+    def test_fit_with_explicit_weights(self, splits):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        pipeline.fit(
+            splits.train, splits.train.few_shot("activity", 5), "activity",
+            splits.validation, weights={"point": 1.0}, rng=np.random.default_rng(0),
+        )
+        assert pipeline.weights["point"] == pytest.approx(1.0)
+
+    def test_fit_with_unknown_policy(self, splits):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        with pytest.raises(ConfigurationError):
+            pipeline.fit(
+                splits.train, splits.train, "activity", splits.validation,
+                weights="bogus", rng=np.random.default_rng(0),
+            )
+
+    def test_search_weights_runs_lws(self, splits):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        result = pipeline.search_weights(
+            splits.train.few_shot("activity", 8),  # small unlabelled pool for speed
+            splits.train.few_shot("activity", 4),
+            "activity",
+            splits.validation,
+            rng=np.random.default_rng(0),
+        )
+        assert result.num_evaluations == 2
+        assert pipeline.search_result is result
+        assert sum(pipeline.weights.values()) == pytest.approx(1.0)
+
+    def test_backbone_checkpoint_roundtrip(self, splits, tmp_path):
+        pipeline = SagaPipeline(_tiny_config(splits))
+        pipeline.pretrain(splits.train, weights={"point": 1.0}, rng=np.random.default_rng(0))
+        path = tmp_path / "backbone.npz"
+        pipeline.save_backbone(path)
+
+        fresh = SagaPipeline(_tiny_config(splits))
+        backbone = fresh.load_backbone(path, splits.train)
+        original_state = pipeline.backbone.state_dict()
+        loaded_state = backbone.state_dict()
+        assert all(np.allclose(original_state[k], loaded_state[k]) for k in original_state)
+        assert fresh.weights["point"] == pytest.approx(1.0)
+
+    def test_save_without_backbone_raises(self, splits, tmp_path):
+        with pytest.raises(TrainingError):
+            SagaPipeline(_tiny_config(splits)).save_backbone(tmp_path / "x.npz")
+
+
+class TestSagaMethod:
+    def _budget(self):
+        return MethodBudget(pretrain_epochs=1, finetune_epochs=3, batch_size=16, learning_rate=3e-3)
+
+    def _backbone(self, splits):
+        return BackboneConfig(
+            input_channels=splits.train.num_channels,
+            window_length=splits.train.window_length,
+            hidden_dim=8, num_layers=1, num_heads=2, intermediate_dim=16, dropout=0.0,
+        )
+
+    def test_uniform_policy_end_to_end(self, splits):
+        method = SagaMethod(weights="uniform", backbone_config=self._backbone(splits), budget=self._budget())
+        rng = np.random.default_rng(0)
+        method.pretrain(splits.train, rng)
+        method.fit(splits.train.few_shot("activity", 5, rng=rng), "activity", splits.validation, rng)
+        metrics = method.evaluate(splits.test, "activity")
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert method.num_parameters() > 0
+        assert sum(method.searched_weights.values()) == pytest.approx(1.0)
+
+    def test_default_names(self, splits):
+        assert SagaMethod().name == "saga"
+        assert SagaMethod(weights="random").name == "saga_random"
+        assert SagaMethod(weights={"point": 1.0}, levels=("point",)).name == "saga_point"
+        assert SagaMethod(weights={"point": 0.5, "sensor": 0.5}).name == "saga_fixed"
+
+    def test_single_level_ablation(self, splits):
+        method = SagaMethod(
+            weights={"sensor": 1.0}, levels=("sensor",),
+            backbone_config=self._backbone(splits), budget=self._budget(),
+        )
+        rng = np.random.default_rng(0)
+        method.pretrain(splits.train, rng)
+        method.fit(splits.train.few_shot("activity", 5, rng=rng), "activity", splits.validation, rng)
+        assert method.searched_weights == {"sensor": 1.0}
+
+    def test_fit_requires_pretrain_and_validation(self, splits):
+        method = SagaMethod(weights="uniform", backbone_config=self._backbone(splits), budget=self._budget())
+        rng = np.random.default_rng(0)
+        with pytest.raises(TrainingError):
+            method.fit(splits.train, "activity", splits.validation, rng)
+        method.pretrain(splits.train, rng)
+        with pytest.raises(TrainingError):
+            method.fit(splits.train, "activity", None, rng)
+
+    def test_evaluate_before_fit_raises(self, splits):
+        method = SagaMethod(weights="uniform", backbone_config=self._backbone(splits), budget=self._budget())
+        with pytest.raises(TrainingError):
+            method.evaluate(splits.test, "activity")
+        with pytest.raises(TrainingError):
+            method.num_parameters()

@@ -1,0 +1,161 @@
+"""Deployment cost-model and latency-simulation tests (Tables I & IV, Fig. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.deployment import (
+    PHONE_ORDER,
+    LatencyMeasurement,
+    all_phones,
+    check_realtime_budget,
+    estimate_activation_bytes,
+    estimate_flops,
+    get_phone,
+    latency_by_phone,
+    latency_table,
+    make_training_cost,
+    model_cost,
+    model_latency,
+    phone_latency_profile,
+    simulate_latency,
+    training_memory_bytes,
+)
+from repro.exceptions import DeploymentError
+from repro.models import BackboneConfig, SagaBackbone, build_classification_model
+from repro.nn import GRU, Conv1d, Linear, Sequential
+
+
+@pytest.fixture()
+def local_rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def small_model(local_rng):
+    backbone = SagaBackbone(
+        BackboneConfig(input_channels=6, window_length=40, hidden_dim=16,
+                       num_layers=1, num_heads=2, intermediate_dim=32),
+        rng=local_rng,
+    )
+    return build_classification_model(backbone, num_classes=6, rng=local_rng)
+
+
+@pytest.fixture()
+def paper_scale_model(local_rng):
+    backbone = SagaBackbone(BackboneConfig(), rng=local_rng)  # hidden 72, 4 layers
+    return build_classification_model(backbone, num_classes=6, rng=local_rng)
+
+
+class TestDevices:
+    def test_table1_contains_five_phones(self):
+        phones = all_phones()
+        assert len(phones) == 5
+        assert [phone.name for phone in phones] == ["Mi 6", "Pixel 3 XL", "Honor v9", "Mi 10", "Mi 11"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_phone("Mi 6").soc == "Snapdragon 835"
+        assert get_phone("mi11").memory_gb == 8
+
+    def test_unknown_phone(self):
+        with pytest.raises(DeploymentError):
+            get_phone("iphone15")
+
+    def test_newer_phones_are_faster(self):
+        assert get_phone("mi11").effective_gflops > get_phone("mi6").effective_gflops
+
+
+class TestCostModel:
+    def test_parameter_count_matches_module(self, small_model):
+        cost = model_cost(small_model, window_length=40)
+        assert cost.parameters == small_model.num_parameters()
+        assert cost.disk_bytes == cost.parameters * 4
+        assert cost.parameters_kb == pytest.approx(cost.parameters * 4 / 1024)
+
+    def test_flops_positive_and_scale_with_window(self, small_model):
+        short = estimate_flops(small_model, window_length=20)
+        long = estimate_flops(small_model, window_length=80)
+        assert 0 < short < long
+
+    def test_flops_scale_with_model_size(self, small_model, paper_scale_model):
+        assert estimate_flops(paper_scale_model, 120) > estimate_flops(small_model, 120)
+
+    def test_paper_scale_parameters_order_of_magnitude(self, paper_scale_model):
+        # Table IV reports ~61 KB of parameters for LIMU/Saga.  Our encoder does
+        # not share weights across its four blocks, so it is a few times larger,
+        # but it must stay within the same "lightweight mobile model" regime
+        # (well under a megabyte at float32).
+        cost = model_cost(paper_scale_model.backbone, window_length=120)
+        assert 20 <= cost.parameters_kb <= 1024
+
+    def test_conv_flops_use_output_length(self, local_rng):
+        conv = Sequential(Conv1d(6, 8, kernel_size=5, stride=2, padding=2, rng=local_rng))
+        flops_stride2 = estimate_flops(conv, 40)
+        conv_stride1 = Sequential(Conv1d(6, 8, kernel_size=5, stride=1, padding=2, rng=local_rng))
+        assert estimate_flops(conv_stride1, 40) > flops_stride2
+
+    def test_gru_flops_counted(self, local_rng):
+        gru_model = Sequential(GRU(8, 16, rng=local_rng))
+        assert estimate_flops(gru_model, 30) > 0
+
+    def test_activation_bytes_scale_with_batch(self, small_model):
+        single = estimate_activation_bytes(small_model, 40, batch_size=1)
+        batch = estimate_activation_bytes(small_model, 40, batch_size=32)
+        assert batch == 32 * single
+
+    def test_training_memory_exceeds_parameter_memory(self, small_model):
+        memory = training_memory_bytes(small_model, 40, batch_size=64)
+        assert memory > small_model.num_parameters() * 4
+
+    def test_invalid_window_length(self, small_model):
+        with pytest.raises(DeploymentError):
+            estimate_flops(small_model, 0)
+        with pytest.raises(DeploymentError):
+            estimate_activation_bytes(small_model, 40, batch_size=0)
+
+    def test_training_cost_row(self, small_model):
+        row = make_training_cost("saga", small_model, 40, measured_train_time_ms=12.5)
+        data = row.as_dict()
+        assert data["method"] == "saga"
+        assert data["train_time_ms"] == 12.5
+        assert data["memory_gb"] > 1.0  # includes the runtime baseline
+
+
+class TestLatency:
+    def test_latency_monotone_in_flops(self):
+        phone = get_phone("mi6")
+        assert simulate_latency(1e6, phone) < simulate_latency(1e8, phone)
+
+    def test_latency_includes_overhead(self):
+        phone = get_phone("mi11")
+        assert simulate_latency(0.0, phone) == pytest.approx(phone.runtime_overhead_ms)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(DeploymentError):
+            simulate_latency(-1.0, get_phone("mi6"))
+
+    def test_newer_phone_is_faster_for_same_model(self, small_model):
+        old = model_latency(small_model, 40, get_phone("mi6"))
+        new = model_latency(small_model, 40, get_phone("mi11"))
+        assert new < old
+
+    def test_latency_table_covers_grid(self, small_model, local_rng):
+        tiny = Sequential(Linear(6, 4, rng=local_rng))
+        measurements = latency_table({"saga": small_model, "tpn": tiny}, window_length=40)
+        assert len(measurements) == 2 * len(PHONE_ORDER)
+        pivot = latency_by_phone(measurements)
+        assert set(pivot) == {phone.name for phone in all_phones()}
+        # The much smaller model is faster on every phone (the TPN property).
+        for per_method in pivot.values():
+            assert per_method["tpn"] < per_method["saga"]
+
+    def test_paper_scale_models_within_realtime_budget(self, paper_scale_model):
+        measurements = latency_table({"saga": paper_scale_model}, window_length=120)
+        assert check_realtime_budget(measurements, budget_ms=12.0)
+
+    def test_check_realtime_budget_validation(self):
+        with pytest.raises(DeploymentError):
+            check_realtime_budget([LatencyMeasurement("m", "p", 1.0)], budget_ms=0.0)
+
+    def test_phone_latency_profile_keys(self, small_model):
+        profile = phone_latency_profile(small_model, 40)
+        assert set(profile) == {phone.name for phone in all_phones()}

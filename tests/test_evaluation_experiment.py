@@ -1,0 +1,214 @@
+"""Evaluation protocol, result tables, experiment runner and figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    ABLATION_METHOD_NAMES,
+    ALL_METHOD_NAMES,
+    PROFILES,
+    ExperimentRunner,
+    build_method,
+    get_profile,
+)
+from repro.evaluation import (
+    LABELLING_RATES,
+    TASKS,
+    ExperimentRecord,
+    ResultTable,
+    format_mapping_table,
+    get_task,
+    task_dataset_pairs,
+    validate_pair,
+)
+from repro.evaluation.figures import (
+    format_latency_measurements,
+    table1_devices,
+    table2_datasets,
+    table3_tasks,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestProtocol:
+    def test_labelling_rates_match_paper(self):
+        assert LABELLING_RATES == (0.05, 0.10, 0.15, 0.20)
+
+    def test_three_tasks_defined(self):
+        assert set(TASKS) == {"AR", "UA", "DP"}
+        assert get_task("ar").label_field == "activity"
+        assert get_task("UA").label_field == "user"
+        assert get_task("DP").datasets == ("shoaib",)
+
+    def test_unknown_task(self):
+        with pytest.raises(ConfigurationError):
+            get_task("XX")
+
+    def test_task_dataset_pairs_count(self):
+        # AR x {hhar, motion}, UA x {hhar, shoaib}, DP x {shoaib} = 5 pairs.
+        assert len(task_dataset_pairs()) == 5
+
+    def test_validate_pair(self):
+        assert validate_pair("AR", "hhar").code == "AR"
+        with pytest.raises(ConfigurationError):
+            validate_pair("DP", "hhar")
+
+
+class TestResultTable:
+    @pytest.fixture()
+    def table(self):
+        table = ResultTable()
+        for method, accuracy in [("saga", 0.9), ("limu", 0.8), ("saga", 0.7), ("limu", 0.6)]:
+            rate = 0.05 if accuracy in (0.9, 0.8) else 0.2
+            table.add(ExperimentRecord(
+                method=method, task="AR", dataset="hhar", labelling_rate=rate,
+                accuracy=accuracy, f1=accuracy - 0.05, num_train_samples=10,
+            ))
+        return table
+
+    def test_mean_by_method(self, table):
+        means = table.mean_by_method("accuracy")
+        assert means["saga"] == pytest.approx(0.8)
+        assert means["limu"] == pytest.approx(0.7)
+
+    def test_mean_by_method_and_rate(self, table):
+        cells = table.mean_by_method_and_rate("f1")
+        assert cells["saga"][0.05] == pytest.approx(0.85)
+
+    def test_ranking(self, table):
+        assert table.ranking("accuracy") == ["saga", "limu"]
+
+    def test_filters(self, table):
+        assert len(table.for_method("saga")) == 2
+        assert len(table.for_rate(0.2)) == 2
+        assert table.methods() == ["saga", "limu"]
+
+    def test_relative_record(self):
+        record = ExperimentRecord("saga", "AR", "hhar", 0.1, 0.45, 0.4, 10)
+        relative = record.relative_to(0.9, 0.8)
+        assert relative.accuracy == pytest.approx(50.0)
+        assert relative.f1 == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            record.relative_to(0.0, 1.0)
+
+    def test_format_table_contains_methods_and_rates(self, table):
+        text = table.format_table("accuracy")
+        assert "saga" in text and "limu" in text and "5%" in text and "20%" in text
+
+    def test_to_rows(self, table):
+        rows = table.to_rows()
+        assert len(rows) == 4
+        assert set(rows[0]) >= {"method", "task", "dataset", "accuracy", "f1"}
+
+    def test_format_mapping_table(self):
+        text = format_mapping_table(
+            [{"a": 1.23456, "b": "x"}], columns=("a", "b"), digits=2
+        )
+        assert "1.23" in text and "x" in text
+
+
+class TestProfilesAndMethods:
+    def test_profiles_exist(self):
+        assert {"paper", "quick", "bench", "ci"} <= set(PROFILES)
+        assert PROFILES["paper"].hidden_dim == 72
+        assert PROFILES["paper"].pretrain_epochs == 50
+
+    def test_get_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "ci")
+        assert get_profile().name == "ci"
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert get_profile("bench").name == "bench"
+        with pytest.raises(ConfigurationError):
+            get_profile("huge")
+
+    def test_method_name_lists(self):
+        assert "saga" in ALL_METHOD_NAMES and "no_pretrain" in ALL_METHOD_NAMES
+        assert len(ABLATION_METHOD_NAMES) == 6
+
+    @pytest.mark.parametrize("name", ALL_METHOD_NAMES + ("saga_sensor", "saga_random", "saga_uniform"))
+    def test_build_method_all_names(self, name):
+        profile = PROFILES["ci"]
+        method = build_method(name, profile, input_channels=6)
+        assert method.name in (name, "saga")  # "saga" policy resolves to name "saga"
+
+    def test_build_method_unknown(self):
+        with pytest.raises(ConfigurationError):
+            build_method("bogus", PROFILES["ci"], 6)
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(PROFILES["ci"], seed=0)
+
+    def test_load_subsamples_window(self, runner):
+        dataset = runner.load("hhar")
+        assert dataset.window_length <= PROFILES["ci"].window_length
+        # Cached: same object on second load.
+        assert runner.load("hhar") is dataset
+
+    def test_context_caches_and_stratifies(self, runner):
+        context = runner.context("AR", "hhar")
+        assert runner.context("AR", "hhar") is context
+        train_classes = set(np.unique(context.splits.train.task_labels("activity")))
+        test_classes = set(np.unique(context.splits.test.task_labels("activity")))
+        assert train_classes == test_classes
+
+    def test_invalid_pair_rejected(self, runner):
+        with pytest.raises(ConfigurationError):
+            runner.context("DP", "hhar")
+
+    def test_run_single_record_fields(self, runner):
+        record = runner.run_single("no_pretrain", "AR", "hhar", 0.2)
+        assert record.method == "no_pretrain"
+        assert record.task == "AR"
+        assert record.dataset == "hhar"
+        assert 0.0 <= record.accuracy <= 1.0
+        assert record.num_train_samples > 0
+
+    def test_run_rate_sweep_shares_pretraining(self, runner):
+        records = runner.run_rate_sweep("limu", "AR", "hhar", labelling_rates=(0.1, 0.2))
+        assert [record.labelling_rate for record in records] == [0.1, 0.2]
+        assert records[0].num_train_samples < records[1].num_train_samples
+
+    def test_run_comparison_collects_all_methods(self, runner):
+        table = runner.run_comparison(
+            ("no_pretrain", "tpn"), "AR", "hhar", labelling_rates=(0.2,)
+        )
+        assert set(table.methods()) == {"no_pretrain", "tpn"}
+        assert len(table) == 2
+
+    def test_run_full_matrix_restricted_pairs(self, runner):
+        table = runner.run_full_matrix(
+            method_names=("no_pretrain",), pairs=(("AR", "hhar"),), labelling_rates=(0.2,)
+        )
+        assert len(table) == 1
+        assert table.records[0].task == "AR"
+
+
+class TestStaticTables:
+    def test_table1(self):
+        rows = table1_devices()
+        assert len(rows) == 5
+        assert rows[0]["phone"] == "Mi 6"
+
+    def test_table2_structure(self):
+        rows = table2_datasets(scale=0.01)
+        by_name = {row["dataset"]: row for row in rows}
+        assert by_name["hhar"]["users"] == 9
+        assert by_name["motion"]["users"] == 24
+        assert by_name["shoaib"]["placements"] == 5
+        assert by_name["shoaib"]["sensors"] == "acc+gyr+mag"
+        assert by_name["hhar"]["paper_samples"] == 9166
+
+    def test_table3(self):
+        rows = table3_tasks()
+        assert {row["task"] for row in rows} == {"AR", "UA", "DP"}
+
+    def test_format_latency_measurements(self):
+        from repro.deployment import LatencyMeasurement
+
+        text = format_latency_measurements(
+            [LatencyMeasurement("saga", "Mi 6", 5.0), LatencyMeasurement("tpn", "Mi 6", 2.0)]
+        )
+        assert "Mi 6" in text and "saga" in text

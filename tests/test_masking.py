@@ -1,0 +1,232 @@
+"""Masking tests: the four semantic levels, their invariants, and the MM module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MaskingError
+from repro.masking import (
+    MASK_LEVELS,
+    MaskResult,
+    MultiLevelMasker,
+    MultiLevelMaskingConfig,
+    PeriodLevelMasker,
+    PointLevelMasker,
+    SensorLevelMasker,
+    SubPeriodLevelMasker,
+    apply_mask,
+    mask_batch,
+    sample_span_length,
+)
+
+
+def _window(length=60, channels=6, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    window = rng.normal(0, 0.05, size=(length, channels))
+    window[:, 0] += np.sin(2 * np.pi * t / 15)
+    window[:, 2] += 1.0 + 0.3 * np.cos(2 * np.pi * t / 15)
+    return window
+
+
+ALL_MASKERS = [
+    SensorLevelMasker(),
+    PointLevelMasker(),
+    SubPeriodLevelMasker(),
+    PeriodLevelMasker(),
+]
+
+
+class TestMaskInvariants:
+    @pytest.mark.parametrize("masker", ALL_MASKERS, ids=lambda m: m.level)
+    def test_core_invariants(self, masker, rng):
+        window = _window()
+        result = masker.mask_window(window, rng)
+        result.validate_against(window)  # raises on violation
+        assert result.level == masker.level
+        assert 0.0 < result.masked_fraction < 1.0
+
+    @pytest.mark.parametrize("masker", ALL_MASKERS, ids=lambda m: m.level)
+    def test_original_window_not_mutated(self, masker, rng):
+        window = _window()
+        original = window.copy()
+        masker.mask_window(window, rng)
+        assert np.allclose(window, original)
+
+    @pytest.mark.parametrize("masker", ALL_MASKERS, ids=lambda m: m.level)
+    def test_rejects_non_2d_window(self, masker, rng):
+        with pytest.raises(MaskingError):
+            masker.mask_window(np.zeros((2, 10, 6)), rng)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_masked_entries_zero_unmasked_untouched(self, seed):
+        rng = np.random.default_rng(seed)
+        window = _window(seed=seed)
+        for masker in ALL_MASKERS:
+            result = masker.mask_window(window, rng)
+            assert np.allclose(result.masked[result.mask], 0.0)
+            assert np.allclose(result.masked[~result.mask], window[~result.mask])
+
+
+class TestSensorLevel:
+    def test_masks_whole_axes(self, rng):
+        result = SensorLevelMasker(num_masked_axes=2).mask_window(_window(), rng)
+        per_axis = result.mask.all(axis=0)
+        assert per_axis.sum() == 2
+        # An axis is either fully masked or fully unmasked.
+        assert np.array_equal(result.mask.any(axis=0), per_axis)
+
+    def test_cannot_mask_all_axes(self, rng):
+        with pytest.raises(MaskingError):
+            SensorLevelMasker(num_masked_axes=6).mask_window(_window(channels=6), rng)
+
+    def test_invalid_config(self):
+        with pytest.raises(MaskingError):
+            SensorLevelMasker(num_masked_axes=0)
+
+
+class TestPointLevel:
+    def test_masks_contiguous_span_on_all_axes(self, rng):
+        result = PointLevelMasker(max_span_length=10).mask_window(_window(), rng)
+        rows = np.flatnonzero(result.mask.all(axis=1))
+        assert rows.size > 0
+        assert np.array_equal(rows, np.arange(rows[0], rows[-1] + 1))
+
+    def test_span_length_respects_maximum(self, rng):
+        for _ in range(50):
+            assert sample_span_length(rng, 0.2, 7) <= 7
+
+    def test_span_length_validation(self, rng):
+        with pytest.raises(MaskingError):
+            sample_span_length(rng, 1.5, 5)
+        with pytest.raises(MaskingError):
+            sample_span_length(rng, 0.5, 0)
+
+    def test_multiple_spans(self, rng):
+        result = PointLevelMasker(num_spans=3, max_span_length=5).mask_window(_window(), rng)
+        assert result.mask.any()
+
+    def test_invalid_config(self):
+        with pytest.raises(MaskingError):
+            PointLevelMasker(success_probability=0.0)
+        with pytest.raises(MaskingError):
+            PointLevelMasker(max_span_length=0)
+        with pytest.raises(MaskingError):
+            PointLevelMasker(num_spans=0)
+
+
+class TestSubPeriodLevel:
+    def test_masks_one_subperiod(self, rng):
+        masker = SubPeriodLevelMasker()
+        window = _window()
+        intervals = masker.partition(window)
+        result = masker.mask_window(window, rng)
+        rows = np.flatnonzero(result.mask.all(axis=1))
+        assert rows.size > 0
+        matched = [(s, e) for s, e in intervals if s == rows[0] and e == rows[-1] + 1]
+        assert len(matched) == 1
+
+    def test_partition_covers_window(self):
+        masker = SubPeriodLevelMasker()
+        window = _window()
+        intervals = masker.partition(window)
+        assert intervals[0][0] == 0 and intervals[-1][1] == window.shape[0]
+
+    def test_static_window_still_maskable(self, rng):
+        window = np.full((40, 6), 0.5)
+        result = SubPeriodLevelMasker().mask_window(window, rng)
+        assert result.mask.any()
+
+    def test_invalid_config(self):
+        with pytest.raises(MaskingError):
+            SubPeriodLevelMasker(filter_window=-1)
+        with pytest.raises(MaskingError):
+            SubPeriodLevelMasker(max_masked_fraction=0.0)
+
+
+class TestPeriodLevel:
+    def test_masks_one_period(self, rng):
+        masker = PeriodLevelMasker()
+        window = _window()
+        period = masker.main_period(window)
+        result = masker.mask_window(window, rng)
+        rows = np.flatnonzero(result.mask.all(axis=1))
+        assert 0 < rows.size <= period
+
+    def test_period_respects_budget(self):
+        masker = PeriodLevelMasker(max_period_fraction=0.25)
+        window = _window(length=80)
+        assert masker.main_period(window) <= 20
+
+    def test_invalid_config(self):
+        with pytest.raises(MaskingError):
+            PeriodLevelMasker(min_period=0)
+        with pytest.raises(MaskingError):
+            PeriodLevelMasker(max_period_fraction=1.5)
+
+
+class TestApplyAndBatch:
+    def test_apply_mask_shape_check(self):
+        with pytest.raises(MaskingError):
+            apply_mask(np.zeros((4, 3)), np.zeros((4, 2), dtype=bool), "point")
+
+    def test_mask_batch_applies_per_window(self, rng):
+        batch = np.stack([_window(seed=i) for i in range(4)])
+        result = mask_batch(PointLevelMasker(), batch, rng)
+        assert result.masked.shape == batch.shape
+        assert result.mask.shape == batch.shape
+        # Each window has its own independent span.
+        assert result.mask.any(axis=(1, 2)).all()
+
+    def test_mask_batch_rejects_4d(self, rng):
+        with pytest.raises(MaskingError):
+            mask_batch(PointLevelMasker(), np.zeros((2, 2, 10, 6)), rng)
+
+    def test_validate_against_detects_corruption(self, rng):
+        window = _window()
+        result = PointLevelMasker().mask_window(window, rng)
+        corrupted = MaskResult(masked=result.masked + 1.0, mask=result.mask, level="point")
+        with pytest.raises(MaskingError):
+            corrupted.validate_against(window)
+
+
+class TestMultiLevelMasker:
+    def test_all_levels_produced(self, rng):
+        masker = MultiLevelMasker()
+        results = masker.mask_all_levels(np.stack([_window(seed=i) for i in range(3)]), rng)
+        assert set(results) == set(MASK_LEVELS)
+        for level, result in results.items():
+            assert result.level == level
+
+    def test_levels_subset(self, rng):
+        masker = MultiLevelMasker(MultiLevelMaskingConfig(levels=("point", "sensor")))
+        assert masker.levels == ("sensor", "point")
+        results = masker.mask_all_levels(_window(), rng, levels=("point",))
+        assert set(results) == {"point"}
+
+    def test_requesting_inactive_level_fails(self, rng):
+        masker = MultiLevelMasker(MultiLevelMaskingConfig(levels=("point",)))
+        with pytest.raises(MaskingError):
+            masker.mask_all_levels(_window(), rng, levels=("period",))
+
+    def test_masker_accessor(self):
+        masker = MultiLevelMasker()
+        assert masker.masker("sensor").level == "sensor"
+        with pytest.raises(MaskingError):
+            MultiLevelMasker(MultiLevelMaskingConfig(levels=("point",))).masker("period")
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(MaskingError):
+            MultiLevelMaskingConfig(levels=("bogus",))
+        with pytest.raises(MaskingError):
+            MultiLevelMaskingConfig(levels=())
+
+    def test_deterministic_given_seed(self):
+        masker = MultiLevelMasker()
+        batch = np.stack([_window(seed=i) for i in range(2)])
+        a = masker.mask_all_levels(batch, np.random.default_rng(9))
+        b = masker.mask_all_levels(batch, np.random.default_rng(9))
+        for level in MASK_LEVELS:
+            assert np.array_equal(a[level].mask, b[level].mask)

@@ -1,0 +1,282 @@
+"""Signal-processing tests: energy, key points, main period, preprocessing, augmentations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal import (
+    GRAVITY,
+    acceleration_energy,
+    channel_shuffle,
+    compose,
+    downsample,
+    find_key_points,
+    find_main_period,
+    get_augmentation,
+    jitter,
+    local_maxima,
+    local_minima,
+    magnitude_spectrum,
+    negation,
+    normalize_imu,
+    normalized_energy,
+    period_boundaries,
+    permutation,
+    rotation,
+    scaling,
+    slice_windows,
+    standardize,
+    subperiod_boundaries,
+    time_reversal,
+    time_warp,
+)
+
+
+def _periodic_window(length=120, period=20, channels=6, noise=0.0, seed=0):
+    """Synthetic window with a known dominant period on the accelerometer axes."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    window = np.zeros((length, channels))
+    window[:, 0] = np.sin(2 * np.pi * t / period)
+    window[:, 1] = 0.5 * np.sin(2 * np.pi * t / period + 0.7)
+    window[:, 2] = 1.0 + 0.2 * np.cos(2 * np.pi * t / period)
+    window[:, 3:] = 0.1 * rng.normal(size=(length, channels - 3)) if noise == 0 else 0.0
+    if noise:
+        window += rng.normal(0, noise, size=window.shape)
+    return window
+
+
+class TestEnergy:
+    def test_energy_is_sum_of_squares(self):
+        window = np.zeros((10, 6))
+        window[:, 0] = 3.0
+        window[:, 1] = 4.0
+        energy = acceleration_energy(window)
+        assert np.allclose(energy, 25.0)
+
+    def test_energy_ignores_gyro_channels(self):
+        window = np.zeros((10, 6))
+        window[:, 5] = 100.0
+        assert np.allclose(acceleration_energy(window), 0.0)
+
+    def test_energy_shape_validation(self):
+        with pytest.raises(ValueError):
+            acceleration_energy(np.zeros((10,)))
+        with pytest.raises(ValueError):
+            acceleration_energy(np.zeros((10, 2)), accel_axes=3)
+
+    def test_normalized_energy_range(self):
+        window = _periodic_window()
+        normalised = normalized_energy(window)
+        assert normalised.min() == pytest.approx(0.0)
+        assert normalised.max() == pytest.approx(1.0)
+
+    def test_normalized_energy_constant_signal(self):
+        assert np.allclose(normalized_energy(np.ones((10, 6))), 0.0)
+
+
+class TestKeyPoints:
+    def test_local_extrema_of_sine(self):
+        signal = np.sin(np.linspace(0, 4 * np.pi, 100))
+        maxima, minima = local_maxima(signal), local_minima(signal)
+        assert len(maxima) == 2
+        assert len(minima) == 2
+
+    def test_short_signal_has_no_extrema(self):
+        assert local_maxima(np.array([1.0, 2.0])).size == 0
+
+    def test_filtering_removes_small_spikes(self):
+        signal = np.sin(np.linspace(0, 4 * np.pi, 200))
+        noisy = signal + 0.01 * np.sin(np.linspace(0, 200 * np.pi, 200))
+        raw_peaks = local_maxima(noisy)
+        filtered = find_key_points(noisy, filter_window=10, min_distance=10)
+        assert len(filtered.peaks) < len(raw_peaks)
+        assert len(filtered.peaks) >= 2
+
+    def test_min_distance_enforced(self):
+        energy = acceleration_energy(_periodic_window())
+        key_points = find_key_points(energy, filter_window=3, min_distance=8)
+        points = np.asarray(key_points.peaks)
+        if points.size > 1:
+            assert np.diff(points).min() >= 8
+
+    def test_key_points_all_points_sorted(self):
+        energy = acceleration_energy(_periodic_window())
+        key_points = find_key_points(energy)
+        assert list(key_points.all_points) == sorted(key_points.all_points)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            find_key_points(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            find_key_points(np.zeros(10), filter_window=-1)
+
+    def test_subperiod_boundaries_cover_window(self):
+        energy = acceleration_energy(_periodic_window())
+        key_points = find_key_points(energy)
+        intervals = subperiod_boundaries(key_points, 120)
+        assert intervals[0][0] == 0
+        assert intervals[-1][1] == 120
+        covered = sum(end - start for start, end in intervals)
+        assert covered == 120
+
+    @given(st.integers(min_value=10, max_value=80))
+    @settings(max_examples=20, deadline=None)
+    def test_subperiod_boundaries_are_disjoint(self, length):
+        rng = np.random.default_rng(length)
+        energy = rng.random(length)
+        key_points = find_key_points(energy, filter_window=2, min_distance=2)
+        intervals = subperiod_boundaries(key_points, length)
+        for (s1, e1), (s2, e2) in zip(intervals[:-1], intervals[1:]):
+            assert e1 == s2
+            assert e1 > s1 and e2 > s2
+
+
+class TestMainPeriod:
+    def test_detects_known_period(self):
+        window = _periodic_window(length=120, period=20)
+        energy = acceleration_energy(window)
+        analysis = find_main_period(energy, min_period=4)
+        # The energy signal of a sine has half its period; accept either.
+        assert analysis.period in (10, 20, 12)
+
+    def test_constant_signal_falls_back_to_window(self):
+        analysis = find_main_period(np.ones(50), min_period=4)
+        assert analysis.period == 50
+
+    def test_max_period_respected(self):
+        window = _periodic_window(length=120, period=60)
+        energy = acceleration_energy(window)
+        analysis = find_main_period(energy, min_period=4, max_period=40)
+        assert analysis.period <= 40
+
+    def test_spectrum_and_validation(self):
+        with pytest.raises(ValueError):
+            find_main_period(np.ones(2))
+        with pytest.raises(ValueError):
+            find_main_period(np.ones(50), min_period=0)
+        assert magnitude_spectrum(np.sin(np.arange(32))).shape == (17,)
+
+    def test_period_boundaries_cover_window(self):
+        intervals = period_boundaries(13, 40)
+        assert intervals[0] == (0, 13)
+        assert intervals[-1][1] == 40
+        assert sum(end - start for start, end in intervals) == 40
+
+    def test_period_boundaries_validation(self):
+        with pytest.raises(ValueError):
+            period_boundaries(0, 40)
+
+
+class TestPreprocessing:
+    def test_downsample_factor(self):
+        samples = np.arange(100, dtype=float).reshape(-1, 1).repeat(3, axis=1)
+        down = downsample(samples, source_rate=100, target_rate=20)
+        assert down.shape == (20, 3)
+        assert down[0, 0] == pytest.approx(2.0)  # mean of first block 0..4
+
+    def test_downsample_validation(self):
+        with pytest.raises(ValueError):
+            downsample(np.zeros((10, 3)), 20, 100)
+
+    def test_slice_windows_count_and_stride(self):
+        samples = np.zeros((100, 6))
+        windows = slice_windows(samples, window_length=30)
+        assert windows.shape == (3, 30, 6)
+        overlapping = slice_windows(samples, window_length=30, stride=10)
+        assert overlapping.shape == (8, 30, 6)
+
+    def test_slice_windows_empty_result(self):
+        assert slice_windows(np.zeros((10, 3)), window_length=30).shape == (0, 30, 3)
+
+    def test_normalize_imu_divides_by_gravity(self):
+        windows = np.ones((2, 10, 6)) * GRAVITY
+        normalised = normalize_imu(windows)
+        assert np.allclose(normalised[:, :, :3], 1.0)
+        assert np.allclose(normalised[:, :, 3:], GRAVITY)
+
+    def test_normalize_magnetometer_unit_norm(self):
+        windows = np.zeros((1, 5, 9))
+        windows[:, :, 6] = 3.0
+        windows[:, :, 7] = 4.0
+        normalised = normalize_imu(windows, magnetometer_axes=(6, 7, 8))
+        magnitudes = np.sqrt((normalised[:, :, 6:] ** 2).sum(-1))
+        assert np.allclose(magnitudes, 1.0)
+
+    def test_normalize_single_window(self):
+        window = np.ones((10, 6)) * GRAVITY
+        assert normalize_imu(window).shape == (10, 6)
+
+    def test_standardize_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        windows = rng.normal(5.0, 2.0, size=(20, 30, 6))
+        standardised = standardize(windows)
+        assert np.allclose(standardised.reshape(-1, 6).mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(standardised.reshape(-1, 6).std(axis=0), 1.0, atol=1e-6)
+
+
+class TestAugmentations:
+    @pytest.fixture()
+    def window(self):
+        return _periodic_window(length=60)
+
+    @pytest.fixture()
+    def aug_rng(self):
+        return np.random.default_rng(5)
+
+    def test_jitter_changes_values_slightly(self, window, aug_rng):
+        out = jitter(window, aug_rng, sigma=0.01)
+        assert out.shape == window.shape
+        assert 0 < np.abs(out - window).max() < 0.1
+
+    def test_scaling_preserves_shape(self, window, aug_rng):
+        assert scaling(window, aug_rng).shape == window.shape
+
+    def test_negation_and_reversal_are_involutions(self, window, aug_rng):
+        assert np.allclose(negation(negation(window, aug_rng), aug_rng), window)
+        assert np.allclose(time_reversal(time_reversal(window, aug_rng), aug_rng), window)
+
+    def test_rotation_preserves_triad_norm(self, window, aug_rng):
+        rotated = rotation(window, aug_rng)
+        original_norm = np.linalg.norm(window[:, :3], axis=1)
+        rotated_norm = np.linalg.norm(rotated[:, :3], axis=1)
+        assert np.allclose(original_norm, rotated_norm, atol=1e-8)
+
+    def test_channel_shuffle_permutes_within_triads(self, window, aug_rng):
+        shuffled = channel_shuffle(window, aug_rng)
+        assert np.allclose(
+            np.sort(shuffled[:, :3], axis=1), np.sort(window[:, :3], axis=1)
+        )
+
+    def test_permutation_preserves_multiset_of_rows(self, window, aug_rng):
+        permuted = permutation(window, aug_rng, num_segments=4)
+        assert np.allclose(np.sort(permuted[:, 0]), np.sort(window[:, 0]))
+
+    def test_permutation_validation(self, window, aug_rng):
+        with pytest.raises(ValueError):
+            permutation(window, aug_rng, num_segments=1)
+
+    def test_time_warp_preserves_shape_and_range(self, window, aug_rng):
+        warped = time_warp(window, aug_rng)
+        assert warped.shape == window.shape
+        assert warped.min() >= window.min() - 1e-6
+        assert warped.max() <= window.max() + 1e-6
+
+    def test_batch_application(self, aug_rng):
+        batch = np.stack([_periodic_window(length=40, seed=i) for i in range(3)])
+        assert scaling(batch, aug_rng).shape == batch.shape
+        assert rotation(batch, aug_rng).shape == batch.shape
+
+    def test_registry_and_compose(self, window, aug_rng):
+        assert get_augmentation("jitter") is jitter
+        with pytest.raises(KeyError):
+            get_augmentation("bogus")
+        pipeline = compose(["scaling", "jitter"])
+        assert pipeline(window, aug_rng).shape == window.shape
+
+    def test_augmentations_do_not_mutate_input(self, window, aug_rng):
+        original = window.copy()
+        for name in ("jitter", "scaling", "rotation", "permutation", "time_warp", "negation"):
+            get_augmentation(name)(window, aug_rng)
+        assert np.allclose(window, original)
