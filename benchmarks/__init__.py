@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+This ``__init__`` makes ``benchmarks`` an importable package so the relative
+``from .conftest import run_once`` imports in the benchmark modules resolve
+when pytest collects the whole repository tree (see DESIGN.md for the
+benchmark index).
+"""

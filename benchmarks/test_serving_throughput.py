@@ -1,0 +1,108 @@
+"""Serving-stack benchmark: micro-batching throughput and the no-grad fast path.
+
+Two structural claims back the serving subsystem (see DESIGN.md):
+
+1. coalescing single-window requests into batched forwards multiplies
+   throughput — batched serving must beat sequential single-request serving
+   by at least 3x on the bench profile;
+2. the ``no_grad()`` inference mode is measurably faster than a
+   grad-recording forward, because no backward closures or parent references
+   are built.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models.backbone import SagaBackbone
+from repro.models.composite import ClassificationModel
+from repro.nn.tensor import no_grad
+from repro.serving import serve
+
+from .conftest import run_once
+
+NUM_CHANNELS = 6
+NUM_CLASSES = 4
+NUM_REQUESTS = 192
+
+
+@pytest.fixture(scope="module")
+def model(profile):
+    rng = np.random.default_rng(profile.seed)
+    backbone = SagaBackbone(profile.backbone_config(NUM_CHANNELS), rng=rng)
+    model = ClassificationModel(backbone, NUM_CLASSES, rng=rng)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def request_windows(profile):
+    rng = np.random.default_rng(99)
+    return rng.standard_normal((NUM_REQUESTS, profile.window_length, NUM_CHANNELS))
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_batched_serving_at_least_3x_single_request_throughput(
+    benchmark, model, request_windows
+):
+    """End-to-end: the micro-batching server vs. one forward per request."""
+    windows = list(request_windows)
+    model.inference(request_windows[:8])  # warm-up
+
+    def single_request_path():
+        for window in windows:
+            model.inference(window[None])
+
+    def batched_serving_path():
+        with serve(model=model, max_batch_size=64, max_wait_ms=5.0) as server:
+            server.predict_many(windows)
+
+    single_seconds = _best_of(single_request_path)
+    batched_seconds = run_once(benchmark, _best_of, batched_serving_path)
+    speedup = single_seconds / batched_seconds
+    assert speedup >= 3.0, (
+        f"batched serving only {speedup:.2f}x faster than single-request "
+        f"({batched_seconds * 1000:.1f} ms vs {single_seconds * 1000:.1f} ms "
+        f"for {NUM_REQUESTS} requests)"
+    )
+
+
+def test_no_grad_inference_faster_than_grad_recording_forward(model, request_windows):
+    """The inference mode must beat the graph-recording forward on the bench profile."""
+    batch = request_windows[:32]
+    model.inference(batch)  # warm-up
+
+    def grad_forward():
+        model(batch)  # parameters require grad -> full graph is recorded
+
+    def no_grad_forward():
+        with no_grad():
+            model(batch)
+
+    grad_seconds = _best_of(grad_forward, repeats=5)
+    no_grad_seconds = _best_of(no_grad_forward, repeats=5)
+    assert no_grad_seconds < grad_seconds, (
+        f"no_grad forward ({no_grad_seconds * 1000:.1f} ms) not faster than "
+        f"grad-recording forward ({grad_seconds * 1000:.1f} ms)"
+    )
+
+
+def test_served_telemetry_tracks_throughput(model, request_windows):
+    """The telemetry snapshot must account for every request it served."""
+    with serve(model=model, max_batch_size=64, max_wait_ms=5.0) as server:
+        server.predict_many(list(request_windows))
+        snapshot = server.stats()
+    assert snapshot.requests == NUM_REQUESTS
+    assert snapshot.mean_batch_size > 1.0  # coalescing actually happened
+    assert snapshot.throughput_rps > 0

@@ -12,6 +12,8 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
 * :mod:`repro.bayesopt` — Gaussian Process + Expected Improvement (LWS);
 * :mod:`repro.baselines` — LIMU, CL-HAR, TPN, no-pre-training;
 * :mod:`repro.deployment` — phone cost model and latency simulation;
+* :mod:`repro.serving` — online inference: model registry, micro-batching,
+  streaming ingestion and telemetry on the ``no_grad`` fast path;
 * :mod:`repro.core` / :mod:`repro.evaluation` — pipeline, experiments, figures.
 
 Quick start
@@ -38,13 +40,19 @@ from .exceptions import (
     SearchError,
     TrainingError,
 )
+from .exceptions import ServingError
 from .logging_utils import configure_logging, get_logger
 from .rng import RNGRegistry, make_rng
+from .serving import InferenceServer, ModelRegistry, ServerConfig, serve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "serve",
+    "InferenceServer",
+    "ModelRegistry",
+    "ServerConfig",
     "SagaPipeline",
     "SagaConfig",
     "SagaMethod",
@@ -64,4 +72,5 @@ __all__ = [
     "TrainingError",
     "SearchError",
     "DeploymentError",
+    "ServingError",
 ]

@@ -20,7 +20,7 @@ from ..datasets.base import IMUDataset
 from ..datasets.loaders import DataLoader
 from ..exceptions import TrainingError
 from ..models.classifier import MLPClassifier
-from ..nn import Adam, Conv1d, CrossEntropyLoss, GlobalMaxPool1d, Linear, Module, Tensor, clip_grad_norm
+from ..nn import Adam, Conv1d, CrossEntropyLoss, GlobalMaxPool1d, Linear, Module, Tensor, clip_grad_norm, no_grad
 from ..signal.augmentations import get_augmentation
 from ..training.metrics import ClassificationMetrics, evaluate_predictions
 from .base import MethodBudget, PerceptionMethod
@@ -146,9 +146,10 @@ class TPNMethod(PerceptionMethod):
         labels = dataset.task_labels(task)
         predictions = np.empty(len(dataset), dtype=np.int64)
         loader = DataLoader(dataset, batch_size=128, task=task, shuffle=False)
-        for batch in loader:
-            logits = self._classifier(self._encoder(batch.windows))
-            predictions[batch.indices] = logits.data.argmax(axis=-1)
+        with no_grad():
+            for batch in loader:
+                logits = self._classifier(self._encoder(batch.windows))
+                predictions[batch.indices] = logits.data.argmax(axis=-1)
         return evaluate_predictions(predictions, labels, dataset.num_classes(task))
 
     def num_parameters(self) -> int:

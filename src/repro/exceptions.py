@@ -29,3 +29,7 @@ class SearchError(ReproError):
 
 class DeploymentError(ReproError):
     """Raised by the deployment cost model for unknown devices or models."""
+
+
+class ServingError(ReproError):
+    """Raised by the online serving stack (registry, batcher, server)."""

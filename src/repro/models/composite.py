@@ -8,6 +8,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn import Module, Tensor
+from ..nn.functional import softmax
 from .backbone import BackboneConfig, SagaBackbone
 from .classifier import GRUClassifier
 from .decoder import ReconstructionDecoder
@@ -83,13 +84,12 @@ class ClassificationModel(Module):
 
     def predict(self, windows) -> np.ndarray:
         """Return hard class predictions (argmax over logits) without gradients."""
-        was_training = self.training
-        self.eval()
-        try:
-            logits = self.forward(windows)
-        finally:
-            self.train(was_training)
-        return logits.data.argmax(axis=-1)
+        return self.inference(windows).data.argmax(axis=-1)
+
+    def predict_proba(self, windows) -> np.ndarray:
+        """Return class probabilities ``(batch, num_classes)`` without gradients."""
+        logits = self.inference(windows)
+        return softmax(logits, axis=-1).data
 
 
 def build_pretraining_model(

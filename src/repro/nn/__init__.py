@@ -29,7 +29,17 @@ from .serialization import (
     save_state_dict,
     state_dict_num_bytes,
 )
-from .tensor import Tensor, concatenate, ensure_tensor, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    enable_grad,
+    ensure_tensor,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+    stack,
+    where,
+)
 from .utils import check_gradient, count_parameters, modules_allclose, numerical_gradient
 
 __all__ = [
@@ -39,6 +49,10 @@ __all__ = [
     "ensure_tensor",
     "stack",
     "where",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
     "Module",
     "ModuleList",
     "Parameter",

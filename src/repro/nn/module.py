@@ -13,7 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -90,6 +90,33 @@ class Module:
 
     def eval(self) -> "Module":
         return self.train(False)
+
+    def requires_grad_(self, requires_grad: bool = True) -> "Module":
+        """Set ``requires_grad`` on every parameter (e.g. to freeze a deployed model)."""
+        for param in self.parameters():
+            param.requires_grad = requires_grad
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference fast path
+    # ------------------------------------------------------------------
+    def inference(self, *args, **kwargs):
+        """Run :meth:`forward` in eval mode under :func:`~repro.nn.tensor.no_grad`.
+
+        This is the serving-time entry point: dropout is disabled, no autograd
+        graph is recorded, and no grad buffers are touched, so repeated calls
+        are faster and allocate strictly less than a training-mode forward.
+        The previous training/eval mode is restored afterwards.
+        """
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                return self.forward(*args, **kwargs)
+        finally:
+            if was_training:
+                self.train(True)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -50,6 +50,22 @@ def load_state_dict(path: PathLike) -> Tuple[Dict[str, np.ndarray], Dict[str, An
     return state, metadata
 
 
+def load_metadata(path: PathLike) -> Dict[str, Any]:
+    """Read only the JSON metadata from a checkpoint, without touching weights.
+
+    ``np.load`` is lazy, so extracting the single metadata entry avoids
+    decompressing the (much larger) parameter arrays — registries scan many
+    checkpoints for their metadata.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        if _METADATA_KEY not in archive.files:
+            return {}
+        return json.loads(bytes(archive[_METADATA_KEY].tobytes()).decode("utf-8"))
+
+
 def save_module(module: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> Path:
     """Save a module's parameters to ``path``."""
     return save_state_dict(module.state_dict(), path, metadata=metadata)

@@ -22,6 +22,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -29,6 +30,72 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _DEFAULT_DTYPE = np.float64
+
+
+class _GradMode(threading.local):
+    """Per-thread flag controlling whether ops record the autograd graph."""
+
+    enabled: bool = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """True when operations record the autograd graph in the current thread."""
+    return _grad_mode.enabled
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Set graph recording on/off for the current thread; returns the previous mode."""
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = bool(mode)
+    return previous
+
+
+class _GradContext:
+    """Base for :class:`no_grad` / :class:`enable_grad` — context manager and decorator."""
+
+    _mode: bool = True
+
+    def __init__(self) -> None:
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "_GradContext":
+        self._previous = set_grad_enabled(self._mode)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_grad_enabled(True if self._previous is None else self._previous)
+
+    def __call__(self, func: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with type(self)():
+                return func(*args, **kwargs)
+
+        return wrapper
+
+
+class no_grad(_GradContext):
+    """Disable graph recording: the inference fast path.
+
+    Inside the context (or a decorated function) every operation produces a
+    detached tensor — no backward closures are built and no parent references
+    are kept — so forwards allocate less, run faster, and never retain the
+    graph.  The flag is thread-local, making the context safe to use in the
+    serving worker threads while another thread trains.
+    """
+
+    _mode = False
+
+
+class enable_grad(_GradContext):
+    """Re-enable graph recording inside an enclosing :class:`no_grad` block."""
+
+    _mode = True
 
 
 def set_default_dtype(dtype: np.dtype) -> None:
@@ -71,6 +138,10 @@ def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
     return arr
 
 
+def _noop_backward() -> None:
+    return None
+
+
 def ensure_tensor(value: ArrayLike) -> "Tensor":
     """Coerce ``value`` into a :class:`Tensor` (no copy if already a tensor)."""
     if isinstance(value, Tensor):
@@ -94,8 +165,13 @@ class Tensor:
     ) -> None:
         self.data: np.ndarray = _as_array(data)
         self.grad: Optional[np.ndarray] = None
+        if _prev and not _grad_mode.enabled:
+            # Inference fast path: op results created under no_grad() are
+            # detached — no parent references, no gradient requirement.
+            requires_grad = False
+            _prev = ()
         self.requires_grad: bool = bool(requires_grad)
-        self._backward: Callable[[], None] = lambda: None
+        self._backward: Callable[[], None] = _noop_backward
         self._prev: Tuple[Tensor, ...] = tuple(_prev)
         self._op: str = _op
         self.name = name
@@ -216,15 +292,16 @@ class Tensor:
             _op="add",
         )
 
-        def _backward() -> None:
-            if out.grad is None:
-                return
-            if self.requires_grad:
-                self._accumulate_grad(unbroadcast(out.grad, self.shape))
-            if other.requires_grad:
-                other._accumulate_grad(unbroadcast(out.grad, other.shape))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None:
+                    return
+                if self.requires_grad:
+                    self._accumulate_grad(unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate_grad(unbroadcast(out.grad, other.shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
@@ -248,15 +325,16 @@ class Tensor:
             _op="mul",
         )
 
-        def _backward() -> None:
-            if out.grad is None:
-                return
-            if self.requires_grad:
-                self._accumulate_grad(unbroadcast(out.grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate_grad(unbroadcast(out.grad * self.data, other.shape))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None:
+                    return
+                if self.requires_grad:
+                    self._accumulate_grad(unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate_grad(unbroadcast(out.grad * self.data, other.shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
@@ -279,12 +357,13 @@ class Tensor:
             _op="pow",
         )
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * exponent * self.data ** (exponent - 1))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * exponent * self.data ** (exponent - 1))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
@@ -300,29 +379,30 @@ class Tensor:
             _op="matmul",
         )
 
-        def _backward() -> None:
-            if out.grad is None:
-                return
-            grad = out.grad
-            a, b = self.data, other.data
-            if self.requires_grad:
-                if b.ndim == 1:
-                    grad_a = np.expand_dims(grad, -1) * b
-                elif a.ndim == 1:
-                    grad_a = grad @ np.swapaxes(b, -1, -2)
-                else:
-                    grad_a = grad @ np.swapaxes(b, -1, -2)
-                self._accumulate_grad(unbroadcast(grad_a, self.shape))
-            if other.requires_grad:
-                if a.ndim == 1:
-                    grad_b = np.expand_dims(a, -1) * grad
-                elif b.ndim == 1:
-                    grad_b = np.swapaxes(a, -1, -2) @ grad if grad.ndim > 1 else a.T @ grad
-                else:
-                    grad_b = np.swapaxes(a, -1, -2) @ grad
-                other._accumulate_grad(unbroadcast(grad_b, other.shape))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None:
+                    return
+                grad = out.grad
+                a, b = self.data, other.data
+                if self.requires_grad:
+                    if b.ndim == 1:
+                        grad_a = np.expand_dims(grad, -1) * b
+                    elif a.ndim == 1:
+                        grad_a = grad @ np.swapaxes(b, -1, -2)
+                    else:
+                        grad_a = grad @ np.swapaxes(b, -1, -2)
+                    self._accumulate_grad(unbroadcast(grad_a, self.shape))
+                if other.requires_grad:
+                    if a.ndim == 1:
+                        grad_b = np.expand_dims(a, -1) * grad
+                    elif b.ndim == 1:
+                        grad_b = np.swapaxes(a, -1, -2) @ grad if grad.ndim > 1 else a.T @ grad
+                    else:
+                        grad_b = np.swapaxes(a, -1, -2) @ grad
+                    other._accumulate_grad(unbroadcast(grad_b, other.shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
@@ -332,23 +412,25 @@ class Tensor:
         out_data = np.exp(self.data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="exp")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * out_data)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * out_data)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def log(self) -> "Tensor":
         out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,), _op="log")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad / self.data)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad / self.data)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def sqrt(self) -> "Tensor":
@@ -358,36 +440,39 @@ class Tensor:
         out_data = np.tanh(self.data)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="tanh")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * (1.0 - out_data ** 2))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * (1.0 - out_data ** 2))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="sigmoid")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * out_data * (1.0 - out_data))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * out_data * (1.0 - out_data))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,), _op="relu")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * mask)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * mask)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def gelu(self) -> "Tensor":
@@ -399,27 +484,29 @@ class Tensor:
         out_data = 0.5 * x * (1.0 + tanh_inner)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="gelu")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            sech2 = 1.0 - tanh_inner ** 2
-            d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-            self._accumulate_grad(out.grad * grad)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                sech2 = 1.0 - tanh_inner ** 2
+                d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
+                grad = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+                self._accumulate_grad(out.grad * grad)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
         out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,), _op="abs")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * sign)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * sign)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def clip(self, low: float, high: float) -> "Tensor":
@@ -428,12 +515,13 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
         out = Tensor(clipped, requires_grad=self.requires_grad, _prev=(self,), _op="clip")
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad * mask)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad * mask)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
@@ -447,18 +535,19 @@ class Tensor:
             _op="sum",
         )
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            grad = out.grad
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                axes = tuple(a % self.data.ndim for a in axes)
-                for a in sorted(axes):
-                    grad = np.expand_dims(grad, a)
-            self._accumulate_grad(np.broadcast_to(grad, self.shape).copy())
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                    axes = tuple(a % self.data.ndim for a in axes)
+                    for a in sorted(axes):
+                        grad = np.expand_dims(grad, a)
+                self._accumulate_grad(np.broadcast_to(grad, self.shape).copy())
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
@@ -477,21 +566,24 @@ class Tensor:
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="max")
-        if axis is None:
-            mask = (self.data == self.data.max()).astype(self.data.dtype)
-        else:
-            mask = (self.data == self.data.max(axis=axis, keepdims=True)).astype(self.data.dtype)
-        mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            grad = out.grad
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            self._accumulate_grad(mask * grad)
+        if out.requires_grad:
+            if axis is None:
+                mask = (self.data == self.data.max()).astype(self.data.dtype)
+            else:
+                mask = (self.data == self.data.max(axis=axis, keepdims=True)).astype(self.data.dtype)
+            mask = mask / np.maximum(
+                mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0
+            )
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate_grad(mask * grad)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
@@ -508,12 +600,13 @@ class Tensor:
             _op="reshape",
         )
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad.reshape(original_shape))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad.reshape(original_shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def transpose(self, *axes: int) -> "Tensor":
@@ -529,12 +622,13 @@ class Tensor:
         )
         inverse = np.argsort(axes)
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad.transpose(inverse))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad.transpose(inverse))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
@@ -550,14 +644,15 @@ class Tensor:
             _op="getitem",
         )
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, index, out.grad)
-            self._accumulate_grad(grad)
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate_grad(grad)
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def expand_dims(self, axis: int) -> "Tensor":
@@ -568,12 +663,13 @@ class Tensor:
             _op="expand_dims",
         )
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(np.squeeze(out.grad, axis=axis))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(np.squeeze(out.grad, axis=axis))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
@@ -585,12 +681,13 @@ class Tensor:
             _op="squeeze",
         )
 
-        def _backward() -> None:
-            if out.grad is None or not self.requires_grad:
-                return
-            self._accumulate_grad(out.grad.reshape(original_shape))
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad.reshape(original_shape))
 
-        out._backward = _backward
+            out._backward = _backward
         return out
 
     # ------------------------------------------------------------------
@@ -628,17 +725,18 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
-    def _backward() -> None:
-        if out.grad is None:
-            return
-        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
-            if not tensor.requires_grad:
-                continue
-            slicer = [slice(None)] * out.grad.ndim
-            slicer[axis] = slice(start, end)
-            tensor._accumulate_grad(out.grad[tuple(slicer)])
+    if out.requires_grad:
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                if not tensor.requires_grad:
+                    continue
+                slicer = [slice(None)] * out.grad.ndim
+                slicer[axis] = slice(start, end)
+                tensor._accumulate_grad(out.grad[tuple(slicer)])
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
@@ -653,15 +751,16 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         _op="stack",
     )
 
-    def _backward() -> None:
-        if out.grad is None:
-            return
-        grads = np.split(out.grad, len(tensors), axis=axis)
-        for tensor, grad in zip(tensors, grads):
-            if tensor.requires_grad:
-                tensor._accumulate_grad(np.squeeze(grad, axis=axis))
+    if out.requires_grad:
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            grads = np.split(out.grad, len(tensors), axis=axis)
+            for tensor, grad in zip(tensors, grads):
+                if tensor.requires_grad:
+                    tensor._accumulate_grad(np.squeeze(grad, axis=axis))
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 
@@ -676,15 +775,16 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
         _op="where",
     )
 
-    def _backward() -> None:
-        if out.grad is None:
-            return
-        if a.requires_grad:
-            a._accumulate_grad(unbroadcast(out.grad * cond, a.shape))
-        if b.requires_grad:
-            b._accumulate_grad(unbroadcast(out.grad * (~cond), b.shape))
+    if out.requires_grad:
+        def _backward() -> None:
+            if out.grad is None:
+                return
+            if a.requires_grad:
+                a._accumulate_grad(unbroadcast(out.grad * cond, a.shape))
+            if b.requires_grad:
+                b._accumulate_grad(unbroadcast(out.grad * (~cond), b.shape))
 
-    out._backward = _backward
+        out._backward = _backward
     return out
 
 

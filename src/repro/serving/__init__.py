@@ -1,0 +1,44 @@
+"""Online inference serving stack (registry → ingestion → batcher → telemetry).
+
+This package turns the trained models into a request-serving system:
+
+* :mod:`repro.serving.registry` — versioned on-disk model registry;
+* :mod:`repro.serving.ingestion` — raw IMU sample streams → preprocessed windows;
+* :mod:`repro.serving.batcher` — micro-batching scheduler with a worker pool;
+* :mod:`repro.serving.telemetry` — latency percentiles, throughput, queue depth,
+  cross-checked against the analytic :mod:`repro.deployment.latency` model;
+* :mod:`repro.serving.server` — the :class:`InferenceServer` facade and the
+  top-level :func:`serve` entry point.
+
+All forwards run on the :func:`repro.nn.no_grad` fast path: no autograd graph
+is recorded during serving.  See ``DESIGN.md`` for the architecture.
+"""
+
+from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
+from .ingestion import IngestionConfig, StreamIngestor
+from .registry import ModelRegistry, ModelVersion
+from .server import InferenceServer, Prediction, ServerConfig, serve
+from .telemetry import (
+    LatencyCrossCheck,
+    TelemetryCollector,
+    TelemetrySnapshot,
+    cross_check_latency,
+)
+
+__all__ = [
+    "BatchRecord",
+    "MicroBatcher",
+    "MicroBatcherConfig",
+    "IngestionConfig",
+    "StreamIngestor",
+    "ModelRegistry",
+    "ModelVersion",
+    "InferenceServer",
+    "Prediction",
+    "ServerConfig",
+    "serve",
+    "LatencyCrossCheck",
+    "TelemetryCollector",
+    "TelemetrySnapshot",
+    "cross_check_latency",
+]

@@ -1,0 +1,247 @@
+"""Micro-batching scheduler for online inference.
+
+Single-window requests arrive one at a time; batched forwards through the
+numpy models are far cheaper per window than one forward per request.  The
+:class:`MicroBatcher` bridges the two: requests are pushed onto a thread-safe
+queue and worker threads drain it in coalesced batches, bounded by a maximum
+batch size (flush immediately when full) and a maximum wait (flush a partial
+batch once the oldest request has waited long enough).  Results are delivered
+through per-request :class:`concurrent.futures.Future` objects, so completion
+order is decoupled from submission order — with several workers, batches may
+finish out of order without mixing up replies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ServingError
+from ..logging_utils import get_logger
+
+logger = get_logger(__name__)
+
+BatchHandler = Callable[[np.ndarray], np.ndarray]
+"""Maps a batch of windows ``(B, L, C)`` to per-window outputs ``(B, ...)``."""
+
+
+@dataclass
+class MicroBatcherConfig:
+    """Tuning knobs of the micro-batching scheduler."""
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    num_workers: int = 1
+    queue_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ServingError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ServingError("max_wait_ms must be non-negative")
+        if self.num_workers <= 0:
+            raise ServingError("num_workers must be positive")
+        if self.queue_capacity <= 0:
+            raise ServingError("queue_capacity must be positive")
+
+
+@dataclass
+class _PendingRequest:
+    """One queued window together with its reply future."""
+
+    window: np.ndarray
+    future: "Future[np.ndarray]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+@dataclass
+class BatchRecord:
+    """Bookkeeping for one executed batch (consumed by telemetry)."""
+
+    batch_size: int
+    queue_depth_after: int
+    wait_ms: float
+    compute_ms: float
+
+
+class MicroBatcher:
+    """Coalesce single-window requests into batched forwards.
+
+    Parameters
+    ----------
+    handler:
+        Callable executing one batched forward.  It receives a stacked
+        ``(B, L, C)`` array and must return an array whose leading dimension
+        is ``B``; row ``i`` resolves request ``i``'s future.
+    config:
+        Batch-size / wait / worker-pool configuration.
+    on_batch:
+        Optional callback invoked with a :class:`BatchRecord` after every
+        batch (the telemetry hook).
+    """
+
+    def __init__(
+        self,
+        handler: BatchHandler,
+        config: Optional[MicroBatcherConfig] = None,
+        on_batch: Optional[Callable[[BatchRecord], None]] = None,
+    ) -> None:
+        self.handler = handler
+        self.config = config if config is not None else MicroBatcherConfig()
+        self.on_batch = on_batch
+        self._queue: Deque[_PendingRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._batches_processed = 0
+        self._requests_processed = 0
+        self._workers: List[threading.Thread] = [
+            threading.Thread(target=self._worker_loop, name=f"microbatch-worker-{i}", daemon=True)
+            for i in range(self.config.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, window: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue one window; the returned future resolves to its output row."""
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise ServingError(
+                f"submit() expects a single (window_length, channels) window, got {window.shape}"
+            )
+        request = _PendingRequest(window=window, future=Future())
+        with self._not_empty:
+            if self._closed:
+                raise ServingError("cannot submit to a closed MicroBatcher")
+            if len(self._queue) >= self.config.queue_capacity:
+                raise ServingError(
+                    f"queue capacity {self.config.queue_capacity} exceeded; shed load upstream"
+                )
+            self._queue.append(request)
+            self._not_empty.notify()
+        return request.future
+
+    def submit_many(self, windows: Sequence[np.ndarray]) -> List["Future[np.ndarray]"]:
+        """Enqueue several windows at once (a burst of requests)."""
+        return [self.submit(window) for window in windows]
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests waiting to be batched."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def batches_processed(self) -> int:
+        with self._lock:
+            return self._batches_processed
+
+    @property
+    def requests_processed(self) -> int:
+        with self._lock:
+            return self._requests_processed
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> Optional[List[_PendingRequest]]:
+        """Block until a batch is ready (or the batcher closes; then ``None``).
+
+        A batch is released as soon as either (a) ``max_batch_size`` requests
+        are queued, or (b) at least one request is queued and the oldest has
+        waited ``max_wait_ms`` — an idle queue costs no CPU because workers
+        sleep on the condition variable.
+        """
+        cfg = self.config
+        max_wait_s = cfg.max_wait_ms / 1000.0
+        with self._not_empty:
+            while True:
+                if self._closed and not self._queue:
+                    return None
+                if self._queue:
+                    if len(self._queue) >= cfg.max_batch_size or self._closed:
+                        break
+                    oldest_wait = time.perf_counter() - self._queue[0].enqueued_at
+                    remaining = max_wait_s - oldest_wait
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(timeout=remaining)
+                else:
+                    # Both submit() and close() notify, so idle workers can
+                    # block indefinitely without burning CPU.
+                    self._not_empty.wait()
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(cfg.max_batch_size, len(self._queue)))
+            ]
+            return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            started = time.perf_counter()
+            try:
+                # Inside the try: mixed window shapes must fail the batch's
+                # futures, not kill the worker thread.
+                windows = np.stack([request.window for request in batch], axis=0)
+                outputs = np.asarray(self.handler(windows))
+                if outputs.shape[0] != len(batch):
+                    raise ServingError(
+                        f"handler returned leading dimension {outputs.shape[0]} "
+                        f"for a batch of {len(batch)}"
+                    )
+            except BaseException as exc:  # propagate to every waiting client
+                for request in batch:
+                    request.future.set_exception(exc)
+                logger.exception("micro-batch handler failed for batch of %d", len(batch))
+                continue
+            finished = time.perf_counter()
+            for row, request in enumerate(batch):
+                request.future.set_result(outputs[row])
+            record = BatchRecord(
+                batch_size=len(batch),
+                queue_depth_after=self.queue_depth,
+                wait_ms=1000.0 * (started - batch[0].enqueued_at),
+                compute_ms=1000.0 * (finished - started),
+            )
+            with self._lock:
+                self._batches_processed += 1
+                self._requests_processed += len(batch)
+            if self.on_batch is not None:
+                self.on_batch(record)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests; optionally wait for queued work to finish."""
+        with self._not_empty:
+            if self._closed:
+                return
+            self._closed = True
+            self._not_empty.notify_all()
+        if drain:
+            for worker in self._workers:
+                worker.join(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,181 @@
+"""Streaming ingestion: raw IMU sample streams → model-ready windows.
+
+Phones push raw sensor samples at their native rate (50–200 Hz); the models
+consume 20 Hz windows of fixed length, normalised as in the paper
+(Section VII-A-2).  :class:`StreamIngestor` performs that conversion
+incrementally: it buffers arbitrary-size chunks of ``(n, channels)`` samples,
+downsamples them by block averaging, and emits every complete (possibly
+overlapping) window as soon as enough samples have accumulated, reusing the
+batch preprocessing from :mod:`repro.signal.preprocessing` so offline training
+and online serving share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ServingError
+from ..signal.preprocessing import downsample, normalize_imu, slice_windows
+
+
+@dataclass
+class IngestionConfig:
+    """Shape and rate conversion applied to one device stream."""
+
+    window_length: int = 120
+    num_channels: int = 6
+    source_rate_hz: float = 20.0
+    target_rate_hz: float = 20.0
+    stride: Optional[int] = None  # defaults to non-overlapping windows
+    accel_axes: Tuple[int, ...] = (0, 1, 2)
+    magnetometer_axes: Tuple[int, ...] = ()
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_length <= 0 or self.num_channels <= 0:
+            raise ServingError("window_length and num_channels must be positive")
+        if self.source_rate_hz <= 0 or self.target_rate_hz <= 0:
+            raise ServingError("sample rates must be positive")
+        if self.target_rate_hz > self.source_rate_hz:
+            raise ServingError("target_rate_hz must not exceed source_rate_hz")
+        ratio = self.source_rate_hz / self.target_rate_hz
+        if abs(ratio - round(ratio)) > 1e-6 * ratio:
+            # Block-average decimation can only divide the rate by an integer;
+            # accepting 50 -> 20 Hz would silently emit 25 Hz windows.
+            raise ServingError(
+                f"source/target rate ratio must be an integer for decimation, "
+                f"got {self.source_rate_hz}/{self.target_rate_hz} = {ratio:g}"
+            )
+        if self.stride is not None and self.stride <= 0:
+            raise ServingError("stride must be positive")
+
+    @property
+    def decimation_factor(self) -> int:
+        return max(1, int(round(self.source_rate_hz / self.target_rate_hz)))
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride is not None else self.window_length
+
+
+class StreamIngestor:
+    """Stateful adapter from a raw sample stream to preprocessed windows.
+
+    Not thread-safe by design: one ingestor belongs to one device stream.
+    Use one instance per connected client and share the downstream batcher.
+    """
+
+    def __init__(self, config: Optional[IngestionConfig] = None) -> None:
+        self.config = config if config is not None else IngestionConfig()
+        factor = self.config.decimation_factor
+        self._raw_buffer = np.empty((0, self.config.num_channels), dtype=np.float64)
+        self._window_buffer = np.empty((0, self.config.num_channels), dtype=np.float64)
+        self._factor = factor
+        self._samples_seen = 0
+        self._windows_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def push(self, samples: np.ndarray) -> np.ndarray:
+        """Feed a chunk of raw samples; return every newly completed window.
+
+        Parameters
+        ----------
+        samples:
+            ``(n, channels)`` chunk at the source rate (a single ``(channels,)``
+            sample is also accepted).
+
+        Returns
+        -------
+        ``(k, window_length, channels)`` array of normalised windows
+        (``k`` may be 0 while the buffers fill up).
+        """
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim == 1:
+            samples = samples[None, :]
+        if samples.ndim != 2 or samples.shape[1] != self.config.num_channels:
+            raise ServingError(
+                f"expected (n, {self.config.num_channels}) samples, got shape {samples.shape}"
+            )
+        self._samples_seen += samples.shape[0]
+        self._raw_buffer = np.concatenate([self._raw_buffer, samples], axis=0)
+
+        # 1. Downsample complete decimation blocks to the target rate.
+        usable = (self._raw_buffer.shape[0] // self._factor) * self._factor
+        if usable:
+            decimated = downsample(
+                self._raw_buffer[:usable],
+                source_rate=self.config.source_rate_hz,
+                target_rate=self.config.target_rate_hz,
+            )
+            self._raw_buffer = self._raw_buffer[usable:]
+            self._window_buffer = np.concatenate([self._window_buffer, decimated], axis=0)
+
+        # 2. Slice every complete window out of the target-rate buffer.
+        cfg = self.config
+        if self._window_buffer.shape[0] < cfg.window_length:
+            return np.empty((0, cfg.window_length, cfg.num_channels))
+        windows = slice_windows(
+            self._window_buffer, cfg.window_length, stride=cfg.effective_stride
+        )
+        consumed = windows.shape[0] * cfg.effective_stride
+        # Overlapping windows (stride < window_length) keep a tail for reuse.
+        self._window_buffer = self._window_buffer[consumed:]
+        self._windows_emitted += windows.shape[0]
+
+        # 3. Normalise exactly like the offline pipeline.
+        if cfg.normalize:
+            windows = normalize_imu(
+                windows,
+                accel_axes=cfg.accel_axes,
+                magnetometer_axes=cfg.magnetometer_axes,
+            )
+        return windows
+
+    def stream(self, chunks: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
+        """Iterate over ``chunks``, yielding each completed window individually."""
+        for chunk in chunks:
+            for window in self.push(chunk):
+                yield window
+
+    def flush(self, pad: bool = False) -> np.ndarray:
+        """Emit any trailing partial window (zero-padded when ``pad=True``).
+
+        Without padding the remainder is simply discarded, matching the
+        offline ``drop_last=True`` windowing.
+        """
+        cfg = self.config
+        remainder = self._window_buffer
+        self._window_buffer = np.empty((0, cfg.num_channels), dtype=np.float64)
+        self._raw_buffer = np.empty((0, cfg.num_channels), dtype=np.float64)
+        if not pad or remainder.shape[0] == 0:
+            return np.empty((0, cfg.window_length, cfg.num_channels))
+        padded = np.zeros((cfg.window_length, cfg.num_channels), dtype=np.float64)
+        padded[: remainder.shape[0]] = remainder[: cfg.window_length]
+        window = padded[None]
+        if cfg.normalize:
+            window = normalize_imu(
+                window, accel_axes=cfg.accel_axes, magnetometer_axes=cfg.magnetometer_axes
+            )
+        self._windows_emitted += 1
+        return window
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def samples_seen(self) -> int:
+        return self._samples_seen
+
+    @property
+    def windows_emitted(self) -> int:
+        return self._windows_emitted
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples buffered (at the target rate) not yet emitted as a window."""
+        return int(self._window_buffer.shape[0])

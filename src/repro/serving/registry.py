@@ -1,0 +1,252 @@
+"""Versioned on-disk registry of trained classification models.
+
+The registry is the deployment boundary between training and serving: a
+fine-tuned :class:`~repro.models.composite.ClassificationModel` is *published*
+once (snapshotting its parameters through :mod:`repro.nn.serialization`) and
+then *loaded* by any number of serving processes.  Checkpoints are versioned
+by ``(dataset, task, profile)`` so a server can pin a version or follow the
+latest one, and every checkpoint carries enough metadata (backbone
+architecture, number of classes) to rebuild the model without importing the
+training code that produced it.
+
+Layout on disk::
+
+    <root>/<dataset>/<task>/<profile>/v<NNN>.npz
+
+Each ``.npz`` stores the flat state dict plus a JSON metadata blob with the
+architecture, so a registry directory is fully self-describing and portable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ServingError
+from ..models.backbone import BackboneConfig, SagaBackbone
+from ..models.composite import ClassificationModel
+from ..nn.serialization import load_metadata, load_state_dict, save_module
+
+PathLike = Union[str, Path]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published checkpoint in the registry."""
+
+    dataset: str
+    task: str
+    profile: str
+    version: int
+    path: Path
+    metadata: Dict[str, Any]
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.dataset, self.task, self.profile)
+
+    @property
+    def name(self) -> str:
+        """Human-readable identifier, e.g. ``hhar/activity/bench@v3``."""
+        return f"{self.dataset}/{self.task}/{self.profile}@v{self.version}"
+
+
+def _sanitise(component: str, field: str) -> str:
+    component = str(component).strip().lower()
+    if not component or any(ch in component for ch in "/\\.@"):
+        raise ServingError(f"invalid registry {field} component: {component!r}")
+    return component
+
+
+class ModelRegistry:
+    """Load, snapshot and version trained classification models.
+
+    The registry is thread-safe: publishing and loading may happen
+    concurrently from the serving worker threads and a training thread.
+    Loaded models are cached per version, so repeated :meth:`load` calls are
+    cheap and every server process sharing a registry shares the weights.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._cache: Dict[Path, ClassificationModel] = {}
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        model: ClassificationModel,
+        dataset: str,
+        task: str,
+        profile: str = "bench",
+        extra_metadata: Optional[Dict[str, Any]] = None,
+    ) -> ModelVersion:
+        """Snapshot ``model`` as the next version for ``(dataset, task, profile)``."""
+        if not isinstance(model, ClassificationModel):
+            raise ServingError(
+                f"registry can only publish ClassificationModel, got {type(model).__name__}"
+            )
+        dataset = _sanitise(dataset, "dataset")
+        task = _sanitise(task, "task")
+        profile = _sanitise(profile, "profile")
+        backbone_config = model.backbone.config
+        metadata: Dict[str, Any] = {
+            "schema_version": _SCHEMA_VERSION,
+            "dataset": dataset,
+            "task": task,
+            "profile": profile,
+            "num_classes": model.num_classes,
+            "classifier_hidden_dim": model.classifier.gru.hidden_dim,
+            "backbone_config": dict(backbone_config.__dict__),
+            "num_parameters": model.num_parameters(),
+        }
+        if extra_metadata:
+            metadata["extra"] = dict(extra_metadata)
+        with self._lock:
+            version = self._next_version(dataset, task, profile)
+            metadata["version"] = version
+            directory = self.root / dataset / task / profile
+            directory.mkdir(parents=True, exist_ok=True)
+            path = save_module(model, directory / f"v{version:03d}.npz", metadata=metadata)
+            return ModelVersion(
+                dataset=dataset, task=task, profile=profile,
+                version=version, path=path, metadata=metadata,
+            )
+
+    def _next_version(self, dataset: str, task: str, profile: str) -> int:
+        existing = self._version_files(dataset, task, profile)
+        return (max(existing) + 1) if existing else 1
+
+    def _version_files(self, dataset: str, task: str, profile: str) -> Dict[int, Path]:
+        directory = self.root / dataset / task / profile
+        if not directory.is_dir():
+            return {}
+        files: Dict[int, Path] = {}
+        for entry in directory.glob("v*.npz"):
+            stem = entry.name[1:].split(".", 1)[0]
+            if stem.isdigit():
+                files[int(stem)] = entry
+        return files
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def versions(self, dataset: str, task: str, profile: str = "bench") -> List[ModelVersion]:
+        """All published versions for one key, oldest first."""
+        dataset, task, profile = (
+            _sanitise(dataset, "dataset"), _sanitise(task, "task"), _sanitise(profile, "profile"),
+        )
+        with self._lock:
+            files = self._version_files(dataset, task, profile)
+            versions = []
+            for number in sorted(files):
+                metadata = load_metadata(files[number])
+                versions.append(
+                    ModelVersion(
+                        dataset=dataset, task=task, profile=profile,
+                        version=number, path=files[number], metadata=metadata,
+                    )
+                )
+            return versions
+
+    def latest(self, dataset: str, task: str, profile: str = "bench") -> ModelVersion:
+        """The newest published version for one key."""
+        versions = self.versions(dataset, task, profile)
+        if not versions:
+            raise ServingError(
+                f"no model published for {dataset}/{task}/{profile} under {self.root}"
+            )
+        return versions[-1]
+
+    def list_all(self) -> List[ModelVersion]:
+        """Every version in the registry, sorted by key then version."""
+        entries: List[ModelVersion] = []
+        with self._lock:
+            for checkpoint in sorted(self.root.glob("*/*/*/v*.npz")):
+                profile_dir = checkpoint.parent
+                dataset, task, profile = (
+                    profile_dir.parent.parent.name, profile_dir.parent.name, profile_dir.name,
+                )
+                stem = checkpoint.name[1:].split(".", 1)[0]
+                if not stem.isdigit():
+                    continue
+                metadata = load_metadata(checkpoint)
+                entries.append(
+                    ModelVersion(
+                        dataset=dataset, task=task, profile=profile,
+                        version=int(stem), path=checkpoint, metadata=metadata,
+                    )
+                )
+        return entries
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        dataset: str,
+        task: str,
+        profile: str = "bench",
+        version: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[ClassificationModel, ModelVersion]:
+        """Rebuild and load a published model (latest version by default).
+
+        The returned model is in eval mode with frozen parameters — it is a
+        serving artefact, not a training checkpoint.  Models are cached per
+        checkpoint path, so concurrent servers share one instance.
+        """
+        if version is None:
+            record = self.latest(dataset, task, profile)
+        else:
+            files = self._version_files(
+                _sanitise(dataset, "dataset"), _sanitise(task, "task"),
+                _sanitise(profile, "profile"),
+            )
+            if version not in files:
+                raise ServingError(
+                    f"version v{version} not found for {dataset}/{task}/{profile}; "
+                    f"available: {sorted(files)}"
+                )
+            metadata = load_metadata(files[version])
+            record = ModelVersion(
+                dataset=dataset.lower(), task=task.lower(), profile=profile.lower(),
+                version=version, path=files[version], metadata=metadata,
+            )
+        with self._lock:
+            cached = self._cache.get(record.path)
+            if cached is not None:
+                return cached, record
+            model = self._rebuild(record, rng=rng)
+            self._cache[record.path] = model
+            return model, record
+
+    def _rebuild(
+        self, record: ModelVersion, rng: Optional[np.random.Generator] = None
+    ) -> ClassificationModel:
+        metadata = record.metadata
+        try:
+            backbone_config = BackboneConfig(**metadata["backbone_config"])
+            num_classes = int(metadata["num_classes"])
+            hidden_dim = int(metadata.get("classifier_hidden_dim", 32))
+        except (KeyError, TypeError) as exc:
+            raise ServingError(f"checkpoint {record.path} has invalid metadata: {exc}") from exc
+        generator = rng if rng is not None else np.random.default_rng(0)
+        backbone = SagaBackbone(backbone_config, rng=generator)
+        model = ClassificationModel(
+            backbone, num_classes, classifier_hidden_dim=hidden_dim, rng=generator
+        )
+        state, _ = load_state_dict(record.path)
+        model.load_state_dict(state)
+        model.eval()
+        model.requires_grad_(False)
+        return model

@@ -1,0 +1,227 @@
+"""The inference server: registry → ingestion → micro-batcher → telemetry.
+
+:class:`InferenceServer` is the top of the serving stack.  It owns a
+:class:`~repro.serving.batcher.MicroBatcher` whose handler runs the model's
+no-grad inference fast path, resolves each request into a :class:`Prediction`
+(label, probabilities, end-to-end latency) and feeds a
+:class:`~repro.serving.telemetry.TelemetryCollector`.  Models come either
+directly (``InferenceServer(model=...)``) or from a
+:class:`~repro.serving.registry.ModelRegistry` key, which is how a production
+deployment would pin a published version.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ServingError
+from ..logging_utils import get_logger
+from ..models.composite import ClassificationModel
+from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
+from .ingestion import IngestionConfig, StreamIngestor
+from .registry import ModelRegistry, ModelVersion
+from .telemetry import TelemetryCollector, TelemetrySnapshot
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One classified window."""
+
+    label: int
+    probabilities: np.ndarray
+    latency_ms: float
+
+    @property
+    def confidence(self) -> float:
+        return float(self.probabilities[self.label])
+
+
+@dataclass
+class ServerConfig:
+    """End-to-end serving configuration."""
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    num_workers: int = 1
+    queue_capacity: int = 4096
+    ingestion: IngestionConfig = field(default_factory=IngestionConfig)
+
+    def batcher_config(self) -> MicroBatcherConfig:
+        return MicroBatcherConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_ms=self.max_wait_ms,
+            num_workers=self.num_workers,
+            queue_capacity=self.queue_capacity,
+        )
+
+
+class InferenceServer:
+    """Serve classification requests over a published or in-memory model."""
+
+    def __init__(
+        self,
+        model: Optional[ClassificationModel] = None,
+        registry: Optional[ModelRegistry] = None,
+        dataset: Optional[str] = None,
+        task: Optional[str] = None,
+        profile: str = "bench",
+        version: Optional[int] = None,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        if model is None:
+            if registry is None or dataset is None or task is None:
+                raise ServingError(
+                    "provide either a model or a registry plus (dataset, task)"
+                )
+            model, self.model_version = registry.load(
+                dataset, task, profile=profile, version=version
+            )
+        else:
+            self.model_version: Optional[ModelVersion] = None
+        model.eval()
+        self.model = model
+        self.config = config if config is not None else ServerConfig()
+        self.telemetry = TelemetryCollector()
+        self._batcher = MicroBatcher(
+            handler=self._run_batch,
+            config=self.config.batcher_config(),
+            on_batch=self._on_batch,
+        )
+        if self.model_version is not None:
+            logger.info("serving %s", self.model_version.name)
+
+    # ------------------------------------------------------------------
+    # Batched forward (worker threads)
+    # ------------------------------------------------------------------
+    def _run_batch(self, windows: np.ndarray) -> np.ndarray:
+        """One coalesced forward on the no-grad fast path; returns probabilities."""
+        return self.model.predict_proba(windows)
+
+    def _on_batch(self, record: BatchRecord) -> None:
+        self.telemetry.record_batch(
+            batch_size=record.batch_size,
+            queue_depth=record.queue_depth_after,
+            wait_ms=record.wait_ms,
+            compute_ms=record.compute_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def submit(self, window: np.ndarray) -> "Future[Prediction]":
+        """Enqueue one preprocessed window; resolves to a :class:`Prediction`."""
+        window = np.asarray(window, dtype=np.float64)
+        expected = (
+            self.model.backbone.config.window_length,
+            self.model.backbone.config.input_channels,
+        )
+        if window.shape != expected:
+            raise ServingError(
+                f"window shape {window.shape} does not match the served model's "
+                f"(window_length, channels) = {expected}"
+            )
+        submitted = time.perf_counter()
+        inner = self._batcher.submit(window)
+        result: "Future[Prediction]" = Future()
+
+        def _resolve(done: "Future[np.ndarray]") -> None:
+            exc = done.exception()
+            if exc is not None:
+                result.set_exception(exc)
+                return
+            probabilities = done.result()
+            latency_ms = 1000.0 * (time.perf_counter() - submitted)
+            self.telemetry.record_request(latency_ms)
+            result.set_result(
+                Prediction(
+                    label=int(np.argmax(probabilities)),
+                    probabilities=probabilities,
+                    latency_ms=latency_ms,
+                )
+            )
+
+        inner.add_done_callback(_resolve)
+        return result
+
+    def predict(self, window: np.ndarray, timeout: Optional[float] = 30.0) -> Prediction:
+        """Synchronous single-window classification."""
+        return self.submit(window).result(timeout=timeout)
+
+    def predict_many(
+        self, windows: Sequence[np.ndarray], timeout: Optional[float] = 60.0
+    ) -> List[Prediction]:
+        """Classify a burst of windows, letting the batcher coalesce them."""
+        futures = [self.submit(window) for window in windows]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def classify_stream(
+        self,
+        chunks: Iterable[np.ndarray],
+        ingestor: Optional[StreamIngestor] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> List[Prediction]:
+        """End-to-end path: raw sample chunks → windows → batched predictions."""
+        if ingestor is None:
+            ingestor = StreamIngestor(self.config.ingestion)
+        futures: List["Future[Prediction]"] = []
+        for chunk in chunks:
+            for window in ingestor.push(chunk):
+                futures.append(self.submit(window))
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> TelemetrySnapshot:
+        return self.telemetry.snapshot()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.queue_depth
+
+    def close(self) -> None:
+        self._batcher.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(
+    model: Optional[ClassificationModel] = None,
+    registry: Optional[ModelRegistry] = None,
+    dataset: Optional[str] = None,
+    task: Optional[str] = None,
+    profile: str = "bench",
+    version: Optional[int] = None,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    num_workers: int = 1,
+    ingestion: Optional[IngestionConfig] = None,
+) -> InferenceServer:
+    """Build and start an :class:`InferenceServer` (the ``repro.serve`` entry point).
+
+    >>> from repro import serve
+    >>> server = serve(model=trained_model, max_batch_size=64)
+    >>> prediction = server.predict(window)
+    """
+    config = ServerConfig(
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        num_workers=num_workers,
+    )
+    if ingestion is not None:
+        config.ingestion = ingestion
+    return InferenceServer(
+        model=model, registry=registry, dataset=dataset, task=task,
+        profile=profile, version=version, config=config,
+    )

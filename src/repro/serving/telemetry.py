@@ -1,0 +1,171 @@
+"""Serving telemetry: latency percentiles, throughput, queue depth.
+
+Collects per-request and per-batch measurements from the serving stack and
+summarises them into a :class:`TelemetrySnapshot`.  The snapshot can be
+cross-checked against the analytic latency model of
+:mod:`repro.deployment.latency` (paper Fig. 13): the analytic model predicts
+per-window compute latency from FLOPs, so observed serving latency should
+track the prediction up to queueing/batching overhead.  A large divergence is
+a regression signal for either the model or the server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..deployment.devices import PhoneSpec
+from ..deployment.latency import model_latency
+from ..exceptions import ServingError
+from ..nn.module import Module
+
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Aggregated view of the serving stack at one instant."""
+
+    requests: int
+    batches: int
+    window_seconds: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    mean_batch_size: float
+    max_queue_depth: int
+    mean_queue_wait_ms: float
+    mean_compute_ms: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "window_seconds": self.window_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "mean_batch_size": self.mean_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_wait_ms": self.mean_queue_wait_ms,
+            "mean_compute_ms": self.mean_compute_ms,
+        }
+
+
+@dataclass(frozen=True)
+class LatencyCrossCheck:
+    """Observed serving latency versus the analytic deployment prediction."""
+
+    phone: str
+    predicted_ms: float
+    observed_p50_ms: float
+    ratio: float
+
+    @property
+    def within(self) -> bool:
+        """True when observation and prediction agree within one order of magnitude."""
+        return 0.1 <= self.ratio <= 10.0
+
+
+class TelemetryCollector:
+    """Thread-safe accumulator for request latencies and batch statistics."""
+
+    def __init__(self, percentiles: tuple = DEFAULT_PERCENTILES) -> None:
+        self.percentiles = tuple(percentiles)
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._queue_waits_ms: List[float] = []
+        self._compute_ms: List[float] = []
+        self._max_queue_depth = 0
+        self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, latency_ms: float) -> None:
+        """Record one request's end-to-end latency (submit → result)."""
+        if latency_ms < 0:
+            raise ServingError("latency_ms must be non-negative")
+        with self._lock:
+            self._latencies_ms.append(float(latency_ms))
+
+    def record_batch(
+        self,
+        batch_size: int,
+        queue_depth: int,
+        wait_ms: float,
+        compute_ms: float,
+    ) -> None:
+        """Record one executed batch (typically via the MicroBatcher hook)."""
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+            self._queue_waits_ms.append(float(wait_ms))
+            self._compute_ms.append(float(compute_ms))
+            if queue_depth > self._max_queue_depth:
+                self._max_queue_depth = int(queue_depth)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._latencies_ms.clear()
+            self._batch_sizes.clear()
+            self._queue_waits_ms.clear()
+            self._compute_ms.clear()
+            self._max_queue_depth = 0
+            self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TelemetrySnapshot:
+        with self._lock:
+            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            batch_sizes = self._batch_sizes[:]
+            queue_waits = self._queue_waits_ms[:]
+            compute = self._compute_ms[:]
+            max_depth = self._max_queue_depth
+            elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+        latency_ms: Dict[str, float] = {}
+        if latencies.size:
+            for pct in self.percentiles:
+                latency_ms[f"p{pct:g}"] = float(np.percentile(latencies, pct))
+            latency_ms["mean"] = float(latencies.mean())
+            latency_ms["max"] = float(latencies.max())
+        return TelemetrySnapshot(
+            requests=int(latencies.size),
+            batches=len(batch_sizes),
+            window_seconds=float(elapsed),
+            throughput_rps=float(latencies.size / elapsed),
+            latency_ms=latency_ms,
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            max_queue_depth=max_depth,
+            mean_queue_wait_ms=float(np.mean(queue_waits)) if queue_waits else 0.0,
+            mean_compute_ms=float(np.mean(compute)) if compute else 0.0,
+        )
+
+
+def cross_check_latency(
+    snapshot: TelemetrySnapshot,
+    model: Module,
+    window_length: int,
+    phone: PhoneSpec,
+) -> LatencyCrossCheck:
+    """Compare observed p50 serving latency with the Fig.-13 analytic prediction.
+
+    The analytic model targets single-window on-device inference, so the
+    comparison uses the p50 end-to-end latency; ``ratio`` > 1 means serving is
+    slower than the idealised device model (queueing, python dispatch), < 1
+    means faster (micro-batching amortisation, faster host CPU).
+    """
+    if snapshot.requests == 0:
+        raise ServingError("cannot cross-check an empty telemetry snapshot")
+    predicted = model_latency(model, window_length, phone)
+    observed = snapshot.latency_ms.get("p50", snapshot.latency_ms.get("mean", 0.0))
+    return LatencyCrossCheck(
+        phone=phone.name,
+        predicted_ms=predicted,
+        observed_p50_ms=observed,
+        ratio=observed / max(predicted, 1e-9),
+    )

@@ -19,7 +19,7 @@ from ..exceptions import ConfigurationError, TrainingError
 from ..logging_utils import get_logger
 from ..models.backbone import SagaBackbone
 from ..models.composite import ClassificationModel, build_classification_model
-from ..nn import Adam, CrossEntropyLoss, clip_grad_norm
+from ..nn import Adam, CrossEntropyLoss, clip_grad_norm, no_grad
 from .history import EpochRecord, TrainingHistory
 from .metrics import ClassificationMetrics, evaluate_predictions
 
@@ -66,8 +66,9 @@ def evaluate_model(model: ClassificationModel, dataset: IMUDataset, task: str,
     labels = dataset.task_labels(task)
     predictions = np.empty(len(dataset), dtype=np.int64)
     loader = DataLoader(dataset, batch_size=batch_size, task=task, shuffle=False)
-    for batch in loader:
-        predictions[batch.indices] = model.predict(batch.windows)
+    with no_grad():
+        for batch in loader:
+            predictions[batch.indices] = model.predict(batch.windows)
     return evaluate_predictions(predictions, labels, num_classes)
 
 

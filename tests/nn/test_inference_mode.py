@@ -1,0 +1,165 @@
+"""The no_grad inference fast path: semantics, thread-locality, module wiring."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+
+
+class TestNoGradSemantics:
+    def test_ops_inside_no_grad_are_detached(self):
+        a = Tensor(np.random.default_rng(0).standard_normal((3, 3)), requires_grad=True)
+        with no_grad():
+            out = (a @ a).relu().sum()
+        assert not out.requires_grad
+        assert out._prev == ()
+        assert out._backward() is None  # noop closure, no graph
+
+    def test_grad_mode_restored_after_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_grad_mode_restored_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_enable_grad_nested_in_no_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            detached = a * 2
+            with enable_grad():
+                attached = a * 3
+        assert not detached.requires_grad
+        assert attached.requires_grad
+        attached.sum().backward()
+        np.testing.assert_allclose(a.grad, 3.0)
+
+    def test_decorator_form(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+
+        @no_grad()
+        def forward(x):
+            assert not is_grad_enabled()
+            return x * 2
+
+        assert not forward(a).requires_grad
+        assert is_grad_enabled()
+
+    def test_leaf_creation_unaffected(self):
+        with no_grad():
+            leaf = Tensor(np.ones(3), requires_grad=True)
+        assert leaf.requires_grad  # no_grad detaches op results, not leaves
+
+    def test_set_grad_enabled_returns_previous(self):
+        previous = set_grad_enabled(False)
+        try:
+            assert previous is True
+            assert not is_grad_enabled()
+        finally:
+            set_grad_enabled(True)
+
+    def test_gradients_identical_with_and_without_interleaved_no_grad(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((4, 4))
+        a = Tensor(data, requires_grad=True)
+        (a.tanh().sum()).backward()
+        expected = a.grad.copy()
+
+        b = Tensor(data, requires_grad=True)
+        with no_grad():
+            b.tanh().sum()  # a discarded inference pass must not disturb training
+        (b.tanh().sum()).backward()
+        np.testing.assert_allclose(b.grad, expected)
+
+
+class TestThreadLocality:
+    def test_no_grad_in_worker_does_not_leak_to_other_threads(self):
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+                observed["worker"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        observed["main"] = is_grad_enabled()  # main thread still records
+        release.set()
+        thread.join(timeout=5.0)
+        assert observed == {"main": True, "worker": False}
+
+
+class TestModuleInference:
+    def test_inference_skips_graph_and_restores_mode(self):
+        model = Sequential(
+            Linear(4, 8, rng=np.random.default_rng(0)),
+            Linear(8, 2, rng=np.random.default_rng(1)),
+        )
+        model.train()
+        out = model.inference(Tensor(np.ones((3, 4))))
+        assert not out.requires_grad
+        assert out._prev == ()
+        assert model.training  # train mode restored
+
+    def test_inference_matches_eval_forward(self):
+        rng = np.random.default_rng(2)
+        model = Linear(5, 3, rng=rng)
+        x = Tensor(rng.standard_normal((6, 5)))
+        model.eval()
+        np.testing.assert_allclose(model.inference(x).data, model(x).data)
+        assert not model.training  # eval mode kept
+
+    def test_training_still_works_after_inference(self):
+        rng = np.random.default_rng(3)
+        model = Linear(4, 1, rng=rng)
+        x = Tensor(rng.standard_normal((8, 4)))
+        model.inference(x)
+        loss = (model(x) ** 2.0).sum()
+        loss.backward()
+        assert model.weight.grad is not None
+
+    def test_requires_grad_freezes_parameters(self):
+        model = Linear(3, 3, rng=np.random.default_rng(4))
+        model.requires_grad_(False)
+        assert all(not p.requires_grad for p in model.parameters())
+        out = model(Tensor(np.ones((2, 3)))).sum()
+        assert not out.requires_grad  # nothing upstream wants gradients
+        model.requires_grad_(True)
+        assert all(p.requires_grad for p in model.parameters())
+
+
+class TestFastPathIsLeaner:
+    def test_no_grad_builds_no_graph_for_deep_chains(self):
+        x = Tensor(np.ones((64, 64)), requires_grad=True)
+        with no_grad():
+            y = x
+            for _ in range(10):
+                y = (y @ x).tanh()
+        assert y._prev == ()
+        # The grad-recording version retains references at every step.
+        z = (x @ x).tanh()
+        assert z._prev != ()

@@ -1,0 +1,37 @@
+"""Shared fixtures for the serving test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.backbone import BackboneConfig, SagaBackbone
+from repro.models.composite import ClassificationModel
+
+WINDOW_LENGTH = 32
+NUM_CHANNELS = 6
+NUM_CLASSES = 4
+
+
+@pytest.fixture(scope="module")
+def serving_model() -> ClassificationModel:
+    """A tiny fixed-seed classification model in eval mode."""
+    rng = np.random.default_rng(42)
+    config = BackboneConfig(
+        input_channels=NUM_CHANNELS,
+        window_length=WINDOW_LENGTH,
+        hidden_dim=8,
+        num_layers=1,
+        num_heads=2,
+        intermediate_dim=16,
+        dropout=0.0,
+    )
+    model = ClassificationModel(SagaBackbone(config, rng=rng), NUM_CLASSES, rng=rng)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def windows() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((20, WINDOW_LENGTH, NUM_CHANNELS))

@@ -1,0 +1,201 @@
+"""Micro-batcher edge cases: timeouts, flush rules, out-of-order completion."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import BatchRecord, MicroBatcher, MicroBatcherConfig
+
+WINDOW = (4, 3)  # (window_length, channels) used by the stub handlers
+
+
+def identity_handler(batch: np.ndarray) -> np.ndarray:
+    """Return each window's mean so outputs are attributable per request."""
+    return batch.mean(axis=(1, 2), keepdims=False)[:, None]
+
+
+def make_window(value: float) -> np.ndarray:
+    return np.full(WINDOW, value, dtype=np.float64)
+
+
+class TestQueueBehaviour:
+    def test_empty_queue_times_out_without_burning_results(self):
+        """Workers idle on an empty queue; a late submit still completes."""
+        with MicroBatcher(identity_handler, MicroBatcherConfig(max_wait_ms=1.0)) as batcher:
+            time.sleep(0.15)  # workers sit in their idle wait
+            assert batcher.queue_depth == 0
+            assert batcher.batches_processed == 0
+            future = batcher.submit(make_window(2.0))
+            assert future.result(timeout=5.0) == pytest.approx([2.0])
+            assert batcher.batches_processed == 1
+
+    def test_partial_batch_flushes_after_max_wait(self):
+        """A lone request must not wait for a full batch."""
+        config = MicroBatcherConfig(max_batch_size=64, max_wait_ms=5.0)
+        with MicroBatcher(identity_handler, config) as batcher:
+            started = time.perf_counter()
+            future = batcher.submit(make_window(1.0))
+            future.result(timeout=5.0)
+            elapsed = time.perf_counter() - started
+            assert elapsed < 2.0  # flushed by max_wait, not by batch-size
+            assert batcher.requests_processed == 1
+
+    def test_max_batch_flush_coalesces_burst(self):
+        """A burst of max_batch_size requests flushes immediately as one batch."""
+        sizes = []
+        config = MicroBatcherConfig(max_batch_size=8, max_wait_ms=500.0)
+        batcher = MicroBatcher(
+            identity_handler, config, on_batch=lambda record: sizes.append(record.batch_size)
+        )
+        # Hold the worker by submitting under a barrier: enqueue all before workers run.
+        futures = batcher.submit_many([make_window(float(i)) for i in range(8)])
+        results = [f.result(timeout=5.0)[0] for f in futures]
+        batcher.close()
+        assert results == pytest.approx([float(i) for i in range(8)])
+        # The burst may be split if a worker grabbed the first request early,
+        # but it must not have waited out the 500 ms deadline per request.
+        assert sum(sizes) == 8
+        assert max(sizes) >= 2
+
+    def test_queue_capacity_sheds_load(self):
+        blocker = threading.Event()
+
+        def slow_handler(batch):
+            blocker.wait(timeout=5.0)
+            return identity_handler(batch)
+
+        config = MicroBatcherConfig(max_batch_size=1, max_wait_ms=0.0, queue_capacity=2)
+        batcher = MicroBatcher(slow_handler, config)
+        try:
+            batcher.submit(make_window(0.0))  # taken by the worker, blocks
+            time.sleep(0.05)
+            batcher.submit(make_window(1.0))
+            batcher.submit(make_window(2.0))
+            with pytest.raises(ServingError, match="capacity"):
+                batcher.submit(make_window(3.0))
+        finally:
+            blocker.set()
+            batcher.close()
+
+
+class TestCompletionSemantics:
+    def test_out_of_order_completion_resolves_correct_futures(self):
+        """With several workers, later batches may finish first; replies must not mix."""
+        release_first = threading.Event()
+        first_batch_seen = threading.Event()
+
+        def stalling_handler(batch):
+            # Stall only the batch containing the marker value 100.
+            if np.any(batch == 100.0):
+                first_batch_seen.set()
+                release_first.wait(timeout=5.0)
+            return identity_handler(batch)
+
+        config = MicroBatcherConfig(max_batch_size=1, max_wait_ms=0.0, num_workers=2)
+        with MicroBatcher(stalling_handler, config) as batcher:
+            slow = batcher.submit(make_window(100.0))
+            assert first_batch_seen.wait(timeout=5.0)
+            fast = [batcher.submit(make_window(float(i))) for i in range(4)]
+            fast_results = [f.result(timeout=5.0)[0] for f in fast]
+            assert not slow.done()  # still stalled while others completed
+            release_first.set()
+            assert slow.result(timeout=5.0) == pytest.approx([100.0])
+            assert fast_results == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_handler_error_propagates_to_every_request(self):
+        def broken_handler(batch):
+            raise RuntimeError("model exploded")
+
+        config = MicroBatcherConfig(max_batch_size=4, max_wait_ms=1.0)
+        with MicroBatcher(broken_handler, config) as batcher:
+            futures = batcher.submit_many([make_window(1.0), make_window(2.0)])
+            for future in futures:
+                with pytest.raises(RuntimeError, match="model exploded"):
+                    future.result(timeout=5.0)
+
+    def test_mixed_window_shapes_fail_batch_but_worker_survives(self):
+        """A malformed window must fail its batch's futures, not kill the worker."""
+        config = MicroBatcherConfig(max_batch_size=4, max_wait_ms=20.0)
+        with MicroBatcher(identity_handler, config) as batcher:
+            bad_batch = [batcher.submit(make_window(1.0)), batcher.submit(np.zeros((9, 3)))]
+            for future in bad_batch:
+                with pytest.raises(ValueError, match="same shape"):
+                    future.result(timeout=5.0)
+            # The worker must still serve subsequent well-formed requests.
+            assert batcher.submit(make_window(5.0)).result(timeout=5.0) == pytest.approx([5.0])
+
+    def test_bad_handler_shape_is_reported(self):
+        def wrong_shape_handler(batch):
+            return np.zeros((batch.shape[0] + 1, 2))
+
+        with MicroBatcher(wrong_shape_handler, MicroBatcherConfig(max_wait_ms=0.0)) as batcher:
+            future = batcher.submit(make_window(1.0))
+            with pytest.raises(ServingError, match="leading dimension"):
+                future.result(timeout=5.0)
+
+
+class TestLifecycle:
+    def test_close_drains_queue_then_rejects(self):
+        config = MicroBatcherConfig(max_batch_size=4, max_wait_ms=50.0)
+        batcher = MicroBatcher(identity_handler, config)
+        futures = batcher.submit_many([make_window(float(i)) for i in range(3)])
+        batcher.close(drain=True)
+        assert [f.result(timeout=5.0)[0] for f in futures] == pytest.approx([0.0, 1.0, 2.0])
+        with pytest.raises(ServingError, match="closed"):
+            batcher.submit(make_window(9.0))
+
+    def test_submit_validates_window_shape(self):
+        with MicroBatcher(identity_handler) as batcher:
+            with pytest.raises(ServingError, match="single"):
+                batcher.submit(np.zeros((2, 4, 3)))
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError):
+            MicroBatcherConfig(max_batch_size=0)
+        with pytest.raises(ServingError):
+            MicroBatcherConfig(max_wait_ms=-1.0)
+        with pytest.raises(ServingError):
+            MicroBatcherConfig(num_workers=0)
+
+
+class TestBatchedEqualsSingle:
+    def test_batched_and_single_window_logits_match(self, serving_model, windows):
+        """Coalescing must not change the numbers: batch-of-N == N batches-of-1."""
+        batched = serving_model.inference(windows).data
+        singles = np.stack(
+            [serving_model.inference(windows[i : i + 1]).data[0] for i in range(len(windows))]
+        )
+        np.testing.assert_allclose(batched, singles, rtol=1e-10, atol=1e-12)
+
+    def test_batcher_matches_direct_forward(self, serving_model, windows):
+        def handler(batch):
+            return serving_model.inference(batch).data
+
+        config = MicroBatcherConfig(max_batch_size=len(windows), max_wait_ms=20.0)
+        with MicroBatcher(handler, config) as batcher:
+            futures = batcher.submit_many(list(windows))
+            served = np.stack([f.result(timeout=10.0) for f in futures])
+        direct = serving_model.inference(windows).data
+        np.testing.assert_allclose(served, direct, rtol=1e-10, atol=1e-12)
+
+    def test_batch_record_fields(self, serving_model, windows):
+        records: list[BatchRecord] = []
+
+        def handler(batch):
+            return serving_model.inference(batch).data
+
+        config = MicroBatcherConfig(max_batch_size=4, max_wait_ms=1.0)
+        with MicroBatcher(handler, config, on_batch=records.append) as batcher:
+            futures = batcher.submit_many(list(windows[:6]))
+            for future in futures:
+                future.result(timeout=10.0)
+        assert sum(record.batch_size for record in records) == 6
+        for record in records:
+            assert record.compute_ms >= 0.0
+            assert record.wait_ms >= 0.0
+            assert record.queue_depth_after >= 0

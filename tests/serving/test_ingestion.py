@@ -1,0 +1,112 @@
+"""Streaming ingestion: chunked pushes must reproduce the offline pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import IngestionConfig, StreamIngestor
+from repro.signal.preprocessing import downsample, normalize_imu, slice_windows
+
+
+def offline_pipeline(samples: np.ndarray, config: IngestionConfig) -> np.ndarray:
+    """The batch path the ingestor must match."""
+    decimated = downsample(samples, config.source_rate_hz, config.target_rate_hz)
+    windows = slice_windows(decimated, config.window_length, stride=config.effective_stride)
+    if windows.shape[0] == 0 or not config.normalize:
+        return windows
+    return normalize_imu(
+        windows, accel_axes=config.accel_axes, magnetometer_axes=config.magnetometer_axes
+    )
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 33, 120, 1000])
+    def test_chunked_push_matches_offline_batch(self, chunk_size):
+        config = IngestionConfig(
+            window_length=24, num_channels=6, source_rate_hz=50.0, target_rate_hz=25.0
+        )
+        rng = np.random.default_rng(3)
+        samples = rng.standard_normal((900, 6))
+        expected = offline_pipeline(samples, config)
+
+        ingestor = StreamIngestor(config)
+        emitted = [
+            ingestor.push(samples[start : start + chunk_size])
+            for start in range(0, samples.shape[0], chunk_size)
+        ]
+        produced = np.concatenate([w for w in emitted if w.shape[0]], axis=0)
+        np.testing.assert_allclose(produced, expected, rtol=1e-12)
+
+    def test_overlapping_windows(self):
+        config = IngestionConfig(
+            window_length=20, num_channels=3, stride=10,
+            source_rate_hz=20.0, target_rate_hz=20.0, normalize=False,
+        )
+        rng = np.random.default_rng(5)
+        samples = rng.standard_normal((200, 3))
+        expected = offline_pipeline(samples, config)
+        ingestor = StreamIngestor(config)
+        produced = np.concatenate(
+            [w for w in (ingestor.push(chunk) for chunk in np.array_split(samples, 13))
+             if w.shape[0]],
+            axis=0,
+        )
+        np.testing.assert_allclose(produced, expected, rtol=1e-12)
+
+    def test_single_sample_pushes_accumulate(self):
+        config = IngestionConfig(
+            window_length=4, num_channels=2, source_rate_hz=20.0, target_rate_hz=20.0,
+            normalize=False,
+        )
+        ingestor = StreamIngestor(config)
+        emitted = 0
+        for i in range(9):
+            windows = ingestor.push(np.full(2, float(i)))
+            emitted += windows.shape[0]
+        assert emitted == 2  # 9 samples -> two complete windows of 4
+        assert ingestor.pending_samples == 1
+        assert ingestor.samples_seen == 9
+
+
+class TestEdgeCases:
+    def test_rejects_wrong_channel_count(self):
+        ingestor = StreamIngestor(IngestionConfig(window_length=8, num_channels=6))
+        with pytest.raises(ServingError, match="expected"):
+            ingestor.push(np.zeros((10, 3)))
+
+    def test_target_rate_above_source_rate_rejected(self):
+        with pytest.raises(ServingError):
+            IngestionConfig(source_rate_hz=20.0, target_rate_hz=50.0)
+
+    def test_non_integer_decimation_ratio_rejected(self):
+        """50 -> 20 Hz would silently decimate to 25 Hz; must be refused."""
+        with pytest.raises(ServingError, match="integer"):
+            IngestionConfig(source_rate_hz=50.0, target_rate_hz=20.0)
+
+    def test_flush_discards_by_default(self):
+        config = IngestionConfig(window_length=10, num_channels=2, normalize=False)
+        ingestor = StreamIngestor(config)
+        ingestor.push(np.ones((6, 2)))
+        assert ingestor.flush().shape == (0, 10, 2)
+        assert ingestor.pending_samples == 0
+
+    def test_flush_pads_when_requested(self):
+        config = IngestionConfig(window_length=10, num_channels=2, normalize=False)
+        ingestor = StreamIngestor(config)
+        ingestor.push(np.ones((6, 2)))
+        window = ingestor.flush(pad=True)
+        assert window.shape == (1, 10, 2)
+        np.testing.assert_allclose(window[0, :6], 1.0)
+        np.testing.assert_allclose(window[0, 6:], 0.0)
+
+    def test_normalisation_applied_like_offline(self):
+        config = IngestionConfig(
+            window_length=8, num_channels=6, accel_axes=(0, 1, 2),
+            source_rate_hz=20.0, target_rate_hz=20.0,
+        )
+        samples = np.ones((8, 6)) * 9.80665
+        windows = StreamIngestor(config).push(samples)
+        np.testing.assert_allclose(windows[0, :, :3], 1.0)  # accel divided by g
+        np.testing.assert_allclose(windows[0, :, 3:], 9.80665)  # gyro untouched

@@ -1,0 +1,119 @@
+"""Model registry: publish / version / load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import ModelRegistry
+
+
+class TestPublish:
+    def test_publish_assigns_increasing_versions(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.publish(serving_model, "hhar", "activity", "bench")
+        v2 = registry.publish(serving_model, "hhar", "activity", "bench")
+        assert (v1.version, v2.version) == (1, 2)
+        assert v1.path.exists() and v2.path.exists()
+        assert v2.name == "hhar/activity/bench@v2"
+
+    def test_keys_are_independent(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity", "bench")
+        other = registry.publish(serving_model, "motion", "user", "bench")
+        assert other.version == 1
+        assert registry.latest("hhar", "activity").version == 1
+
+    def test_metadata_describes_architecture(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(
+            serving_model, "hhar", "activity", extra_metadata={"accuracy": 0.91}
+        )
+        assert record.metadata["num_classes"] == serving_model.num_classes
+        assert record.metadata["backbone_config"]["hidden_dim"] == 8
+        assert record.metadata["extra"]["accuracy"] == 0.91
+
+    def test_rejects_bad_key_components(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ServingError):
+            registry.publish(serving_model, "../escape", "activity")
+        with pytest.raises(ServingError):
+            registry.publish(serving_model, "hhar", "")
+
+    def test_rejects_non_classification_models(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ServingError, match="ClassificationModel"):
+            registry.publish(serving_model.backbone, "hhar", "activity")
+
+
+class TestLoad:
+    def test_load_round_trips_weights(self, tmp_path, serving_model, windows):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity")
+        loaded, record = registry.load("hhar", "activity")
+        assert record.version == 1
+        np.testing.assert_allclose(
+            loaded.inference(windows).data, serving_model.inference(windows).data
+        )
+
+    def test_loaded_model_is_frozen_eval_artifact(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity")
+        loaded, _ = registry.load("hhar", "activity")
+        assert not loaded.training
+        assert all(not p.requires_grad for p in loaded.parameters())
+
+    def test_latest_follows_newest_version(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity")
+        # Perturb a parameter so v2 is distinguishable from v1.
+        first_param = serving_model.parameters()[0]
+        original = first_param.data.copy()
+        try:
+            first_param.data = original + 1.0
+            registry.publish(serving_model, "hhar", "activity")
+        finally:
+            first_param.data = original
+        v1_model, _ = registry.load("hhar", "activity", version=1)
+        v2_model, record = registry.load("hhar", "activity")
+        assert record.version == 2
+        assert not np.allclose(
+            v1_model.parameters()[0].data, v2_model.parameters()[0].data
+        )
+
+    def test_load_caches_model_instances(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity")
+        first, _ = registry.load("hhar", "activity")
+        second, _ = registry.load("hhar", "activity")
+        assert first is second
+
+    def test_missing_key_and_version_raise(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ServingError, match="no model published"):
+            registry.latest("hhar", "activity")
+        registry.publish(serving_model, "hhar", "activity")
+        with pytest.raises(ServingError, match="v9"):
+            registry.load("hhar", "activity", version=9)
+
+    def test_registry_is_rebuildable_from_disk(self, tmp_path, serving_model, windows):
+        """A second registry over the same directory sees all published models."""
+        ModelRegistry(tmp_path).publish(serving_model, "hhar", "activity")
+        fresh = ModelRegistry(tmp_path)
+        loaded, record = fresh.load("hhar", "activity")
+        assert record.version == 1
+        np.testing.assert_allclose(
+            loaded.inference(windows).data, serving_model.inference(windows).data
+        )
+
+    def test_list_all_enumerates_every_checkpoint(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity")
+        registry.publish(serving_model, "hhar", "activity")
+        registry.publish(serving_model, "motion", "user")
+        entries = registry.list_all()
+        assert len(entries) == 3
+        assert {entry.key for entry in entries} == {
+            ("hhar", "activity", "bench"), ("motion", "user", "bench"),
+        }

@@ -1,0 +1,144 @@
+"""InferenceServer: request API, telemetry, registry integration, cross-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deployment.devices import all_phones
+from repro.exceptions import ServingError
+from repro.serving import (
+    IngestionConfig,
+    InferenceServer,
+    ModelRegistry,
+    ServerConfig,
+    StreamIngestor,
+    cross_check_latency,
+    serve,
+)
+
+# Keep in sync with tests/serving/conftest.py's serving_model fixture.
+WINDOW_LENGTH = 32
+NUM_CHANNELS = 6
+NUM_CLASSES = 4
+
+
+class TestRequestAPI:
+    def test_predict_returns_calibrated_prediction(self, serving_model, windows):
+        with serve(model=serving_model, max_wait_ms=1.0) as server:
+            prediction = server.predict(windows[0])
+        assert 0 <= prediction.label < NUM_CLASSES
+        assert prediction.probabilities.shape == (NUM_CLASSES,)
+        assert prediction.probabilities.sum() == pytest.approx(1.0)
+        assert prediction.confidence == pytest.approx(
+            prediction.probabilities[prediction.label]
+        )
+        assert prediction.latency_ms > 0
+
+    def test_predictions_match_offline_model(self, serving_model, windows):
+        with serve(model=serving_model, max_batch_size=8, max_wait_ms=2.0) as server:
+            predictions = server.predict_many(list(windows))
+        offline = serving_model.predict(windows)
+        assert [p.label for p in predictions] == list(offline)
+        offline_probs = serving_model.predict_proba(windows)
+        np.testing.assert_allclose(
+            np.stack([p.probabilities for p in predictions]), offline_probs, rtol=1e-10
+        )
+
+    def test_classify_stream_runs_raw_samples_end_to_end(self, serving_model):
+        rng = np.random.default_rng(11)
+        ingestion = IngestionConfig(
+            window_length=WINDOW_LENGTH, num_channels=NUM_CHANNELS,
+            source_rate_hz=40.0, target_rate_hz=20.0,
+        )
+        config = ServerConfig(max_wait_ms=1.0, ingestion=ingestion)
+        chunks = [rng.standard_normal((64, NUM_CHANNELS)) for _ in range(4)]
+        with InferenceServer(model=serving_model, config=config) as server:
+            predictions = server.classify_stream(chunks)
+        # 256 raw samples at 40 Hz -> 128 @ 20 Hz -> 4 windows of 32.
+        assert len(predictions) == 4
+        assert all(0 <= p.label < NUM_CLASSES for p in predictions)
+
+    def test_wrong_window_shape_rejected_at_submit(self, serving_model):
+        with serve(model=serving_model, max_wait_ms=1.0) as server:
+            with pytest.raises(ServingError, match="does not match the served model"):
+                server.predict(np.zeros((WINDOW_LENGTH + 8, NUM_CHANNELS)))
+            # The server keeps serving valid windows afterwards.
+            prediction = server.predict(np.zeros((WINDOW_LENGTH, NUM_CHANNELS)))
+            assert 0 <= prediction.label < NUM_CLASSES
+
+    def test_explicit_ingestor_override(self, serving_model):
+        rng = np.random.default_rng(13)
+        config = IngestionConfig(
+            window_length=WINDOW_LENGTH, num_channels=NUM_CHANNELS, stride=16,
+        )
+        ingestor = StreamIngestor(config)
+        with serve(model=serving_model, max_wait_ms=1.0) as server:
+            predictions = server.classify_stream(
+                [rng.standard_normal((64, NUM_CHANNELS))], ingestor=ingestor
+            )
+        assert len(predictions) == 3  # stride 16 over 64 samples: starts 0/16/32
+
+
+class TestRegistryIntegration:
+    def test_server_from_registry_key(self, tmp_path, serving_model, windows):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity", "bench")
+        with serve(
+            registry=registry, dataset="hhar", task="activity", max_wait_ms=1.0
+        ) as server:
+            assert server.model_version is not None
+            assert server.model_version.name == "hhar/activity/bench@v1"
+            prediction = server.predict(windows[0])
+        assert prediction.label == int(serving_model.predict(windows[:1])[0])
+
+    def test_missing_arguments_rejected(self):
+        with pytest.raises(ServingError, match="registry"):
+            InferenceServer()
+
+
+class TestTelemetry:
+    def test_snapshot_reflects_traffic(self, serving_model, windows):
+        with serve(model=serving_model, max_batch_size=4, max_wait_ms=1.0) as server:
+            server.predict_many(list(windows))
+            snapshot = server.stats()
+        assert snapshot.requests == len(windows)
+        assert snapshot.batches >= len(windows) // 4
+        assert snapshot.throughput_rps > 0
+        assert snapshot.mean_batch_size >= 1.0
+        assert snapshot.latency_ms["p50"] <= snapshot.latency_ms["p99"]
+        assert snapshot.mean_compute_ms > 0
+        as_dict = snapshot.as_dict()
+        assert as_dict["requests"] == len(windows)
+
+    def test_cross_check_against_deployment_model(self, serving_model, windows):
+        with serve(model=serving_model, max_wait_ms=0.5) as server:
+            server.predict_many(list(windows))
+            snapshot = server.stats()
+        phone = next(iter(all_phones()))
+        check = cross_check_latency(snapshot, serving_model, WINDOW_LENGTH, phone)
+        assert check.phone == phone.name
+        assert check.predicted_ms > 0
+        assert check.observed_p50_ms > 0
+        assert check.ratio == pytest.approx(
+            check.observed_p50_ms / check.predicted_ms, rel=1e-6
+        )
+
+    def test_cross_check_requires_traffic(self, serving_model):
+        with serve(model=serving_model) as server:
+            snapshot = server.stats()
+        phone = next(iter(all_phones()))
+        with pytest.raises(ServingError, match="empty"):
+            cross_check_latency(snapshot, serving_model, WINDOW_LENGTH, phone)
+
+    def test_queue_depth_visible(self, serving_model):
+        with serve(model=serving_model, max_wait_ms=1.0) as server:
+            assert server.queue_depth == 0
+
+
+class TestPackageEntryPoint:
+    def test_serve_importable_from_repro(self):
+        import repro
+
+        assert repro.serve is serve
+        assert repro.__version__ >= "1.1.0"
