@@ -14,6 +14,8 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
 * :mod:`repro.deployment` — phone cost model and latency simulation;
 * :mod:`repro.serving` — online inference: model registry, micro-batching,
   streaming ingestion and telemetry on the ``no_grad`` fast path;
+* :mod:`repro.parallel` — data-parallel training: worker replicas, gradient
+  all-reduce over shared memory, and the prefetching batch pipeline;
 * :mod:`repro.core` / :mod:`repro.evaluation` — pipeline, experiments, figures.
 
 Quick start
@@ -40,12 +42,13 @@ from .exceptions import (
     SearchError,
     TrainingError,
 )
-from .exceptions import ServingError
+from .exceptions import ParallelError, ServingError
 from .logging_utils import configure_logging, get_logger
+from .parallel import DataParallelEngine, ParallelTrainer, PrefetchDataLoader
 from .rng import RNGRegistry, make_rng
 from .serving import InferenceServer, ModelRegistry, ServerConfig, serve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -73,4 +76,8 @@ __all__ = [
     "SearchError",
     "DeploymentError",
     "ServingError",
+    "ParallelError",
+    "ParallelTrainer",
+    "DataParallelEngine",
+    "PrefetchDataLoader",
 ]

@@ -1,4 +1,25 @@
-"""Mini-batch iteration over :class:`~repro.datasets.base.IMUDataset`."""
+"""Mini-batch iteration over :class:`~repro.datasets.base.IMUDataset`.
+
+Two sampling modes are supported:
+
+* **Legacy stream mode** (``rng=...`` or nothing): every epoch draws a fresh
+  permutation from a single generator stream, so the order of epoch ``e``
+  depends on how many epochs were consumed before it.  This is kept for
+  backward compatibility with the single-process trainers.
+* **Seeded epoch mode** (``seed=...``): the order of epoch ``e`` is a pure
+  function of ``(seed, e)`` — independent of consumption history.  This is
+  what the data-parallel subsystem (:mod:`repro.parallel`) requires: every
+  replica derives the *same* global permutation for an epoch and then takes a
+  disjoint shard of it, so shard contents are deterministic given
+  ``(seed, epoch, shard_index)``.
+
+Sharding (``num_shards`` > 1) is aligned to *global batches*: the epoch order
+is cut into consecutive blocks of ``batch_size * num_shards`` samples and
+shard ``w`` receives the ``w``-th chunk of every block.  The union of all
+shards' step-``t`` batches is therefore exactly the step-``t`` batch a
+single-process loader with batch size ``batch_size * num_shards`` would see —
+the property that makes data-parallel SGD equivalent to large-batch SGD.
+"""
 
 from __future__ import annotations
 
@@ -31,16 +52,27 @@ class DataLoader:
     dataset:
         The dataset to iterate over.
     batch_size:
-        Number of windows per batch.
+        Number of windows per batch (per shard, when sharded).
     task:
         When given, each batch also carries the integer labels for this task.
     shuffle:
         Reshuffle the sample order at the start of every epoch.
     drop_last:
         Drop the final incomplete batch (useful for contrastive losses that
-        need a fixed batch size).
+        need a fixed batch size).  When sharded, the final incomplete *global*
+        block is dropped so every shard drops the same steps.
     rng:
-        Generator used for shuffling; defaults to a fresh unseeded generator.
+        Legacy stream-mode generator used for shuffling; defaults to a fresh
+        unseeded generator.  Ignored when ``seed`` is given.
+    seed:
+        When given, switches to seeded epoch mode: the epoch-``e`` order is
+        ``default_rng(SeedSequence([seed, e]))`` regardless of history.  Use
+        :meth:`set_epoch` to pin the epoch explicitly (it otherwise advances
+        by one per completed ``__iter__``).
+    num_shards / shard_index:
+        Partition every epoch across ``num_shards`` replicas; this loader
+        yields only shard ``shard_index``.  Shuffled sharded loading requires
+        ``seed`` so all replicas agree on the global permutation.
     """
 
     def __init__(
@@ -51,40 +83,96 @@ class DataLoader:
         shuffle: bool = True,
         drop_last: bool = False,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        num_shards: int = 1,
+        shard_index: int = 0,
     ) -> None:
         if batch_size <= 0:
             raise DataError("batch_size must be positive")
         if len(dataset) == 0:
             raise DataError("cannot build a DataLoader over an empty dataset")
+        if num_shards < 1:
+            raise DataError(f"num_shards must be >= 1, got {num_shards}")
+        if not 0 <= shard_index < num_shards:
+            raise DataError(
+                f"shard_index must be in [0, {num_shards}), got {shard_index}"
+            )
+        if num_shards > 1 and shuffle and seed is None:
+            raise DataError(
+                "sharded shuffled loading requires a seed so that every shard "
+                "derives the same global permutation"
+            )
         self.dataset = dataset
         self.batch_size = batch_size
         self.task = task
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.seed = seed
+        self.num_shards = num_shards
+        self.shard_index = shard_index
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._epoch = 0
         if task is not None and task not in dataset.labels:
             raise DataError(f"dataset has no labels for task {task!r}")
 
+    # ------------------------------------------------------------------
+    # Epoch bookkeeping (seeded mode)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The epoch whose order the next ``__iter__`` will use (seeded mode)."""
+        return self._epoch
+
+    def set_epoch(self, epoch: int) -> None:
+        """Pin the epoch used for the next iteration (replica synchronisation)."""
+        self._epoch = int(epoch)
+
+    def _epoch_order(self) -> np.ndarray:
+        if not self.shuffle:
+            return np.arange(len(self.dataset))
+        if self.seed is not None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([int(self.seed), int(self._epoch)])
+            )
+            return rng.permutation(len(self.dataset))
+        return self._rng.permutation(len(self.dataset))
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        full, remainder = divmod(len(self.dataset), self.batch_size)
+        global_batch = self.batch_size * self.num_shards
+        full, remainder = divmod(len(self.dataset), global_batch)
         if remainder and not self.drop_last:
             return full + 1
         return full
 
+    def _make_batch(self, indices: np.ndarray, labels: Optional[np.ndarray]) -> Batch:
+        return Batch(
+            windows=self.dataset.windows[indices],
+            labels=labels[indices] if labels is not None else None,
+            indices=indices,
+        )
+
     def __iter__(self) -> Iterator[Batch]:
-        order = np.arange(len(self.dataset))
-        if self.shuffle:
-            order = self._rng.permutation(order)
+        order = self._epoch_order()
         labels = self.dataset.task_labels(self.task) if self.task is not None else None
-        for start in range(0, len(order), self.batch_size):
-            indices = order[start:start + self.batch_size]
-            if self.drop_last and indices.size < self.batch_size:
+        global_batch = self.batch_size * self.num_shards
+        for start in range(0, len(order), global_batch):
+            block = order[start:start + global_batch]
+            if self.drop_last and block.size < global_batch:
                 break
-            yield Batch(
-                windows=self.dataset.windows[indices],
-                labels=labels[indices] if labels is not None else None,
-                indices=indices,
-            )
+            if self.num_shards == 1:
+                yield self._make_batch(block, labels)
+            else:
+                # Chunk w of every global block goes to shard w; chunks of a
+                # short final block may be empty, but every shard still yields
+                # the same number of steps, keeping replicas in lockstep.
+                chunk = np.array_split(block, self.num_shards)[self.shard_index]
+                yield self._make_batch(chunk, labels)
+        # Advance only on epoch completion: an abandoned iteration replays the
+        # same (seed, epoch) order, so replicas cannot silently drift.
+        self._epoch += 1
 
 
 def train_validation_batches(

@@ -33,3 +33,7 @@ class DeploymentError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the online serving stack (registry, batcher, server)."""
+
+
+class ParallelError(ReproError):
+    """Raised by the data-parallel training subsystem (workers, all-reduce)."""

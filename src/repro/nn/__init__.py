@@ -40,7 +40,16 @@ from .tensor import (
     stack,
     where,
 )
-from .utils import check_gradient, count_parameters, modules_allclose, numerical_gradient
+from .utils import (
+    check_gradient,
+    count_parameters,
+    gradients_to_vector,
+    modules_allclose,
+    numerical_gradient,
+    parameters_to_vector,
+    vector_to_gradients,
+    vector_to_parameters,
+)
 
 __all__ = [
     "functional",
@@ -96,6 +105,10 @@ __all__ = [
     "modules_allclose",
     "numerical_gradient",
     "check_gradient",
+    "parameters_to_vector",
+    "vector_to_parameters",
+    "gradients_to_vector",
+    "vector_to_gradients",
 ]
 
 from .utils import parameter_summary  # noqa: E402  (re-export after __all__)

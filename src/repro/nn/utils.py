@@ -1,12 +1,19 @@
-"""Utilities for inspecting and comparing modules."""
+"""Utilities for inspecting and comparing modules.
+
+Besides the introspection helpers this module provides the flat-vector
+parameter/gradient codec (:func:`parameters_to_vector` and friends) that the
+data-parallel subsystem (:mod:`repro.parallel`) uses to ship whole models and
+gradients through shared-memory all-reduce buffers as single contiguous
+``float64`` arrays.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Iterable, List, Tuple
 
 import numpy as np
 
-from .module import Module
+from .module import Module, Parameter
 from .tensor import Tensor
 
 
@@ -26,6 +33,84 @@ def modules_allclose(a: Module, b: Module, atol: float = 1e-8) -> bool:
     if set(state_a) != set(state_b):
         return False
     return all(np.allclose(state_a[name], state_b[name], atol=atol) for name in state_a)
+
+
+def _materialised(parameters: Iterable[Parameter]) -> List[Parameter]:
+    params = list(parameters)
+    if not params:
+        raise ValueError("expected at least one parameter")
+    return params
+
+
+def _check_vector(vector: np.ndarray, params: List[Parameter], what: str) -> np.ndarray:
+    vector = np.asarray(vector)
+    total = sum(p.data.size for p in params)
+    if vector.ndim != 1 or vector.size != total:
+        raise ValueError(
+            f"{what} vector has shape {vector.shape}, expected a flat vector "
+            f"of {total} elements for {len(params)} parameters"
+        )
+    return vector
+
+
+def parameters_to_vector(parameters: Iterable[Parameter]) -> np.ndarray:
+    """Concatenate every parameter's values into one flat ``float64`` vector.
+
+    The parameter order is the iteration order of ``parameters`` (for a
+    module, ``module.parameters()``), so the inverse
+    :func:`vector_to_parameters` must be called with the same ordering.
+    """
+    params = _materialised(parameters)
+    return np.concatenate([np.asarray(p.data, dtype=np.float64).reshape(-1) for p in params])
+
+
+def vector_to_parameters(vector: np.ndarray, parameters: Iterable[Parameter]) -> None:
+    """Write a flat vector produced by :func:`parameters_to_vector` back in-place.
+
+    Each slice is reshaped to the parameter's shape and cast back to the
+    parameter's dtype, so dtype and shape are preserved exactly.
+    """
+    params = _materialised(parameters)
+    vector = _check_vector(vector, params, "parameter")
+    offset = 0
+    for param in params:
+        size = param.data.size
+        chunk = vector[offset:offset + size]
+        param.data = chunk.reshape(param.data.shape).astype(param.data.dtype, copy=True)
+        offset += size
+
+
+def gradients_to_vector(parameters: Iterable[Parameter]) -> np.ndarray:
+    """Concatenate every parameter's gradient into one flat ``float64`` vector.
+
+    Parameters whose ``grad`` is ``None`` (e.g. never touched by the loss)
+    contribute zeros, so the result always has the same length as
+    :func:`parameters_to_vector` on the same parameter list.
+    """
+    params = _materialised(parameters)
+    chunks = []
+    for param in params:
+        if param.grad is None:
+            chunks.append(np.zeros(param.data.size, dtype=np.float64))
+        else:
+            chunks.append(np.asarray(param.grad, dtype=np.float64).reshape(-1))
+    return np.concatenate(chunks)
+
+
+def vector_to_gradients(vector: np.ndarray, parameters: Iterable[Parameter]) -> None:
+    """Scatter a flat gradient vector into each parameter's ``grad`` field.
+
+    This overwrites (not accumulates into) the existing gradients; it is the
+    write-back half of a gradient all-reduce.
+    """
+    params = _materialised(parameters)
+    vector = _check_vector(vector, params, "gradient")
+    offset = 0
+    for param in params:
+        size = param.data.size
+        chunk = vector[offset:offset + size]
+        param.grad = chunk.reshape(param.data.shape).astype(np.float64, copy=True)
+        offset += size
 
 
 def numerical_gradient(

@@ -1,0 +1,152 @@
+"""Synchronous gradient all-reduce over shared buffers.
+
+Each of ``num_slots`` workers owns one row of a ``(num_slots, size)`` buffer.
+A step proceeds as: every worker :meth:`~AllReduce.contribute`\\ s its flat
+gradient vector and a weight (its local batch size), then the aggregator
+calls :meth:`~AllReduce.reduce` to obtain the weight-averaged gradient
+
+.. math:: g = \\frac{\\sum_i w_i g_i}{\\sum_i w_i}
+
+which, for mean-reduced losses, equals the gradient of the loss over the
+union of all local batches — the identity that makes data-parallel training
+equivalent to large-batch single-process training.
+
+Two implementations are provided:
+
+* :class:`SharedMemoryAllReduce` — rows live in ``multiprocessing`` shared
+  memory (``RawArray``) and a ``Barrier`` synchronises forked worker
+  processes with the aggregator.  This is the production backend.
+* :class:`InProcessAllReduce` — rows live in an ordinary numpy array; used by
+  the in-process thread backend so the test-suite runs on any platform
+  (no ``fork``, single CPU, ...).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ParallelError
+
+DEFAULT_TIMEOUT_SECONDS = 120.0
+
+
+class AllReduce:
+    """Interface shared by both all-reduce implementations."""
+
+    num_slots: int
+    size: int
+
+    def _slots(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _weights(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def contribute(self, rank: int, vector: np.ndarray, weight: float) -> None:
+        """Publish worker ``rank``'s flat gradient vector with its weight."""
+        if not 0 <= rank < self.num_slots:
+            raise ParallelError(f"rank {rank} out of range for {self.num_slots} slots")
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.size != self.size:
+            raise ParallelError(
+                f"gradient vector has {vector.size} elements, expected {self.size}"
+            )
+        self._slots()[rank, :] = vector
+        self._weights()[rank] = float(weight)
+
+    def reduce(self) -> Tuple[np.ndarray, float]:
+        """Weight-averaged gradient over all contributed slots.
+
+        Returns ``(vector, total_weight)``; slots contributed with weight 0
+        (e.g. a worker whose shard chunk was empty) do not influence the mean.
+        """
+        weights = np.asarray(self._weights(), dtype=np.float64)
+        total = float(weights.sum())
+        if total <= 0.0:
+            return np.zeros(self.size, dtype=np.float64), 0.0
+        mean = (weights[:, None] * self._slots()).sum(axis=0) / total
+        return mean, total
+
+    def reset(self) -> None:
+        """Zero all slots and weights before the next step."""
+        self._slots()[:, :] = 0.0
+        self._weights()[:] = 0.0
+
+    def barrier_wait(self, timeout: Optional[float] = None) -> None:
+        """Block until every party reached the barrier (no-op in-process)."""
+
+
+class InProcessAllReduce(AllReduce):
+    """All-reduce over a plain numpy buffer for same-process (thread) workers.
+
+    Rows are disjoint per worker, so concurrent :meth:`contribute` calls from
+    different threads are safe without locking; the caller synchronises the
+    contribute/reduce phases (e.g. by joining its thread pool futures).
+    """
+
+    def __init__(self, num_slots: int, size: int) -> None:
+        if num_slots < 1 or size < 1:
+            raise ParallelError("num_slots and size must be positive")
+        self.num_slots = num_slots
+        self.size = size
+        self._grad_rows = np.zeros((num_slots, size), dtype=np.float64)
+        self._weight_row = np.zeros(num_slots, dtype=np.float64)
+
+    def _slots(self) -> np.ndarray:
+        return self._grad_rows
+
+    def _weights(self) -> np.ndarray:
+        return self._weight_row
+
+
+class SharedMemoryAllReduce(AllReduce):
+    """All-reduce over ``multiprocessing`` shared memory for forked workers.
+
+    The buffers are allocated *before* the workers fork, so parent and
+    children address the same physical pages.  ``barrier_wait`` synchronises
+    ``num_slots`` workers plus the aggregator (``num_slots + 1`` parties) and
+    raises :class:`~repro.exceptions.ParallelError` on timeout instead of
+    deadlocking, so a dead worker fails the step quickly.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        size: int,
+        ctx: Optional[multiprocessing.context.BaseContext] = None,
+        timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        if num_slots < 1 or size < 1:
+            raise ParallelError("num_slots and size must be positive")
+        self.num_slots = num_slots
+        self.size = size
+        self.timeout = timeout
+        context = ctx if ctx is not None else multiprocessing.get_context()
+        self._grad_shm = context.RawArray("d", num_slots * size)
+        self._weight_shm = context.RawArray("d", num_slots)
+        self._barrier = context.Barrier(num_slots + 1)
+
+    def _slots(self) -> np.ndarray:
+        return np.frombuffer(self._grad_shm, dtype=np.float64).reshape(
+            self.num_slots, self.size
+        )
+
+    def _weights(self) -> np.ndarray:
+        return np.frombuffer(self._weight_shm, dtype=np.float64)
+
+    def barrier_wait(self, timeout: Optional[float] = None) -> None:
+        try:
+            self._barrier.wait(timeout=self.timeout if timeout is None else timeout)
+        except threading.BrokenBarrierError as exc:
+            raise ParallelError(
+                "all-reduce barrier timed out or broke — a worker likely died "
+                "or deadlocked"
+            ) from exc
+
+    def abort(self) -> None:
+        """Break the barrier so any party blocked in ``barrier_wait`` errors out."""
+        self._barrier.abort()

@@ -1,0 +1,430 @@
+"""Data-parallel gradient engine: worker pool + all-reduce + broadcast.
+
+:class:`DataParallelEngine` owns ``num_workers`` replicas of a master
+:class:`~repro.nn.Module` and turns one *global* batch into one aggregated
+gradient on the master model:
+
+1. the global batch is scattered into ``num_workers`` near-equal chunks
+   (``np.array_split``), so the union of all chunks is exactly the global
+   batch;
+2. each worker runs ``step_fn(replica, chunk, rng)`` — a forward returning a
+   mean-reduced loss tensor — and backpropagates on its private replica;
+3. the flat local gradients are combined by a synchronous weighted all-reduce
+   (weights = chunk sizes), which for mean losses equals the gradient of the
+   global-batch loss;
+4. the caller applies its usual optimizer step to the master model and then
+   :meth:`~DataParallelEngine.broadcast`\\ s the updated parameters back to
+   every replica.
+
+Because aggregation happens *before* the (unmodified) optimizer step, one
+logical update is numerically equivalent to large-batch single-process
+training — the property the parity tests in ``tests/parallel`` verify.
+
+Backends
+--------
+``process``
+    Workers are forked OS processes; gradients travel through
+    :class:`~repro.parallel.allreduce.SharedMemoryAllReduce` buffers and
+    parameters are broadcast through a shared-memory vector guarded by a
+    barrier.  Requires the ``fork`` start method (POSIX).
+``thread``
+    Workers are threads in a pool; numpy kernels release the GIL so compute
+    still overlaps on multi-core hosts, and everything runs on platforms
+    without ``fork``.  This is the default and the test backend.
+
+``resolve_backend`` silently degrades ``process`` to ``thread`` when ``fork``
+is unavailable so configuration written on Linux still runs anywhere.
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..datasets.loaders import Batch
+from ..exceptions import ParallelError
+from ..logging_utils import get_logger
+from ..nn import Module, clip_grad_norm
+from ..nn.tensor import Tensor
+from ..nn.utils import (
+    gradients_to_vector,
+    parameters_to_vector,
+    vector_to_gradients,
+    vector_to_parameters,
+)
+from .allreduce import AllReduce, InProcessAllReduce, SharedMemoryAllReduce
+
+logger = get_logger(__name__)
+
+StepResult = Union[Tensor, Tuple[Tensor, Dict[str, float]]]
+StepFn = Callable[[Module, Batch, np.random.Generator], StepResult]
+
+BACKEND_THREAD = "thread"
+BACKEND_PROCESS = "process"
+BACKENDS = (BACKEND_THREAD, BACKEND_PROCESS)
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate ``backend`` and degrade ``process`` to ``thread`` without fork."""
+    if backend not in BACKENDS:
+        raise ParallelError(f"unknown parallel backend {backend!r}; choose from {BACKENDS}")
+    if backend == BACKEND_PROCESS and not fork_available():
+        logger.warning("fork start method unavailable; falling back to thread backend")
+        return BACKEND_THREAD
+    return backend
+
+
+def split_batch(batch: Batch, num_chunks: int) -> List[Batch]:
+    """Scatter a global batch into ``num_chunks`` near-equal sub-batches.
+
+    Chunks preserve order (chunk ``w`` is the ``w``-th contiguous slice), may
+    be empty when the batch is smaller than ``num_chunks``, and their union is
+    exactly the input batch.
+    """
+    if num_chunks < 1:
+        raise ParallelError(f"num_chunks must be >= 1, got {num_chunks}")
+    window_chunks = np.array_split(batch.windows, num_chunks)
+    label_chunks = (
+        np.array_split(batch.labels, num_chunks) if batch.labels is not None else [None] * num_chunks
+    )
+    index_chunks = (
+        np.array_split(batch.indices, num_chunks) if batch.indices is not None else [None] * num_chunks
+    )
+    return [
+        Batch(windows=w, labels=l, indices=i)
+        for w, l, i in zip(window_chunks, label_chunks, index_chunks)
+    ]
+
+
+def _step_rng(seed: int, step_index: int, rank: int) -> np.random.Generator:
+    """Deterministic per-(step, worker) generator for stochastic step functions."""
+    return np.random.default_rng(np.random.SeedSequence([int(seed), int(step_index), int(rank)]))
+
+
+def _local_step(
+    replica: Module,
+    step_fn: StepFn,
+    batch: Batch,
+    allreduce: AllReduce,
+    rank: int,
+    seed: int,
+    step_index: int,
+) -> Tuple[float, float, Dict[str, float]]:
+    """One worker-side forward/backward; publishes the gradient, returns stats."""
+    if len(batch) == 0:
+        allreduce.contribute(rank, np.zeros(allreduce.size, dtype=np.float64), 0.0)
+        return 0.0, 0.0, {}
+    replica.zero_grad()
+    result = step_fn(replica, batch, _step_rng(seed, step_index, rank))
+    if isinstance(result, tuple):
+        loss, aux = result
+    else:
+        loss, aux = result, {}
+    loss.backward()
+    weight = float(len(batch))
+    allreduce.contribute(rank, gradients_to_vector(replica.parameters()), weight)
+    return float(loss.data), weight, {key: float(value) for key, value in aux.items()}
+
+
+def _weighted_mean_aux(
+    results: List[Tuple[float, float, Dict[str, float]]]
+) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    weights: Dict[str, float] = {}
+    for _, weight, aux in results:
+        if weight <= 0:
+            continue
+        for key, value in aux.items():
+            totals[key] = totals.get(key, 0.0) + weight * value
+            weights[key] = weights.get(key, 0.0) + weight
+    return {key: totals[key] / weights[key] for key in totals}
+
+
+def _process_worker_main(
+    rank: int,
+    conn,
+    replica: Module,
+    step_fn: StepFn,
+    allreduce: SharedMemoryAllReduce,
+    param_shm,
+    seed: int,
+) -> None:
+    """Forked worker loop: step on request, then wait for the param broadcast.
+
+    ``replica`` is the master model as inherited through ``fork`` — a private
+    copy-on-write clone of the parent's parameters, which makes it exactly
+    the replica the worker needs (in sync with the master at start time).
+    """
+    # Park the inherited heap in the GC's permanent generation: cyclic
+    # collections triggered by the allocation-heavy autograd steps would
+    # otherwise traverse (and copy-on-write fault) every object the parent
+    # ever allocated, which measurably throttles the worker.
+    gc.freeze()
+    params = replica.parameters()
+    param_view = np.frombuffer(param_shm, dtype=np.float64)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        kind = message[0]
+        if kind == "step":
+            _, step_index, windows, labels = message
+            batch = Batch(windows=windows, labels=labels)
+            try:
+                stats = _local_step(replica, step_fn, batch, allreduce, rank, seed, step_index)
+            except BaseException as exc:  # noqa: BLE001 — reported to the parent
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                return
+            conn.send(("ok", stats))
+            # Parent publishes updated parameters, then releases the barrier.
+            allreduce.barrier_wait()
+            vector_to_parameters(param_view, params)
+        elif kind == "close":
+            conn.close()
+            return
+
+
+class DataParallelEngine:
+    """Synchronous data-parallel gradient computation for one master model.
+
+    Usage (per training step, with any optimizer over the master's params)::
+
+        with DataParallelEngine(model, step_fn, num_workers=2) as engine:
+            for batch in loader:
+                loss, aux = engine.accumulate(batch)   # master grads are set
+                clip_grad_norm(model.parameters(), ...)
+                optimizer.step()
+                engine.broadcast()                     # resync the replicas
+
+    ``step_fn(replica, batch, rng)`` must run the forward pass on ``replica``
+    and return a mean-reduced scalar loss tensor (optionally
+    ``(loss, aux_dict)`` where the floats in ``aux_dict`` are weight-averaged
+    across workers, e.g. per-level pre-training losses).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        step_fn: StepFn,
+        num_workers: int,
+        backend: str = BACKEND_THREAD,
+        seed: int = 0,
+        timeout: float = 120.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ParallelError(f"num_workers must be >= 1, got {num_workers}")
+        self.model = model
+        self.step_fn = step_fn
+        self.num_workers = num_workers
+        self.backend = resolve_backend(backend)
+        self.seed = int(seed)
+        self.timeout = timeout
+        self.grad_size = parameters_to_vector(model.parameters()).size
+        self._step_index = 0
+        self._pending_broadcast = False
+        self._started = False
+        self._hung = False
+        # thread backend state
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._replicas: List[Module] = []
+        # process backend state
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._connections: List = []
+        self._param_shm = None
+        self._allreduce: Optional[AllReduce] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "DataParallelEngine":
+        if self._started:
+            return self
+        if self.backend == BACKEND_THREAD:
+            self._allreduce = InProcessAllReduce(self.num_workers, self.grad_size)
+            self._replicas = [copy.deepcopy(self.model) for _ in range(self.num_workers)]
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="dp-worker"
+            )
+        else:
+            ctx = multiprocessing.get_context("fork")
+            self._allreduce = SharedMemoryAllReduce(
+                self.num_workers, self.grad_size, ctx=ctx, timeout=self.timeout
+            )
+            self._param_shm = ctx.RawArray("d", self.grad_size)
+            for rank in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_process_worker_main,
+                    args=(
+                        rank,
+                        child_conn,
+                        self.model,
+                        self.step_fn,
+                        self._allreduce,
+                        self._param_shm,
+                        self.seed,
+                    ),
+                    daemon=True,
+                    name=f"dp-worker-{rank}",
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+        self._started = True
+        return self
+
+    def __enter__(self) -> "DataParallelEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        if self.backend == BACKEND_THREAD:
+            if self._executor is not None:
+                # After a worker timeout the stuck thread can never be joined;
+                # abandon it instead of hanging close() (and the caller) too.
+                self._executor.shutdown(wait=not self._hung, cancel_futures=self._hung)
+                self._executor = None
+            self._replicas = []
+        else:
+            if self._pending_broadcast:
+                # Workers are parked at the barrier; release them so they can
+                # reach their control pipe again before shutdown.
+                try:
+                    self.broadcast()
+                except ParallelError:
+                    pass
+            for conn in self._connections:
+                try:
+                    conn.send(("close",))
+                    conn.close()
+                except (BrokenPipeError, OSError):
+                    pass
+            for process in self._processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            self._processes = []
+            self._connections = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # One logical step
+    # ------------------------------------------------------------------
+    def accumulate(self, batch: Batch) -> Tuple[float, Dict[str, float]]:
+        """Compute the all-reduced gradient of ``batch`` onto the master model.
+
+        Returns the weight-averaged loss and auxiliary metrics.  The caller
+        must apply the optimizer step and then call :meth:`broadcast` before
+        the next :meth:`accumulate`.
+        """
+        if not self._started:
+            self.start()
+        if self._pending_broadcast:
+            raise ParallelError(
+                "accumulate() called before broadcast() of the previous step — "
+                "replicas would drift from the master parameters"
+            )
+        if len(batch) == 0:
+            raise ParallelError("cannot accumulate gradients over an empty batch")
+        chunks = split_batch(batch, self.num_workers)
+        self._allreduce.reset()
+        step_index = self._step_index
+        self._step_index += 1
+
+        if self.backend == BACKEND_THREAD:
+            futures = [
+                self._executor.submit(
+                    _local_step,
+                    self._replicas[rank],
+                    self.step_fn,
+                    chunks[rank],
+                    self._allreduce,
+                    rank,
+                    self.seed,
+                    step_index,
+                )
+                for rank in range(self.num_workers)
+            ]
+            try:
+                results = [future.result(timeout=self.timeout) for future in futures]
+            except FuturesTimeoutError:
+                self._hung = True
+                raise ParallelError(
+                    f"a thread worker did not finish within {self.timeout:.0f}s"
+                ) from None
+        else:
+            for rank, conn in enumerate(self._connections):
+                conn.send(("step", step_index, chunks[rank].windows, chunks[rank].labels))
+            results = []
+            for rank, conn in enumerate(self._connections):
+                if not conn.poll(self.timeout):
+                    # Break the barrier so workers already parked there exit
+                    # through the broken-barrier error path instead of being
+                    # SIGTERM-killed by close() after another full timeout.
+                    self._allreduce.abort()
+                    raise ParallelError(f"worker {rank} did not answer within {self.timeout:.0f}s")
+                status, payload = conn.recv()
+                if status != "ok":
+                    self._allreduce.abort()
+                    raise ParallelError(f"worker {rank} failed: {payload}")
+                results.append(payload)
+
+        vector, total_weight = self._allreduce.reduce()
+        if total_weight <= 0:
+            raise ParallelError("all workers reported empty batches")
+        vector_to_gradients(vector, self.model.parameters())
+        self._pending_broadcast = True
+        mean_loss = sum(loss * weight for loss, weight, _ in results) / total_weight
+        return mean_loss, _weighted_mean_aux(results)
+
+    def train_step(
+        self,
+        batch: Batch,
+        optimizer,
+        clip_parameters=None,
+        grad_clip: float = 0.0,
+    ) -> Tuple[float, Dict[str, float]]:
+        """One full synchronous update: accumulate → clip → step → broadcast.
+
+        ``clip_parameters`` restricts gradient clipping to a subset (e.g. a
+        frozen-backbone fine-tune clips only the classifier head); the
+        optimizer must already hold the master model's parameters.
+        """
+        loss, aux = self.accumulate(batch)
+        if grad_clip > 0:
+            params = clip_parameters if clip_parameters is not None else self.model.parameters()
+            clip_grad_norm(params, grad_clip)
+        optimizer.step()
+        self.broadcast()
+        return loss, aux
+
+    def broadcast(self) -> None:
+        """Publish the master parameters to every replica (post-optimizer sync)."""
+        if not self._started:
+            raise ParallelError("engine is not running")
+        vector = parameters_to_vector(self.model.parameters())
+        if self.backend == BACKEND_THREAD:
+            for replica in self._replicas:
+                vector_to_parameters(vector, replica.parameters())
+        else:
+            np.frombuffer(self._param_shm, dtype=np.float64)[:] = vector
+            self._allreduce.barrier_wait()
+        self._pending_broadcast = False

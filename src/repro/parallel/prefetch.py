@@ -1,0 +1,120 @@
+"""Asynchronous batch prefetching on a background thread.
+
+:class:`PrefetchDataLoader` wraps any re-iterable loader (normally a
+:class:`~repro.datasets.loaders.DataLoader`) and assembles up to ``depth``
+batches ahead of the consumer on a daemon thread, handing them over through a
+bounded queue.  Batch assembly (fancy indexing + copies of the window array)
+then overlaps with the consumer's forward/backward compute, which releases
+the GIL inside numpy kernels.
+
+The wrapper is careful about lifecycle:
+
+* each ``__iter__`` starts a fresh producer thread, so the loader can be
+  iterated once per epoch exactly like the eager loader it wraps;
+* an exception raised by the underlying loader is re-raised in the consumer
+  (not swallowed on the producer thread);
+* abandoning iteration early (``break``) stops the producer promptly instead
+  of leaving it blocked on a full queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, Optional
+
+from ..exceptions import ParallelError
+
+_DEFAULT_TIMEOUT_SECONDS = 120.0
+
+
+class _EndOfEpoch:
+    """Sentinel closing one epoch of prefetched batches."""
+
+
+class _ProducerError:
+    """Carries an exception from the producer thread to the consumer."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class PrefetchDataLoader:
+    """Prefetch batches from ``loader`` on a background thread.
+
+    Parameters
+    ----------
+    loader:
+        Any object that is re-iterable over batches (and optionally has
+        ``__len__`` / ``set_epoch``).
+    depth:
+        Maximum number of batches assembled ahead of the consumer.
+    timeout:
+        Seconds the consumer waits for the next batch before raising
+        :class:`~repro.exceptions.ParallelError` (guards against a hung
+        producer).
+    """
+
+    def __init__(self, loader, depth: int = 2, timeout: float = _DEFAULT_TIMEOUT_SECONDS) -> None:
+        if depth < 1:
+            raise ParallelError(f"prefetch depth must be >= 1, got {depth}")
+        self.loader = loader
+        self.depth = depth
+        self.timeout = timeout
+
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Forward epoch pinning to the underlying loader (if it supports it)."""
+        set_epoch = getattr(self.loader, "set_epoch", None)
+        if set_epoch is not None:
+            set_epoch(epoch)
+
+    def __iter__(self) -> Iterator:
+        batches: "queue.Queue" = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                for batch in self.loader:
+                    while not stop.is_set():
+                        try:
+                            batches.put(batch, timeout=0.1)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                item = _EndOfEpoch()
+            except BaseException as exc:  # noqa: BLE001 — forwarded to consumer
+                item = _ProducerError(exc)
+            while not stop.is_set():
+                try:
+                    batches.put(item, timeout=0.1)
+                    return
+                except queue.Full:
+                    continue
+
+        producer = threading.Thread(target=produce, name="prefetch-producer", daemon=True)
+        producer.start()
+        try:
+            while True:
+                try:
+                    item = batches.get(timeout=self.timeout)
+                except queue.Empty:
+                    raise ParallelError(
+                        f"prefetch producer made no progress for {self.timeout:.0f}s"
+                    ) from None
+                if isinstance(item, _EndOfEpoch):
+                    return
+                if isinstance(item, _ProducerError):
+                    raise item.exc
+                yield item
+        finally:
+            stop.set()
+            producer.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Kept for symmetry with other pipeline stages; per-epoch threads
+        terminate themselves, so there is no persistent state to release."""

@@ -22,6 +22,7 @@ from ..models.composite import ClassificationModel, build_classification_model
 from ..nn import Adam, CrossEntropyLoss, clip_grad_norm, no_grad
 from .history import EpochRecord, TrainingHistory
 from .metrics import ClassificationMetrics, evaluate_predictions
+from .trainer import validate_parallel_fields
 
 logger = get_logger(__name__)
 
@@ -39,12 +40,16 @@ class FinetuneConfig:
     freeze_backbone: bool = False
     log_every: int = 10
     seed: int = 0
+    num_workers: int = 0
+    parallel_backend: str = "thread"
+    prefetch_batches: int = 0
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
             raise ConfigurationError("epochs and batch_size must be positive")
         if self.learning_rate <= 0:
             raise ConfigurationError("learning_rate must be positive")
+        validate_parallel_fields(self)
 
 
 @dataclass
@@ -107,26 +112,59 @@ class Finetuner:
         loader = DataLoader(
             train_dataset, batch_size=cfg.batch_size, task=task, shuffle=True, rng=generator
         )
+        if cfg.prefetch_batches:
+            from ..parallel.prefetch import PrefetchDataLoader
+
+            loader = PrefetchDataLoader(loader, depth=cfg.prefetch_batches)
 
         history = TrainingHistory()
+        # train() must precede engine.start(): replicas are cloned (or forked)
+        # from the master, so they inherit its train/eval mode, and broadcast()
+        # only syncs parameters — a replica created in eval mode would silently
+        # fine-tune with dropout disabled.
         model.train()
-        for epoch in range(cfg.epochs):
-            epoch_loss = 0.0
-            batches = 0
-            for batch in loader:
-                logits = model(batch.windows)
-                loss = loss_fn(logits, batch.labels)
-                optimizer.zero_grad()
-                loss.backward()
-                if cfg.grad_clip > 0:
-                    clip_grad_norm(trainable, cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += float(loss.data)
-                batches += 1
-            mean_loss = epoch_loss / max(batches, 1)
-            history.append(EpochRecord(epoch=epoch, train_loss=mean_loss))
-            if cfg.log_every and epoch % cfg.log_every == 0:
-                logger.info("finetune[%s] epoch %d loss %.5f", task, epoch, mean_loss)
+        engine = None
+        if cfg.num_workers > 0:
+            from ..parallel.engine import DataParallelEngine
+
+            def classification_step(replica, batch, _rng):
+                return loss_fn(replica(batch.windows), batch.labels)
+
+            engine = DataParallelEngine(
+                model,
+                classification_step,
+                num_workers=cfg.num_workers,
+                backend=cfg.parallel_backend,
+                seed=cfg.seed,
+            )
+            engine.start()
+        try:
+            for epoch in range(cfg.epochs):
+                epoch_loss = 0.0
+                batches = 0
+                for batch in loader:
+                    if engine is not None:
+                        loss_value, _ = engine.train_step(
+                            batch, optimizer, clip_parameters=trainable, grad_clip=cfg.grad_clip
+                        )
+                    else:
+                        logits = model(batch.windows)
+                        loss = loss_fn(logits, batch.labels)
+                        optimizer.zero_grad()
+                        loss.backward()
+                        if cfg.grad_clip > 0:
+                            clip_grad_norm(trainable, cfg.grad_clip)
+                        optimizer.step()
+                        loss_value = float(loss.data)
+                    epoch_loss += loss_value
+                    batches += 1
+                mean_loss = epoch_loss / max(batches, 1)
+                history.append(EpochRecord(epoch=epoch, train_loss=mean_loss))
+                if cfg.log_every and epoch % cfg.log_every == 0:
+                    logger.info("finetune[%s] epoch %d loss %.5f", task, epoch, mean_loss)
+        finally:
+            if engine is not None:
+                engine.close()
 
         model.eval()
         validation_metrics = None

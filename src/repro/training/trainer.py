@@ -9,7 +9,7 @@ contrastive baselines' classifier stages) with optional early stopping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
@@ -24,6 +24,34 @@ from .metrics import evaluate_predictions
 logger = get_logger(__name__)
 
 
+def validate_parallel_fields(config) -> None:
+    """Shared validation of the data-parallel knobs on a training config.
+
+    ``num_workers`` is the number of data-parallel workers (0 = single
+    process), ``parallel_backend`` selects the worker implementation and
+    ``prefetch_batches`` the depth of the background batch pipeline
+    (0 = eager loading).
+    """
+    for field_name in ("num_workers", "prefetch_batches"):
+        value = getattr(config, field_name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigurationError(
+                f"{field_name} must be an integer, got {value!r} "
+                f"({type(value).__name__})"
+            )
+        if value < 0:
+            raise ConfigurationError(
+                f"{field_name} must be >= 0 (0 disables it), got {value}"
+            )
+    from ..parallel.engine import BACKENDS  # local import to avoid a cycle
+
+    if config.parallel_backend not in BACKENDS:
+        raise ConfigurationError(
+            f"parallel_backend must be one of {BACKENDS}, "
+            f"got {config.parallel_backend!r}"
+        )
+
+
 @dataclass
 class TrainerConfig:
     """Hyper-parameters of the generic supervised trainer."""
@@ -36,6 +64,9 @@ class TrainerConfig:
     early_stopping_patience: int = 0
     log_every: int = 10
     seed: int = 0
+    num_workers: int = 0
+    parallel_backend: str = "thread"
+    prefetch_batches: int = 0
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -44,6 +75,27 @@ class TrainerConfig:
             raise ConfigurationError("learning_rate must be positive")
         if self.early_stopping_patience < 0:
             raise ConfigurationError("early_stopping_patience must be non-negative")
+        validate_parallel_fields(self)
+
+
+class EarlyStopping:
+    """Accuracy-based early-stopping state shared by the supervised trainers."""
+
+    def __init__(self, patience: int) -> None:
+        self.patience = patience
+        self.best = -np.inf
+        self.stale_epochs = 0
+
+    def should_stop(self, metrics: Mapping[str, float]) -> bool:
+        """Record this epoch's validation metrics; True when patience ran out."""
+        if not self.patience or not metrics:
+            return False
+        if metrics["accuracy"] > self.best + 1e-6:
+            self.best = metrics["accuracy"]
+            self.stale_epochs = 0
+            return False
+        self.stale_epochs += 1
+        return self.stale_epochs >= self.patience
 
 
 class SupervisedTrainer:
@@ -69,6 +121,17 @@ class SupervisedTrainer:
         if len(train_dataset) == 0:
             raise TrainingError("cannot train on an empty dataset")
         cfg = self.config
+        if cfg.num_workers > 0:
+            if forward is not None:
+                raise ConfigurationError(
+                    "a custom forward override is not supported with "
+                    "num_workers > 0 (it cannot be bound to worker replicas)"
+                )
+            from ..parallel.trainer import ParallelTrainer  # local import to avoid a cycle
+
+            return ParallelTrainer(cfg).fit(
+                model, train_dataset, task, validation_dataset=validation_dataset, rng=rng
+            )
         generator = rng if rng is not None else np.random.default_rng(cfg.seed)
         forward_fn = forward if forward is not None else model
         optimizer = Adam(model.parameters(), lr=cfg.learning_rate, weight_decay=cfg.weight_decay)
@@ -76,11 +139,13 @@ class SupervisedTrainer:
         loader = DataLoader(
             train_dataset, batch_size=cfg.batch_size, task=task, shuffle=True, rng=generator
         )
-        num_classes = train_dataset.num_classes(task)
+        if cfg.prefetch_batches:
+            from ..parallel.prefetch import PrefetchDataLoader
+
+            loader = PrefetchDataLoader(loader, depth=cfg.prefetch_batches)
 
         history = TrainingHistory()
-        best_val = -np.inf
-        epochs_without_improvement = 0
+        early_stopping = EarlyStopping(cfg.early_stopping_patience)
         model.train()
         for epoch in range(cfg.epochs):
             epoch_loss = 0.0
@@ -103,17 +168,10 @@ class SupervisedTrainer:
             if cfg.log_every and epoch % cfg.log_every == 0:
                 logger.info("train[%s] epoch %d loss %.5f", task, epoch, mean_loss)
 
-            if cfg.early_stopping_patience and metrics:
-                if metrics["accuracy"] > best_val + 1e-6:
-                    best_val = metrics["accuracy"]
-                    epochs_without_improvement = 0
-                else:
-                    epochs_without_improvement += 1
-                    if epochs_without_improvement >= cfg.early_stopping_patience:
-                        logger.info("early stopping at epoch %d", epoch)
-                        break
+            if early_stopping.should_stop(metrics):
+                logger.info("early stopping at epoch %d", epoch)
+                break
         model.eval()
-        del num_classes  # evaluated lazily inside self.evaluate
         return history
 
     @staticmethod

@@ -1,0 +1,75 @@
+"""Weighted all-reduce buffers (`repro.parallel.allreduce`)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParallelError
+from repro.parallel import InProcessAllReduce, SharedMemoryAllReduce
+
+
+@pytest.fixture(params=["in_process", "shared_memory"])
+def allreduce(request):
+    if request.param == "in_process":
+        return InProcessAllReduce(num_slots=3, size=4)
+    return SharedMemoryAllReduce(num_slots=3, size=4, timeout=10.0)
+
+
+def test_weighted_mean_over_contributions(allreduce):
+    allreduce.contribute(0, np.array([1.0, 1.0, 1.0, 1.0]), weight=1.0)
+    allreduce.contribute(1, np.array([2.0, 2.0, 2.0, 2.0]), weight=3.0)
+    allreduce.contribute(2, np.array([5.0, 5.0, 5.0, 5.0]), weight=0.0)  # empty shard
+    vector, total = allreduce.reduce()
+    assert total == pytest.approx(4.0)
+    np.testing.assert_allclose(vector, np.full(4, (1.0 + 6.0) / 4.0))
+
+
+def test_reduce_equals_large_batch_gradient(allreduce):
+    """Weighted shard means recombine into the global mean (the SGD identity)."""
+    rng = np.random.default_rng(0)
+    shards = [rng.standard_normal((n, 4)) for n in (5, 2, 3)]
+    for rank, shard in enumerate(shards):
+        allreduce.contribute(rank, shard.mean(axis=0), weight=shard.shape[0])
+    vector, total = allreduce.reduce()
+    stacked = np.concatenate(shards, axis=0)
+    assert total == pytest.approx(10.0)
+    np.testing.assert_allclose(vector, stacked.mean(axis=0), atol=1e-12)
+
+
+def test_reset_clears_slots(allreduce):
+    allreduce.contribute(0, np.ones(4), weight=2.0)
+    allreduce.reset()
+    vector, total = allreduce.reduce()
+    assert total == 0.0
+    np.testing.assert_array_equal(vector, np.zeros(4))
+
+
+def test_contribution_validation(allreduce):
+    with pytest.raises(ParallelError, match="rank"):
+        allreduce.contribute(7, np.ones(4), weight=1.0)
+    with pytest.raises(ParallelError, match="elements"):
+        allreduce.contribute(0, np.ones(5), weight=1.0)
+
+
+def test_concurrent_thread_contributions_are_row_disjoint():
+    allreduce = InProcessAllReduce(num_slots=8, size=64)
+    threads = [
+        threading.Thread(target=allreduce.contribute, args=(rank, np.full(64, float(rank)), 1.0))
+        for rank in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    vector, total = allreduce.reduce()
+    assert total == pytest.approx(8.0)
+    np.testing.assert_allclose(vector, np.full(64, np.mean(range(8))))
+
+
+def test_shared_memory_barrier_timeout_raises_instead_of_hanging():
+    allreduce = SharedMemoryAllReduce(num_slots=1, size=2, timeout=0.2)
+    with pytest.raises(ParallelError, match="barrier"):
+        allreduce.barrier_wait()  # the lone worker never shows up

@@ -1,0 +1,101 @@
+"""Flat parameter/gradient vector codec (`repro.nn.utils`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Flatten,
+    Linear,
+    ReLUActivation,
+    Sequential,
+    Tensor,
+    gradients_to_vector,
+    parameters_to_vector,
+    vector_to_gradients,
+    vector_to_parameters,
+)
+
+
+@pytest.fixture()
+def model() -> Sequential:
+    rng = np.random.default_rng(5)
+    return Sequential(Flatten(), Linear(12, 8, rng=rng), ReLUActivation(), Linear(8, 3, rng=rng))
+
+
+def test_parameters_round_trip_preserves_values_shapes_dtypes(model):
+    params = model.parameters()
+    before = [p.data.copy() for p in params]
+    shapes = [p.data.shape for p in params]
+    dtypes = [p.data.dtype for p in params]
+
+    vector = parameters_to_vector(params)
+    assert vector.ndim == 1
+    assert vector.size == sum(p.data.size for p in params)
+
+    for param in params:  # scramble, then restore
+        param.data = np.zeros_like(param.data)
+    vector_to_parameters(vector, params)
+
+    for param, data, shape, dtype in zip(params, before, shapes, dtypes):
+        assert param.data.shape == shape
+        assert param.data.dtype == dtype
+        np.testing.assert_array_equal(param.data, data)
+
+
+def test_vector_writeback_is_a_copy(model):
+    params = model.parameters()
+    vector = parameters_to_vector(params)
+    vector_to_parameters(vector, params)
+    vector[:] = -1.0  # mutating the vector must not touch the parameters
+    assert not np.any(params[0].data == -1.0)
+
+
+def test_gradients_to_vector_matches_per_param_grads(model):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((4, 12))
+    loss = (model(Tensor(x)) ** 2).sum()
+    loss.backward()
+    params = model.parameters()
+    vector = gradients_to_vector(params)
+    offset = 0
+    for param in params:
+        size = param.data.size
+        np.testing.assert_allclose(
+            vector[offset:offset + size], np.asarray(param.grad).reshape(-1)
+        )
+        offset += size
+    assert offset == vector.size
+
+
+def test_gradients_to_vector_zero_fills_missing_grads(model):
+    params = model.parameters()
+    for param in params:
+        param.zero_grad()
+    vector = gradients_to_vector(params)
+    assert vector.size == sum(p.data.size for p in params)
+    np.testing.assert_array_equal(vector, np.zeros_like(vector))
+
+
+def test_vector_to_gradients_round_trip(model):
+    params = model.parameters()
+    total = sum(p.data.size for p in params)
+    vector = np.arange(total, dtype=np.float64)
+    vector_to_gradients(vector, params)
+    np.testing.assert_allclose(gradients_to_vector(params), vector)
+    for param in params:
+        assert param.grad.shape == param.data.shape
+
+
+def test_size_mismatch_raises(model):
+    params = model.parameters()
+    with pytest.raises(ValueError, match="flat vector"):
+        vector_to_parameters(np.zeros(3), params)
+    with pytest.raises(ValueError, match="flat vector"):
+        vector_to_gradients(np.zeros(3), params)
+
+
+def test_empty_parameter_list_raises():
+    with pytest.raises(ValueError, match="at least one parameter"):
+        parameters_to_vector([])

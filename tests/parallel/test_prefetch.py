@@ -1,0 +1,84 @@
+"""Background-thread batch prefetching (`repro.parallel.prefetch`)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import DataLoader
+from repro.exceptions import ParallelError
+from repro.parallel import PrefetchDataLoader
+
+
+def _batch_signature(batch):
+    return batch.indices.tolist()
+
+
+def test_yields_same_batches_as_direct_iteration(tiny_dataset):
+    direct = DataLoader(tiny_dataset, batch_size=8, task="activity", seed=13)
+    prefetched = PrefetchDataLoader(DataLoader(tiny_dataset, batch_size=8, task="activity", seed=13), depth=2)
+    for epoch in range(2):
+        direct.set_epoch(epoch)
+        prefetched.set_epoch(epoch)
+        direct_batches = [_batch_signature(b) for b in direct]
+        prefetch_batches = [_batch_signature(b) for b in prefetched]
+        assert prefetch_batches == direct_batches
+
+
+def test_len_and_depth_validation(tiny_dataset):
+    loader = DataLoader(tiny_dataset, batch_size=8, shuffle=False)
+    assert len(PrefetchDataLoader(loader)) == len(loader)
+    with pytest.raises(ParallelError, match="depth"):
+        PrefetchDataLoader(loader, depth=0)
+
+
+def test_underlying_exception_reaches_the_consumer():
+    class ExplodingLoader:
+        def __iter__(self):
+            yield "first"
+            raise RuntimeError("disk on fire")
+
+    loader = PrefetchDataLoader(ExplodingLoader(), depth=2)
+    iterator = iter(loader)
+    assert next(iterator) == "first"
+    with pytest.raises(RuntimeError, match="disk on fire"):
+        next(iterator)
+
+
+def test_early_break_stops_the_producer(tiny_dataset):
+    loader = PrefetchDataLoader(DataLoader(tiny_dataset, batch_size=4, seed=0), depth=1)
+    before = threading.active_count()
+    for _ in range(3):  # abandon each epoch after one batch
+        for batch in loader:
+            assert len(batch) > 0
+            break
+    deadline = time.time() + 5.0
+    while threading.active_count() > before and time.time() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() <= before
+
+
+def test_batches_are_produced_ahead_of_consumption(tiny_dataset):
+    produced = []
+
+    class RecordingLoader:
+        def __init__(self, loader):
+            self.loader = loader
+
+        def __iter__(self):
+            for batch in self.loader:
+                produced.append(len(produced))
+                yield batch
+
+    loader = PrefetchDataLoader(
+        RecordingLoader(DataLoader(tiny_dataset, batch_size=4, shuffle=False)), depth=2
+    )
+    iterator = iter(loader)
+    next(iterator)
+    time.sleep(0.2)  # give the producer time to run ahead
+    assert len(produced) >= 2  # at least one batch was assembled ahead
+    for _ in iterator:
+        pass

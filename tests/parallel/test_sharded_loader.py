@@ -1,0 +1,117 @@
+"""Sharded, seeded sampling in `repro.datasets.loaders.DataLoader`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import DataLoader
+from repro.exceptions import DataError
+
+
+def _epoch_indices(loader, epoch):
+    loader.set_epoch(epoch)
+    return [batch.indices for batch in loader]
+
+
+def test_seeded_epoch_order_is_deterministic(tiny_dataset):
+    a = DataLoader(tiny_dataset, batch_size=8, seed=42)
+    b = DataLoader(tiny_dataset, batch_size=8, seed=42)
+    for epoch in (0, 1, 5):
+        first = [idx.tolist() for idx in _epoch_indices(a, epoch)]
+        second = [idx.tolist() for idx in _epoch_indices(b, epoch)]
+        assert first == second
+
+
+def test_epoch_order_depends_only_on_seed_and_epoch(tiny_dataset):
+    """Unlike legacy stream mode, consuming epochs out of order changes nothing."""
+    loader = DataLoader(tiny_dataset, batch_size=8, seed=7)
+    epoch3_first = [idx.tolist() for idx in _epoch_indices(loader, 3)]
+    for epoch in (0, 1, 2):
+        _epoch_indices(loader, epoch)
+    epoch3_again = [idx.tolist() for idx in _epoch_indices(loader, 3)]
+    assert epoch3_first == epoch3_again
+
+
+def test_different_epochs_and_seeds_shuffle_differently(tiny_dataset):
+    loader = DataLoader(tiny_dataset, batch_size=len(tiny_dataset), seed=1)
+    epoch0 = _epoch_indices(loader, 0)[0].tolist()
+    epoch1 = _epoch_indices(loader, 1)[0].tolist()
+    other_seed = DataLoader(tiny_dataset, batch_size=len(tiny_dataset), seed=2)
+    seed2 = _epoch_indices(other_seed, 0)[0].tolist()
+    assert epoch0 != epoch1
+    assert epoch0 != seed2
+    assert sorted(epoch0) == sorted(epoch1) == list(range(len(tiny_dataset)))
+
+
+def test_epoch_auto_advances_without_set_epoch(tiny_dataset):
+    loader = DataLoader(tiny_dataset, batch_size=len(tiny_dataset), seed=3)
+    first = [b.indices.tolist() for b in loader][0]
+    second = [b.indices.tolist() for b in loader][0]
+    assert first != second
+    loader.set_epoch(0)
+    again = [b.indices.tolist() for b in loader][0]
+    assert again == first
+
+
+def test_shards_partition_each_global_batch(tiny_dataset):
+    """Union of the shards' step-t batches == the single-process step-t batch."""
+    batch_size, num_shards = 4, 2
+    reference = DataLoader(tiny_dataset, batch_size=batch_size * num_shards, seed=9)
+    shards = [
+        DataLoader(
+            tiny_dataset,
+            batch_size=batch_size,
+            seed=9,
+            num_shards=num_shards,
+            shard_index=w,
+        )
+        for w in range(num_shards)
+    ]
+    reference_batches = _epoch_indices(reference, 0)
+    shard_batches = [_epoch_indices(shard, 0) for shard in shards]
+    assert len(shard_batches[0]) == len(shard_batches[1]) == len(reference_batches)
+    for step, global_batch in enumerate(reference_batches):
+        union = np.concatenate([shard_batches[w][step] for w in range(num_shards)])
+        np.testing.assert_array_equal(union, global_batch)
+
+
+def test_shard_contents_deterministic_given_seed_epoch_shard(tiny_dataset):
+    kwargs = dict(batch_size=4, seed=21, num_shards=3, shard_index=1)
+    first = [b.indices.tolist() for b in DataLoader(tiny_dataset, **kwargs)]
+    second = [b.indices.tolist() for b in DataLoader(tiny_dataset, **kwargs)]
+    assert first == second
+    other_shard = [
+        b.indices.tolist()
+        for b in DataLoader(tiny_dataset, batch_size=4, seed=21, num_shards=3, shard_index=2)
+    ]
+    assert first != other_shard
+
+
+def test_sharded_len_counts_global_blocks(tiny_dataset):
+    n = len(tiny_dataset)
+    loader = DataLoader(tiny_dataset, batch_size=4, seed=0, num_shards=2)
+    expected = -(-n // 8)  # ceil over the global block size
+    assert len(loader) == len(list(iter(loader))) == expected
+    dropping = DataLoader(tiny_dataset, batch_size=4, seed=0, num_shards=2, drop_last=True)
+    assert len(dropping) == len(list(iter(dropping))) == n // 8
+
+
+def test_invalid_shard_arguments(tiny_dataset):
+    with pytest.raises(DataError, match="num_shards"):
+        DataLoader(tiny_dataset, batch_size=4, num_shards=0)
+    with pytest.raises(DataError, match="shard_index"):
+        DataLoader(tiny_dataset, batch_size=4, seed=0, num_shards=2, shard_index=2)
+    with pytest.raises(DataError, match="seed"):
+        DataLoader(tiny_dataset, batch_size=4, num_shards=2, shard_index=0)
+
+
+def test_unsharded_legacy_stream_mode_unchanged(tiny_dataset):
+    """Without a seed the loader still shuffles from the provided rng stream."""
+    rng = np.random.default_rng(5)
+    loader = DataLoader(tiny_dataset, batch_size=8, rng=rng)
+    epoch0 = [b.indices.tolist() for b in loader]
+    epoch1 = [b.indices.tolist() for b in loader]
+    assert epoch0 != epoch1
+    replay = DataLoader(tiny_dataset, batch_size=8, rng=np.random.default_rng(5))
+    assert [b.indices.tolist() for b in replay] == epoch0
