@@ -1,24 +1,102 @@
 """Shared configuration for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper's evaluation
-section (see DESIGN.md for the index).  The experiment scale is controlled by
-the ``REPRO_PROFILE`` environment variable (default ``bench``): set
-``REPRO_PROFILE=quick`` or ``REPRO_PROFILE=paper`` for higher-fidelity runs.
+section (see DESIGN.md for the index) and publishes its numbers as a
+machine-readable ``BENCH_<name>.json`` report (the canonical schema of
+:mod:`repro.experiments.bench`) into ``$REPRO_BENCH_DIR`` (default
+``bench_out/``) so CI can track the perf trajectory instead of discarding it.
+
+The experiment scale is controlled by the ``REPRO_PROFILE`` environment
+variable and must be one of the benchmark-harness profiles ``ci`` or
+``bench`` (default ``bench``): any other value — including the valid
+interactive ``quick``/``paper`` profiles — raises a
+:class:`~repro.exceptions.ConfigurationError`, because its reports would not
+be comparable to the committed baselines under ``benchmarks/baselines/``.
+
+Experiment-backed figures run through one shared, session-scoped
+:class:`~repro.experiments.runner.Runner`, so overlapping grids (Figs. 7–11
+are sub-grids of Fig. 6) reuse each other's cached stages within and across
+sessions (``$REPRO_CACHE_DIR``, default ``.repro_cache/``).
 """
 
 from __future__ import annotations
 
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
 import pytest
 
-from repro.core.experiment import get_profile
+from repro.experiments import BenchReport, Runner, resolve_bench_profile, write_report
+from repro.experiments.cli import report_from_grid
+from repro.experiments.runner import GridResult
 
 
 @pytest.fixture(scope="session")
 def profile():
-    """The experiment profile used by all accuracy benchmarks."""
-    return get_profile()
+    """The experiment profile used by all accuracy benchmarks (ci/bench only)."""
+    return resolve_bench_profile()
+
+
+@pytest.fixture(scope="session")
+def bench_dir() -> Path:
+    """Directory receiving the ``BENCH_*.json`` reports."""
+    path = Path(os.environ.get("REPRO_BENCH_DIR", "bench_out"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def grid_runner() -> Runner:
+    """One Runner for the whole session: figures share cached stages."""
+    return Runner()
 
 
 def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Returns ``(result, seconds)`` so callers can publish the duration in
+    their BENCH report without re-deriving it from benchmark internals.
+    """
+    started = time.perf_counter()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+    return result, time.perf_counter() - started
+
+
+def publish_bench(
+    bench_dir: Path,
+    name: str,
+    profile,
+    duration_seconds: float,
+    grid: Optional[GridResult] = None,
+    metrics: Optional[Dict[str, float]] = None,
+    throughput: Optional[Dict[str, Optional[float]]] = None,
+    records: Optional[List[Dict[str, object]]] = None,
+    deterministic: bool = False,
+) -> BenchReport:
+    """Write one canonical ``BENCH_<name>.json`` report.
+
+    Grid-backed benches derive records/metrics/cache stats from the
+    :class:`GridResult`; measurement benches pass explicit ``metrics`` /
+    ``throughput`` / ``records``.  ``deterministic`` marks throughput that
+    comes from an analytic model and therefore compares across hardware.
+    """
+    if grid is not None:
+        report = report_from_grid(name, profile.name, grid, extra_metrics=metrics)
+        report.duration_seconds = duration_seconds
+        if throughput:
+            report.throughput.update(throughput)
+    else:
+        report = BenchReport(
+            name=name,
+            profile=profile.name,
+            duration_seconds=duration_seconds,
+            executed_seconds=duration_seconds,
+            throughput=dict(throughput) if throughput else {},
+            metrics=dict(metrics) if metrics else {},
+            records=list(records) if records else [],
+            deterministic=deterministic,
+        )
+    write_report(report, bench_dir)
+    return report

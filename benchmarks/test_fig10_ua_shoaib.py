@@ -2,12 +2,13 @@
 
 from repro.evaluation.figures import figure10_ua_shoaib
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_figure10_ua_shoaib(benchmark, profile):
-    result = run_once(benchmark, figure10_ua_shoaib, profile=profile)
+def test_figure10_ua_shoaib(benchmark, profile, grid_runner, bench_dir):
+    result, seconds = run_once(benchmark, figure10_ua_shoaib, profile=profile, runner=grid_runner)
     assert result.task == "UA" and result.dataset == "shoaib"
+    publish_bench(bench_dir, "fig10_ua_shoaib", profile, seconds, grid=result.grid)
     print("\n" + "=" * 70)
     print(f"Figure 10 (profile={profile.name})")
     print(result.format())

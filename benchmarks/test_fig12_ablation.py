@@ -12,20 +12,21 @@ highest labelling rates only.
 """
 
 from repro.evaluation.figures import figure12_ablation
+from repro.experiments.grids import ABLATION_GRID_METHODS
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
-ABLATION_VARIANTS = (
-    "saga_sensor", "saga_point", "saga_subperiod", "saga_period", "saga_random", "saga_search",
-)
+ABLATION_VARIANTS = ABLATION_GRID_METHODS
 
 
-def test_figure12_ablation(benchmark, profile):
+def test_figure12_ablation(benchmark, profile, grid_runner, bench_dir):
     rates = (profile.labelling_rates[0], profile.labelling_rates[-1])
-    result = run_once(
+    result, seconds = run_once(
         benchmark, figure12_ablation, profile, "AR", "hhar", ABLATION_VARIANTS, rates,
+        runner=grid_runner,
     )
     assert set(result.mean_accuracy) == set(ABLATION_VARIANTS)
+    publish_bench(bench_dir, "fig12_ablation", profile, seconds, grid=result.grid)
     print("\n" + "=" * 70)
     print(f"Figure 12 (profile={profile.name}) — AR on HHAR, rates {rates}")
     print(result.format())

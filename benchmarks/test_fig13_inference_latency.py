@@ -3,20 +3,27 @@
 Expected shape (paper): Saga's latency equals LIMU's (identical deployed
 model); TPN is the fastest; every method stays within a real-time budget on
 every phone; newer SoCs are faster.
+
+The analytic latency model is deterministic, so the published per-method
+inference rates are hardware-independent regression anchors: they move only
+when the deployed model itself changes.
 """
 
+import numpy as np
 import pytest
 
 from repro.deployment.latency import check_realtime_budget, latency_by_phone
 from repro.evaluation.figures import figure13_inference_latency, format_latency_measurements
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 METHODS = ("saga", "limu", "clhar", "tpn")
 
 
-def test_figure13_inference_latency(benchmark, profile):
-    measurements = run_once(benchmark, figure13_inference_latency, profile, "hhar", METHODS)
+def test_figure13_inference_latency(benchmark, profile, bench_dir):
+    measurements, seconds = run_once(
+        benchmark, figure13_inference_latency, profile, "hhar", METHODS
+    )
     pivot = latency_by_phone(measurements)
     assert len(pivot) == 5
     for per_method in pivot.values():
@@ -26,6 +33,21 @@ def test_figure13_inference_latency(benchmark, profile):
         # TPN's compact encoder is the fastest.
         assert per_method["tpn"] <= min(per_method.values()) + 1e-9
     assert check_realtime_budget(measurements, budget_ms=12.0)
+
+    mean_latency = {
+        method: float(np.mean([m.latency_ms for m in measurements if m.method == method]))
+        for method in METHODS
+    }
+    publish_bench(
+        bench_dir, "fig13_inference_latency", profile, seconds,
+        metrics={f"mean_latency_ms_{m}": v for m, v in mean_latency.items()},
+        throughput={f"inference_wps_{m}": 1000.0 / v for m, v in mean_latency.items()},
+        records=[
+            {"phone": m.phone, "method": m.method, "latency_ms": m.latency_ms}
+            for m in measurements
+        ],
+        deterministic=True,  # analytic latency model: comparable on any host
+    )
     print("\n" + "=" * 70)
     print(f"Figure 13 (profile={profile.name}) — inference latency (ms) per phone")
     print(format_latency_measurements(measurements))

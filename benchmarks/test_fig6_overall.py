@@ -12,13 +12,14 @@ lowest labelling rates.
 from repro.core.experiment import ALL_METHOD_NAMES
 from repro.evaluation.figures import figure6_overall
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_figure6_overall(benchmark, profile):
-    result = run_once(benchmark, figure6_overall, profile, ALL_METHOD_NAMES)
+def test_figure6_overall(benchmark, profile, grid_runner, bench_dir):
+    result, seconds = run_once(benchmark, figure6_overall, profile, ALL_METHOD_NAMES, runner=grid_runner)
     assert set(result.mean_accuracy) == set(ALL_METHOD_NAMES)
     assert len(result.table) == len(ALL_METHOD_NAMES) * 5 * len(profile.labelling_rates)
+    publish_bench(bench_dir, "fig6_overall", profile, seconds, grid=result.grid)
     print("\n" + "=" * 70)
     print(f"Figure 6 (profile={profile.name}) — all methods, all tasks/datasets")
     print(result.format())

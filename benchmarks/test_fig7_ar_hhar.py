@@ -2,13 +2,14 @@
 
 from repro.evaluation.figures import figure7_ar_hhar
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_figure7_ar_hhar(benchmark, profile):
-    result = run_once(benchmark, figure7_ar_hhar, profile=profile)
+def test_figure7_ar_hhar(benchmark, profile, grid_runner, bench_dir):
+    result, seconds = run_once(benchmark, figure7_ar_hhar, profile=profile, runner=grid_runner)
     assert result.task == "AR" and result.dataset == "hhar"
     assert set(result.table.methods()) == {"saga", "limu", "clhar"}
+    publish_bench(bench_dir, "fig7_ar_hhar", profile, seconds, grid=result.grid)
     print("\n" + "=" * 70)
     print(f"Figure 7 (profile={profile.name})")
     print(result.format())

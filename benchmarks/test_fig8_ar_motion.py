@@ -2,12 +2,13 @@
 
 from repro.evaluation.figures import figure8_ar_motion
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_figure8_ar_motion(benchmark, profile):
-    result = run_once(benchmark, figure8_ar_motion, profile=profile)
+def test_figure8_ar_motion(benchmark, profile, grid_runner, bench_dir):
+    result, seconds = run_once(benchmark, figure8_ar_motion, profile=profile, runner=grid_runner)
     assert result.task == "AR" and result.dataset == "motion"
+    publish_bench(bench_dir, "fig8_ar_motion", profile, seconds, grid=result.grid)
     print("\n" + "=" * 70)
     print(f"Figure 8 (profile={profile.name})")
     print(result.format())

@@ -2,12 +2,13 @@
 
 from repro.evaluation.figures import figure9_ua_hhar
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_figure9_ua_hhar(benchmark, profile):
-    result = run_once(benchmark, figure9_ua_hhar, profile=profile)
+def test_figure9_ua_hhar(benchmark, profile, grid_runner, bench_dir):
+    result, seconds = run_once(benchmark, figure9_ua_hhar, profile=profile, runner=grid_runner)
     assert result.task == "UA" and result.dataset == "hhar"
+    publish_bench(bench_dir, "fig9_ua_hhar", profile, seconds, grid=result.grid)
     print("\n" + "=" * 70)
     print(f"Figure 9 (profile={profile.name})")
     print(result.format())

@@ -25,7 +25,7 @@ from repro.parallel import ParallelTrainer, PrefetchDataLoader, fork_available
 from repro.datasets.loaders import DataLoader
 from repro.training import SupervisedTrainer, TrainerConfig
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 TASK = "activity"
 NUM_CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count() or 1
@@ -65,13 +65,14 @@ def _samples_per_second(fit, samples):
 
 @pytest.mark.skipif(NUM_CPUS < 2, reason="parallel speedup needs at least 2 CPUs")
 def test_two_workers_at_least_1_3x_single_process_throughput(
-    benchmark, profile, train_dataset
+    benchmark, profile, bench_dir, train_dataset
 ):
     """2-worker data-parallel training vs. the single-process trainer."""
     single_model = build_model(profile, train_dataset, seed=5)
     parallel_model = copy.deepcopy(single_model)
     samples = len(train_dataset)
 
+    measure_started = time.perf_counter()
     single_trainer = SupervisedTrainer(_trainer_config())
     single_trainer.fit(copy.deepcopy(single_model), train_dataset, TASK)  # warm-up
     single_sps = _samples_per_second(
@@ -83,8 +84,17 @@ def test_two_workers_at_least_1_3x_single_process_throughput(
     )
     run_once(benchmark, parallel_trainer.fit, parallel_model, train_dataset, TASK)
     parallel_sps = parallel_trainer.last_run.samples_per_second
+    measure_seconds = time.perf_counter() - measure_started
 
     speedup = parallel_sps / single_sps
+    publish_bench(
+        bench_dir, "parallel_throughput", profile, measure_seconds,
+        metrics={"parallel_over_single_speedup": speedup, "num_workers": 2.0},
+        throughput={
+            "parallel_samples_per_second": parallel_sps,
+            "single_samples_per_second": single_sps,
+        },
+    )
     assert speedup >= 1.3, (
         f"2-worker {PREFERRED_BACKEND} training only {speedup:.2f}x the "
         f"single-process throughput ({parallel_sps:.1f} vs {single_sps:.1f} samples/sec)"
@@ -122,9 +132,7 @@ def test_prefetch_pipeline_matches_eager_loading_throughput(benchmark, train_dat
     drained_eager = drain(eager)
     eager_seconds = time.perf_counter() - started
 
-    started = time.perf_counter()
-    drained_prefetched = run_once(benchmark, drain, prefetched)
-    prefetch_seconds = time.perf_counter() - started
+    drained_prefetched, prefetch_seconds = run_once(benchmark, drain, prefetched)
 
     assert drained_prefetched == drained_eager
     assert prefetch_seconds < max(10 * eager_seconds, eager_seconds + 1.0), (

@@ -22,7 +22,7 @@ from repro.models.composite import ClassificationModel
 from repro.nn.tensor import no_grad
 from repro.serving import serve
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 NUM_CHANNELS = 6
 NUM_CLASSES = 4
@@ -54,7 +54,7 @@ def _best_of(fn, repeats: int = 3) -> float:
 
 
 def test_batched_serving_at_least_3x_single_request_throughput(
-    benchmark, model, request_windows
+    benchmark, profile, bench_dir, model, request_windows
 ):
     """End-to-end: the micro-batching server vs. one forward per request."""
     windows = list(request_windows)
@@ -68,9 +68,19 @@ def test_batched_serving_at_least_3x_single_request_throughput(
         with serve(model=model, max_batch_size=64, max_wait_ms=5.0) as server:
             server.predict_many(windows)
 
+    measure_started = time.perf_counter()
     single_seconds = _best_of(single_request_path)
-    batched_seconds = run_once(benchmark, _best_of, batched_serving_path)
+    batched_seconds, _ = run_once(benchmark, _best_of, batched_serving_path)
+    measure_seconds = time.perf_counter() - measure_started
     speedup = single_seconds / batched_seconds
+    publish_bench(
+        bench_dir, "serving_throughput", profile, measure_seconds,
+        metrics={"batched_over_single_speedup": speedup},
+        throughput={
+            "batched_requests_per_second": NUM_REQUESTS / batched_seconds,
+            "single_requests_per_second": NUM_REQUESTS / single_seconds,
+        },
+    )
     assert speedup >= 3.0, (
         f"batched serving only {speedup:.2f}x faster than single-request "
         f"({batched_seconds * 1000:.1f} ms vs {single_seconds * 1000:.1f} ms "

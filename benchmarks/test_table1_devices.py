@@ -3,12 +3,13 @@
 from repro.evaluation.figures import table1_devices
 from repro.evaluation.results import format_mapping_table
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_table1_devices(benchmark):
-    rows = run_once(benchmark, table1_devices)
+def test_table1_devices(benchmark, profile, bench_dir):
+    rows, seconds = run_once(benchmark, table1_devices)
     assert len(rows) == 5
+    publish_bench(bench_dir, "table1_devices", profile, seconds, records=rows)
     print("\n" + "=" * 70)
     print("Table I — evaluation phones")
     print(format_mapping_table(rows, columns=("phone", "soc", "memory_gb", "disk_gb")))

@@ -3,15 +3,16 @@
 from repro.evaluation.figures import table2_datasets
 from repro.evaluation.results import format_mapping_table
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_table2_datasets(benchmark):
-    rows = run_once(benchmark, table2_datasets, 0.02)
+def test_table2_datasets(benchmark, profile, bench_dir):
+    rows, seconds = run_once(benchmark, table2_datasets, 0.02)
     by_name = {row["dataset"]: row for row in rows}
     assert by_name["hhar"]["users"] == 9
     assert by_name["motion"]["users"] == 24
     assert by_name["shoaib"]["placements"] == 5
+    publish_bench(bench_dir, "table2_datasets", profile, seconds, records=rows)
     print("\n" + "=" * 70)
     print("Table II — dataset summary (samples column is at benchmark scale;")
     print("paper_samples is the full-scale Table II count)")

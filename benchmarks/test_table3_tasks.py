@@ -3,12 +3,13 @@
 from repro.evaluation.figures import table3_tasks
 from repro.evaluation.results import format_mapping_table
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 
-def test_table3_tasks(benchmark):
-    rows = run_once(benchmark, table3_tasks)
+def test_table3_tasks(benchmark, profile, bench_dir):
+    rows, seconds = run_once(benchmark, table3_tasks)
     assert {row["task"] for row in rows} == {"AR", "UA", "DP"}
+    publish_bench(bench_dir, "table3_tasks", profile, seconds, records=rows)
     print("\n" + "=" * 70)
     print("Table III — tasks considered for evaluation")
     print(format_mapping_table(rows, columns=("task", "description", "label_field", "datasets")))

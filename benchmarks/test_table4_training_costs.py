@@ -4,6 +4,9 @@ Expected shape (paper): Saga's parameter count and disk size equal LIMU's
 (the extra pre-training tasks add no model structure); Saga's per-batch train
 time and training memory are moderately higher than LIMU's; TPN is the
 cheapest to train; CL-HAR has the largest disk footprint.
+
+The published per-method training rates (batches/sec, from the measured
+per-batch train time) are the regression anchors for training-loop speed.
 """
 
 import pytest
@@ -11,19 +14,29 @@ import pytest
 from repro.evaluation.figures import table4_training_costs
 from repro.evaluation.results import format_mapping_table
 
-from .conftest import run_once
+from .conftest import publish_bench, run_once
 
 METHODS = ("limu", "clhar", "tpn", "saga")
 
 
-def test_table4_training_costs(benchmark, profile):
-    rows = run_once(benchmark, table4_training_costs, profile, "hhar", METHODS)
+def test_table4_training_costs(benchmark, profile, bench_dir):
+    rows, seconds = run_once(benchmark, table4_training_costs, profile, "hhar", METHODS)
     by_method = {row["method"]: row for row in rows}
     assert set(by_method) == set(METHODS)
     # Structural claims of Table IV that must hold at any scale:
     assert by_method["saga"]["parameters_kb"] == pytest.approx(by_method["limu"]["parameters_kb"])
     assert by_method["saga"]["disk_kb"] == pytest.approx(by_method["limu"]["disk_kb"])
     assert by_method["tpn"]["train_time_ms"] <= by_method["saga"]["train_time_ms"]
+    publish_bench(
+        bench_dir, "table4_training_costs", profile, seconds,
+        metrics={f"train_time_ms_{m}": float(r["train_time_ms"]) for m, r in by_method.items()},
+        throughput={
+            f"train_batches_per_second_{m}": 1000.0 / float(r["train_time_ms"])
+            for m, r in by_method.items()
+            if float(r["train_time_ms"]) > 0
+        },
+        records=rows,
+    )
     print("\n" + "=" * 70)
     print(f"Table IV (profile={profile.name}) — training costs")
     print(format_mapping_table(

@@ -16,6 +16,9 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
   streaming ingestion and telemetry on the ``no_grad`` fast path;
 * :mod:`repro.parallel` — data-parallel training: worker replicas, gradient
   all-reduce over shared memory, and the prefetching batch pipeline;
+* :mod:`repro.experiments` — resumable experiment orchestration: declarative
+  grid specs, content-addressed stage caching, checkpoint/resume and the
+  ``BENCH_*.json`` regression pipeline;
 * :mod:`repro.core` / :mod:`repro.evaluation` — pipeline, experiments, figures.
 
 Quick start
@@ -29,6 +32,7 @@ Quick start
 >>> pipeline.evaluate(splits.test, "activity")
 """
 
+from ._version import __version__
 from .core.experiment import ExperimentProfile, ExperimentRunner, get_profile
 from .core.saga import SagaConfig, SagaMethod, SagaPipeline
 from .datasets.base import IMUDataset
@@ -43,15 +47,29 @@ from .exceptions import (
     TrainingError,
 )
 from .exceptions import ParallelError, ServingError
+from .experiments import (
+    BenchReport,
+    ExperimentSpec,
+    GridResult,
+    Runner,
+    RunnerConfig,
+    expand_grid,
+    named_grid,
+)
 from .logging_utils import configure_logging, get_logger
 from .parallel import DataParallelEngine, ParallelTrainer, PrefetchDataLoader
 from .rng import RNGRegistry, make_rng
 from .serving import InferenceServer, ModelRegistry, ServerConfig, serve
 
-__version__ = "1.2.0"
-
 __all__ = [
     "__version__",
+    "ExperimentSpec",
+    "expand_grid",
+    "named_grid",
+    "Runner",
+    "RunnerConfig",
+    "GridResult",
+    "BenchReport",
     "serve",
     "InferenceServer",
     "ModelRegistry",

@@ -1,0 +1,8 @@
+"""Single source of truth for the package version.
+
+Lives in its own module (rather than ``repro/__init__``) so subsystems that
+key caches on the code version — :mod:`repro.experiments.cache` — can import
+it without importing the whole package, and without circular imports.
+"""
+
+__version__ = "1.3.0"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import copy
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +26,6 @@ from ..evaluation.protocol import LABELLING_RATES, validate_pair
 from ..evaluation.results import ExperimentRecord, ResultTable
 from ..exceptions import ConfigurationError
 from ..logging_utils import get_logger
-from ..masking.multi import MASK_LEVELS
 from ..models.backbone import BackboneConfig
 from .saga import SagaMethod
 

@@ -28,7 +28,7 @@ synthesises datasets with the same shapes and — crucially — the same
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

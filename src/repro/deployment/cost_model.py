@@ -9,7 +9,6 @@ layer; memory is estimated from parameters, optimizer state and activations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..exceptions import DeploymentError
 from ..nn.attention import FeedForward, MultiHeadSelfAttention, TransformerBlock

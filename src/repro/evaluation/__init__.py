@@ -1,10 +1,19 @@
 """Evaluation protocol, result aggregation and figure/table regeneration."""
 
-from .protocol import LABELLING_RATES, TASKS, TaskSpec, get_task, task_dataset_pairs, validate_pair
+from .protocol import (
+    LABELLING_RATES,
+    TASKS,
+    TaskSpec,
+    experiment_grid,
+    get_task,
+    task_dataset_pairs,
+    validate_pair,
+)
 from .results import ExperimentRecord, ResultTable, format_mapping_table
 
 __all__ = [
     "LABELLING_RATES",
+    "experiment_grid",
     "TASKS",
     "TaskSpec",
     "get_task",

@@ -4,6 +4,12 @@ One function per table/figure of the paper's evaluation section.  Each
 returns a structured result (a :class:`~repro.evaluation.results.ResultTable`
 or a list of dict rows) and can render itself as plain text, so the benchmark
 harness under ``benchmarks/`` simply calls these and prints the output.
+
+The experiment-backed figures (Figs. 6–12) define their grids as
+:class:`~repro.experiments.spec.ExperimentSpec` lists and execute them
+through the resumable :class:`~repro.experiments.runner.Runner`, so repeated
+figure builds replay from the content-addressed stage cache and different
+figures share overlapping stages (Figs. 7–11 are sub-grids of Fig. 6).
 """
 
 from __future__ import annotations
@@ -20,18 +26,25 @@ from ..core.experiment import (
     TOP3_METHOD_NAMES,
     ExperimentProfile,
     ExperimentRunner,
-    build_method,
     get_profile,
 )
 from ..datasets.registry import load_dataset
-from ..deployment.cost_model import make_training_cost, model_cost
+from ..deployment.cost_model import make_training_cost
 from ..deployment.devices import all_phones
 from ..deployment.latency import LatencyMeasurement, latency_by_phone, latency_table
-from ..evaluation.protocol import TASKS, task_dataset_pairs
-from ..evaluation.results import ExperimentRecord, ResultTable, format_mapping_table
+from ..evaluation.protocol import TASKS
+from ..evaluation.results import ResultTable, format_mapping_table
+from ..experiments.grids import DETAIL_FIGURE_PAIRS
+from ..experiments.runner import GridResult, Runner
+from ..experiments.spec import expand_grid
 from ..logging_utils import get_logger
 
 logger = get_logger(__name__)
+
+
+def _grid_runner(runner: Optional[Runner]) -> Runner:
+    """Use the caller's Runner when given (shared cache), else a default one."""
+    return runner if runner is not None else Runner()
 
 
 # ----------------------------------------------------------------------
@@ -101,6 +114,7 @@ class OverallComparison:
     mean_accuracy: Dict[str, float]
     mean_f1: Dict[str, float]
     ranking: List[str]
+    grid: Optional[GridResult] = None
 
     def format(self) -> str:
         lines = ["Figure 6 — mean accuracy by method and labelling rate", ""]
@@ -119,15 +133,19 @@ def figure6_overall(
     method_names: Sequence[str] = ALL_METHOD_NAMES,
     pairs: Optional[Sequence[Tuple[str, str]]] = None,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> OverallComparison:
     """Regenerate Fig. 6: all methods on all tasks and datasets at 5–20% labels."""
-    runner = ExperimentRunner(profile if profile is not None else get_profile(), seed=seed)
-    table = runner.run_full_matrix(method_names=method_names, pairs=pairs, seed=seed)
+    resolved = profile if profile is not None else get_profile()
+    specs = expand_grid(method_names, pairs=pairs, profile=resolved, seeds=(seed,))
+    grid = _grid_runner(runner).run(specs)
+    table = grid.table
     return OverallComparison(
         table=table,
         mean_accuracy=table.mean_by_method("accuracy"),
         mean_f1=table.mean_by_method("f1"),
         ranking=table.ranking("accuracy"),
+        grid=grid,
     )
 
 
@@ -142,6 +160,7 @@ class DetailComparison:
     task: str
     dataset: str
     table: ResultTable
+    grid: Optional[GridResult] = None
 
     def format(self) -> str:
         header = f"{self.figure} — {self.task} on {self.dataset}: accuracy by labelling rate"
@@ -152,11 +171,7 @@ class DetailComparison:
 
 
 _DETAIL_FIGURES: Dict[str, Tuple[str, str]] = {
-    "figure7": ("AR", "hhar"),
-    "figure8": ("AR", "motion"),
-    "figure9": ("UA", "hhar"),
-    "figure10": ("UA", "shoaib"),
-    "figure11": ("DP", "shoaib"),
+    f"figure{name[3:]}": pair for name, pair in DETAIL_FIGURE_PAIRS.items()
 }
 
 
@@ -165,14 +180,20 @@ def detail_figure(
     profile: Optional[ExperimentProfile] = None,
     method_names: Sequence[str] = TOP3_METHOD_NAMES,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> DetailComparison:
     """Regenerate one of Figs. 7–11 (top-3 methods on one task/dataset pair)."""
     if figure not in _DETAIL_FIGURES:
         raise KeyError(f"unknown detail figure {figure!r}; available: {sorted(_DETAIL_FIGURES)}")
     task_code, dataset_name = _DETAIL_FIGURES[figure]
-    runner = ExperimentRunner(profile if profile is not None else get_profile(), seed=seed)
-    table = runner.run_comparison(method_names, task_code, dataset_name, seed=seed)
-    return DetailComparison(figure=figure, task=task_code, dataset=dataset_name, table=table)
+    resolved = profile if profile is not None else get_profile()
+    specs = expand_grid(
+        method_names, pairs=((task_code, dataset_name),), profile=resolved, seeds=(seed,)
+    )
+    grid = _grid_runner(runner).run(specs)
+    return DetailComparison(
+        figure=figure, task=task_code, dataset=dataset_name, table=grid.table, grid=grid
+    )
 
 
 def figure7_ar_hhar(**kwargs) -> DetailComparison:
@@ -205,6 +226,7 @@ class AblationComparison:
     table: ResultTable
     mean_accuracy: Dict[str, float]
     mean_f1: Dict[str, float]
+    grid: Optional[GridResult] = None
 
     def format(self) -> str:
         rows = [
@@ -223,16 +245,23 @@ def figure12_ablation(
     method_names: Sequence[str] = ABLATION_METHOD_NAMES,
     labelling_rates: Optional[Sequence[float]] = None,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> AblationComparison:
     """Regenerate Fig. 12: per-level ablations, random weights and full Saga."""
-    runner = ExperimentRunner(profile if profile is not None else get_profile(), seed=seed)
-    table = runner.run_comparison(
-        method_names, task_code, dataset_name, labelling_rates=labelling_rates, seed=seed
+    resolved = profile if profile is not None else get_profile()
+    specs = expand_grid(
+        method_names,
+        pairs=((task_code, dataset_name),),
+        labelling_rates=labelling_rates,
+        profile=resolved,
+        seeds=(seed,),
     )
+    grid = _grid_runner(runner).run(specs)
     return AblationComparison(
-        table=table,
-        mean_accuracy=table.mean_by_method("accuracy"),
-        mean_f1=table.mean_by_method("f1"),
+        table=grid.table,
+        mean_accuracy=grid.table.mean_by_method("accuracy"),
+        mean_f1=grid.table.mean_by_method("f1"),
+        grid=grid,
     )
 
 

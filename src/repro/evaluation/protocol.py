@@ -82,3 +82,24 @@ def validate_pair(task_code: str, dataset_name: str) -> TaskSpec:
             f"valid datasets: {spec.datasets}"
         )
     return spec
+
+
+def experiment_grid(profile=None, methods=None, seeds: Tuple[int, ...] = (0,)):
+    """The paper's full evaluation grid as declarative experiment specs.
+
+    One :class:`~repro.experiments.spec.ExperimentSpec` per (method, task,
+    dataset, seed) cell, each carrying every labelling rate of the protocol —
+    the grid behind Fig. 6, executable through
+    :class:`~repro.experiments.runner.Runner`.  (Imported lazily: the
+    protocol tables must stay importable without the orchestration layer.)
+    """
+    from ..core.experiment import ALL_METHOD_NAMES, get_profile
+    from ..experiments.spec import expand_grid
+
+    resolved = profile if profile is not None else get_profile()
+    return expand_grid(
+        methods if methods is not None else ALL_METHOD_NAMES,
+        pairs=task_dataset_pairs(),
+        profile=resolved,
+        seeds=seeds,
+    )

@@ -1,0 +1,77 @@
+"""Resumable experiment orchestration over the evaluation grid.
+
+The subsystem turns the paper's figure/table grid into declarative,
+cache-addressable work (see ``DESIGN.md`` for the architecture):
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec` (one grid cell)
+  and its stage DAG (pretrain → evaluate@rate… → emit);
+* :mod:`repro.experiments.cache` — content-addressed stage cache keyed on
+  spec payload + stage + code version;
+* :mod:`repro.experiments.checkpoint` — durable grid progress for resume;
+* :mod:`repro.experiments.runner` — the :class:`Runner`: cached, resumable,
+  serial or thread-fan-out execution of whole grids;
+* :mod:`repro.experiments.grids` — named grids (``fig6`` … ``fig12``);
+* :mod:`repro.experiments.bench` — the canonical ``BENCH_<name>.json``
+  schema and the CI regression comparator;
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments``.
+"""
+
+from .bench import (
+    BENCH_PROFILES,
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    Comparison,
+    compare_reports,
+    format_comparisons,
+    iter_reports,
+    load_report,
+    regressions,
+    resolve_bench_profile,
+    write_report,
+)
+from .cache import CacheStats, StageCache, stage_key
+from .checkpoint import GridCheckpoint
+from .cli import report_from_grid
+from .grids import available_grids, named_grid
+from .runner import (
+    DISPATCH_SERIAL,
+    DISPATCH_THREAD,
+    DISPATCHERS,
+    GridResult,
+    Runner,
+    RunnerConfig,
+    StageResult,
+)
+from .spec import ExperimentSpec, StageDef, expand_grid, grid_id
+
+__all__ = [
+    "ExperimentSpec",
+    "StageDef",
+    "expand_grid",
+    "grid_id",
+    "named_grid",
+    "available_grids",
+    "StageCache",
+    "CacheStats",
+    "stage_key",
+    "GridCheckpoint",
+    "Runner",
+    "RunnerConfig",
+    "GridResult",
+    "StageResult",
+    "DISPATCHERS",
+    "DISPATCH_SERIAL",
+    "DISPATCH_THREAD",
+    "BenchReport",
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_PROFILES",
+    "resolve_bench_profile",
+    "write_report",
+    "load_report",
+    "iter_reports",
+    "compare_reports",
+    "regressions",
+    "format_comparisons",
+    "report_from_grid",
+    "Comparison",
+]

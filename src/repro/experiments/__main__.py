@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — see :mod:`repro.experiments.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,293 @@
+"""Canonical ``BENCH_<name>.json`` schema and the regression comparator.
+
+Every benchmark run publishes one machine-readable report per bench so CI
+can keep the whole perf trajectory instead of throwing the numbers away:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "name": "fig6_overall",
+      "profile": "bench",
+      "code_version": "1.3.0",
+      "created_unix": 1753776000.0,
+      "duration_seconds": 312.4,
+      "executed_seconds": 310.9,
+      "cache": {"hits": 5, "misses": 120, "stores": 120},
+      "throughput": {"records_per_second": 0.32},
+      "metrics": {"mean_accuracy_saga": 0.61},
+      "records": [{"method": "saga", "task": "AR", "...": "..."}],
+      "environment": {"python": "3.11.8", "platform": "linux", "cpus": 8}
+    }
+
+* ``metrics`` carries scalar quality numbers (accuracy, latency, speedups);
+* ``throughput`` carries the rate numbers the CI regression job compares —
+  a ``null`` value marks a cache-dominated run whose rate is meaningless;
+* ``records`` carries the raw per-run rows (the figure/table data).
+
+:func:`compare_reports` implements the CI policy: any throughput key present
+in both baseline and current whose current value drops more than
+``threshold`` (default 10%) below the baseline is a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .._version import __version__ as code_version
+from ..exceptions import ConfigurationError
+from ..logging_utils import get_logger
+from .io_utils import atomic_write_bytes
+
+logger = get_logger(__name__)
+
+BENCH_SCHEMA_VERSION = 1
+BENCH_PREFIX = "BENCH_"
+BENCH_PROFILES = ("ci", "bench")
+"""Profiles the benchmark harness may run under.
+
+``quick`` and ``paper`` are interactive profiles: their numbers are not
+comparable to the committed baselines, so the harness refuses them instead of
+silently publishing misleading reports.
+"""
+
+DEFAULT_REGRESSION_THRESHOLD = 0.10
+DEFAULT_MIN_EXECUTED_SECONDS = 1.0
+
+_REQUIRED_KEYS = (
+    "schema_version", "name", "profile", "code_version", "created_unix",
+    "duration_seconds", "throughput", "metrics",
+)
+
+
+def resolve_bench_profile(name: Optional[str] = None):
+    """Resolve the benchmark-harness profile, accepting only ``ci``/``bench``.
+
+    Honour ``REPRO_PROFILE`` like :func:`repro.core.experiment.get_profile`,
+    but raise a :class:`~repro.exceptions.ConfigurationError` for any other
+    profile (including the valid interactive ones) so a stray environment
+    variable cannot silently produce baseline-incomparable numbers.
+    """
+    from ..core.experiment import get_profile
+
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE", "bench")
+    key = str(name).lower()
+    if key not in BENCH_PROFILES:
+        raise ConfigurationError(
+            f"REPRO_PROFILE={name!r} is not a benchmark-harness profile; the "
+            f"benchmark suite accepts only {BENCH_PROFILES} (its BENCH_*.json "
+            "reports must stay comparable to the committed baselines). Use "
+            "repro.core.experiment.get_profile for interactive quick/paper runs."
+        )
+    return get_profile(key)
+
+
+def environment_info() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class BenchReport:
+    """One bench run, ready to serialise as ``BENCH_<name>.json``."""
+
+    name: str
+    profile: str
+    duration_seconds: float
+    executed_seconds: Optional[float] = None
+    throughput: Dict[str, Optional[float]] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    records: List[Dict[str, object]] = field(default_factory=list)
+    cache: Dict[str, int] = field(default_factory=dict)
+    environment: Dict[str, object] = field(default_factory=environment_info)
+    deterministic: bool = False
+    """True when the throughput numbers come from an analytic model (not a
+    wall-clock measurement) and therefore compare across any hardware."""
+    schema_version: int = BENCH_SCHEMA_VERSION
+    code_version: str = code_version
+    created_unix: float = field(default_factory=time.time)
+
+    def file_name(self) -> str:
+        return f"{BENCH_PREFIX}{self.name}.json"
+
+    def cache_dominated(self, min_executed_seconds: float = DEFAULT_MIN_EXECUTED_SECONDS) -> bool:
+        """True when the run mostly replayed cached stages instead of computing.
+
+        Only cache-backed (grid) reports can be cache-dominated; a measurement
+        bench's duration is real compute however small, so its rates stay
+        comparable.
+        """
+        if not self.cache:
+            return False
+        executed = self.duration_seconds if self.executed_seconds is None else self.executed_seconds
+        return executed < min_executed_seconds
+
+
+def write_report(report: BenchReport, directory: Path) -> Path:
+    """Atomically write ``BENCH_<name>.json`` into ``directory``."""
+    directory = Path(directory)
+    path = directory / report.file_name()
+    body = json.dumps(asdict(report), sort_keys=True, indent=2).encode("utf-8")
+    atomic_write_bytes(path, body)
+    logger.info("wrote %s (%d records)", path, len(report.records))
+    return path
+
+
+def load_report(path: Path) -> BenchReport:
+    """Load and validate one ``BENCH_*.json`` file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise ConfigurationError(f"{path.name} is not a valid BENCH report; missing {missing}")
+    if int(payload["schema_version"]) > BENCH_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path.name} has schema_version {payload['schema_version']}, newer than "
+            f"this library's {BENCH_SCHEMA_VERSION}; upgrade repro to compare it"
+        )
+    known = {f.name for f in BenchReport.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    return BenchReport(**{key: value for key, value in payload.items() if key in known})
+
+
+def iter_reports(directory: Path) -> Iterator[BenchReport]:
+    """Yield every valid BENCH report in ``directory`` (sorted by name)."""
+    directory = Path(directory)
+    for path in sorted(directory.glob(f"{BENCH_PREFIX}*.json")):
+        yield load_report(path)
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing one throughput metric against the baseline."""
+
+    bench: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str  # "ok" | "regression" | "skipped"
+    reason: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline and self.current and self.baseline > 0:
+            return self.current / self.baseline
+        return None
+
+    def describe(self) -> str:
+        if self.ratio is not None:
+            return (
+                f"{self.bench}.{self.metric}: {self.current:.3f} vs baseline "
+                f"{self.baseline:.3f} ({self.ratio:.2f}x) [{self.status}]"
+            )
+        return f"{self.bench}.{self.metric}: [{self.status}] {self.reason}"
+
+
+def compare_reports(
+    baseline_dir: Path,
+    current_dir: Path,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_executed_seconds: float = DEFAULT_MIN_EXECUTED_SECONDS,
+) -> List[Comparison]:
+    """Compare every current BENCH report against its committed baseline.
+
+    Policy (the CI benchmark-regression job):
+
+    * benches present only on one side are skipped (new benches need a new
+      baseline, retired benches need the baseline removed);
+    * profiles must match — comparing a ``ci`` run against a ``bench``
+      baseline would be apples to oranges, so it is skipped loudly;
+    * host-dependent rates only compare between like machines: when the
+      recorded ``environment.cpus`` differ, the bench is skipped with a
+      pointer to refresh the baseline on the current hardware;
+    * cache-dominated runs (executed compute below ``min_executed_seconds``)
+      and ``null`` throughput values are skipped — a replayed cache says
+      nothing about the hardware;
+    * every remaining throughput key regresses when
+      ``current < (1 - threshold) * baseline``.
+    """
+    baselines = {report.name: report for report in iter_reports(baseline_dir)}
+    currents = {report.name: report for report in iter_reports(current_dir)}
+    comparisons: List[Comparison] = []
+
+    for name in sorted(set(baselines) | set(currents)):
+        if name not in baselines:
+            comparisons.append(
+                Comparison(name, "*", None, None, "skipped", "no committed baseline")
+            )
+            continue
+        if name not in currents:
+            comparisons.append(
+                Comparison(name, "*", None, None, "skipped", "bench did not run")
+            )
+            continue
+        base, cur = baselines[name], currents[name]
+        if base.profile != cur.profile:
+            comparisons.append(
+                Comparison(
+                    name, "*", None, None, "skipped",
+                    f"profile mismatch (baseline {base.profile!r} vs current {cur.profile!r})",
+                )
+            )
+            continue
+        base_cpus = base.environment.get("cpus")
+        cur_cpus = cur.environment.get("cpus")
+        hardware_bound = not (base.deterministic and cur.deterministic)
+        if hardware_bound and base_cpus is not None and cur_cpus is not None and base_cpus != cur_cpus:
+            comparisons.append(
+                Comparison(
+                    name, "*", None, None, "skipped",
+                    f"environment mismatch (baseline {base_cpus} cpus vs current "
+                    f"{cur_cpus}); refresh the baseline on this hardware "
+                    "(python -m repro.experiments update-baseline)",
+                )
+            )
+            continue
+        if cur.cache_dominated(min_executed_seconds) or base.cache_dominated(min_executed_seconds):
+            comparisons.append(
+                Comparison(name, "*", None, None, "skipped", "cache-dominated run")
+            )
+            continue
+        shared = sorted(set(base.throughput) & set(cur.throughput))
+        if not shared:
+            comparisons.append(
+                Comparison(name, "*", None, None, "skipped", "no shared throughput metrics")
+            )
+            continue
+        for metric in shared:
+            base_value, cur_value = base.throughput[metric], cur.throughput[metric]
+            if not _comparable(base_value) or not _comparable(cur_value):
+                comparisons.append(
+                    Comparison(name, metric, base_value, cur_value, "skipped", "null metric")
+                )
+                continue
+            status = "regression" if cur_value < (1.0 - threshold) * base_value else "ok"
+            comparisons.append(Comparison(name, metric, base_value, cur_value, status))
+    return comparisons
+
+
+def _comparable(value: Optional[float]) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value) and value > 0
+
+
+def regressions(comparisons: Sequence[Comparison]) -> List[Comparison]:
+    return [comparison for comparison in comparisons if comparison.status == "regression"]
+
+
+def format_comparisons(comparisons: Sequence[Comparison]) -> str:
+    return "\n".join(comparison.describe() for comparison in comparisons)

@@ -1,0 +1,127 @@
+"""Content-addressed stage cache.
+
+Every stage output is stored under a key derived from the *content* of the
+work — the canonical spec payload, the stage coordinates, the library version
+and the cache format version — never from wall-clock time or run order.  Two
+consequences:
+
+* re-running a completed grid touches only the cache (a no-op);
+* an interrupted grid resumes exactly where it stopped, because each finished
+  stage is durable the moment it completes.
+
+Payloads are JSON files (``<key>.json``).  Stages whose output is a Python
+object that JSON cannot carry (the pre-trained method of the ``pretrain``
+stage) attach a pickle *artifact* (``<key>.pkl``) referenced from the
+payload.  Writes are atomic (temp file + ``os.replace``), so a crash can
+leave at most an orphaned temp file, never a truncated entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..logging_utils import get_logger
+from .io_utils import atomic_write_bytes
+from .spec import StageDef, _canonical
+
+logger = get_logger(__name__)
+
+CACHE_FORMAT_VERSION = 1
+"""Bumped when the on-disk layout or payload schema changes (invalidates all)."""
+
+ARTIFACT_KEY = "__artifact__"
+"""Payload key under which the pickle artifact's file name is recorded."""
+
+
+def stage_key(stage: StageDef, code_version: str) -> str:
+    """Content hash of one stage: spec identity + stage coords + code version."""
+    material = {
+        "identity": stage.identity(),
+        "code_version": code_version,
+        "cache_format": CACHE_FORMAT_VERSION,
+    }
+    return hashlib.sha256(_canonical(material).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class StageCache:
+    """Directory-backed content-addressed store for stage outputs."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def payload_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def artifact_path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for ``key`` or ``None`` on a miss.
+
+        A corrupted entry (unreadable JSON, or a payload referencing a missing
+        artifact) counts as a miss: the stage simply recomputes and the entry
+        is overwritten.
+        """
+        path = self.payload_path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            logger.warning("discarding corrupted cache entry %s (%s)", path.name, exc)
+            self.stats.misses += 1
+            return None
+        if payload.get(ARTIFACT_KEY) and not self.artifact_path(key).exists():
+            logger.warning("cache entry %s lost its artifact; recomputing", path.name)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def load_artifact(self, key: str) -> Any:
+        """Unpickle the artifact attached to a cached payload."""
+        with self.artifact_path(key).open("rb") as handle:
+            return pickle.load(handle)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def store(self, key: str, payload: Dict[str, Any], artifact: Any = None) -> None:
+        """Persist a stage output (payload JSON plus optional pickle artifact)."""
+        record = dict(payload)
+        if artifact is not None:
+            atomic_write_bytes(self.artifact_path(key), pickle.dumps(artifact))
+            record[ARTIFACT_KEY] = self.artifact_path(key).name
+        body = json.dumps(record, sort_keys=True, indent=2).encode("utf-8")
+        atomic_write_bytes(self.payload_path(key), body)
+        self.stats.stores += 1

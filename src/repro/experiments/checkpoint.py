@@ -1,0 +1,81 @@
+"""Grid-level checkpoint file: durable progress for interrupted runs.
+
+The stage cache alone makes a rerun resume correctly; the checkpoint adds a
+human- and CI-readable record of *grid* progress — how many specs finished,
+whether the run completed or was interrupted, and when.  It is advisory
+metadata: deleting it never loses work (the cache is the source of truth).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .io_utils import atomic_write_bytes
+
+STATUS_RUNNING = "running"
+STATUS_INTERRUPTED = "interrupted"
+STATUS_COMPLETE = "complete"
+
+
+class GridCheckpoint:
+    """Mirror of one grid run's progress, updated after every spec."""
+
+    def __init__(self, path: Path, grid_id: str) -> None:
+        self.path = Path(path)
+        self.grid_id = grid_id
+        self._lock = threading.Lock()
+        self._state: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def begin(self, total_specs: int) -> None:
+        previous = self.load()
+        resumed = bool(previous) and previous.get("status") != STATUS_COMPLETE
+        self._state = {
+            "grid_id": self.grid_id,
+            "status": STATUS_RUNNING,
+            "total_specs": total_specs,
+            "completed_specs": {},
+            "resumed": resumed,
+            "updated_unix": time.time(),
+        }
+        if resumed:
+            self._state["completed_specs"] = dict(previous.get("completed_specs", {}))
+        self._write()
+
+    def mark_spec_done(self, spec_id: str, stage_names: List[str]) -> None:
+        with self._lock:
+            completed = self._state.setdefault("completed_specs", {})
+            completed[spec_id] = stage_names
+            self._write()
+
+    def mark_interrupted(self) -> None:
+        with self._lock:
+            self._state["status"] = STATUS_INTERRUPTED
+            self._write()
+
+    def mark_complete(self) -> None:
+        with self._lock:
+            self._state["status"] = STATUS_COMPLETE
+            self._write()
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, object]:
+        """Read the checkpoint from disk ({} when absent or unreadable)."""
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    @property
+    def status(self) -> Optional[str]:
+        return self.load().get("status")
+
+    def _write(self) -> None:
+        self._state["updated_unix"] = time.time()
+        body = json.dumps(self._state, sort_keys=True, indent=2).encode("utf-8")
+        atomic_write_bytes(self.path, body)

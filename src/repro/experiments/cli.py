@@ -1,0 +1,188 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Three subcommands:
+
+``run``
+    Expand a named grid (``fig6`` … ``fig12``, ``full``), execute it through
+    the resumable :class:`~repro.experiments.runner.Runner` and publish a
+    ``BENCH_<grid>.json`` report.  Rerunning after an interruption resumes
+    from the stage cache; rerunning a completed grid is a no-op.
+``check``
+    The CI benchmark-regression gate: compare the ``BENCH_*.json`` files of a
+    run against the committed baselines and exit non-zero on any throughput
+    regression beyond the threshold.
+``update-baseline``
+    Copy a run's ``BENCH_*.json`` files over the committed baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from ..exceptions import ConfigurationError, ReproError
+from ..logging_utils import configure_logging, get_logger
+from .bench import (
+    BENCH_PREFIX,
+    DEFAULT_MIN_EXECUTED_SECONDS,
+    DEFAULT_REGRESSION_THRESHOLD,
+    BenchReport,
+    compare_reports,
+    format_comparisons,
+    regressions,
+    resolve_bench_profile,
+    write_report,
+)
+from .grids import GRID_BENCH_NAMES, available_grids, named_grid
+from .runner import DISPATCHERS, GridResult, Runner, RunnerConfig
+
+logger = get_logger(__name__)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Resumable experiment orchestration and benchmark regression checks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a named experiment grid and publish BENCH json")
+    run.add_argument("grid", choices=available_grids(), help="named grid to run")
+    run.add_argument("--profile", default=None,
+                     help="experiment profile (default: $REPRO_PROFILE or bench)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help="stage cache root (default: $REPRO_CACHE_DIR or .repro_cache)")
+    run.add_argument("--bench-dir", type=Path, default=None,
+                     help="directory receiving BENCH_<name>.json "
+                          "(default: $REPRO_BENCH_DIR or bench_out, like the pytest harness)")
+    run.add_argument("--dispatch", choices=DISPATCHERS, default="thread")
+    run.add_argument("--max-workers", type=int, default=4)
+
+    check = sub.add_parser("check", help="compare BENCH json files against committed baselines")
+    check.add_argument("--baseline", type=Path, required=True,
+                       help="directory of committed BENCH baselines")
+    check.add_argument("--current", type=Path, required=True,
+                       help="directory of freshly produced BENCH files")
+    check.add_argument("--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+                       help="relative throughput drop that fails the gate (default 0.10)")
+    check.add_argument("--min-executed", type=float, default=DEFAULT_MIN_EXECUTED_SECONDS,
+                       help="skip benches with less executed compute than this many seconds")
+
+    update = sub.add_parser("update-baseline", help="copy current BENCH json files over the baselines")
+    update.add_argument("--current", type=Path, required=True)
+    update.add_argument("--baseline", type=Path, required=True)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = resolve_bench_profile(args.profile)
+    specs = named_grid(args.grid, profile, seed=args.seed)
+    runner = Runner(
+        RunnerConfig(
+            cache_dir=args.cache_dir,
+            dispatch=args.dispatch,
+            max_workers=args.max_workers,
+        ),
+        stage_callback=lambda stage: logger.info("stage %s", stage.name),
+    )
+    logger.info("grid %s: %d specs at profile %s", args.grid, len(specs), profile.name)
+    result = runner.run(specs)
+    bench_name = GRID_BENCH_NAMES.get(args.grid, args.grid)
+    report = report_from_grid(bench_name, profile.name, result)
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        bench_dir = Path(os.environ.get("REPRO_BENCH_DIR", "bench_out"))
+    path = write_report(report, bench_dir)
+    print(f"grid {args.grid}: {len(result.table)} records, "
+          f"{result.cache_misses} stages executed ({result.cache_hits} cached), "
+          f"{result.executed_seconds:.1f}s compute -> {path}")
+    return 0
+
+
+def report_from_grid(
+    name: str,
+    profile_name: str,
+    result: GridResult,
+    extra_metrics: Optional[Dict[str, float]] = None,
+) -> BenchReport:
+    """Build the canonical BENCH report for one grid run."""
+    metrics = {
+        f"mean_accuracy_{method}": value
+        for method, value in result.table.mean_by_method("accuracy").items()
+    }
+    metrics.update(
+        {f"mean_f1_{method}": value for method, value in result.table.mean_by_method("f1").items()}
+    )
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    return BenchReport(
+        name=name,
+        profile=profile_name,
+        duration_seconds=result.wall_seconds,
+        executed_seconds=result.executed_seconds,
+        throughput=result.throughput(),
+        metrics=metrics,
+        records=result.table.to_rows(),
+        cache={"hits": result.cache_hits, "misses": result.cache_misses},
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    comparisons = compare_reports(
+        args.baseline, args.current,
+        threshold=args.threshold, min_executed_seconds=args.min_executed,
+    )
+    if not comparisons:
+        print(f"no BENCH reports found under {args.current} / {args.baseline}")
+        return 1
+    print(format_comparisons(comparisons))
+    failed = regressions(comparisons)
+    if not failed and all(c.status == "skipped" for c in comparisons):
+        print(
+            "\nWARNING: every comparison was skipped — the regression gate is "
+            "NOT armed on this hardware. Refresh the baselines from this "
+            "machine's run (python -m repro.experiments update-baseline) to arm it."
+        )
+    if failed:
+        print(f"\nFAIL: {len(failed)} throughput regression(s) beyond "
+              f"{args.threshold:.0%} of baseline")
+        return 1
+    print(f"\nOK: no throughput regression beyond {args.threshold:.0%} "
+          f"({len(comparisons)} comparisons)")
+    return 0
+
+
+def _cmd_update_baseline(args: argparse.Namespace) -> int:
+    current, baseline = Path(args.current), Path(args.baseline)
+    paths = sorted(current.glob(f"{BENCH_PREFIX}*.json"))
+    if not paths:
+        print(f"no {BENCH_PREFIX}*.json files under {current}")
+        return 1
+    baseline.mkdir(parents=True, exist_ok=True)
+    for path in paths:
+        shutil.copy2(path, baseline / path.name)
+        print(f"updated {baseline / path.name}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    configure_logging()
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "check": _cmd_check, "update-baseline": _cmd_update_baseline}
+    try:
+        return handlers[args.command](args)
+    except (ConfigurationError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Named experiment grids: the paper's figures as declarative specs.
+
+One place maps figure names to their grids so the benchmark harness, the
+``python -m repro.experiments`` CLI and :mod:`repro.evaluation.figures` all
+expand exactly the same specs (and therefore share the same cached stages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.experiment import TOP3_METHOD_NAMES, ExperimentProfile, get_profile
+from ..evaluation.protocol import experiment_grid
+from ..exceptions import ConfigurationError
+from .spec import ExperimentSpec, expand_grid
+
+DETAIL_FIGURE_PAIRS: Dict[str, Tuple[str, str]] = {
+    "fig7": ("AR", "hhar"),
+    "fig8": ("AR", "motion"),
+    "fig9": ("UA", "hhar"),
+    "fig10": ("UA", "shoaib"),
+    "fig11": ("DP", "shoaib"),
+}
+"""The (task, dataset) pair behind each per-task detail figure (Figs. 7–11)."""
+
+ABLATION_GRID_METHODS: Tuple[str, ...] = (
+    "saga_sensor", "saga_point", "saga_subperiod", "saga_period", "saga_random", "saga_search",
+)
+"""Fig. 12 variants (``saga_search`` makes the LWS column explicit)."""
+
+
+def named_grid(
+    name: str, profile: Optional[ExperimentProfile] = None, seed: int = 0
+) -> List[ExperimentSpec]:
+    """Expand one named grid (``fig6`` … ``fig12`` or ``full``) into specs."""
+    resolved = profile if profile is not None else get_profile()
+    key = name.lower()
+    if key == "fig6":
+        return experiment_grid(resolved, seeds=(seed,))
+    if key in DETAIL_FIGURE_PAIRS:
+        return expand_grid(
+            TOP3_METHOD_NAMES, pairs=(DETAIL_FIGURE_PAIRS[key],), profile=resolved, seeds=(seed,)
+        )
+    if key == "fig12":
+        rates = (resolved.labelling_rates[0], resolved.labelling_rates[-1])
+        return expand_grid(
+            ABLATION_GRID_METHODS,
+            pairs=(("AR", "hhar"),),
+            labelling_rates=rates,
+            profile=resolved,
+            seeds=(seed,),
+        )
+    if key == "full":
+        specs = named_grid("fig6", resolved, seed)
+        specs.extend(named_grid("fig12", resolved, seed))
+        return specs
+    raise ConfigurationError(
+        f"unknown grid {name!r}; available: {sorted(available_grids())}"
+    )
+
+
+def available_grids() -> Tuple[str, ...]:
+    return ("fig6", *DETAIL_FIGURE_PAIRS, "fig12", "full")
+
+
+GRID_BENCH_NAMES: Dict[str, str] = {
+    "fig6": "fig6_overall",
+    "fig7": "fig7_ar_hhar",
+    "fig8": "fig8_ar_motion",
+    "fig9": "fig9_ua_hhar",
+    "fig10": "fig10_ua_shoaib",
+    "fig11": "fig11_dp_shoaib",
+    "fig12": "fig12_ablation",
+    "full": "full_grid",
+}
+"""BENCH report name per named grid.
+
+The CLI ``run`` subcommand and the benchmark harness must publish the *same*
+``BENCH_<name>.json`` file names, or CLI-produced reports would never match a
+committed baseline.
+"""

@@ -1,0 +1,412 @@
+"""Resumable, cache-aware execution of experiment grids.
+
+The :class:`Runner` takes a list of :class:`~repro.experiments.spec.ExperimentSpec`
+objects, expands each into its stage DAG and executes the stages with:
+
+* **content-addressed caching** — every stage key is a hash of the spec
+  payload, the stage coordinates and ``repro.__version__``
+  (:mod:`repro.experiments.cache`), so a completed stage is never recomputed
+  by any later run of any grid that contains it;
+* **checkpoint / resume** — grid progress is mirrored into a checkpoint file
+  after every spec; an interrupted run (``KeyboardInterrupt``, worker crash,
+  SIGKILL) restarts by simply calling :meth:`Runner.run` again, and every
+  stage that finished before the interruption is a cache hit;
+* **parallel dispatch** — independent specs fan out across a thread pool
+  (``dispatch="thread"``; numpy training steps release the GIL, and each
+  spec's own training loops may additionally use the
+  :class:`~repro.parallel.engine.DataParallelEngine` workers configured by
+  its profile).  ``dispatch="serial"`` runs in-line and is the reference
+  the parity tests compare against.
+
+Numeric results are produced by delegating to the same
+:class:`~repro.core.experiment.ExperimentRunner` recipe as the legacy
+``run_rate_sweep`` path (one pre-train per spec, a deep copy fine-tuned per
+labelling rate, identical RNG derivations), so grids run through the Runner
+reproduce the legacy figures bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._version import __version__ as code_version
+from ..core.experiment import ExperimentRunner, build_method
+from ..evaluation.results import ExperimentRecord, ResultTable
+from ..exceptions import ConfigurationError
+from ..logging_utils import get_logger
+from .cache import StageCache, stage_key
+from .checkpoint import GridCheckpoint
+from .spec import STAGE_EMIT, STAGE_EVALUATE, STAGE_PRETRAIN, ExperimentSpec, StageDef, grid_id
+
+logger = get_logger(__name__)
+
+DISPATCH_SERIAL = "serial"
+DISPATCH_THREAD = "thread"
+DISPATCHERS = (DISPATCH_SERIAL, DISPATCH_THREAD)
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+StageCallback = Callable[[StageDef], None]
+
+_RECORD_FIELDS = (
+    "method", "task", "dataset", "labelling_rate", "accuracy", "f1",
+    "num_train_samples", "seed",
+)
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` under the CWD."""
+    import os
+
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs of one :class:`Runner` instance."""
+
+    cache_dir: Optional[Path] = None
+    dispatch: str = DISPATCH_THREAD
+    max_workers: int = 4
+    checkpoint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dispatch not in DISPATCHERS:
+            raise ConfigurationError(
+                f"unknown dispatch mode {self.dispatch!r}; choose from {DISPATCHERS}"
+            )
+        if self.max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    def resolved_cache_dir(self) -> Path:
+        return Path(self.cache_dir) if self.cache_dir is not None else default_cache_dir()
+
+
+@dataclass
+class StageResult:
+    """Outcome of one stage execution (or cache hit)."""
+
+    name: str
+    kind: str
+    cached: bool
+    seconds: float
+    payload: Dict[str, object]
+
+
+@dataclass
+class GridResult:
+    """Everything a grid run produced, plus its cost accounting."""
+
+    grid_id: str
+    specs: List[ExperimentSpec]
+    table: ResultTable
+    stage_results: List[StageResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def executed_seconds(self) -> float:
+        """Compute time spent on cache-missed stages (cache hits cost ~0)."""
+        return sum(result.seconds for result in self.stage_results if not result.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.stage_results if result.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for result in self.stage_results if not result.cached)
+
+    @property
+    def fully_cached(self) -> bool:
+        """True when the whole grid was a no-op (every stage cache-hit)."""
+        return self.cache_misses == 0
+
+    def throughput(self) -> Dict[str, Optional[float]]:
+        """Canonical throughput numbers for the BENCH report.
+
+        Both rates count only work that actually executed (cache-replayed
+        records are excluded from the numerator just as replayed stages are
+        excluded from the denominator), so the numbers measure the hardware
+        regardless of how much of the grid other runs had pre-warmed.
+        ``None`` when nothing executed — a replayed cache has no rate.
+        """
+        executed = self.executed_seconds
+        if executed <= 0:
+            return {"records_per_second": None, "stages_per_second": None}
+        executed_records = sum(
+            1
+            for result in self.stage_results
+            if result.kind == STAGE_EVALUATE and not result.cached
+        )
+        return {
+            "records_per_second": executed_records / executed,
+            "stages_per_second": self.cache_misses / executed,
+        }
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Executed seconds per stage kind (pretrain / evaluate / emit)."""
+        totals: Dict[str, float] = {}
+        for result in self.stage_results:
+            if not result.cached:
+                totals[result.kind] = totals.get(result.kind, 0.0) + result.seconds
+        return totals
+
+
+def _record_from_payload(payload: Dict[str, object]) -> ExperimentRecord:
+    row = dict(payload)
+    extra = {k: v for k, v in row.items() if k not in _RECORD_FIELDS}
+    return ExperimentRecord(
+        method=str(row["method"]),
+        task=str(row["task"]),
+        dataset=str(row["dataset"]),
+        labelling_rate=float(row["labelling_rate"]),
+        accuracy=float(row["accuracy"]),
+        f1=float(row["f1"]),
+        num_train_samples=int(row["num_train_samples"]),
+        seed=int(row["seed"]),
+        extra={k: float(v) for k, v in extra.items() if isinstance(v, (int, float))},
+    )
+
+
+class Runner:
+    """Execute experiment grids with caching, resume and parallel dispatch."""
+
+    def __init__(
+        self,
+        config: Optional[RunnerConfig] = None,
+        stage_callback: Optional[StageCallback] = None,
+    ) -> None:
+        self.config = config if config is not None else RunnerConfig()
+        self.cache = StageCache(self.config.resolved_cache_dir())
+        self.stage_callback = stage_callback
+        # ExperimentRunner instances are shared per (profile, seed) so dataset
+        # contexts are prepared once per grid, exactly like the legacy path.
+        self._experiment_runners: Dict[Tuple[object, int], ExperimentRunner] = {}
+        self._context_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ExperimentSpec]) -> GridResult:
+        """Run (or resume) a grid and return its aggregated results.
+
+        Stages that are already cached are skipped; everything else executes.
+        Calling :meth:`run` again with the same specs is a no-op that replays
+        results from the cache.
+        """
+        specs = list(specs)
+        if not specs:
+            raise ConfigurationError("cannot run an empty grid")
+        gid = grid_id(specs)
+        checkpoint = (
+            GridCheckpoint(self.cache.root / f"grid-{gid}.checkpoint.json", gid)
+            if self.config.checkpoint
+            else None
+        )
+        if checkpoint is not None:
+            checkpoint.begin(total_specs=len(specs))
+        started = time.perf_counter()
+        results_by_spec: Dict[str, List[StageResult]] = {}
+
+        try:
+            if self.config.dispatch == DISPATCH_SERIAL or len(specs) == 1:
+                for spec in specs:
+                    results_by_spec[spec.spec_id] = self._run_spec(spec, checkpoint)
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.config.max_workers, len(specs)),
+                    thread_name_prefix="grid-worker",
+                ) as pool:
+                    futures = {
+                        spec.spec_id: pool.submit(self._run_spec, spec, checkpoint)
+                        for spec in specs
+                    }
+                    for spec_id, future in futures.items():
+                        results_by_spec[spec_id] = future.result()
+        except BaseException:
+            # Leave a durable mark of where the grid stopped; every completed
+            # stage is already in the cache, so a rerun resumes from here.
+            if checkpoint is not None:
+                checkpoint.mark_interrupted()
+            raise
+
+        table = ResultTable()
+        stage_results: List[StageResult] = []
+        for spec in specs:  # deterministic order regardless of dispatch
+            spec_results = results_by_spec[spec.spec_id]
+            stage_results.extend(spec_results)
+            for result in spec_results:
+                if result.kind == STAGE_EVALUATE:
+                    table.add(_record_from_payload(result.payload["record"]))
+        grid_result = GridResult(
+            grid_id=gid,
+            specs=specs,
+            table=table,
+            stage_results=stage_results,
+            wall_seconds=time.perf_counter() - started,
+        )
+        if checkpoint is not None:
+            checkpoint.mark_complete()
+        logger.info(
+            "grid %s: %d specs, %d stages (%d cached), %.2fs executed / %.2fs wall",
+            gid, len(specs), len(stage_results), grid_result.cache_hits,
+            grid_result.executed_seconds, grid_result.wall_seconds,
+        )
+        return grid_result
+
+    # ------------------------------------------------------------------
+    # Spec execution
+    # ------------------------------------------------------------------
+    def _runner_for(self, spec: ExperimentSpec) -> ExperimentRunner:
+        key = (spec.profile, spec.seed)
+        with self._context_lock:
+            if key not in self._experiment_runners:
+                self._experiment_runners[key] = ExperimentRunner(spec.profile, seed=spec.seed)
+            return self._experiment_runners[key]
+
+    def _context(self, spec: ExperimentSpec):
+        runner = self._runner_for(spec)
+        # ExperimentRunner caches contexts internally but is not thread-safe;
+        # serialise context preparation (training itself runs unlocked).
+        with self._context_lock:
+            return runner.context(spec.task, spec.dataset)
+
+    def _run_spec(
+        self, spec: ExperimentSpec, checkpoint: Optional[GridCheckpoint]
+    ) -> List[StageResult]:
+        stages = spec.stages()
+        by_kind: Dict[str, List[StageDef]] = {}
+        for stage in stages:
+            by_kind.setdefault(stage.kind, []).append(stage)
+        pretrain_stage = by_kind[STAGE_PRETRAIN][0]
+        evaluate_stages = by_kind.get(STAGE_EVALUATE, [])
+        emit_stage = by_kind[STAGE_EMIT][0]
+
+        results: List[StageResult] = []
+        keys = {stage.name: stage_key(stage, code_version) for stage in stages}
+
+        # The pre-trained method is only materialised when some evaluate
+        # stage actually needs to run.
+        evaluate_cached = {
+            stage.name: self.cache.lookup(keys[stage.name]) for stage in evaluate_stages
+        }
+        needs_method = any(payload is None for payload in evaluate_cached.values())
+
+        pretrained = None
+        pretrain_payload = self.cache.lookup(keys[pretrain_stage.name])
+        if pretrain_payload is not None and needs_method:
+            try:
+                pretrained = self.cache.load_artifact(keys[pretrain_stage.name])
+            except (OSError, pickle.UnpicklingError) as exc:  # pragma: no cover - corrupt cache
+                logger.warning("re-running pretrain for %s (%s)", spec.describe(), exc)
+                pretrain_payload = None
+        if pretrain_payload is None and not needs_method:
+            # Every evaluation is already cached, so nothing will consume the
+            # pre-trained method (e.g. its pickle artifact was pruned to save
+            # disk): keep the grid rerun a no-op instead of recomputing the
+            # most expensive stage for nothing.
+            results.append(
+                StageResult(
+                    pretrain_stage.name, STAGE_PRETRAIN, True, 0.0,
+                    {"seconds": 0.0, "skipped": "all evaluations cached"},
+                )
+            )
+        elif pretrain_payload is None:
+            self._notify(pretrain_stage)
+            seconds, pretrained = self._execute_pretrain(spec)
+            pretrain_payload = {"seconds": seconds, "spec": spec.describe()}
+            self.cache.store(keys[pretrain_stage.name], pretrain_payload, artifact=pretrained)
+            results.append(
+                StageResult(pretrain_stage.name, STAGE_PRETRAIN, False, seconds, pretrain_payload)
+            )
+        else:
+            results.append(
+                StageResult(
+                    pretrain_stage.name, STAGE_PRETRAIN, True,
+                    float(pretrain_payload.get("seconds", 0.0)), pretrain_payload,
+                )
+            )
+
+        for stage in evaluate_stages:
+            payload = evaluate_cached[stage.name]
+            if payload is None:
+                self._notify(stage)
+                seconds, record = self._execute_evaluate(spec, stage.rate, pretrained)
+                payload = {"seconds": seconds, "record": record}
+                self.cache.store(keys[stage.name], payload)
+                results.append(StageResult(stage.name, STAGE_EVALUATE, False, seconds, payload))
+            else:
+                results.append(
+                    StageResult(
+                        stage.name, STAGE_EVALUATE, True,
+                        float(payload.get("seconds", 0.0)), payload,
+                    )
+                )
+
+        emit_payload = self.cache.lookup(keys[emit_stage.name])
+        if emit_payload is None:
+            self._notify(emit_stage)
+            started = time.perf_counter()
+            records = [
+                result.payload["record"] for result in results if result.kind == STAGE_EVALUATE
+            ]
+            emit_payload = {
+                "seconds": time.perf_counter() - started,
+                "records": records,
+                "spec": spec.describe(),
+            }
+            self.cache.store(keys[emit_stage.name], emit_payload)
+            results.append(
+                StageResult(
+                    emit_stage.name, STAGE_EMIT, False,
+                    float(emit_payload["seconds"]), emit_payload,
+                )
+            )
+        else:
+            results.append(
+                StageResult(
+                    emit_stage.name, STAGE_EMIT, True,
+                    float(emit_payload.get("seconds", 0.0)), emit_payload,
+                )
+            )
+
+        if checkpoint is not None:
+            checkpoint.mark_spec_done(spec.spec_id, [r.name for r in results])
+        return results
+
+    def _notify(self, stage: StageDef) -> None:
+        if self.stage_callback is not None:
+            self.stage_callback(stage)
+
+    # ------------------------------------------------------------------
+    # Stage bodies (the legacy ExperimentRunner recipe, stage by stage)
+    # ------------------------------------------------------------------
+    def _execute_pretrain(self, spec: ExperimentSpec):
+        context = self._context(spec)
+        started = time.perf_counter()
+        rng = np.random.default_rng(spec.seed)
+        method = build_method(spec.method, spec.profile, context.splits.train.num_channels)
+        method.pretrain(context.splits.train, rng)
+        return time.perf_counter() - started, method
+
+    def _execute_evaluate(self, spec: ExperimentSpec, rate: float, pretrained):
+        context = self._context(spec)
+        runner = self._runner_for(spec)
+        started = time.perf_counter()
+        trial = copy.deepcopy(pretrained)
+        trial_rng = np.random.default_rng(spec.seed + int(round(rate * 1000)))
+        record = runner._fit_and_evaluate(trial, context, spec.task, rate, spec.seed, trial_rng)
+        seconds = time.perf_counter() - started
+        row = {name: getattr(record, name) for name in _RECORD_FIELDS}
+        row.update(record.extra)
+        return seconds, row

@@ -1,0 +1,197 @@
+"""Declarative experiment specifications and their stage DAGs.
+
+An :class:`ExperimentSpec` names one cell of the paper's evaluation grid —
+(method, task, dataset, labelling rates, seed) at a given
+:class:`~repro.core.experiment.ExperimentProfile` — without running anything.
+Each spec expands into a small DAG of :class:`StageDef` nodes::
+
+    pretrain ──▶ evaluate@rate₁ ──┐
+             ──▶ evaluate@rate₂ ──┤──▶ emit
+             ──▶ ...              ┘
+
+* ``pretrain`` runs the method's unsupervised stage once (it does not depend
+  on the labelling rate);
+* ``evaluate@rate`` fine-tunes a fresh copy of the pre-trained method on the
+  labelled fraction and measures test metrics — one node per rate;
+* ``emit`` aggregates the per-rate records into the spec's figure/table rows.
+
+Specs are pure data: they hash stably (:attr:`ExperimentSpec.spec_id`), so
+stage outputs can be cached content-addressed and a grid can be re-expanded
+identically across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.experiment import ExperimentProfile, get_profile
+from ..evaluation.protocol import task_dataset_pairs, validate_pair
+from ..exceptions import ConfigurationError
+
+STAGE_PRETRAIN = "pretrain"
+STAGE_EVALUATE = "evaluate"
+STAGE_EMIT = "emit"
+STAGE_KINDS = (STAGE_PRETRAIN, STAGE_EVALUATE, STAGE_EMIT)
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    """Deterministic JSON rendering used for hashing spec/stage identities."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _short_hash(payload: Dict[str, object], length: int = 16) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment of a grid: method × task × dataset × rates × seed × profile."""
+
+    method: str
+    task: str
+    dataset: str
+    labelling_rates: Tuple[float, ...]
+    seed: int
+    profile: ExperimentProfile
+
+    def __post_init__(self) -> None:
+        if not self.labelling_rates:
+            raise ConfigurationError("an ExperimentSpec needs at least one labelling rate")
+        for rate in self.labelling_rates:
+            if not 0.0 < rate <= 1.0:
+                raise ConfigurationError(f"labelling rate must be in (0, 1], got {rate!r}")
+        validate_pair(self.task, self.dataset)
+        # Normalise the identity fields so equal grids hash equally.  Rates
+        # dedupe order-preservingly: a duplicated rate would mint two evaluate
+        # stages with the same name (and run the same evaluation twice).
+        object.__setattr__(self, "method", self.method.lower())
+        object.__setattr__(self, "task", self.task.upper())
+        object.__setattr__(self, "dataset", self.dataset.lower())
+        object.__setattr__(
+            self, "labelling_rates", tuple(dict.fromkeys(float(r) for r in self.labelling_rates))
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, object]:
+        """Canonical JSON-serialisable identity of this spec (cache-key input)."""
+        return {
+            "method": self.method,
+            "task": self.task,
+            "dataset": self.dataset,
+            "labelling_rates": list(self.labelling_rates),
+            "seed": self.seed,
+            "profile": asdict(self.profile),
+        }
+
+    @property
+    def spec_id(self) -> str:
+        """Short stable hash identifying this spec."""
+        return _short_hash(self.payload())
+
+    def describe(self) -> str:
+        rates = "/".join(f"{rate:.0%}" for rate in self.labelling_rates)
+        return f"{self.method} {self.task}/{self.dataset} rates={rates} seed={self.seed}"
+
+    # ------------------------------------------------------------------
+    # DAG expansion
+    # ------------------------------------------------------------------
+    def stages(self) -> List["StageDef"]:
+        """Expand this spec into its stage DAG in topological order."""
+        pretrain = StageDef(spec=self, kind=STAGE_PRETRAIN)
+        evaluates = tuple(
+            StageDef(spec=self, kind=STAGE_EVALUATE, rate=rate, depends=(pretrain.name,))
+            for rate in self.labelling_rates
+        )
+        emit = StageDef(
+            spec=self, kind=STAGE_EMIT, depends=tuple(stage.name for stage in evaluates)
+        )
+        return [pretrain, *evaluates, emit]
+
+
+@dataclass(frozen=True)
+class StageDef:
+    """One node of a spec's DAG: a unit of cacheable, resumable work."""
+
+    spec: ExperimentSpec
+    kind: str
+    rate: Optional[float] = None
+    depends: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in STAGE_KINDS:
+            raise ConfigurationError(f"unknown stage kind {self.kind!r}; choose from {STAGE_KINDS}")
+        if (self.kind == STAGE_EVALUATE) != (self.rate is not None):
+            raise ConfigurationError("exactly the evaluate stages carry a labelling rate")
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable stage name, unique within a grid."""
+        suffix = self.kind if self.rate is None else f"{self.kind}@{self.rate:g}"
+        return f"{self.spec.spec_id}/{suffix}"
+
+    def identity(self) -> Dict[str, object]:
+        """Cache-key input: the spec identity plus the stage coordinates.
+
+        Pre-training does not depend on the labelling rates at all, and one
+        evaluation depends only on its *own* rate, so both identities drop
+        the spec's rate list — specs that differ only in how rates are
+        grouped share those stages.  Only the ``emit`` stage (the aggregate
+        over the whole rate list) keeps it.
+        """
+        payload = self.spec.payload()
+        if self.kind in (STAGE_PRETRAIN, STAGE_EVALUATE):
+            payload.pop("labelling_rates")
+        return {"spec": payload, "stage": self.kind, "rate": self.rate}
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+def expand_grid(
+    methods: Sequence[str],
+    pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    labelling_rates: Optional[Sequence[float]] = None,
+    seeds: Sequence[int] = (0,),
+    profile: Optional[ExperimentProfile] = None,
+) -> List[ExperimentSpec]:
+    """Expand a cartesian grid into one :class:`ExperimentSpec` per cell.
+
+    ``pairs`` defaults to the paper's five (task, dataset) pairs and
+    ``labelling_rates`` to the profile's rates.  Labelling rates stay grouped
+    inside one spec (they share the pre-training stage), so the grid size is
+    ``len(methods) × len(pairs) × len(seeds)``.
+    """
+    resolved = profile if profile is not None else get_profile()
+    resolved_pairs = tuple(pairs) if pairs is not None else task_dataset_pairs()
+    rates = tuple(labelling_rates) if labelling_rates is not None else resolved.labelling_rates
+    if not methods:
+        raise ConfigurationError("expand_grid needs at least one method")
+    if not resolved_pairs:
+        raise ConfigurationError("expand_grid needs at least one (task, dataset) pair")
+    if not seeds:
+        raise ConfigurationError("expand_grid needs at least one seed")
+    specs = []
+    for seed in seeds:
+        for task, dataset in resolved_pairs:
+            for method in methods:
+                specs.append(
+                    ExperimentSpec(
+                        method=method,
+                        task=task,
+                        dataset=dataset,
+                        labelling_rates=rates,
+                        seed=int(seed),
+                        profile=resolved,
+                    )
+                )
+    return specs
+
+
+def grid_id(specs: Iterable[ExperimentSpec]) -> str:
+    """Stable identity of a whole grid (order-insensitive)."""
+    return _short_hash({"grid": sorted(spec.spec_id for spec in specs)})

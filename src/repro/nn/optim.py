@@ -6,7 +6,7 @@ momentum is provided as well for ablations and tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

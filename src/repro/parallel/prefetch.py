@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Iterator, Optional
+from typing import Iterator
 
 from ..exceptions import ParallelError
 

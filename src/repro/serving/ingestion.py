@@ -12,8 +12,8 @@ and online serving share one code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 

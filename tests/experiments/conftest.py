@@ -1,0 +1,51 @@
+"""Shared fixtures for the experiment-orchestration tests.
+
+Everything here runs on a deliberately tiny profile (below even ``ci``) so
+the whole suite — including real pretrain/finetune stage executions — stays
+in the seconds range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.experiment import PROFILES
+from repro.experiments import Runner, RunnerConfig, expand_grid
+
+
+@pytest.fixture(scope="session")
+def tiny_profile():
+    """A sub-``ci`` profile: smallest models, two labelling rates."""
+    return replace(
+        PROFILES["ci"],
+        name="tiny-test",
+        dataset_scale=0.015,
+        pretrain_epochs=1,
+        finetune_epochs=1,
+        labelling_rates=(0.10, 0.20),
+    )
+
+
+@pytest.fixture()
+def tiny_specs(tiny_profile):
+    """Two fast specs (no_pretrain trains in well under a second)."""
+    return expand_grid(
+        ["no_pretrain", "tpn"],
+        pairs=[("AR", "hhar")],
+        labelling_rates=(0.10, 0.20),
+        profile=tiny_profile,
+    )
+
+
+@pytest.fixture()
+def make_runner(tmp_path):
+    """Factory for Runners with an isolated cache directory per call."""
+
+    def factory(cache_name: str = "cache", stage_callback=None, **overrides) -> Runner:
+        defaults = dict(cache_dir=tmp_path / cache_name, dispatch="serial")
+        defaults.update(overrides)
+        return Runner(RunnerConfig(**defaults), stage_callback=stage_callback)
+
+    return factory

@@ -1,0 +1,212 @@
+"""BENCH_*.json schema, the regression comparator and the profile guard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    BenchReport,
+    compare_reports,
+    iter_reports,
+    load_report,
+    regressions,
+    resolve_bench_profile,
+    write_report,
+)
+from repro.experiments.cli import main, report_from_grid
+
+
+def make_report(name="alpha", profile="bench", rps=10.0, executed=30.0, **overrides):
+    defaults = dict(
+        name=name,
+        profile=profile,
+        duration_seconds=executed,
+        executed_seconds=executed,
+        throughput={"records_per_second": rps},
+        metrics={"mean_accuracy_saga": 0.6},
+        records=[{"method": "saga", "accuracy": 0.6}],
+    )
+    defaults.update(overrides)
+    return BenchReport(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Schema round-trip
+# ----------------------------------------------------------------------
+def test_write_and_load_roundtrip(tmp_path):
+    path = write_report(make_report(), tmp_path)
+    assert path.name == "BENCH_alpha.json"
+    loaded = load_report(path)
+    assert loaded.name == "alpha"
+    assert loaded.profile == "bench"
+    assert loaded.throughput == {"records_per_second": 10.0}
+    assert loaded.records == [{"method": "saga", "accuracy": 0.6}]
+    assert [report.name for report in iter_reports(tmp_path)] == ["alpha"]
+
+
+def test_load_rejects_invalid_reports(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"name": "bad"}), encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="missing"):
+        load_report(bad)
+    future = make_report(name="future")
+    future.schema_version = 999
+    path = write_report(future, tmp_path)
+    with pytest.raises(ConfigurationError, match="schema_version"):
+        load_report(path)
+
+
+def test_report_from_grid(make_runner, tiny_specs, tiny_profile):
+    grid = make_runner("bench").run(tiny_specs)
+    report = report_from_grid("tiny", tiny_profile.name, grid)
+    assert report.name == "tiny"
+    assert len(report.records) == len(grid.table)
+    assert report.cache == {"hits": 0, "misses": len(tiny_specs) * 4}
+    assert "mean_accuracy_no_pretrain" in report.metrics
+    assert report.throughput["records_per_second"] > 0
+
+
+# ----------------------------------------------------------------------
+# Regression comparison
+# ----------------------------------------------------------------------
+def _write(directory, *reports):
+    for report in reports:
+        write_report(report, directory)
+
+
+def test_regression_detected_beyond_threshold(tmp_path):
+    _write(tmp_path / "base", make_report(rps=100.0))
+    _write(tmp_path / "cur", make_report(rps=85.0))  # 15% drop
+    comparisons = compare_reports(tmp_path / "base", tmp_path / "cur", threshold=0.10)
+    failed = regressions(comparisons)
+    assert [c.metric for c in failed] == ["records_per_second"]
+    assert failed[0].ratio == pytest.approx(0.85)
+
+
+def test_drop_within_threshold_passes(tmp_path):
+    _write(tmp_path / "base", make_report(rps=100.0))
+    _write(tmp_path / "cur", make_report(rps=95.0))  # 5% drop
+    assert regressions(compare_reports(tmp_path / "base", tmp_path / "cur")) == []
+
+
+def test_cache_dominated_runs_are_skipped(tmp_path):
+    cache = {"hits": 40, "misses": 0}
+    _write(tmp_path / "base", make_report(rps=100.0, cache=cache))
+    _write(tmp_path / "cur", make_report(rps=1.0, executed=0.01, cache=cache))
+    comparisons = compare_reports(tmp_path / "base", tmp_path / "cur")
+    assert [c.status for c in comparisons] == ["skipped"]
+    assert "cache-dominated" in comparisons[0].reason
+
+
+def test_fast_measurement_benches_are_still_compared(tmp_path):
+    """A cache-less measurement bench compares however short its duration."""
+    _write(tmp_path / "base", make_report(rps=100.0, executed=0.4))
+    _write(tmp_path / "cur", make_report(rps=50.0, executed=0.4))
+    failed = regressions(compare_reports(tmp_path / "base", tmp_path / "cur"))
+    assert [c.metric for c in failed] == ["records_per_second"]
+
+
+def test_null_throughput_and_profile_mismatch_are_skipped(tmp_path):
+    _write(tmp_path / "base", make_report(rps=100.0),
+           make_report(name="beta", profile="bench", rps=50.0))
+    _write(tmp_path / "cur", make_report(throughput={"records_per_second": None}),
+           make_report(name="beta", profile="ci", rps=50.0))
+    comparisons = compare_reports(tmp_path / "base", tmp_path / "cur")
+    by_bench = {(c.bench, c.metric): c for c in comparisons}
+    assert by_bench[("alpha", "records_per_second")].status == "skipped"
+    assert by_bench[("beta", "*")].status == "skipped"
+    assert "profile mismatch" in by_bench[("beta", "*")].reason
+
+
+def test_environment_mismatch_is_skipped_with_refresh_hint(tmp_path):
+    _write(tmp_path / "base", make_report(rps=100.0, environment={"python": "3.11", "cpus": 1}))
+    _write(tmp_path / "cur", make_report(rps=50.0, environment={"python": "3.11", "cpus": 4}))
+    comparisons = compare_reports(tmp_path / "base", tmp_path / "cur")
+    assert [c.status for c in comparisons] == ["skipped"]
+    assert "environment mismatch" in comparisons[0].reason
+    assert "update-baseline" in comparisons[0].reason
+
+
+def test_deterministic_reports_compare_across_environments(tmp_path):
+    """Analytic (deterministic) rates stay armed on any hardware and still
+    catch regressions there."""
+    _write(tmp_path / "base", make_report(rps=100.0, deterministic=True,
+                                          environment={"cpus": 1}))
+    _write(tmp_path / "cur", make_report(rps=50.0, deterministic=True,
+                                         environment={"cpus": 4}))
+    failed = regressions(compare_reports(tmp_path / "base", tmp_path / "cur"))
+    assert [c.metric for c in failed] == ["records_per_second"]
+
+
+def test_cli_check_warns_when_gate_is_not_armed(tmp_path, capsys):
+    _write(tmp_path / "base", make_report(rps=100.0, environment={"cpus": 1}))
+    _write(tmp_path / "cur", make_report(rps=10.0, environment={"cpus": 64}))
+    assert main(["check", "--baseline", str(tmp_path / "base"),
+                 "--current", str(tmp_path / "cur")]) == 0
+    assert "NOT armed" in capsys.readouterr().out
+
+
+def test_cli_grid_names_match_the_harness_bench_names():
+    """`run fig6` must publish the same BENCH file name the pytest harness does."""
+    from repro.experiments.grids import GRID_BENCH_NAMES, available_grids
+
+    assert set(GRID_BENCH_NAMES) == set(available_grids())
+    # The harness names are asserted literally: they are the committed baselines.
+    assert GRID_BENCH_NAMES["fig6"] == "fig6_overall"
+    assert GRID_BENCH_NAMES["fig12"] == "fig12_ablation"
+    assert GRID_BENCH_NAMES["fig10"] == "fig10_ua_shoaib"
+
+
+def test_missing_baseline_or_current_is_skipped_not_failed(tmp_path):
+    _write(tmp_path / "base", make_report(name="old"))
+    _write(tmp_path / "cur", make_report(name="new"))
+    comparisons = compare_reports(tmp_path / "base", tmp_path / "cur")
+    assert {c.status for c in comparisons} == {"skipped"}
+    assert regressions(comparisons) == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_check_exit_codes(tmp_path, capsys):
+    _write(tmp_path / "base", make_report(rps=100.0))
+    _write(tmp_path / "cur", make_report(rps=99.0))
+    assert main(["check", "--baseline", str(tmp_path / "base"),
+                 "--current", str(tmp_path / "cur")]) == 0
+    _write(tmp_path / "cur", make_report(rps=50.0))
+    assert main(["check", "--baseline", str(tmp_path / "base"),
+                 "--current", str(tmp_path / "cur")]) == 1
+    assert "regression" in capsys.readouterr().out
+
+
+def test_cli_update_baseline(tmp_path):
+    _write(tmp_path / "cur", make_report(rps=123.0))
+    assert main(["update-baseline", "--current", str(tmp_path / "cur"),
+                 "--baseline", str(tmp_path / "base")]) == 0
+    assert load_report(tmp_path / "base" / "BENCH_alpha.json").throughput[
+        "records_per_second"
+    ] == 123.0
+
+
+# ----------------------------------------------------------------------
+# Profile guard (benchmarks/conftest.py behaviour)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("value", ["quick", "paper", "nonsense", ""])
+def test_bench_profile_guard_rejects_non_harness_profiles(monkeypatch, value):
+    monkeypatch.setenv("REPRO_PROFILE", value)
+    with pytest.raises(ConfigurationError, match="not a benchmark-harness profile"):
+        resolve_bench_profile()
+
+
+@pytest.mark.parametrize("value", ["ci", "bench", "CI", "Bench"])
+def test_bench_profile_guard_accepts_harness_profiles(monkeypatch, value):
+    monkeypatch.setenv("REPRO_PROFILE", value)
+    assert resolve_bench_profile().name == value.lower()
+
+
+def test_bench_profile_guard_defaults_to_bench(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    assert resolve_bench_profile().name == "bench"

@@ -1,0 +1,64 @@
+"""Content-addressed stage cache: keys, hits/misses, artifacts, corruption."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import StageCache, stage_key
+from repro.experiments.cache import ARTIFACT_KEY
+
+
+def _stage(tiny_specs, index=0, stage=0):
+    return tiny_specs[index].stages()[stage]
+
+
+def test_lookup_miss_then_hit_roundtrip(tmp_path, tiny_specs):
+    cache = StageCache(tmp_path / "c")
+    key = stage_key(_stage(tiny_specs), "1.0.0")
+    assert cache.lookup(key) is None
+    cache.store(key, {"seconds": 1.5, "value": [1, 2, 3]})
+    assert cache.lookup(key) == {"seconds": 1.5, "value": [1, 2, 3]}
+    assert cache.stats.hits == 1 and cache.stats.misses == 1 and cache.stats.stores == 1
+
+
+def test_artifact_roundtrip(tmp_path, tiny_specs):
+    cache = StageCache(tmp_path / "c")
+    key = stage_key(_stage(tiny_specs), "1.0.0")
+    cache.store(key, {"seconds": 0.1}, artifact={"weights": [0.5, 0.25]})
+    payload = cache.lookup(key)
+    assert payload[ARTIFACT_KEY] == f"{key}.pkl"
+    assert cache.load_artifact(key) == {"weights": [0.5, 0.25]}
+
+
+def test_key_depends_on_stage_spec_and_code_version(tiny_specs):
+    stage_a, stage_b = _stage(tiny_specs, 0), _stage(tiny_specs, 1)
+    evaluate = tiny_specs[0].stages()[1]
+    assert stage_key(stage_a, "1.0.0") != stage_key(stage_b, "1.0.0")
+    assert stage_key(stage_a, "1.0.0") != stage_key(evaluate, "1.0.0")
+    assert stage_key(stage_a, "1.0.0") != stage_key(stage_a, "1.1.0")
+    assert stage_key(stage_a, "1.0.0") == stage_key(stage_a, "1.0.0")
+
+
+def test_corrupted_payload_counts_as_miss(tmp_path, tiny_specs):
+    cache = StageCache(tmp_path / "c")
+    key = stage_key(_stage(tiny_specs), "1.0.0")
+    cache.store(key, {"seconds": 0.1})
+    cache.payload_path(key).write_text("{not json", encoding="utf-8")
+    assert cache.lookup(key) is None
+
+
+def test_missing_artifact_invalidates_the_entry(tmp_path, tiny_specs):
+    cache = StageCache(tmp_path / "c")
+    key = stage_key(_stage(tiny_specs), "1.0.0")
+    cache.store(key, {"seconds": 0.1}, artifact=[1, 2])
+    cache.artifact_path(key).unlink()
+    assert cache.lookup(key) is None
+
+
+def test_store_is_atomic_json(tmp_path, tiny_specs):
+    cache = StageCache(tmp_path / "c")
+    key = stage_key(_stage(tiny_specs), "1.0.0")
+    cache.store(key, {"nested": {"a": 1}})
+    on_disk = json.loads(cache.payload_path(key).read_text(encoding="utf-8"))
+    assert on_disk == {"nested": {"a": 1}}
+    assert not list((tmp_path / "c").glob("*.tmp"))

@@ -1,0 +1,48 @@
+"""Dispatch parity: thread fan-out and cached replay must match serial
+execution, and the Runner must match the legacy ExperimentRunner recipe."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiment import ExperimentRunner
+
+
+def _rows(result):
+    return result.table.to_rows()
+
+
+def test_thread_dispatch_matches_serial_execution(make_runner, tiny_specs):
+    serial = make_runner("serial", dispatch="serial").run(tiny_specs)
+    threaded = make_runner("threaded", dispatch="thread", max_workers=2).run(tiny_specs)
+    assert _rows(serial) == _rows(threaded)
+    # Record ordering is spec-major / rate-minor regardless of dispatch.
+    assert [row["method"] for row in _rows(threaded)] == ["no_pretrain"] * 2 + ["tpn"] * 2
+
+
+def test_runner_matches_legacy_experiment_runner(make_runner, tiny_specs):
+    """The orchestrated path reproduces run_rate_sweep() bit-for-bit."""
+    grid = make_runner("grid").run(tiny_specs)
+    legacy = ExperimentRunner(tiny_specs[0].profile, seed=tiny_specs[0].seed)
+    for spec in tiny_specs:
+        expected = legacy.run_rate_sweep(
+            spec.method, spec.task, spec.dataset, labelling_rates=spec.labelling_rates
+        )
+        got = [
+            record for record in grid.table
+            if record.method == spec.method
+        ]
+        assert len(got) == len(expected)
+        for record, reference in zip(got, expected):
+            assert record.labelling_rate == reference.labelling_rate
+            assert record.accuracy == reference.accuracy
+            assert record.f1 == reference.f1
+            assert record.num_train_samples == reference.num_train_samples
+
+
+def test_cached_replay_is_deterministic_across_runner_instances(make_runner, tiny_specs):
+    first = make_runner("det").run(tiny_specs)
+    replay = make_runner("det", dispatch="thread", max_workers=4).run(tiny_specs)
+    assert replay.fully_cached
+    assert _rows(first) == _rows(replay)
+    assert np.isfinite(first.table.accuracies()).all()

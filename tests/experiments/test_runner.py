@@ -1,0 +1,138 @@
+"""Runner behaviour: caching no-ops, resume after interruption, checkpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import GridCheckpoint, RunnerConfig, grid_id
+from repro.experiments.checkpoint import STATUS_COMPLETE, STATUS_INTERRUPTED
+from repro.experiments.spec import STAGE_EVALUATE, STAGE_PRETRAIN
+
+
+def test_rerunning_a_completed_grid_is_a_noop(make_runner, tiny_specs):
+    first = make_runner("shared").run(tiny_specs)
+    assert first.cache_misses == len(tiny_specs) * 4  # pretrain + 2 evals + emit
+    assert first.executed_seconds > 0
+
+    second = make_runner("shared").run(tiny_specs)
+    assert second.fully_cached
+    assert second.cache_hits == len(tiny_specs) * 4
+    assert second.table.to_rows() == first.table.to_rows()
+    # A cache-dominated replay must not advertise a throughput number.
+    assert second.throughput()["records_per_second"] is None
+
+
+def test_interrupted_grid_resumes_without_redoing_finished_stages(make_runner, tiny_specs):
+    """Kill the run mid-grid; the rerun recomputes only the unfinished work."""
+    boom_spec = tiny_specs[1].spec_id
+
+    def explode_on_second_spec(stage):
+        if stage.spec.spec_id == boom_spec and stage.kind == STAGE_EVALUATE:
+            raise KeyboardInterrupt("simulated operator interrupt")
+
+    interrupted = make_runner("shared", stage_callback=explode_on_second_spec)
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run(tiny_specs)
+    # The first spec's stages and the second spec's pretrain are already durable.
+    checkpoint = GridCheckpoint(
+        interrupted.cache.root / f"grid-{grid_id(tiny_specs)}.checkpoint.json",
+        grid_id(tiny_specs),
+    )
+    assert checkpoint.status == STATUS_INTERRUPTED
+
+    resumed = make_runner("shared").run(tiny_specs)
+    finished_stage_names = {
+        result.name for result in resumed.stage_results if result.cached
+    }
+    # Everything the interrupted run completed is replayed, not recomputed:
+    assert any(name.startswith(tiny_specs[0].spec_id) for name in finished_stage_names)
+    pretrain_results = {
+        result.name: result.cached
+        for result in resumed.stage_results
+        if result.kind == STAGE_PRETRAIN
+    }
+    assert all(pretrain_results.values()), "no pre-training may run twice"
+    # Only the interrupted spec's evaluate/emit stages execute on resume.
+    executed = [result for result in resumed.stage_results if not result.cached]
+    assert executed, "the resumed run must finish the interrupted work"
+    assert {result.name.split("/")[0] for result in executed} == {boom_spec}
+    assert checkpoint.status == STATUS_COMPLETE
+
+
+def test_checkpoint_records_progress_and_completion(make_runner, tiny_specs):
+    runner = make_runner("ckpt")
+    result = runner.run(tiny_specs)
+    checkpoint = GridCheckpoint(
+        runner.cache.root / f"grid-{result.grid_id}.checkpoint.json", result.grid_id
+    )
+    state = checkpoint.load()
+    assert state["status"] == STATUS_COMPLETE
+    assert state["total_specs"] == len(tiny_specs)
+    assert set(state["completed_specs"]) == {spec.spec_id for spec in tiny_specs}
+
+
+def test_stage_seconds_accounts_only_executed_work(make_runner, tiny_specs):
+    runner = make_runner("acct")
+    result = runner.run(tiny_specs)
+    per_kind = result.stage_seconds()
+    assert per_kind.get(STAGE_PRETRAIN, 0) >= 0
+    assert per_kind.get(STAGE_EVALUATE) > 0
+    assert abs(sum(per_kind.values()) - result.executed_seconds) < 1e-9
+    # Fully cached rerun executes nothing.
+    assert make_runner("acct").run(tiny_specs).stage_seconds() == {}
+
+
+def test_pruned_pretrain_artifacts_do_not_break_the_noop_rerun(make_runner, tiny_specs):
+    """Deleting the heavy .pkl artifacts (a disk-reclaim habit) must not force
+    pre-training to re-run while every evaluation is still cached."""
+    runner = make_runner("pruned")
+    runner.run(tiny_specs)
+    pruned = list(runner.cache.root.glob("*.pkl"))
+    assert pruned, "pretrain stages must have stored pickle artifacts"
+    for path in pruned:
+        path.unlink()
+
+    rerun = make_runner("pruned").run(tiny_specs)
+    assert rerun.fully_cached, "a rerun with pruned artifacts must stay a no-op"
+    skipped = [
+        result for result in rerun.stage_results
+        if result.kind == STAGE_PRETRAIN and result.payload.get("skipped")
+    ]
+    assert len(skipped) == len(tiny_specs)
+
+
+def test_throughput_counts_only_executed_records(make_runner, tiny_specs, tiny_profile):
+    """Cache-replayed records must not inflate records_per_second."""
+    from repro.experiments import expand_grid
+
+    runner = make_runner("thr")
+    single_rate = expand_grid(
+        ["no_pretrain", "tpn"], pairs=[("AR", "hhar")],
+        labelling_rates=(0.10,), profile=tiny_profile,
+    )
+    runner.run(single_rate)
+
+    # The two-rate grid shares pretrain and evaluate@0.10 with the run above.
+    partial = make_runner("thr").run(tiny_specs)
+    assert not partial.fully_cached
+    executed_evaluates = sum(
+        1 for r in partial.stage_results if r.kind == STAGE_EVALUATE and not r.cached
+    )
+    assert executed_evaluates == len(tiny_specs)  # only evaluate@0.20 ran per spec
+    throughput = partial.throughput()
+    assert throughput["records_per_second"] == pytest.approx(
+        executed_evaluates / partial.executed_seconds
+    )
+
+
+def test_runner_config_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        RunnerConfig(cache_dir=tmp_path, dispatch="fleet")
+    with pytest.raises(ConfigurationError):
+        RunnerConfig(cache_dir=tmp_path, max_workers=0)
+
+
+def test_empty_grid_is_rejected(make_runner):
+    with pytest.raises(ConfigurationError):
+        make_runner("empty").run([])

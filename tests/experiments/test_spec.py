@@ -1,0 +1,130 @@
+"""Spec expansion, identity hashing and DAG structure."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.evaluation.protocol import experiment_grid, task_dataset_pairs
+from repro.exceptions import ConfigurationError
+from repro.experiments import ExperimentSpec, expand_grid, grid_id, named_grid
+from repro.experiments.spec import STAGE_EMIT, STAGE_EVALUATE, STAGE_PRETRAIN
+
+
+def make_spec(profile, **overrides):
+    defaults = dict(
+        method="saga", task="AR", dataset="hhar",
+        labelling_rates=(0.1, 0.2), seed=0, profile=profile,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Expansion
+# ----------------------------------------------------------------------
+def test_expand_grid_covers_the_cartesian_product(tiny_profile):
+    specs = expand_grid(
+        ["saga", "limu"], pairs=[("AR", "hhar"), ("UA", "shoaib")],
+        seeds=(0, 1), profile=tiny_profile,
+    )
+    assert len(specs) == 2 * 2 * 2
+    assert len({spec.spec_id for spec in specs}) == len(specs)
+    # Rates group inside the spec rather than multiplying the grid.
+    assert all(spec.labelling_rates == tiny_profile.labelling_rates for spec in specs)
+
+
+def test_expand_grid_defaults_to_the_paper_protocol(tiny_profile):
+    specs = expand_grid(["saga"], profile=tiny_profile)
+    assert {(spec.task, spec.dataset) for spec in specs} == set(task_dataset_pairs())
+
+
+def test_protocol_experiment_grid_is_the_full_fig6_matrix(tiny_profile):
+    specs = experiment_grid(tiny_profile)
+    assert len(specs) == 5 * 5  # five methods x five (task, dataset) pairs
+    assert named_grid("fig6", tiny_profile) == specs
+
+
+def test_expand_grid_rejects_empty_dimensions(tiny_profile):
+    with pytest.raises(ConfigurationError):
+        expand_grid([], profile=tiny_profile)
+    with pytest.raises(ConfigurationError):
+        expand_grid(["saga"], pairs=[], profile=tiny_profile)
+    with pytest.raises(ConfigurationError):
+        expand_grid(["saga"], seeds=(), profile=tiny_profile)
+
+
+def test_duplicate_rates_dedupe_instead_of_duplicating_stages(tiny_profile):
+    """fig12-style (lowest, highest) grids collapse cleanly when a profile has
+    a single labelling rate — no colliding evaluate stages, no double rows."""
+    spec = make_spec(tiny_profile, labelling_rates=(0.2, 0.2))
+    assert spec.labelling_rates == (0.2,)
+    names = [stage.name for stage in spec.stages()]
+    assert len(names) == len(set(names)) == 3  # pretrain, evaluate@0.2, emit
+
+
+def test_spec_validates_task_dataset_pair_and_rates(tiny_profile):
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_profile, task="DP", dataset="hhar")  # DP is Shoaib-only
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_profile, labelling_rates=())
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_profile, labelling_rates=(0.0,))
+    with pytest.raises(ConfigurationError):
+        make_spec(tiny_profile, labelling_rates=(1.5,))
+
+
+def test_named_grid_rejects_unknown_names(tiny_profile):
+    with pytest.raises(ConfigurationError):
+        named_grid("fig99", tiny_profile)
+
+
+# ----------------------------------------------------------------------
+# Identity
+# ----------------------------------------------------------------------
+def test_spec_id_is_stable_and_normalised(tiny_profile):
+    spec = make_spec(tiny_profile)
+    same = make_spec(tiny_profile, method="SAGA", task="ar", dataset="HHAR")
+    assert spec.spec_id == same.spec_id
+    assert same.method == "saga" and same.task == "AR" and same.dataset == "hhar"
+
+
+def test_spec_id_depends_on_every_dimension(tiny_profile):
+    base = make_spec(tiny_profile)
+    assert base.spec_id != make_spec(tiny_profile, method="limu").spec_id
+    assert base.spec_id != make_spec(tiny_profile, seed=1).spec_id
+    assert base.spec_id != make_spec(tiny_profile, labelling_rates=(0.1,)).spec_id
+    scaled = replace(tiny_profile, hidden_dim=tiny_profile.hidden_dim * 2)
+    assert base.spec_id != make_spec(scaled).spec_id
+
+
+def test_grid_id_is_order_insensitive(tiny_specs):
+    assert grid_id(tiny_specs) == grid_id(list(reversed(tiny_specs)))
+
+
+# ----------------------------------------------------------------------
+# DAG structure
+# ----------------------------------------------------------------------
+def test_stage_dag_shape_and_dependencies(tiny_profile):
+    spec = make_spec(tiny_profile, labelling_rates=(0.05, 0.1, 0.2))
+    stages = spec.stages()
+    kinds = [stage.kind for stage in stages]
+    assert kinds == [STAGE_PRETRAIN, STAGE_EVALUATE, STAGE_EVALUATE, STAGE_EVALUATE, STAGE_EMIT]
+    pretrain, *evaluates, emit = stages
+    assert pretrain.depends == ()
+    for stage in evaluates:
+        assert stage.depends == (pretrain.name,)
+    assert set(emit.depends) == {stage.name for stage in evaluates}
+    assert len({stage.name for stage in stages}) == len(stages)
+
+
+def test_stage_identities_are_shared_across_rate_groupings(tiny_profile):
+    """Specs differing only in how rates are grouped share pretrain and
+    per-rate evaluate stages (and therefore their cache keys)."""
+    full = make_spec(tiny_profile, labelling_rates=(0.1, 0.2)).stages()
+    sub = make_spec(tiny_profile, labelling_rates=(0.1,)).stages()
+    assert full[0].identity() == sub[0].identity()  # pretrain
+    assert full[1].identity() == sub[1].identity()  # evaluate@0.1
+    # ...but the emit aggregate is grid-shaped and stays distinct.
+    assert full[-1].identity() != sub[-1].identity()
