@@ -80,10 +80,11 @@ def main() -> None:
         )
         print(f"  published {record.name} ({record.metadata['num_parameters']} parameters)")
 
-        print("\nStarting the inference server (micro-batching, no-grad fast path) ...")
+        print("\nStarting the inference server (micro-batching, no-grad fast path,")
+        print("float32 serving precision — the on-device default) ...")
         with serve(
             registry=registry, dataset="hhar", task="activity", profile="demo",
-            max_batch_size=32, max_wait_ms=2.0,
+            max_batch_size=32, max_wait_ms=2.0,  # inference_dtype="float32" default
         ) as server:
             # --- burst traffic: 200 preprocessed windows ----------------------
             burst = rng.standard_normal((200, WINDOW_LENGTH, dataset.num_channels))

@@ -20,7 +20,18 @@ from ..datasets.base import IMUDataset
 from ..datasets.loaders import DataLoader
 from ..exceptions import TrainingError
 from ..models.classifier import MLPClassifier
-from ..nn import Adam, Conv1d, CrossEntropyLoss, GlobalMaxPool1d, Linear, Module, Tensor, clip_grad_norm, no_grad
+from ..nn import (
+    Adam,
+    Conv1d,
+    CrossEntropyLoss,
+    GlobalMaxPool1d,
+    Linear,
+    Module,
+    Tensor,
+    clip_grad_norm,
+    get_default_dtype,
+    no_grad,
+)
 from ..signal.augmentations import get_augmentation
 from ..training.metrics import ClassificationMetrics, evaluate_predictions
 from .base import MethodBudget, PerceptionMethod
@@ -46,7 +57,7 @@ class SmallConvEncoder(Module):
         self.embedding_dim = embedding_dim
 
     def forward(self, windows) -> Tensor:
-        x = Tensor(np.asarray(windows, dtype=np.float64)) if not isinstance(windows, Tensor) else windows
+        x = Tensor(np.asarray(windows, dtype=get_default_dtype())) if not isinstance(windows, Tensor) else windows
         x = self.conv1(x).relu()
         x = self.conv2(x).relu()
         return self.projection(self.pool(x))

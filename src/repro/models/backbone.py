@@ -76,6 +76,10 @@ class SagaBackbone(Module):
             raise ConfigurationError(
                 f"backbone was built for {self.config.input_channels} channels, got {x.shape[2]}"
             )
+        # Harmonise the input with the parameter precision at the entry of the
+        # hot path: without this, float64 windows fed to a float32 model would
+        # silently promote every downstream op back to float64.
+        x = x.astype(self.input_projection.weight.dtype)
         hidden = self.input_norm(self.input_projection(x))
         hidden = self.positional(hidden)
         hidden = self.embedding_dropout(hidden)

@@ -32,10 +32,13 @@ from .serialization import (
 from .tensor import (
     Tensor,
     concatenate,
+    default_dtype,
     enable_grad,
     ensure_tensor,
+    get_default_dtype,
     is_grad_enabled,
     no_grad,
+    set_default_dtype,
     set_grad_enabled,
     stack,
     where,
@@ -62,6 +65,9 @@ __all__ = [
     "enable_grad",
     "is_grad_enabled",
     "set_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
     "Module",
     "ModuleList",
     "Parameter",

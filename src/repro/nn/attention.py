@@ -62,7 +62,7 @@ class MultiHeadSelfAttention(Module):
         scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * scale
         if attention_mask is not None:
             # attention_mask: (batch, length) with 1 for valid and 0 for padding.
-            mask = np.asarray(attention_mask, dtype=np.float64)
+            mask = np.asarray(attention_mask, dtype=scores.dtype)
             bias = (1.0 - mask)[:, None, None, :] * -1e9
             scores = scores + Tensor(bias)
         weights = F.softmax(scores, axis=-1)

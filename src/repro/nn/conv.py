@@ -99,7 +99,7 @@ class Conv1d(Module):
             if columns_tensor.grad is None or not x.requires_grad:
                 return
             grad_cols = columns_tensor.grad.reshape(batch, out_length, kernel_size, channels)
-            grad_padded = np.zeros((batch, length, channels))
+            grad_padded = np.zeros((batch, length, channels), dtype=grad_cols.dtype)
             for window_index in range(out_length):
                 start = window_index * stride
                 grad_padded[:, start:start + kernel_size, :] += grad_cols[:, window_index]

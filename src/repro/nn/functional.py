@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, ensure_tensor
+from .tensor import DTypeLike, Tensor, ensure_tensor, get_default_dtype
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -54,24 +54,45 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout: active only while training."""
+    """Inverted dropout: active only while training.
+
+    A training-mode call *must* pass a generator: silently falling back to an
+    unseeded ``np.random.default_rng()`` would make every training run draw
+    different masks regardless of the experiment seed, breaking run-to-run
+    reproducibility without any visible failure.  (Eval-mode calls never draw,
+    so they may omit ``rng``.)
+    """
     if not training or p <= 0.0:
         return x
     if p >= 1.0:
         raise ValueError(f"dropout probability must be < 1, got {p}")
-    generator = rng if rng is not None else np.random.default_rng()
-    mask = (generator.random(x.shape) >= p) / (1.0 - p)
+    if rng is None:
+        raise ValueError(
+            "dropout in training mode requires an explicit numpy Generator; "
+            "an unseeded fallback would silently break reproducibility"
+        )
+    mask = ((rng.random(x.shape) >= p) / (1.0 - p)).astype(x.dtype, copy=False)
     return x * Tensor(mask)
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Encode integer labels ``(N,)`` as a one-hot matrix ``(N, num_classes)``."""
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: Optional[DTypeLike] = None
+) -> np.ndarray:
+    """Encode integer labels ``(N,)`` as a one-hot matrix ``(N, num_classes)``.
+
+    The encoding is built in ``dtype`` (default: the policy dtype from
+    :func:`~repro.nn.tensor.get_default_dtype`) so that losses over float32
+    logits are not silently promoted back to float64.
+    """
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
         raise ValueError("labels out of range for the requested number of classes")
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = np.zeros(
+        (labels.shape[0], num_classes),
+        dtype=get_default_dtype() if dtype is None else np.dtype(dtype),
+    )
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -89,7 +110,7 @@ def masked_mse(prediction: Tensor, target: Tensor, mask: Optional[np.ndarray] = 
     squared = diff * diff
     if mask is None:
         return squared.mean()
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask, dtype=prediction.dtype)
     masked_count = float(mask.sum())
     if masked_count == 0:
         return squared.mean() * 0.0

@@ -1,13 +1,33 @@
-"""Weight initialisation schemes for :mod:`repro.nn` modules."""
+"""Weight initialisation schemes for :mod:`repro.nn` modules.
+
+Every initialiser constructs its array in the precision policy's default
+dtype (see :func:`repro.nn.tensor.get_default_dtype`), or an explicit
+``dtype`` override, so a model built under ``set_default_dtype("float32")``
+is float32 end to end.  The random *draws* always happen in float64 (numpy
+generators have no float32 sampling path for these distributions) and are
+cast afterwards, so a float32 model is bit-identical to the cast of the
+float64 model built from the same seed.
+"""
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from .tensor import DTypeLike, get_default_dtype
 
-def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+
+def _resolve(dtype: Optional[DTypeLike]) -> np.dtype:
+    return get_default_dtype() if dtype is None else np.dtype(dtype)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    gain: float = 1.0,
+    dtype: Optional[DTypeLike] = None,
+) -> np.ndarray:
     """Glorot/Xavier uniform initialisation.
 
     Fan-in and fan-out are taken from the last two dimensions, matching the
@@ -18,36 +38,50 @@ def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float
     else:
         fan_in, fan_out = shape[-2], shape[-1]
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(_resolve(dtype), copy=False)
 
 
-def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_normal(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    gain: float = 1.0,
+    dtype: Optional[DTypeLike] = None,
+) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     if len(shape) < 2:
         fan_in = fan_out = shape[0]
     else:
         fan_in, fan_out = shape[-2], shape[-1]
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(_resolve(dtype), copy=False)
 
 
-def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    dtype: Optional[DTypeLike] = None,
+) -> np.ndarray:
     """He/Kaiming uniform initialisation (fan-in mode, ReLU gain)."""
     fan_in = shape[0] if len(shape) < 2 else shape[-2]
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(_resolve(dtype), copy=False)
 
 
-def normal(shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+def normal(
+    shape: Tuple[int, ...],
+    rng: np.random.Generator,
+    std: float = 0.02,
+    dtype: Optional[DTypeLike] = None,
+) -> np.ndarray:
     """Small-variance normal initialisation (BERT-style)."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(_resolve(dtype), copy=False)
 
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+def zeros(shape: Tuple[int, ...], dtype: Optional[DTypeLike] = None) -> np.ndarray:
     """All-zero initialisation (biases, layer-norm offsets)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=_resolve(dtype))
 
 
-def ones(shape: Tuple[int, ...]) -> np.ndarray:
+def ones(shape: Tuple[int, ...], dtype: Optional[DTypeLike] = None) -> np.ndarray:
     """All-one initialisation (layer-norm scales)."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=_resolve(dtype))

@@ -64,14 +64,22 @@ class LayerNorm(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout; a no-op in eval mode."""
+    """Inverted dropout; a no-op in eval mode.
+
+    The generator is *not* defaulted: a layer built without ``rng`` works in
+    eval mode but raises on the first training-mode forward (via
+    :func:`~repro.nn.functional.dropout`), because silently falling back to
+    an unseeded stream would make training runs irreproducible with no
+    visible failure.  Every model constructor in this repo threads its
+    construction generator through.
+    """
 
     def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(ensure_tensor(x), self.p, training=self.training, rng=self._rng)

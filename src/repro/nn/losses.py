@@ -43,7 +43,7 @@ class CrossEntropyLoss(Module):
             raise ValueError("labels must be 1-D and match the batch dimension of logits")
         num_classes = logits.shape[1]
         log_probs = F.log_softmax(logits, axis=-1)
-        target = F.one_hot(labels, num_classes)
+        target = F.one_hot(labels, num_classes, dtype=logits.dtype)
         return -(log_probs * Tensor(target)).sum() * (1.0 / labels.shape[0])
 
 
@@ -73,11 +73,11 @@ class NTXentLoss(Module):
         z = z / norms
         similarity = z.matmul(z.transpose()) * (1.0 / self.temperature)
         # Mask out self-similarity with a large negative constant.
-        self_mask = np.eye(2 * batch) * -1e9
+        self_mask = np.eye(2 * batch, dtype=similarity.dtype) * -1e9
         similarity = similarity + Tensor(self_mask)
         positives = np.concatenate([np.arange(batch, 2 * batch), np.arange(0, batch)])
         log_probs = F.log_softmax(similarity, axis=-1)
-        target = F.one_hot(positives, 2 * batch)
+        target = F.one_hot(positives, 2 * batch, dtype=similarity.dtype)
         return -(log_probs * Tensor(target)).sum() * (1.0 / (2 * batch))
 
 

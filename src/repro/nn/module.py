@@ -13,7 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, no_grad
+from .tensor import DTypeLike, Tensor, _validate_dtype, no_grad
 
 
 class Parameter(Tensor):
@@ -96,6 +96,30 @@ class Module:
         for param in self.parameters():
             param.requires_grad = requires_grad
         return self
+
+    # ------------------------------------------------------------------
+    # Precision
+    # ------------------------------------------------------------------
+    def to(self, dtype: DTypeLike) -> "Module":
+        """Cast every parameter to ``dtype`` in place (grads are dropped).
+
+        This is the deployment-time precision switch: a float64 training
+        checkpoint becomes a float32 serving artefact via
+        ``model.to("float32")``.  Optimizer state is *not* migrated — cast
+        before building the optimizer, or treat the cast model as frozen.
+        """
+        resolved = _validate_dtype(dtype)  # float32/float64, like the policy
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            param.grad = None
+        return self
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The parameter dtype (of the first parameter; uniform by construction)."""
+        for param in self.parameters():
+            return param.data.dtype
+        return np.dtype(np.float64)
 
     # ------------------------------------------------------------------
     # Inference fast path

@@ -47,8 +47,9 @@ class GRUCell(Module):
         reset = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
         update = (gates_x[:, h:2 * h] + gates_h[:, h:2 * h]).sigmoid()
         candidate = (gates_x[:, 2 * h:] + reset * gates_h[:, 2 * h:]).tanh()
-        one = Tensor(np.ones_like(update.data))
-        return (one - update) * candidate + update * hidden
+        # The scalar path (__rsub__) avoids allocating a ones-array per
+        # timestep per layer — this runs in the classifier's inner loop.
+        return (1.0 - update) * candidate + update * hidden
 
 
 class GRU(Module):
@@ -102,7 +103,7 @@ class GRU(Module):
             if initial_hidden is not None:
                 hiddens.append(initial_hidden[layer_index])
             else:
-                hiddens.append(Tensor(np.zeros((batch, self.hidden_dim))))
+                hiddens.append(Tensor(np.zeros((batch, self.hidden_dim), dtype=x.dtype)))
 
         layer_input_steps = [x[:, t, :] for t in range(length)]
         for layer_index in range(self.num_layers):

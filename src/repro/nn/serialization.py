@@ -13,10 +13,18 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from .module import Module
+from .tensor import DTypeLike
 
 PathLike = Union[str, Path]
 
 _METADATA_KEY = "__metadata_json__"
+DTYPE_METADATA_KEY = "dtype"
+
+
+def checkpoint_dtype(state: Dict[str, np.ndarray]) -> Optional[str]:
+    """The uniform floating dtype of ``state``, or ``None`` when mixed/empty."""
+    dtypes = {str(array.dtype) for array in state.values()}
+    return dtypes.pop() if len(dtypes) == 1 else None
 
 
 def save_state_dict(
@@ -24,11 +32,20 @@ def save_state_dict(
     path: PathLike,
     metadata: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Save a state dict (plus optional JSON-serialisable metadata) to ``path``."""
+    """Save a state dict (plus optional JSON-serialisable metadata) to ``path``.
+
+    The checkpoint's parameter dtype is recorded under the ``"dtype"``
+    metadata key (when the state is dtype-uniform), so registries can report
+    a model's stored precision without decompressing its weights.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = dict(state)
-    if metadata is not None:
+    stored_dtype = checkpoint_dtype(state)
+    if metadata is not None or stored_dtype is not None:
+        metadata = dict(metadata) if metadata is not None else {}
+        if stored_dtype is not None:
+            metadata.setdefault(DTYPE_METADATA_KEY, stored_dtype)
         payload[_METADATA_KEY] = np.frombuffer(
             json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
         )
@@ -37,13 +54,29 @@ def save_state_dict(
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_state_dict(path: PathLike) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
-    """Load a state dict and its metadata from an ``.npz`` checkpoint."""
+def load_state_dict(
+    path: PathLike, dtype: Optional[DTypeLike] = None
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Load a state dict and its metadata from an ``.npz`` checkpoint.
+
+    ``dtype`` selects the precision of the returned arrays: ``None`` keeps
+    the stored precision, anything else casts on load — the cheap way to turn
+    a float64 training checkpoint into a float32 serving artefact.
+    """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    requested = np.dtype(dtype) if dtype is not None else None
     with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+        state = {
+            name: (
+                archive[name].astype(requested, copy=False)
+                if requested is not None
+                else archive[name]
+            )
+            for name in archive.files
+            if name != _METADATA_KEY
+        }
         metadata: Dict[str, Any] = {}
         if _METADATA_KEY in archive.files:
             metadata = json.loads(bytes(archive[_METADATA_KEY].tobytes()).decode("utf-8"))
@@ -71,9 +104,22 @@ def save_module(module: Module, path: PathLike, metadata: Optional[Dict[str, Any
     return save_state_dict(module.state_dict(), path, metadata=metadata)
 
 
-def load_module(module: Module, path: PathLike, strict: bool = True) -> Dict[str, Any]:
-    """Load parameters into ``module`` from ``path``; returns the stored metadata."""
-    state, metadata = load_state_dict(path)
+def load_module(
+    module: Module,
+    path: PathLike,
+    strict: bool = True,
+    dtype: Optional[DTypeLike] = None,
+) -> Dict[str, Any]:
+    """Load parameters into ``module`` from ``path``; returns the stored metadata.
+
+    When ``dtype`` is given, the module is cast to that precision *before*
+    loading (``Module.load_state_dict`` conforms incoming arrays to the
+    parameter dtype), so the loaded model computes in the requested precision
+    regardless of the precision it was trained in.
+    """
+    if dtype is not None:
+        module.to(dtype)
+    state, metadata = load_state_dict(path, dtype=dtype)
     module.load_state_dict(state, strict=strict)
     return metadata
 
@@ -82,7 +128,7 @@ def state_dict_num_bytes(state: Dict[str, np.ndarray], dtype_bytes: int = 4) -> 
     """Size of a state dict on disk assuming ``dtype_bytes`` per scalar.
 
     The paper reports model disk sizes for float32 checkpoints (Table IV), so
-    the default is 4 bytes per parameter even though the in-memory arrays here
-    are float64.
+    the default is 4 bytes per parameter regardless of the precision the
+    in-memory arrays happen to use.
     """
     return sum(array.size * dtype_bytes for array in state.values())

@@ -22,6 +22,7 @@ Design notes
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
@@ -29,7 +30,27 @@ import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_DEFAULT_DTYPE = np.float64
+DTypeLike = Union[str, type, np.dtype]
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _validate_dtype(dtype: DTypeLike) -> np.dtype:
+    """Normalise ``dtype`` to a supported floating :class:`numpy.dtype`."""
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported tensor dtype {resolved}; choose one of "
+            f"{[str(d) for d in _SUPPORTED_DTYPES]}"
+        )
+    return resolved
+
+
+# The process-wide precision policy.  ``REPRO_DTYPE`` selects the policy at
+# import time (the CI float32 leg runs the suite under REPRO_DTYPE=float32);
+# training keeps the float64 default so figure numerics and the experiments
+# cache are byte-identical to earlier versions.
+_DEFAULT_DTYPE = _validate_dtype(os.environ.get("REPRO_DTYPE", "float64"))
 
 
 class _GradMode(threading.local):
@@ -98,15 +119,44 @@ class enable_grad(_GradContext):
     _mode = True
 
 
-def set_default_dtype(dtype: np.dtype) -> None:
-    """Set the dtype used when constructing tensors from python scalars/lists."""
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the floating dtype used when constructing tensors from python
+    scalars, lists and integer arrays, and by every parameter initialiser.
+
+    Accepts ``"float32"``/``"float64"`` (or the numpy equivalents) and returns
+    the previous default so callers can restore it.  Arrays passed in as
+    ``numpy.ndarray`` keep their own dtype — the policy governs construction,
+    and the ops preserve operand dtype from there.
+    """
     global _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = np.dtype(dtype)
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _validate_dtype(dtype)
+    return previous
 
 
 def get_default_dtype() -> np.dtype:
     """Return the current default floating dtype for new tensors."""
     return np.dtype(_DEFAULT_DTYPE)
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype` to a block.
+
+    >>> with default_dtype("float32"):
+    ...     model = SagaBackbone(config, rng=rng)  # float32 parameters
+    """
+
+    def __init__(self, dtype: DTypeLike) -> None:
+        self._dtype = _validate_dtype(dtype)
+        self._previous: Optional[np.dtype] = None
+
+    def __enter__(self) -> np.dtype:
+        self._previous = set_default_dtype(self._dtype)
+        return self._dtype
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is not None:
+            set_default_dtype(self._previous)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -133,8 +183,14 @@ def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
     arr = np.asarray(value, dtype=dtype if dtype is not None else None)
-    if arr.dtype.kind in "iub":
-        arr = arr.astype(_DEFAULT_DTYPE)
+    if dtype is None:
+        if arr.dtype.kind in "iub":
+            arr = arr.astype(_DEFAULT_DTYPE)
+        elif arr.dtype.kind == "f" and not isinstance(value, (np.ndarray, np.generic)):
+            # Python floats / float lists adopt the policy dtype; numpy arrays
+            # and numpy scalars keep whatever dtype the caller chose (reduction
+            # ops like ndarray.sum() hand back np.float32/64 scalars).
+            arr = arr.astype(_DEFAULT_DTYPE, copy=False)
     return arr
 
 
@@ -146,6 +202,22 @@ def ensure_tensor(value: ArrayLike) -> "Tensor":
     """Coerce ``value`` into a :class:`Tensor` (no copy if already a tensor)."""
     if isinstance(value, Tensor):
         return value
+    return Tensor(value)
+
+
+def _coerce_operand(value: ArrayLike, dtype: np.dtype) -> "Tensor":
+    """Coerce the second operand of a binary op, preserving the first's dtype.
+
+    Python scalars (and numpy scalar types) adopt ``dtype`` so that constants
+    like ``x * 0.5`` or ``1.0 - x`` never promote a float32 operand to
+    float64: under NEP 50 a wrapped scalar becomes a 0-d float64 *array*,
+    which numpy treats as a strong type.  Tensors and explicit numpy arrays
+    keep their own dtype (mixed-array arithmetic promotes as numpy does).
+    """
+    if isinstance(value, Tensor):
+        return value
+    if isinstance(value, (bool, int, float, np.number)):
+        return Tensor(np.asarray(value, dtype=dtype))
     return Tensor(value)
 
 
@@ -218,6 +290,31 @@ class Tensor:
         """Return a new tensor sharing data but detached from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype: DTypeLike) -> "Tensor":
+        """Cast to ``dtype`` as a differentiable op (gradient casts back).
+
+        Returns ``self`` unchanged when the dtype already matches, so the cast
+        is free on the homogeneous fast path.
+        """
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        out = Tensor(
+            self.data.astype(dtype),
+            requires_grad=self.requires_grad,
+            _prev=(self,),
+            _op="astype",
+        )
+
+        if out.requires_grad:
+            def _backward() -> None:
+                if out.grad is None or not self.requires_grad:
+                    return
+                self._accumulate_grad(out.grad)
+
+            out._backward = _backward
+        return out
+
     def copy(self) -> "Tensor":
         """Return a detached deep copy of this tensor."""
         return Tensor(self.data.copy(), requires_grad=False)
@@ -252,7 +349,7 @@ class Tensor:
                 )
             seed = np.ones_like(self.data)
         else:
-            seed = _as_array(grad)
+            seed = _as_array(grad).astype(self.data.dtype, copy=False)
             if seed.shape != self.data.shape:
                 seed = np.broadcast_to(seed, self.data.shape).copy()
 
@@ -284,7 +381,7 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = ensure_tensor(other)
+        other = _coerce_operand(other, self.data.dtype)
         out = Tensor(
             self.data + other.data,
             requires_grad=Tensor._needs_grad(self, other),
@@ -311,13 +408,13 @@ class Tensor:
         return self * -1.0
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-ensure_tensor(other))
+        return self + (-_coerce_operand(other, self.data.dtype))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return ensure_tensor(other) + (-self)
+        return _coerce_operand(other, self.data.dtype) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = ensure_tensor(other)
+        other = _coerce_operand(other, self.data.dtype)
         out = Tensor(
             self.data * other.data,
             requires_grad=Tensor._needs_grad(self, other),
@@ -341,11 +438,11 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = ensure_tensor(other)
+        other = _coerce_operand(other, self.data.dtype)
         return self * other ** -1.0
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return ensure_tensor(other) * self ** -1.0
+        return _coerce_operand(other, self.data.dtype) * self ** -1.0
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -478,7 +575,9 @@ class Tensor:
     def gelu(self) -> "Tensor":
         """Gaussian Error Linear Unit (tanh approximation, as used by BERT)."""
         x = self.data
-        c = np.sqrt(2.0 / np.pi)
+        # float(): an np.float64 scalar is a *strong* type under NEP 50 and
+        # would promote a float32 forward; a python float stays weak.
+        c = float(np.sqrt(2.0 / np.pi))
         inner = c * (x + 0.044715 * x ** 3)
         tanh_inner = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + tanh_inner)
@@ -766,7 +865,12 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise selection: ``condition ? a : b`` with gradient support."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    if isinstance(a, Tensor):
+        a, b = a, _coerce_operand(b, a.data.dtype)
+    elif isinstance(b, Tensor):
+        a = _coerce_operand(a, b.data.dtype)
+    else:
+        a, b = ensure_tensor(a), ensure_tensor(b)
     cond = np.asarray(condition, dtype=bool)
     out = Tensor(
         np.where(cond, a.data, b.data),

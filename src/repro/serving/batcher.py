@@ -113,7 +113,12 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def submit(self, window: np.ndarray) -> "Future[np.ndarray]":
         """Enqueue one window; the returned future resolves to its output row."""
-        window = np.asarray(window, dtype=np.float64)
+        # Preserve the caller's floating precision: the server casts windows
+        # to the served model's dtype before they reach the batcher, and a
+        # float64 re-cast here would throw that work away.
+        window = np.asarray(window)
+        if window.dtype.kind != "f":
+            window = window.astype(np.float64)
         if window.ndim != 2:
             raise ServingError(
                 f"submit() expects a single (window_length, channels) window, got {window.shape}"

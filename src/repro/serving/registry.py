@@ -29,7 +29,8 @@ import numpy as np
 from ..exceptions import ServingError
 from ..models.backbone import BackboneConfig, SagaBackbone
 from ..models.composite import ClassificationModel
-from ..nn.serialization import load_metadata, load_state_dict, save_module
+from ..nn.tensor import DTypeLike
+from ..nn.serialization import checkpoint_dtype, load_metadata, load_state_dict, save_module
 
 PathLike = Union[str, Path]
 
@@ -77,7 +78,9 @@ class ModelRegistry:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
-        self._cache: Dict[Path, ClassificationModel] = {}
+        # Keyed on (checkpoint path, serving dtype): the same version may be
+        # served at several precisions, each with its own cached instance.
+        self._cache: Dict[Tuple[Path, Optional[str]], ClassificationModel] = {}
 
     # ------------------------------------------------------------------
     # Publishing
@@ -104,6 +107,7 @@ class ModelRegistry:
             "dataset": dataset,
             "task": task,
             "profile": profile,
+            "dtype": str(model.dtype),
             "num_classes": model.num_classes,
             "classifier_hidden_dim": model.classifier.gru.hidden_dim,
             "backbone_config": dict(backbone_config.__dict__),
@@ -198,12 +202,15 @@ class ModelRegistry:
         profile: str = "bench",
         version: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        dtype: Optional[DTypeLike] = None,
     ) -> Tuple[ClassificationModel, ModelVersion]:
         """Rebuild and load a published model (latest version by default).
 
         The returned model is in eval mode with frozen parameters — it is a
-        serving artefact, not a training checkpoint.  Models are cached per
-        checkpoint path, so concurrent servers share one instance.
+        serving artefact, not a training checkpoint.  ``dtype`` selects the
+        serving precision (``None`` keeps the checkpoint's stored precision);
+        models are cached per ``(checkpoint, dtype)``, so concurrent servers
+        requesting the same precision share one instance.
         """
         if version is None:
             record = self.latest(dataset, task, profile)
@@ -222,16 +229,21 @@ class ModelRegistry:
                 dataset=dataset.lower(), task=task.lower(), profile=profile.lower(),
                 version=version, path=files[version], metadata=metadata,
             )
+        resolved_dtype = np.dtype(dtype) if dtype is not None else None
+        cache_key = (record.path, str(resolved_dtype) if resolved_dtype else None)
         with self._lock:
-            cached = self._cache.get(record.path)
+            cached = self._cache.get(cache_key)
             if cached is not None:
                 return cached, record
-            model = self._rebuild(record, rng=rng)
-            self._cache[record.path] = model
+            model = self._rebuild(record, rng=rng, dtype=resolved_dtype)
+            self._cache[cache_key] = model
             return model, record
 
     def _rebuild(
-        self, record: ModelVersion, rng: Optional[np.random.Generator] = None
+        self,
+        record: ModelVersion,
+        rng: Optional[np.random.Generator] = None,
+        dtype: Optional[np.dtype] = None,
     ) -> ClassificationModel:
         metadata = record.metadata
         try:
@@ -245,7 +257,19 @@ class ModelRegistry:
         model = ClassificationModel(
             backbone, num_classes, classifier_hidden_dim=hidden_dim, rng=generator
         )
-        state, _ = load_state_dict(record.path)
+        # No explicit dtype means "the checkpoint's stored precision": the
+        # freshly built skeleton follows the ambient policy, which may differ
+        # from what was published, so conform it before loading.  Legacy
+        # checkpoints (no "dtype" metadata) fall back to the precision of the
+        # stored arrays themselves.
+        state, _ = load_state_dict(record.path, dtype=dtype)
+        target_dtype = dtype
+        if target_dtype is None:
+            stored = metadata.get("dtype") or checkpoint_dtype(state)
+            if stored:
+                target_dtype = np.dtype(stored)
+        if target_dtype is not None:
+            model.to(target_dtype)
         model.load_state_dict(state)
         model.eval()
         model.requires_grad_(False)

@@ -12,16 +12,18 @@ deployment would pin a published version.
 
 from __future__ import annotations
 
+import copy
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import ServingError
 from ..logging_utils import get_logger
 from ..models.composite import ClassificationModel
+from ..nn.tensor import DTypeLike, _validate_dtype
 from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
 from .ingestion import IngestionConfig, StreamIngestor
 from .registry import ModelRegistry, ModelVersion
@@ -45,13 +47,34 @@ class Prediction:
 
 @dataclass
 class ServerConfig:
-    """End-to-end serving configuration."""
+    """End-to-end serving configuration.
+
+    ``inference_dtype`` is the serving precision: float32 halves the memory
+    traffic of every forward and is what real on-device inference runs, so it
+    is the default.  ``None`` serves in whatever precision the model already
+    has (use this when bit-exact agreement with an offline float64 model
+    matters more than throughput).  Training is unaffected either way — the
+    cast happens on the serving copy, never on the caller's model.
+    """
 
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
     num_workers: int = 1
     queue_capacity: int = 4096
+    inference_dtype: Optional[Union[str, DTypeLike]] = "float32"
     ingestion: IngestionConfig = field(default_factory=IngestionConfig)
+
+    def __post_init__(self) -> None:
+        if self.inference_dtype is not None:
+            try:
+                # Same supported set as the tensor engine's precision policy —
+                # float16 et al. have no parity guarantee and no engine support.
+                resolved = _validate_dtype(self.inference_dtype)
+            except (ValueError, TypeError) as exc:
+                raise ServingError(
+                    f"inference_dtype must be a supported floating dtype or None: {exc}"
+                ) from exc
+            self.inference_dtype = str(resolved)
 
     def batcher_config(self) -> MicroBatcherConfig:
         return MicroBatcherConfig(
@@ -75,19 +98,32 @@ class InferenceServer:
         version: Optional[int] = None,
         config: Optional[ServerConfig] = None,
     ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        requested_dtype = (
+            np.dtype(self.config.inference_dtype)
+            if self.config.inference_dtype is not None
+            else None
+        )
         if model is None:
             if registry is None or dataset is None or task is None:
                 raise ServingError(
                     "provide either a model or a registry plus (dataset, task)"
                 )
             model, self.model_version = registry.load(
-                dataset, task, profile=profile, version=version
+                dataset, task, profile=profile, version=version, dtype=requested_dtype
             )
         else:
             self.model_version: Optional[ModelVersion] = None
+            if requested_dtype is not None and model.dtype != requested_dtype:
+                # Serve a private cast copy: the caller's model (often still
+                # training, or shared with offline evaluation) keeps its
+                # precision untouched.
+                model = copy.deepcopy(model).to(requested_dtype)
         model.eval()
         self.model = model
-        self.config = config if config is not None else ServerConfig()
+        # Requests are cast to the *served* model's precision at submit time,
+        # so a float64 window never promotes a float32 forward.
+        self._compute_dtype = model.dtype
         self.telemetry = TelemetryCollector()
         self._batcher = MicroBatcher(
             handler=self._run_batch,
@@ -117,7 +153,7 @@ class InferenceServer:
     # ------------------------------------------------------------------
     def submit(self, window: np.ndarray) -> "Future[Prediction]":
         """Enqueue one preprocessed window; resolves to a :class:`Prediction`."""
-        window = np.asarray(window, dtype=np.float64)
+        window = np.asarray(window, dtype=self._compute_dtype)
         expected = (
             self.model.backbone.config.window_length,
             self.model.backbone.config.input_channels,
@@ -206,9 +242,15 @@ def serve(
     max_batch_size: int = 32,
     max_wait_ms: float = 2.0,
     num_workers: int = 1,
+    inference_dtype: Optional[Union[str, DTypeLike]] = "float32",
     ingestion: Optional[IngestionConfig] = None,
 ) -> InferenceServer:
     """Build and start an :class:`InferenceServer` (the ``repro.serve`` entry point).
+
+    Serving defaults to float32 — the precision real on-device inference
+    uses — regardless of the precision the model was trained in; pass
+    ``inference_dtype=None`` to serve in the model's own precision (bit-exact
+    with the offline float64 model), or ``"float64"`` to force full precision.
 
     >>> from repro import serve
     >>> server = serve(model=trained_model, max_batch_size=64)
@@ -218,6 +260,7 @@ def serve(
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
         num_workers=num_workers,
+        inference_dtype=inference_dtype,
     )
     if ingestion is not None:
         config.ingestion = ingestion

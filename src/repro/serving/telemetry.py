@@ -28,7 +28,12 @@ DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
 
 @dataclass(frozen=True)
 class TelemetrySnapshot:
-    """Aggregated view of the serving stack at one instant."""
+    """Aggregated view of the serving stack at one instant.
+
+    ``window_seconds`` spans the *first recorded request* to the snapshot
+    (0.0 before any traffic), so ``throughput_rps`` measures the traffic
+    window rather than being deflated by idle time before serving began.
+    """
 
     requests: int
     batches: int
@@ -80,7 +85,11 @@ class TelemetryCollector:
         self._queue_waits_ms: List[float] = []
         self._compute_ms: List[float] = []
         self._max_queue_depth = 0
-        self._started_at = time.perf_counter()
+        # The throughput window opens at the *first recorded request*, not at
+        # construction: a collector built long before traffic arrives (server
+        # start-up, an idle canary) would otherwise divide by dead air and
+        # deflate throughput_rps arbitrarily.
+        self._first_request_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -90,6 +99,8 @@ class TelemetryCollector:
         if latency_ms < 0:
             raise ServingError("latency_ms must be non-negative")
         with self._lock:
+            if self._first_request_at is None:
+                self._first_request_at = time.perf_counter()
             self._latencies_ms.append(float(latency_ms))
 
     def record_batch(
@@ -114,7 +125,7 @@ class TelemetryCollector:
             self._queue_waits_ms.clear()
             self._compute_ms.clear()
             self._max_queue_depth = 0
-            self._started_at = time.perf_counter()
+            self._first_request_at = None
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -126,7 +137,10 @@ class TelemetryCollector:
             queue_waits = self._queue_waits_ms[:]
             compute = self._compute_ms[:]
             max_depth = self._max_queue_depth
-            elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+            if self._first_request_at is None:
+                elapsed = 0.0
+            else:
+                elapsed = max(time.perf_counter() - self._first_request_at, 1e-9)
         latency_ms: Dict[str, float] = {}
         if latencies.size:
             for pct in self.percentiles:
@@ -137,7 +151,7 @@ class TelemetryCollector:
             requests=int(latencies.size),
             batches=len(batch_sizes),
             window_seconds=float(elapsed),
-            throughput_rps=float(latencies.size / elapsed),
+            throughput_rps=float(latencies.size / elapsed) if elapsed > 0 else 0.0,
             latency_ms=latency_ms,
             mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
             max_queue_depth=max_depth,

@@ -1,0 +1,302 @@
+"""The precision policy: dtype defaults, operand-dtype preservation, casts.
+
+``set_default_dtype`` governs construction (python scalars/lists, integer
+promotion, initialisers); every op must then *preserve* operand dtype — a
+float32 forward must never silently promote to float64 through a python
+scalar constant, a hard-coded ``np.float64`` helper, or a strong numpy
+scalar (NEP 50).  These tests pin that contract for the tensor engine, the
+functional helpers, the losses, serialization and the model stack.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_fresh_interpreter(code: str, dtype_env: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_DTYPE"] = dtype_env
+    return subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env
+    )
+
+from repro.nn import (
+    CrossEntropyLoss,
+    GRU,
+    Linear,
+    NTXentLoss,
+    Tensor,
+    concatenate,
+    default_dtype,
+    get_default_dtype,
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+    set_default_dtype,
+    stack,
+    where,
+)
+from repro.nn import functional as F
+from repro.nn import init
+
+
+@pytest.fixture()
+def float32_policy():
+    previous = set_default_dtype("float32")
+    yield np.dtype(np.float32)
+    set_default_dtype(previous)
+
+
+class TestDefaultDtypePolicy:
+    def test_default_follows_repro_dtype_env(self):
+        expected = np.dtype(os.environ.get("REPRO_DTYPE", "float64"))
+        assert get_default_dtype() == expected
+
+    def test_set_returns_previous(self):
+        ambient = get_default_dtype()
+        other = np.float32 if ambient == np.float64 else np.float64
+        previous = set_default_dtype(other)
+        try:
+            assert previous == ambient
+            assert get_default_dtype() == other
+        finally:
+            set_default_dtype(previous)
+
+    def test_context_manager_restores_on_exception(self):
+        ambient = get_default_dtype()
+        other = np.float32 if ambient == np.float64 else np.float64
+        with pytest.raises(RuntimeError):
+            with default_dtype(other):
+                assert get_default_dtype() == other
+                raise RuntimeError("boom")
+        assert get_default_dtype() == ambient
+
+    def test_rejects_non_float_dtypes(self):
+        for bad in ("int64", np.int32, "complex128", "float16"):
+            with pytest.raises(ValueError, match="unsupported tensor dtype"):
+                set_default_dtype(bad)
+
+    def test_scalar_and_list_construction_follow_policy(self, float32_policy):
+        assert Tensor(1.5).dtype == np.float32
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert Tensor(np.array([1, 2, 3])).dtype == np.float32  # int promotion
+
+    def test_explicit_arrays_keep_their_dtype(self, float32_policy):
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+        set_default_dtype("float64")
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+
+    def test_repro_dtype_env_selects_policy_at_import(self):
+        out = _run_fresh_interpreter(
+            "from repro.nn import get_default_dtype; print(get_default_dtype())",
+            dtype_env="float32",
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "float32"
+
+    def test_invalid_repro_dtype_env_fails_import(self):
+        out = _run_fresh_interpreter("import repro.nn", dtype_env="int8")
+        assert out.returncode != 0
+        assert "unsupported tensor dtype" in out.stderr
+
+
+class TestOpsPreserveOperandDtype:
+    """No op may promote a float32 operand through a scalar constant."""
+
+    @pytest.fixture()
+    def x(self):
+        return Tensor(
+            np.random.default_rng(0).standard_normal((4, 5)).astype(np.float32),
+            requires_grad=True,
+        )
+
+    def test_scalar_arithmetic(self, x):
+        assert (x + 1.0).dtype == np.float32
+        assert (1.0 + x).dtype == np.float32
+        assert (x - 2.0).dtype == np.float32
+        assert (1.0 - x).dtype == np.float32  # the GRUCell update-gate path
+        assert (x * 0.5).dtype == np.float32
+        assert (0.5 * x).dtype == np.float32
+        assert (x / 3.0).dtype == np.float32
+        assert (3.0 / x).dtype == np.float32
+        assert (-x).dtype == np.float32
+        assert ((x * x + 1.0) ** -0.5).dtype == np.float32
+
+    def test_elementwise_and_reductions(self, x):
+        for op in ("exp", "tanh", "sigmoid", "relu", "gelu", "abs"):
+            assert getattr(x, op)().dtype == np.float32, op
+        positive = x * x + 1.0
+        assert positive.sqrt().dtype == np.float32
+        assert positive.log().dtype == np.float32
+        assert x.clip(-1.0, 1.0).dtype == np.float32
+        assert x.sum().dtype == np.float32
+        assert x.mean().dtype == np.float32  # 1/count is a python float
+        assert x.var().dtype == np.float32
+        assert x.max(axis=1).dtype == np.float32
+
+    def test_combinators(self, x):
+        y = Tensor(np.ones((4, 5), dtype=np.float32))
+        assert concatenate([x, y]).dtype == np.float32
+        assert stack([x, y]).dtype == np.float32
+        cond = np.zeros((4, 5), dtype=bool)
+        assert where(cond, x, 0.0).dtype == np.float32  # scalar branch coerced
+        assert where(cond, 0.0, y).dtype == np.float32
+
+    def test_backward_gradients_stay_float32(self, x):
+        ((1.0 - x.tanh()) * 0.5).sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_astype_is_differentiable(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        y = x.astype(np.float64)
+        assert y.dtype == np.float64
+        y.sum().backward()
+        assert x.grad.dtype == np.float32
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_astype_same_dtype_is_identity(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert x.astype(np.float32) is x
+
+    def test_functional_helpers(self, x):
+        assert F.softmax(x).dtype == np.float32
+        assert F.log_softmax(x).dtype == np.float32
+        weight = Tensor(np.ones(5, dtype=np.float32))
+        bias = Tensor(np.zeros(5, dtype=np.float32))
+        assert F.layer_norm(x, weight, bias).dtype == np.float32
+        assert F.cosine_similarity(x, x).dtype == np.float32
+
+    def test_masked_mse_respects_operand_dtype(self, x):
+        target = Tensor(np.zeros((4, 5), dtype=np.float32))
+        mask = np.zeros((4, 5)); mask[0, :] = 1.0  # float64 mask on purpose
+        assert F.masked_mse(x, target, mask=mask).dtype == np.float32
+        assert F.masked_mse(x, target).dtype == np.float32
+
+    def test_one_hot_follows_policy_and_override(self, float32_policy):
+        assert F.one_hot(np.array([0, 1]), 3).dtype == np.float32
+        assert F.one_hot(np.array([0, 1]), 3, dtype=np.float64).dtype == np.float64
+
+
+class TestInitialisersFollowPolicy:
+    def test_all_initialisers(self, float32_policy):
+        rng = np.random.default_rng(0)
+        assert init.xavier_uniform((3, 4), rng).dtype == np.float32
+        assert init.xavier_normal((3, 4), rng).dtype == np.float32
+        assert init.kaiming_uniform((3, 4), rng).dtype == np.float32
+        assert init.normal((3, 4), rng).dtype == np.float32
+        assert init.zeros((4,)).dtype == np.float32
+        assert init.ones((4,)).dtype == np.float32
+
+    def test_float32_init_is_cast_of_float64_init(self):
+        """Same seed, both policies: the float32 weights are the exact cast."""
+        w64 = init.xavier_uniform((6, 6), np.random.default_rng(5))
+        with default_dtype("float32"):
+            w32 = init.xavier_uniform((6, 6), np.random.default_rng(5))
+        np.testing.assert_array_equal(w32, w64.astype(np.float32))
+
+    def test_explicit_dtype_overrides_policy(self):
+        rng = np.random.default_rng(0)
+        assert init.zeros((2,), dtype=np.float32).dtype == np.float32
+        assert init.normal((2, 2), rng, dtype="float32").dtype == np.float32
+
+
+class TestLossesPreserveDtype:
+    def test_cross_entropy_float32(self):
+        logits = Tensor(
+            np.random.default_rng(0).standard_normal((6, 4)).astype(np.float32),
+            requires_grad=True,
+        )
+        loss = CrossEntropyLoss()(logits, np.array([0, 1, 2, 3, 0, 1]))
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert logits.grad.dtype == np.float32
+
+    def test_ntxent_float32(self):
+        rng = np.random.default_rng(1)
+        z1 = Tensor(rng.standard_normal((5, 8)).astype(np.float32), requires_grad=True)
+        z2 = Tensor(rng.standard_normal((5, 8)).astype(np.float32), requires_grad=True)
+        loss = NTXentLoss(temperature=0.5)(z1, z2)
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert z1.grad.dtype == np.float32
+
+
+class TestModulePrecision:
+    def test_to_casts_parameters_and_drops_grads(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        for param in layer.parameters():
+            param.grad = np.zeros_like(param.data)
+        layer.to("float32")
+        assert layer.dtype == np.float32
+        assert all(p.data.dtype == np.float32 for p in layer.parameters())
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_to_rejects_unsupported_dtypes(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="unsupported tensor dtype"):
+            layer.to("int32")
+        # float16 is floating but outside the policy's supported set: no
+        # engine support and no argmax-parity guarantee.
+        with pytest.raises(ValueError, match="unsupported tensor dtype"):
+            layer.to("float16")
+
+    def test_gru_runs_float32_end_to_end(self, float32_policy):
+        gru = GRU(3, 4, num_layers=2, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 7, 3)).astype(np.float32))
+        outputs, final = gru(x)
+        assert outputs.dtype == np.float32
+        assert final.dtype == np.float32
+
+    def test_float32_forward_matches_float64_within_tolerance(self):
+        layer64 = Linear(6, 3, rng=np.random.default_rng(3))
+        with default_dtype("float32"):
+            layer32 = Linear(6, 3, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).standard_normal((10, 6))
+        out64 = layer64(Tensor(x)).data
+        out32 = layer32(Tensor(x.astype(np.float32))).data
+        assert out32.dtype == np.float32
+        np.testing.assert_allclose(out32, out64, rtol=1e-5, atol=1e-6)
+
+
+class TestSerializationPrecision:
+    def test_checkpoint_records_dtype(self, tmp_path):
+        layer = Linear(3, 2, rng=np.random.default_rng(0)).to("float32")
+        path = save_module(layer, tmp_path / "ckpt.npz")
+        _, metadata = load_state_dict(path)
+        assert metadata["dtype"] == "float32"
+
+    def test_load_state_dict_casts_on_request(self, tmp_path):
+        state = {"w": np.random.default_rng(0).standard_normal((3, 3))}
+        path = save_state_dict(state, tmp_path / "state.npz")
+        loaded, _ = load_state_dict(path, dtype="float32")
+        assert loaded["w"].dtype == np.float32
+        np.testing.assert_array_equal(loaded["w"], state["w"].astype(np.float32))
+
+    def test_load_module_in_caller_chosen_precision(self, tmp_path):
+        source = Linear(5, 4, rng=np.random.default_rng(0))
+        path = save_module(source, tmp_path / "linear.npz")
+        target = Linear(5, 4, rng=np.random.default_rng(9))
+        load_module(target, path, dtype="float32")
+        assert target.dtype == np.float32
+        np.testing.assert_array_equal(
+            target.weight.data, source.weight.data.astype(np.float32)
+        )
+
+    def test_mixed_dtype_state_records_no_dtype(self, tmp_path):
+        state = {
+            "a": np.zeros(2, dtype=np.float32),
+            "b": np.zeros(2, dtype=np.float64),
+        }
+        path = save_state_dict(state, tmp_path / "mixed.npz")
+        _, metadata = load_state_dict(path)
+        assert "dtype" not in metadata

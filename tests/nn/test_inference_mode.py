@@ -43,6 +43,27 @@ class TestNoGradSemantics:
                 raise ValueError("boom")
         assert is_grad_enabled()
 
+    def test_enable_grad_restores_disabled_mode_on_exception(self):
+        """enable_grad inside no_grad must hand back *disabled* recording even
+        when the block raises — the serving-vs-training invariant would
+        silently break if an exception re-enabled recording in a worker."""
+        with no_grad():
+            with pytest.raises(ValueError):
+                with enable_grad():
+                    assert is_grad_enabled()
+                    raise ValueError("boom")
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_decorator_restores_mode_on_exception(self):
+        @no_grad()
+        def exploding():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            exploding()
+        assert is_grad_enabled()
+
     def test_enable_grad_nested_in_no_grad(self):
         a = Tensor(np.ones((2, 2)), requires_grad=True)
         with no_grad():
@@ -111,6 +132,34 @@ class TestThreadLocality:
         release.set()
         thread.join(timeout=5.0)
         assert observed == {"main": True, "worker": False}
+
+    def test_main_thread_no_grad_does_not_leak_into_new_threads(self):
+        """Each thread starts with recording enabled regardless of the mode
+        the spawning thread happens to be in (the training-vs-serving
+        isolation DESIGN.md promises)."""
+        observed = {}
+
+        def worker():
+            observed["fresh"] = is_grad_enabled()
+
+        with no_grad():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=5.0)
+        assert observed == {"fresh": True}
+
+    def test_exception_in_worker_does_not_disturb_other_threads(self):
+        def worker():
+            try:
+                with no_grad():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert is_grad_enabled()
 
 
 class TestModuleInference:

@@ -126,6 +126,44 @@ class TestLayers:
         with pytest.raises(ValueError):
             Dropout(1.5)
 
+    def test_functional_dropout_requires_generator_in_training(self):
+        """Regression: the old unseeded default_rng() fallback silently broke
+        run-to-run reproducibility; training-mode dropout must be given an
+        explicit generator."""
+        x = Tensor(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="explicit numpy Generator"):
+            F.dropout(x, 0.5, training=True)
+        # Eval mode never draws, so the generator may be omitted.
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_functional_dropout_is_seed_reproducible(self):
+        x = Tensor(np.ones((64, 64)))
+        out_a = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(7)).data
+        out_b = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(7)).data
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_dropout_layer_draws_from_its_seeded_stream(self):
+        layer_a = Dropout(0.5, rng=np.random.default_rng(3))
+        layer_b = Dropout(0.5, rng=np.random.default_rng(3))
+        x = Tensor(np.ones((32, 32)))
+        np.testing.assert_array_equal(layer_a(x).data, layer_b(x).data)
+
+    def test_dropout_layer_without_generator_fails_loudly_in_training(self):
+        """Regression: a generator-less Dropout module used to fall back to an
+        unseeded stream — now it must raise at the first training forward
+        instead of being silently irreproducible (eval stays fine)."""
+        layer = Dropout(0.5)
+        x = Tensor(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="explicit numpy Generator"):
+            layer(x)  # modules are constructed in training mode
+        layer.eval()
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_dropout_preserves_float32(self):
+        x = Tensor(np.ones((8, 8), dtype=np.float32))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        assert out.dtype == np.float32
+
     def test_embedding_lookup(self, local_rng):
         emb = Embedding(10, 4, rng=local_rng)
         out = emb(np.array([1, 5, 1]))
@@ -202,6 +240,30 @@ class TestRecurrent:
     def test_gru_invalid_layers(self):
         with pytest.raises(ValueError):
             GRU(3, 4, num_layers=0)
+
+    def test_gru_cell_matches_manual_gate_computation(self, local_rng):
+        """Regression for the (1 - z) scalar path: the cell must still compute
+        h' = (1 - z) * n + z * h exactly."""
+        cell = GRUCell(3, 2, rng=local_rng)
+        x = local_rng.normal(size=(5, 3))
+        h = local_rng.normal(size=(5, 2))
+        gates_x = x @ cell.weight_ih.data + cell.bias_ih.data
+        gates_h = h @ cell.weight_hh.data + cell.bias_hh.data
+        reset = 1.0 / (1.0 + np.exp(-(gates_x[:, :2] + gates_h[:, :2])))
+        update = 1.0 / (1.0 + np.exp(-(gates_x[:, 2:4] + gates_h[:, 2:4])))
+        candidate = np.tanh(gates_x[:, 4:] + reset * gates_h[:, 4:])
+        expected = (1.0 - update) * candidate + update * h
+        out = cell(Tensor(x), Tensor(h))
+        np.testing.assert_allclose(out.data, expected, rtol=1e-12)
+
+    def test_gru_cell_backward_through_update_gate(self, local_rng):
+        cell = GRUCell(3, 4, rng=local_rng)
+        x = Tensor(local_rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(local_rng.normal(size=(2, 4)), requires_grad=True)
+        cell(x, h).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        assert h.grad is not None and np.abs(h.grad).sum() > 0
+        assert cell.weight_ih.grad is not None
 
 
 class TestConv:

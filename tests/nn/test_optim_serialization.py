@@ -145,14 +145,15 @@ class TestSerialization:
         path = save_module(layer, tmp_path / "layer.npz", metadata={"note": "test"})
         fresh = Linear(5, 3, rng=np.random.default_rng(77))
         metadata = load_module(fresh, path)
-        assert metadata == {"note": "test"}
+        # The checkpoint's parameter dtype is recorded automatically.
+        assert metadata == {"note": "test", "dtype": str(layer.weight.data.dtype)}
         assert np.allclose(fresh.weight.data, layer.weight.data)
 
     def test_state_dict_roundtrip_without_metadata(self, tmp_path, local_rng):
         state = {"a": local_rng.normal(size=(3, 3)), "b": local_rng.normal(size=(2,))}
         path = save_state_dict(state, tmp_path / "state")
         loaded, metadata = load_state_dict(path)
-        assert metadata == {}
+        assert metadata == {"dtype": "float64"}
         assert set(loaded) == {"a", "b"}
         assert np.allclose(loaded["a"], state["a"])
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn import Tensor, check_gradient, concatenate, stack, where
+from repro.nn import Tensor, check_gradient, concatenate, get_default_dtype, stack, where
 from repro.nn.tensor import unbroadcast
 
 
@@ -13,7 +13,7 @@ class TestTensorBasics:
     def test_construction_from_list(self):
         t = Tensor([[1.0, 2.0], [3.0, 4.0]])
         assert t.shape == (2, 2)
-        assert t.dtype == np.float64
+        assert t.dtype == get_default_dtype()  # the policy dtype, not always float64
         assert not t.requires_grad
 
     def test_integer_input_promoted_to_float(self):

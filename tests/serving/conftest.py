@@ -7,16 +7,20 @@ import pytest
 
 from repro.models.backbone import BackboneConfig, SagaBackbone
 from repro.models.composite import ClassificationModel
+from repro.nn import default_dtype
 
 WINDOW_LENGTH = 32
 NUM_CHANNELS = 6
 NUM_CLASSES = 4
 
 
-@pytest.fixture(scope="module")
-def serving_model() -> ClassificationModel:
-    """A tiny fixed-seed classification model in eval mode."""
-    rng = np.random.default_rng(42)
+def build_serving_model(dtype=None) -> ClassificationModel:
+    """A tiny fixed-seed classification model in eval mode.
+
+    ``dtype=None`` builds under the ambient precision policy (so the suite
+    exercises whatever ``REPRO_DTYPE`` selects); an explicit dtype pins the
+    model precision regardless of policy.
+    """
     config = BackboneConfig(
         input_channels=NUM_CHANNELS,
         window_length=WINDOW_LENGTH,
@@ -26,9 +30,29 @@ def serving_model() -> ClassificationModel:
         intermediate_dim=16,
         dropout=0.0,
     )
-    model = ClassificationModel(SagaBackbone(config, rng=rng), NUM_CLASSES, rng=rng)
+
+    def _build() -> ClassificationModel:
+        rng = np.random.default_rng(42)
+        return ClassificationModel(SagaBackbone(config, rng=rng), NUM_CLASSES, rng=rng)
+
+    if dtype is None:
+        model = _build()
+    else:
+        with default_dtype(dtype):
+            model = _build()
     model.eval()
     return model
+
+
+@pytest.fixture(scope="module")
+def serving_model() -> ClassificationModel:
+    return build_serving_model()
+
+
+@pytest.fixture(scope="module")
+def float64_model() -> ClassificationModel:
+    """The same model pinned to float64 (for precision-contract tests)."""
+    return build_serving_model(dtype="float64")
 
 
 @pytest.fixture()

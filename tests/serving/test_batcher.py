@@ -170,7 +170,10 @@ class TestBatchedEqualsSingle:
         singles = np.stack(
             [serving_model.inference(windows[i : i + 1]).data[0] for i in range(len(windows))]
         )
-        np.testing.assert_allclose(batched, singles, rtol=1e-10, atol=1e-12)
+        # BLAS may reassociate differently per batch shape; the tolerance
+        # scales with the compute precision (float32 under REPRO_DTYPE=float32).
+        tol = 1e-10 if batched.dtype == np.float64 else 1e-5
+        np.testing.assert_allclose(batched, singles, rtol=tol, atol=tol)
 
     def test_batcher_matches_direct_forward(self, serving_model, windows):
         def handler(batch):

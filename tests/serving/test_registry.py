@@ -47,6 +47,70 @@ class TestPublish:
             registry.publish(serving_model.backbone, "hhar", "activity")
 
 
+class TestPrecision:
+    def test_publish_records_checkpoint_dtype(self, tmp_path, float64_model):
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(float64_model, "hhar", "activity")
+        assert record.metadata["dtype"] == "float64"
+
+    def test_load_in_caller_chosen_precision(self, tmp_path, float64_model, windows):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(float64_model, "hhar", "activity")
+        loaded32, _ = registry.load("hhar", "activity", dtype="float32")
+        assert loaded32.dtype == np.float32
+        # Weights are the exact cast of the published float64 checkpoint.
+        for name, param in loaded32.named_parameters():
+            np.testing.assert_array_equal(
+                param.data,
+                dict(float64_model.named_parameters())[name].data.astype(np.float32),
+            )
+        # Predictions agree with the full-precision model on the argmax.
+        loaded64, _ = registry.load("hhar", "activity")
+        assert loaded64.dtype == np.float64
+        assert np.array_equal(
+            loaded32.predict(windows.astype(np.float32)), loaded64.predict(windows)
+        )
+
+    def test_legacy_checkpoint_without_dtype_metadata_keeps_stored_precision(
+        self, tmp_path, float64_model
+    ):
+        """Regression: a pre-precision-policy checkpoint (no 'dtype' metadata
+        key) loaded with dtype=None must come back in the precision of its
+        stored arrays, not in whatever the ambient policy happens to be."""
+        import json
+
+        import repro.nn.serialization as serialization
+        from repro.nn import default_dtype
+
+        registry = ModelRegistry(tmp_path)
+        record = registry.publish(float64_model, "hhar", "activity")
+        # Rewrite the checkpoint with its metadata stripped of the dtype key,
+        # exactly as a pre-policy publisher would have written it.
+        with np.load(record.path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        metadata = json.loads(
+            bytes(payload[serialization._METADATA_KEY].tobytes()).decode("utf-8")
+        )
+        del metadata["dtype"]
+        payload[serialization._METADATA_KEY] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(record.path.with_suffix(""), **payload)
+
+        with default_dtype("float32"):  # ambient policy differs from storage
+            loaded, _ = ModelRegistry(tmp_path).load("hhar", "activity")
+        assert loaded.dtype == np.float64
+
+    def test_cache_is_per_dtype(self, tmp_path, serving_model):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(serving_model, "hhar", "activity")
+        m32a, _ = registry.load("hhar", "activity", dtype="float32")
+        m32b, _ = registry.load("hhar", "activity", dtype="float32")
+        m64, _ = registry.load("hhar", "activity")
+        assert m32a is m32b  # same precision shares one instance
+        assert m32a is not m64  # different precision gets its own
+
+
 class TestLoad:
     def test_load_round_trips_weights(self, tmp_path, serving_model, windows):
         registry = ModelRegistry(tmp_path)

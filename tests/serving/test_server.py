@@ -36,7 +36,11 @@ class TestRequestAPI:
         assert prediction.latency_ms > 0
 
     def test_predictions_match_offline_model(self, serving_model, windows):
-        with serve(model=serving_model, max_batch_size=8, max_wait_ms=2.0) as server:
+        # inference_dtype=None serves in the model's own (float64) precision,
+        # so the server must be bit-compatible with the offline model.
+        with serve(
+            model=serving_model, max_batch_size=8, max_wait_ms=2.0, inference_dtype=None
+        ) as server:
             predictions = server.predict_many(list(windows))
         offline = serving_model.predict(windows)
         assert [p.label for p in predictions] == list(offline)
@@ -95,6 +99,47 @@ class TestRegistryIntegration:
     def test_missing_arguments_rejected(self):
         with pytest.raises(ServingError, match="registry"):
             InferenceServer()
+
+
+class TestInferencePrecision:
+    def test_serving_defaults_to_float32(self, float64_model, windows):
+        assert float64_model.dtype == np.float64  # trained in full precision
+        with serve(model=float64_model, max_wait_ms=1.0) as server:
+            assert server.model.dtype == np.float32
+            prediction = server.predict(windows[0])
+        assert prediction.probabilities.dtype == np.float32
+        # The caller's model is untouched: serving casts a private copy.
+        assert float64_model.dtype == np.float64
+
+    def test_float32_predictions_argmax_match_float64(self, float64_model, windows):
+        """The prediction-parity contract: precision changes no label."""
+        with serve(model=float64_model, max_batch_size=8, max_wait_ms=2.0) as server:
+            float32_labels = [p.label for p in server.predict_many(list(windows))]
+        with serve(
+            model=float64_model, max_batch_size=8, max_wait_ms=2.0, inference_dtype=None
+        ) as server:
+            float64_labels = [p.label for p in server.predict_many(list(windows))]
+        assert float32_labels == float64_labels
+        assert float64_labels == list(float64_model.predict(windows))
+
+    def test_same_dtype_model_is_served_directly(self, float64_model):
+        with serve(model=float64_model, inference_dtype="float64") as server:
+            assert server.model is float64_model
+
+    def test_explicit_float64_matches_offline_probabilities(self, float64_model, windows):
+        with serve(model=float64_model, inference_dtype="float64", max_wait_ms=1.0) as server:
+            prediction = server.predict(windows[0])
+        np.testing.assert_allclose(
+            prediction.probabilities, float64_model.predict_proba(windows[:1])[0],
+            rtol=1e-12,
+        )
+
+    def test_invalid_inference_dtype_rejected(self, serving_model):
+        with pytest.raises(ServingError, match="supported floating dtype"):
+            serve(model=serving_model, inference_dtype="int32")
+        # float16 has no engine support or parity guarantee either.
+        with pytest.raises(ServingError, match="supported floating dtype"):
+            serve(model=serving_model, inference_dtype="float16")
 
 
 class TestTelemetry:

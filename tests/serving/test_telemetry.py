@@ -1,0 +1,73 @@
+"""TelemetryCollector: the throughput window and its regression cases.
+
+Regression pinned here: the collector used to open its throughput window at
+*construction*, so any idle time between server start-up and the first
+request deflated ``throughput_rps`` — a server idling for an hour before a
+one-second burst of 1000 requests would report ~0.3 rps instead of ~1000.
+The window now opens at the first recorded request.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import TelemetryCollector
+
+
+class TestThroughputWindow:
+    def test_idle_time_before_first_request_is_excluded(self):
+        collector = TelemetryCollector()
+        time.sleep(0.15)  # server up, no traffic yet
+        for _ in range(50):
+            collector.record_request(1.0)
+        snapshot = collector.snapshot()
+        # 50 requests effectively instantaneously: were the window anchored at
+        # construction, throughput would be capped near 50/0.15 ≈ 333 rps.
+        assert snapshot.requests == 50
+        assert snapshot.window_seconds < 0.15
+        assert snapshot.throughput_rps > 1000
+
+    def test_no_requests_reports_zero_throughput(self):
+        collector = TelemetryCollector()
+        time.sleep(0.01)
+        snapshot = collector.snapshot()
+        assert snapshot.requests == 0
+        assert snapshot.window_seconds == 0.0
+        assert snapshot.throughput_rps == 0.0
+
+    def test_batches_alone_do_not_open_the_window(self):
+        collector = TelemetryCollector()
+        collector.record_batch(batch_size=4, queue_depth=0, wait_ms=1.0, compute_ms=2.0)
+        snapshot = collector.snapshot()
+        assert snapshot.batches == 1
+        assert snapshot.window_seconds == 0.0
+        assert snapshot.throughput_rps == 0.0
+
+    def test_reset_reopens_the_window_at_next_request(self):
+        collector = TelemetryCollector()
+        collector.record_request(1.0)
+        collector.reset()
+        time.sleep(0.05)
+        collector.record_request(1.0)
+        snapshot = collector.snapshot()
+        assert snapshot.requests == 1
+        assert snapshot.window_seconds < 0.05
+
+    def test_window_spans_first_request_to_snapshot(self):
+        collector = TelemetryCollector()
+        collector.record_request(1.0)
+        time.sleep(0.05)
+        collector.record_request(1.0)
+        snapshot = collector.snapshot()
+        assert snapshot.window_seconds >= 0.05
+        assert snapshot.throughput_rps == pytest.approx(
+            2.0 / snapshot.window_seconds, rel=1e-6
+        )
+
+    def test_negative_latency_rejected(self):
+        collector = TelemetryCollector()
+        with pytest.raises(ServingError):
+            collector.record_request(-1.0)
