@@ -1,6 +1,7 @@
-"""Serving-stack benchmark: micro-batching, the no-grad fast path, precision.
+"""Serving-stack benchmark: micro-batching, the no-grad fast path, precision,
+and the trace-and-replay compiled executor.
 
-Three structural claims back the serving subsystem (see DESIGN.md):
+Four structural claims back the serving subsystem (see DESIGN.md):
 
 1. coalescing single-window requests into batched forwards multiplies
    throughput — batched serving must beat sequential single-request serving
@@ -10,7 +11,10 @@ Three structural claims back the serving subsystem (see DESIGN.md):
    are built;
 3. float32 serving (the ``inference_dtype`` default) beats float64 serving by
    at least 1.5x on the deployment-scale model while predicting the exact
-   same argmax labels.
+   same argmax labels;
+4. the compiled executor (``repro.nn.jit``, the serving default) beats the
+   eager no-grad forward by at least 1.3x on the deployment-scale float32
+   model at serving batch sizes, with argmax-identical predictions.
 
 The dtype delta is measured on the *paper-scale* backbone (window 120,
 hidden 72 — the model Sec. VIII / Fig. 13 actually puts on phones): that is
@@ -209,6 +213,85 @@ def test_float32_serving_throughput_and_prediction_parity(
         f"({float32_seconds * 1000:.1f} ms vs {float64_seconds * 1000:.1f} ms "
         f"for {NUM_DTYPE_REQUESTS} deployment-scale requests)"
     )
+
+
+def test_compiled_executor_speedup_and_prediction_parity(
+    benchmark, profile, bench_dir, deployment_model, deployment_windows
+):
+    """Trace-and-replay vs eager no-grad on the deployment-scale model.
+
+    The serving stack compiles registered models by default, so the claim is
+    measured exactly where serving pays it: batched forwards on the float32
+    deployment copy at the batch sizes the micro-batcher emits.  Compilation
+    (one trace + optimisation per bucket) happens in the warm-up, outside the
+    timed region — steady-state replay throughput is the product.
+    """
+    import copy as copy_module
+
+    model32 = copy_module.deepcopy(deployment_model).to("float32")
+    model32.eval()
+    windows32 = deployment_windows.astype(np.float32)
+    compiled = model32.compile()
+    batch_sizes = (32, NUM_DTYPE_REQUESTS)  # a partial and a full micro-batch
+
+    # Warm-up: BLAS init for eager, trace + self-check per bucket for replay.
+    for batch_size in batch_sizes:
+        model32.inference(windows32[:batch_size])
+        compiled.run(windows32[:batch_size])
+
+    def eager_path():
+        for batch_size in batch_sizes:
+            model32.inference(windows32[:batch_size])
+
+    def compiled_path():
+        for batch_size in batch_sizes:
+            compiled.run(windows32[:batch_size])
+
+    measure_started = time.perf_counter()
+    eager_seconds = _best_of(eager_path)
+    compiled_seconds, _ = run_once(benchmark, _best_of, compiled_path)
+    _measure_seconds["compiled"] = time.perf_counter() - measure_started
+
+    # Predictions must be argmax-identical on every window of the fixture.
+    for batch_size in batch_sizes:
+        batch = windows32[:batch_size]
+        eager_labels = model32.inference(batch).data.argmax(axis=-1)
+        compiled_labels = compiled.run(batch).argmax(axis=-1)
+        assert (eager_labels == compiled_labels).all(), (
+            "compiled executor changed predictions at batch size "
+            f"{batch_size}"
+        )
+    assert compiled.stats.self_check_failures == 0
+    assert compiled.stats.fallbacks == 0  # the hot path never degraded
+
+    speedup = eager_seconds / compiled_seconds
+    windows_measured = sum(batch_sizes)
+    _metrics["compiled_over_eager_speedup"] = speedup
+    _throughput["compiled_windows_per_second"] = windows_measured / compiled_seconds
+    _throughput["eager_windows_per_second"] = windows_measured / eager_seconds
+    _publish(bench_dir, profile)
+    assert speedup >= 1.3, (
+        f"compiled executor only {speedup:.2f}x faster than eager "
+        f"({compiled_seconds * 1000:.1f} ms vs {eager_seconds * 1000:.1f} ms "
+        f"for batches {batch_sizes})"
+    )
+
+
+def test_compiled_serving_end_to_end_parity(model, request_windows):
+    """Through the full server (batcher, futures, telemetry): the compiled
+    default must predict exactly what an eager server predicts."""
+    windows = list(request_windows)
+    with serve(
+        model=model, max_batch_size=64, max_wait_ms=5.0, inference_dtype=None
+    ) as compiled_server, serve(
+        model=model, max_batch_size=64, max_wait_ms=5.0, inference_dtype=None,
+        compile=False,
+    ) as eager_server:
+        compiled_labels = [p.label for p in compiled_server.predict_many(windows)]
+        eager_labels = [p.label for p in eager_server.predict_many(windows)]
+        stats = compiled_server.compile_stats()
+    assert compiled_labels == eager_labels
+    assert stats is not None and stats.replays > 0
 
 
 def test_served_telemetry_tracks_throughput(model, request_windows):

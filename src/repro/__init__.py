@@ -3,7 +3,8 @@ Massive Unlabelled IMU Data" (ICDCS 2025).
 
 The package is organised as a small stack of subsystems (see ``DESIGN.md``):
 
-* :mod:`repro.nn` — from-scratch autograd / neural-network framework;
+* :mod:`repro.nn` — from-scratch autograd / neural-network framework, with a
+  trace-and-replay compiled executor for inference (:mod:`repro.nn.jit`);
 * :mod:`repro.signal` — IMU signal processing (energy, key points, periods);
 * :mod:`repro.datasets` — synthetic HHAR / Motion / Shoaib-shaped datasets;
 * :mod:`repro.masking` — the four semantic masking levels (MM module);

@@ -37,3 +37,7 @@ class ServingError(ReproError):
 
 class ParallelError(ReproError):
     """Raised by the data-parallel training subsystem (workers, all-reduce)."""
+
+
+class TraceError(ReproError):
+    """Raised when :mod:`repro.nn.jit` cannot trace a module's forward."""

@@ -8,10 +8,21 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn import Module, Tensor
-from ..nn.functional import softmax
 from .backbone import BackboneConfig, SagaBackbone
 from .classifier import GRUClassifier
 from .decoder import ReconstructionDecoder
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    """Raw-ndarray softmax, bit-identical to ``repro.nn.functional.softmax``.
+
+    Shared by the eager ``predict_proba`` and the serving stack's compiled
+    hot path, so precision/parity assertions compare like with like: same
+    shifted-exponential, same ``exp * sum**-1`` normalisation order.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    return shifted * (shifted.sum(axis=-1, keepdims=True) ** -1.0)
 
 
 class MaskedReconstructionModel(Module):
@@ -89,7 +100,7 @@ class ClassificationModel(Module):
     def predict_proba(self, windows) -> np.ndarray:
         """Return class probabilities ``(batch, num_classes)`` without gradients."""
         logits = self.inference(windows)
-        return softmax(logits, axis=-1).data
+        return softmax_probabilities(logits.data)
 
 
 def build_pretraining_model(

@@ -18,6 +18,7 @@ from .layers import (
     ReLUActivation,
     TanhActivation,
 )
+from .jit import CompiledModule, compile_module
 from .losses import CrossEntropyLoss, MSELoss, NTXentLoss, WeightedReconstructionLoss
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, CosineAnnealingLR, LRScheduler, StepLR, WarmupLR, clip_grad_norm
@@ -72,6 +73,8 @@ __all__ = [
     "ModuleList",
     "Parameter",
     "Sequential",
+    "CompiledModule",
+    "compile_module",
     "Linear",
     "LayerNorm",
     "Dropout",

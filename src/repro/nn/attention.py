@@ -18,6 +18,19 @@ from .module import Module, ModuleList
 from .tensor import Tensor, ensure_tensor
 
 
+def mask_to_bias(attention_mask: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Turn a ``(batch, length)`` validity mask into an additive score bias.
+
+    Valid positions (1) map to 0, padding positions (0) to ``-1e9``, shaped
+    ``(batch, 1, 1, length)`` so it broadcasts over heads and query positions.
+    Computing this once per *forward* instead of once per encoder block is the
+    point: the bias only depends on the mask and the compute dtype, never on
+    the layer.
+    """
+    mask = np.asarray(attention_mask, dtype=dtype)
+    return (1.0 - mask)[:, None, None, :] * -1e9
+
+
 class MultiHeadSelfAttention(Module):
     """Scaled dot-product self-attention with multiple heads."""
 
@@ -52,7 +65,12 @@ class MultiHeadSelfAttention(Module):
         batch, _, length, _ = x.shape
         return x.transpose(0, 2, 1, 3).reshape(batch, length, self.hidden_dim)
 
-    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        attention_bias: Optional[np.ndarray] = None,
+    ) -> Tensor:
         x = ensure_tensor(x)
         queries = self._split_heads(self.query(x))
         keys = self._split_heads(self.key(x))
@@ -60,11 +78,13 @@ class MultiHeadSelfAttention(Module):
 
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * scale
-        if attention_mask is not None:
+        if attention_bias is None and attention_mask is not None:
             # attention_mask: (batch, length) with 1 for valid and 0 for padding.
-            mask = np.asarray(attention_mask, dtype=scores.dtype)
-            bias = (1.0 - mask)[:, None, None, :] * -1e9
-            scores = scores + Tensor(bias)
+            # Callers that own a block stack (TransformerEncoder) convert the
+            # mask once and pass attention_bias down instead.
+            attention_bias = mask_to_bias(attention_mask, x.dtype)
+        if attention_bias is not None:
+            scores = scores + Tensor(attention_bias)
         weights = F.softmax(scores, axis=-1)
         weights = self.attention_dropout(weights)
         context = weights.matmul(values)
@@ -108,8 +128,15 @@ class TransformerBlock(Module):
         self.output_norm = LayerNorm(hidden_dim)
         self.dropout = Dropout(dropout, rng=rng)
 
-    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
-        attended = self.attention(x, attention_mask=attention_mask)
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        attention_bias: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        attended = self.attention(
+            x, attention_mask=attention_mask, attention_bias=attention_bias
+        )
         x = self.attention_norm(x + self.dropout(attended))
         x = self.output_norm(x + self.feed_forward(x))
         return x
@@ -136,8 +163,29 @@ class TransformerEncoder(Module):
                 for _ in range(num_layers)
             ]
         )
+        # (mask object, dtype) -> bias cache.  Streaming callers hand the same
+        # mask array to every forward; keying on identity + dtype lets them
+        # skip even the once-per-forward conversion.  The cached mask is held
+        # by reference, so an ``id`` can never be recycled while cached —
+        # but a caller mutating the mask array *in place* must pass a fresh
+        # array instead (identity keying cannot see value changes).
+        self._bias_cache: Optional[tuple] = None
+
+    def _attention_bias(self, attention_mask: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        cached = self._bias_cache
+        if cached is not None and cached[0] is attention_mask and cached[1] == dtype:
+            return cached[2]
+        bias = mask_to_bias(attention_mask, dtype)
+        self._bias_cache = (attention_mask, dtype, bias)
+        return bias
 
     def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = ensure_tensor(x)
+        attention_bias = None
+        if attention_mask is not None:
+            # Convert the mask exactly once per forward (cached across
+            # forwards on mask identity), not once per block.
+            attention_bias = self._attention_bias(attention_mask, x.dtype)
         for block in self.blocks:
-            x = block(x, attention_mask=attention_mask)
+            x = block(x, attention_bias=attention_bias)
         return x

@@ -13,7 +13,7 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, ensure_tensor
+from .tensor import Tensor, _detached, _grad_mode, ensure_tensor
 
 
 def _sliding_windows(data: np.ndarray, kernel_size: int, stride: int) -> np.ndarray:
@@ -29,6 +29,42 @@ def _sliding_windows(data: np.ndarray, kernel_size: int, stride: int) -> np.ndar
     # subsample by stride and reorder to (batch, out_length, kernel, channels).
     windows = windows[:, ::stride][:, :out_length]
     return np.ascontiguousarray(np.transpose(windows, (0, 1, 3, 2)))
+
+
+def im2col(data: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
+    """Pad and unfold ``(batch, length, channels)`` into im2col columns.
+
+    The result has shape ``(batch, out_length, kernel_size * channels)`` and
+    is exactly the array :class:`Conv1d` feeds its weight matmul — this is the
+    replay kernel for the ``im2col`` tape op recorded by the jit tracer.
+    """
+    if padding > 0:
+        data = np.pad(data, ((0, 0), (padding, padding), (0, 0)))
+    batch, length, channels = data.shape
+    out_length = (length - kernel_size) // stride + 1
+    windows = _sliding_windows(data, kernel_size, stride)
+    return windows.reshape(batch, out_length, kernel_size * channels)
+
+
+def col2im_accumulate(
+    grad_cols: np.ndarray, kernel_size: int, stride: int, padded_length: int
+) -> np.ndarray:
+    """Scatter window gradients back onto the (padded) time axis.
+
+    ``grad_cols`` has shape ``(batch, out_length, kernel_size, channels)``.
+    Instead of looping over the ``out_length`` windows in python (the seed
+    implementation), accumulate one strided slice per *kernel offset*: for a
+    fixed offset the windows touch disjoint, ``stride``-spaced positions, so
+    each of the ``kernel_size`` iterations is a single vectorised ``+=`` —
+    ``kernel_size`` is 3–7 for every encoder in this repo while ``out_length``
+    grows with the input, so the python-level loop count drops by ~10x.
+    """
+    batch, out_length, _, channels = grad_cols.shape
+    grad_padded = np.zeros((batch, padded_length, channels), dtype=grad_cols.dtype)
+    for offset in range(kernel_size):
+        stop = offset + (out_length - 1) * stride + 1
+        grad_padded[:, offset:stop:stride, :] += grad_cols[:, :, offset, :]
+    return grad_padded
 
 
 class Conv1d(Module):
@@ -85,31 +121,36 @@ class Conv1d(Module):
         windows = _sliding_windows(data, self.kernel_size, self.stride)
         columns = windows.reshape(batch, out_length, self.kernel_size * channels)
 
-        columns_tensor = Tensor(
-            columns,
-            requires_grad=x.requires_grad,
-            _prev=(x,),
-            _op="im2col",
-        )
+        if _grad_mode.enabled and x.requires_grad:
+            columns_tensor = Tensor(
+                columns,
+                requires_grad=True,
+                _prev=(x,),
+                _op="im2col",
+            )
 
-        stride, kernel_size, padding = self.stride, self.kernel_size, self.padding
-        input_shape = x.data.shape
+            stride, kernel_size, padding = self.stride, self.kernel_size, self.padding
+            input_shape = x.data.shape
 
-        def _backward() -> None:
-            if columns_tensor.grad is None or not x.requires_grad:
-                return
-            grad_cols = columns_tensor.grad.reshape(batch, out_length, kernel_size, channels)
-            grad_padded = np.zeros((batch, length, channels), dtype=grad_cols.dtype)
-            for window_index in range(out_length):
-                start = window_index * stride
-                grad_padded[:, start:start + kernel_size, :] += grad_cols[:, window_index]
-            if padding > 0:
-                grad_input = grad_padded[:, padding:padding + input_shape[1], :]
-            else:
-                grad_input = grad_padded
-            x._accumulate_grad(grad_input)
+            def _backward() -> None:
+                if columns_tensor.grad is None:
+                    return
+                grad_cols = columns_tensor.grad.reshape(batch, out_length, kernel_size, channels)
+                grad_padded = col2im_accumulate(grad_cols, kernel_size, stride, length)
+                if padding > 0:
+                    grad_input = grad_padded[:, padding:padding + input_shape[1], :]
+                else:
+                    grad_input = grad_padded
+                x._accumulate_grad(grad_input)
 
-        columns_tensor._backward = _backward
+            columns_tensor._backward = _backward
+        else:
+            columns_tensor = _detached(
+                columns,
+                "im2col",
+                (x,),
+                {"kernel_size": self.kernel_size, "stride": self.stride, "padding": self.padding},
+            )
 
         out = columns_tensor.matmul(self.weight)
         if self.bias is not None:

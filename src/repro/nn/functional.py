@@ -11,22 +11,49 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import DTypeLike, Tensor, ensure_tensor, get_default_dtype
+from .tensor import DTypeLike, Tensor, _trace_state, ensure_tensor, get_default_dtype
 
 
-def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    x = ensure_tensor(x)
+def _softmax_impl(x: Tensor, axis: int) -> Tensor:
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
 
-def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    Under a jit trace this records as one fused ``softmax`` tape node: the
+    eager implementation subtracts the *concrete* per-row maximum (a plain
+    array, invisible to the tracer), which would otherwise be baked into the
+    tape as a constant from the trace batch.
+    """
     x = ensure_tensor(x)
+    session = _trace_state.session
+    if session is None:
+        return _softmax_impl(x, axis)
+    with session.suspended():
+        out = _softmax_impl(x, axis)
+    session.record(out, "softmax", (x,), {"axis": axis})
+    return out
+
+
+def _log_softmax_impl(x: Tensor, axis: int) -> Tensor:
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis`` (fused under a jit trace,
+    for the same shifted-maximum reason as :func:`softmax`)."""
+    x = ensure_tensor(x)
+    session = _trace_state.session
+    if session is None:
+        return _log_softmax_impl(x, axis)
+    with session.suspended():
+        out = _log_softmax_impl(x, axis)
+    session.record(out, "log_softmax", (x,), {"axis": axis})
+    return out
 
 
 def relu(x: Tensor) -> Tensor:
@@ -45,12 +72,28 @@ def tanh(x: Tensor) -> Tensor:
     return ensure_tensor(x).tanh()
 
 
-def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
-    """Layer normalisation over the last dimension."""
+def _layer_norm_impl(x: Tensor, weight: Tensor, bias: Tensor, eps: float) -> Tensor:
     mean = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
     normalised = (x - mean) * ((var + eps) ** -0.5)
     return normalised * weight + bias
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension.
+
+    Under a jit trace this records as one fused ``layer_norm`` tape node
+    instead of the ~10 primitive ops of the eager decomposition, so the
+    compiled executor can normalise in two scratch buffers with no
+    intermediate allocations.
+    """
+    session = _trace_state.session
+    if session is None:
+        return _layer_norm_impl(x, weight, bias, eps)
+    with session.suspended():
+        out = _layer_norm_impl(x, weight, bias, eps)
+    session.record(out, "layer_norm", (x, weight, bias), {"eps": eps})
+    return out
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:

@@ -1,0 +1,42 @@
+"""Trace-and-replay compiled execution for the inference hot path.
+
+``repro.nn.jit`` removes the eager engine's per-op python overhead from
+serving forwards: a module's forward is traced once per input-signature
+bucket into a flat :class:`~repro.nn.jit.tape.Tape` of primitive ops,
+optimised (dead-node elimination, constant folding and dedup, float32
+strength reduction) and replayed on plain ndarrays through a liveness-planned
+buffer arena — zero :class:`~repro.nn.tensor.Tensor` construction, no
+closures, no allocation churn.  Anything untraceable falls back to the eager
+``no_grad`` path.  Entry points:
+
+>>> compiled = model.compile()          # Module.compile -> CompiledModule
+>>> probs = compiled(batch)             # traces on first call per bucket
+>>> raw = compiled.run(batch_ndarray)   # ndarray-in / ndarray-out
+
+See ``DESIGN.md`` ("Compiled execution") for the tracing model, fusion rules,
+bucket policy and fallback semantics.
+"""
+
+from .compiled import CompiledModule, CompileStats, compile_module
+from .executor import SUPPORTED_OPS, Plan, TapeExecutor, plan_buffers
+from .passes import optimize
+from .tape import Node, Slot, Tape
+from .tracing import TraceSession, build_tape, trace_module, trace_session
+
+__all__ = [
+    "CompiledModule",
+    "CompileStats",
+    "compile_module",
+    "Tape",
+    "Node",
+    "Slot",
+    "TapeExecutor",
+    "Plan",
+    "plan_buffers",
+    "optimize",
+    "SUPPORTED_OPS",
+    "TraceSession",
+    "trace_session",
+    "trace_module",
+    "build_tape",
+]

@@ -1,0 +1,310 @@
+"""`CompiledModule`: bucketed trace-and-replay execution with eager fallback.
+
+A :class:`CompiledModule` wraps an eager :class:`~repro.nn.module.Module` and
+behaves like :meth:`Module.inference`: eval-mode semantics, detached output.
+The first call for each input signature traces the forward into a tape,
+optimises it and compiles an executor; subsequent calls with the same
+signature replay the tape on raw ndarrays.
+
+Bucket policy
+-------------
+Tapes are keyed on ``(trailing input shape, dtype, batch bucket)``.  By
+default each distinct batch size is its own bucket (exact replay).  Serving
+callers pass ``bucket_sizes`` (e.g. powers of two up to the micro-batcher's
+maximum): a partial batch is padded up to the nearest bucket by repeating its
+first row and the padded rows are sliced off the output — valid because every
+model on the serving path is row-independent (no cross-batch reductions), and
+guarded by the same self-check as every other tape.  At most ``max_buckets``
+tapes are kept (least recently used wins).
+
+Fallback semantics
+------------------
+Anything the tracer cannot prove safe runs eagerly instead, forever or per
+call as appropriate:
+
+* extra positional/keyword arguments (e.g. an ``attention_mask``): per-call
+  eager fallback — masks are baked into a tape as constants, so they cannot
+  be replayed generically;
+* non-floating inputs (integer index tensors are data, not shapes): permanent
+  fallback for the module;
+* a trace failure (unsupported op, non-Tensor output) or a self-check
+  mismatch (a value-dependent forward): the signature is poisoned and served
+  eagerly, with a warning;
+* a parameter dtype change (``module.to(...)`` after compile): all tapes are
+  invalidated and retraced on demand.
+
+Every decision is counted in :class:`CompileStats` so tests and telemetry can
+assert the executor actually ran.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ...exceptions import TraceError
+from ..tensor import Tensor
+from .executor import SUPPORTED_OPS, TapeExecutor
+from .passes import optimize
+from .tracing import trace_module
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class CompileStats:
+    """Counters describing how a :class:`CompiledModule` has executed."""
+
+    traces: int = 0
+    replays: int = 0
+    fallbacks: int = 0
+    padded_replays: int = 0
+    self_check_failures: int = 0
+    evictions: int = 0
+    pass_report: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "traces": self.traces,
+            "replays": self.replays,
+            "fallbacks": self.fallbacks,
+            "padded_replays": self.padded_replays,
+            "self_check_failures": self.self_check_failures,
+            "evictions": self.evictions,
+        }
+
+
+def power_of_two_buckets(max_batch: int) -> list:
+    """Power-of-two batch buckets up to (and always including) ``max_batch``.
+
+    The canonical bucket policy for row-independent serving models: partial
+    batches pad up to the nearest bucket, so varying traffic compiles
+    ``log2(max_batch)`` tapes instead of one per distinct batch size.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be at least 1")
+    sizes = []
+    size = 1
+    while size < max_batch:
+        sizes.append(size)
+        size *= 2
+    sizes.append(max_batch)
+    return sizes
+
+
+class CompiledModule:
+    """Trace-and-replay wrapper around a module's inference forward."""
+
+    def __init__(
+        self,
+        module,
+        *,
+        max_buckets: int = 8,
+        bucket_sizes: Optional[Sequence[int]] = None,
+        self_check: bool = True,
+        fast_math: Optional[bool] = None,
+        copy_output: bool = True,
+    ) -> None:
+        if max_buckets < 1:
+            raise ValueError("max_buckets must be at least 1")
+        self.module = module
+        self.max_buckets = max_buckets
+        self.bucket_sizes = tuple(sorted(set(bucket_sizes))) if bucket_sizes else None
+        self.self_check = self_check
+        self.fast_math = fast_math
+        self.copy_output = copy_output
+        self.stats = CompileStats()
+        self._tapes: "OrderedDict[tuple, Optional[TapeExecutor]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._unsupported = False
+        self._traced_param_dtype: Optional[np.dtype] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def __call__(self, x=None, *args, **kwargs):
+        return self.forward(x, *args, **kwargs)
+
+    def forward(self, x=None, *args, **kwargs) -> Tensor:
+        """Inference-mode forward: replay when possible, else eager fallback."""
+        if args or kwargs or x is None:
+            return self._fallback(x, *args, **kwargs)
+        array = x.data if isinstance(x, Tensor) else np.asarray(x)
+        result = self._try_replay(array)
+        if result is None:
+            return self._fallback(x)
+        return Tensor(result)
+
+    def run(self, array: np.ndarray) -> np.ndarray:
+        """Raw ndarray-in / ndarray-out hot path (what the server calls)."""
+        array = np.asarray(array)
+        result = self._try_replay(array)
+        if result is not None:
+            return result
+        with self._lock:
+            self.stats.fallbacks += 1
+        return self.module.inference(array).data
+
+    def warmup(self, example: np.ndarray) -> "CompiledModule":
+        """Trace and self-check the bucket for ``example`` ahead of traffic."""
+        self.run(np.asarray(example))
+        return self
+
+    def compiled_bucket_count(self) -> int:
+        with self._lock:
+            return sum(1 for executor in self._tapes.values() if executor is not None)
+
+    def __getattr__(self, name):
+        # Delegate everything else (predict, backbone, dtype, eval, ...) to
+        # the wrapped module so the compiled wrapper is a drop-in.
+        return getattr(self.module, name)
+
+    # ------------------------------------------------------------------
+    # Replay machinery
+    # ------------------------------------------------------------------
+    def _bucket_batch(self, batch: int) -> int:
+        if self.bucket_sizes:
+            for size in self.bucket_sizes:
+                if size >= batch:
+                    return size
+        return batch
+
+    def _try_replay(self, array: np.ndarray) -> Optional[np.ndarray]:
+        if self._unsupported or array.dtype.kind != "f" or array.ndim < 1:
+            if not self._unsupported and array.dtype.kind != "f":
+                # Integer inputs are indices, i.e. *data*: a tape would bake
+                # the trace batch's lookups in and silently mispredict.
+                self._unsupported = True
+                logger.warning(
+                    "%s: non-floating input; compiled execution disabled",
+                    type(self.module).__name__,
+                )
+            return None
+        batch = array.shape[0]
+        if batch == 0:
+            # Nothing to pad a bucket from; eager handles the empty batch.
+            return None
+        bucket = self._bucket_batch(batch)
+        key = (bucket, array.shape[1:], array.dtype.str)
+        executor = self._executor_for(key, array, bucket)
+        if executor is None:
+            return None
+        if bucket != batch:
+            padded = np.empty((bucket,) + array.shape[1:], array.dtype)
+            padded[:batch] = array
+            padded[batch:] = array[:1]
+            output = executor.run(padded)[:batch]
+            with self._lock:
+                self.stats.replays += 1
+                self.stats.padded_replays += 1
+            return output.copy() if self.copy_output else output
+        output = executor.run(array)
+        with self._lock:
+            self.stats.replays += 1
+        return output.copy() if self.copy_output else output
+
+    def _executor_for(self, key: tuple, array: np.ndarray, bucket: int) -> Optional[TapeExecutor]:
+        with self._lock:
+            module_dtype = self.module.dtype
+            if self._traced_param_dtype is not None and module_dtype != self._traced_param_dtype:
+                # module.to(...) after compile: every tape's buffers and
+                # constants are in the old precision.  Retrace on demand.
+                # (Quiescent switches only: casting the module *while* other
+                # threads are mid-replay is not synchronised — the serving
+                # stack never does this, it casts a private copy before
+                # serving.  An in-flight replay may then error, never
+                # mispredict silently: mixed dtypes fail the `out=` kernels.)
+                self._tapes.clear()
+                self._traced_param_dtype = None
+            if key in self._tapes:
+                self._tapes.move_to_end(key)
+                return self._tapes[key]
+            example = array
+            if bucket != array.shape[0]:
+                example = np.empty((bucket,) + array.shape[1:], array.dtype)
+                example[: array.shape[0]] = array
+                example[array.shape[0]:] = array[:1]
+            executor = self._trace(example)
+            self._tapes[key] = executor
+            self._traced_param_dtype = module_dtype
+            while len(self._tapes) > self.max_buckets:
+                self._tapes.popitem(last=False)
+                self.stats.evictions += 1
+            return executor
+
+    def _trace(self, example: np.ndarray) -> Optional[TapeExecutor]:
+        try:
+            tape, reference = trace_module(self.module, [example], SUPPORTED_OPS)
+        except TraceError as exc:
+            self._unsupported = True
+            logger.warning(
+                "%s: cannot trace forward (%s); compiled execution disabled",
+                type(self.module).__name__,
+                exc,
+            )
+            return None
+        fast_math = self.fast_math
+        if fast_math is None:
+            fast_math = example.dtype == np.float32
+        self.stats.pass_report = optimize(tape, fast_math=fast_math)
+        executor = TapeExecutor(tape)
+        self.stats.traces += 1
+        if self.self_check and not self._self_check(executor, example, reference, fast_math):
+            self.stats.self_check_failures += 1
+            logger.warning(
+                "%s: tape self-check failed for signature %s; serving this "
+                "signature eagerly (is the forward value-dependent?)",
+                type(self.module).__name__,
+                example.shape,
+            )
+            return None
+        return executor
+
+    def _self_check(
+        self,
+        executor: TapeExecutor,
+        example: np.ndarray,
+        reference: np.ndarray,
+        fast_math: bool,
+    ) -> bool:
+        """Replay the trace input *and* an independent random input.
+
+        The second probe is what catches a value-dependent forward: a tape
+        that baked the trace batch's values in as constants still reproduces
+        ``reference`` exactly, but disagrees with eager on fresh data.
+        """
+        def matches(replayed: np.ndarray, expected: np.ndarray) -> bool:
+            if fast_math:
+                return np.allclose(replayed, expected, rtol=1e-4, atol=1e-5)
+            return np.array_equal(replayed, expected)
+
+        if not matches(executor.run(example), reference):
+            return False
+        probe = np.random.default_rng(0x5EED).standard_normal(example.shape)
+        probe = probe.astype(example.dtype, copy=False)
+        # Tensor-wrapped, exactly like the traced input: forwards that coerce
+        # raw arrays to the policy dtype must see the same entry conditions.
+        probe_reference = self.module.inference(Tensor(probe)).data
+        return matches(executor.run(probe), probe_reference)
+
+    def _fallback(self, x, *args, **kwargs) -> Tensor:
+        with self._lock:
+            self.stats.fallbacks += 1
+        return self.module.inference(x, *args, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledModule({type(self.module).__name__}, "
+            f"buckets={self.compiled_bucket_count()}, replays={self.stats.replays}, "
+            f"fallbacks={self.stats.fallbacks})"
+        )
+
+
+def compile_module(module, **kwargs) -> CompiledModule:
+    """Functional alias for :meth:`repro.nn.Module.compile`."""
+    return CompiledModule(module, **kwargs)

@@ -1,0 +1,607 @@
+"""Replay a :class:`~repro.nn.jit.tape.Tape` on plain ndarrays.
+
+The executor is where the eager engine's per-op costs disappear: a replay
+builds **zero** :class:`~repro.nn.tensor.Tensor` objects, performs no dtype
+coercion, no module ``__call__`` dispatch and no graph bookkeeping — each tape
+node compiles once into a small closure over pre-bound value slots and a
+pre-planned arena buffer, and a forward is a straight loop over those
+closures.
+
+Numerics contract
+-----------------
+Every kernel mirrors the eager op's exact numpy expression (same ufuncs, same
+association order), so a reference-mode replay is **bit-identical** to the
+eager forward in both float32 and float64.  The only deviation is opt-in:
+nodes flagged ``fast`` by the strength-reduction pass (float32 tapes only)
+replace ``np.power`` with algebraically equal multiply/sqrt/divide forms,
+which agree to within float32 round-off (``allclose``), never bit-for-bit.
+
+Buffer planning
+---------------
+``plan_buffers`` runs a liveness analysis over the tape (views alias their
+base, so a lifetime is per alias-*group*) and assigns every buffer-producing
+node an arena buffer keyed on ``(shape, dtype)``:
+
+* a buffer is returned to the free pool one node *after* its group's last
+  read, so an ``out=`` target can never alias an operand by accident;
+* elementwise nodes whose dying input has the same shape and dtype instead
+  *take over* that input's buffer and compute in place — this is what fuses
+  ``x@W + b -> gelu -> layer_norm`` chains into two buffers with no
+  intermediate allocations;
+* nodes that need scratch (gelu, layer_norm, log-softmax) borrow one pool
+  buffer for the duration of the node.
+
+Arena buffers are instantiated per *thread* (the plan is shared), so replays
+from concurrent serving workers never race on the same memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..conv import im2col
+from .tape import KIND_CONST, KIND_NODE, KIND_PARAM, Node, Tape, VIEW_OPS
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+#: Ops that never produce a new buffer (views / cheap python-side rebinds).
+NO_BUFFER_OPS = VIEW_OPS | {"where", "im2col"}
+
+#: Elementwise ops whose kernel may safely write over a dying same-shape
+#: operand (verified per kernel: every kernel below reads each operand for
+#: the last time no later than the first write into ``out``).
+INPLACE_SAFE_OPS = frozenset(
+    {
+        "add", "mul", "pow", "exp", "log", "tanh", "sigmoid", "relu", "gelu",
+        "abs", "clip", "softmax", "log_softmax", "layer_norm",
+    }
+)
+
+#: Ops that need one scratch buffer of the output's shape and dtype.
+SCRATCH_OPS = frozenset({"gelu", "log_softmax", "layer_norm", "pow"})
+
+
+def _out(buf: Optional[np.ndarray], like: np.ndarray) -> np.ndarray:
+    return buf if buf is not None else np.empty(like.shape, like.dtype)
+
+
+# ----------------------------------------------------------------------
+# Kernel factories: (inputs, attrs, values, out, buf, scratch) -> step()
+# Each step computes values[out]; `values` is the shared slot environment.
+# ----------------------------------------------------------------------
+def _f_add(ins, attrs, values, out, buf, scratch):
+    a, b = ins
+    if buf is None:
+        def step():
+            values[out] = np.add(values[a], values[b])
+    else:
+        def step():
+            values[out] = np.add(values[a], values[b], out=buf)
+    return step
+
+
+def _f_mul(ins, attrs, values, out, buf, scratch):
+    a, b = ins
+    if buf is None:
+        def step():
+            values[out] = np.multiply(values[a], values[b])
+    else:
+        def step():
+            values[out] = np.multiply(values[a], values[b], out=buf)
+    return step
+
+
+def _f_matmul(ins, attrs, values, out, buf, scratch):
+    a, b = ins
+    if buf is None:
+        def step():
+            values[out] = np.matmul(values[a], values[b])
+    else:
+        def step():
+            values[out] = np.matmul(values[a], values[b], out=buf)
+    return step
+
+
+def _f_pow(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    exponent = attrs["exponent"]
+    fast = bool(attrs.get("fast"))
+    if fast and exponent == -1.0:
+        def step():
+            values[out] = np.divide(1.0, values[a], out=_out(buf, values[a]))
+    elif fast and exponent == -0.5:
+        def step():
+            o = np.sqrt(values[a], out=_out(buf, values[a]))
+            values[out] = np.divide(1.0, o, out=o)
+    elif fast and exponent == 0.5:
+        def step():
+            values[out] = np.sqrt(values[a], out=_out(buf, values[a]))
+    elif fast and exponent == 2.0:
+        def step():
+            x = values[a]
+            values[out] = np.multiply(x, x, out=_out(buf, x))
+    elif fast and exponent == 3.0:
+        def step():
+            x = values[a]
+            s = scratch if scratch is not None else np.empty(x.shape, x.dtype)
+            np.multiply(x, x, out=s)
+            values[out] = np.multiply(s, x, out=_out(buf, x))
+    else:
+        def step():
+            values[out] = np.power(values[a], exponent, out=_out(buf, values[a]))
+    return step
+
+
+def _make_unary(ufunc):
+    def factory(ins, attrs, values, out, buf, scratch):
+        (a,) = ins
+        if buf is None:
+            def step():
+                values[out] = ufunc(values[a])
+        else:
+            def step():
+                values[out] = ufunc(values[a], out=buf)
+        return step
+    return factory
+
+
+def _f_sigmoid(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+
+    def step():
+        x = values[a]
+        o = _out(buf, x)
+        np.negative(x, out=o)
+        np.exp(o, out=o)
+        np.add(o, 1.0, out=o)
+        values[out] = np.divide(1.0, o, out=o)
+    return step
+
+
+def _f_relu(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+
+    def step():
+        x = values[a]
+        values[out] = np.multiply(x, x > 0, out=_out(buf, x))
+    return step
+
+
+def _f_gelu(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    fast = attrs is not None and bool(attrs.get("fast"))
+
+    def step():
+        x = values[a]
+        s = scratch if scratch is not None else np.empty(x.shape, x.dtype)
+        o = _out(buf, x)
+        if fast:
+            np.multiply(x, x, out=s)
+            np.multiply(s, x, out=s)
+        else:
+            np.power(x, 3, out=s)
+        np.multiply(s, 0.044715, out=s)
+        np.add(x, s, out=s)
+        np.multiply(s, _GELU_C, out=s)
+        np.tanh(s, out=s)
+        np.add(s, 1.0, out=s)
+        np.multiply(x, 0.5, out=o)  # x read for the last time: o may alias x
+        values[out] = np.multiply(o, s, out=o)
+    return step
+
+
+def _f_clip(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    low, high = attrs["low"], attrs["high"]
+
+    def step():
+        x = values[a]
+        values[out] = np.clip(x, low, high, out=_out(buf, x))
+    return step
+
+
+def _f_sum(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axis, keepdims = attrs["axis"], attrs["keepdims"]
+    if buf is None:
+        def step():
+            values[out] = values[a].sum(axis=axis, keepdims=keepdims)
+    else:
+        def step():
+            values[out] = np.sum(values[a], axis=axis, keepdims=keepdims, out=buf)
+    return step
+
+
+def _f_max(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axis, keepdims = attrs["axis"], attrs["keepdims"]
+    if buf is None:
+        def step():
+            values[out] = values[a].max(axis=axis, keepdims=keepdims)
+    else:
+        def step():
+            values[out] = np.amax(values[a], axis=axis, keepdims=keepdims, out=buf)
+    return step
+
+
+def _f_softmax(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axis = attrs["axis"]
+
+    def step():
+        x = values[a]
+        o = _out(buf, x)
+        m = x.max(axis=axis, keepdims=True)
+        np.subtract(x, m, out=o)  # x read for the last time: o may alias x
+        np.exp(o, out=o)
+        s = o.sum(axis=axis, keepdims=True)
+        np.power(s, -1.0, out=s)  # mirrors the eager `exp / sum` = exp * sum**-1
+        values[out] = np.multiply(o, s, out=o)
+    return step
+
+
+def _f_log_softmax(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axis = attrs["axis"]
+
+    def step():
+        x = values[a]
+        o = _out(buf, x)
+        e = scratch if scratch is not None else np.empty(x.shape, x.dtype)
+        m = x.max(axis=axis, keepdims=True)
+        np.subtract(x, m, out=o)  # shifted
+        np.exp(o, out=e)
+        s = e.sum(axis=axis, keepdims=True)
+        np.log(s, out=s)
+        np.multiply(s, -1.0, out=s)  # mirrors the eager `shifted - log(...)`
+        values[out] = np.add(o, s, out=o)
+    return step
+
+
+def _f_layer_norm(ins, attrs, values, out, buf, scratch):
+    a, wi, bi = ins
+    eps = attrs["eps"]
+    fast = bool(attrs.get("fast"))
+
+    def step():
+        x = values[a]
+        w, b = values[wi], values[bi]
+        o = _out(buf, x)
+        c = scratch if scratch is not None else np.empty(x.shape, x.dtype)
+        inv_n = 1.0 / x.shape[-1]
+        mu = x.sum(axis=-1, keepdims=True)
+        np.multiply(mu, inv_n, out=mu)
+        np.subtract(x, mu, out=c)      # centered; x read for the last time
+        np.multiply(c, c, out=o)       # o may alias x from here on
+        var = o.sum(axis=-1, keepdims=True)
+        np.multiply(var, inv_n, out=var)
+        np.add(var, eps, out=var)
+        if fast:
+            np.sqrt(var, out=var)
+            np.divide(1.0, var, out=var)
+        else:
+            np.power(var, -0.5, out=var)
+        np.multiply(c, var, out=o)
+        np.multiply(o, w, out=o)
+        values[out] = np.add(o, b, out=o)
+    return step
+
+
+def _f_reshape(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    shape = attrs["shape"]
+
+    def step():
+        values[out] = values[a].reshape(shape)
+    return step
+
+
+def _f_transpose(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axes = attrs["axes"]
+
+    def step():
+        values[out] = values[a].transpose(axes)
+    return step
+
+
+def _f_expand_dims(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axis = attrs["axis"]
+
+    def step():
+        values[out] = np.expand_dims(values[a], axis)
+    return step
+
+
+def _f_squeeze(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    axis = attrs["axis"]
+    if axis is None:
+        def step():
+            values[out] = np.squeeze(values[a])
+    else:
+        def step():
+            values[out] = np.squeeze(values[a], axis=axis)
+    return step
+
+
+def _f_getitem(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    index = attrs["index"]
+
+    def step():
+        values[out] = values[a][index]
+    return step
+
+
+def _f_alias(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+
+    def step():
+        values[out] = values[a]
+    return step
+
+
+def _f_copy(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    if buf is None:
+        def step():
+            values[out] = values[a].copy()
+    else:
+        def step():
+            np.copyto(buf, values[a])
+            values[out] = buf
+    return step
+
+
+def _f_astype(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    dtype = attrs["dtype"]
+    if buf is None:
+        def step():
+            values[out] = values[a].astype(dtype)
+    else:
+        def step():
+            np.copyto(buf, values[a], casting="unsafe")
+            values[out] = buf
+    return step
+
+
+def _f_concatenate(ins, attrs, values, out, buf, scratch):
+    axis = attrs["axis"]
+    if buf is None:
+        def step():
+            values[out] = np.concatenate([values[s] for s in ins], axis=axis)
+    else:
+        def step():
+            values[out] = np.concatenate([values[s] for s in ins], axis=axis, out=buf)
+    return step
+
+
+def _f_stack(ins, attrs, values, out, buf, scratch):
+    axis = attrs["axis"]
+    if buf is None:
+        def step():
+            values[out] = np.stack([values[s] for s in ins], axis=axis)
+    else:
+        def step():
+            values[out] = np.stack([values[s] for s in ins], axis=axis, out=buf)
+    return step
+
+
+def _f_where(ins, attrs, values, out, buf, scratch):
+    a, b = ins
+    condition = attrs["condition"]
+
+    def step():
+        values[out] = np.where(condition, values[a], values[b])
+    return step
+
+
+def _f_im2col(ins, attrs, values, out, buf, scratch):
+    (a,) = ins
+    kernel_size, stride, padding = attrs["kernel_size"], attrs["stride"], attrs["padding"]
+
+    def step():
+        values[out] = im2col(values[a], kernel_size, stride, padding)
+    return step
+
+
+FACTORIES: Dict[str, Callable] = {
+    "add": _f_add,
+    "mul": _f_mul,
+    "matmul": _f_matmul,
+    "pow": _f_pow,
+    "exp": _make_unary(np.exp),
+    "log": _make_unary(np.log),
+    "tanh": _make_unary(np.tanh),
+    "abs": _make_unary(np.abs),
+    "sigmoid": _f_sigmoid,
+    "relu": _f_relu,
+    "gelu": _f_gelu,
+    "clip": _f_clip,
+    "sum": _f_sum,
+    "max": _f_max,
+    "softmax": _f_softmax,
+    "log_softmax": _f_log_softmax,
+    "layer_norm": _f_layer_norm,
+    "reshape": _f_reshape,
+    "transpose": _f_transpose,
+    "expand_dims": _f_expand_dims,
+    "squeeze": _f_squeeze,
+    "getitem": _f_getitem,
+    "alias": _f_alias,
+    "copy": _f_copy,
+    "astype": _f_astype,
+    "concatenate": _f_concatenate,
+    "stack": _f_stack,
+    "where": _f_where,
+    "im2col": _f_im2col,
+}
+
+SUPPORTED_OPS = frozenset(FACTORIES)
+
+
+def eval_node(op: str, arrays: Sequence[np.ndarray], attrs) -> np.ndarray:
+    """Evaluate one op on concrete arrays (used by constant folding)."""
+    values = list(arrays)
+    out = len(values)
+    values.append(None)
+    step = FACTORIES[op](tuple(range(len(arrays))), attrs, values, out, None, None)
+    step()
+    return values[out]
+
+
+def _needs_scratch(node: Node) -> bool:
+    if node.op not in SCRATCH_OPS:
+        return False
+    if node.op == "pow":
+        return bool(node.attrs.get("fast")) and node.attrs["exponent"] == 3.0
+    return True
+
+
+@dataclass
+class Plan:
+    """Symbolic arena: buffer specs plus per-node (out, scratch) assignments."""
+
+    buffers: List[Tuple[Tuple[int, ...], np.dtype]]
+    assignments: List[Tuple[Optional[int], Optional[int]]]
+    inplace_nodes: int = 0
+
+
+def plan_buffers(tape: Tape) -> Plan:
+    """Liveness-based buffer assignment (see module docstring)."""
+    slots = tape.slots
+    roots = tape.roots()
+    last_use: Dict[int, int] = {}
+    for index, node in enumerate(tape.nodes):
+        for s in node.inputs:
+            last_use[roots[s]] = index
+    last_use[roots[tape.output_slot]] = len(tape.nodes) + 1  # never recycled
+
+    buffers: List[Tuple[Tuple[int, ...], np.dtype]] = []
+    free: Dict[Tuple[Tuple[int, ...], str], List[int]] = {}
+    owner: Dict[int, int] = {}  # alias-group root -> buffer id
+    assignments: List[Tuple[Optional[int], Optional[int]]] = []
+    inplace = 0
+
+    def acquire(shape: Tuple[int, ...], dtype: np.dtype) -> int:
+        key = (shape, dtype.str)
+        pool = free.get(key)
+        if pool:
+            return pool.pop()
+        buffers.append((shape, dtype))
+        return len(buffers) - 1
+
+    def release(buffer_id: int, shape: Tuple[int, ...], dtype: np.dtype) -> None:
+        free.setdefault((shape, dtype.str), []).append(buffer_id)
+
+    for index, node in enumerate(tape.nodes):
+        out_slot = slots[node.out]
+        buf_id: Optional[int] = None
+        scratch_id: Optional[int] = None
+        transferred_root: Optional[int] = None
+        if node.op not in NO_BUFFER_OPS:
+            if node.op in INPLACE_SAFE_OPS:
+                # Fuse onto a dying operand of identical shape and dtype: the
+                # chain x@W+b -> gelu -> ... keeps flowing through one buffer.
+                for s in node.inputs:
+                    root = roots[s]
+                    in_slot = slots[s]
+                    if (
+                        in_slot.kind == KIND_NODE
+                        and root in owner
+                        and last_use.get(root) == index
+                        and in_slot.shape == out_slot.shape
+                        and in_slot.dtype == out_slot.dtype
+                        # A view's buffer cannot be written through safely
+                        # unless the view is the whole buffer; only take
+                        # over buffers from non-view slots.
+                        and root == s
+                    ):
+                        buf_id = owner.pop(root)
+                        transferred_root = root
+                        inplace += 1
+                        break
+            if buf_id is None:
+                buf_id = acquire(out_slot.shape, out_slot.dtype)
+            owner[roots[node.out]] = buf_id
+        if _needs_scratch(node):
+            scratch_id = acquire(out_slot.shape, out_slot.dtype)
+            release(scratch_id, out_slot.shape, out_slot.dtype)
+        assignments.append((buf_id, scratch_id))
+        # Buffers whose group died at this node return to the pool for the
+        # *next* node (never for this node's own out / scratch acquisition),
+        # so an `out=` target can never alias an operand unless explicitly
+        # taken over above.
+        for s in node.inputs:
+            root = roots[s]
+            if root == transferred_root:
+                continue
+            if last_use.get(root) == index and root in owner:
+                released = owner.pop(root)
+                root_slot = slots[root]
+                release(released, root_slot.shape, root_slot.dtype)
+    return Plan(buffers=buffers, assignments=assignments, inplace_nodes=inplace)
+
+
+class _Program:
+    """One thread's materialised replay: arena buffers + compiled closures."""
+
+    def __init__(self, tape: Tape, plan: Plan) -> None:
+        slots = tape.slots
+        self.values: List[Optional[np.ndarray]] = [None] * len(slots)
+        self.param_bindings: List[Tuple[int, object]] = []
+        for index, slot in enumerate(slots):
+            if slot.kind == KIND_CONST:
+                self.values[index] = slot.ref
+            elif slot.kind == KIND_PARAM:
+                self.param_bindings.append((index, slot.ref))
+        arena = [np.empty(shape, dtype) for shape, dtype in plan.buffers]
+        self.steps: List[Callable[[], None]] = []
+        for node, (buf_id, scratch_id) in zip(tape.nodes, plan.assignments):
+            factory = FACTORIES[node.op]
+            self.steps.append(
+                factory(
+                    node.inputs,
+                    node.attrs,
+                    self.values,
+                    node.out,
+                    arena[buf_id] if buf_id is not None else None,
+                    arena[scratch_id] if scratch_id is not None else None,
+                )
+            )
+        self.input_slots = tape.input_slots
+        self.output_slot = tape.output_slot
+
+    def run(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        values = self.values
+        for index, array in zip(self.input_slots, inputs):
+            values[index] = array
+        for index, param in self.param_bindings:
+            # Rebound every call: in-place weight updates stay visible.
+            values[index] = param.data
+        for step in self.steps:
+            step()
+        return values[self.output_slot]
+
+
+class TapeExecutor:
+    """Shareable compiled artefact: one plan, per-thread arenas."""
+
+    def __init__(self, tape: Tape) -> None:
+        self.tape = tape
+        self.plan = plan_buffers(tape)
+        self._local = threading.local()
+
+    def run(self, *inputs: np.ndarray) -> np.ndarray:
+        program = getattr(self._local, "program", None)
+        if program is None:
+            program = _Program(self.tape, self.plan)
+            self._local.program = program
+        return program.run(inputs)

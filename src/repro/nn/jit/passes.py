@@ -1,0 +1,134 @@
+"""Optimisation passes over a traced :class:`~repro.nn.jit.tape.Tape`.
+
+Run order (see :func:`optimize`):
+
+1. **Dead-node elimination** — drop every op whose value the output never
+   depends on.  The eager forward computes some of these unconditionally:
+   the GRU stacks all per-step hidden states for its sequence output even
+   though the classifier only reads the final state, so the entire
+   ``expand_dims``/``concatenate`` tail (window_length + 1 nodes and the
+   biggest allocation of the classifier head) vanishes from the tape.
+2. **Constant folding** — evaluate nodes whose operands are all trace-time
+   constants once at compile time (scalar coercions, positional-embedding
+   index chains over constants…).  Parameters are *not* constants: they stay
+   rebindable so weight updates never require a retrace.
+3. **Constant dedup** — the eager engine coerces python scalars to 0-d
+   arrays per call site, so a traced GRU carries hundreds of identical
+   ``1.0``/``-1.0`` constants; merge small value-equal constants into one
+   slot.
+4. **Strength reduction** (float32 tapes only) — flag ``pow`` / ``gelu`` /
+   ``layer_norm`` nodes ``fast`` so their kernels replace ``np.power`` with
+   algebraically equal multiply/sqrt/divide forms.  ``np.power`` with a
+   non-integer or negative exponent is by far the slowest primitive on the
+   serving hot path (the gelu cube dominates the eager forward).  float64
+   tapes keep reference numerics: replay stays bit-identical to eager.
+
+Elementwise-chain *fusion* is not a tape rewrite: the executor's buffer
+planner fuses chains structurally by computing them in place through a single
+arena buffer (see :mod:`repro.nn.jit.executor`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .executor import eval_node
+from .tape import KIND_CONST, Slot, Tape
+
+#: Largest constant (in elements) considered for value-based deduplication.
+_DEDUP_MAX_ELEMENTS = 64
+
+
+def eliminate_dead_nodes(tape: Tape) -> int:
+    """Drop nodes the output slot does not (transitively) depend on."""
+    live_slots = {tape.output_slot}
+    stack = [tape.output_slot]
+    while stack:
+        slot = stack.pop()
+        producer = tape.slots[slot].producer
+        if producer < 0:
+            continue
+        for upstream in tape.nodes[producer].inputs:
+            if upstream not in live_slots:
+                live_slots.add(upstream)
+                stack.append(upstream)
+    kept = [
+        node
+        for node in tape.nodes
+        if node.out in live_slots or node.out == tape.output_slot
+    ]
+    removed = len(tape.nodes) - len(kept)
+    if removed:
+        tape.nodes = kept
+        tape.renumber_producers()
+    return removed
+
+
+def fold_constants(tape: Tape) -> int:
+    """Evaluate const-only nodes at compile time and inline their results."""
+    folded = 0
+    kept = []
+    for node in tape.nodes:
+        if all(tape.slots[s].kind == KIND_CONST for s in node.inputs):
+            value = eval_node(node.op, [tape.slots[s].ref for s in node.inputs], node.attrs)
+            out = tape.slots[node.out]
+            tape.slots[node.out] = Slot(
+                kind=KIND_CONST, shape=out.shape, dtype=out.dtype, ref=np.asarray(value)
+            )
+            folded += 1
+        else:
+            kept.append(node)
+    if folded:
+        tape.nodes = kept
+        tape.renumber_producers()
+    return folded
+
+
+def dedup_constants(tape: Tape) -> int:
+    """Merge small value-identical constant slots into a canonical one."""
+    canonical: Dict[tuple, int] = {}
+    remap: Dict[int, int] = {}
+    for index, slot in enumerate(tape.slots):
+        if slot.kind != KIND_CONST or slot.ref is None or slot.ref.size > _DEDUP_MAX_ELEMENTS:
+            continue
+        key = (slot.dtype.str, slot.shape, slot.ref.tobytes())
+        first = canonical.setdefault(key, index)
+        if first != index:
+            remap[index] = first
+    if not remap:
+        return 0
+    for node in tape.nodes:
+        node.inputs = tuple(remap.get(s, s) for s in node.inputs)
+    if tape.output_slot in remap:
+        tape.output_slot = remap[tape.output_slot]
+    return len(remap)
+
+
+#: Ops the strength-reduction pass may flag ``fast`` on float32 tapes.
+_FAST_OPS = frozenset({"pow", "gelu", "layer_norm"})
+
+
+def strength_reduce(tape: Tape) -> int:
+    """Flag float32 pow/gelu/layer_norm nodes for the fast kernels."""
+    flagged = 0
+    for node in tape.nodes:
+        if node.op in _FAST_OPS and tape.slots[node.out].dtype == np.float32:
+            node.attrs = dict(node.attrs or {})
+            node.attrs["fast"] = True
+            flagged += 1
+    return flagged
+
+
+def optimize(tape: Tape, fast_math: bool) -> Dict[str, int]:
+    """Run all passes in order; returns per-pass change counts."""
+    report = {
+        "dead_nodes_removed": eliminate_dead_nodes(tape),
+        "constants_folded": fold_constants(tape),
+        "constants_deduped": dedup_constants(tape),
+        "fast_nodes": strength_reduce(tape) if fast_math else 0,
+    }
+    # Folding may orphan nodes whose only consumer got folded; sweep again.
+    report["dead_nodes_removed"] += eliminate_dead_nodes(tape)
+    return report

@@ -1,0 +1,109 @@
+"""The flat op tape: the IR of the trace-and-replay compiled executor.
+
+A :class:`Tape` is a topologically ordered list of :class:`Node` primitives
+over a flat value-slot table.  Slots come in four kinds:
+
+* ``input`` — the traced forward's positional array argument(s); rebound on
+  every replay;
+* ``param`` — a module :class:`~repro.nn.module.Parameter` encountered as an
+  op operand; held *by reference* and rebound from ``param.data`` on every
+  replay, so in-place weight updates (``load_state_dict``, optimizer steps)
+  are picked up without retracing;
+* ``const`` — any other leaf tensor created during the forward (coerced
+  python scalars, the GRU's zero initial hidden state, an attention bias);
+  its array is snapshotted at trace time;
+* ``node`` — the output of a tape op.
+
+Shapes on the tape are concrete: the executor compiles one tape per
+``(input shape, dtype)`` bucket and replays it only for exactly-matching
+signatures (the batch axis is symbolic one level up, in
+:class:`~repro.nn.jit.compiled.CompiledModule`, which buckets and pads
+incoming batches and falls back to eager execution on any mismatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+KIND_INPUT = "input"
+KIND_PARAM = "param"
+KIND_CONST = "const"
+KIND_NODE = "node"
+
+#: Ops whose output is (conservatively) a view of their input: the planner
+#: must treat output and input as one aliased lifetime group and never hand
+#: the underlying buffer out for reuse while any member is live.
+VIEW_OPS = frozenset(
+    {"reshape", "transpose", "expand_dims", "squeeze", "getitem", "alias"}
+)
+
+
+@dataclass
+class Slot:
+    """One value in the tape's flat environment."""
+
+    kind: str
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    ref: object = None  # Parameter (param) / ndarray (const); None otherwise
+    producer: int = -1  # producing node index for kind == "node"
+
+
+@dataclass
+class Node:
+    """One primitive op: ``slots[out] = op(*slots[inputs], **attrs)``."""
+
+    op: str
+    inputs: Tuple[int, ...]
+    attrs: Optional[dict]
+    out: int
+
+
+@dataclass
+class Tape:
+    """A traced forward as a flat program over value slots."""
+
+    slots: List[Slot]
+    nodes: List[Node] = field(default_factory=list)
+    input_slots: List[int] = field(default_factory=list)
+    output_slot: int = -1
+
+    def renumber_producers(self) -> None:
+        """Re-point ``Slot.producer`` after a pass dropped or reordered nodes."""
+        for slot in self.slots:
+            if slot.kind == KIND_NODE:
+                slot.producer = -1
+        for index, node in enumerate(self.nodes):
+            self.slots[node.out].producer = index
+
+    def consumer_counts(self) -> Dict[int, int]:
+        """How many times each slot is read (the output counts as one read)."""
+        counts: Dict[int, int] = {}
+        for node in self.nodes:
+            for slot in node.inputs:
+                counts[slot] = counts.get(slot, 0) + 1
+        counts[self.output_slot] = counts.get(self.output_slot, 0) + 1
+        return counts
+
+    def roots(self) -> List[int]:
+        """Alias-group root per slot: views share their base's lifetime."""
+        roots = list(range(len(self.slots)))
+        for node in self.nodes:
+            if node.op in VIEW_OPS:
+                roots[node.out] = roots[node.inputs[0]]
+        return roots
+
+    def stats(self) -> Dict[str, int]:
+        ops: Dict[str, int] = {}
+        for node in self.nodes:
+            ops[node.op] = ops.get(node.op, 0) + 1
+        return {
+            "num_nodes": len(self.nodes),
+            "num_slots": len(self.slots),
+            "num_consts": sum(1 for s in self.slots if s.kind == KIND_CONST),
+            "num_params": sum(1 for s in self.slots if s.kind == KIND_PARAM),
+            **{f"op_{name}": count for name, count in sorted(ops.items())},
+        }

@@ -1,0 +1,205 @@
+"""Record a module's eager forward into a :class:`~repro.nn.jit.tape.Tape`.
+
+Tracing runs the *unmodified* eager forward once, under ``no_grad()``, with a
+thread-local :class:`TraceSession` installed in :mod:`repro.nn.tensor`.  Every
+op that takes the detached fast path reports itself to the session, which
+assigns each produced tensor a session-scoped id and appends one entry per op.
+Intermediate tensors are **not** pinned — only leaf operands (parameters and
+constants) are kept alive — so tracing a deployment-scale forward costs the
+same peak memory as running it.
+
+The recorded forward must be *trace-stable*: python control flow may depend on
+shapes (which are frozen per bucket) but not on the *values* flowing through
+the tensors, and no op may smuggle traced values out through ``.data`` into a
+fresh tensor (the tape would bake them in as constants from the trace batch).
+The softmax / log-softmax / layer-norm helpers in :mod:`repro.nn.functional`
+are intercepted as fused primitives for exactly that reason, and the compiled
+module re-runs the tape against the eager output after tracing (the
+self-check) so a value-dependent forward is caught and demoted to eager
+execution instead of silently mispredicting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import TraceError
+from ..tensor import Tensor, _trace_state, no_grad
+from .tape import KIND_CONST, KIND_INPUT, KIND_NODE, KIND_PARAM, Node, Slot, Tape
+
+_session_tokens = itertools.count(1)
+
+
+class TraceSession:
+    """Collects op records for one trace.
+
+    Traced tensors are identified by a ``(token, serial)`` pair written onto
+    the tensor itself (``Tensor._trace_id``); the token is unique per session,
+    so a stale id from an earlier trace can never be mistaken for one of ours
+    even after python recycles the object's memory.
+    """
+
+    def __init__(self) -> None:
+        self.token = next(_session_tokens)
+        self._serial = 0
+        # (out_serial, op, resolved_inputs, attrs, shape, dtype); a resolved
+        # input is either an int (serial of a traced tensor) or the leaf
+        # Tensor itself (pinned here until the tape is built).
+        self.entries: List[tuple] = []
+        self._suspend = 0
+
+    def _assign(self, tensor: Tensor) -> int:
+        serial = self._serial
+        self._serial += 1
+        tensor._trace_id = (self.token, serial)
+        return serial
+
+    def mark_input(self, tensor: Tensor) -> None:
+        """Register a forward argument before running the traced call."""
+        self._assign(tensor)
+
+    def record(self, out: Tensor, op: str, inputs: Tuple[Tensor, ...], attrs) -> None:
+        """Called from the tensor-op fast path for every detached primitive."""
+        if self._suspend:
+            return
+        resolved = []
+        for tensor in inputs:
+            trace_id = getattr(tensor, "_trace_id", None)
+            if trace_id is not None and trace_id[0] == self.token:
+                resolved.append(trace_id[1])
+            else:
+                resolved.append(tensor)  # leaf: pin the tensor itself
+        serial = self._assign(out)
+        self.entries.append((serial, op, tuple(resolved), attrs, out.data.shape, out.data.dtype))
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Temporarily stop recording (used while a fused primitive runs its
+        eager decomposition, which would otherwise double-record)."""
+        self._suspend += 1
+        try:
+            yield
+        finally:
+            self._suspend -= 1
+
+
+@contextmanager
+def trace_session() -> Iterator[TraceSession]:
+    """Install a fresh session for the current thread, under ``no_grad()``."""
+    if _trace_state.session is not None:
+        raise TraceError("a jit trace is already active in this thread")
+    session = TraceSession()
+    _trace_state.session = session
+    try:
+        with no_grad():
+            yield session
+    finally:
+        _trace_state.session = None
+
+
+def build_tape(
+    session: TraceSession,
+    inputs: Sequence[Tensor],
+    output: Tensor,
+    param_ids: Dict[int, Tensor],
+    supported_ops: frozenset,
+) -> Tape:
+    """Turn a finished session into a :class:`Tape`.
+
+    ``param_ids`` maps ``id(parameter) -> parameter`` for the traced module,
+    so leaves split into rebindable params versus snapshot constants.
+    """
+    if not isinstance(output, Tensor):
+        raise TraceError(
+            f"traced forward must return a single Tensor, got {type(output).__name__}"
+        )
+    slots: List[Slot] = []
+    nodes: List[Node] = []
+    by_serial: Dict[int, int] = {}
+    by_leaf: Dict[int, int] = {}
+    input_ids = {id(t): t for t in inputs}
+
+    def add_slot(slot: Slot) -> int:
+        slots.append(slot)
+        return len(slots) - 1
+
+    def leaf_slot(tensor: Tensor) -> int:
+        key = id(tensor)
+        index = by_leaf.get(key)
+        if index is not None:
+            return index
+        if key in input_ids:
+            kind, ref = KIND_INPUT, None
+        elif key in param_ids:
+            kind, ref = KIND_PARAM, tensor
+        else:
+            kind, ref = KIND_CONST, tensor.data
+        index = add_slot(Slot(kind=kind, shape=tensor.data.shape, dtype=tensor.data.dtype, ref=ref))
+        by_leaf[key] = index
+        return index
+
+    input_slots = [leaf_slot(t) for t in inputs]
+    for tensor, slot in zip(inputs, input_slots):
+        trace_id = getattr(tensor, "_trace_id", None)
+        if trace_id is not None and trace_id[0] == session.token:
+            by_serial[trace_id[1]] = slot
+
+    for serial, op, resolved, attrs, shape, dtype in session.entries:
+        if op not in supported_ops:
+            raise TraceError(f"op {op!r} has no compiled replay kernel")
+        node_inputs = tuple(
+            by_serial[item] if isinstance(item, int) else leaf_slot(item)
+            for item in resolved
+        )
+        out_slot = add_slot(
+            Slot(kind=KIND_NODE, shape=tuple(shape), dtype=dtype, producer=len(nodes))
+        )
+        by_serial[serial] = out_slot
+        nodes.append(Node(op=op, inputs=node_inputs, attrs=attrs, out=out_slot))
+
+    trace_id = getattr(output, "_trace_id", None)
+    if trace_id is not None and trace_id[0] == session.token:
+        output_slot = by_serial[trace_id[1]]
+    else:
+        # Degenerate forward: the output is the input itself, a parameter,
+        # or a tensor built outside the recorded ops (a constant).
+        output_slot = leaf_slot(output)
+
+    tape = Tape(slots=slots, nodes=nodes, input_slots=input_slots, output_slot=output_slot)
+    tape.renumber_producers()
+    return tape
+
+
+def trace_module(
+    module,
+    example_inputs: Sequence[np.ndarray],
+    supported_ops: frozenset,
+) -> Tuple[Tape, np.ndarray]:
+    """Trace ``module.forward`` on ``example_inputs``.
+
+    The module is flipped to eval mode for the trace (and restored), exactly
+    like :meth:`~repro.nn.module.Module.inference` — a compiled module *is*
+    the inference fast path, so dropout must be off and no graph recorded.
+    Returns the tape and the eager reference output for the self-check.
+    """
+    tensors = [Tensor(np.asarray(array)) for array in example_inputs]
+    param_ids = {id(param): param for _, param in module.named_parameters()}
+    was_training = module.training
+    if was_training:
+        module.eval()
+    try:
+        with trace_session() as session:
+            for tensor in tensors:
+                session.mark_input(tensor)
+            output = module.forward(*tensors)
+    finally:
+        if was_training:
+            module.train(True)
+    tape = build_tape(session, tensors, output, param_ids, supported_ops)
+    if not isinstance(output, Tensor):  # pragma: no cover - raised in build_tape
+        raise TraceError("traced forward must return a Tensor")
+    return tape, output.data

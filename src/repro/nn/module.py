@@ -142,6 +142,25 @@ class Module:
             if was_training:
                 self.train(True)
 
+    def compile(self, example=None, **kwargs):
+        """Wrap this module in a :class:`~repro.nn.jit.CompiledModule`.
+
+        The compiled wrapper has :meth:`inference` semantics (eval mode, no
+        graph, detached output) but replays a traced, optimised op tape on raw
+        arrays instead of re-running the eager forward — the serving hot
+        path.  Tracing happens lazily on the first call per input-signature
+        bucket; pass ``example`` to trace (and self-check) eagerly.  Keyword
+        arguments (``max_buckets``, ``bucket_sizes``, ``self_check``,
+        ``fast_math``, ``copy_output``) are forwarded to
+        :class:`~repro.nn.jit.CompiledModule`.
+        """
+        from .jit import CompiledModule
+
+        compiled = CompiledModule(self, **kwargs)
+        if example is not None:
+            compiled.warmup(np.asarray(example))
+        return compiled
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

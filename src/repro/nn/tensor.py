@@ -18,6 +18,14 @@ Design notes
 * The engine is intentionally eager and define-by-run, mirroring PyTorch, so
   the model code in :mod:`repro.models` reads almost identically to the
   paper's reference PyTorch code.
+* Every op has two exits: the graph-recording path (grad mode on and at least
+  one operand requires grad) builds ``_prev``/``_op`` metadata and a backward
+  closure; the detached fast path builds none of that — no parent tuple, no
+  op string, no closure, and no backward-only precomputation (``np.sign`` for
+  ``abs``, the inverse permutation for ``transpose``, the pass-through mask
+  for ``clip``).  The fast path is where :func:`no_grad` inference runs and
+  where the :mod:`repro.nn.jit` tracer hooks in: when a trace session is
+  active in the current thread, each detached op is recorded onto its tape.
 """
 
 from __future__ import annotations
@@ -60,6 +68,21 @@ class _GradMode(threading.local):
 
 
 _grad_mode = _GradMode()
+
+
+class _TraceState(threading.local):
+    """Per-thread handle to the active :mod:`repro.nn.jit` trace session.
+
+    ``None`` in normal operation; set by the jit tracer for the duration of a
+    trace so that the detached op fast path records each primitive onto the
+    tape.  Thread-local, so a worker thread can trace while other threads
+    train or serve eagerly.
+    """
+
+    session = None
+
+
+_trace_state = _TraceState()
 
 
 def is_grad_enabled() -> bool:
@@ -221,10 +244,26 @@ def _coerce_operand(value: ArrayLike, dtype: np.dtype) -> "Tensor":
     return Tensor(value)
 
 
+def _detached(out_data: np.ndarray, op: str, inputs: Tuple["Tensor", ...], attrs=None) -> "Tensor":
+    """Finish an op on the detached fast path (no grad needed, or no_grad mode).
+
+    No parent tuple, op string or backward closure is attached; when the
+    current thread has an active jit trace session, the op is recorded onto
+    its tape instead (the tape is the compiled executor's program).
+    """
+    out = Tensor(out_data)
+    session = _trace_state.session
+    if session is not None:
+        session.record(out, op, inputs, attrs)
+    return out
+
+
 class Tensor:
     """A multi-dimensional array with reverse-mode automatic differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_prev", "_op", "name", "_trace_id",
+    )
     __array_priority__ = 200  # ensure numpy defers to Tensor's operators
 
     def __init__(
@@ -288,7 +327,13 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        out = Tensor(self.data, requires_grad=False)
+        session = _trace_state.session
+        if session is not None:
+            # On a tape, detaching is the identity: the replayed value must
+            # still flow from the producing op, not freeze into a constant.
+            session.record(out, "alias", (self,), None)
+        return out
 
     def astype(self, dtype: DTypeLike) -> "Tensor":
         """Cast to ``dtype`` as a differentiable op (gradient casts back).
@@ -299,25 +344,30 @@ class Tensor:
         dtype = np.dtype(dtype)
         if self.data.dtype == dtype:
             return self
-        out = Tensor(
-            self.data.astype(dtype),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="astype",
-        )
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(
+                self.data.astype(dtype),
+                requires_grad=True,
+                _prev=(self,),
+                _op="astype",
+            )
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(self.data.astype(dtype), "astype", (self,), {"dtype": str(dtype)})
 
     def copy(self) -> "Tensor":
         """Return a detached deep copy of this tensor."""
-        return Tensor(self.data.copy(), requires_grad=False)
+        out = Tensor(self.data.copy(), requires_grad=False)
+        session = _trace_state.session
+        if session is not None:
+            session.record(out, "copy", (self,), None)
+        return out
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -373,23 +423,19 @@ class Tensor:
         for node in reversed(topo):
             node._backward()
 
-    @staticmethod
-    def _needs_grad(*tensors: "Tensor") -> bool:
-        return any(t.requires_grad for t in tensors)
-
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = _coerce_operand(other, self.data.dtype)
-        out = Tensor(
-            self.data + other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-            _op="add",
-        )
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
+            out = Tensor(
+                self.data + other.data,
+                requires_grad=True,
+                _prev=(self, other),
+                _op="add",
+            )
 
-        if out.requires_grad:
             def _backward() -> None:
                 if out.grad is None:
                     return
@@ -399,7 +445,8 @@ class Tensor:
                     other._accumulate_grad(unbroadcast(out.grad, other.shape))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(self.data + other.data, "add", (self, other))
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
@@ -415,14 +462,14 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = _coerce_operand(other, self.data.dtype)
-        out = Tensor(
-            self.data * other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-            _op="mul",
-        )
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
+            out = Tensor(
+                self.data * other.data,
+                requires_grad=True,
+                _prev=(self, other),
+                _op="mul",
+            )
 
-        if out.requires_grad:
             def _backward() -> None:
                 if out.grad is None:
                     return
@@ -432,7 +479,8 @@ class Tensor:
                     other._accumulate_grad(unbroadcast(out.grad * self.data, other.shape))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(self.data * other.data, "mul", (self, other))
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
@@ -447,21 +495,22 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
-        out = Tensor(
-            self.data ** exponent,
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="pow",
-        )
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(
+                self.data ** exponent,
+                requires_grad=True,
+                _prev=(self,),
+                _op="pow",
+            )
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * exponent * self.data ** (exponent - 1))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(self.data ** exponent, "pow", (self,), {"exponent": float(exponent)})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -469,14 +518,14 @@ class Tensor:
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix product following numpy ``@`` semantics (with batching)."""
         other = ensure_tensor(other)
-        out = Tensor(
-            self.data @ other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-            _op="matmul",
-        )
+        if _grad_mode.enabled and (self.requires_grad or other.requires_grad):
+            out = Tensor(
+                self.data @ other.data,
+                requires_grad=True,
+                _prev=(self, other),
+                _op="matmul",
+            )
 
-        if out.requires_grad:
             def _backward() -> None:
                 if out.grad is None:
                     return
@@ -500,77 +549,85 @@ class Tensor:
                     other._accumulate_grad(unbroadcast(grad_b, other.shape))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(self.data @ other.data, "matmul", (self, other))
 
     # ------------------------------------------------------------------
     # Elementwise non-linearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="exp")
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="exp")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * out_data)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "exp", (self,))
 
     def log(self) -> "Tensor":
-        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,), _op="log")
+        out_data = np.log(self.data)
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="log")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad / self.data)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "log", (self,))
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="tanh")
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="tanh")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * (1.0 - out_data ** 2))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="sigmoid")
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="sigmoid")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * out_data * (1.0 - out_data))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "sigmoid", (self,))
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,), _op="relu")
+        out_data = self.data * mask
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="relu")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * mask)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "relu", (self,))
 
     def gelu(self) -> "Tensor":
         """Gaussian Error Linear Unit (tanh approximation, as used by BERT)."""
@@ -581,11 +638,11 @@ class Tensor:
         inner = c * (x + 0.044715 * x ** 3)
         tanh_inner = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + tanh_inner)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="gelu")
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="gelu")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 sech2 = 1.0 - tanh_inner ** 2
                 d_inner = c * (1.0 + 3 * 0.044715 * x ** 2)
@@ -593,50 +650,49 @@ class Tensor:
                 self._accumulate_grad(out.grad * grad)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "gelu", (self,))
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,), _op="abs")
+        if _grad_mode.enabled and self.requires_grad:
+            sign = np.sign(self.data)
+            out = Tensor(np.abs(self.data), requires_grad=True, _prev=(self,), _op="abs")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * sign)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(np.abs(self.data), "abs", (self,))
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values into ``[low, high]`` (gradient is passed only inside the range)."""
         clipped = np.clip(self.data, low, high)
-        mask = (self.data >= low) & (self.data <= high)
-        out = Tensor(clipped, requires_grad=self.requires_grad, _prev=(self,), _op="clip")
+        if _grad_mode.enabled and self.requires_grad:
+            mask = (self.data >= low) & (self.data <= high)
+            out = Tensor(clipped, requires_grad=True, _prev=(self,), _op="clip")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad * mask)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(clipped, "clip", (self,), {"low": low, "high": high})
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        out = Tensor(
-            self.data.sum(axis=axis, keepdims=keepdims),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="sum",
-        )
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="sum")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 grad = out.grad
                 if axis is not None and not keepdims:
@@ -647,7 +703,8 @@ class Tensor:
                 self._accumulate_grad(np.broadcast_to(grad, self.shape).copy())
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -664,9 +721,8 @@ class Tensor:
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,), _op="max")
-
-        if out.requires_grad:
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="max")
             if axis is None:
                 mask = (self.data == self.data.max()).astype(self.data.dtype)
             else:
@@ -674,8 +730,9 @@ class Tensor:
             mask = mask / np.maximum(
                 mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0
             )
+
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 grad = out.grad
                 if axis is not None and not keepdims:
@@ -683,7 +740,8 @@ class Tensor:
                 self._accumulate_grad(mask * grad)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "max", (self,), {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -692,43 +750,38 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original_shape = self.shape
-        out = Tensor(
-            self.data.reshape(shape),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="reshape",
-        )
+        out_data = self.data.reshape(shape)
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="reshape")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad.reshape(original_shape))
 
             out._backward = _backward
-        return out
+            return out
+        # Record the *resolved* shape (any -1 already expanded by numpy).
+        return _detached(out_data, "reshape", (self,), {"shape": out_data.shape})
 
     def transpose(self, *axes: int) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
-        out = Tensor(
-            self.data.transpose(axes),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="transpose",
-        )
-        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="transpose")
+            inverse = np.argsort(axes)
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad.transpose(inverse))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "transpose", (self,), {"axes": tuple(axes)})
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.data.ndim))
@@ -736,58 +789,49 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor(
-            self.data[index],
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="getitem",
-        )
+        out_data = self.data[index]
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="getitem")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 grad = np.zeros_like(self.data)
                 np.add.at(grad, index, out.grad)
                 self._accumulate_grad(grad)
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "getitem", (self,), {"index": index})
 
     def expand_dims(self, axis: int) -> "Tensor":
-        out = Tensor(
-            np.expand_dims(self.data, axis),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="expand_dims",
-        )
+        out_data = np.expand_dims(self.data, axis)
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="expand_dims")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(np.squeeze(out.grad, axis=axis))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "expand_dims", (self,), {"axis": axis})
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
         original_shape = self.shape
-        out = Tensor(
-            np.squeeze(self.data, axis=axis) if axis is not None else np.squeeze(self.data),
-            requires_grad=self.requires_grad,
-            _prev=(self,),
-            _op="squeeze",
-        )
+        out_data = np.squeeze(self.data, axis=axis) if axis is not None else np.squeeze(self.data)
+        if _grad_mode.enabled and self.requires_grad:
+            out = Tensor(out_data, requires_grad=True, _prev=(self,), _op="squeeze")
 
-        if out.requires_grad:
             def _backward() -> None:
-                if out.grad is None or not self.requires_grad:
+                if out.grad is None:
                     return
                 self._accumulate_grad(out.grad.reshape(original_shape))
 
             out._backward = _backward
-        return out
+            return out
+        return _detached(out_data, "squeeze", (self,), {"axis": axis})
 
     # ------------------------------------------------------------------
     # Comparison helpers (return plain numpy arrays, no gradient)
@@ -815,16 +859,11 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate a sequence of tensors along ``axis`` with gradient support."""
     tensors = [ensure_tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    out = Tensor(
-        data,
-        requires_grad=any(t.requires_grad for t in tensors),
-        _prev=tuple(tensors),
-        _op="concatenate",
-    )
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    if _grad_mode.enabled and any(t.requires_grad for t in tensors):
+        out = Tensor(data, requires_grad=True, _prev=tuple(tensors), _op="concatenate")
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
 
-    if out.requires_grad:
         def _backward() -> None:
             if out.grad is None:
                 return
@@ -836,21 +875,17 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate_grad(out.grad[tuple(slicer)])
 
         out._backward = _backward
-    return out
+        return out
+    return _detached(data, "concatenate", tuple(tensors), {"axis": axis})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [ensure_tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    out = Tensor(
-        data,
-        requires_grad=any(t.requires_grad for t in tensors),
-        _prev=tuple(tensors),
-        _op="stack",
-    )
+    if _grad_mode.enabled and any(t.requires_grad for t in tensors):
+        out = Tensor(data, requires_grad=True, _prev=tuple(tensors), _op="stack")
 
-    if out.requires_grad:
         def _backward() -> None:
             if out.grad is None:
                 return
@@ -860,7 +895,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                     tensor._accumulate_grad(np.squeeze(grad, axis=axis))
 
         out._backward = _backward
-    return out
+        return out
+    return _detached(data, "stack", tuple(tensors), {"axis": axis})
 
 
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -872,14 +908,10 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     else:
         a, b = ensure_tensor(a), ensure_tensor(b)
     cond = np.asarray(condition, dtype=bool)
-    out = Tensor(
-        np.where(cond, a.data, b.data),
-        requires_grad=Tensor._needs_grad(a, b),
-        _prev=(a, b),
-        _op="where",
-    )
+    out_data = np.where(cond, a.data, b.data)
+    if _grad_mode.enabled and (a.requires_grad or b.requires_grad):
+        out = Tensor(out_data, requires_grad=True, _prev=(a, b), _op="where")
 
-    if out.requires_grad:
         def _backward() -> None:
             if out.grad is None:
                 return
@@ -889,7 +921,8 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
                 b._accumulate_grad(unbroadcast(out.grad * (~cond), b.shape))
 
         out._backward = _backward
-    return out
+        return out
+    return _detached(out_data, "where", (a, b), {"condition": cond})
 
 
 def no_grad_tensor(data: ArrayLike) -> Tensor:

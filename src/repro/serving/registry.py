@@ -29,6 +29,8 @@ import numpy as np
 from ..exceptions import ServingError
 from ..models.backbone import BackboneConfig, SagaBackbone
 from ..models.composite import ClassificationModel
+from ..nn.jit import CompiledModule
+from ..nn.jit.compiled import power_of_two_buckets
 from ..nn.tensor import DTypeLike
 from ..nn.serialization import checkpoint_dtype, load_metadata, load_state_dict, save_module
 
@@ -81,6 +83,9 @@ class ModelRegistry:
         # Keyed on (checkpoint path, serving dtype): the same version may be
         # served at several precisions, each with its own cached instance.
         self._cache: Dict[Tuple[Path, Optional[str]], ClassificationModel] = {}
+        # Shared compiled wrappers (same key): all servers loading a version
+        # at one precision replay the same traced tapes.
+        self._compiled_cache: Dict[Tuple[Path, Optional[str]], CompiledModule] = {}
 
     # ------------------------------------------------------------------
     # Publishing
@@ -203,7 +208,8 @@ class ModelRegistry:
         version: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         dtype: Optional[DTypeLike] = None,
-    ) -> Tuple[ClassificationModel, ModelVersion]:
+        compiled: bool = False,
+    ) -> Tuple[Union["ClassificationModel", "CompiledModule"], ModelVersion]:
         """Rebuild and load a published model (latest version by default).
 
         The returned model is in eval mode with frozen parameters — it is a
@@ -211,6 +217,11 @@ class ModelRegistry:
         serving precision (``None`` keeps the checkpoint's stored precision);
         models are cached per ``(checkpoint, dtype)``, so concurrent servers
         requesting the same precision share one instance.
+
+        ``compiled=True`` wraps the cached model in its (also cached, shared)
+        :class:`~repro.nn.jit.CompiledModule`: every server loading the same
+        version at the same precision then shares one set of traced tapes,
+        which compile lazily on the first batch per batch-size bucket.
         """
         if version is None:
             record = self.latest(dataset, task, profile)
@@ -232,12 +243,21 @@ class ModelRegistry:
         resolved_dtype = np.dtype(dtype) if dtype is not None else None
         cache_key = (record.path, str(resolved_dtype) if resolved_dtype else None)
         with self._lock:
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                return cached, record
-            model = self._rebuild(record, rng=rng, dtype=resolved_dtype)
-            self._cache[cache_key] = model
-            return model, record
+            model = self._cache.get(cache_key)
+            if model is None:
+                model = self._rebuild(record, rng=rng, dtype=resolved_dtype)
+                self._cache[cache_key] = model
+            if not compiled:
+                return model, record
+            wrapper = self._compiled_cache.get(cache_key)
+            if wrapper is None:
+                # Power-of-two buckets: registry models serve micro-batched
+                # traffic with arbitrary partial sizes; exact-size buckets
+                # would retrace per distinct batch size and thrash the LRU.
+                # (Padding is row-safe: registry models are per-window.)
+                wrapper = model.compile(bucket_sizes=power_of_two_buckets(64))
+                self._compiled_cache[cache_key] = wrapper
+            return wrapper, record
 
     def _rebuild(
         self,

@@ -22,7 +22,8 @@ import numpy as np
 
 from ..exceptions import ServingError
 from ..logging_utils import get_logger
-from ..models.composite import ClassificationModel
+from ..models.composite import ClassificationModel, softmax_probabilities
+from ..nn.jit import CompiledModule, CompileStats
 from ..nn.tensor import DTypeLike, _validate_dtype
 from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
 from .ingestion import IngestionConfig, StreamIngestor
@@ -55,6 +56,14 @@ class ServerConfig:
     has (use this when bit-exact agreement with an offline float64 model
     matters more than throughput).  Training is unaffected either way — the
     cast happens on the serving copy, never on the caller's model.
+
+    ``compile`` routes batched forwards through the served model's
+    trace-and-replay executor (:mod:`repro.nn.jit`): the first batch per
+    batch-size bucket traces the forward, subsequent batches replay the
+    optimised tape on raw arrays.  Buckets are powers of two up to
+    ``max_batch_size`` (partial batches pad up to the nearest bucket), and
+    anything untraceable degrades to the eager no-grad path, so disabling
+    compilation is only needed for debugging or A/B measurement.
     """
 
     max_batch_size: int = 32
@@ -62,7 +71,15 @@ class ServerConfig:
     num_workers: int = 1
     queue_capacity: int = 4096
     inference_dtype: Optional[Union[str, DTypeLike]] = "float32"
+    compile: bool = True
     ingestion: IngestionConfig = field(default_factory=IngestionConfig)
+
+    def compile_bucket_sizes(self) -> list:
+        """Batch-size buckets for the compiled executor: powers of two up to
+        (and always including) ``max_batch_size``."""
+        from ..nn.jit.compiled import power_of_two_buckets
+
+        return power_of_two_buckets(self.max_batch_size)
 
     def __post_init__(self) -> None:
         if self.inference_dtype is not None:
@@ -104,6 +121,12 @@ class InferenceServer:
             if self.config.inference_dtype is not None
             else None
         )
+        preset_compiled: Optional[CompiledModule] = None
+        if isinstance(model, CompiledModule):
+            # A pre-compiled model (e.g. from ModelRegistry.load(compiled=True))
+            # unwraps for the precision logic; its tapes are reused when no
+            # cast copy is needed.
+            preset_compiled, model = model, model.module
         if model is None:
             if registry is None or dataset is None or task is None:
                 raise ServingError(
@@ -119,8 +142,24 @@ class InferenceServer:
                 # training, or shared with offline evaluation) keeps its
                 # precision untouched.
                 model = copy.deepcopy(model).to(requested_dtype)
+                preset_compiled = None  # compiled against the original params
         model.eval()
         self.model = model
+        self._compiled: Optional[CompiledModule] = None
+        if self.config.compile:
+            if (
+                preset_compiled is not None
+                and preset_compiled.module is model
+                and preset_compiled.bucket_sizes  # bucketed: safe under micro-batching
+            ):
+                self._compiled = preset_compiled
+            else:
+                # Rewrap (sharing the module, not the tapes) when the preset
+                # has exact-size buckets: the micro-batcher emits arbitrary
+                # partial batch sizes, which would retrace per size.
+                self._compiled = CompiledModule(
+                    model, bucket_sizes=self.config.compile_bucket_sizes()
+                )
         # Requests are cast to the *served* model's precision at submit time,
         # so a float64 window never promotes a float32 forward.
         self._compute_dtype = model.dtype
@@ -137,7 +176,15 @@ class InferenceServer:
     # Batched forward (worker threads)
     # ------------------------------------------------------------------
     def _run_batch(self, windows: np.ndarray) -> np.ndarray:
-        """One coalesced forward on the no-grad fast path; returns probabilities."""
+        """One coalesced forward on the serving hot path; returns probabilities.
+
+        With compilation on (the default) the logits come from the tape
+        executor — zero Tensor construction per batch — and the softmax
+        mirrors the eager one bit for bit, so predictions are identical to
+        ``model.predict_proba`` whichever path ran.
+        """
+        if self._compiled is not None:
+            return softmax_probabilities(self._compiled.run(windows))
         return self.model.predict_proba(windows)
 
     def _on_batch(self, record: BatchRecord) -> None:
@@ -218,6 +265,11 @@ class InferenceServer:
     def stats(self) -> TelemetrySnapshot:
         return self.telemetry.snapshot()
 
+    def compile_stats(self) -> Optional[CompileStats]:
+        """Trace/replay/fallback counters of the compiled executor (None when
+        serving eagerly)."""
+        return self._compiled.stats if self._compiled is not None else None
+
     @property
     def queue_depth(self) -> int:
         return self._batcher.queue_depth
@@ -243,6 +295,7 @@ def serve(
     max_wait_ms: float = 2.0,
     num_workers: int = 1,
     inference_dtype: Optional[Union[str, DTypeLike]] = "float32",
+    compile: bool = True,
     ingestion: Optional[IngestionConfig] = None,
 ) -> InferenceServer:
     """Build and start an :class:`InferenceServer` (the ``repro.serve`` entry point).
@@ -261,6 +314,7 @@ def serve(
         max_wait_ms=max_wait_ms,
         num_workers=num_workers,
         inference_dtype=inference_dtype,
+        compile=compile,
     )
     if ingestion is not None:
         config.ingestion = ingestion

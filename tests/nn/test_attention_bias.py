@@ -1,0 +1,93 @@
+"""The attention-mask bias is computed once per forward, not once per block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn.attention as attention_module
+from repro.nn import MultiHeadSelfAttention, Tensor, TransformerEncoder
+from repro.nn.attention import mask_to_bias
+
+
+@pytest.fixture()
+def encoder():
+    return TransformerEncoder(3, 8, 2, 16, dropout=0.0, rng=np.random.default_rng(0))
+
+
+@pytest.fixture()
+def masked_batch():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((4, 6, 8))
+    mask = np.ones((4, 6))
+    mask[:, -2:] = 0.0
+    return x, mask
+
+
+def test_mask_to_bias_values():
+    mask = np.array([[1.0, 1.0, 0.0]])
+    bias = mask_to_bias(mask, np.dtype(np.float32))
+    assert bias.shape == (1, 1, 1, 3)
+    assert bias.dtype == np.float32
+    np.testing.assert_array_equal(bias[0, 0, 0], np.array([0.0, 0.0, -1e9], dtype=np.float32))
+
+
+def test_bias_computed_once_per_forward(encoder, masked_batch, monkeypatch):
+    x, mask = masked_batch
+    calls = []
+    original = mask_to_bias
+
+    def counting(mask_arg, dtype):
+        calls.append(1)
+        return original(mask_arg, dtype)
+
+    monkeypatch.setattr(attention_module, "mask_to_bias", counting)
+    encoder(Tensor(x), attention_mask=mask)
+    assert len(calls) == 1  # one conversion for all 3 blocks
+
+    # Same mask object again: the identity-keyed cache skips even that one.
+    encoder(Tensor(x), attention_mask=mask)
+    assert len(calls) == 1
+
+    # A different mask array recomputes.
+    other = mask.copy()
+    encoder(Tensor(x), attention_mask=other)
+    assert len(calls) == 2
+
+
+def test_hoisted_bias_matches_per_block_mask(encoder, masked_batch):
+    """Passing the precomputed bias must equal the legacy per-block mask path."""
+    x, mask = masked_batch
+    hoisted = encoder(Tensor(x), attention_mask=mask).data
+
+    legacy = Tensor(x)
+    for block in encoder.blocks:
+        legacy = block(legacy, attention_mask=mask)  # per-block conversion
+    np.testing.assert_array_equal(hoisted, legacy.data)
+
+
+def test_attention_accepts_either_mask_or_bias(masked_batch):
+    x, mask = masked_batch
+    attention = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(2))
+    via_mask = attention(Tensor(x), attention_mask=mask).data
+    via_bias = attention(
+        Tensor(x), attention_bias=mask_to_bias(mask, x.dtype)
+    ).data
+    np.testing.assert_array_equal(via_mask, via_bias)
+
+
+def test_masked_positions_get_negligible_attention(encoder, masked_batch):
+    x, mask = masked_batch
+    out_masked = encoder(Tensor(x), attention_mask=mask).data
+    out_unmasked = encoder(Tensor(x)).data
+    # Masking must actually change the result (the bias is applied).
+    assert not np.allclose(out_masked, out_unmasked)
+
+
+def test_dtype_keyed_cache(encoder, masked_batch):
+    x, mask = masked_batch
+    encoder(Tensor(x), attention_mask=mask)
+    cached = encoder._bias_cache
+    assert cached[2].dtype == np.float64
+    encoder(Tensor(x.astype(np.float32)), attention_mask=mask)
+    assert encoder._bias_cache[2].dtype == np.float32

@@ -202,6 +202,70 @@ class TestModuleInference:
 
 
 class TestFastPathIsLeaner:
+    def test_no_grad_ops_carry_no_graph_metadata(self):
+        """Detached ops must skip _prev/_op entirely, not just the closures."""
+        from repro.nn import concatenate, stack, where
+        from repro.nn.tensor import _noop_backward
+
+        a = Tensor(np.random.default_rng(0).standard_normal((4, 5)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).standard_normal((4, 5)), requires_grad=True)
+        with no_grad():
+            results = [
+                a + b, a * b, a @ b.T, a ** 2.0, a.exp(), a.tanh(), a.sigmoid(),
+                a.relu(), a.gelu(), a.abs(), a.clip(-1.0, 1.0), a.sum(axis=1),
+                a.max(axis=0), a.reshape(20), a.transpose(), a[1:], a.expand_dims(0),
+                a.squeeze(), a.astype("float32"), concatenate([a, b]), stack([a, b]),
+                where(a.data > 0, a, b),
+            ]
+        for out in results:
+            assert out._op == ""          # no op label
+            assert out._prev == ()        # no parent references
+            assert out._backward is _noop_backward  # no closure allocated
+            assert not out.requires_grad
+
+    def test_no_grad_skips_backward_only_precomputation(self, monkeypatch):
+        """abs/transpose precompute sign/inverse-permutation only for backward;
+        the inference fast path must never touch them."""
+        a = Tensor(np.random.default_rng(2).standard_normal((3, 4)), requires_grad=True)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("backward-only precomputation ran under no_grad")
+
+        with no_grad():
+            monkeypatch.setattr(np, "sign", forbidden)
+            monkeypatch.setattr(np, "argsort", forbidden)
+            a.abs()
+            a.transpose()
+        monkeypatch.undo()
+        # The grad-recording path still uses them.
+        a.abs().sum().backward()
+        assert a.grad is not None
+
+    def test_no_grad_binary_ops_allocate_fewer_objects(self):
+        """The detached path must not build the per-op parent tuples."""
+        import tracemalloc
+
+        a = Tensor(np.ones((8, 8)), requires_grad=True)
+
+        def chain():
+            y = a
+            for _ in range(50):
+                y = (y * a) + a
+            return y
+
+        chain()  # warm caches
+        tracemalloc.start()
+        chain()
+        _, grad_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        with no_grad():
+            chain()
+            tracemalloc.start()
+            chain()
+            _, no_grad_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        assert no_grad_peak < grad_peak
+
     def test_no_grad_builds_no_graph_for_deep_chains(self):
         x = Tensor(np.ones((64, 64)), requires_grad=True)
         with no_grad():

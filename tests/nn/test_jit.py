@@ -1,0 +1,405 @@
+"""Tape-vs-eager equivalence for the repro.nn.jit compiled executor.
+
+The contract under test (DESIGN.md "Compiled execution"):
+
+* replaying a traced tape is **bit-identical** to the eager forward in
+  float64 (reference numerics) and allclose in float32 (strength-reduced
+  kernels), for every layer, the Saga backbone, and both baseline encoders,
+  across batch sizes;
+* signature changes (new batch size / window length) compile new buckets or
+  fall back to eager without changing results;
+* anything untraceable (kwargs, integer inputs, multi-output forwards)
+  degrades to the eager path, never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.clhar import ConvEncoder
+from repro.baselines.tpn import SmallConvEncoder
+from repro.models.backbone import BackboneConfig, SagaBackbone
+from repro.models.classifier import GRUClassifier, MLPClassifier
+from repro.models.composite import ClassificationModel
+from repro.nn import (
+    GRU,
+    CompiledModule,
+    Conv1d,
+    Dropout,
+    FeedForward,
+    Flatten,
+    GELUActivation,
+    GlobalAveragePool1d,
+    GlobalMaxPool1d,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    PositionalEmbedding,
+    ReLUActivation,
+    Sequential,
+    TanhActivation,
+    Tensor,
+    TransformerBlock,
+    TransformerEncoder,
+    default_dtype,
+)
+from repro.nn.jit import plan_buffers, trace_module
+from repro.nn.jit.executor import SUPPORTED_OPS
+
+DTYPES = ("float64", "float32")
+BATCH_SIZES = (1, 3, 8)
+
+
+def _assert_matches(compiled_out: np.ndarray, eager_out: np.ndarray, dtype: str) -> None:
+    if dtype == "float64":
+        # Reference numerics: the replay must be the same bits as eager.
+        np.testing.assert_array_equal(compiled_out, eager_out)
+    else:
+        # float32 tapes run strength-reduced kernels: allclose, same argmax.
+        np.testing.assert_allclose(compiled_out, eager_out, rtol=1e-4, atol=1e-5)
+
+
+def _layer_cases(rng: np.random.Generator):
+    """(name, module factory, input shape sans batch) for every float-input layer."""
+    return [
+        ("linear", lambda: Linear(6, 5, rng=rng), (6,)),
+        ("layer_norm", lambda: LayerNorm(7), (4, 7)),
+        ("dropout_eval", lambda: Dropout(0.5, rng=rng), (9,)),
+        ("positional", lambda: PositionalEmbedding(12, 5, rng=rng), (12, 5)),
+        ("gelu", GELUActivation, (3, 4)),
+        ("relu", ReLUActivation, (3, 4)),
+        ("tanh", TanhActivation, (3, 4)),
+        ("flatten", Flatten, (3, 4)),
+        ("conv1d", lambda: Conv1d(3, 5, kernel_size=3, stride=2, padding=1, rng=rng), (11, 3)),
+        ("global_max_pool", GlobalMaxPool1d, (6, 3)),
+        ("global_avg_pool", GlobalAveragePool1d, (6, 3)),
+        ("feed_forward", lambda: FeedForward(6, 12, dropout=0.1, rng=rng), (5, 6)),
+        ("attention", lambda: MultiHeadSelfAttention(8, 2, dropout=0.1, rng=rng), (5, 8)),
+        ("transformer_block", lambda: TransformerBlock(8, 2, 16, dropout=0.1, rng=rng), (5, 8)),
+        ("encoder", lambda: TransformerEncoder(2, 8, 2, 16, dropout=0.1, rng=rng), (5, 8)),
+        ("gru_classifier", lambda: GRUClassifier(6, 4, hidden_dim=5, rng=rng), (7, 6)),
+        ("mlp_classifier", lambda: MLPClassifier(6, 3, hidden_dim=8, rng=rng), (6,)),
+        (
+            "sequential",
+            lambda: Sequential(Linear(6, 8, rng=rng), GELUActivation(), Linear(8, 2, rng=rng)),
+            (6,),
+        ),
+    ]
+
+
+class TestLayerEquivalence:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "name", [case[0] for case in _layer_cases(np.random.default_rng(0))]
+    )
+    def test_every_layer_replays_equal_across_batch_sizes(self, name, dtype):
+        rng = np.random.default_rng(7)
+        with default_dtype(dtype):
+            factory = dict((n, f) for n, f, _ in _layer_cases(rng))[name]
+            shape = dict((n, s) for n, _, s in _layer_cases(rng))[name]
+            module = factory()
+        module.eval()
+        compiled = CompiledModule(module)
+        for batch in BATCH_SIZES:
+            x = rng.standard_normal((batch,) + shape).astype(dtype)
+            eager = module.inference(Tensor(x)).data
+            replayed = compiled.run(x)
+            _assert_matches(replayed, eager, dtype)
+        assert compiled.stats.traces == len(BATCH_SIZES)  # one bucket per batch
+        assert compiled.stats.fallbacks == 0
+        assert compiled.stats.self_check_failures == 0
+
+
+class TestModelEquivalence:
+    def _config(self) -> BackboneConfig:
+        return BackboneConfig(
+            input_channels=6, window_length=16, hidden_dim=8, num_layers=2,
+            num_heads=2, intermediate_dim=16, dropout=0.1,
+        )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_backbone_and_classifier(self, dtype):
+        rng = np.random.default_rng(3)
+        with default_dtype(dtype):
+            model = ClassificationModel(SagaBackbone(self._config(), rng=rng), 4, rng=rng)
+        model.eval()
+        compiled = model.compile()
+        for batch in BATCH_SIZES:
+            x = rng.standard_normal((batch, 16, 6)).astype(dtype)
+            _assert_matches(compiled.run(x), model.inference(x).data, dtype)
+            assert (compiled.run(x).argmax(-1) == model.predict(x)).all()
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_backbone_alone(self, dtype):
+        rng = np.random.default_rng(4)
+        with default_dtype(dtype):
+            backbone = SagaBackbone(self._config(), rng=rng)
+        backbone.eval()
+        compiled = backbone.compile()
+        for batch in (2, 5):
+            x = rng.standard_normal((batch, 16, 6)).astype(dtype)
+            _assert_matches(compiled.run(x), backbone.inference(x).data, dtype)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("encoder_cls", [ConvEncoder, SmallConvEncoder])
+    def test_baseline_encoders(self, encoder_cls, dtype):
+        rng = np.random.default_rng(5)
+        with default_dtype(dtype):
+            encoder = encoder_cls(6, rng=rng)
+        encoder.eval()
+        compiled = encoder.compile()
+        for batch in BATCH_SIZES:
+            x = rng.standard_normal((batch, 32, 6)).astype(dtype)
+            _assert_matches(compiled.run(x), encoder.inference(Tensor(x)).data, dtype)
+
+
+class TestTapeOptimisation:
+    def test_dead_gru_sequence_output_is_eliminated(self):
+        """The classifier only reads the GRU's final hidden state: the stacked
+        per-step sequence output (expand_dims x length + concatenate) must be
+        dead on the tape."""
+        rng = np.random.default_rng(6)
+        model = GRUClassifier(4, 3, hidden_dim=5, rng=rng)
+        model.eval()
+        compiled = model.compile(np.random.default_rng(0).standard_normal((2, 10, 4)))
+        report = compiled.stats.pass_report
+        assert report["dead_nodes_removed"] >= 11  # 10 expand_dims + concatenate
+        executor = next(iter(compiled._tapes.values()))
+        ops = {node.op for node in executor.tape.nodes}
+        assert "concatenate" not in ops
+
+    def test_constants_fold_and_dedup(self):
+        class ConstChain(Module):
+            def __init__(self):
+                super().__init__()
+
+            def forward(self, x):
+                offset = Tensor(np.full(4, 2.0)) * Tensor(np.full(4, 3.0))
+                return x + offset + 1.0 - 1.0  # scalar consts dedup to one slot
+
+        module = ConstChain()
+        compiled = CompiledModule(module)
+        x = np.random.default_rng(0).standard_normal((3, 4))
+        np.testing.assert_array_equal(compiled.run(x), module.inference(Tensor(x)).data)
+        report = compiled.stats.pass_report
+        assert report["constants_folded"] >= 1   # the const*const multiply
+        assert report["constants_deduped"] >= 1  # the repeated 1.0 scalars
+
+    def test_float32_tape_is_strength_reduced_float64_is_not(self):
+        rng = np.random.default_rng(8)
+        for dtype, expect_fast in (("float32", True), ("float64", False)):
+            with default_dtype(dtype):
+                module = FeedForward(6, 12, dropout=0.0, rng=np.random.default_rng(1))
+            module.eval()
+            compiled = module.compile(rng.standard_normal((2, 3, 6)).astype(dtype))
+            assert (compiled.stats.pass_report["fast_nodes"] > 0) == expect_fast
+
+    def test_buffer_plan_reuses_arena(self):
+        """Liveness planning must run a deep forward in a small fixed arena,
+        with in-place chain fusion actually happening."""
+        rng = np.random.default_rng(9)
+        config = BackboneConfig(
+            input_channels=6, window_length=16, hidden_dim=8, num_layers=3,
+            num_heads=2, intermediate_dim=16, dropout=0.0,
+        )
+        backbone = SagaBackbone(config, rng=rng)
+        backbone.eval()
+        tape, _ = trace_module(backbone, [rng.standard_normal((4, 16, 6))], SUPPORTED_OPS)
+        plan = plan_buffers(tape)
+        buffer_producing = sum(
+            1 for buf, _ in plan.assignments if buf is not None
+        )
+        assert len(plan.buffers) < buffer_producing / 3  # arena is much smaller
+        assert plan.inplace_nodes > 0
+
+
+class TestFallbackSemantics:
+    def test_window_length_change_compiles_new_bucket_not_wrong_answer(self):
+        rng = np.random.default_rng(10)
+        module = Sequential(Linear(6, 4, rng=rng), TanhActivation())
+        module.eval()
+        compiled = CompiledModule(module)
+        a = rng.standard_normal((2, 6))
+        b = rng.standard_normal((5, 6))
+        np.testing.assert_array_equal(compiled.run(a), module.inference(Tensor(a)).data)
+        np.testing.assert_array_equal(compiled.run(b), module.inference(Tensor(b)).data)
+        assert compiled.stats.traces == 2
+
+    def test_kwargs_fall_back_to_eager(self):
+        rng = np.random.default_rng(11)
+        encoder = TransformerEncoder(1, 8, 2, 16, dropout=0.0, rng=rng)
+        encoder.eval()
+        compiled = CompiledModule(encoder)
+        x = rng.standard_normal((2, 5, 8))
+        mask = np.ones((2, 5))
+        mask[:, -2:] = 0.0
+        out = compiled(Tensor(x), attention_mask=mask)
+        np.testing.assert_array_equal(out.data, encoder.inference(Tensor(x), attention_mask=mask).data)
+        assert compiled.stats.fallbacks == 1
+        assert compiled.stats.traces == 0
+
+    def test_integer_input_disables_compilation(self):
+        from repro.nn import Embedding
+
+        embedding = Embedding(10, 4, rng=np.random.default_rng(12))
+        embedding.eval()
+        compiled = CompiledModule(embedding)
+        indices = np.array([1, 4, 7])
+        out = compiled.run(indices)
+        np.testing.assert_array_equal(out, embedding.inference(indices).data)
+        # A second, *different* index array must not replay a baked lookup.
+        other = np.array([0, 2, 9])
+        np.testing.assert_array_equal(compiled.run(other), embedding.inference(other).data)
+        assert compiled.stats.traces == 0
+        assert compiled.stats.fallbacks == 2
+
+    def test_multi_output_forward_is_poisoned_not_wrong(self):
+        gru = GRU(4, 3, rng=np.random.default_rng(13))
+        gru.eval()
+        compiled = CompiledModule(gru)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6, 4)))
+        outputs, final = compiled(x)  # falls back: tuple output is untraceable
+        eager_outputs, eager_final = gru.inference(x)
+        np.testing.assert_array_equal(outputs.data, eager_outputs.data)
+        np.testing.assert_array_equal(final.data, eager_final.data)
+        assert compiled.stats.traces == 0
+        assert compiled.stats.fallbacks >= 1
+
+    def test_bucket_padding_slices_back_to_request(self):
+        rng = np.random.default_rng(14)
+        model = MLPClassifier(6, 3, hidden_dim=8, rng=rng)
+        model.eval()
+        compiled = CompiledModule(model, bucket_sizes=[4, 8])
+        x = rng.standard_normal((3, 6))
+        out = compiled.run(x)  # padded up to the 4-bucket
+        np.testing.assert_array_equal(out, model.inference(Tensor(x)).data)
+        assert out.shape[0] == 3
+        assert compiled.stats.padded_replays == 1
+        # A full-bucket batch reuses the same tape (no retrace).
+        y = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(compiled.run(y), model.inference(Tensor(y)).data)
+        assert compiled.stats.traces == 1
+
+    def test_lru_eviction_bounds_bucket_count(self):
+        rng = np.random.default_rng(15)
+        module = Linear(4, 2, rng=rng)
+        module.eval()
+        compiled = CompiledModule(module, max_buckets=2)
+        for batch in (1, 2, 3, 4):
+            x = rng.standard_normal((batch, 4))
+            np.testing.assert_array_equal(compiled.run(x), module.inference(Tensor(x)).data)
+        assert compiled.compiled_bucket_count() <= 2
+        assert compiled.stats.evictions == 2
+
+    def test_dtype_switch_retraces(self):
+        rng = np.random.default_rng(16)
+        module = Linear(5, 3, rng=rng)
+        module.eval()
+        compiled = CompiledModule(module)
+        x64 = rng.standard_normal((2, 5))
+        np.testing.assert_array_equal(compiled.run(x64), module.inference(Tensor(x64)).data)
+        module.to("float32")
+        x32 = x64.astype(np.float32)
+        out = compiled.run(x32)
+        np.testing.assert_allclose(out, module.inference(Tensor(x32)).data, rtol=1e-5)
+        assert compiled.stats.traces == 2  # old float64 tape was invalidated
+
+    def test_weight_update_visible_without_retrace(self):
+        """Param slots rebind from Parameter.data on every replay."""
+        rng = np.random.default_rng(17)
+        module = Linear(4, 2, rng=rng)
+        module.eval()
+        compiled = CompiledModule(module)
+        x = rng.standard_normal((3, 4))
+        before = compiled.run(x)
+        module.weight.data = module.weight.data * 2.0
+        after = compiled.run(x)
+        np.testing.assert_array_equal(after, module.inference(Tensor(x)).data)
+        assert compiled.stats.traces == 1
+        assert not np.array_equal(before, after)
+
+    def test_self_check_demotes_value_dependent_forward(self):
+        from repro.nn import ensure_tensor
+
+        class ValueDependent(Module):
+            def __init__(self):
+                super().__init__()
+
+            def forward(self, x):
+                x = ensure_tensor(x)
+                # Escapes through .data: the tape would bake this batch in.
+                return x + Tensor(np.array(x.data.sum()))
+
+        module = ValueDependent()
+        compiled = CompiledModule(module)
+        a = np.ones((2, 3))
+        b = np.full((2, 3), 5.0)
+        np.testing.assert_array_equal(compiled.run(a), module.inference(Tensor(a)).data)
+        np.testing.assert_array_equal(compiled.run(b), module.inference(Tensor(b)).data)
+
+
+class TestCompiledModuleSurface:
+    def test_forward_returns_detached_tensor(self):
+        module = Linear(3, 2, rng=np.random.default_rng(18))
+        compiled = module.compile()
+        out = compiled(Tensor(np.ones((2, 3))))
+        assert isinstance(out, Tensor)
+        assert not out.requires_grad
+        assert out._prev == ()
+
+    def test_delegates_module_attributes(self):
+        rng = np.random.default_rng(19)
+        model = ClassificationModel(
+            SagaBackbone(
+                BackboneConfig(
+                    input_channels=6, window_length=16, hidden_dim=8, num_layers=1,
+                    num_heads=2, intermediate_dim=16, dropout=0.0,
+                ),
+                rng=rng,
+            ),
+            4,
+            rng=rng,
+        )
+        compiled = model.compile()
+        assert compiled.num_classes == 4
+        assert compiled.backbone.config.window_length == 16
+        assert compiled.dtype == model.dtype
+
+    def test_output_copy_is_isolated_from_arena(self):
+        """Two successive replays must not clobber each other's results."""
+        rng = np.random.default_rng(20)
+        module = Sequential(Linear(4, 4, rng=rng), TanhActivation())
+        module.eval()
+        compiled = CompiledModule(module)
+        a = rng.standard_normal((2, 4))
+        b = rng.standard_normal((2, 4))
+        out_a = compiled.run(a)
+        snapshot = out_a.copy()
+        compiled.run(b)
+        np.testing.assert_array_equal(out_a, snapshot)
+
+
+class TestReviewRegressions:
+    def test_empty_batch_falls_back_to_eager(self):
+        """Padding has no row to repeat for an empty batch; eager handles it."""
+        rng = np.random.default_rng(21)
+        module = MLPClassifier(4, 3, hidden_dim=8, rng=rng)
+        module.eval()
+        compiled = CompiledModule(module, bucket_sizes=[4, 8])
+        empty = np.empty((0, 4))
+        out = compiled.run(empty)
+        assert out.shape == (0, 3)
+        np.testing.assert_array_equal(out, module.inference(Tensor(empty)).data)
+        assert compiled.stats.fallbacks == 1
+        assert compiled.stats.traces == 0
+
+    def test_power_of_two_buckets_helper(self):
+        from repro.nn.jit.compiled import power_of_two_buckets
+
+        assert power_of_two_buckets(1) == [1]
+        assert power_of_two_buckets(8) == [1, 2, 4, 8]
+        assert power_of_two_buckets(96) == [1, 2, 4, 8, 16, 32, 64, 96]
+        with pytest.raises(ValueError):
+            power_of_two_buckets(0)

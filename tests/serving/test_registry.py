@@ -181,3 +181,48 @@ class TestLoad:
         assert {entry.key for entry in entries} == {
             ("hhar", "activity", "bench"), ("motion", "user", "bench"),
         }
+
+
+class TestCompiledLoad:
+    def test_load_compiled_wraps_and_shares(self, tmp_path, serving_model, windows):
+        from repro.nn.jit import CompiledModule
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serving_model, "hhar", "activity")
+        first, record = registry.load("hhar", "activity", compiled=True)
+        second, _ = registry.load("hhar", "activity", compiled=True)
+        assert isinstance(first, CompiledModule)
+        assert first is second  # one shared wrapper per (checkpoint, dtype)
+        # The wrapper serves the same cached eager model.
+        plain, _ = registry.load("hhar", "activity")
+        assert first.module is plain
+        batch = windows[:4].astype(plain.dtype)
+        if plain.dtype == np.float64:
+            np.testing.assert_array_equal(first.run(batch), plain.inference(batch).data)
+        else:  # float32 tapes replay strength-reduced kernels: allclose
+            np.testing.assert_allclose(
+                first.run(batch), plain.inference(batch).data, rtol=1e-4, atol=1e-5
+            )
+
+    def test_compiled_cache_is_per_dtype(self, tmp_path, float64_model):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(float64_model, "hhar", "activity")
+        c64, _ = registry.load("hhar", "activity", dtype="float64", compiled=True)
+        c32, _ = registry.load("hhar", "activity", dtype="float32", compiled=True)
+        assert c64 is not c32
+        assert c64.module.dtype == np.float64
+        assert c32.module.dtype == np.float32
+
+    def test_registry_compiled_wrapper_is_bucketed(self, tmp_path, serving_model):
+        """The shared wrapper must pad partial batches into power-of-two
+        buckets — exact-size buckets would retrace per distinct micro-batch
+        size under varying serving load and thrash the tape LRU."""
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serving_model, "hhar", "activity")
+        wrapper, _ = registry.load("hhar", "activity", compiled=True)
+        assert wrapper.bucket_sizes is not None
+        rng = np.random.default_rng(0)
+        for batch in (1, 2, 3, 5, 6, 7):  # 6 sizes -> buckets {1, 2, 4, 8}
+            wrapper.run(rng.standard_normal((batch, 32, 6)).astype(serving_model.dtype))
+        assert wrapper.stats.traces <= 4
+        assert wrapper.stats.evictions == 0

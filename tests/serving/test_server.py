@@ -36,8 +36,10 @@ class TestRequestAPI:
         assert prediction.latency_ms > 0
 
     def test_predictions_match_offline_model(self, serving_model, windows):
-        # inference_dtype=None serves in the model's own (float64) precision,
-        # so the server must be bit-compatible with the offline model.
+        # inference_dtype=None serves in the model's own precision, so the
+        # server must be (float64: bit-) compatible with the offline model.
+        # A float32 model (REPRO_DTYPE=float32 leg) replays strength-reduced
+        # kernels: identical labels, probabilities to float32 round-off.
         with serve(
             model=serving_model, max_batch_size=8, max_wait_ms=2.0, inference_dtype=None
         ) as server:
@@ -45,8 +47,10 @@ class TestRequestAPI:
         offline = serving_model.predict(windows)
         assert [p.label for p in predictions] == list(offline)
         offline_probs = serving_model.predict_proba(windows)
+        rtol = 1e-10 if serving_model.dtype == np.float64 else 1e-5
         np.testing.assert_allclose(
-            np.stack([p.probabilities for p in predictions]), offline_probs, rtol=1e-10
+            np.stack([p.probabilities for p in predictions]), offline_probs,
+            rtol=rtol, atol=0 if serving_model.dtype == np.float64 else 1e-6,
         )
 
     def test_classify_stream_runs_raw_samples_end_to_end(self, serving_model):
@@ -187,3 +191,61 @@ class TestPackageEntryPoint:
 
         assert repro.serve is serve
         assert repro.__version__ >= "1.1.0"
+
+
+class TestCompiledServing:
+    def test_compiled_server_matches_eager_server(self, serving_model, windows):
+        """compile=True (default) and compile=False must agree: bit-for-bit
+        on float64 tapes (reference numerics), allclose with identical labels
+        on float32 tapes (strength-reduced kernels)."""
+        with serve(model=serving_model, max_wait_ms=1.0, inference_dtype=None) as compiled_server, serve(
+            model=serving_model, max_wait_ms=1.0, inference_dtype=None, compile=False
+        ) as eager_server:
+            compiled = compiled_server.predict_many(list(windows))
+            eager = eager_server.predict_many(list(windows))
+            stats = compiled_server.compile_stats()
+        assert [p.label for p in compiled] == [p.label for p in eager]
+        for c, e in zip(compiled, eager):
+            if serving_model.dtype == np.float64:
+                np.testing.assert_array_equal(c.probabilities, e.probabilities)
+            else:
+                np.testing.assert_allclose(c.probabilities, e.probabilities, rtol=1e-4, atol=1e-6)
+        assert stats is not None
+        assert stats.replays > 0
+        assert stats.self_check_failures == 0
+
+    def test_compiled_is_default_and_buckets_by_batch_size(self, serving_model, windows):
+        with serve(model=serving_model, max_batch_size=8, max_wait_ms=1.0) as server:
+            server.predict_many(list(windows))  # 20 requests over 8-buckets
+            stats = server.compile_stats()
+        assert stats is not None
+        assert stats.replays >= 1
+        # Partial batches pad up to a power-of-two bucket instead of retracing.
+        assert stats.traces <= len(ServerConfig(max_batch_size=8).compile_bucket_sizes())
+
+    def test_compile_stats_none_when_disabled(self, serving_model, windows):
+        with serve(model=serving_model, max_wait_ms=1.0, compile=False) as server:
+            server.predict(windows[0])
+            assert server.compile_stats() is None
+
+    def test_compiled_respects_inference_dtype(self, float64_model, windows):
+        with serve(model=float64_model, max_wait_ms=1.0, inference_dtype="float32") as server:
+            prediction = server.predict(windows[0])
+            stats = server.compile_stats()
+        assert prediction.probabilities.dtype == np.float32
+        assert stats is not None and stats.replays > 0
+
+    def test_server_uses_registry_compiled_wrapper(self, tmp_path, serving_model, windows):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(serving_model, "hhar", "activity")
+        loaded, _ = registry.load("hhar", "activity", compiled=True)
+        with serve(model=loaded, max_wait_ms=1.0, inference_dtype=None) as server:
+            prediction = server.predict(windows[0])
+            stats = server.compile_stats()
+        assert stats is loaded.stats  # shared wrapper, not a fresh one
+        assert 0 <= prediction.label < NUM_CLASSES
+
+    def test_bucket_sizes_are_powers_of_two_up_to_max(self):
+        config = ServerConfig(max_batch_size=96)
+        assert config.compile_bucket_sizes() == [1, 2, 4, 8, 16, 32, 64, 96]
+        assert ServerConfig(max_batch_size=8).compile_bucket_sizes() == [1, 2, 4, 8]
