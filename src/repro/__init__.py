@@ -17,6 +17,9 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
   streaming ingestion and telemetry on the ``no_grad`` fast path;
 * :mod:`repro.parallel` — data-parallel training: worker replicas, gradient
   all-reduce over shared memory, and the prefetching batch pipeline;
+* :mod:`repro.obs` — observability: process-wide metrics registry
+  (Prometheus text + JSON snapshot exporters), sampled request tracing with
+  Chrome trace-event export, and opt-in JIT/training profiling hooks;
 * :mod:`repro.experiments` — resumable experiment orchestration: declarative
   grid specs, content-addressed stage caching, checkpoint/resume and the
   ``BENCH_*.json`` regression pipeline;
@@ -47,7 +50,7 @@ from .exceptions import (
     SearchError,
     TrainingError,
 )
-from .exceptions import ParallelError, ServingError
+from .exceptions import ObservabilityError, ParallelError, ServingError
 from .experiments import (
     BenchReport,
     ExperimentSpec,
@@ -58,6 +61,7 @@ from .experiments import (
     named_grid,
 )
 from .logging_utils import configure_logging, get_logger
+from .obs import MetricsRegistry, configure_tracing, get_registry, get_tracer
 from .parallel import DataParallelEngine, ParallelTrainer, PrefetchDataLoader
 from .rng import RNGRegistry, make_rng
 from .serving import InferenceServer, ModelRegistry, ServerConfig, serve
@@ -96,7 +100,12 @@ __all__ = [
     "DeploymentError",
     "ServingError",
     "ParallelError",
+    "ObservabilityError",
     "ParallelTrainer",
     "DataParallelEngine",
     "PrefetchDataLoader",
+    "MetricsRegistry",
+    "get_registry",
+    "get_tracer",
+    "configure_tracing",
 ]

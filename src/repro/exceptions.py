@@ -41,3 +41,7 @@ class ParallelError(ReproError):
 
 class TraceError(ReproError):
     """Raised when :mod:`repro.nn.jit` cannot trace a module's forward."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by :mod:`repro.obs` (metrics registry, tracer, profilers)."""

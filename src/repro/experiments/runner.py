@@ -43,6 +43,7 @@ from ..core.experiment import ExperimentRunner, build_method
 from ..evaluation.results import ExperimentRecord, ResultTable
 from ..exceptions import ConfigurationError
 from ..logging_utils import get_logger
+from ..obs.metrics import get_registry
 from .cache import StageCache, stage_key
 from .checkpoint import GridCheckpoint
 from .spec import STAGE_EMIT, STAGE_EVALUATE, STAGE_PRETRAIN, ExperimentSpec, StageDef, grid_id
@@ -380,9 +381,39 @@ class Runner:
                 )
             )
 
+        self._record_stage_metrics(results)
         if checkpoint is not None:
             checkpoint.mark_spec_done(spec.spec_id, [r.name for r in results])
         return results
+
+    @staticmethod
+    def _record_stage_metrics(results: List[StageResult]) -> None:
+        """Mirror one spec's stage outcomes into the metrics registry.
+
+        ``experiments_stages_total{kind,cached}`` counts hits versus misses
+        per stage kind; ``experiments_stage_seconds{kind}`` observes only
+        *executed* durations (a cache hit's recorded seconds describe some
+        earlier run's hardware, not this one).
+        """
+        registry = get_registry()
+        totals = registry.counter(
+            "experiments_stages_total",
+            "Experiment stages processed, by kind and cache outcome",
+            labels=("kind", "cached"),
+        )
+        seconds = registry.histogram(
+            "experiments_stage_seconds",
+            "Executed (cache-missed) stage durations, by kind",
+            labels=("kind",),
+            buckets=(
+                0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                30.0, 60.0, 300.0, 1800.0, float("inf"),
+            ),
+        )
+        for result in results:
+            totals.labels(kind=result.kind, cached=str(result.cached).lower()).inc()
+            if not result.cached:
+                seconds.labels(kind=result.kind).observe(result.seconds)
 
     def _notify(self, stage: StageDef) -> None:
         if self.stage_callback is not None:

@@ -38,11 +38,13 @@ from concurrent serving workers never race on the same memory.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...obs.profiling import op_profiling_enabled, record_op_timings
 from ..conv import im2col
 from .tape import KIND_CONST, KIND_NODE, KIND_PARAM, Node, Tape, VIEW_OPS
 
@@ -576,6 +578,7 @@ class _Program:
                     arena[scratch_id] if scratch_id is not None else None,
                 )
             )
+        self.op_kinds: List[str] = [node.op for node in tape.nodes]
         self.input_slots = tape.input_slots
         self.output_slot = tape.output_slot
 
@@ -586,9 +589,30 @@ class _Program:
         for index, param in self.param_bindings:
             # Rebound every call: in-place weight updates stay visible.
             values[index] = param.data
+        if op_profiling_enabled():
+            return self._run_profiled()
         for step in self.steps:
             step()
         return values[self.output_slot]
+
+    def _run_profiled(self) -> np.ndarray:
+        """Timed replay: per-node perf_counter reads, aggregated by op kind.
+
+        The aggregation dict is local and flushed once per replay, so a
+        3k-node tape costs 3k timer reads but a handful of registry
+        observations — cheap enough to profile a live server, but still
+        strictly opt-in (:func:`repro.obs.enable_op_profiling`).
+        """
+        perf = time.perf_counter
+        totals: Dict[str, Tuple[int, float]] = {}
+        for op, step in zip(self.op_kinds, self.steps):
+            started = perf()
+            step()
+            elapsed = perf() - started
+            entry = totals.get(op)
+            totals[op] = (1, elapsed) if entry is None else (entry[0] + 1, entry[1] + elapsed)
+        record_op_timings(totals)
+        return self.values[self.output_slot]
 
 
 class TapeExecutor:

@@ -1,0 +1,62 @@
+"""Unified observability: metrics registry, request tracing, profiling.
+
+``repro.obs`` is the process-wide observability layer the rest of the stack
+records into (see ``DESIGN.md`` → "Observability"):
+
+* :mod:`repro.obs.metrics` — thread-safe ``Counter`` / ``Gauge`` /
+  ``Histogram`` families with label sets, bounded-memory streaming quantiles,
+  Prometheus text exposition and a JSON snapshot exporter;
+* :mod:`repro.obs.tracing` — sampled span tracing with cross-thread trace-id
+  propagation (one serving request = one trace across the batcher boundary)
+  and Chrome trace-event export;
+* :mod:`repro.obs.profiling` — opt-in per-op JIT replay timing and the
+  training-step :class:`PhaseTimer`.
+
+The consumers: :mod:`repro.serving.telemetry` backs its collector with
+registry primitives, the micro-batcher and server emit request spans, the
+JIT executor flushes per-op timings, the trainers and the parallel engine
+time step phases, the parallel engine publishes worker liveness and the
+experiments runner publishes stage costs.  Everything is bounded-memory and
+near-free when the opt-in layers are off — the overhead budget is gated by
+``benchmarks/test_observability_overhead.py`` (instrumented serving
+throughput must stay ≥ 0.95× uninstrumented).
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    DEFAULT_RESERVOIR_SIZE,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .profiling import (
+    PhaseTimer,
+    enable_op_profiling,
+    enable_phase_timing,
+    op_profiling_enabled,
+    phase_timing_enabled,
+    record_op_timings,
+)
+from .tracing import SpanRecord, Tracer, configure_tracing, get_tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricFamily",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "DEFAULT_RESERVOIR_SIZE",
+    "get_registry",
+    "set_registry",
+    "Tracer",
+    "SpanRecord",
+    "get_tracer",
+    "configure_tracing",
+    "PhaseTimer",
+    "enable_op_profiling",
+    "enable_phase_timing",
+    "op_profiling_enabled",
+    "phase_timing_enabled",
+    "record_op_timings",
+]

@@ -1,0 +1,193 @@
+"""Opt-in profiling hooks: JIT per-op timing and training phase timers.
+
+Two profilers feed the metrics registry:
+
+* **Op profiling** (:func:`enable_op_profiling`) times every node of a JIT
+  tape replay and aggregates the durations *by op kind* before flushing one
+  batch of observations per replay into the registry
+  (``jit_op_seconds{op=...}`` histograms, ``jit_op_calls_total{op=...}``
+  counters).  Aggregation happens in a local dict so a 3k-node replay costs
+  3k timer reads, not 3k lock acquisitions.  The hook is a single
+  module-global boolean read on the replay hot path when disabled.
+
+* **Phase timing** (:class:`PhaseTimer`) splits a training step into its
+  phases — data / forward / backward / optimizer (plus all-reduce and
+  broadcast under the parallel engine) — and records per-phase durations
+  into ``training_phase_seconds{scope=...,phase=...}``.  A timer built while
+  phase timing is disabled hands out a shared no-op context manager, so the
+  instrumented loops cost two attribute reads per phase when off.
+
+Both are **off by default**: profiling at this granularity is for answering
+"where did the step go?", not for always-on production telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "PhaseTimer",
+    "enable_op_profiling",
+    "enable_phase_timing",
+    "op_profiling_enabled",
+    "phase_timing_enabled",
+    "record_op_timings",
+]
+
+#: Module-global fast-path flags.  Plain bool reads are atomic under the GIL;
+#: writes go through the enable_* functions below.
+_OP_PROFILING = False
+_PHASE_TIMING = False
+
+_state_lock = threading.Lock()
+
+#: Buckets tuned for single-op replay costs (seconds): ~µs to ~100 ms.
+OP_SECONDS_BUCKETS = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, float("inf"),
+)
+
+PHASE_SECONDS_BUCKETS = (
+    1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 30.0, float("inf"),
+)
+
+
+def enable_op_profiling(enabled: bool = True) -> bool:
+    """Turn per-op JIT replay timing on or off; returns the previous state."""
+    global _OP_PROFILING
+    with _state_lock:
+        previous, _OP_PROFILING = _OP_PROFILING, bool(enabled)
+    return previous
+
+
+def op_profiling_enabled() -> bool:
+    return _OP_PROFILING
+
+
+def enable_phase_timing(enabled: bool = True) -> bool:
+    """Turn training phase timing on or off; returns the previous state."""
+    global _PHASE_TIMING
+    with _state_lock:
+        previous, _PHASE_TIMING = _PHASE_TIMING, bool(enabled)
+    return previous
+
+
+def phase_timing_enabled() -> bool:
+    return _PHASE_TIMING
+
+
+def record_op_timings(
+    totals: Dict[str, Tuple[int, float]], registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Flush one replay's per-op-kind aggregates into the registry.
+
+    ``totals`` maps op kind to ``(calls, total_seconds)`` — the aggregation
+    the executor's profiled loop builds locally.  Each op kind contributes
+    one histogram observation (the summed seconds of that kind in this
+    replay) so histogram counts stay proportional to replays, not nodes.
+    """
+    registry = registry if registry is not None else get_registry()
+    seconds = registry.histogram(
+        "jit_op_seconds",
+        "Per-replay time spent in each tape op kind (seconds)",
+        labels=("op",),
+        buckets=OP_SECONDS_BUCKETS,
+    )
+    calls = registry.counter(
+        "jit_op_calls_total", "Tape nodes executed, by op kind", labels=("op",)
+    )
+    for op, (count, total) in totals.items():
+        calls.labels(op=op).inc(count)
+        seconds.labels(op=op).observe(total)
+
+
+class _NullPhase:
+    """Shared no-op context manager: the disabled phase-timer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    __slots__ = ("_timer", "_name", "_started")
+
+    def __init__(self, timer: "PhaseTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._timer._record(self._name, time.perf_counter() - self._started)
+        return False
+
+
+class PhaseTimer:
+    """Training-step phase timer feeding ``training_phase_seconds``.
+
+    The canonical phases are ``data`` / ``forward`` / ``backward`` /
+    ``optimizer`` for the single-process trainer; the parallel engine adds
+    ``workers`` (fused forward+backward on the replicas), ``allreduce`` and
+    ``broadcast``.  ``scope`` names the owning loop (``supervised``,
+    ``parallel``, …) so concurrent trainers publish distinct series.
+
+    When phase timing is globally disabled (the default) — or the timer is
+    constructed with ``enabled=False`` — :meth:`phase` returns a shared
+    no-op context manager and nothing is recorded.
+    """
+
+    def __init__(
+        self,
+        scope: str,
+        registry: Optional[MetricsRegistry] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.scope = scope
+        self.enabled = _PHASE_TIMING if enabled is None else bool(enabled)
+        self._lock = threading.Lock()
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._histogram = None
+        if self.enabled:
+            registry = registry if registry is not None else get_registry()
+            self._histogram = registry.histogram(
+                "training_phase_seconds",
+                "Per-phase training-step durations (seconds)",
+                labels=("scope", "phase"),
+                buckets=PHASE_SECONDS_BUCKETS,
+            )
+
+    def phase(self, name: str):
+        """Context manager timing one phase occurrence."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return _Phase(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
+            self._counts[name] = self._counts.get(name, 0) + 1
+        if self._histogram is not None:
+            self._histogram.labels(scope=self.scope, phase=name).observe(seconds)
+
+    def totals(self) -> Dict[str, float]:
+        """Cumulative seconds per phase for this timer instance."""
+        with self._lock:
+            return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

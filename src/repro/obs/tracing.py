@@ -1,0 +1,308 @@
+"""Request tracing: sampled spans with cross-thread propagation.
+
+One serving request crosses three threads — the caller's (submit), a
+micro-batcher worker's (queue wait, batch assembly, forward) and whichever
+thread resolves the future (response).  The tracer ties those fragments into
+one *trace*: the submitting side draws a trace id (:meth:`Tracer.sample`),
+the id travels with the queued request, and every side records finished
+spans against it with :meth:`Tracer.record`.  Spans land in a bounded ring
+buffer and export as Chrome trace-event JSON
+(:meth:`Tracer.export_chrome_trace`), loadable in ``chrome://tracing`` or
+Perfetto.
+
+Cost model
+----------
+Tracing is **off by default** (``sample_rate == 0``) and the disabled path
+allocates nothing: :meth:`sample` is one attribute check returning ``None``,
+every recording site is guarded by ``if trace_id is not None`` and
+:meth:`span` returns a shared no-op context-manager singleton.  When
+enabled, each root trace is sampled independently with probability
+``sample_rate``; unsampled requests take the exact disabled path.
+
+``REPRO_TRACE_SAMPLE`` (a float in ``[0, 1]``) configures the process-wide
+tracer at import, mirroring how ``REPRO_DTYPE`` selects the precision
+policy; :func:`configure_tracing` changes it at runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+from ..exceptions import ObservabilityError
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "configure_tracing",
+    "get_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (times are ``time.perf_counter`` seconds)."""
+
+    trace_id: str
+    name: str
+    started: float
+    finished: float
+    thread_id: int
+    thread_name: str
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return 1000.0 * (self.finished - self.started)
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "_trace_id", "_name", "_args", "_started")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, name: str, args) -> None:
+        self._tracer = tracer
+        self._trace_id = trace_id
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer.record(
+            self._trace_id, self._name, self._started, time.perf_counter(), args=self._args
+        )
+        return False
+
+
+class Tracer:
+    """Span collector with bounded storage and probabilistic root sampling."""
+
+    def __init__(self, sample_rate: float = 0.0, capacity: int = 4096) -> None:
+        self._lock = threading.Lock()
+        # Raw (trace_id, name, started, finished, thread_id, thread_name,
+        # args) tuples; SpanRecord materialisation is deferred to spans().
+        self._spans: Deque[tuple] = deque(maxlen=int(capacity))
+        # threading.current_thread() is a dict lookup plus object traversal
+        # per call — too slow for six records per request, and thread names
+        # never change here, so resolve each ident once.
+        self._thread_names: Dict[int, str] = {}
+        self._rng = random.Random()
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self.sample_rate = sample_rate  # property setter validates
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def sample_rate(self) -> float:
+        return self._sample_rate
+
+    @sample_rate.setter
+    def sample_rate(self, rate: float) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ObservabilityError(f"sample_rate must be in [0, 1], got {rate}")
+        self._sample_rate = rate
+
+    @property
+    def enabled(self) -> bool:
+        return self._sample_rate > 0.0
+
+    @property
+    def capacity(self) -> int:
+        return self._spans.maxlen or 0
+
+    def configure(
+        self, sample_rate: Optional[float] = None, capacity: Optional[int] = None
+    ) -> "Tracer":
+        if sample_rate is not None:
+            self.sample_rate = sample_rate
+        if capacity is not None:
+            if capacity < 1:
+                raise ObservabilityError("capacity must be >= 1")
+            with self._lock:
+                self._spans = deque(self._spans, maxlen=int(capacity))
+        return self
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def sample(self) -> Optional[str]:
+        """Draw a new trace id, or ``None`` when this root is unsampled.
+
+        ``None`` is the contract every instrumentation site relies on for
+        the zero-cost disabled path: propagate the ``None`` and skip every
+        :meth:`record` behind an ``is not None`` guard.
+        """
+        rate = self._sample_rate
+        if rate <= 0.0:
+            return None
+        if rate < 1.0 and self._rng.random() >= rate:
+            return None
+        return f"t{next(self._ids):08x}"
+
+    def record(
+        self,
+        trace_id: Optional[str],
+        name: str,
+        started: float,
+        finished: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Append one finished span (no-op when ``trace_id`` is ``None``).
+
+        The hot path stores a plain tuple: ``deque.append`` is atomic under
+        the GIL, so no lock is taken, and the :class:`SpanRecord` (plus the
+        defensive copy of ``args``) is materialised lazily by :meth:`spans`.
+        Callers therefore must not mutate ``args`` after recording.
+        """
+        if trace_id is None:
+            return
+        ident = threading.get_ident()
+        thread_name = self._thread_names.get(ident)
+        if thread_name is None:
+            thread_name = threading.current_thread().name
+            self._thread_names[ident] = thread_name
+        self._spans.append(
+            (trace_id, name, started, finished, ident, thread_name, args)
+        )
+
+    def span(self, name: str, trace_id: Optional[str], **args):
+        """Context manager recording ``name`` under ``trace_id`` on exit."""
+        if trace_id is None:
+            return _NULL_SPAN
+        return _Span(self, trace_id, name, args)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def spans(self, trace_id: Optional[str] = None) -> List[SpanRecord]:
+        with self._lock:
+            raw = list(self._spans)
+        records = [
+            SpanRecord(
+                trace_id=tid,
+                name=name,
+                started=started,
+                finished=finished,
+                thread_id=thread_id,
+                thread_name=thread_name,
+                args=dict(args) if args else {},
+            )
+            for (tid, name, started, finished, thread_id, thread_name, args) in raw
+            if trace_id is None or tid == trace_id
+        ]
+        return sorted(records, key=lambda span: span.started)
+
+    def trace_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def chrome_events(self, trace_id: Optional[str] = None) -> List[Dict[str, object]]:
+        """Spans as Chrome trace-event dicts (``ph: "X"`` complete events).
+
+        Timestamps are microseconds since the tracer's epoch; ``pid`` is the
+        process, ``tid`` the recording thread, and the trace id rides in
+        ``args`` so one export holding many traces stays filterable.
+        """
+        pid = os.getpid()
+        events: List[Dict[str, object]] = []
+        for span in self.spans(trace_id):
+            args = dict(span.args)
+            args["trace_id"] = span.trace_id
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": 1e6 * (span.started - self._epoch),
+                    "dur": 1e6 * (span.finished - span.started),
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": args,
+                }
+            )
+        return events
+
+    def export_chrome_trace(
+        self, path: Path, trace_id: Optional[str] = None
+    ) -> Path:
+        """Write Chrome trace-event JSON (Perfetto-loadable) to ``path``."""
+        path = Path(path)
+        payload = {
+            "traceEvents": self.chrome_events(trace_id),
+            "displayTimeUnit": "ms",
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(sample_rate={self._sample_rate}, spans={len(self._spans)}, "
+            f"capacity={self.capacity})"
+        )
+
+
+def _rate_from_env() -> float:
+    raw = os.environ.get("REPRO_TRACE_SAMPLE", "").strip()
+    if not raw:
+        return 0.0
+    try:
+        rate = float(raw)
+    except ValueError as exc:
+        raise ObservabilityError(
+            f"REPRO_TRACE_SAMPLE={raw!r} is not a float in [0, 1]"
+        ) from exc
+    if not 0.0 <= rate <= 1.0:
+        raise ObservabilityError(f"REPRO_TRACE_SAMPLE={raw!r} is not in [0, 1]")
+    return rate
+
+
+_default_tracer = Tracer(sample_rate=_rate_from_env())
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (off unless configured or ``REPRO_TRACE_SAMPLE``)."""
+    return _default_tracer
+
+
+def configure_tracing(
+    sample_rate: Optional[float] = None, capacity: Optional[int] = None
+) -> Tracer:
+    """Configure the process-wide tracer; returns it for chaining."""
+    return _default_tracer.configure(sample_rate=sample_rate, capacity=capacity)

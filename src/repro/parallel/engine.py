@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import copy
 import gc
+import itertools
 import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -58,9 +59,13 @@ from ..nn.utils import (
     vector_to_gradients,
     vector_to_parameters,
 )
+from ..obs.metrics import get_registry
+from ..obs.profiling import PhaseTimer
 from .allreduce import AllReduce, InProcessAllReduce, SharedMemoryAllReduce
 
 logger = get_logger(__name__)
+
+_engine_ids = itertools.count(1)
 
 StepResult = Union[Tensor, Tuple[Tensor, Dict[str, float]]]
 StepFn = Callable[[Module, Batch, np.random.Generator], StepResult]
@@ -232,6 +237,11 @@ class DataParallelEngine:
         self.seed = int(seed)
         self.timeout = timeout
         self.grad_size = parameters_to_vector(model.parameters()).size
+        # Opt-in phase attribution (workers / allreduce / optimizer /
+        # broadcast); a no-op unless repro.obs.enable_phase_timing() ran.
+        self.phase_timer = PhaseTimer("parallel")
+        self._engine_name = f"engine-{next(_engine_ids)}"
+        self._liveness = None
         self._step_index = 0
         self._pending_broadcast = False
         self._started = False
@@ -283,6 +293,19 @@ class DataParallelEngine:
                 child_conn.close()
                 self._processes.append(process)
                 self._connections.append(parent_conn)
+        self._liveness = get_registry().gauge(
+            "parallel_workers_alive",
+            "Live data-parallel workers, per engine",
+            labels=("backend", "engine"),
+        ).labels(backend=self.backend, engine=self._engine_name)
+        if self.backend == BACKEND_THREAD:
+            # Pool threads live for the engine's lifetime; no per-thread poll.
+            self._liveness.set(float(self.num_workers))
+        else:
+            processes = list(self._processes)
+            self._liveness.set_function(
+                lambda: float(sum(process.is_alive() for process in processes))
+            )
         self._started = True
         return self
 
@@ -323,6 +346,8 @@ class DataParallelEngine:
                     process.join(timeout=5.0)
             self._processes = []
             self._connections = []
+        if self._liveness is not None:
+            self._liveness.set(0.0)  # also drops the is_alive poll closure
         self._started = False
 
     # ------------------------------------------------------------------
@@ -349,48 +374,55 @@ class DataParallelEngine:
         step_index = self._step_index
         self._step_index += 1
 
-        if self.backend == BACKEND_THREAD:
-            futures = [
-                self._executor.submit(
-                    _local_step,
-                    self._replicas[rank],
-                    self.step_fn,
-                    chunks[rank],
-                    self._allreduce,
-                    rank,
-                    self.seed,
-                    step_index,
-                )
-                for rank in range(self.num_workers)
-            ]
-            try:
-                results = [future.result(timeout=self.timeout) for future in futures]
-            except FuturesTimeoutError:
-                self._hung = True
-                raise ParallelError(
-                    f"a thread worker did not finish within {self.timeout:.0f}s"
-                ) from None
-        else:
-            for rank, conn in enumerate(self._connections):
-                conn.send(("step", step_index, chunks[rank].windows, chunks[rank].labels))
-            results = []
-            for rank, conn in enumerate(self._connections):
-                if not conn.poll(self.timeout):
-                    # Break the barrier so workers already parked there exit
-                    # through the broken-barrier error path instead of being
-                    # SIGTERM-killed by close() after another full timeout.
-                    self._allreduce.abort()
-                    raise ParallelError(f"worker {rank} did not answer within {self.timeout:.0f}s")
-                status, payload = conn.recv()
-                if status != "ok":
-                    self._allreduce.abort()
-                    raise ParallelError(f"worker {rank} failed: {payload}")
-                results.append(payload)
+        # The fused forward+backward happens inside the workers, so phase
+        # attribution can only split the step at this engine's boundaries:
+        # `workers` (dispatch + replica compute + collect) and `allreduce`.
+        with self.phase_timer.phase("workers"):
+            if self.backend == BACKEND_THREAD:
+                futures = [
+                    self._executor.submit(
+                        _local_step,
+                        self._replicas[rank],
+                        self.step_fn,
+                        chunks[rank],
+                        self._allreduce,
+                        rank,
+                        self.seed,
+                        step_index,
+                    )
+                    for rank in range(self.num_workers)
+                ]
+                try:
+                    results = [future.result(timeout=self.timeout) for future in futures]
+                except FuturesTimeoutError:
+                    self._hung = True
+                    raise ParallelError(
+                        f"a thread worker did not finish within {self.timeout:.0f}s"
+                    ) from None
+            else:
+                for rank, conn in enumerate(self._connections):
+                    conn.send(("step", step_index, chunks[rank].windows, chunks[rank].labels))
+                results = []
+                for rank, conn in enumerate(self._connections):
+                    if not conn.poll(self.timeout):
+                        # Break the barrier so workers already parked there exit
+                        # through the broken-barrier error path instead of being
+                        # SIGTERM-killed by close() after another full timeout.
+                        self._allreduce.abort()
+                        raise ParallelError(
+                            f"worker {rank} did not answer within {self.timeout:.0f}s"
+                        )
+                    status, payload = conn.recv()
+                    if status != "ok":
+                        self._allreduce.abort()
+                        raise ParallelError(f"worker {rank} failed: {payload}")
+                    results.append(payload)
 
-        vector, total_weight = self._allreduce.reduce()
-        if total_weight <= 0:
-            raise ParallelError("all workers reported empty batches")
-        vector_to_gradients(vector, self.model.parameters())
+        with self.phase_timer.phase("allreduce"):
+            vector, total_weight = self._allreduce.reduce()
+            if total_weight <= 0:
+                raise ParallelError("all workers reported empty batches")
+            vector_to_gradients(vector, self.model.parameters())
         self._pending_broadcast = True
         mean_loss = sum(loss * weight for loss, weight, _ in results) / total_weight
         return mean_loss, _weighted_mean_aux(results)
@@ -409,11 +441,13 @@ class DataParallelEngine:
         optimizer must already hold the master model's parameters.
         """
         loss, aux = self.accumulate(batch)
-        if grad_clip > 0:
-            params = clip_parameters if clip_parameters is not None else self.model.parameters()
-            clip_grad_norm(params, grad_clip)
-        optimizer.step()
-        self.broadcast()
+        with self.phase_timer.phase("optimizer"):
+            if grad_clip > 0:
+                params = clip_parameters if clip_parameters is not None else self.model.parameters()
+                clip_grad_norm(params, grad_clip)
+            optimizer.step()
+        with self.phase_timer.phase("broadcast"):
+            self.broadcast()
         return loss, aux
 
     def broadcast(self) -> None:

@@ -59,6 +59,7 @@ class ParallelTrainer:
             )
         self.config = config
         self.last_run: Optional[ParallelRunStats] = None
+        self.phase_timer = None  # the engine's PhaseTimer, exposed by fit()
 
     def fit(
         self,
@@ -96,11 +97,21 @@ class ParallelTrainer:
             backend=cfg.parallel_backend,
             seed=cfg.seed,
         )
+        self.phase_timer = engine.phase_timer
+        _END = object()
         with engine:
             for epoch in range(cfg.epochs):
                 epoch_loss = 0.0
                 step_count = 0
-                for batch in batches:
+                iterator = iter(batches)
+                while True:
+                    # Explicit next() so loader/prefetch time lands in the
+                    # `data` phase of the engine's timer (a no-op unless
+                    # repro.obs.enable_phase_timing() ran).
+                    with engine.phase_timer.phase("data"):
+                        batch = next(iterator, _END)
+                    if batch is _END:
+                        break
                     loss, _ = engine.train_step(batch, optimizer, grad_clip=cfg.grad_clip)
                     epoch_loss += loss
                     step_count += 1

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..exceptions import ServingError
 from ..logging_utils import get_logger
+from ..obs.tracing import get_tracer
 
 logger = get_logger(__name__)
 
@@ -53,11 +54,19 @@ class MicroBatcherConfig:
 
 @dataclass
 class _PendingRequest:
-    """One queued window together with its reply future."""
+    """One queued window together with its reply future.
+
+    ``trace_id`` carries the request's sampled trace across the batcher
+    boundary: the submitting thread draws it, the worker thread records the
+    queue-wait / batch-assembly / forward spans against it.  ``None`` (the
+    overwhelmingly common case) means the request is untraced and every
+    recording site short-circuits.
+    """
 
     window: np.ndarray
     future: "Future[np.ndarray]"
     enqueued_at: float = field(default_factory=time.perf_counter)
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -111,7 +120,9 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, window: np.ndarray) -> "Future[np.ndarray]":
+    def submit(
+        self, window: np.ndarray, trace_id: Optional[str] = None
+    ) -> "Future[np.ndarray]":
         """Enqueue one window; the returned future resolves to its output row."""
         # Preserve the caller's floating precision: the server casts windows
         # to the served model's dtype before they reach the batcher, and a
@@ -123,7 +134,7 @@ class MicroBatcher:
             raise ServingError(
                 f"submit() expects a single (window_length, channels) window, got {window.shape}"
             )
-        request = _PendingRequest(window=window, future=Future())
+        request = _PendingRequest(window=window, future=Future(), trace_id=trace_id)
         with self._not_empty:
             if self._closed:
                 raise ServingError("cannot submit to a closed MicroBatcher")
@@ -196,10 +207,12 @@ class MicroBatcher:
             if batch is None:
                 return
             started = time.perf_counter()
+            forward_started = started
             try:
                 # Inside the try: mixed window shapes must fail the batch's
                 # futures, not kill the worker thread.
                 windows = np.stack([request.window for request in batch], axis=0)
+                forward_started = time.perf_counter()
                 outputs = np.asarray(self.handler(windows))
                 if outputs.shape[0] != len(batch):
                     raise ServingError(
@@ -214,6 +227,18 @@ class MicroBatcher:
             finished = time.perf_counter()
             for row, request in enumerate(batch):
                 request.future.set_result(outputs[row])
+            # One shared args dict per batch: the tracer never mutates args,
+            # so every sampled request's forward span can point at it.
+            forward_args = {"batch_size": len(batch)}
+            tracer = get_tracer()
+            for request in batch:
+                if request.trace_id is not None:
+                    tracer.record(request.trace_id, "queue.wait", request.enqueued_at, started)
+                    tracer.record(request.trace_id, "batch.assemble", started, forward_started)
+                    tracer.record(
+                        request.trace_id, "forward", forward_started, finished,
+                        args=forward_args,
+                    )
             record = BatchRecord(
                 batch_size=len(batch),
                 queue_depth_after=self.queue_depth,

@@ -25,6 +25,7 @@ from ..logging_utils import get_logger
 from ..models.composite import ClassificationModel, softmax_probabilities
 from ..nn.jit import CompiledModule, CompileStats
 from ..nn.tensor import DTypeLike, _validate_dtype
+from ..obs.tracing import get_tracer
 from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
 from .ingestion import IngestionConfig, StreamIngestor
 from .registry import ModelRegistry, ModelVersion
@@ -64,6 +65,13 @@ class ServerConfig:
     ``max_batch_size`` (partial batches pad up to the nearest bucket), and
     anything untraceable degrades to the eager no-grad path, so disabling
     compilation is only needed for debugging or A/B measurement.
+
+    ``telemetry`` controls whether the server records into its
+    :class:`~repro.serving.telemetry.TelemetryCollector` (and mirrors compile
+    stats into the metrics registry).  It exists for A/B measurement of the
+    instrumentation overhead itself — ``benchmarks/test_observability_overhead.py``
+    serves with it on and off and gates the ratio; production serving leaves
+    it on.  ``stats()`` still works when off, it just reports no traffic.
     """
 
     max_batch_size: int = 32
@@ -72,6 +80,7 @@ class ServerConfig:
     queue_capacity: int = 4096
     inference_dtype: Optional[Union[str, DTypeLike]] = "float32"
     compile: bool = True
+    telemetry: bool = True
     ingestion: IngestionConfig = field(default_factory=IngestionConfig)
 
     def compile_bucket_sizes(self) -> list:
@@ -164,13 +173,38 @@ class InferenceServer:
         # so a float64 window never promotes a float32 forward.
         self._compute_dtype = model.dtype
         self.telemetry = TelemetryCollector()
+        self._telemetry_enabled = bool(self.config.telemetry)
         self._batcher = MicroBatcher(
             handler=self._run_batch,
             config=self.config.batcher_config(),
-            on_batch=self._on_batch,
+            on_batch=self._on_batch if self._telemetry_enabled else None,
         )
+        if self._telemetry_enabled and self._compiled is not None:
+            self._register_compile_stat_gauges()
         if self.model_version is not None:
             logger.info("serving %s", self.model_version.name)
+
+    def _register_compile_stat_gauges(self) -> None:
+        """Mirror the compiled executor's counters into the metrics registry.
+
+        Callback gauges, not pushed values: ``CompileStats`` is already the
+        executor's source of truth, so the registry polls it at read time and
+        the serving hot path pays nothing.  The collector label keeps multiple
+        servers in one process distinct.
+        """
+        family = self.telemetry.registry.gauge(
+            "serving_compile_stat",
+            "Compiled-executor counters (traces/replays/fallbacks/...)",
+            labels=("collector", "stat"),
+        )
+        compiled = self._compiled
+        for stat in (
+            "traces", "replays", "fallbacks",
+            "padded_replays", "self_check_failures", "evictions",
+        ):
+            family.labels(collector=self.telemetry.name, stat=stat).set_function(
+                lambda stat=stat: float(getattr(compiled.stats, stat))
+            )
 
     # ------------------------------------------------------------------
     # Batched forward (worker threads)
@@ -199,7 +233,14 @@ class InferenceServer:
     # Request API
     # ------------------------------------------------------------------
     def submit(self, window: np.ndarray) -> "Future[Prediction]":
-        """Enqueue one preprocessed window; resolves to a :class:`Prediction`."""
+        """Enqueue one preprocessed window; resolves to a :class:`Prediction`.
+
+        When the process tracer samples this request, one trace follows it
+        end to end: ``submit`` (validation + enqueue, caller's thread),
+        ``queue.wait`` / ``batch.assemble`` / ``forward`` (batcher worker),
+        ``response`` (future resolution) — all under a root ``request`` span.
+        Unsampled requests carry ``trace_id=None`` and skip every recording.
+        """
         window = np.asarray(window, dtype=self._compute_dtype)
         expected = (
             self.model.backbone.config.window_length,
@@ -211,7 +252,10 @@ class InferenceServer:
                 f"(window_length, channels) = {expected}"
             )
         submitted = time.perf_counter()
-        inner = self._batcher.submit(window)
+        trace_id = get_tracer().sample()
+        inner = self._batcher.submit(window, trace_id=trace_id)
+        if trace_id is not None:
+            get_tracer().record(trace_id, "submit", submitted, time.perf_counter())
         result: "Future[Prediction]" = Future()
 
         def _resolve(done: "Future[np.ndarray]") -> None:
@@ -220,8 +264,10 @@ class InferenceServer:
                 result.set_exception(exc)
                 return
             probabilities = done.result()
-            latency_ms = 1000.0 * (time.perf_counter() - submitted)
-            self.telemetry.record_request(latency_ms)
+            resolved_at = time.perf_counter()
+            latency_ms = 1000.0 * (resolved_at - submitted)
+            if self._telemetry_enabled:
+                self.telemetry.record_request(latency_ms)
             result.set_result(
                 Prediction(
                     label=int(np.argmax(probabilities)),
@@ -229,6 +275,12 @@ class InferenceServer:
                     latency_ms=latency_ms,
                 )
             )
+            if trace_id is not None:
+                tracer = get_tracer()
+                finished = time.perf_counter()
+                tracer.record(trace_id, "response", resolved_at, finished)
+                # No args dict: the root span's own duration IS the latency.
+                tracer.record(trace_id, "request", submitted, finished)
 
         inner.add_done_callback(_resolve)
         return result
@@ -296,6 +348,7 @@ def serve(
     num_workers: int = 1,
     inference_dtype: Optional[Union[str, DTypeLike]] = "float32",
     compile: bool = True,
+    telemetry: bool = True,
     ingestion: Optional[IngestionConfig] = None,
 ) -> InferenceServer:
     """Build and start an :class:`InferenceServer` (the ``repro.serve`` entry point).
@@ -315,6 +368,7 @@ def serve(
         num_workers=num_workers,
         inference_dtype=inference_dtype,
         compile=compile,
+        telemetry=telemetry,
     )
     if ingestion is not None:
         config.ingestion = ingestion

@@ -7,14 +7,28 @@ cross-checked against the analytic latency model of
 per-window compute latency from FLOPs, so observed serving latency should
 track the prediction up to queueing/batching overhead.  A large divergence is
 a regression signal for either the model or the server.
+
+Since the :mod:`repro.obs` layer landed, the collector is backed by the
+process-wide metrics registry: every recording feeds bounded
+:class:`~repro.obs.metrics.HistogramChild` / counter / gauge series labelled
+``{collector="<name>"}``, so the same numbers surface through the Prometheus
+and JSON exporters that the rest of the stack uses.  Memory is **bounded**
+regardless of traffic — histograms keep fixed bucket counts plus a
+fixed-capacity quantile reservoir, so collector state size is independent of
+request count.  Percentiles are exact while a series has at most
+``reservoir_size`` observations (the reservoir still holds every sample) and
+are uniform-subsample estimates beyond, with the usual order-statistic
+sampling error of ~``1/sqrt(reservoir_size)`` of the local density scale.
+Counts, sums, means, and maxima stay exact at any volume.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -22,8 +36,24 @@ from ..deployment.devices import PhoneSpec
 from ..deployment.latency import model_latency
 from ..exceptions import ServingError
 from ..nn.module import Module
+from ..obs.metrics import MetricsRegistry, get_registry
 
 DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+#: Reservoir capacity of each telemetry histogram: percentile estimates are
+#: exact up to this many recordings per series, sampled beyond (see module
+#: docstring), and the collector's memory stays constant either way.
+TELEMETRY_RESERVOIR_SIZE = 4096
+
+#: Bucket bounds (milliseconds) for the latency/wait/compute series.
+LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 5000.0, float("inf"),
+)
+
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, float("inf"))
+
+_collector_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -75,15 +105,58 @@ class LatencyCrossCheck:
 
 
 class TelemetryCollector:
-    """Thread-safe accumulator for request latencies and batch statistics."""
+    """Thread-safe, bounded-memory accumulator for request/batch statistics.
 
-    def __init__(self, percentiles: tuple = DEFAULT_PERCENTILES) -> None:
+    Each collector owns its own label set (``collector=<name>``) inside the
+    shared registry, so several servers in one process publish distinct
+    series while the snapshot API stays per-collector.
+    """
+
+    def __init__(
+        self,
+        percentiles: tuple = DEFAULT_PERCENTILES,
+        registry: Optional[MetricsRegistry] = None,
+        name: Optional[str] = None,
+    ) -> None:
         self.percentiles = tuple(percentiles)
+        self.registry = registry if registry is not None else get_registry()
+        self.name = name if name is not None else f"collector-{next(_collector_ids)}"
+        labels = {"collector": self.name}
+        quantiles = tuple(pct / 100.0 for pct in self.percentiles)
+        registry_ = self.registry
+        self._requests = registry_.counter(
+            "serving_requests_total", "Requests recorded by the serving telemetry",
+            labels=("collector",),
+        ).labels(**labels)
+        self._latency = registry_.histogram(
+            "serving_request_latency_ms", "End-to-end request latency (submit → result)",
+            labels=("collector",), buckets=LATENCY_BUCKETS_MS, quantiles=quantiles,
+            reservoir_size=TELEMETRY_RESERVOIR_SIZE,
+        ).labels(**labels)
+        self._batches = registry_.counter(
+            "serving_batches_total", "Micro-batches executed",
+            labels=("collector",),
+        ).labels(**labels)
+        self._batch_size = registry_.histogram(
+            "serving_batch_size", "Windows per executed micro-batch",
+            labels=("collector",), buckets=BATCH_SIZE_BUCKETS,
+            reservoir_size=TELEMETRY_RESERVOIR_SIZE,
+        ).labels(**labels)
+        self._queue_wait = registry_.histogram(
+            "serving_queue_wait_ms", "Oldest-request queue wait per batch",
+            labels=("collector",), buckets=LATENCY_BUCKETS_MS,
+            reservoir_size=TELEMETRY_RESERVOIR_SIZE,
+        ).labels(**labels)
+        self._compute = registry_.histogram(
+            "serving_batch_compute_ms", "Handler compute time per batch",
+            labels=("collector",), buckets=LATENCY_BUCKETS_MS,
+            reservoir_size=TELEMETRY_RESERVOIR_SIZE,
+        ).labels(**labels)
+        self._queue_depth = registry_.gauge(
+            "serving_max_queue_depth", "Deepest queue observed after any batch",
+            labels=("collector",),
+        ).labels(**labels)
         self._lock = threading.Lock()
-        self._latencies_ms: List[float] = []
-        self._batch_sizes: List[int] = []
-        self._queue_waits_ms: List[float] = []
-        self._compute_ms: List[float] = []
         self._max_queue_depth = 0
         # The throughput window opens at the *first recorded request*, not at
         # construction: a collector built long before traffic arrives (server
@@ -101,7 +174,8 @@ class TelemetryCollector:
         with self._lock:
             if self._first_request_at is None:
                 self._first_request_at = time.perf_counter()
-            self._latencies_ms.append(float(latency_ms))
+        self._requests.inc()
+        self._latency.observe(float(latency_ms))
 
     def record_batch(
         self,
@@ -111,19 +185,30 @@ class TelemetryCollector:
         compute_ms: float,
     ) -> None:
         """Record one executed batch (typically via the MicroBatcher hook)."""
+        if batch_size < 1:
+            raise ServingError(f"batch_size must be >= 1, got {batch_size}")
+        if queue_depth < 0:
+            raise ServingError(f"queue_depth must be non-negative, got {queue_depth}")
+        if wait_ms < 0:
+            raise ServingError(f"wait_ms must be non-negative, got {wait_ms}")
+        if compute_ms < 0:
+            raise ServingError(f"compute_ms must be non-negative, got {compute_ms}")
+        self._batches.inc()
+        self._batch_size.observe(int(batch_size))
+        self._queue_wait.observe(float(wait_ms))
+        self._compute.observe(float(compute_ms))
         with self._lock:
-            self._batch_sizes.append(int(batch_size))
-            self._queue_waits_ms.append(float(wait_ms))
-            self._compute_ms.append(float(compute_ms))
             if queue_depth > self._max_queue_depth:
                 self._max_queue_depth = int(queue_depth)
+                self._queue_depth.set(self._max_queue_depth)
 
     def reset(self) -> None:
+        for child in (
+            self._requests, self._latency, self._batches, self._batch_size,
+            self._queue_wait, self._compute, self._queue_depth,
+        ):
+            child.reset()
         with self._lock:
-            self._latencies_ms.clear()
-            self._batch_sizes.clear()
-            self._queue_waits_ms.clear()
-            self._compute_ms.clear()
             self._max_queue_depth = 0
             self._first_request_at = None
 
@@ -132,31 +217,42 @@ class TelemetryCollector:
     # ------------------------------------------------------------------
     def snapshot(self) -> TelemetrySnapshot:
         with self._lock:
-            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
-            batch_sizes = self._batch_sizes[:]
-            queue_waits = self._queue_waits_ms[:]
-            compute = self._compute_ms[:]
             max_depth = self._max_queue_depth
             if self._first_request_at is None:
                 elapsed = 0.0
             else:
                 elapsed = max(time.perf_counter() - self._first_request_at, 1e-9)
+        requests = self._latency.count
         latency_ms: Dict[str, float] = {}
-        if latencies.size:
+        if requests:
+            samples = np.asarray(self._latency.samples(), dtype=np.float64)
             for pct in self.percentiles:
-                latency_ms[f"p{pct:g}"] = float(np.percentile(latencies, pct))
-            latency_ms["mean"] = float(latencies.mean())
-            latency_ms["max"] = float(latencies.max())
+                latency_ms[f"p{pct:g}"] = float(np.percentile(samples, pct))
+            latency_ms["mean"] = self._latency.mean
+            latency_ms["max"] = self._latency.max
+        batches = self._batch_size.count
         return TelemetrySnapshot(
-            requests=int(latencies.size),
-            batches=len(batch_sizes),
+            requests=int(requests),
+            batches=int(batches),
             window_seconds=float(elapsed),
-            throughput_rps=float(latencies.size / elapsed) if elapsed > 0 else 0.0,
+            throughput_rps=float(requests / elapsed) if elapsed > 0 else 0.0,
             latency_ms=latency_ms,
-            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            mean_batch_size=self._batch_size.mean if batches else 0.0,
             max_queue_depth=max_depth,
-            mean_queue_wait_ms=float(np.mean(queue_waits)) if queue_waits else 0.0,
-            mean_compute_ms=float(np.mean(compute)) if compute else 0.0,
+            mean_queue_wait_ms=self._queue_wait.mean if batches else 0.0,
+            mean_compute_ms=self._compute.mean if batches else 0.0,
+        )
+
+    def state_size(self) -> int:
+        """Floats held across all series — constant once reservoirs fill.
+
+        The bound the observability benchmark asserts: recording twice the
+        traffic must not grow this number once every reservoir reached its
+        fixed capacity.
+        """
+        return sum(
+            histogram.state_size()
+            for histogram in (self._latency, self._batch_size, self._queue_wait, self._compute)
         )
 
 

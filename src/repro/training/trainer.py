@@ -18,10 +18,13 @@ from ..datasets.loaders import DataLoader
 from ..exceptions import ConfigurationError, TrainingError
 from ..logging_utils import get_logger
 from ..nn import Adam, CrossEntropyLoss, Module, clip_grad_norm
+from ..obs.profiling import PhaseTimer
 from .history import EpochRecord, TrainingHistory
 from .metrics import evaluate_predictions
 
 logger = get_logger(__name__)
+
+_END_OF_EPOCH = object()
 
 
 def validate_parallel_fields(config) -> None:
@@ -146,18 +149,32 @@ class SupervisedTrainer:
 
         history = TrainingHistory()
         early_stopping = EarlyStopping(cfg.early_stopping_patience)
+        # Phase attribution is opt-in (repro.obs.enable_phase_timing); when
+        # off, each `with phase(...)` is a shared no-op context manager.
+        self.phase_timer = PhaseTimer("supervised")
         model.train()
         for epoch in range(cfg.epochs):
             epoch_loss = 0.0
             batches = 0
-            for batch in loader:
-                logits = forward_fn(batch.windows)
-                loss = loss_fn(logits, batch.labels)
-                optimizer.zero_grad()
-                loss.backward()
-                if cfg.grad_clip > 0:
-                    clip_grad_norm(model.parameters(), cfg.grad_clip)
-                optimizer.step()
+            iterator = iter(loader)
+            while True:
+                # The explicit next() keeps loader time (including prefetch
+                # stalls) attributed to the `data` phase rather than smeared
+                # over the for-statement.
+                with self.phase_timer.phase("data"):
+                    batch = next(iterator, _END_OF_EPOCH)
+                if batch is _END_OF_EPOCH:
+                    break
+                with self.phase_timer.phase("forward"):
+                    logits = forward_fn(batch.windows)
+                    loss = loss_fn(logits, batch.labels)
+                with self.phase_timer.phase("backward"):
+                    optimizer.zero_grad()
+                    loss.backward()
+                with self.phase_timer.phase("optimizer"):
+                    if cfg.grad_clip > 0:
+                        clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    optimizer.step()
                 epoch_loss += float(loss.data)
                 batches += 1
             mean_loss = epoch_loss / max(batches, 1)

@@ -8,6 +8,44 @@ from repro.exceptions import ConfigurationError
 from repro.experiments import GridCheckpoint, RunnerConfig, grid_id
 from repro.experiments.checkpoint import STATUS_COMPLETE, STATUS_INTERRUPTED
 from repro.experiments.spec import STAGE_EVALUATE, STAGE_PRETRAIN
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture()
+def private_registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def test_stage_outcomes_mirrored_into_metrics_registry(
+    make_runner, tiny_specs, private_registry
+):
+    result = make_runner("metered").run(tiny_specs)
+
+    totals = private_registry.get("experiments_stages_total")
+    by_outcome = {"true": 0.0, "false": 0.0}
+    for key, child in totals.children():
+        by_outcome[dict(key)["cached"]] += child.value
+    assert by_outcome["false"] == result.cache_misses
+    assert by_outcome["true"] == result.cache_hits
+
+    # Durations are observed only for executed (cache-missed) stages.
+    seconds = private_registry.get("experiments_stage_seconds")
+    observed = sum(child.count for _, child in seconds.children())
+    assert observed == result.cache_misses
+
+    # A fully cached rerun adds hit counts but no new duration observations.
+    rerun = make_runner("metered").run(tiny_specs)
+    assert rerun.fully_cached
+    assert sum(child.count for _, child in seconds.children()) == observed
+    by_outcome_after = {"true": 0.0, "false": 0.0}
+    for key, child in totals.children():
+        by_outcome_after[dict(key)["cached"]] += child.value
+    assert by_outcome_after["true"] == result.cache_hits + rerun.cache_hits
 
 
 def test_rerunning_a_completed_grid_is_a_noop(make_runner, tiny_specs):

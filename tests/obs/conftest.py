@@ -1,0 +1,64 @@
+"""Shared fixtures for the observability test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticIMUConfig, generate_synthetic_dataset
+from repro.models.backbone import BackboneConfig, SagaBackbone
+from repro.models.composite import ClassificationModel
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+WINDOW_LENGTH = 32
+NUM_CHANNELS = 6
+NUM_CLASSES = 4
+
+
+def build_tiny_model() -> ClassificationModel:
+    """A tiny fixed-seed classification model in eval mode (serving-sized)."""
+    config = BackboneConfig(
+        input_channels=NUM_CHANNELS,
+        window_length=WINDOW_LENGTH,
+        hidden_dim=8,
+        num_layers=1,
+        num_heads=2,
+        intermediate_dim=16,
+        dropout=0.0,
+    )
+    rng = np.random.default_rng(42)
+    model = ClassificationModel(SagaBackbone(config, rng=rng), NUM_CLASSES, rng=rng)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def tiny_model() -> ClassificationModel:
+    return build_tiny_model()
+
+
+@pytest.fixture(scope="module")
+def tiny_splits():
+    dataset = generate_synthetic_dataset(
+        SyntheticIMUConfig(
+            num_users=3, activities=("walking", "sitting"), windows_per_combination=8,
+            window_length=32, seed=13,
+        )
+    )
+    return dataset.split(rng=np.random.default_rng(0), stratify_task="activity")
+
+
+@pytest.fixture()
+def private_registry():
+    """Swap the process-wide registry for a fresh one for the test's duration.
+
+    Subsystems that call ``get_registry()`` internally (executor profiling,
+    trainers, the serving telemetry default) record into this private registry,
+    so assertions see only the test's own traffic.
+    """
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

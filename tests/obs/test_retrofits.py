@@ -1,0 +1,107 @@
+"""Registry series emitted by the retrofitted surfaces (server, engine)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.parallel.engine import DataParallelEngine, fork_available
+from repro.serving import InferenceServer, ServerConfig
+
+WINDOW_LENGTH = 32
+NUM_CHANNELS = 6
+
+
+def _windows(n: int) -> list:
+    rng = np.random.default_rng(21)
+    return list(rng.standard_normal((n, WINDOW_LENGTH, NUM_CHANNELS)))
+
+
+class TestCompileStatGauges:
+    def test_compile_stats_mirrored_as_callback_gauges(self, tiny_model, private_registry):
+        with InferenceServer(model=tiny_model, config=ServerConfig(num_workers=1)) as server:
+            server.predict_many(_windows(6))
+            family = private_registry.get("serving_compile_stat")
+            assert family is not None
+            stats = {
+                dict(key)["stat"]: child.value for key, child in family.children()
+            }
+            assert set(stats) == {
+                "traces", "replays", "fallbacks",
+                "padded_replays", "self_check_failures", "evictions",
+            }
+            # Polled at read time, so the gauges track the live counters.
+            live = server.compile_stats()
+            assert stats["traces"] == live.traces
+            assert stats["replays"] == live.replays
+            assert stats["traces"] + stats["replays"] >= 1.0
+
+    def test_eager_server_registers_no_compile_gauges(self, tiny_model, private_registry):
+        with InferenceServer(
+            model=tiny_model, config=ServerConfig(num_workers=1, compile=False)
+        ) as server:
+            server.predict_many(_windows(2))
+        assert private_registry.get("serving_compile_stat") is None
+
+
+class TestTelemetryKnob:
+    def test_disabled_telemetry_records_no_traffic(self, tiny_model, private_registry):
+        config = ServerConfig(num_workers=1, telemetry=False)
+        with InferenceServer(model=tiny_model, config=config) as server:
+            predictions = server.predict_many(_windows(5))
+        assert len(predictions) == 5  # serving itself is unaffected
+        snapshot = server.stats()
+        assert snapshot.requests == 0
+        assert snapshot.batches == 0
+
+    def test_enabled_telemetry_mirrors_batch_records(self, tiny_model, private_registry):
+        with InferenceServer(model=tiny_model, config=ServerConfig(num_workers=1)) as server:
+            server.predict_many(_windows(5))
+            snapshot = server.stats()
+            name = server.telemetry.name
+        assert snapshot.requests == 5
+        assert snapshot.batches >= 1
+        requests = private_registry.get("serving_requests_total")
+        assert requests.labels(collector=name).value == 5
+        batches = private_registry.get("serving_batches_total")
+        assert batches.labels(collector=name).value == snapshot.batches
+
+
+class _NullStep:
+    """Picklable stand-in step (never called: the engine only starts/stops)."""
+
+    def __call__(self, replica, batch, rng):  # pragma: no cover - never runs
+        raise AssertionError("not expected to step")
+
+
+class TestWorkerLiveness:
+    def _gauge_for(self, registry, engine):
+        family = registry.get("parallel_workers_alive")
+        assert family is not None
+        return family.labels(backend=engine.backend, engine=engine._engine_name)
+
+    def test_thread_backend_reports_pool_size_then_zero(self, tiny_model, private_registry):
+        engine = DataParallelEngine(tiny_model, _NullStep(), num_workers=3, backend="thread")
+        with engine:
+            assert self._gauge_for(private_registry, engine).value == 3.0
+        assert self._gauge_for(private_registry, engine).value == 0.0
+
+    @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+    def test_process_backend_polls_is_alive(self, tiny_model, private_registry):
+        engine = DataParallelEngine(tiny_model, _NullStep(), num_workers=2, backend="process")
+        with engine:
+            gauge = self._gauge_for(private_registry, engine)
+            assert gauge.value == 2.0
+        assert self._gauge_for(private_registry, engine).value == 0.0
+
+    def test_two_engines_publish_distinct_series(self, tiny_model, private_registry):
+        first = DataParallelEngine(tiny_model, _NullStep(), num_workers=1, backend="thread")
+        second = DataParallelEngine(tiny_model, _NullStep(), num_workers=2, backend="thread")
+        with first, second:
+            assert self._gauge_for(private_registry, first).value == 1.0
+            assert self._gauge_for(private_registry, second).value == 2.0
+        for engine in (first, second):
+            value = self._gauge_for(private_registry, engine).value
+            assert value == 0.0 and not math.isnan(value)

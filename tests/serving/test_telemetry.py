@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ServingError
+from repro.obs.metrics import MetricsRegistry
 from repro.serving import TelemetryCollector
+from repro.serving.telemetry import TELEMETRY_RESERVOIR_SIZE
 
 
 class TestThroughputWindow:
@@ -71,3 +74,112 @@ class TestThroughputWindow:
         collector = TelemetryCollector()
         with pytest.raises(ServingError):
             collector.record_request(-1.0)
+
+
+class TestRecordBatchValidation:
+    """record_batch rejects malformed input like record_request always has."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0, "queue_depth": 0, "wait_ms": 1.0, "compute_ms": 1.0},
+            {"batch_size": -3, "queue_depth": 0, "wait_ms": 1.0, "compute_ms": 1.0},
+            {"batch_size": 4, "queue_depth": -1, "wait_ms": 1.0, "compute_ms": 1.0},
+            {"batch_size": 4, "queue_depth": 0, "wait_ms": -0.5, "compute_ms": 1.0},
+            {"batch_size": 4, "queue_depth": 0, "wait_ms": 1.0, "compute_ms": -2.0},
+        ],
+    )
+    def test_invalid_batch_rejected(self, kwargs):
+        collector = TelemetryCollector()
+        with pytest.raises(ServingError):
+            collector.record_batch(**kwargs)
+        assert collector.snapshot().batches == 0
+
+    def test_valid_batch_accepted(self):
+        collector = TelemetryCollector()
+        collector.record_batch(batch_size=1, queue_depth=0, wait_ms=0.0, compute_ms=0.0)
+        assert collector.snapshot().batches == 1
+
+
+class TestRegistryParity:
+    """The registry-backed collector reproduces the legacy list-based numbers.
+
+    The legacy collector appended every measurement to unbounded lists and ran
+    ``np.percentile`` over them at snapshot time.  The reservoir holds every
+    observation while traffic stays at or below its capacity, so for that
+    regime the percentile inputs are the same multiset and the snapshot must
+    match the legacy computation exactly (np.percentile is order-invariant);
+    means/maxima/counts are exact at any volume.
+    """
+
+    def test_snapshot_matches_legacy_reference_exactly(self):
+        rng = np.random.default_rng(11)
+        latencies = rng.exponential(5.0, size=1500)
+        batch_sizes = rng.integers(1, 33, size=200)
+        waits = rng.exponential(1.0, size=200)
+        computes = rng.exponential(2.0, size=200)
+
+        collector = TelemetryCollector()
+        for latency in latencies:
+            collector.record_request(latency)
+        for size, wait, compute in zip(batch_sizes, waits, computes):
+            collector.record_batch(
+                batch_size=int(size), queue_depth=3, wait_ms=wait, compute_ms=compute
+            )
+        snapshot = collector.snapshot()
+
+        assert snapshot.requests == len(latencies)
+        assert snapshot.batches == len(batch_sizes)
+        for pct in (50.0, 90.0, 99.0):
+            assert snapshot.latency_ms[f"p{pct:g}"] == float(
+                np.percentile(latencies, pct)
+            )
+        assert snapshot.latency_ms["max"] == float(np.max(latencies))
+        assert snapshot.latency_ms["mean"] == pytest.approx(
+            float(np.mean(latencies)), rel=1e-12
+        )
+        assert snapshot.mean_batch_size == pytest.approx(
+            float(np.mean(batch_sizes)), rel=1e-12
+        )
+        assert snapshot.mean_queue_wait_ms == pytest.approx(
+            float(np.mean(waits)), rel=1e-12
+        )
+        assert snapshot.mean_compute_ms == pytest.approx(
+            float(np.mean(computes)), rel=1e-12
+        )
+        assert snapshot.max_queue_depth == 3
+
+    def test_collectors_isolated_by_label(self):
+        registry = MetricsRegistry()
+        first = TelemetryCollector(registry=registry, name="a")
+        second = TelemetryCollector(registry=registry, name="b")
+        first.record_request(1.0)
+        first.record_request(3.0)
+        second.record_request(100.0)
+        assert first.snapshot().requests == 2
+        assert second.snapshot().requests == 1
+        assert second.snapshot().latency_ms["max"] == 100.0
+
+    def test_series_surface_through_registry_exporters(self):
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry=registry, name="exported")
+        collector.record_request(2.0)
+        collector.record_batch(batch_size=2, queue_depth=1, wait_ms=0.5, compute_ms=1.5)
+        text = registry.render_prometheus()
+        assert 'serving_requests_total{collector="exported"} 1.0' in text
+        assert 'serving_request_latency_ms_count{collector="exported"} 1' in text
+        snapshot = registry.snapshot()
+        assert "serving_batch_compute_ms" in snapshot["metrics"]
+
+
+class TestBoundedMemory:
+    def test_state_size_independent_of_request_count(self):
+        collector = TelemetryCollector()
+        for _ in range(TELEMETRY_RESERVOIR_SIZE + 100):
+            collector.record_request(1.0)
+        size_after_fill = collector.state_size()
+        for _ in range(TELEMETRY_RESERVOIR_SIZE):
+            collector.record_request(2.0)
+        assert collector.state_size() == size_after_fill
+        # Exact statistics keep counting past the reservoir bound.
+        assert collector.snapshot().requests == 2 * TELEMETRY_RESERVOIR_SIZE + 100
