@@ -1,13 +1,14 @@
 """Observability overhead benchmark: instrumentation must be ~free.
 
 The claim backing ``repro.obs`` (see DESIGN.md): a fully instrumented
-serving stack — registry-backed telemetry, compile-stat gauges, and request
+serving stack — registry-backed telemetry, compile-stat gauges, request
 tracing at ``sample_rate=1.0`` (every request produces a six-span trace
-across the batcher thread) — must sustain at least **0.95x** the throughput
-of the same server with telemetry disabled and tracing off.  Anything worse
-means the hot path is paying for observability, and the zero-cost disabled
-paths (``sample()`` returning ``None``, the shared null span/phase objects)
-have regressed into real work.
+across the batcher thread), and a live ``/metrics`` endpoint being scraped
+concurrently — must sustain at least **0.95x** the throughput of the same
+server with telemetry disabled and tracing off.  Anything worse means the
+hot path is paying for observability, and the zero-cost disabled paths
+(``sample()`` returning ``None``, the shared null span/phase objects) have
+regressed into real work.
 
 A second structural claim rides along: observability state is bounded.  The
 collector's reservoir histograms and the tracer's span deque hold a fixed
@@ -19,7 +20,9 @@ Both measurements land in one ``BENCH_observability_overhead.json`` report.
 
 from __future__ import annotations
 
+import threading
 import time
+import urllib.request
 from typing import Dict, Optional
 
 import numpy as np
@@ -27,6 +30,7 @@ import pytest
 
 from repro.models.backbone import SagaBackbone
 from repro.models.composite import ClassificationModel
+from repro.obs.exporter import ObsHTTPServer, parse_prometheus_text
 from repro.obs.tracing import get_tracer
 from repro.serving import serve
 from repro.serving.telemetry import TELEMETRY_RESERVOIR_SIZE
@@ -80,6 +84,41 @@ def full_sampling():
         tracer.clear()
 
 
+@pytest.fixture()
+def scraped_exporter():
+    """A live /metrics endpoint under continuous scrape for the whole test.
+
+    The instrumented leg must hold its budget while being *observed*, not
+    just while instrumented: a background thread scrapes ``/metrics`` every
+    ~20 ms for the exporter's lifetime (a rather aggressive Prometheus), and
+    the fixture keeps the last scrape so the test can assert a live scrape
+    round-trips through the strict text parser.
+    """
+    exporter = ObsHTTPServer(port=0).start()
+    stop = threading.Event()
+    scrapes: Dict[str, object] = {"count": 0, "last": ""}
+
+    def scrape_loop() -> None:
+        url = f"{exporter.url}/metrics"
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(url, timeout=5.0) as response:
+                    scrapes["last"] = response.read().decode("utf-8")
+                scrapes["count"] += 1
+            except OSError:  # server shutting down mid-scrape
+                break
+            stop.wait(0.02)
+
+    thread = threading.Thread(target=scrape_loop, name="bench-scraper", daemon=True)
+    thread.start()
+    try:
+        yield exporter, scrapes
+    finally:
+        stop.set()
+        thread.join(timeout=5.0)
+        exporter.stop()
+
+
 def _interleaved_best(paths, repeats: int = 9):
     """Best wall time per path, alternating paths each round.
 
@@ -100,9 +139,11 @@ def _interleaved_best(paths, repeats: int = 9):
 
 
 def test_instrumented_serving_within_5pct_of_uninstrumented(
-    benchmark, profile, bench_dir, model, request_windows, full_sampling
+    benchmark, profile, bench_dir, model, request_windows, full_sampling,
+    scraped_exporter,
 ):
-    """Telemetry + full tracing vs. the dark server, same model and traffic.
+    """Telemetry + full tracing + a scraped /metrics endpoint vs. the dark
+    server, same model and traffic.
 
     Both legs are steady-state: servers start (and the compiled executor
     traces its buckets) during warm-up, outside the timed region.  Op
@@ -110,6 +151,7 @@ def test_instrumented_serving_within_5pct_of_uninstrumented(
     mode, not part of the production observability surface.
     """
     tracer = full_sampling
+    exporter, scrapes = scraped_exporter
     windows = list(request_windows)
 
     with serve(
@@ -156,6 +198,7 @@ def test_instrumented_serving_within_5pct_of_uninstrumented(
 
     ratio = dark_seconds / instrumented_seconds  # instrumented/uninstrumented rps
     _metrics["instrumented_over_uninstrumented"] = ratio
+    _metrics["metrics_scrapes_during_measurement"] = float(scrapes["count"])
     _throughput["instrumented_requests_per_second"] = NUM_REQUESTS / instrumented_seconds
     _throughput["uninstrumented_requests_per_second"] = NUM_REQUESTS / dark_seconds
     _publish(bench_dir, profile)
@@ -164,6 +207,12 @@ def test_instrumented_serving_within_5pct_of_uninstrumented(
     assert snapshot.requests >= NUM_REQUESTS
     assert dark_snapshot.requests == 0
     assert tracer.spans(), "full sampling produced no spans"
+    # The endpoint was genuinely scraped during the measurement, and a live
+    # /metrics scrape round-trips through the strict Prometheus parser.
+    assert scrapes["count"] > 0, "scrape loop never completed a scrape"
+    final = urllib.request.urlopen(f"{exporter.url}/metrics", timeout=5.0).read()
+    parsed = parse_prometheus_text(final.decode("utf-8"))
+    assert parsed["samples"], "live /metrics scrape parsed to zero samples"
     assert ratio >= 0.95, (
         f"instrumented serving at {ratio:.3f}x uninstrumented throughput "
         f"({instrumented_seconds * 1000:.1f} ms vs {dark_seconds * 1000:.1f} ms "

@@ -19,7 +19,9 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
   all-reduce over shared memory, and the prefetching batch pipeline;
 * :mod:`repro.obs` — observability: process-wide metrics registry
   (Prometheus text + JSON snapshot exporters), sampled request tracing with
-  Chrome trace-event export, and opt-in JIT/training profiling hooks;
+  Chrome trace-event export, opt-in JIT/training profiling hooks, a
+  cross-process snapshot/merge wire format with fork-safe state, and a live
+  HTTP exposition endpoint (``/metrics``, ``/healthz``, ``/traces``);
 * :mod:`repro.experiments` — resumable experiment orchestration: declarative
   grid specs, content-addressed stage caching, checkpoint/resume and the
   ``BENCH_*.json`` regression pipeline;
@@ -61,7 +63,16 @@ from .experiments import (
     named_grid,
 )
 from .logging_utils import configure_logging, get_logger
-from .obs import MetricsRegistry, configure_tracing, get_registry, get_tracer
+from .obs import (
+    MetricsRegistry,
+    ObsHTTPServer,
+    configure_tracing,
+    get_registry,
+    get_tracer,
+    merge_snapshot,
+    parse_prometheus_text,
+    snapshot_registry,
+)
 from .parallel import DataParallelEngine, ParallelTrainer, PrefetchDataLoader
 from .rng import RNGRegistry, make_rng
 from .serving import InferenceServer, ModelRegistry, ServerConfig, serve
@@ -108,4 +119,8 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "configure_tracing",
+    "ObsHTTPServer",
+    "parse_prometheus_text",
+    "snapshot_registry",
+    "merge_snapshot",
 ]

@@ -9,19 +9,39 @@ records into (see ``DESIGN.md`` → "Observability"):
 * :mod:`repro.obs.tracing` — sampled span tracing with cross-thread trace-id
   propagation (one serving request = one trace across the batcher boundary)
   and Chrome trace-event export;
+* :mod:`repro.obs.aggregate` — the cross-*process* layer: a JSON-safe
+  registry snapshot/merge wire format (counters sum, gauges resolve per
+  label set, histograms merge exactly with weighted reservoir subsampling)
+  and the after-fork reset that gives forked children a fresh registry and
+  tracer (installed at import, below);
+* :mod:`repro.obs.exporter` — the wire surface: a stdlib-threaded HTTP
+  server exposing ``/metrics`` (Prometheus), ``/metrics.json``, ``/healthz``
+  and ``/traces``;
 * :mod:`repro.obs.profiling` — opt-in per-op JIT replay timing and the
   training-step :class:`PhaseTimer`.
 
 The consumers: :mod:`repro.serving.telemetry` backs its collector with
-registry primitives, the micro-batcher and server emit request spans, the
-JIT executor flushes per-op timings, the trainers and the parallel engine
-time step phases, the parallel engine publishes worker liveness and the
-experiments runner publishes stage costs.  Everything is bounded-memory and
-near-free when the opt-in layers are off — the overhead budget is gated by
-``benchmarks/test_observability_overhead.py`` (instrumented serving
-throughput must stay ≥ 0.95× uninstrumented).
+registry primitives, the micro-batcher and server emit request spans (and an
+:class:`~repro.serving.server.InferenceServer` exposes the registry over HTTP
+via ``ServerConfig(metrics_port=...)``), the JIT executor flushes per-op
+timings, the trainers and the parallel engine time step phases, the parallel
+engine's forked workers flush registry deltas and spans back to the parent at
+step boundaries, and the experiments runner publishes stage costs.
+Everything is bounded-memory and near-free when the opt-in layers are off —
+the overhead budget is gated by ``benchmarks/test_observability_overhead.py``
+(instrumented serving throughput must stay ≥ 0.95× uninstrumented, now with
+the HTTP exporter attached and scraped).
 """
 
+from .aggregate import (
+    WIRE_VERSION,
+    drain_worker_obs,
+    install_fork_handlers,
+    merge_snapshot,
+    merge_worker_obs,
+    snapshot_registry,
+)
+from .exporter import ObsHTTPServer, parse_prometheus_text
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_QUANTILES,
@@ -29,6 +49,7 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
     get_registry,
+    merge_reservoirs,
     set_registry,
 )
 from .profiling import (
@@ -39,7 +60,7 @@ from .profiling import (
     phase_timing_enabled,
     record_op_timings,
 )
-from .tracing import SpanRecord, Tracer, configure_tracing, get_tracer
+from .tracing import SpanRecord, Tracer, configure_tracing, get_tracer, set_tracer
 
 __all__ = [
     "MetricsRegistry",
@@ -49,9 +70,19 @@ __all__ = [
     "DEFAULT_RESERVOIR_SIZE",
     "get_registry",
     "set_registry",
+    "merge_reservoirs",
+    "WIRE_VERSION",
+    "snapshot_registry",
+    "merge_snapshot",
+    "drain_worker_obs",
+    "merge_worker_obs",
+    "install_fork_handlers",
+    "ObsHTTPServer",
+    "parse_prometheus_text",
     "Tracer",
     "SpanRecord",
     "get_tracer",
+    "set_tracer",
     "configure_tracing",
     "PhaseTimer",
     "enable_op_profiling",
@@ -60,3 +91,10 @@ __all__ = [
     "phase_timing_enabled",
     "record_op_timings",
 ]
+
+# Fork safety for the whole subsystem: from the moment repro.obs is imported,
+# any forked child (the parallel engine's process backend, a user's own
+# multiprocessing) starts with a fresh registry and tracer instead of a
+# frozen, possibly lock-poisoned shadow copy of the parent's.  No-op on
+# platforms without os.register_at_fork.
+install_fork_handlers()

@@ -1,0 +1,256 @@
+"""Cross-process observability: snapshot/merge wire format and fork safety.
+
+``repro.obs`` is process-local by construction — every registry child owns a
+lock and every tracer a deque, none of which survive a ``fork`` usefully.
+This module makes the subsystem span processes:
+
+* **Wire format** — :func:`snapshot_registry` serialises a whole
+  :class:`~repro.obs.metrics.MetricsRegistry` into a JSON-safe
+  ``RegistrySnapshot`` dict (family schema + per-label-set child state), and
+  :func:`merge_snapshot` folds such a snapshot into a live registry with
+  well-defined semantics: **counters sum**, **gauges resolve per label set**
+  (callbacks are resolved to values at snapshot time; the incoming value wins
+  for its label set), and **histograms merge running stats exactly** (count /
+  sum / min / max, elementwise bucket counts) while **reservoirs merge by
+  weighted subsampling** (:func:`~repro.obs.metrics.merge_reservoirs`), so
+  merged quantiles stay uniform samples of the union stream.  ``extra_labels``
+  lets the receiver re-label a source (``worker=<rank>``) so N workers land as
+  N disjoint series.  Schema collisions — same metric name, different
+  type / label names / buckets — raise
+  :class:`~repro.exceptions.ObservabilityError` rather than merging garbage.
+
+* **Fork safety** — :func:`install_fork_handlers` registers an
+  ``os.register_at_fork`` child handler that swaps in a fresh registry and
+  tracer (new locks, empty state) the moment a child exists.  Without it a
+  forked worker records into a frozen shadow copy of the parent's state:
+  nothing it writes is ever seen, and an inherited lock held by a parent
+  thread at fork time deadlocks the child.  With it, everything a child
+  records is a clean delta, flushable with :func:`drain_worker_obs` and
+  mergeable with :func:`merge_worker_obs` — the protocol
+  :class:`~repro.parallel.engine.DataParallelEngine` runs at step boundaries.
+
+The handler is installed on ``import repro.obs`` (POSIX only; ``fork`` and
+``register_at_fork`` do not exist elsewhere, and neither does the problem).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional
+
+from ..exceptions import ObservabilityError
+from . import metrics as _metrics
+from . import tracing as _tracing
+from .metrics import (
+    TYPE_COUNTER,
+    TYPE_GAUGE,
+    TYPE_HISTOGRAM,
+    MetricsRegistry,
+    get_registry,
+)
+from .tracing import Tracer, get_tracer
+
+__all__ = [
+    "WIRE_VERSION",
+    "drain_worker_obs",
+    "install_fork_handlers",
+    "merge_snapshot",
+    "merge_worker_obs",
+    "snapshot_registry",
+]
+
+#: Version stamp of the RegistrySnapshot wire format.
+WIRE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Bounds encoding: ±inf is not JSON-safe, so bucket bounds travel as the
+# Prometheus-style strings "+Inf" / "-Inf".
+# ----------------------------------------------------------------------
+def _encode_bound(bound: float) -> object:
+    if math.isinf(bound):
+        return "+Inf" if bound > 0 else "-Inf"
+    return float(bound)
+
+
+def _decode_bound(bound: object) -> float:
+    if bound == "+Inf":
+        return math.inf
+    if bound == "-Inf":
+        return -math.inf
+    return float(bound)
+
+
+# ----------------------------------------------------------------------
+# Snapshot (serialise)
+# ----------------------------------------------------------------------
+def snapshot_registry(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """Serialise ``registry`` (default: the process-wide one) to a JSON-safe dict.
+
+    The snapshot carries everything :func:`merge_snapshot` needs to rebuild
+    the families on the receiving side: name, type, description, label names,
+    the histogram construction schema (bucket bounds, quantiles, reservoir
+    size), and per-label-set mergeable state.  Gauge callbacks are resolved
+    to their current value — a callable cannot cross a process boundary.
+    """
+    registry = registry if registry is not None else get_registry()
+    families: List[Dict[str, object]] = []
+    for family in registry.families():
+        entry: Dict[str, object] = {
+            "name": family.name,
+            "type": family.type,
+            "description": family.description,
+            "labelnames": list(family.labelnames),
+        }
+        if family.type == TYPE_HISTOGRAM:
+            kwargs = family.child_kwargs
+            entry["buckets"] = [_encode_bound(b) for b in kwargs["buckets"]]
+            entry["quantiles"] = [float(q) for q in kwargs["quantiles"]]
+            entry["reservoir_size"] = int(kwargs["reservoir_size"])
+        entry["children"] = [
+            {"labels": [[name, value] for name, value in key], "state": child.dump()}
+            for key, child in sorted(family.children(), key=lambda item: item[0])
+        ]
+        families.append(entry)
+    return {"version": WIRE_VERSION, "pid": os.getpid(), "families": families}
+
+
+# ----------------------------------------------------------------------
+# Merge (deserialise + fold in)
+# ----------------------------------------------------------------------
+def _register_for_merge(registry: MetricsRegistry, entry: Dict[str, object], labelnames):
+    """Get-or-create the target family for one snapshot entry.
+
+    Reuses the registry's own schema check: a name already registered with a
+    different type or label set raises ``ObservabilityError`` — that, not
+    silent widening, is the defined label-collision semantics.
+    """
+    name = entry["name"]
+    description = entry["description"]
+    if entry["type"] == TYPE_COUNTER:
+        return registry.counter(name, description, labels=labelnames)
+    if entry["type"] == TYPE_GAUGE:
+        return registry.gauge(name, description, labels=labelnames)
+    if entry["type"] == TYPE_HISTOGRAM:
+        buckets = tuple(_decode_bound(b) for b in entry["buckets"])
+        family = registry.histogram(
+            name,
+            description,
+            labels=labelnames,
+            buckets=buckets,
+            quantiles=tuple(entry["quantiles"]),
+            reservoir_size=int(entry["reservoir_size"]),
+        )
+        existing = tuple(family.child_kwargs["buckets"])
+        if existing != buckets:
+            raise ObservabilityError(
+                f"histogram {name!r} is registered with buckets {existing}; "
+                f"cannot merge a snapshot with buckets {buckets}"
+            )
+        return family
+    raise ObservabilityError(f"unknown metric type {entry['type']!r} in snapshot")
+
+
+def merge_snapshot(
+    snapshot: Dict[str, object],
+    registry: Optional[MetricsRegistry] = None,
+    extra_labels: Optional[Dict[str, object]] = None,
+) -> None:
+    """Fold a :func:`snapshot_registry` payload into a live registry.
+
+    ``extra_labels`` are appended to every merged series' label set (the
+    parallel engine passes ``{"worker": rank}``), which is how N sources stay
+    N disjoint series instead of clobbering each other.  An extra label name
+    that a snapshot family already declares is a collision and raises.
+    """
+    if int(snapshot.get("version", -1)) != WIRE_VERSION:
+        raise ObservabilityError(
+            f"unsupported RegistrySnapshot version {snapshot.get('version')!r} "
+            f"(expected {WIRE_VERSION})"
+        )
+    registry = registry if registry is not None else get_registry()
+    extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+    for entry in snapshot["families"]:
+        source_names = tuple(entry["labelnames"])
+        overlap = set(source_names) & set(extra)
+        if overlap:
+            raise ObservabilityError(
+                f"metric {entry['name']!r} already has labels {sorted(overlap)}; "
+                "cannot re-label them at merge time"
+            )
+        family = _register_for_merge(registry, entry, source_names + tuple(extra))
+        for child_entry in entry["children"]:
+            labels = {name: value for name, value in child_entry["labels"]}
+            labels.update(extra)
+            family.labels(**labels).merge_state(child_entry["state"])
+
+
+# ----------------------------------------------------------------------
+# Worker flush protocol (the parallel engine's step-boundary exchange)
+# ----------------------------------------------------------------------
+def drain_worker_obs(
+    registry: Optional[MetricsRegistry] = None, tracer: Optional[Tracer] = None
+) -> Dict[str, object]:
+    """Snapshot-and-reset the process-local observability state.
+
+    The worker side of the flush: returns ``{"registry": <snapshot>,
+    "spans": [<8-field records>]}`` and leaves the registry zeroed and the
+    tracer drained, so the next flush is again a pure delta.  The payload is
+    JSON-safe whenever recorded span args are.
+    """
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    snapshot = snapshot_registry(registry)
+    registry.reset()
+    spans = [
+        [trace_id, name, started, finished, pid, thread_id, thread_name, args or {}]
+        for (trace_id, name, started, finished, pid, thread_id, thread_name, args)
+        in tracer.drain()
+    ]
+    return {"registry": snapshot, "spans": spans}
+
+
+def merge_worker_obs(
+    payload: Dict[str, object],
+    worker: Optional[object] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> None:
+    """The parent side of the flush: merge one worker's drained payload.
+
+    Metrics merge under ``worker=<worker>`` (when given); spans are ingested
+    verbatim, keeping the worker's pid so a Chrome export of the combined
+    trace shows the parent and each worker as separate process lanes.
+    """
+    extra = {"worker": str(worker)} if worker is not None else None
+    merge_snapshot(payload["registry"], registry=registry, extra_labels=extra)
+    (tracer if tracer is not None else get_tracer()).ingest(payload["spans"])
+
+
+# ----------------------------------------------------------------------
+# Fork safety
+# ----------------------------------------------------------------------
+_fork_handlers_installed = False
+
+
+def _reset_child_observability() -> None:  # pragma: no cover — runs post-fork
+    _metrics._fresh_registry_after_fork()
+    _tracing._fresh_tracer_after_fork()
+
+
+def install_fork_handlers() -> bool:
+    """Install the after-fork child reset for the whole obs subsystem.
+
+    Idempotent; returns ``True`` when the handler is (already) installed and
+    ``False`` on platforms without ``os.register_at_fork`` (no ``fork``, no
+    inherited-state problem).  Runs automatically on ``import repro.obs``.
+    """
+    global _fork_handlers_installed
+    if _fork_handlers_installed:
+        return True
+    if not hasattr(os, "register_at_fork"):
+        return False
+    os.register_at_fork(after_in_child=_reset_child_observability)
+    _fork_handlers_installed = True
+    return True

@@ -1,0 +1,305 @@
+"""Live observability exposition: a stdlib HTTP server over the registry.
+
+:class:`ObsHTTPServer` is the wire surface of ``repro.obs`` — the first half
+of the "network front door" (see ROADMAP).  It serves four endpoints off a
+:class:`http.server.ThreadingHTTPServer` running in a daemon thread:
+
+``/metrics``
+    Prometheus text exposition (format 0.0.4), rendered by the registry's
+    existing :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`.
+``/metrics.json``
+    The registry's JSON snapshot (same payload as ``OBS_metrics.json``).
+``/healthz``
+    Liveness plus pluggable health checks (:meth:`ObsHTTPServer.add_health_check`);
+    ``200`` when every check passes, ``503`` otherwise, JSON body either way.
+``/traces``
+    Chrome trace-event JSON of the tracer's current spans (Perfetto-loadable;
+    ``?trace_id=`` filters to one trace).
+
+The registry and tracer are resolved *per request* (late-bound to the
+process-wide instances unless pinned in the constructor), so the server keeps
+exporting the right state across ``set_registry`` swaps and post-fork resets.
+Construction with ``port=0`` binds an ephemeral port (tests); :attr:`port`
+reports the bound one.  :meth:`start`/:meth:`stop` are idempotent and the
+instance is a context manager.
+
+:func:`parse_prometheus_text` is the matching strict parser — the CI smoke
+test and the overhead benchmark round-trip a live ``/metrics`` scrape through
+it, so a formatting regression fails loudly instead of breaking a real
+Prometheus scraper in the field.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..exceptions import ObservabilityError
+from ..logging_utils import get_logger
+from .metrics import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "ObsHTTPServer",
+    "parse_prometheus_text",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class _ObsRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        owner: "ObsHTTPServer" = self.server.owner  # type: ignore[attr-defined]
+        split = urlsplit(self.path)
+        try:
+            status, content_type, body = owner._respond(split.path, parse_qs(split.query))
+        except Exception as exc:  # noqa: BLE001 — a broken endpoint must answer, not hang
+            logger.exception("obs endpoint %s failed", split.path)
+            status, content_type, body = (
+                500, JSON_CONTENT_TYPE,
+                json.dumps({"error": f"{type(exc).__name__}: {exc}"}).encode("utf-8"),
+            )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — http.server API
+        logger.debug("obs-http %s", format % args)
+
+
+class ObsHTTPServer:
+    """Threaded HTTP server exposing the metrics registry and tracer.
+
+    >>> server = ObsHTTPServer(port=0).start()   # ephemeral port
+    >>> urllib.request.urlopen(f"{server.url}/metrics").read()
+    >>> server.stop()
+
+    ``registry``/``tracer`` default to the process-wide instances *at request
+    time*; pass explicit ones to export a private registry (tests).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if not 0 <= int(port) <= 65535:
+            raise ObservabilityError(f"port must be in [0, 65535], got {port}")
+        self.host = host
+        self._requested_port = int(port)
+        self._pinned_registry = registry
+        self._pinned_tracer = tracer
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._checks_lock = threading.Lock()
+        self._health_checks: Dict[str, Callable[[], bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._pinned_registry if self._pinned_registry is not None else get_registry()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._pinned_tracer if self._pinned_tracer is not None else get_tracer()
+
+    def add_health_check(self, name: str, check: Callable[[], bool]) -> "ObsHTTPServer":
+        """Register a named liveness predicate polled by ``/healthz``.
+
+        A check that returns falsy *or raises* marks the service unhealthy —
+        a dead dependency must not take the health endpoint down with it.
+        """
+        if not callable(check):
+            raise ObservabilityError(f"health check {name!r} must be callable")
+        with self._checks_lock:
+            self._health_checks[str(name)] = check
+        return self
+
+    def health(self) -> Tuple[bool, Dict[str, bool]]:
+        """Evaluate every health check; ``(all_passed, per_check_results)``."""
+        with self._checks_lock:
+            checks = list(self._health_checks.items())
+        results: Dict[str, bool] = {}
+        for name, check in checks:
+            try:
+                results[name] = bool(check())
+            except Exception:  # noqa: BLE001 — an unhealthy check is a result, not a crash
+                results[name] = False
+        return all(results.values()), results
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ObsHTTPServer":
+        if self._httpd is not None:
+            return self
+        try:
+            httpd = ThreadingHTTPServer((self.host, self._requested_port), _ObsRequestHandler)
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind obs endpoint to {self.host}:{self._requested_port}: {exc}"
+            ) from exc
+        httpd.owner = self  # type: ignore[attr-defined]
+        httpd.daemon_threads = True
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            name="obs-http", daemon=True,
+        )
+        self._thread.start()
+        logger.info("obs endpoint listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral assignment)."""
+        if self._httpd is not None:
+            return int(self._httpd.server_address[1])
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ObsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _respond(
+        self, path: str, query: Dict[str, List[str]]
+    ) -> Tuple[int, str, bytes]:
+        if path == "/metrics":
+            return 200, PROMETHEUS_CONTENT_TYPE, self.registry.render_prometheus().encode("utf-8")
+        if path == "/metrics.json":
+            body = json.dumps(self.registry.snapshot(), sort_keys=True).encode("utf-8")
+            return 200, JSON_CONTENT_TYPE, body
+        if path == "/healthz":
+            healthy, checks = self.health()
+            body = json.dumps(
+                {"status": "ok" if healthy else "unhealthy", "checks": checks, "pid": os.getpid()}
+            ).encode("utf-8")
+            return (200 if healthy else 503), JSON_CONTENT_TYPE, body
+        if path == "/traces":
+            trace_id = query.get("trace_id", [None])[0]
+            payload = {
+                "traceEvents": self.tracer.chrome_events(trace_id),
+                "displayTimeUnit": "ms",
+            }
+            return 200, JSON_CONTENT_TYPE, json.dumps(payload).encode("utf-8")
+        body = json.dumps(
+            {"error": f"unknown path {path!r}",
+             "endpoints": ["/metrics", "/metrics.json", "/healthz", "/traces"]}
+        ).encode("utf-8")
+        return 404, JSON_CONTENT_TYPE, body
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format parser (the scrape round-trip check)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_label_value(value: str) -> str:
+    # One left-to-right pass: \\ -> \, \" -> ", \n -> newline.  Sequential
+    # str.replace calls would double-decode strings like '\\\\n'.
+    return _ESCAPE_RE.sub(lambda match: {"n": "\n"}.get(match.group(1), match.group(1)), value)
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    position = 0
+    while position < len(body):
+        match = _LABEL_RE.match(body, position)
+        if match is None:
+            raise ObservabilityError(f"malformed label body {body!r} at offset {position}")
+        labels[match.group("name")] = _unescape_label_value(match.group("value"))
+        position = match.end()
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, object]:
+    """Strictly parse Prometheus text exposition (format 0.0.4).
+
+    Returns ``{"types": {name: type}, "help": {name: text}, "samples":
+    [(name, labels_dict, value), ...]}`` and raises
+    :class:`~repro.exceptions.ObservabilityError` on any malformed line —
+    this is the acceptance check a live ``/metrics`` scrape must round-trip
+    through, so it refuses rather than guesses.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ObservabilityError(f"malformed TYPE line {line_number}: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ObservabilityError(f"malformed HELP line {line_number}: {line!r}")
+            helps[parts[2]] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(f"malformed sample line {line_number}: {line!r}")
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise ObservabilityError(
+                f"malformed sample value {raw_value!r} on line {line_number}"
+            ) from exc
+        labels = _parse_labels(match.group("labels") or "")
+        samples.append((match.group("name"), labels, value))
+    return {"types": types, "help": helps, "samples": samples}

@@ -51,6 +51,7 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "get_registry",
+    "merge_reservoirs",
     "set_registry",
 ]
 
@@ -118,6 +119,14 @@ class CounterChild:
     def export(self) -> Dict[str, object]:
         return {"value": self.value}
 
+    def dump(self) -> Dict[str, object]:
+        """Mergeable wire state (see :mod:`repro.obs.aggregate`)."""
+        return {"value": self.value}
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Counters merge by summation: add another child's dumped total."""
+        self.inc(float(state["value"]))
+
 
 class GaugeChild:
     """Point-in-time value for one label set.
@@ -170,6 +179,20 @@ class GaugeChild:
 
     def export(self) -> Dict[str, object]:
         return {"value": self.value}
+
+    def dump(self) -> Dict[str, object]:
+        """Mergeable wire state; callback gauges resolve to their value here
+        (a callable cannot cross a process boundary)."""
+        return {"value": self.value}
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Gauges resolve per label set: the incoming value wins.
+
+        Distinct sources are expected to merge under distinct label sets
+        (e.g. ``worker=<rank>``); merging two sources into *one* label set is
+        last-write-wins, matching gauge point-in-time semantics.
+        """
+        self.set(float(state["value"]))
 
 
 class HistogramChild:
@@ -298,6 +321,103 @@ class HistogramChild:
         payload["quantiles"] = {f"p{100 * q:g}": self.quantile(q) for q in self._quantiles}
         return payload
 
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def dump(self) -> Dict[str, object]:
+        """Mergeable wire state: exact running stats, per-bucket (non-
+        cumulative) counts aligned to :attr:`bounds`, and the reservoir.
+
+        ``min``/``max`` are ``None`` while empty (infinities are not
+        JSON-safe); bucket bounds travel separately with the family schema.
+        """
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "bucket_counts": list(self._bucket_counts),
+                "reservoir": list(self._reservoir),
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Merge another child's dumped state into this one.
+
+        Running stats and bucket counts merge *exactly* (sums of sums, elementwise
+        bucket addition, min/max of extrema); the reservoirs merge by weighted
+        subsampling (:func:`merge_reservoirs`), so the merged reservoir is a
+        uniform sample of the union stream and quantile estimates keep their
+        usual sampling error.  The caller is responsible for only merging
+        children with identical bucket bounds (the registry schema check in
+        :func:`repro.obs.aggregate.merge_snapshot`).
+        """
+        other_count = int(state["count"])
+        counts = [int(n) for n in state["bucket_counts"]]
+        if len(counts) != len(self._bounds):
+            raise ObservabilityError(
+                f"cannot merge a histogram with {len(counts)} buckets into one "
+                f"with {len(self._bounds)}"
+            )
+        if other_count == 0:
+            return
+        with self._lock:
+            self._reservoir = merge_reservoirs(
+                self._reservoir,
+                self._count,
+                [float(value) for value in state["reservoir"]],
+                other_count,
+                self._reservoir_size,
+                self._rng,
+            )
+            self._count += other_count
+            self._sum += float(state["sum"])
+            if state["min"] is not None:
+                self._min = min(self._min, float(state["min"]))
+            if state["max"] is not None:
+                self._max = max(self._max, float(state["max"]))
+            for index, n in enumerate(counts):
+                self._bucket_counts[index] += n
+
+
+def merge_reservoirs(
+    samples_a: Sequence[float],
+    count_a: int,
+    samples_b: Sequence[float],
+    count_b: int,
+    size: int,
+    rng: random.Random,
+) -> List[float]:
+    """Merge two uniform reservoirs into one uniform reservoir of ``size``.
+
+    ``samples_x`` is a uniform sample of a stream of ``count_x`` observations
+    (``count_x >= len(samples_x)``).  When everything fits, the merge is the
+    exact concatenation (quantiles stay exact in the sub-capacity regime).
+    Otherwise each output slot draws its source with probability proportional
+    to the *remaining represented mass* — each element of reservoir ``x``
+    stands for ``count_x / len(samples_x)`` stream observations — and removes
+    a uniform element from that source, which makes every merged element a
+    uniform draw from the union stream.
+    """
+    if len(samples_a) + len(samples_b) <= size:
+        return list(samples_a) + list(samples_b)
+    pool_a, pool_b = list(samples_a), list(samples_b)
+    weight_a = count_a / len(pool_a) if pool_a else 0.0
+    weight_b = count_b / len(pool_b) if pool_b else 0.0
+    merged: List[float] = []
+    while len(merged) < size and (pool_a or pool_b):
+        mass_a = weight_a * len(pool_a)
+        mass_b = weight_b * len(pool_b)
+        take_a = bool(pool_a) and (
+            not pool_b or rng.random() < mass_a / (mass_a + mass_b)
+        )
+        pool = pool_a if take_a else pool_b
+        index = rng.randrange(len(pool))
+        pool[index], pool[-1] = pool[-1], pool[index]
+        merged.append(pool.pop())
+    return merged
+
 
 _CHILD_TYPES = {
     TYPE_COUNTER: CounterChild,
@@ -374,6 +494,12 @@ class MetricFamily:
         return self._default_child().value
 
     # Introspection ----------------------------------------------------
+    @property
+    def child_kwargs(self) -> Dict[str, object]:
+        """Construction schema of this family's children (histogram buckets,
+        quantiles, reservoir size) — part of the snapshot wire format."""
+        return dict(self._child_kwargs)
+
     def children(self) -> List[Tuple[LabelValues, object]]:
         with self._lock:
             return list(self._children.items())
@@ -578,3 +704,21 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     with _default_lock:
         previous, _default_registry = _default_registry, registry
     return previous
+
+
+def _fresh_registry_after_fork() -> None:
+    """Replace the inherited registry in a freshly forked child.
+
+    Called from the ``os.register_at_fork`` handler installed by
+    :func:`repro.obs.aggregate.install_fork_handlers`.  The inherited
+    registry is a frozen shadow copy of the parent's — recording into it is
+    silently discarded at exit, and its per-child locks may have been held by
+    parent threads that do not exist in the child.  The child starts from an
+    empty registry with fresh locks, so everything it records is a clean
+    delta that can be flushed to and merged by the parent.  No locking here:
+    the child is single-threaded at this point, and taking the inherited
+    ``_default_lock`` could deadlock if a parent thread held it at fork time.
+    """
+    global _default_registry, _default_lock
+    _default_lock = threading.Lock()
+    _default_registry = MetricsRegistry()

@@ -35,7 +35,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
 
 from ..exceptions import ObservabilityError
 
@@ -44,17 +44,26 @@ __all__ = [
     "Tracer",
     "configure_tracing",
     "get_tracer",
+    "set_tracer",
 ]
 
 
 @dataclass(frozen=True)
 class SpanRecord:
-    """One finished span (times are ``time.perf_counter`` seconds)."""
+    """One finished span (times are ``time.perf_counter`` seconds).
+
+    ``pid`` is stamped at *record* time, not export time: a span recorded
+    before a ``fork`` must keep the recording process's pid even when the
+    deque it lives in is exported by (or flushed from) the child, and spans
+    ingested from a forked worker must keep the worker's pid so a merged
+    Chrome export shows one lane per process.
+    """
 
     trace_id: str
     name: str
     started: float
     finished: float
+    pid: int
     thread_id: int
     thread_name: str
     args: Dict[str, object] = field(default_factory=dict)
@@ -106,8 +115,9 @@ class Tracer:
 
     def __init__(self, sample_rate: float = 0.0, capacity: int = 4096) -> None:
         self._lock = threading.Lock()
-        # Raw (trace_id, name, started, finished, thread_id, thread_name,
-        # args) tuples; SpanRecord materialisation is deferred to spans().
+        # Raw (trace_id, name, started, finished, pid, thread_id,
+        # thread_name, args) tuples; SpanRecord materialisation is deferred
+        # to spans().
         self._spans: Deque[tuple] = deque(maxlen=int(capacity))
         # threading.current_thread() is a dict lookup plus object traversal
         # per call — too slow for six records per request, and thread names
@@ -149,7 +159,17 @@ class Tracer:
             if capacity < 1:
                 raise ObservabilityError("capacity must be >= 1")
             with self._lock:
-                self._spans = deque(self._spans, maxlen=int(capacity))
+                # record() appends lock-free, so a hot-path append can land in
+                # the old deque between the copy below and the swap.  Swap
+                # under the lock, then re-append anything that raced into the
+                # old deque after the copy (record tuples are unique objects,
+                # so identity is a safe membership test).
+                old = self._spans
+                copied = list(old)
+                self._spans = deque(copied, maxlen=int(capacity))
+                copied_ids = {id(record) for record in copied}
+                raced = [record for record in old if id(record) not in copied_ids]
+                self._spans.extend(raced)
         return self
 
     # ------------------------------------------------------------------
@@ -182,7 +202,10 @@ class Tracer:
         The hot path stores a plain tuple: ``deque.append`` is atomic under
         the GIL, so no lock is taken, and the :class:`SpanRecord` (plus the
         defensive copy of ``args``) is materialised lazily by :meth:`spans`.
-        Callers therefore must not mutate ``args`` after recording.
+        Callers therefore must not mutate ``args`` after recording.  The
+        recording process's pid is stamped into the tuple here — deferring it
+        to export time misattributes pre-fork spans to whichever process
+        happens to export them.
         """
         if trace_id is None:
             return
@@ -192,7 +215,7 @@ class Tracer:
             thread_name = threading.current_thread().name
             self._thread_names[ident] = thread_name
         self._spans.append(
-            (trace_id, name, started, finished, ident, thread_name, args)
+            (trace_id, name, started, finished, os.getpid(), ident, thread_name, args)
         )
 
     def span(self, name: str, trace_id: Optional[str], **args):
@@ -213,14 +236,54 @@ class Tracer:
                 name=name,
                 started=started,
                 finished=finished,
+                pid=pid,
                 thread_id=thread_id,
                 thread_name=thread_name,
                 args=dict(args) if args else {},
             )
-            for (tid, name, started, finished, thread_id, thread_name, args) in raw
+            for (tid, name, started, finished, pid, thread_id, thread_name, args) in raw
             if trace_id is None or tid == trace_id
         ]
         return sorted(records, key=lambda span: span.started)
+
+    def drain(self) -> List[tuple]:
+        """Atomically take (and clear) every raw span tuple.
+
+        The worker-side flush primitive: a forked worker drains its tracer at
+        step boundaries and ships the raw tuples to the parent, which
+        re-appends them with :meth:`ingest`.  Tuples are
+        ``(trace_id, name, started, finished, pid, thread_id, thread_name,
+        args)`` — all JSON-safe when ``args`` is.
+        """
+        with self._lock:
+            raw = list(self._spans)
+            self._spans.clear()
+        return raw
+
+    def ingest(self, records: Iterable[Sequence]) -> int:
+        """Append foreign span records (e.g. flushed from a forked worker).
+
+        Accepts the 8-field sequences produced by :meth:`drain` (tuples or
+        JSON-decoded lists).  The recorded pid/tid are preserved, so a merged
+        Chrome export keeps one lane per originating process; on POSIX,
+        ``time.perf_counter`` reads the machine-wide monotonic clock, so
+        parent and worker fragments share a timeline.  Returns the number of
+        records appended.
+        """
+        appended = 0
+        for record in records:
+            trace_id, name, started, finished, pid, thread_id, thread_name, args = record
+            if trace_id is None:
+                continue
+            self._spans.append(
+                (
+                    str(trace_id), str(name), float(started), float(finished),
+                    int(pid), int(thread_id), str(thread_name),
+                    dict(args) if args else None,
+                )
+            )
+            appended += 1
+        return appended
 
     def trace_ids(self) -> List[str]:
         seen: Dict[str, None] = {}
@@ -236,10 +299,11 @@ class Tracer:
         """Spans as Chrome trace-event dicts (``ph: "X"`` complete events).
 
         Timestamps are microseconds since the tracer's epoch; ``pid`` is the
-        process, ``tid`` the recording thread, and the trace id rides in
-        ``args`` so one export holding many traces stays filterable.
+        process that *recorded* the span (stamped at record time, so ingested
+        worker fragments keep their own lane), ``tid`` the recording thread,
+        and the trace id rides in ``args`` so one export holding many traces
+        stays filterable.
         """
-        pid = os.getpid()
         events: List[Dict[str, object]] = []
         for span in self.spans(trace_id):
             args = dict(span.args)
@@ -251,7 +315,7 @@ class Tracer:
                     "ph": "X",
                     "ts": 1e6 * (span.started - self._epoch),
                     "dur": 1e6 * (span.finished - span.started),
-                    "pid": pid,
+                    "pid": span.pid,
                     "tid": span.thread_id,
                     "args": args,
                 }
@@ -299,6 +363,33 @@ _default_tracer = Tracer(sample_rate=_rate_from_env())
 def get_tracer() -> Tracer:
     """The process-wide tracer (off unless configured or ``REPRO_TRACE_SAMPLE``)."""
     return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (tests); returns the previous one."""
+    global _default_tracer
+    if not isinstance(tracer, Tracer):
+        raise ObservabilityError("set_tracer expects a Tracer")
+    previous, _default_tracer = _default_tracer, tracer
+    return previous
+
+
+def _fresh_tracer_after_fork() -> None:
+    """Replace the inherited tracer in a freshly forked child.
+
+    Called from the ``os.register_at_fork`` handler installed by
+    :func:`repro.obs.aggregate.install_fork_handlers`.  The child keeps the
+    parent's configuration (sample rate, capacity) but gets a fresh deque and
+    lock: the inherited buffer is a frozen shadow copy of the parent's spans
+    — anything recorded into it would be silently discarded at exit, and its
+    lock may have been held by a parent thread that does not exist in the
+    child.  No locking here: the child is single-threaded at this point.
+    """
+    global _default_tracer
+    inherited = _default_tracer
+    _default_tracer = Tracer(
+        sample_rate=inherited._sample_rate, capacity=inherited.capacity or 4096
+    )
 
 
 def configure_tracing(

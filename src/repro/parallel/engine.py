@@ -42,6 +42,7 @@ import copy
 import gc
 import itertools
 import multiprocessing
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -59,8 +60,10 @@ from ..nn.utils import (
     vector_to_gradients,
     vector_to_parameters,
 )
-from ..obs.metrics import get_registry
-from ..obs.profiling import PhaseTimer
+from ..obs.aggregate import drain_worker_obs, merge_worker_obs
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.profiling import PHASE_SECONDS_BUCKETS, PhaseTimer
+from ..obs.tracing import get_tracer
 from .allreduce import AllReduce, InProcessAllReduce, SharedMemoryAllReduce
 
 logger = get_logger(__name__)
@@ -117,6 +120,51 @@ def _step_rng(seed: int, step_index: int, rank: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence([int(seed), int(step_index), int(rank)]))
 
 
+class _WorkerMetrics:
+    """Per-worker step counters and timers, identical series on both backends.
+
+    Thread workers record straight into the shared process registry with an
+    explicit ``worker=<rank>`` label.  Forked process workers record the same
+    metrics *unlabelled* into their own post-fork registry; the parent applies
+    ``worker=<rank>`` when merging the flushed snapshot
+    (:func:`repro.obs.aggregate.merge_worker_obs`), so after a run both
+    backends expose byte-for-byte the same family schemas and label sets —
+    the merge-correctness property ``tests/parallel/test_parallel_obs.py``
+    gates.
+    """
+
+    __slots__ = ("steps", "samples", "seconds")
+
+    def __init__(
+        self, rank: int, labelled: bool, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        registry = registry if registry is not None else get_registry()
+        labelnames = ("worker",) if labelled else ()
+        labels = {"worker": str(rank)} if labelled else {}
+        self.steps = registry.counter(
+            "parallel_worker_steps_total",
+            "Training steps executed by each data-parallel worker",
+            labels=labelnames,
+        ).labels(**labels)
+        self.samples = registry.counter(
+            "parallel_worker_samples_total",
+            "Windows consumed by each data-parallel worker",
+            labels=labelnames,
+        ).labels(**labels)
+        self.seconds = registry.histogram(
+            "parallel_worker_step_seconds",
+            "Per-worker fused forward+backward time (seconds)",
+            labels=labelnames,
+            buckets=PHASE_SECONDS_BUCKETS,
+        ).labels(**labels)
+
+    def record(self, samples: int, seconds: float) -> None:
+        self.steps.inc()
+        if samples:
+            self.samples.inc(samples)
+        self.seconds.observe(seconds)
+
+
 def _local_step(
     replica: Module,
     step_fn: StepFn,
@@ -125,20 +173,35 @@ def _local_step(
     rank: int,
     seed: int,
     step_index: int,
+    metrics: Optional[_WorkerMetrics] = None,
+    trace_id: Optional[str] = None,
 ) -> Tuple[float, float, Dict[str, float]]:
-    """One worker-side forward/backward; publishes the gradient, returns stats."""
+    """One worker-side forward/backward; publishes the gradient, returns stats.
+
+    ``trace_id`` is the parent's sampled trace for this step (``None`` when
+    unsampled): the worker records its ``forward``/``backward`` fragments
+    against it so one parallel step exports as one cross-process trace.
+    """
+    started = time.perf_counter()
+    tracer = get_tracer()
     if len(batch) == 0:
         allreduce.contribute(rank, np.zeros(allreduce.size, dtype=np.float64), 0.0)
+        if metrics is not None:
+            metrics.record(0, time.perf_counter() - started)
         return 0.0, 0.0, {}
     replica.zero_grad()
-    result = step_fn(replica, batch, _step_rng(seed, step_index, rank))
-    if isinstance(result, tuple):
-        loss, aux = result
-    else:
-        loss, aux = result, {}
-    loss.backward()
+    with tracer.span("forward", trace_id, rank=rank, step=step_index):
+        result = step_fn(replica, batch, _step_rng(seed, step_index, rank))
+        if isinstance(result, tuple):
+            loss, aux = result
+        else:
+            loss, aux = result, {}
+    with tracer.span("backward", trace_id, rank=rank, step=step_index):
+        loss.backward()
     weight = float(len(batch))
     allreduce.contribute(rank, gradients_to_vector(replica.parameters()), weight)
+    if metrics is not None:
+        metrics.record(len(batch), time.perf_counter() - started)
     return float(loss.data), weight, {key: float(value) for key, value in aux.items()}
 
 
@@ -170,6 +233,12 @@ def _process_worker_main(
     ``replica`` is the master model as inherited through ``fork`` — a private
     copy-on-write clone of the parent's parameters, which makes it exactly
     the replica the worker needs (in sync with the master at start time).
+
+    Observability: the fork handler installed by ``repro.obs`` already gave
+    this process a fresh registry and tracer, so everything recorded here is
+    a clean delta.  Each ``step`` reply carries the drained delta + spans
+    (``drain_worker_obs``); the parent merges them under ``worker=<rank>``.
+    A final flush rides the ``bye`` reply at shutdown.
     """
     # Park the inherited heap in the GC's permanent generation: cyclic
     # collections triggered by the allocation-heavy autograd steps would
@@ -178,6 +247,9 @@ def _process_worker_main(
     gc.freeze()
     params = replica.parameters()
     param_view = np.frombuffer(param_shm, dtype=np.float64)
+    # Unlabelled on purpose: the parent stamps worker=<rank> at merge time.
+    metrics = _WorkerMetrics(rank, labelled=False)
+    tracer = get_tracer()
     while True:
         try:
             message = conn.recv()
@@ -185,18 +257,30 @@ def _process_worker_main(
             return
         kind = message[0]
         if kind == "step":
-            _, step_index, windows, labels = message
+            _, step_index, windows, labels, trace_id = message
+            data_started = time.perf_counter()
             batch = Batch(windows=windows, labels=labels)
+            tracer.record(
+                trace_id, "data", data_started, time.perf_counter(),
+                args={"rank": rank, "step": step_index},
+            )
             try:
-                stats = _local_step(replica, step_fn, batch, allreduce, rank, seed, step_index)
+                stats = _local_step(
+                    replica, step_fn, batch, allreduce, rank, seed, step_index,
+                    metrics=metrics, trace_id=trace_id,
+                )
             except BaseException as exc:  # noqa: BLE001 — reported to the parent
                 conn.send(("error", f"{type(exc).__name__}: {exc}"))
                 return
-            conn.send(("ok", stats))
+            conn.send(("ok", stats, drain_worker_obs(tracer=tracer)))
             # Parent publishes updated parameters, then releases the barrier.
             allreduce.barrier_wait()
             vector_to_parameters(param_view, params)
         elif kind == "close":
+            try:
+                conn.send(("bye", drain_worker_obs(tracer=tracer)))
+            except (BrokenPipeError, OSError):
+                pass
             conn.close()
             return
 
@@ -246,9 +330,14 @@ class DataParallelEngine:
         self._pending_broadcast = False
         self._started = False
         self._hung = False
+        # Sampled trace for the step currently in flight: drawn in
+        # accumulate(), closed out (root "parallel.step" span) in broadcast().
+        self._step_trace: Optional[str] = None
+        self._step_started = 0.0
         # thread backend state
         self._executor: Optional[ThreadPoolExecutor] = None
         self._replicas: List[Module] = []
+        self._worker_metrics: List[_WorkerMetrics] = []
         # process backend state
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._connections: List = []
@@ -267,6 +356,12 @@ class DataParallelEngine:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_workers, thread_name_prefix="dp-worker"
             )
+            # Thread workers share the process registry, so they label their
+            # series worker=<rank> up front; process workers get the same
+            # label applied by merge_worker_obs instead.
+            self._worker_metrics = [
+                _WorkerMetrics(rank, labelled=True) for rank in range(self.num_workers)
+            ]
         else:
             ctx = multiprocessing.get_context("fork")
             self._allreduce = SharedMemoryAllReduce(
@@ -325,6 +420,7 @@ class DataParallelEngine:
                 self._executor.shutdown(wait=not self._hung, cancel_futures=self._hung)
                 self._executor = None
             self._replicas = []
+            self._worker_metrics = []
         else:
             if self._pending_broadcast:
                 # Workers are parked at the barrier; release them so they can
@@ -333,12 +429,24 @@ class DataParallelEngine:
                     self.broadcast()
                 except ParallelError:
                     pass
-            for conn in self._connections:
+            for rank, conn in enumerate(self._connections):
                 try:
                     conn.send(("close",))
-                    conn.close()
-                except (BrokenPipeError, OSError):
+                    # Workers answer "close" with a final obs flush — anything
+                    # recorded since the last step boundary (e.g. a data span
+                    # for a step that errored out).  Best effort: a worker
+                    # that died mid-run simply has nothing left to flush.
+                    if conn.poll(1.0):
+                        message = conn.recv()
+                        if message and message[0] == "bye":
+                            merge_worker_obs(message[1], worker=rank)
+                except (BrokenPipeError, EOFError, OSError):
                     pass
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
             for process in self._processes:
                 process.join(timeout=5.0)
                 if process.is_alive():
@@ -373,11 +481,22 @@ class DataParallelEngine:
         self._allreduce.reset()
         step_index = self._step_index
         self._step_index += 1
+        # One sampled trace per parallel step: the id travels to every worker
+        # (thread or forked process) so their forward/backward fragments and
+        # this engine's workers/allreduce/broadcast phases export as a single
+        # cross-process trace.  None (unsampled) keeps the zero-cost path.
+        tracer = get_tracer()
+        trace_id = tracer.sample()
+        self._step_trace = trace_id
+        self._step_started = time.perf_counter()
 
         # The fused forward+backward happens inside the workers, so phase
         # attribution can only split the step at this engine's boundaries:
         # `workers` (dispatch + replica compute + collect) and `allreduce`.
-        with self.phase_timer.phase("workers"):
+        obs_payloads: List[Tuple[int, Dict[str, object]]] = []
+        with self.phase_timer.phase("workers"), tracer.span(
+            "workers", trace_id, step=step_index, backend=self.backend
+        ):
             if self.backend == BACKEND_THREAD:
                 futures = [
                     self._executor.submit(
@@ -389,6 +508,8 @@ class DataParallelEngine:
                         rank,
                         self.seed,
                         step_index,
+                        self._worker_metrics[rank],
+                        trace_id,
                     )
                     for rank in range(self.num_workers)
                 ]
@@ -401,7 +522,9 @@ class DataParallelEngine:
                     ) from None
             else:
                 for rank, conn in enumerate(self._connections):
-                    conn.send(("step", step_index, chunks[rank].windows, chunks[rank].labels))
+                    conn.send(
+                        ("step", step_index, chunks[rank].windows, chunks[rank].labels, trace_id)
+                    )
                 results = []
                 for rank, conn in enumerate(self._connections):
                     if not conn.poll(self.timeout):
@@ -412,17 +535,25 @@ class DataParallelEngine:
                         raise ParallelError(
                             f"worker {rank} did not answer within {self.timeout:.0f}s"
                         )
-                    status, payload = conn.recv()
+                    message = conn.recv()
+                    status = message[0]
                     if status != "ok":
                         self._allreduce.abort()
-                        raise ParallelError(f"worker {rank} failed: {payload}")
-                    results.append(payload)
+                        raise ParallelError(f"worker {rank} failed: {message[1]}")
+                    results.append(message[1])
+                    obs_payloads.append((rank, message[2]))
 
-        with self.phase_timer.phase("allreduce"):
+        with self.phase_timer.phase("allreduce"), tracer.span(
+            "allreduce", trace_id, step=step_index
+        ):
             vector, total_weight = self._allreduce.reduce()
             if total_weight <= 0:
                 raise ParallelError("all workers reported empty batches")
             vector_to_gradients(vector, self.model.parameters())
+        # Fold each process worker's flushed registry delta + spans into this
+        # process under worker=<rank> (thread workers recorded directly).
+        for rank, payload in obs_payloads:
+            merge_worker_obs(payload, worker=rank)
         self._pending_broadcast = True
         mean_loss = sum(loss * weight for loss, weight, _ in results) / total_weight
         return mean_loss, _weighted_mean_aux(results)
@@ -454,11 +585,22 @@ class DataParallelEngine:
         """Publish the master parameters to every replica (post-optimizer sync)."""
         if not self._started:
             raise ParallelError("engine is not running")
+        tracer = get_tracer()
+        trace_id = self._step_trace
         vector = parameters_to_vector(self.model.parameters())
-        if self.backend == BACKEND_THREAD:
-            for replica in self._replicas:
-                vector_to_parameters(vector, replica.parameters())
-        else:
-            np.frombuffer(self._param_shm, dtype=np.float64)[:] = vector
-            self._allreduce.barrier_wait()
+        with tracer.span("broadcast", trace_id, backend=self.backend):
+            if self.backend == BACKEND_THREAD:
+                for replica in self._replicas:
+                    vector_to_parameters(vector, replica.parameters())
+            else:
+                np.frombuffer(self._param_shm, dtype=np.float64)[:] = vector
+                self._allreduce.barrier_wait()
         self._pending_broadcast = False
+        if trace_id is not None:
+            # Root span closing the whole logical step (accumulate → optimizer
+            # → broadcast); the per-phase and per-worker fragments nest inside.
+            tracer.record(
+                trace_id, "parallel.step", self._step_started, time.perf_counter(),
+                args={"step": self._step_index - 1, "workers": self.num_workers},
+            )
+            self._step_trace = None

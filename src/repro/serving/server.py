@@ -25,6 +25,7 @@ from ..logging_utils import get_logger
 from ..models.composite import ClassificationModel, softmax_probabilities
 from ..nn.jit import CompiledModule, CompileStats
 from ..nn.tensor import DTypeLike, _validate_dtype
+from ..obs.exporter import ObsHTTPServer
 from ..obs.tracing import get_tracer
 from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
 from .ingestion import IngestionConfig, StreamIngestor
@@ -72,6 +73,12 @@ class ServerConfig:
     instrumentation overhead itself — ``benchmarks/test_observability_overhead.py``
     serves with it on and off and gates the ratio; production serving leaves
     it on.  ``stats()`` still works when off, it just reports no traffic.
+
+    ``metrics_port`` attaches a live :class:`~repro.obs.exporter.ObsHTTPServer`
+    to the server's lifetime: ``/metrics``, ``/metrics.json``, ``/healthz``
+    (wired to the micro-batcher's liveness) and ``/traces`` on
+    ``127.0.0.1:<port>``.  ``0`` binds an ephemeral port (read it back from
+    ``server.obs_server.port``); ``None`` (the default) serves no endpoint.
     """
 
     max_batch_size: int = 32
@@ -81,6 +88,7 @@ class ServerConfig:
     inference_dtype: Optional[Union[str, DTypeLike]] = "float32"
     compile: bool = True
     telemetry: bool = True
+    metrics_port: Optional[int] = None
     ingestion: IngestionConfig = field(default_factory=IngestionConfig)
 
     def compile_bucket_sizes(self) -> list:
@@ -91,6 +99,10 @@ class ServerConfig:
         return power_of_two_buckets(self.max_batch_size)
 
     def __post_init__(self) -> None:
+        if self.metrics_port is not None and not 0 <= int(self.metrics_port) <= 65535:
+            raise ServingError(
+                f"metrics_port must be None or in [0, 65535], got {self.metrics_port}"
+            )
         if self.inference_dtype is not None:
             try:
                 # Same supported set as the tensor engine's precision policy —
@@ -181,6 +193,16 @@ class InferenceServer:
         )
         if self._telemetry_enabled and self._compiled is not None:
             self._register_compile_stat_gauges()
+        # The live exposition endpoint shares the server's lifetime: started
+        # here, stopped by close().  /healthz reflects the batcher's liveness,
+        # so a scrape after close() reports unhealthy rather than vanishing.
+        self.obs_server: Optional[ObsHTTPServer] = None
+        if self.config.metrics_port is not None:
+            self.obs_server = ObsHTTPServer(
+                registry=self.telemetry.registry, port=int(self.config.metrics_port)
+            )
+            self.obs_server.add_health_check("batcher", lambda: not self._batcher.closed)
+            self.obs_server.start()
         if self.model_version is not None:
             logger.info("serving %s", self.model_version.name)
 
@@ -328,6 +350,8 @@ class InferenceServer:
 
     def close(self) -> None:
         self._batcher.close()
+        if self.obs_server is not None:
+            self.obs_server.stop()
 
     def __enter__(self) -> "InferenceServer":
         return self
@@ -349,6 +373,7 @@ def serve(
     inference_dtype: Optional[Union[str, DTypeLike]] = "float32",
     compile: bool = True,
     telemetry: bool = True,
+    metrics_port: Optional[int] = None,
     ingestion: Optional[IngestionConfig] = None,
 ) -> InferenceServer:
     """Build and start an :class:`InferenceServer` (the ``repro.serve`` entry point).
@@ -369,6 +394,7 @@ def serve(
         inference_dtype=inference_dtype,
         compile=compile,
         telemetry=telemetry,
+        metrics_port=metrics_port,
     )
     if ingestion is not None:
         config.ingestion = ingestion

@@ -1,0 +1,293 @@
+"""Cross-process snapshot/merge semantics and fork safety (repro.obs.aggregate)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import (
+    WIRE_VERSION,
+    MetricsRegistry,
+    drain_worker_obs,
+    merge_reservoirs,
+    merge_snapshot,
+    snapshot_registry,
+)
+from repro.obs.aggregate import install_fork_handlers
+from repro.obs.tracing import Tracer
+from repro.parallel import fork_available
+
+BUCKETS = (0.1, 1.0, 10.0, float("inf"))
+
+
+def make_source(values=(0.5, 2.0)):
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests").inc(3.0)
+    registry.gauge("queue_depth", "depth").set(7.0)
+    hist = registry.histogram("latency_seconds", "latency", buckets=BUCKETS)
+    for value in values:
+        hist.observe(value)
+    return registry
+
+
+class TestWireFormat:
+    def test_snapshot_is_json_round_trippable(self):
+        snapshot = snapshot_registry(make_source())
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["version"] == WIRE_VERSION
+        names = {family["name"] for family in decoded["families"]}
+        assert names == {"requests_total", "queue_depth", "latency_seconds"}
+        # The +Inf bucket bound survives the JSON trip as a string marker.
+        hist = next(f for f in decoded["families"] if f["name"] == "latency_seconds")
+        assert hist["buckets"][-1] == "+Inf"
+
+    def test_empty_histogram_min_max_are_json_null(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "empty", buckets=BUCKETS)
+        registry.get("h").labels()  # instantiate the default child
+        snapshot = json.loads(json.dumps(snapshot_registry(registry)))
+        state = snapshot["families"][0]["children"][0]["state"]
+        assert state["count"] == 0
+        assert state["min"] is None and state["max"] is None
+
+    def test_gauge_callback_resolves_to_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("alive", "workers").set_function(lambda: 4.0)
+        snapshot = snapshot_registry(registry)
+        state = snapshot["families"][0]["children"][0]["state"]
+        assert state["value"] == 4.0
+
+    def test_version_mismatch_rejected(self):
+        snapshot = snapshot_registry(make_source())
+        snapshot["version"] = WIRE_VERSION + 1
+        with pytest.raises(ObservabilityError, match="version"):
+            merge_snapshot(snapshot, registry=MetricsRegistry())
+
+
+class TestMergeSemantics:
+    def test_counters_sum_across_delta_flushes(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        for round_increment in (2.0, 5.0):
+            source.counter("requests_total", "requests").inc(round_increment)
+            payload = drain_worker_obs(registry=source, tracer=Tracer())
+            merge_snapshot(payload["registry"], registry=target)
+            # drain reset the source: the next flush is a pure delta.
+            assert source.get("requests_total").labels().value == 0.0
+        assert target.get("requests_total").labels().value == 7.0
+
+    def test_gauges_resolve_last_write_per_label_set(self):
+        target = MetricsRegistry()
+        target.gauge("depth", "d", labels=("worker",)).labels(worker="0").set(1.0)
+        source = MetricsRegistry()
+        source.gauge("depth", "d", labels=("worker",)).labels(worker="0").set(9.0)
+        source.get("depth").labels(worker="1").set(3.0)
+        merge_snapshot(snapshot_registry(source), registry=target)
+        family = target.get("depth")
+        assert family.labels(worker="0").value == 9.0  # incoming value wins
+        assert family.labels(worker="1").value == 3.0
+
+    def test_histogram_running_stats_and_buckets_merge_exactly(self):
+        rng = np.random.default_rng(11)
+        stream = rng.lognormal(mean=0.0, sigma=1.0, size=300)
+        shards = np.array_split(stream, 3)
+
+        whole = MetricsRegistry()
+        whole_hist = whole.histogram("h", "whole", buckets=BUCKETS)
+        for value in stream:
+            whole_hist.observe(float(value))
+
+        target = MetricsRegistry()
+        for shard in shards:
+            source = MetricsRegistry()
+            hist = source.histogram("h", "shard", buckets=BUCKETS)
+            for value in shard:
+                hist.observe(float(value))
+            merge_snapshot(snapshot_registry(source), registry=target)
+
+        merged = target.get("h").labels()
+        reference = whole.get("h").labels()
+        assert merged.count == reference.count == 300
+        assert merged.sum == pytest.approx(reference.sum, rel=1e-12)
+        assert merged.min == reference.min
+        assert merged.max == reference.max
+        assert merged.dump()["bucket_counts"] == reference.dump()["bucket_counts"]
+
+    def test_merged_shard_reservoirs_track_whole_stream_quantiles(self):
+        rng = np.random.default_rng(23)
+        stream = rng.normal(loc=50.0, scale=10.0, size=6000)
+        shards = np.array_split(stream, 4)
+
+        target = MetricsRegistry()
+        for shard in shards:
+            source = MetricsRegistry()
+            hist = source.histogram("q", "shard", buckets=BUCKETS, reservoir_size=512)
+            for value in shard:
+                hist.observe(float(value))
+            merge_snapshot(snapshot_registry(source), registry=target)
+
+        merged = target.get("q").labels()
+        assert merged.count == len(stream)
+        for q in (0.5, 0.9):
+            exact = float(np.quantile(stream, q))
+            sampled = merged.quantile(q)
+            # 512-sample reservoir over a sigma=10 stream: generous tolerance.
+            assert abs(sampled - exact) < 2.0, (q, sampled, exact)
+
+    def test_extra_labels_keep_workers_disjoint(self):
+        target = MetricsRegistry()
+        for rank in range(2):
+            source = MetricsRegistry()
+            source.counter("steps_total", "steps").inc(float(rank + 1))
+            merge_snapshot(
+                snapshot_registry(source), registry=target,
+                extra_labels={"worker": rank},
+            )
+        family = target.get("steps_total")
+        assert family.labels(worker="0").value == 1.0
+        assert family.labels(worker="1").value == 2.0
+
+
+class TestCollisionSemantics:
+    def test_type_collision_raises(self):
+        target = MetricsRegistry()
+        target.gauge("metric", "a gauge")
+        source = MetricsRegistry()
+        source.counter("metric", "a counter").inc()
+        with pytest.raises(ObservabilityError):
+            merge_snapshot(snapshot_registry(source), registry=target)
+
+    def test_labelname_collision_raises(self):
+        target = MetricsRegistry()
+        target.counter("metric", "c", labels=("zone",))
+        source = MetricsRegistry()
+        source.counter("metric", "c").inc()
+        with pytest.raises(ObservabilityError):
+            merge_snapshot(snapshot_registry(source), registry=target)
+
+    def test_extra_label_overlapping_source_labels_raises(self):
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("metric", "c", labels=("worker",)).labels(worker="x").inc()
+        with pytest.raises(ObservabilityError, match="re-label"):
+            merge_snapshot(
+                snapshot_registry(source), registry=target, extra_labels={"worker": 0}
+            )
+
+    def test_histogram_bucket_mismatch_raises(self):
+        target = MetricsRegistry()
+        target.histogram("h", "x", buckets=(1.0, float("inf")))
+        source = MetricsRegistry()
+        source.histogram("h", "x", buckets=BUCKETS).observe(0.5)
+        with pytest.raises(ObservabilityError, match="buckets"):
+            merge_snapshot(snapshot_registry(source), registry=target)
+
+    def test_worker_label_collision_across_children(self):
+        # Two children that map onto the same (worker=0) series after
+        # re-labelling merge additively — they are the same series.
+        target = MetricsRegistry()
+        for _ in range(2):
+            source = MetricsRegistry()
+            source.counter("steps_total", "steps").inc(3.0)
+            merge_snapshot(
+                snapshot_registry(source), registry=target, extra_labels={"worker": 0}
+            )
+        assert target.get("steps_total").labels(worker="0").value == 6.0
+
+
+class TestReservoirMerge:
+    def test_small_union_is_exact(self):
+        rng = random.Random(0)
+        merged = merge_reservoirs([1.0, 2.0], 2, [3.0], 1, size=8, rng=rng)
+        assert sorted(merged) == [1.0, 2.0, 3.0]
+
+    def test_weighted_merge_tracks_source_mass(self):
+        rng = random.Random(1)
+        # Source A represents 9000 observations, B only 1000: draws should
+        # land ~90/10 even though both reservoirs have equal length.
+        a = [0.0] * 500
+        b = [1.0] * 500
+        merged = merge_reservoirs(a, 9000, b, 1000, size=500, rng=rng)
+        assert len(merged) == 500
+        fraction_b = sum(merged) / len(merged)
+        assert 0.04 < fraction_b < 0.2
+
+    def test_merge_result_bounded_by_size(self):
+        rng = random.Random(2)
+        merged = merge_reservoirs(list(range(100)), 100, list(range(100)), 100, size=64, rng=rng)
+        assert len(merged) == 64
+
+
+class TestWorkerFlushProtocol:
+    def test_drain_carries_spans_and_resets(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "c").inc()
+        tracer = Tracer(sample_rate=1.0)
+        trace_id = tracer.sample()
+        tracer.record(trace_id, "work", 0.0, 1.0, args={"rank": 0})
+        payload = drain_worker_obs(registry=registry, tracer=tracer)
+        assert json.loads(json.dumps(payload))  # JSON-safe end to end
+        assert len(payload["spans"]) == 1
+        assert tracer.spans() == []
+        assert registry.get("c").labels().value == 0.0
+
+
+@pytest.mark.skipif(not fork_available(), reason="no fork")
+class TestForkSafety:
+    def test_handlers_installed_and_idempotent(self):
+        assert install_fork_handlers() is True
+        assert install_fork_handlers() is True
+
+    def test_forked_child_starts_with_fresh_state(self):
+        # Record into the *process-wide* registry/tracer, fork, and verify the
+        # child sees empty state (the at-fork reset) while the parent's is
+        # untouched.
+        from repro.obs import configure_tracing, get_registry, get_tracer, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        tracer = get_tracer()
+        previous_rate = tracer.sample_rate
+        configure_tracing(sample_rate=1.0)
+        try:
+            registry.counter("parent_only", "parent").inc(5.0)
+            tracer.record(tracer.sample(), "parent-span", 0.0, 1.0)
+
+            ctx = multiprocessing.get_context("fork")
+            child_conn, parent_conn = ctx.Pipe()
+
+            def child_main(conn):
+                child_registry = get_registry()
+                child_tracer = get_tracer()
+                conn.send(
+                    {
+                        "families": [f.name for f in child_registry.families()],
+                        "spans": len(child_tracer.spans()),
+                        "registry_is_parent_object": child_registry is registry,
+                        "sample_rate": child_tracer.sample_rate,
+                    }
+                )
+                conn.close()
+
+            process = ctx.Process(target=child_main, args=(child_conn,))
+            process.start()
+            child_conn.close()
+            report = parent_conn.recv()
+            process.join(timeout=10.0)
+
+            assert report["families"] == []  # fresh registry, nothing inherited
+            assert report["spans"] == 0
+            assert report["registry_is_parent_object"] is False
+            assert report["sample_rate"] == 1.0  # config survives the reset
+            # And the parent kept everything.
+            assert registry.get("parent_only").labels().value == 5.0
+            assert len(tracer.spans()) == 1
+        finally:
+            configure_tracing(sample_rate=previous_rate)
+            tracer.clear()
+            set_registry(previous)

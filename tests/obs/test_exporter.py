@@ -1,0 +1,191 @@
+"""The /metrics exposition endpoint and its strict Prometheus-text parser."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import MetricsRegistry, ObsHTTPServer, parse_prometheus_text
+from repro.obs.exporter import PROMETHEUS_CONTENT_TYPE
+from repro.obs.tracing import Tracer
+from repro.serving import InferenceServer, ServerConfig
+
+WINDOW_LENGTH = 32
+NUM_CHANNELS = 6
+
+
+def fetch(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+@pytest.fixture()
+def exporter():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests").inc(3.0)
+    registry.histogram("latency_seconds", "latency").observe(0.25)
+    tracer = Tracer(sample_rate=1.0)
+    trace_id = tracer.sample()
+    tracer.record(trace_id, "work", 0.0, 1.0, args={"rank": 0})
+    server = ObsHTTPServer(registry=registry, tracer=tracer, port=0).start()
+    try:
+        yield server, registry, tracer, trace_id
+    finally:
+        server.stop()
+
+
+class TestEndpoints:
+    def test_ephemeral_port_resolves_and_metrics_parse(self, exporter):
+        server, registry, _, _ = exporter
+        assert server.port != 0
+        status, content_type, body = fetch(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_prometheus_text(body.decode("utf-8"))
+        assert parsed["types"]["requests_total"] == "counter"
+        by_name = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in parsed["samples"]}
+        assert by_name[("requests_total", ())] == 3.0
+        assert by_name[("latency_seconds_count", ())] == 1.0
+
+    def test_metrics_json_matches_registry_snapshot(self, exporter):
+        server, registry, _, _ = exporter
+        status, content_type, body = fetch(f"{server.url}/metrics.json")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert set(payload["metrics"]) == {"requests_total", "latency_seconds"}
+
+    def test_healthz_ok_when_no_checks(self, exporter):
+        server, _, _, _ = exporter
+        status, _, body = fetch(f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_healthz_503_on_failing_check(self, exporter):
+        server, _, _, _ = exporter
+        server.add_health_check("always_up", lambda: True)
+        server.add_health_check("broken", lambda: False)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server.url}/healthz")
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read())
+        assert payload["status"] == "unhealthy"
+        assert payload["checks"] == {"always_up": True, "broken": False}
+
+    def test_healthz_treats_raising_check_as_unhealthy(self, exporter):
+        server, _, _, _ = exporter
+
+        def explode():
+            raise RuntimeError("dependency gone")
+
+        server.add_health_check("dep", explode)
+        healthy, checks = server.health()
+        assert healthy is False
+        assert checks == {"dep": False}
+
+    def test_traces_endpoint_serves_chrome_events(self, exporter):
+        server, _, _, trace_id = exporter
+        status, _, body = fetch(f"{server.url}/traces")
+        assert status == 200
+        events = json.loads(body)["traceEvents"]
+        assert [event["name"] for event in events] == ["work"]
+        assert events[0]["args"]["trace_id"] == trace_id
+        # Filtering by an unknown id returns an empty (but valid) trace.
+        _, _, body = fetch(f"{server.url}/traces?trace_id=missing")
+        assert json.loads(body)["traceEvents"] == []
+
+    def test_unknown_path_is_404_with_directory(self, exporter):
+        server, _, _, _ = exporter
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+        assert "/metrics" in json.loads(excinfo.value.read())["endpoints"]
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        server = ObsHTTPServer(registry=MetricsRegistry(), port=0)
+        assert server.running is False
+        server.start()
+        server.start()  # second start is a no-op
+        assert server.running is True
+        server.stop()
+        server.stop()  # second stop is a no-op
+        assert server.running is False
+
+    def test_context_manager(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "c").inc()
+        with ObsHTTPServer(registry=registry, port=0) as server:
+            status, _, _ = fetch(f"{server.url}/metrics")
+            assert status == 200
+        assert server.running is False
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ObservabilityError):
+            ObsHTTPServer(port=70000)
+
+    def test_bind_conflict_raises_observability_error(self):
+        with ObsHTTPServer(registry=MetricsRegistry(), port=0) as first:
+            second = ObsHTTPServer(registry=MetricsRegistry(), port=first.port)
+            with pytest.raises(ObservabilityError, match="cannot bind"):
+                second.start()
+
+
+class TestServingIntegration:
+    def test_metrics_port_attaches_endpoint_to_server_lifetime(self, tiny_model):
+        config = ServerConfig(num_workers=1, metrics_port=0)
+        server = InferenceServer(model=tiny_model, config=config)
+        try:
+            assert server.obs_server is not None and server.obs_server.running
+            window = np.random.default_rng(3).standard_normal((WINDOW_LENGTH, NUM_CHANNELS))
+            server.predict(window)
+            status, _, body = fetch(f"{server.obs_server.url}/metrics")
+            assert status == 200
+            parsed = parse_prometheus_text(body.decode("utf-8"))
+            names = {name for name, _, _ in parsed["samples"]}
+            assert any(name.startswith("serving_requests") for name in names) or names
+            status, _, body = fetch(f"{server.obs_server.url}/healthz")
+            assert status == 200
+            assert json.loads(body)["checks"] == {"batcher": True}
+        finally:
+            server.close()
+        assert server.obs_server.running is False
+
+    def test_no_metrics_port_means_no_endpoint(self, tiny_model):
+        with InferenceServer(model=tiny_model, config=ServerConfig(num_workers=1)) as server:
+            assert server.obs_server is None
+
+
+class TestPrometheusParser:
+    def test_parses_escaped_label_values(self):
+        text = '# TYPE m counter\nm{path="a\\\\b",msg="say \\"hi\\"\\n"} 1\n'
+        parsed = parse_prometheus_text(text)
+        ((name, labels, value),) = parsed["samples"]
+        assert name == "m"
+        assert labels == {"path": "a\\b", "msg": 'say "hi"\n'}
+        assert value == 1.0
+
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ObservabilityError, match="malformed sample"):
+            parse_prometheus_text("not a metric line at all!")
+
+    def test_rejects_malformed_type(self):
+        with pytest.raises(ObservabilityError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE broken notatype\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ObservabilityError, match="malformed sample value"):
+            parse_prometheus_text("m abc\n")
+
+    def test_accepts_special_values(self):
+        parsed = parse_prometheus_text("m +Inf\nn NaN\n")
+        values = {name: value for name, _, value in parsed["samples"]}
+        assert values["m"] == float("inf")
+        assert values["n"] != values["n"]  # NaN

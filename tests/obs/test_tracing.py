@@ -103,6 +103,72 @@ class TestSpanRecording:
         assert set(tracer.trace_ids()) == {"a", "b"}
 
 
+class TestPidStamping:
+    def test_pid_is_stamped_at_record_time(self):
+        import os
+
+        tracer = Tracer(sample_rate=1.0)
+        tracer.record("t", "span", 0.0, 1.0)
+        (span,) = tracer.spans()
+        assert span.pid == os.getpid()
+
+    def test_ingest_preserves_foreign_pid_and_thread(self):
+        import os
+
+        tracer = Tracer(sample_rate=1.0)
+        foreign_pid = os.getpid() + 12345
+        appended = tracer.ingest(
+            [["t1", "worker-span", 0.5, 1.5, foreign_pid, 42, "dp-worker-0", {"rank": 0}]]
+        )
+        assert appended == 1
+        (span,) = tracer.spans()
+        assert span.pid == foreign_pid  # NOT overwritten with ours
+        assert span.thread_id == 42
+        assert span.thread_name == "dp-worker-0"
+        (event,) = tracer.chrome_events()
+        assert event["pid"] == foreign_pid
+
+    def test_ingest_skips_unsampled_records(self):
+        tracer = Tracer(sample_rate=1.0)
+        appended = tracer.ingest([[None, "x", 0.0, 1.0, 1, 1, "t", None]])
+        assert appended == 0
+        assert tracer.spans() == []
+
+    def test_drain_takes_and_clears(self):
+        tracer = Tracer(sample_rate=1.0)
+        tracer.record("t", "a", 0.0, 1.0)
+        raw = tracer.drain()
+        assert len(raw) == 1 and raw[0][0] == "t"
+        assert tracer.spans() == []
+
+
+class TestConfigureUnderConcurrentRecording:
+    def test_no_record_lost_across_capacity_swaps(self):
+        """configure() swaps the deque while record() appends lock-free; no
+        span recorded before configure() returns may be dropped."""
+        import threading
+
+        tracer = Tracer(sample_rate=1.0, capacity=100_000)
+        total = 4000
+        done = threading.Event()
+
+        def writer():
+            for index in range(total):
+                tracer.record(f"t{index}", "span", float(index), float(index) + 1.0)
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        # Hammer capacity swaps (far above the record count, so nothing is
+        # ever evicted for capacity reasons) while the writer runs.
+        while not done.is_set():
+            tracer.configure(capacity=100_000)
+        thread.join()
+        tracer.configure(capacity=100_000)
+
+        assert len(tracer.spans()) == total
+
+
 class TestChromeExport:
     def test_export_is_perfetto_loadable_json(self, tmp_path):
         tracer = Tracer(sample_rate=1.0)

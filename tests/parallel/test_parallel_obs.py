@@ -1,0 +1,183 @@
+"""Cross-process observability through the data-parallel engine.
+
+The acceptance gate of the aggregation layer: an N=2 process-backend run must
+expose exactly the same merged metric series (counter totals, histogram
+counts, label sets) as the equivalent thread-backend run, and one sampled
+parallel step must export as one trace whose fragments span the parent and
+every forked worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import Batch
+from repro.nn import SGD, CrossEntropyLoss, Flatten, Linear, Sequential
+from repro.obs import MetricsRegistry, get_tracer, set_registry, snapshot_registry
+from repro.obs.tracing import configure_tracing
+from repro.parallel import DataParallelEngine, fork_available
+
+FEATURES = (3, 4)  # (window, channels) -> 12 flat features
+NUM_CLASSES = 4
+BACKENDS = [
+    "thread",
+    pytest.param("process", marks=pytest.mark.skipif(not fork_available(), reason="no fork")),
+]
+
+loss_fn = CrossEntropyLoss()
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Flatten(), Linear(12, NUM_CLASSES, rng=rng))
+
+
+def step_fn(model, batch, rng):
+    return loss_fn(model(batch.windows), batch.labels)
+
+
+def make_batches(steps=3, batch_size=8, seed=7):
+    rng = np.random.default_rng(seed)
+    return [
+        Batch(
+            windows=rng.normal(size=(batch_size, *FEATURES)),
+            labels=rng.integers(0, NUM_CLASSES, size=batch_size),
+        )
+        for _ in range(steps)
+    ]
+
+
+@pytest.fixture()
+def fresh_obs():
+    """Private registry + a cleared tracer at sample_rate=1.0, restored after."""
+    registry = MetricsRegistry()
+    previous_registry = set_registry(registry)
+    tracer = get_tracer()
+    previous_rate = tracer.sample_rate
+    tracer.clear()
+    configure_tracing(sample_rate=1.0)
+    try:
+        yield registry, tracer
+    finally:
+        configure_tracing(sample_rate=previous_rate)
+        tracer.clear()
+        set_registry(previous_registry)
+
+
+def run_engine(backend, num_workers=2, steps=3):
+    model = build_model()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    with DataParallelEngine(model, step_fn, num_workers=num_workers, backend=backend) as engine:
+        for batch in make_batches(steps=steps):
+            loss, _ = engine.accumulate(batch)
+            optimizer.step()
+            engine.broadcast()
+    return loss
+
+
+def worker_series(registry):
+    """(family name, sorted labels) -> mergeable state, for the worker metrics."""
+    series = {}
+    for family in snapshot_registry(registry)["families"]:
+        if not family["name"].startswith("parallel_worker_"):
+            continue
+        for child in family["children"]:
+            key = (family["name"], tuple(sorted(map(tuple, child["labels"]))))
+            series[key] = child["state"]
+    return series
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_worker_metrics_recorded_per_rank(fresh_obs, backend):
+    registry, _ = fresh_obs
+    run_engine(backend, num_workers=2, steps=3)
+    series = worker_series(registry)
+    for rank in ("0", "1"):
+        label = (("worker", rank),)
+        assert series[("parallel_worker_steps_total", label)]["value"] == 3.0
+        assert series[("parallel_worker_samples_total", label)]["value"] == 12.0
+        hist = series[("parallel_worker_step_seconds", label)]
+        assert hist["count"] == 3
+        assert hist["sum"] > 0.0
+
+
+@pytest.mark.skipif(not fork_available(), reason="no fork")
+def test_process_and_thread_backends_expose_identical_series():
+    """The merge-correctness acceptance gate: N=2 process == N=2 thread."""
+    results = {}
+    losses = {}
+    for backend in ("thread", "process"):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            losses[backend] = run_engine(backend, num_workers=2, steps=3)
+        finally:
+            set_registry(previous)
+        results[backend] = worker_series(registry)
+
+    thread, process = results["thread"], results["process"]
+    assert set(thread) == set(process)  # same families, same label sets
+    for key in thread:
+        name = key[0]
+        if name.endswith("_total"):
+            assert thread[key]["value"] == process[key]["value"], key
+        else:  # the step-seconds histogram: counts and buckets match exactly
+            assert thread[key]["count"] == process[key]["count"], key
+            assert sum(thread[key]["bucket_counts"]) == sum(process[key]["bucket_counts"]), key
+    # Gradient parity is untouched by the obs plumbing.
+    assert losses["thread"] == pytest.approx(losses["process"], abs=1e-12)
+
+
+@pytest.mark.skipif(not fork_available(), reason="no fork")
+def test_one_parallel_step_yields_one_cross_process_trace(fresh_obs, tmp_path):
+    _, tracer = fresh_obs
+    run_engine("process", num_workers=2, steps=1)
+
+    trace_ids = tracer.trace_ids()
+    assert len(trace_ids) == 1
+    spans = tracer.spans(trace_ids[0])
+    names = {span.name for span in spans}
+    # Parent phases + per-worker fragments, all under the one id.
+    assert {"parallel.step", "workers", "allreduce", "broadcast"} <= names
+    assert {"data", "forward", "backward"} <= names
+
+    pids = {span.pid for span in spans}
+    assert len(pids) >= 3  # parent + 2 forked workers
+
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    parent_pid = by_name["parallel.step"][0].pid
+    for fragment in ("forward", "backward", "data"):
+        worker_pids = {span.pid for span in by_name[fragment]}
+        assert len(worker_pids) == 2
+        assert parent_pid not in worker_pids
+    # The root step span brackets the parent phases.
+    root = by_name["parallel.step"][0]
+    for phase in ("workers", "allreduce", "broadcast"):
+        (span,) = by_name[phase]
+        assert root.started <= span.started + 1e-9
+        assert span.finished <= root.finished + 1e-9
+
+    # And the merged trace exports as one Chrome JSON with per-process lanes.
+    path = tracer.export_chrome_trace(tmp_path / "parallel.json", trace_id=trace_ids[0])
+    import json
+
+    events = json.loads(path.read_text())["traceEvents"]
+    assert {event["pid"] for event in events} == pids
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unsampled_steps_record_no_spans(backend):
+    tracer = get_tracer()
+    tracer.clear()
+    previous = tracer.sample_rate
+    tracer.sample_rate = 0.0
+    registry_previous = set_registry(MetricsRegistry())
+    try:
+        run_engine(backend, num_workers=2, steps=1)
+        assert tracer.spans() == []
+    finally:
+        tracer.sample_rate = previous
+        set_registry(registry_previous)
