@@ -1,0 +1,286 @@
+"""Gateway benchmark: HTTP throughput parity, open-loop saturation, tails.
+
+Three structural claims back the network front door (see DESIGN.md's
+"Network gateway" section and docs/OPERATIONS.md for how to read the
+published report):
+
+1. **throughput parity** — serving through the HTTP gateway (JSON + base64
+   window encoding, asyncio front end, admission control) must sustain at
+   least 0.9x the in-process batched serving throughput at equal batch
+   size on the deployment-scale float32 model.  The wire must cost, not
+   dominate.
+2. **load shed under saturation** — with offered load (open-loop Poisson
+   arrivals, bursty) above measured capacity and a small pending bound, the
+   admission controller must shed with ``429``/``503`` — *without* a single
+   transport-level error, and while still completing work.  Overload
+   degrades into explicit backpressure, never into broken connections.
+3. **closed-loop tails** — hundreds of concurrent well-behaved clients see
+   bounded p99 latency and zero sheds (closed-loop offered load adapts to
+   service rate, so admission control must stay out of the way).
+
+All measurements land in one ``BENCH_gateway_throughput.json`` report
+(p50/p99 latency, shed rate, throughput) gated by the CI regression
+comparator against ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import PROFILES
+from repro.models.backbone import SagaBackbone
+from repro.models.composite import ClassificationModel
+from repro.serving import InferenceServer, ServerConfig, serve_gateway
+from repro.serving.loadgen import batch_body, predict_body, run_closed_loop, run_open_loop
+
+from .conftest import publish_bench, run_once
+
+NUM_CHANNELS = 6
+NUM_CLASSES = 4
+#: Windows per parity measurement: three full micro-batches.
+PARITY_BATCH_SIZE = 64
+PARITY_CLIENTS = 3
+#: Closed-loop tail measurement: "hundreds of concurrent asyncio clients".
+TAIL_CLIENTS = 128
+TAIL_REQUESTS_PER_CLIENT = 4
+
+_metrics: Dict[str, float] = {}
+_throughput: Dict[str, Optional[float]] = {}
+_measure_seconds: Dict[str, float] = {}
+
+
+def _publish(bench_dir, profile) -> None:
+    publish_bench(
+        bench_dir, "gateway_throughput", profile, sum(_measure_seconds.values()),
+        metrics=dict(_metrics), throughput=dict(_throughput),
+    )
+
+
+@pytest.fixture(scope="module")
+def deployment_server(profile):
+    """The paper-scale model behind a float32 compiled server (the serving
+    default) — the configuration whose in-process throughput the committed
+    serving baseline records."""
+    config = PROFILES["paper"].backbone_config(NUM_CHANNELS)
+    rng = np.random.default_rng(profile.seed)
+    model = ClassificationModel(SagaBackbone(config, rng=rng), NUM_CLASSES, rng=rng)
+    model.eval()
+    server = InferenceServer(
+        model=model,
+        config=ServerConfig(max_batch_size=PARITY_BATCH_SIZE, max_wait_ms=20.0),
+    )
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def bench_server(profile):
+    """A bench-profile model server: small enough that the saturation and
+    tail measurements are HTTP-bound, which is exactly what they probe."""
+    rng = np.random.default_rng(profile.seed)
+    model = ClassificationModel(
+        SagaBackbone(profile.backbone_config(NUM_CHANNELS), rng=rng),
+        NUM_CLASSES, rng=rng,
+    )
+    model.eval()
+    server = InferenceServer(
+        model=model, config=ServerConfig(max_batch_size=32, max_wait_ms=2.0)
+    )
+    yield server
+    server.close()
+
+
+def _best_of(fn, repeats: int = 2):
+    """Best wall-clock of ``repeats`` runs; returns (seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_gateway_sustains_090x_of_in_process_batched_throughput(
+    benchmark, profile, bench_dir, deployment_server
+):
+    """Acceptance gate: HTTP serving >= 0.9x in-process at equal batch size.
+
+    Both sides run the *same* live server (same compiled model, same
+    micro-batcher, same batch size); the delta is exactly the gateway — HTTP
+    framing, JSON + base64 decode, admission control, the async/thread
+    bridge.  The binary ``windows_b64`` encoding exists because JSON float
+    lists alone would fail this gate.
+    """
+    server = deployment_server
+    rng = np.random.default_rng(101)
+    window_length = server.window_shape[0]
+    windows = rng.standard_normal(
+        (PARITY_CLIENTS * PARITY_BATCH_SIZE, window_length, NUM_CHANNELS)
+    )
+    per_client = [
+        windows[i * PARITY_BATCH_SIZE:(i + 1) * PARITY_BATCH_SIZE]
+        for i in range(PARITY_CLIENTS)
+    ]
+    bodies = [batch_body(stack) for stack in per_client]
+    num_windows = len(windows)
+
+    with serve_gateway(server, port=0, deadline_ms=60000.0) as gateway:
+        # Warm-up both paths: BLAS init, JIT trace per batch bucket, worker
+        # spin-up, and the gateway's first-connection costs.
+        server.predict_many(list(windows[:PARITY_BATCH_SIZE]))
+        warm = run_closed_loop(
+            gateway.url, "/v1/batch", lambda i: bodies[i], clients=PARITY_CLIENTS,
+            requests_per_client=1,
+        )
+        assert warm.errors == 0 and warm.succeeded == PARITY_CLIENTS
+
+        measure_started = time.perf_counter()
+        in_process_seconds, _ = _best_of(
+            lambda: server.predict_many(list(windows))
+        )
+
+        def gateway_path():
+            result = run_closed_loop(
+                gateway.url, "/v1/batch", lambda i: bodies[i],
+                clients=PARITY_CLIENTS, requests_per_client=1,
+            )
+            assert result.errors == 0 and result.succeeded == PARITY_CLIENTS
+            return result
+
+        (gateway_seconds, gateway_result), _ = run_once(
+            benchmark, _best_of, gateway_path
+        )
+        _measure_seconds["parity"] = time.perf_counter() - measure_started
+
+    in_process_wps = num_windows / in_process_seconds
+    gateway_wps = num_windows / gateway_seconds
+    ratio = gateway_wps / in_process_wps
+    _metrics["gateway_over_inprocess_ratio"] = ratio
+    _metrics["parity_batch_size"] = float(PARITY_BATCH_SIZE)
+    _throughput["inprocess_windows_per_second"] = in_process_wps
+    _throughput["gateway_windows_per_second"] = gateway_wps
+    _metrics["parity_latency_p50_ms"] = gateway_result.latency_percentile(50)
+    _metrics["parity_latency_p99_ms"] = gateway_result.latency_percentile(99)
+    _publish(bench_dir, profile)
+    assert ratio >= 0.9, (
+        f"gateway sustained only {ratio:.2f}x of in-process batched serving "
+        f"({gateway_wps:.0f} vs {in_process_wps:.0f} windows/s at batch size "
+        f"{PARITY_BATCH_SIZE})"
+    )
+
+
+def test_open_loop_saturation_sheds_429_without_errors(
+    benchmark, profile, bench_dir, bench_server
+):
+    """Acceptance gate: offered load > capacity engages the 429 path cleanly.
+
+    Capacity is measured (closed loop) on this machine, then the open-loop
+    generator offers ~2x that as a bursty Poisson process against a small
+    pending bound.  The gateway must shed a non-zero fraction — and every
+    arrival must still receive an HTTP response (429 is not an error; a
+    reset connection is).
+    """
+    server = bench_server
+    rng = np.random.default_rng(7)
+    window_length = server.window_shape[0]
+    windows = rng.standard_normal((64, window_length, NUM_CHANNELS))
+    bodies = [predict_body(w) for w in windows]
+
+    with serve_gateway(
+        server, port=0, max_pending=16, deadline_ms=10000.0
+    ) as gateway:
+        # Measured capacity: short closed-loop probe with a handful of clients.
+        probe = run_closed_loop(
+            gateway.url, "/v1/predict", lambda i: bodies[i % 64],
+            clients=8, requests_per_client=24,
+        )
+        assert probe.errors == 0
+        capacity_rps = max(probe.throughput_rps, 50.0)
+
+        measure_started = time.perf_counter()
+
+        def saturate():
+            return run_open_loop(
+                gateway.url, "/v1/predict", lambda i: bodies[i % 64],
+                rate_rps=2.0 * capacity_rps, duration_s=2.5, seed=13,
+                burst_factor=1.5, burst_period_s=0.5,
+            )
+
+        result, _ = run_once(benchmark, saturate)
+        _measure_seconds["saturation"] = time.perf_counter() - measure_started
+
+    _metrics["open_loop_offered_rps"] = result.offered / result.duration_s
+    _metrics["open_loop_shed_rate"] = result.shed_rate
+    _metrics["open_loop_latency_p50_ms"] = result.latency_percentile(50)
+    _metrics["open_loop_latency_p99_ms"] = result.latency_percentile(99)
+    _throughput["open_loop_requests_per_second"] = result.throughput_rps
+    # The capacity probe is deliberately short, so its rate is too noisy for
+    # the 10% regression gate: publish it as an ungated metric.
+    _metrics["closed_loop_capacity_rps"] = capacity_rps
+    _publish(bench_dir, profile)
+
+    assert result.errors == 0, (
+        f"{result.errors} transport errors under saturation — overload must "
+        "degrade into 429s, not broken connections"
+    )
+    assert result.completed == result.offered
+    assert set(result.status_counts) <= {200, 429, 503}, (
+        f"unexpected statuses under saturation: {result.status_counts}"
+    )
+    assert result.shed > 0, (
+        f"offered {result.offered} requests at 2x capacity "
+        f"({2 * capacity_rps:.0f} rps) but the gateway never shed — "
+        "admission control did not engage"
+    )
+    assert result.succeeded > 0  # shedding everything is not admission control
+
+
+def test_closed_loop_tail_latency_with_concurrent_clients(
+    benchmark, profile, bench_dir, bench_server
+):
+    """Hundreds of concurrent keep-alive clients: zero shed, bounded tails."""
+    server = bench_server
+    rng = np.random.default_rng(23)
+    window_length = server.window_shape[0]
+    windows = rng.standard_normal((64, window_length, NUM_CHANNELS))
+    bodies = [predict_body(w) for w in windows]
+
+    with serve_gateway(server, port=0, deadline_ms=60000.0) as gateway:
+        warm = run_closed_loop(
+            gateway.url, "/v1/predict", lambda i: bodies[i % 64],
+            clients=8, requests_per_client=4,
+        )
+        assert warm.errors == 0
+        measure_started = time.perf_counter()
+
+        def tails():
+            return run_closed_loop(
+                gateway.url, "/v1/predict", lambda i: bodies[i % 64],
+                clients=TAIL_CLIENTS, requests_per_client=TAIL_REQUESTS_PER_CLIENT,
+            )
+
+        result, _ = run_once(benchmark, tails)
+        _measure_seconds["tails"] = time.perf_counter() - measure_started
+
+    expected = TAIL_CLIENTS * TAIL_REQUESTS_PER_CLIENT
+    _metrics["closed_loop_clients"] = float(TAIL_CLIENTS)
+    _metrics["closed_loop_latency_p50_ms"] = result.latency_percentile(50)
+    _metrics["closed_loop_latency_p99_ms"] = result.latency_percentile(99)
+    _metrics["closed_loop_shed_rate"] = result.shed_rate
+    # Tail-test throughput varies ~1.5x run to run (0.4s measurement, 128
+    # connection setups included); gate the stable parity/saturation rates
+    # instead and publish this one ungated.
+    _metrics["closed_loop_requests_per_second"] = result.throughput_rps
+    _publish(bench_dir, profile)
+
+    assert result.errors == 0
+    assert result.succeeded == expected, (
+        f"closed-loop clients shed: {result.status_counts} — admission "
+        "control must not engage when offered load adapts to service rate"
+    )
+    assert result.latency_percentile(99) < 10000.0

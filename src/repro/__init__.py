@@ -14,7 +14,8 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
 * :mod:`repro.baselines` — LIMU, CL-HAR, TPN, no-pre-training;
 * :mod:`repro.deployment` — phone cost model and latency simulation;
 * :mod:`repro.serving` — online inference: model registry, micro-batching,
-  streaming ingestion and telemetry on the ``no_grad`` fast path;
+  streaming ingestion and telemetry on the ``no_grad`` fast path, fronted by
+  an asyncio HTTP/1.1 gateway with admission control (``docs/PROTOCOL.md``);
 * :mod:`repro.parallel` — data-parallel training: worker replicas, gradient
   all-reduce over shared memory, and the prefetching batch pipeline;
 * :mod:`repro.obs` — observability: process-wide metrics registry
@@ -52,7 +53,13 @@ from .exceptions import (
     SearchError,
     TrainingError,
 )
-from .exceptions import ObservabilityError, ParallelError, ServingError
+from .exceptions import (
+    GatewayError,
+    ObservabilityError,
+    ParallelError,
+    QueueFullError,
+    ServingError,
+)
 from .experiments import (
     BenchReport,
     ExperimentSpec,
@@ -75,7 +82,15 @@ from .obs import (
 )
 from .parallel import DataParallelEngine, ParallelTrainer, PrefetchDataLoader
 from .rng import RNGRegistry, make_rng
-from .serving import InferenceServer, ModelRegistry, ServerConfig, serve
+from .serving import (
+    GatewayConfig,
+    InferenceGateway,
+    InferenceServer,
+    ModelRegistry,
+    ServerConfig,
+    serve,
+    serve_gateway,
+)
 
 __all__ = [
     "__version__",
@@ -87,7 +102,10 @@ __all__ = [
     "GridResult",
     "BenchReport",
     "serve",
+    "serve_gateway",
     "InferenceServer",
+    "InferenceGateway",
+    "GatewayConfig",
     "ModelRegistry",
     "ServerConfig",
     "SagaPipeline",
@@ -110,6 +128,8 @@ __all__ = [
     "SearchError",
     "DeploymentError",
     "ServingError",
+    "QueueFullError",
+    "GatewayError",
     "ParallelError",
     "ObservabilityError",
     "ParallelTrainer",

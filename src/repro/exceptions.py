@@ -35,6 +35,19 @@ class ServingError(ReproError):
     """Raised by the online serving stack (registry, batcher, server)."""
 
 
+class QueueFullError(ServingError):
+    """Raised when a bounded serving queue rejects a request at capacity.
+
+    A distinct subclass so admission layers (the HTTP gateway) can translate
+    *this* rejection into a retryable 429 while every other
+    :class:`ServingError` stays a client/server fault.
+    """
+
+
+class GatewayError(ServingError):
+    """Raised by the HTTP gateway for configuration/lifecycle misuse."""
+
+
 class ParallelError(ReproError):
     """Raised by the data-parallel training subsystem (workers, all-reduce)."""
 

@@ -8,14 +8,22 @@ This package turns the trained models into a request-serving system:
 * :mod:`repro.serving.telemetry` — latency percentiles, throughput, queue depth,
   cross-checked against the analytic :mod:`repro.deployment.latency` model;
 * :mod:`repro.serving.server` — the :class:`InferenceServer` facade and the
-  top-level :func:`serve` entry point.
+  top-level :func:`serve` entry point;
+* :mod:`repro.serving.gateway` — the network front door: a stdlib asyncio
+  HTTP/1.1 JSON gateway with admission control (bounded pending queue,
+  per-client caps, deadlines) over the micro-batcher — the wire protocol is
+  ``docs/PROTOCOL.md``, the operator guide ``docs/OPERATIONS.md``;
+* :mod:`repro.serving.loadgen` — closed/open-loop (Poisson, bursty) load
+  generation against the gateway for benchmarks.
 
 All forwards run on the :func:`repro.nn.no_grad` fast path: no autograd graph
 is recorded during serving.  See ``DESIGN.md`` for the architecture.
 """
 
 from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
+from .gateway import GatewayConfig, InferenceGateway, serve_gateway
 from .ingestion import IngestionConfig, StreamIngestor
+from .loadgen import LoadResult, run_closed_loop, run_open_loop
 from .registry import ModelRegistry, ModelVersion
 from .server import InferenceServer, Prediction, ServerConfig, serve
 from .telemetry import (
@@ -37,6 +45,12 @@ __all__ = [
     "Prediction",
     "ServerConfig",
     "serve",
+    "GatewayConfig",
+    "InferenceGateway",
+    "serve_gateway",
+    "LoadResult",
+    "run_closed_loop",
+    "run_open_loop",
     "LatencyCrossCheck",
     "TelemetryCollector",
     "TelemetrySnapshot",

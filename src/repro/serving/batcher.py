@@ -22,7 +22,7 @@ from typing import Callable, Deque, List, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ServingError
+from ..exceptions import QueueFullError, ServingError
 from ..logging_utils import get_logger
 from ..obs.tracing import get_tracer
 
@@ -139,7 +139,7 @@ class MicroBatcher:
             if self._closed:
                 raise ServingError("cannot submit to a closed MicroBatcher")
             if len(self._queue) >= self.config.queue_capacity:
-                raise ServingError(
+                raise QueueFullError(
                     f"queue capacity {self.config.queue_capacity} exceeded; shed load upstream"
                 )
             self._queue.append(request)

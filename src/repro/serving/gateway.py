@@ -1,0 +1,1081 @@
+"""The network front door: an asyncio HTTP/1.1 JSON gateway over the server.
+
+:class:`InferenceGateway` completes the serving stack's wire surface (the
+request-path half of the ROADMAP's "network front door"; the observability
+half is :mod:`repro.obs.exporter`).  It is a stdlib-only asyncio HTTP/1.1
+server — ``asyncio.start_server`` plus hand-rolled request parsing, no
+third-party dependencies — that bridges network clients to the thread-based
+:class:`~repro.serving.server.InferenceServer`:
+
+* ``POST /v1/predict`` — one preprocessed window, one prediction;
+* ``POST /v1/batch`` — many windows in one request (the batcher coalesces);
+* ``POST /v1/stream`` — a chunked per-client streaming-ingestion session:
+  newline-delimited JSON messages of raw samples in, a chunked stream of
+  per-window predictions out, with one :class:`~repro.serving.ingestion.
+  StreamIngestor` per session;
+* ``GET /healthz`` — gateway liveness (503 while draining).
+
+The full wire protocol — request/response schemas, the binary window
+encoding, status-code and ``Retry-After`` semantics, stream framing and the
+versioning policy — is documented in ``docs/PROTOCOL.md``; the operator view
+(capacity knobs, deployment, debugging) in ``docs/OPERATIONS.md``.
+
+Concurrency model
+-----------------
+The gateway's event loop runs in one daemon thread; handlers never execute
+model code.  Each admitted window is submitted to the
+:class:`~repro.serving.batcher.MicroBatcher` (whose worker threads run the
+compiled forward) and the resulting ``concurrent.futures.Future`` is awaited
+via :func:`asyncio.wrap_future`, so request parsing overlaps batched compute
+instead of serialising with it.  All admission state (pending counter,
+per-client in-flight map) is touched only on the event-loop thread — no
+locks on the request path.
+
+Admission control (the load-shed state machine)
+-----------------------------------------------
+Every request passes one atomic admission check before its body is parsed:
+
+1. **draining** — ``stop()`` was called: ``503`` + ``Retry-After`` (new
+   requests shed; admitted ones run to completion);
+2. **gateway pending bound** — ``max_pending`` admitted-but-unresolved
+   requests: ``429`` + ``Retry-After``;
+3. **per-client in-flight cap** — ``max_inflight_per_client`` per
+   ``X-Client-Id`` (or peer address): ``429`` + ``Retry-After``;
+4. the micro-batcher's own bounded queue —
+   :class:`~repro.exceptions.QueueFullError` maps to ``429``;
+5. **deadline** — an admitted request that does not resolve within
+   ``deadline_ms`` of its request line answers ``503`` (its batch still
+   completes; only the reply is abandoned).
+
+Sheds are counted per reason in ``gateway_shed_total{reason=...}`` and every
+response increments ``gateway_requests_total{route,status}`` in the same
+metrics registry the server's telemetry uses, so an attached
+:class:`~repro.obs.exporter.ObsHTTPServer` exports gateway series with no
+extra wiring (``GatewayConfig(metrics_port=...)`` attaches one, with
+``gateway`` and ``batcher`` health checks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import GatewayError, QueueFullError, ServingError
+from ..logging_utils import get_logger
+from ..obs.exporter import ObsHTTPServer
+from .ingestion import StreamIngestor
+from .server import InferenceServer
+from .telemetry import LATENCY_BUCKETS_MS, TELEMETRY_RESERVOIR_SIZE
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "GatewayConfig",
+    "InferenceGateway",
+    "serve_gateway",
+]
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
+
+#: Reason phrases for every status the protocol documents (plus generic ones
+#: the parser can produce).  docs/PROTOCOL.md is the authoritative list.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Routes with bounded label cardinality for ``gateway_requests_total``.
+KNOWN_ROUTES = ("/v1/predict", "/v1/batch", "/v1/stream", "/healthz")
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_HEADER_COUNT = 100
+_READ_CHUNK = 64 * 1024
+
+
+@dataclass
+class GatewayConfig:
+    """Capacity and protocol knobs of the HTTP gateway.
+
+    The three admission knobs trade tail latency for shed rate (see
+    ``docs/OPERATIONS.md`` for sizing guidance):
+
+    * ``max_pending`` — admitted-but-unresolved requests across all clients;
+      beyond it new requests shed with ``429`` + ``Retry-After``.  Bounds
+      gateway memory and queueing delay: pending × per-window service time
+      approximates worst-case queueing latency.
+    * ``max_inflight_per_client`` — concurrent requests per ``X-Client-Id``
+      (falling back to the peer address), so one greedy client cannot occupy
+      the whole pending budget.
+    * ``deadline_ms`` — per-request wall-clock budget measured from the
+      request line; an admitted request that misses it answers ``503``.
+
+    ``max_body_bytes`` bounds any unary request body (``413`` beyond; for
+    streaming sessions it bounds each NDJSON message instead, so session
+    length is unbounded while per-message memory stays bounded).
+    ``max_batch_windows`` caps the window count of one ``/v1/batch`` request.
+    ``metrics_port`` attaches an :class:`~repro.obs.exporter.ObsHTTPServer`
+    over the server's metrics registry for the gateway's lifetime (``0`` =
+    ephemeral), with ``gateway`` and ``batcher`` health checks wired in.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 512
+    max_inflight_per_client: int = 64
+    deadline_ms: float = 2000.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_batch_windows: int = 1024
+    retry_after_seconds: float = 1.0
+    keepalive_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    client_id_header: str = "x-client-id"
+    metrics_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= int(self.port) <= 65535:
+            raise GatewayError(f"port must be in [0, 65535], got {self.port}")
+        for name in ("max_pending", "max_inflight_per_client", "max_batch_windows"):
+            if int(getattr(self, name)) < 1:
+                raise GatewayError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in (
+            "deadline_ms", "max_body_bytes", "retry_after_seconds",
+            "keepalive_timeout_s", "drain_timeout_s",
+        ):
+            if float(getattr(self, name)) <= 0:
+                raise GatewayError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.metrics_port is not None and not 0 <= int(self.metrics_port) <= 65535:
+            raise GatewayError(
+                f"metrics_port must be None or in [0, 65535], got {self.metrics_port}"
+            )
+
+
+class _HTTPError(Exception):
+    """A request that must be answered with an error status.
+
+    ``close`` forces ``Connection: close`` — set when the connection state is
+    unrecoverable (an unread oversized body, broken framing).
+    """
+
+    def __init__(self, status: int, code: str, message: str, close: bool = False) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.close = close
+
+
+@dataclass
+class _Head:
+    """Parsed request line + headers (body still on the wire)."""
+
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str]
+    received_at: float
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    @property
+    def chunked(self) -> bool:
+        return "chunked" in self.headers.get("transfer-encoding", "").lower()
+
+
+def _decode_window(payload: Dict[str, Any], expected: Tuple[int, int]) -> np.ndarray:
+    """One window from ``{"window": [[...]]}`` or ``{"window_b64": "..."}``."""
+    if "window_b64" in payload:
+        flat = _decode_b64_floats(payload["window_b64"])
+        if flat.size != expected[0] * expected[1]:
+            raise _HTTPError(
+                400, "invalid_window",
+                f"window_b64 holds {flat.size} float32 values, expected "
+                f"{expected[0]}*{expected[1]} for shape {expected}",
+            )
+        return flat.reshape(expected)
+    if "window" not in payload:
+        raise _HTTPError(400, "invalid_window", "payload needs 'window' or 'window_b64'")
+    try:
+        window = np.asarray(payload["window"], dtype=np.float32)
+    except (TypeError, ValueError) as exc:
+        raise _HTTPError(400, "invalid_window", f"window is not numeric: {exc}") from None
+    if window.shape != expected:
+        raise _HTTPError(
+            400, "invalid_window",
+            f"window shape {window.shape} does not match the served model's "
+            f"(window_length, channels) = {expected}",
+        )
+    return window
+
+
+def _decode_windows(
+    payload: Dict[str, Any], expected: Tuple[int, int], max_windows: int
+) -> np.ndarray:
+    """A ``(N, L, C)`` stack from ``{"windows": ...}`` or ``{"windows_b64": ...}``."""
+    if "windows_b64" in payload:
+        flat = _decode_b64_floats(payload["windows_b64"])
+        per_window = expected[0] * expected[1]
+        if flat.size == 0 or flat.size % per_window != 0:
+            raise _HTTPError(
+                400, "invalid_window",
+                f"windows_b64 holds {flat.size} float32 values, not a positive "
+                f"multiple of {per_window} (one {expected} window)",
+            )
+        windows = flat.reshape(-1, *expected)
+    elif "windows" in payload:
+        try:
+            windows = np.asarray(payload["windows"], dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, "invalid_window", f"windows are not numeric: {exc}") from None
+        if windows.ndim != 3 or windows.shape[1:] != expected or windows.shape[0] == 0:
+            raise _HTTPError(
+                400, "invalid_window",
+                f"windows must have shape (N, {expected[0]}, {expected[1]}) with "
+                f"N >= 1, got {windows.shape}",
+            )
+    else:
+        raise _HTTPError(400, "invalid_window", "payload needs 'windows' or 'windows_b64'")
+    if windows.shape[0] > max_windows:
+        raise _HTTPError(
+            413, "too_many_windows",
+            f"{windows.shape[0]} windows exceed the per-request cap of {max_windows}; "
+            "split into several /v1/batch requests",
+        )
+    return windows
+
+
+def _decode_b64_floats(value: Any) -> np.ndarray:
+    """Base64 of little-endian float32 → 1-D array (the binary wire encoding)."""
+    if not isinstance(value, str):
+        raise _HTTPError(400, "invalid_window", "base64 field must be a string")
+    try:
+        raw = base64.b64decode(value, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise _HTTPError(400, "invalid_window", f"invalid base64: {exc}") from None
+    if len(raw) % 4 != 0:
+        raise _HTTPError(
+            400, "invalid_window",
+            f"base64 payload is {len(raw)} bytes, not a multiple of 4 (float32)",
+        )
+    return np.frombuffer(raw, dtype="<f4").astype(np.float32, copy=False)
+
+
+class InferenceGateway:
+    """Asyncio HTTP/1.1 front end over one :class:`InferenceServer`.
+
+    >>> gateway = InferenceGateway(server, GatewayConfig(port=0)).start()
+    >>> urllib.request.urlopen(urllib.request.Request(
+    ...     f"{gateway.url}/v1/predict", data=json.dumps({"window": ...}).encode(),
+    ...     headers={"Content-Type": "application/json"}))
+    >>> gateway.stop()   # graceful: in-flight complete, new requests shed
+
+    The event loop runs in a daemon thread, so the gateway composes with
+    synchronous code (tests, examples, the load harness) exactly like
+    :class:`~repro.obs.exporter.ObsHTTPServer`; it is also a context manager.
+    """
+
+    def __init__(
+        self, server: InferenceServer, config: Optional[GatewayConfig] = None
+    ) -> None:
+        self.server = server
+        self.config = config if config is not None else GatewayConfig()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._startup_error: Optional[BaseException] = None
+        self._bound_port: Optional[int] = None
+        self._conn_tasks: set = set()
+        self._draining = False
+        # Admission state: event-loop thread only (no locks on the hot path).
+        self._pending = 0
+        self._inflight: Dict[str, int] = {}
+        self.obs_server: Optional[ObsHTTPServer] = None
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        registry = self.server.telemetry.registry
+        self._requests_total = registry.counter(
+            "gateway_requests_total", "HTTP responses by route and status",
+            labels=("route", "status"),
+        )
+        self._latency_hist = registry.histogram(
+            "gateway_request_latency_ms",
+            "Request-line-to-response latency at the gateway",
+            labels=("route",), buckets=LATENCY_BUCKETS_MS,
+            reservoir_size=TELEMETRY_RESERVOIR_SIZE,
+        )
+        self._shed_total = registry.counter(
+            "gateway_shed_total", "Requests shed by admission control, by reason",
+            labels=("reason",),
+        )
+        self._stream_windows = registry.counter(
+            "gateway_stream_windows_total",
+            "Windows processed by streaming sessions, by outcome",
+            labels=("outcome",),
+        )
+        registry.gauge(
+            "gateway_pending_requests", "Admitted requests not yet resolved",
+        ).labels().set_function(lambda: float(self._pending))
+
+    def _observe(self, route: str, status: int, started_at: float) -> None:
+        route_label = route if route in KNOWN_ROUTES else "other"
+        self._requests_total.labels(route=route_label, status=str(status)).inc()
+        self._latency_hist.labels(route=route_label).observe(
+            1000.0 * (time.perf_counter() - started_at)
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceGateway":
+        if self._thread is not None:
+            return self
+        if self._draining:
+            raise GatewayError("a stopped gateway cannot restart; build a new one")
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._thread_main, args=(started,), name="gateway", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise GatewayError(f"gateway failed to start: {self._startup_error}")
+        if self._bound_port is None:
+            raise GatewayError("gateway did not report a bound port within 10s")
+        if self.config.metrics_port is not None:
+            self.obs_server = ObsHTTPServer(
+                registry=self.server.telemetry.registry,
+                port=int(self.config.metrics_port),
+            )
+            self.attach_health(self.obs_server)
+            self.obs_server.add_health_check(
+                "batcher", lambda: not self.server._batcher.closed
+            )
+            self.obs_server.start()
+        if self.server.obs_server is not None:
+            # The server already exposes /healthz (ServerConfig.metrics_port):
+            # wire gateway liveness into the same endpoint.
+            self.attach_health(self.server.obs_server)
+        logger.info("gateway listening on %s", self.url)
+        return self
+
+    def attach_health(self, obs_server: ObsHTTPServer) -> "InferenceGateway":
+        """Register a ``gateway`` liveness check on an exposition endpoint."""
+        obs_server.add_health_check("gateway", lambda: self.running and not self._draining)
+        return self
+
+    def _thread_main(self, started: threading.Event) -> None:
+        try:
+            asyncio.run(self._main(started))
+        except BaseException as exc:  # noqa: BLE001 — surfaced via start()/logs
+            self._startup_error = exc
+            logger.exception("gateway event loop died")
+        finally:
+            started.set()
+
+    async def _main(self, started: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host, port=self.config.port,
+                limit=_MAX_HEADER_BYTES,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            return
+        self._asyncio_server = server
+        self._bound_port = int(server.sockets[0].getsockname()[1])
+        started.set()
+        await self._shutdown.wait()
+        # Graceful drain: no new connections, shed new requests (the handlers
+        # check _draining), let admitted work resolve, then tear down.
+        server.close()
+        await server.wait_closed()
+        deadline = self._loop.time() + self.config.drain_timeout_s
+        while self._pending > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self._pending:
+            logger.warning(
+                "gateway drain timed out with %d requests still pending", self._pending
+            )
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    def stop(self) -> None:
+        """Drain and stop: in-flight requests complete, new ones shed (503)."""
+        if self._thread is None:
+            return
+        self._draining = True
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=self.config.drain_timeout_s + 10.0)
+        self._thread = None
+        if self.obs_server is not None:
+            self.obs_server.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive() and not self._draining
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unresolved requests (the admission queue depth)."""
+        return self._pending
+
+    @property
+    def port(self) -> int:
+        if self._bound_port is None:
+            raise GatewayError("gateway is not started")
+        return self._bound_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def __enter__(self) -> "InferenceGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _try_admit(self, client_id: str) -> Optional[Tuple[int, str, str]]:
+        """Atomically admit or name the shed ``(status, code, reason)``.
+
+        Runs on the event-loop thread with no awaits between check and
+        increment, so the caps cannot be oversubscribed by interleaving.
+        """
+        if self._draining:
+            return 503, "draining", "gateway is draining; retry against a peer"
+        if self._pending >= self.config.max_pending:
+            return 429, "queue_full", (
+                f"gateway pending queue is full ({self.config.max_pending}); retry later"
+            )
+        if self._inflight.get(client_id, 0) >= self.config.max_inflight_per_client:
+            return 429, "client_limit", (
+                f"client {client_id!r} exceeds {self.config.max_inflight_per_client} "
+                "in-flight requests"
+            )
+        self._pending += 1
+        self._inflight[client_id] = self._inflight.get(client_id, 0) + 1
+        return None
+
+    def _release(self, client_id: str) -> None:
+        self._pending -= 1
+        remaining = self._inflight.get(client_id, 1) - 1
+        if remaining <= 0:
+            self._inflight.pop(client_id, None)
+        else:
+            self._inflight[client_id] = remaining
+
+    def _client_id(self, head: _Head, peer) -> str:
+        header = head.headers.get(self.config.client_id_header)
+        if header:
+            return header
+        return str(peer[0]) if isinstance(peer, tuple) and peer else "unknown"
+
+    # ------------------------------------------------------------------
+    # HTTP framing
+    # ------------------------------------------------------------------
+    async def _read_head(self, reader: asyncio.StreamReader) -> Optional[_Head]:
+        """Parse the request line + headers; ``None`` on clean EOF/idle close."""
+        timeout = self.config.keepalive_timeout_s
+        try:
+            # The idle timeout covers the first request too, so a connection
+            # that opens and never speaks cannot hold a slot forever.
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        except asyncio.TimeoutError:
+            return None  # idle connection: close silently
+        except ValueError:
+            raise _HTTPError(400, "bad_request", "request line too long", close=True) from None
+        if not line:
+            return None
+        received_at = time.perf_counter()
+        try:
+            method, target, version = line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError):
+            raise _HTTPError(400, "bad_request", "malformed request line", close=True) from None
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _HTTPError(400, "bad_request", f"unsupported {version}", close=True)
+        headers: Dict[str, str] = {}
+        total = 0
+        while True:
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise _HTTPError(400, "bad_request", "header line too long", close=True) from None
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise _HTTPError(400, "bad_request", "truncated headers", close=True)
+            total += len(raw)
+            if total > _MAX_HEADER_BYTES or len(headers) >= _MAX_HEADER_COUNT:
+                raise _HTTPError(400, "bad_request", "headers too large", close=True)
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _HTTPError(400, "bad_request", f"malformed header {raw!r}", close=True)
+            headers[name.strip().lower()] = value.strip()
+        path = target.split("?", 1)[0]
+        return _Head(
+            method=method, path=path, version=version, headers=headers,
+            received_at=received_at,
+        )
+
+    async def _read_body(self, reader: asyncio.StreamReader, head: _Head) -> bytes:
+        """Read one unary body, enforcing ``max_body_bytes`` (→ 413)."""
+        cap = self.config.max_body_bytes
+        if head.chunked:
+            parts: List[bytes] = []
+            total = 0
+            async for chunk in self._iter_chunks(reader):
+                total += len(chunk)
+                if total > cap:
+                    raise _HTTPError(
+                        413, "payload_too_large",
+                        f"chunked body exceeds {cap} bytes", close=True,
+                    )
+                parts.append(chunk)
+            return b"".join(parts)
+        length_header = head.headers.get("content-length", "0")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _HTTPError(400, "bad_request", f"bad Content-Length {length_header!r}",
+                             close=True) from None
+        if length < 0:
+            raise _HTTPError(400, "bad_request", "negative Content-Length", close=True)
+        if length > cap:
+            # The body is still on the wire; the connection cannot be reused.
+            raise _HTTPError(
+                413, "payload_too_large",
+                f"Content-Length {length} exceeds the {cap}-byte limit", close=True,
+            )
+        if length == 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _iter_chunks(self, reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+        """Decode ``Transfer-Encoding: chunked`` framing."""
+        while True:
+            size_line = await reader.readline()
+            if not size_line:
+                raise _HTTPError(400, "bad_request", "truncated chunked body", close=True)
+            try:
+                size = int(size_line.split(b";", 1)[0].strip(), 16)
+            except ValueError:
+                raise _HTTPError(
+                    400, "bad_request", f"bad chunk size {size_line!r}", close=True
+                ) from None
+            if size < 0:
+                raise _HTTPError(400, "bad_request", "negative chunk size", close=True)
+            if size == 0:
+                while True:  # consume trailers
+                    trailer = await reader.readline()
+                    if trailer in (b"\r\n", b"\n", b""):
+                        return
+            data = await reader.readexactly(size)
+            await reader.readexactly(2)  # trailing CRLF
+            yield data
+
+    async def _iter_body_lines(
+        self, reader: asyncio.StreamReader, head: _Head
+    ) -> AsyncIterator[bytes]:
+        """Newline-delimited messages of a streaming body (chunk-boundary safe).
+
+        Chunk boundaries need not align with message boundaries, so a buffer
+        accumulates until each ``\\n``; ``max_body_bytes`` bounds one message
+        (not the session — sessions are unbounded by design).
+        """
+        cap = self.config.max_body_bytes
+        buffer = bytearray()
+
+        async def _raw() -> AsyncIterator[bytes]:
+            if head.chunked:
+                async for chunk in self._iter_chunks(reader):
+                    yield chunk
+            else:
+                try:
+                    remaining = int(head.headers.get("content-length", "0"))
+                except ValueError:
+                    raise _HTTPError(400, "bad_request", "bad Content-Length",
+                                     close=True) from None
+                while remaining > 0:
+                    chunk = await reader.read(min(_READ_CHUNK, remaining))
+                    if not chunk:
+                        raise _HTTPError(400, "bad_request", "truncated body", close=True)
+                    remaining -= len(chunk)
+                    yield chunk
+
+        async for chunk in _raw():
+            buffer.extend(chunk)
+            if len(buffer) > cap and b"\n" not in buffer:
+                raise _HTTPError(
+                    413, "payload_too_large",
+                    f"stream message exceeds {cap} bytes", close=True,
+                )
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line = bytes(buffer[:newline]).strip()
+                del buffer[: newline + 1]
+                if line:
+                    yield line
+        tail = bytes(buffer).strip()
+        if tail:
+            yield tail
+
+    def _render(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+        retry_after: Optional[float] = None,
+    ) -> bytes:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            "Server: repro-gateway",
+            f"Content-Type: {JSON_CONTENT_TYPE}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if retry_after is not None:
+            # Delay-seconds form; integral and >= 1 so naive parsers cope.
+            lines.append(f"Retry-After: {max(1, int(round(retry_after)))}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+    @staticmethod
+    def _error_payload(code: str, message: str) -> Dict[str, Any]:
+        return {"error": {"code": code, "message": message}}
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    head = await self._read_head(reader)
+                except _HTTPError as exc:
+                    started = time.perf_counter()
+                    await self._send(
+                        writer,
+                        self._render(exc.status, self._error_payload(exc.code, exc.message),
+                                     keep_alive=False),
+                    )
+                    self._observe("other", exc.status, started)
+                    break
+                if head is None:
+                    break
+                keep = await self._dispatch(head, reader, writer, peer)
+                if not keep:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass  # client went away or the gateway is tearing down
+        except Exception:  # noqa: BLE001 — one broken connection must not escape
+            logger.exception("gateway connection handler failed")
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(data)
+        await writer.drain()
+
+    async def _dispatch(
+        self, head: _Head, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter, peer,
+    ) -> bool:
+        """Route one parsed request; returns whether to keep the connection."""
+        route = head.path
+        client_id = self._client_id(head, peer)
+        try:
+            if route == "/healthz":
+                if head.method != "GET":
+                    return await self._method_not_allowed(head, writer, "GET")
+                await self._read_body(reader, head)  # tolerate (tiny) bodies
+                return await self._handle_healthz(head, writer)
+            if route == "/v1/stream":
+                if head.method != "POST":
+                    return await self._method_not_allowed(head, writer, "POST")
+                return await self._handle_stream(head, reader, writer, client_id)
+            if route in ("/v1/predict", "/v1/batch"):
+                if head.method != "POST":
+                    return await self._method_not_allowed(head, writer, "POST")
+                body = await self._read_body(reader, head)
+                return await self._handle_unary(head, writer, client_id, body)
+            payload = self._error_payload(
+                "not_found",
+                f"unknown path {route!r}; endpoints: "
+                "/v1/predict, /v1/batch, /v1/stream (POST), /healthz (GET)",
+            )
+            await self._send(writer, self._render(404, payload, head.keep_alive))
+            self._observe(route, 404, head.received_at)
+            return head.keep_alive
+        except _HTTPError as exc:
+            keep = head.keep_alive and not exc.close
+            retry = self.config.retry_after_seconds if exc.status in (429, 503) else None
+            await self._send(
+                writer,
+                self._render(exc.status, self._error_payload(exc.code, exc.message),
+                             keep, retry_after=retry),
+            )
+            self._observe(route, exc.status, head.received_at)
+            return keep
+
+    async def _method_not_allowed(
+        self, head: _Head, writer: asyncio.StreamWriter, allow: str
+    ) -> bool:
+        body = json.dumps(
+            self._error_payload("method_not_allowed", f"use {allow} on {head.path}")
+        ).encode("utf-8")
+        lines = [
+            "HTTP/1.1 405 Method Not Allowed",
+            "Server: repro-gateway",
+            f"Allow: {allow}",
+            f"Content-Type: {JSON_CONTENT_TYPE}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        await self._send(writer, ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+        self._observe(head.path, 405, head.received_at)
+        return False
+
+    async def _handle_healthz(self, head: _Head, writer: asyncio.StreamWriter) -> bool:
+        healthy = not self._draining and not self.server._batcher.closed
+        status = 200 if healthy else 503
+        payload = {
+            "status": "ok" if healthy else "unhealthy",
+            "draining": self._draining,
+            "pending": self._pending,
+            "model": self.server.model_version.name if self.server.model_version else None,
+        }
+        await self._send(writer, self._render(status, payload, head.keep_alive))
+        self._observe("/healthz", status, head.received_at)
+        return head.keep_alive
+
+    # ------------------------------------------------------------------
+    # Unary routes
+    # ------------------------------------------------------------------
+    def _shed(self, reason: str, status: int, message: str) -> _HTTPError:
+        self._shed_total.labels(reason=reason).inc()
+        return _HTTPError(status, reason, message)
+
+    def _deadline_remaining(self, head: _Head) -> float:
+        return self.config.deadline_ms / 1000.0 - (time.perf_counter() - head.received_at)
+
+    async def _handle_unary(
+        self, head: _Head, writer: asyncio.StreamWriter, client_id: str, body: bytes
+    ) -> bool:
+        route = head.path
+        shed = self._try_admit(client_id)
+        if shed is not None:
+            status, code, message = shed
+            raise self._shed(code, status, message)
+        try:
+            try:
+                payload = json.loads(body)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise _HTTPError(400, "bad_request", f"body is not valid JSON: {exc}") from None
+            if not isinstance(payload, dict):
+                raise _HTTPError(400, "bad_request", "body must be a JSON object")
+            expected = self.server.window_shape
+            if route == "/v1/predict":
+                window = _decode_window(payload, expected)
+                response = await self._predict_one(head, window)
+            else:
+                windows = _decode_windows(payload, expected, self.config.max_batch_windows)
+                response = await self._predict_batch(head, payload, windows)
+        finally:
+            self._release(client_id)
+        await self._send(writer, self._render(200, response, head.keep_alive))
+        self._observe(route, 200, head.received_at)
+        return head.keep_alive
+
+    async def _predict_one(self, head: _Head, window: np.ndarray) -> Dict[str, Any]:
+        remaining = self._deadline_remaining(head)
+        if remaining <= 0:
+            raise self._shed("deadline", 503,
+                             f"deadline of {self.config.deadline_ms:g} ms exceeded")
+        try:
+            future = self.server.submit(window)
+        except QueueFullError as exc:
+            raise self._shed("batcher_full", 429, str(exc)) from None
+        except ServingError as exc:
+            raise _HTTPError(400, "invalid_window", str(exc)) from None
+        try:
+            prediction = await asyncio.wait_for(asyncio.wrap_future(future), remaining)
+        except asyncio.TimeoutError:
+            raise self._shed(
+                "deadline", 503,
+                f"request missed its {self.config.deadline_ms:g} ms deadline",
+            ) from None
+        except ServingError as exc:
+            raise _HTTPError(500, "internal", f"inference failed: {exc}") from None
+        return {
+            "label": int(prediction.label),
+            "confidence": float(prediction.confidence),
+            "probabilities": [float(p) for p in prediction.probabilities],
+            "latency_ms": float(prediction.latency_ms),
+        }
+
+    async def _predict_batch(
+        self, head: _Head, payload: Dict[str, Any], windows: np.ndarray
+    ) -> Dict[str, Any]:
+        remaining = self._deadline_remaining(head)
+        if remaining <= 0:
+            raise self._shed("deadline", 503,
+                             f"deadline of {self.config.deadline_ms:g} ms exceeded")
+        futures = []
+        try:
+            for window in windows:
+                futures.append(self.server.submit(window))
+        except QueueFullError as exc:
+            for future in futures:  # abandon the partial batch quietly
+                future.add_done_callback(lambda f: f.exception())
+            raise self._shed("batcher_full", 429, str(exc)) from None
+        try:
+            predictions = await asyncio.wait_for(
+                asyncio.gather(*[asyncio.wrap_future(f) for f in futures]), remaining
+            )
+        except asyncio.TimeoutError:
+            raise self._shed(
+                "deadline", 503,
+                f"batch missed its {self.config.deadline_ms:g} ms deadline",
+            ) from None
+        except ServingError as exc:
+            raise _HTTPError(500, "internal", f"inference failed: {exc}") from None
+        include_probabilities = bool(payload.get("return_probabilities", False))
+        rows: List[Dict[str, Any]] = []
+        for prediction in predictions:
+            row: Dict[str, Any] = {
+                "label": int(prediction.label),
+                "confidence": float(prediction.confidence),
+            }
+            if include_probabilities:
+                row["probabilities"] = [float(p) for p in prediction.probabilities]
+            rows.append(row)
+        return {"predictions": rows, "count": len(rows)}
+
+    # ------------------------------------------------------------------
+    # Streaming sessions
+    # ------------------------------------------------------------------
+    async def _handle_stream(
+        self, head: _Head, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter, client_id: str,
+    ) -> bool:
+        """One chunked NDJSON ingestion session (see docs/PROTOCOL.md §5).
+
+        The session holds a single admission slot for its whole lifetime;
+        individual windows are bounded by the micro-batcher's queue (shed
+        windows are reported in-stream, not as an HTTP status, because the
+        200 header has already been sent).  Response lines are written in
+        window order.
+        """
+        if not head.chunked and "content-length" not in head.headers:
+            raise _HTTPError(400, "bad_request",
+                             "stream needs Transfer-Encoding: chunked or Content-Length")
+        shed = self._try_admit(client_id)
+        if shed is not None:
+            status, code, message = shed
+            raise self._shed(code, status, message)
+        status_line = (
+            "HTTP/1.1 200 OK\r\nServer: repro-gateway\r\n"
+            f"Content-Type: {NDJSON_CONTENT_TYPE}\r\n"
+            "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        ).encode("ascii")
+        await self._send(writer, status_line)
+
+        async def write_line(obj: Dict[str, Any]) -> None:
+            data = json.dumps(obj).encode("utf-8") + b"\n"
+            await self._send(writer, f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+
+        # The session's ingestion keeps the server's rate/stride/normalisation
+        # knobs but is always shaped to the served model: the configured
+        # default may predate the model choice, and a session that emits
+        # windows the model rejects would fail after the 200 went out.
+        window_length, num_channels = self.server.window_shape
+        ingestor = StreamIngestor(replace(
+            self.server.config.ingestion,
+            window_length=window_length, num_channels=num_channels,
+        ))
+        expected_channels = ingestor.config.num_channels
+        queue: "asyncio.Queue" = asyncio.Queue(maxsize=256)
+        deadline_s = self.config.deadline_ms / 1000.0
+        counts = {"ok": 0, "shed": 0, "deadline": 0}
+
+        async def writer_task() -> None:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                kind, index, value = item
+                if kind == "shed":
+                    counts["shed"] += 1
+                    self._stream_windows.labels(outcome="shed").inc()
+                    await write_line({"index": index, "shed": True})
+                    continue
+                try:
+                    prediction = await asyncio.wait_for(
+                        asyncio.wrap_future(value), deadline_s
+                    )
+                except asyncio.TimeoutError:
+                    counts["deadline"] += 1
+                    self._stream_windows.labels(outcome="deadline").inc()
+                    await write_line({"index": index, "deadline_exceeded": True})
+                    continue
+                counts["ok"] += 1
+                self._stream_windows.labels(outcome="ok").inc()
+                await write_line({
+                    "index": index,
+                    "label": int(prediction.label),
+                    "confidence": float(prediction.confidence),
+                    "latency_ms": float(prediction.latency_ms),
+                })
+
+        replies = asyncio.ensure_future(writer_task())
+        samples_seen = 0
+        window_index = 0
+        try:
+            try:
+                async for line in self._iter_body_lines(reader, head):
+                    try:
+                        message = json.loads(line)
+                    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                        raise _HTTPError(400, "bad_request",
+                                         f"stream message is not valid JSON: {exc}") from None
+                    if not isinstance(message, dict):
+                        raise _HTTPError(400, "bad_request",
+                                         "stream messages must be JSON objects")
+                    if message.get("end"):
+                        break
+                    if "samples_b64" in message:
+                        flat = _decode_b64_floats(message["samples_b64"])
+                        if flat.size == 0 or flat.size % expected_channels != 0:
+                            raise _HTTPError(
+                                400, "invalid_samples",
+                                f"samples_b64 holds {flat.size} values, not a multiple "
+                                f"of {expected_channels} channels",
+                            )
+                        samples = flat.reshape(-1, expected_channels).astype(np.float64)
+                    elif "samples" in message:
+                        try:
+                            samples = np.asarray(message["samples"], dtype=np.float64)
+                        except (TypeError, ValueError) as exc:
+                            raise _HTTPError(400, "invalid_samples",
+                                             f"samples are not numeric: {exc}") from None
+                        if samples.ndim != 2 or samples.shape[1] != expected_channels:
+                            raise _HTTPError(
+                                400, "invalid_samples",
+                                f"samples must have shape (n, {expected_channels}), "
+                                f"got {samples.shape}",
+                            )
+                    else:
+                        raise _HTTPError(400, "bad_request",
+                                         "stream message needs 'samples', 'samples_b64' or 'end'")
+                    samples_seen += int(samples.shape[0])
+                    for window in ingestor.push(samples):
+                        try:
+                            future = self.server.submit(window)
+                        except QueueFullError:
+                            self._shed_total.labels(reason="batcher_full").inc()
+                            await queue.put(("shed", window_index, None))
+                        except ServingError as exc:
+                            raise _HTTPError(500, "internal",
+                                             f"window rejected: {exc}") from None
+                        else:
+                            await queue.put(("window", window_index, future))
+                        window_index += 1
+            except _HTTPError as exc:
+                # Headers are already on the wire: report in-stream and close.
+                await queue.put(None)
+                await replies
+                await write_line({"error": {"code": exc.code, "message": exc.message}})
+                await self._send(writer, b"0\r\n\r\n")
+                self._observe("/v1/stream", 400, head.received_at)
+                return False
+            await queue.put(None)
+            await replies
+            await write_line({
+                "done": True,
+                "samples": samples_seen,
+                "windows": window_index,
+                "ok": counts["ok"],
+                "shed": counts["shed"],
+                "deadline_exceeded": counts["deadline"],
+            })
+            await self._send(writer, b"0\r\n\r\n")
+            self._observe("/v1/stream", 200, head.received_at)
+            return False  # one session per connection
+        finally:
+            self._release(client_id)
+            if not replies.done():
+                replies.cancel()
+
+
+def serve_gateway(
+    server: InferenceServer,
+    config: Optional[GatewayConfig] = None,
+    **overrides,
+) -> InferenceGateway:
+    """Build and start an :class:`InferenceGateway` (keyword knobs accepted).
+
+    >>> gateway = serve_gateway(server, port=8080, max_pending=256)
+    >>> ...
+    >>> gateway.stop()
+    """
+    if config is None:
+        config = GatewayConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    return InferenceGateway(server, config).start()

@@ -1,0 +1,395 @@
+"""Closed- and open-loop load generation against the HTTP gateway.
+
+The benchmark suite needs two distinct traffic shapes to characterise
+:mod:`repro.serving.gateway`:
+
+* **closed loop** (:func:`run_closed_loop`) — ``clients`` concurrent
+  connections, each issuing its next request only after the previous reply
+  arrives.  Offered load adapts to service rate, so the gateway never sheds;
+  this measures sustainable throughput and latency under well-behaved
+  clients (the ``0.9×`` in-process-throughput acceptance gate).
+* **open loop** (:func:`run_open_loop`) — arrivals follow a seeded Poisson
+  process at ``rate_rps``, fired on schedule whether or not earlier requests
+  have resolved (every arrival is its own asyncio task; connections come
+  from a keep-alive pool that grows with concurrency).  Offered load is
+  independent of service rate, so pushing ``rate_rps`` past capacity drives
+  the admission controller into its ``429`` load-shed path — the shed-rate
+  measurements.  ``burst_factor`` > 1 modulates the rate into a square wave
+  (``burst_factor × rate`` half the period, the remainder of the rate budget
+  in the other half) to model bursty traces rather than smooth Poisson.
+
+Both return a :class:`LoadResult` with per-status counts, latency
+percentiles, and shed rate — the exact fields
+``benchmarks/test_gateway_throughput.py`` publishes into
+``BENCH_gateway_throughput.json``.
+
+Everything here is stdlib + asyncio: the HTTP client is a minimal
+HTTP/1.1 implementation over ``asyncio.open_connection`` (keep-alive,
+``Content-Length`` bodies) because the point is to drive *our* server with
+hundreds of concurrent clients from one process, not to reimplement a
+browser.  Sync entry points wrap ``asyncio.run`` so benchmarks and tests
+stay synchronous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ServingError
+from ..logging_utils import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "LoadResult",
+    "batch_body",
+    "predict_body",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+_HEADER_TEMPLATE = (
+    "POST {path} HTTP/1.1\r\n"
+    "Host: {host}\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: {length}\r\n"
+    "X-Client-Id: {client_id}\r\n"
+    "Connection: keep-alive\r\n\r\n"
+)
+
+BodyFn = Callable[[int], bytes]
+"""Maps a request index to its JSON body (pre-encoded bytes)."""
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run (closed or open loop).
+
+    ``offered`` counts scheduled arrivals; ``completed`` the requests that
+    received *any* HTTP response (sheds included — a ``429`` is the gateway
+    working as designed, not an error); ``errors`` the requests that died
+    below HTTP (connection refused/reset, truncated reply).
+    """
+
+    mode: str
+    duration_s: float
+    offered: int = 0
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+    errors: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(self.status_counts.values())
+
+    @property
+    def succeeded(self) -> int:
+        return self.status_counts.get(200, 0)
+
+    @property
+    def shed(self) -> int:
+        """Responses shed by admission control (429 + 503)."""
+        return self.status_counts.get(429, 0) + self.status_counts.get(503, 0)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of completed requests the gateway shed."""
+        return self.shed / self.completed if self.completed else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Successful (200) responses per second of wall clock."""
+        return self.succeeded / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of successful-request latency, ms."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    def summary(self) -> Dict[str, float]:
+        """The flat metrics dict the gateway benchmark publishes."""
+        return {
+            "offered": float(self.offered),
+            "completed": float(self.completed),
+            "succeeded": float(self.succeeded),
+            "shed": float(self.shed),
+            "errors": float(self.errors),
+            "shed_rate": self.shed_rate,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_percentile(50.0),
+            "latency_p99_ms": self.latency_percentile(99.0),
+        }
+
+    def record(self, status: int, latency_ms: float) -> None:
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        if status == 200:
+            self.latencies_ms.append(latency_ms)
+
+
+class _Connection:
+    """One keep-alive HTTP/1.1 client connection (asyncio streams)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def ensure_open(self) -> None:
+        if self.writer is None or self.writer.is_closing():
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port, limit=1 << 20
+            )
+
+    async def request(self, path: str, body: bytes, client_id: str) -> Tuple[int, bytes]:
+        """Send one POST, return ``(status, body)``; raises on transport failure."""
+        await self.ensure_open()
+        assert self.reader is not None and self.writer is not None
+        head = _HEADER_TEMPLATE.format(
+            path=path, host=self.host, length=len(body), client_id=client_id
+        ).encode("ascii")
+        self.writer.write(head + body)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("truncated response headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await self.reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return status, payload
+
+    def close(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except RuntimeError:
+                pass
+        self.reader = None
+        self.writer = None
+
+
+def _parse_url(url: str) -> Tuple[str, int, str]:
+    """``http://host:port[/base]`` → ``(host, port, base_path)``."""
+    if not url.startswith("http://"):
+        raise ServingError(f"load generator only speaks http://, got {url!r}")
+    rest = url[len("http://"):]
+    hostport, slash, base = rest.partition("/")
+    host, colon, port = hostport.partition(":")
+    if not colon:
+        port = "80"
+    try:
+        return host, int(port), ("/" + base if slash else "")
+    except ValueError:
+        raise ServingError(f"bad port in url {url!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Closed loop
+# ----------------------------------------------------------------------
+async def _closed_loop_async(
+    url: str,
+    path: str,
+    body_fn: BodyFn,
+    clients: int,
+    requests_per_client: int,
+) -> LoadResult:
+    host, port, base = _parse_url(url)
+    result = LoadResult(mode="closed", duration_s=0.0)
+    result.offered = clients * requests_per_client
+
+    async def one_client(client_index: int) -> None:
+        connection = _Connection(host, port)
+        client_id = f"closed-{client_index}"
+        try:
+            for i in range(requests_per_client):
+                request_index = client_index * requests_per_client + i
+                body = body_fn(request_index)
+                started = time.perf_counter()
+                try:
+                    status, _ = await connection.request(base + path, body, client_id)
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    result.errors += 1
+                    connection.close()
+                    continue
+                result.record(status, 1000.0 * (time.perf_counter() - started))
+        finally:
+            connection.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*[one_client(c) for c in range(clients)])
+    result.duration_s = time.perf_counter() - started
+    return result
+
+
+def run_closed_loop(
+    url: str,
+    path: str,
+    body_fn: BodyFn,
+    clients: int = 8,
+    requests_per_client: int = 32,
+) -> LoadResult:
+    """``clients`` concurrent keep-alive connections, each issuing
+    ``requests_per_client`` sequential POSTs of ``body_fn(i)`` to ``path``.
+    """
+    return asyncio.run(
+        _closed_loop_async(url, path, body_fn, clients, requests_per_client)
+    )
+
+
+# ----------------------------------------------------------------------
+# Open loop
+# ----------------------------------------------------------------------
+def _arrival_times(
+    rate_rps: float,
+    duration_s: float,
+    seed: int,
+    burst_factor: float,
+    burst_period_s: float,
+) -> List[float]:
+    """Seeded Poisson arrival offsets over ``[0, duration_s)``.
+
+    ``burst_factor`` > 1 makes the rate a square wave with the same mean:
+    ``burst_factor × rate`` during the first half of each period and
+    ``(2 - burst_factor) × rate`` (floored at a trickle) in the second —
+    bursty traces stress the admission queue far harder than a smooth
+    process at equal average load.
+    """
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    t = 0.0
+    while t < duration_s:
+        if burst_factor > 1.0:
+            phase = (t % burst_period_s) / burst_period_s
+            local_rate = rate_rps * (
+                burst_factor if phase < 0.5 else max(2.0 - burst_factor, 0.05)
+            )
+        else:
+            local_rate = rate_rps
+        t += rng.expovariate(local_rate)
+        if t < duration_s:
+            arrivals.append(t)
+    return arrivals
+
+
+async def _open_loop_async(
+    url: str,
+    path: str,
+    body_fn: BodyFn,
+    rate_rps: float,
+    duration_s: float,
+    seed: int,
+    burst_factor: float,
+    burst_period_s: float,
+    num_client_ids: int,
+) -> LoadResult:
+    host, port, base = _parse_url(url)
+    arrivals = _arrival_times(rate_rps, duration_s, seed, burst_factor, burst_period_s)
+    result = LoadResult(mode="open", duration_s=0.0)
+    result.offered = len(arrivals)
+    pool: "asyncio.Queue[_Connection]" = asyncio.Queue()
+    tasks: List[asyncio.Task] = []
+
+    async def fire(index: int) -> None:
+        try:
+            connection = pool.get_nowait()
+        except asyncio.QueueEmpty:
+            connection = _Connection(host, port)
+        client_id = f"open-{index % num_client_ids}"
+        body = body_fn(index)
+        started = time.perf_counter()
+        try:
+            status, _ = await connection.request(base + path, body, client_id)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            result.errors += 1
+            connection.close()
+            return
+        result.record(status, 1000.0 * (time.perf_counter() - started))
+        pool.put_nowait(connection)
+
+    epoch = time.perf_counter()
+    for index, offset in enumerate(arrivals):
+        delay = epoch + offset - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(index)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    result.duration_s = time.perf_counter() - epoch
+    while not pool.empty():
+        pool.get_nowait().close()
+    return result
+
+
+def run_open_loop(
+    url: str,
+    path: str,
+    body_fn: BodyFn,
+    rate_rps: float,
+    duration_s: float,
+    seed: int = 0,
+    burst_factor: float = 1.0,
+    burst_period_s: float = 1.0,
+    num_client_ids: int = 64,
+) -> LoadResult:
+    """Poisson arrivals at ``rate_rps`` for ``duration_s`` seconds, fired on
+    schedule regardless of outstanding requests (offered load is independent
+    of service rate — the saturation/shed measurement).  ``burst_factor`` > 1
+    turns the rate into a square wave of equal mean (bursty traces);
+    requests rotate across ``num_client_ids`` distinct ``X-Client-Id``
+    values so the per-client cap is not the first limit hit.
+    """
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ServingError("rate_rps and duration_s must be positive")
+    if burst_factor < 1.0 or burst_factor >= 2.0:
+        raise ServingError(f"burst_factor must be in [1, 2), got {burst_factor}")
+    return asyncio.run(
+        _open_loop_async(
+            url, path, body_fn, rate_rps, duration_s, seed,
+            burst_factor, burst_period_s, max(1, num_client_ids),
+        )
+    )
+
+
+def predict_body(window: np.ndarray) -> bytes:
+    """Encode one window as a ``/v1/predict`` binary-payload body."""
+    arr = np.ascontiguousarray(np.asarray(window, dtype="<f4"))
+    return json.dumps(
+        {"window_b64": base64.b64encode(arr.tobytes()).decode("ascii")}
+    ).encode("utf-8")
+
+
+def batch_body(windows: np.ndarray) -> bytes:
+    """Encode a ``(N, L, C)`` stack as a ``/v1/batch`` binary-payload body."""
+    arr = np.ascontiguousarray(np.asarray(windows, dtype="<f4"))
+    return json.dumps(
+        {"windows_b64": base64.b64encode(arr.tobytes()).decode("ascii")}
+    ).encode("utf-8")

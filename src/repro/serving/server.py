@@ -254,6 +254,19 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Request API
     # ------------------------------------------------------------------
+    @property
+    def window_shape(self) -> tuple:
+        """The ``(window_length, channels)`` every submitted window must have.
+
+        The network gateway validates request payloads against this *before*
+        submitting, so a malformed request costs a 400 response instead of an
+        exception on the submit path.
+        """
+        return (
+            self.model.backbone.config.window_length,
+            self.model.backbone.config.input_channels,
+        )
+
     def submit(self, window: np.ndarray) -> "Future[Prediction]":
         """Enqueue one preprocessed window; resolves to a :class:`Prediction`.
 
@@ -262,12 +275,11 @@ class InferenceServer:
         ``queue.wait`` / ``batch.assemble`` / ``forward`` (batcher worker),
         ``response`` (future resolution) — all under a root ``request`` span.
         Unsampled requests carry ``trace_id=None`` and skip every recording.
+        A full queue raises :class:`~repro.exceptions.QueueFullError` — the
+        retryable rejection admission layers translate into a 429.
         """
         window = np.asarray(window, dtype=self._compute_dtype)
-        expected = (
-            self.model.backbone.config.window_length,
-            self.model.backbone.config.input_channels,
-        )
+        expected = self.window_shape
         if window.shape != expected:
             raise ServingError(
                 f"window shape {window.shape} does not match the served model's "

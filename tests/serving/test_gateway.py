@@ -1,0 +1,687 @@
+"""HTTP gateway: wire protocol, admission control, streaming, drain, loadgen.
+
+Every status code documented in ``docs/PROTOCOL.md`` (200/400/404/405/413/
+429/503) is exercised here against a live gateway over real sockets — the
+CI smoke is a subset of these paths.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+import time
+from contextlib import contextmanager
+from http.client import HTTPConnection
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GatewayError
+from repro.obs import parse_prometheus_text
+from repro.serving import (
+    GatewayConfig,
+    InferenceServer,
+    ServerConfig,
+    serve_gateway,
+)
+from repro.serving.loadgen import (
+    LoadResult,
+    _arrival_times,
+    batch_body,
+    predict_body,
+    run_closed_loop,
+    run_open_loop,
+)
+
+# Keep in sync with tests/serving/conftest.py's serving_model fixture.
+WINDOW_LENGTH = 32
+NUM_CHANNELS = 6
+NUM_CLASSES = 4
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _request(gateway, path, payload=None, method="POST", headers=None, raw_body=None):
+    """One HTTP request → ``(status, headers_dict, parsed_json)``."""
+    conn = HTTPConnection(gateway.config.host, gateway.port, timeout=30)
+    try:
+        body = raw_body
+        if body is None and payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        conn.request(method, path, body=body, headers=dict(headers or {}))
+        response = conn.getresponse()
+        data = response.read()
+        parsed = json.loads(data) if data else None
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        conn.close()
+
+
+@contextmanager
+def _gateway(model, server_kwargs=None, **gateway_kwargs):
+    """A fresh server + gateway pair with per-test capacity knobs."""
+    server = InferenceServer(
+        model=model,
+        config=ServerConfig(max_batch_size=8, max_wait_ms=1.0, **(server_kwargs or {})),
+    )
+    gateway = serve_gateway(server, port=0, **gateway_kwargs)
+    try:
+        yield gateway, server
+    finally:
+        gateway.stop()
+        server.close()
+
+
+@contextmanager
+def _stalled_batcher(server):
+    """Block the batcher's forward until the yielded event is set.
+
+    The worker reads ``self.handler`` per batch, so swapping it stalls the
+    pipeline without touching queue bookkeeping — the knob for driving the
+    gateway's queue-full / deadline / drain paths deterministically.
+    """
+    release = threading.Event()
+    original = server._batcher.handler
+
+    def blocked(batch):
+        release.wait(timeout=30.0)
+        return original(batch)
+
+    server._batcher.handler = blocked
+    try:
+        yield release
+    finally:
+        release.set()
+        server._batcher.handler = original
+
+
+def _post_in_thread(gateway, path, payload):
+    """Fire a request from a worker thread; returns (thread, results list)."""
+    results = []
+
+    def worker():
+        results.append(_request(gateway, path, payload))
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    return thread, results
+
+
+def _wait_until(predicate, timeout=5.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture(scope="module")
+def live(serving_model):
+    """One long-lived server + gateway shared by the happy-path tests."""
+    server = InferenceServer(
+        model=serving_model, config=ServerConfig(max_batch_size=8, max_wait_ms=1.0)
+    )
+    gateway = serve_gateway(server, port=0)
+    yield gateway, server
+    gateway.stop()
+    server.close()
+
+
+# ----------------------------------------------------------------------
+# Unary routes
+# ----------------------------------------------------------------------
+class TestUnaryRoutes:
+    def test_predict_matches_in_process_serving(self, live, windows):
+        gateway, server = live
+        status, _, body = _request(
+            gateway, "/v1/predict", {"window": windows[0].tolist()}
+        )
+        assert status == 200
+        assert 0 <= body["label"] < NUM_CLASSES
+        assert body["confidence"] == pytest.approx(max(body["probabilities"]))
+        assert len(body["probabilities"]) == NUM_CLASSES
+        assert body["latency_ms"] > 0
+        assert body["label"] == int(server.predict(windows[0]).label)
+
+    def test_predict_binary_encoding_matches_json(self, live, windows):
+        gateway, _ = live
+        window = windows[1].astype(np.float32)
+        _, _, from_json = _request(gateway, "/v1/predict", {"window": window.tolist()})
+        encoded = base64.b64encode(
+            np.ascontiguousarray(window, dtype="<f4").tobytes()
+        ).decode("ascii")
+        status, _, from_b64 = _request(gateway, "/v1/predict", {"window_b64": encoded})
+        assert status == 200
+        assert from_b64["label"] == from_json["label"]
+        np.testing.assert_allclose(
+            from_b64["probabilities"], from_json["probabilities"], rtol=1e-6
+        )
+
+    def test_batch_returns_per_window_predictions(self, live, windows):
+        gateway, server = live
+        stack = windows[:6]
+        status, _, body = _request(gateway, "/v1/batch", {"windows": stack.tolist()})
+        assert status == 200
+        assert body["count"] == 6 and len(body["predictions"]) == 6
+        assert "probabilities" not in body["predictions"][0]
+        expected = [int(p.label) for p in server.predict_many(list(stack))]
+        assert [p["label"] for p in body["predictions"]] == expected
+
+    def test_batch_binary_with_probabilities(self, live, windows):
+        gateway, _ = live
+        stack = np.ascontiguousarray(windows[:4], dtype="<f4")
+        payload = {
+            "windows_b64": base64.b64encode(stack.tobytes()).decode("ascii"),
+            "return_probabilities": True,
+        }
+        status, _, body = _request(gateway, "/v1/batch", payload)
+        assert status == 200
+        assert all(len(p["probabilities"]) == NUM_CLASSES for p in body["predictions"])
+
+    def test_healthz_reports_ok(self, live):
+        gateway, _ = live
+        status, _, body = _request(gateway, "/healthz", method="GET")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["draining"] is False
+
+    def test_unknown_path_is_404(self, live):
+        gateway, _ = live
+        status, _, body = _request(gateway, "/v2/predict", {"window": []})
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405_with_allow(self, live):
+        gateway, _ = live
+        status, headers, body = _request(gateway, "/v1/predict", method="GET")
+        assert status == 405
+        assert headers.get("Allow") == "POST"
+        assert body["error"]["code"] == "method_not_allowed"
+        status, headers, _ = _request(gateway, "/healthz", {"x": 1}, method="POST")
+        assert status == 405
+        assert headers.get("Allow") == "GET"
+
+    def test_keep_alive_serves_sequential_requests(self, live, windows):
+        gateway, _ = live
+        conn = HTTPConnection(gateway.config.host, gateway.port, timeout=30)
+        try:
+            labels = []
+            for window in windows[:3]:
+                conn.request(
+                    "POST", "/v1/predict",
+                    body=json.dumps({"window": window.tolist()}).encode(),
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") == "keep-alive"
+                labels.append(json.loads(response.read())["label"])
+            assert len(labels) == 3  # three replies on one connection
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Error paths (the documented 400/413 semantics)
+# ----------------------------------------------------------------------
+class TestErrorPaths:
+    def test_malformed_json_is_400(self, live):
+        gateway, _ = live
+        status, _, body = _request(
+            gateway, "/v1/predict", raw_body=b"{not json",
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_non_object_body_is_400(self, live):
+        gateway, _ = live
+        status, _, body = _request(gateway, "/v1/predict", raw_body=b"[1, 2, 3]")
+        assert status == 400
+
+    def test_wrong_window_shape_is_400(self, live):
+        gateway, _ = live
+        bad = np.zeros((WINDOW_LENGTH + 1, NUM_CHANNELS)).tolist()
+        status, _, body = _request(gateway, "/v1/predict", {"window": bad})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_window"
+        assert str((WINDOW_LENGTH, NUM_CHANNELS)) in body["error"]["message"]
+
+    def test_missing_window_field_is_400(self, live):
+        gateway, _ = live
+        status, _, body = _request(gateway, "/v1/predict", {"wimdow": []})
+        assert status == 400
+        assert "window" in body["error"]["message"]
+
+    def test_invalid_base64_is_400(self, live):
+        gateway, _ = live
+        status, _, body = _request(gateway, "/v1/predict", {"window_b64": "@@not-b64@@"})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_window"
+
+    def test_oversized_body_is_413(self, serving_model):
+        with _gateway(serving_model, max_body_bytes=1024) as (gateway, _):
+            status, headers, body = _request(
+                gateway, "/v1/predict", raw_body=b"x" * 4096
+            )
+            assert status == 413
+            assert body["error"]["code"] == "payload_too_large"
+            # The unread body poisons the connection; the gateway says so.
+            assert headers.get("Connection") == "close"
+
+    def test_too_many_batch_windows_is_413(self, serving_model, windows):
+        with _gateway(serving_model, max_batch_windows=4) as (gateway, _):
+            status, _, body = _request(
+                gateway, "/v1/batch", {"windows": windows[:8].tolist()}
+            )
+            assert status == 413
+            assert body["error"]["code"] == "too_many_windows"
+
+
+# ----------------------------------------------------------------------
+# Admission control: 429 / 503 and Retry-After
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_pending_bound_sheds_429_with_retry_after(self, serving_model, windows):
+        payload = {"window": windows[0].tolist()}
+        with _gateway(
+            serving_model, max_pending=1, deadline_ms=20000.0, retry_after_seconds=2.0
+        ) as (gateway, server):
+            with _stalled_batcher(server) as release:
+                thread, results = _post_in_thread(gateway, "/v1/predict", payload)
+                _wait_until(lambda: gateway.pending == 1, message="first admit")
+                status, headers, body = _request(gateway, "/v1/predict", payload)
+                assert status == 429
+                assert body["error"]["code"] == "queue_full"
+                assert int(headers["Retry-After"]) == 2
+                release.set()
+            thread.join(timeout=10)
+            assert results and results[0][0] == 200  # admitted request completed
+
+    def test_per_client_cap_sheds_429(self, serving_model, windows):
+        payload = {"window": windows[0].tolist()}
+        headers = {"X-Client-Id": "greedy"}
+        with _gateway(
+            serving_model, max_pending=16, max_inflight_per_client=1,
+            deadline_ms=20000.0,
+        ) as (gateway, server):
+            with _stalled_batcher(server) as release:
+                results = []
+                thread = threading.Thread(
+                    target=lambda: results.append(
+                        _request(gateway, "/v1/predict", payload, headers=headers)
+                    ),
+                    daemon=True,
+                )
+                thread.start()
+                _wait_until(lambda: gateway.pending == 1, message="first admit")
+                status, _, body = _request(
+                    gateway, "/v1/predict", payload, headers=headers
+                )
+                assert status == 429
+                assert body["error"]["code"] == "client_limit"
+                release.set()
+            thread.join(timeout=10)
+            assert results and results[0][0] == 200
+
+    def test_batcher_queue_full_sheds_429(self, serving_model, windows):
+        payload = {"window": windows[0].tolist()}
+        with _gateway(
+            serving_model, server_kwargs={"queue_capacity": 1},
+            max_pending=64, deadline_ms=20000.0,
+        ) as (gateway, server):
+            with _stalled_batcher(server) as release:
+                # First request is in the (stalled) worker, second fills the
+                # queue of capacity 1, third must bounce off the batcher.
+                first, first_results = _post_in_thread(gateway, "/v1/predict", payload)
+                _wait_until(lambda: gateway.pending == 1, message="worker occupied")
+                _wait_until(
+                    lambda: server._batcher.queue_depth == 0, message="worker pickup"
+                )
+                second, second_results = _post_in_thread(gateway, "/v1/predict", payload)
+                _wait_until(
+                    lambda: server._batcher.queue_depth == 1, message="queue filled"
+                )
+                status, _, body = _request(gateway, "/v1/predict", payload)
+                assert status == 429
+                assert body["error"]["code"] == "batcher_full"
+                release.set()
+            first.join(timeout=10)
+            second.join(timeout=10)
+            assert first_results[0][0] == 200 and second_results[0][0] == 200
+
+    def test_deadline_exceeded_is_503(self, serving_model, windows):
+        payload = {"window": windows[0].tolist()}
+        with _gateway(serving_model, deadline_ms=80.0) as (gateway, server):
+            with _stalled_batcher(server) as release:
+                status, headers, body = _request(gateway, "/v1/predict", payload)
+                assert status == 503
+                assert body["error"]["code"] == "deadline"
+                assert "Retry-After" in headers
+                release.set()
+            # The shed request released its admission slot.
+            _wait_until(lambda: gateway.pending == 0, message="slot release")
+
+    def test_shed_reasons_are_counted(self, serving_model, windows):
+        payload = {"window": windows[0].tolist()}
+        with _gateway(serving_model, deadline_ms=60.0) as (gateway, server):
+            with _stalled_batcher(server) as release:
+                _request(gateway, "/v1/predict", payload)
+                release.set()
+            snapshot = gateway._shed_total.labels(reason="deadline").value
+            assert snapshot >= 1
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_inflight_completes_and_new_requests_shed(self, serving_model, windows):
+        payload = {"window": windows[0].tolist()}
+        server = InferenceServer(
+            model=serving_model, config=ServerConfig(max_batch_size=8, max_wait_ms=1.0)
+        )
+        gateway = serve_gateway(server, port=0, deadline_ms=20000.0)
+        try:
+            # A keep-alive connection opened before the drain keeps working
+            # (the listener closes to *new* connections only).
+            survivor = HTTPConnection(gateway.config.host, gateway.port, timeout=30)
+            survivor.request("GET", "/healthz")
+            response = survivor.getresponse()
+            assert response.status == 200
+            response.read()  # finish the exchange; keep-alive keeps it open
+
+            with _stalled_batcher(server) as release:
+                thread, results = _post_in_thread(gateway, "/v1/predict", payload)
+                _wait_until(lambda: gateway.pending == 1, message="in-flight admit")
+                stopper = threading.Thread(target=gateway.stop, daemon=True)
+                stopper.start()
+                _wait_until(lambda: gateway.draining, message="drain start")
+                survivor.request(
+                    "POST", "/v1/predict", body=json.dumps(payload).encode()
+                )
+                response = survivor.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 503
+                assert body["error"]["code"] == "draining"
+                assert response.getheader("Retry-After") is not None
+                release.set()
+                stopper.join(timeout=20)
+            thread.join(timeout=10)
+            assert results and results[0][0] == 200  # in-flight ran to completion
+            survivor.close()
+            with pytest.raises(GatewayError):
+                gateway.start()  # a drained gateway does not restart
+        finally:
+            gateway.stop()
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# Streaming sessions
+# ----------------------------------------------------------------------
+class TestStreamingSessions:
+    def _run_session(self, gateway, messages):
+        conn = HTTPConnection(gateway.config.host, gateway.port, timeout=30)
+        try:
+            chunks = [json.dumps(m).encode() + b"\n" for m in messages]
+            conn.request(
+                "POST", "/v1/stream", body=iter(chunks),
+                headers={"Transfer-Encoding": "chunked"}, encode_chunked=True,
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith("application/x-ndjson")
+            lines = [json.loads(l) for l in response.read().splitlines() if l.strip()]
+            return lines
+        finally:
+            conn.close()
+
+    def test_session_streams_in_order_predictions(self, live):
+        gateway, _ = live
+        rng = np.random.default_rng(3)
+        messages = [
+            {"samples": rng.standard_normal((40, NUM_CHANNELS)).tolist()}
+            for _ in range(4)
+        ]
+        messages.append({"end": True})
+        lines = self._run_session(gateway, messages)
+        done = lines[-1]
+        assert done["done"] is True
+        assert done["samples"] == 160
+        assert done["windows"] == done["ok"] == len(lines) - 1 > 0
+        assert done["shed"] == 0 and done["deadline_exceeded"] == 0
+        assert [line["index"] for line in lines[:-1]] == list(range(len(lines) - 1))
+        assert all(0 <= line["label"] < NUM_CLASSES for line in lines[:-1])
+
+    def test_session_accepts_binary_samples(self, live):
+        gateway, _ = live
+        rng = np.random.default_rng(4)
+        samples = rng.standard_normal((64, NUM_CHANNELS)).astype("<f4")
+        encoded = base64.b64encode(np.ascontiguousarray(samples).tobytes()).decode()
+        lines = self._run_session(
+            gateway, [{"samples_b64": encoded}, {"end": True}]
+        )
+        assert lines[-1]["done"] is True
+        assert lines[-1]["samples"] == 64
+
+    def test_session_with_content_length_body(self, live):
+        gateway, _ = live
+        rng = np.random.default_rng(5)
+        body = b"".join(
+            json.dumps(
+                {"samples": rng.standard_normal((40, NUM_CHANNELS)).tolist()}
+            ).encode() + b"\n"
+            for _ in range(2)
+        ) + b'{"end": true}\n'
+        conn = HTTPConnection(gateway.config.host, gateway.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/stream", body=body)
+            response = conn.getresponse()
+            assert response.status == 200
+            lines = [json.loads(l) for l in response.read().splitlines() if l.strip()]
+            assert lines[-1]["done"] is True and lines[-1]["samples"] == 80
+        finally:
+            conn.close()
+
+    def test_bad_stream_message_reports_in_stream_error(self, live):
+        gateway, _ = live
+        lines = self._run_session(gateway, [{"bogus": 1}])
+        assert lines[-1]["error"]["code"] == "bad_request"
+
+    def test_wrong_channel_count_reports_invalid_samples(self, live):
+        gateway, _ = live
+        lines = self._run_session(
+            gateway, [{"samples": [[0.0] * (NUM_CHANNELS + 1)] * 8}]
+        )
+        assert lines[-1]["error"]["code"] == "invalid_samples"
+
+    def test_stream_without_framing_is_400(self, live):
+        gateway, _ = live
+        # http.client always sends Content-Length for bytes bodies, so speak
+        # raw: a POST /v1/stream with neither framing header must 400.
+        import socket
+
+        with socket.create_connection(
+            (gateway.config.host, gateway.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/stream HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            data = sock.recv(4096)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+
+
+# ----------------------------------------------------------------------
+# Metrics + health wiring
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_gateway_metrics_exported_via_obs_endpoint(self, serving_model, windows):
+        import urllib.request
+
+        with _gateway(serving_model, metrics_port=0) as (gateway, _):
+            _request(gateway, "/v1/predict", {"window": windows[0].tolist()})
+            _request(gateway, "/v1/predict", raw_body=b"broken")
+            assert gateway.obs_server is not None
+            text = urllib.request.urlopen(
+                gateway.obs_server.url + "/metrics", timeout=10
+            ).read().decode()
+            parsed = parse_prometheus_text(text)
+            assert parsed["types"]["gateway_requests_total"] == "counter"
+            counts = {
+                tuple(sorted(labels.items())): value
+                for name, labels, value in parsed["samples"]
+                if name == "gateway_requests_total"
+            }
+            assert counts[(("route", "/v1/predict"), ("status", "200"))] >= 1.0
+            assert counts[(("route", "/v1/predict"), ("status", "400"))] >= 1.0
+            assert (
+                "gateway_request_latency_ms_bucket" in text
+                and 'route="/v1/predict"' in text
+            )
+            health = json.loads(
+                urllib.request.urlopen(
+                    gateway.obs_server.url + "/healthz", timeout=10
+                ).read()
+            )
+            assert health["checks"]["gateway"] is True
+            assert health["checks"]["batcher"] is True
+
+    def test_gateway_registers_health_on_server_obs(self, serving_model):
+        import urllib.request
+
+        server = InferenceServer(
+            model=serving_model,
+            config=ServerConfig(max_batch_size=8, max_wait_ms=1.0, metrics_port=0),
+        )
+        gateway = serve_gateway(server, port=0)
+        try:
+            health = json.loads(
+                urllib.request.urlopen(
+                    server.obs_server.url + "/healthz", timeout=10
+                ).read()
+            )
+            assert health["checks"]["gateway"] is True
+        finally:
+            gateway.stop()
+            server.close()
+
+    def test_pending_gauge_tracks_admissions(self, serving_model, windows):
+        with _gateway(serving_model, deadline_ms=20000.0) as (gateway, server):
+            with _stalled_batcher(server) as release:
+                thread, _ = _post_in_thread(
+                    gateway, "/v1/predict", {"window": windows[0].tolist()}
+                )
+                _wait_until(lambda: gateway.pending == 1, message="admit")
+                release.set()
+            thread.join(timeout=10)
+            _wait_until(lambda: gateway.pending == 0, message="release")
+
+
+# ----------------------------------------------------------------------
+# Config validation + lifecycle
+# ----------------------------------------------------------------------
+class TestConfigAndLifecycle:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"port": 70000},
+            {"max_pending": 0},
+            {"max_inflight_per_client": 0},
+            {"deadline_ms": 0.0},
+            {"max_body_bytes": -1},
+            {"max_batch_windows": 0},
+            {"retry_after_seconds": 0.0},
+            {"metrics_port": 99999},
+        ],
+    )
+    def test_invalid_config_rejected(self, overrides):
+        with pytest.raises(GatewayError):
+            GatewayConfig(**overrides)
+
+    def test_port_requires_started_gateway(self, serving_model):
+        from repro.serving.gateway import InferenceGateway
+
+        server = InferenceServer(
+            model=serving_model, config=ServerConfig(max_batch_size=8, max_wait_ms=1.0)
+        )
+        try:
+            gateway = InferenceGateway(server)
+            with pytest.raises(GatewayError):
+                gateway.port
+        finally:
+            server.close()
+
+    def test_context_manager_starts_and_drains(self, serving_model, windows):
+        server = InferenceServer(
+            model=serving_model, config=ServerConfig(max_batch_size=8, max_wait_ms=1.0)
+        )
+        from repro.serving.gateway import InferenceGateway
+
+        try:
+            with InferenceGateway(server) as gateway:
+                status, _, _ = _request(
+                    gateway, "/v1/predict", {"window": windows[0].tolist()}
+                )
+                assert status == 200
+            assert gateway.draining
+        finally:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# Load generator
+# ----------------------------------------------------------------------
+class TestLoadGenerator:
+    def test_arrival_times_are_seeded_and_bounded(self):
+        a = _arrival_times(200.0, 1.0, seed=7, burst_factor=1.0, burst_period_s=1.0)
+        b = _arrival_times(200.0, 1.0, seed=7, burst_factor=1.0, burst_period_s=1.0)
+        assert a == b
+        assert all(0.0 <= t < 1.0 for t in a)
+        assert a == sorted(a)
+        # Mean rate within a loose tolerance of the requested 200 rps.
+        assert 100 <= len(a) <= 320
+
+    def test_bursty_arrivals_concentrate_in_burst_phase(self):
+        arrivals = _arrival_times(
+            400.0, 2.0, seed=3, burst_factor=1.9, burst_period_s=1.0
+        )
+        in_burst = sum(1 for t in arrivals if (t % 1.0) < 0.5)
+        assert in_burst > 0.7 * len(arrivals)
+
+    def test_percentiles_and_shed_rate(self):
+        result = LoadResult(mode="closed", duration_s=2.0)
+        for latency in [10.0, 20.0, 30.0, 40.0]:
+            result.record(200, latency)
+        result.record(429, 0.0)
+        assert result.completed == 5 and result.succeeded == 4
+        assert result.shed == 1
+        assert result.shed_rate == pytest.approx(0.2)
+        assert result.latency_percentile(50) == pytest.approx(25.0)
+        assert result.latency_percentile(100) == pytest.approx(40.0)
+        assert result.throughput_rps == pytest.approx(2.0)
+        summary = result.summary()
+        assert summary["latency_p99_ms"] == pytest.approx(39.7)
+
+    def test_closed_loop_against_live_gateway(self, live, windows):
+        gateway, _ = live
+        bodies = [predict_body(w) for w in windows[:8]]
+        result = run_closed_loop(
+            gateway.url, "/v1/predict", lambda i: bodies[i % 8],
+            clients=4, requests_per_client=6,
+        )
+        assert result.offered == result.succeeded == 24
+        assert result.errors == 0
+        assert result.latency_percentile(99) > 0
+
+    def test_open_loop_against_live_gateway(self, live, windows):
+        gateway, _ = live
+        body = batch_body(windows[:2])
+        result = run_open_loop(
+            gateway.url, "/v1/batch", lambda i: body,
+            rate_rps=60.0, duration_s=0.5, seed=11,
+        )
+        assert result.offered > 0
+        assert result.errors == 0
+        assert result.completed == result.offered
