@@ -26,6 +26,10 @@ The package is organised as a small stack of subsystems (see ``DESIGN.md``):
 * :mod:`repro.experiments` — resumable experiment orchestration: declarative
   grid specs, content-addressed stage caching, checkpoint/resume and the
   ``BENCH_*.json`` regression pipeline;
+* :mod:`repro.analysis` — project-specific static analysis: an AST framework
+  plus invariant checkers (dtype policy, determinism, asyncio hygiene, lock
+  discipline, exception policy, annotation integrity) gating CI
+  (``python -m repro.analysis check``, catalog in ``docs/ANALYSIS.md``);
 * :mod:`repro.core` / :mod:`repro.evaluation` — pipeline, experiments, figures.
 
 Quick start

@@ -1,0 +1,43 @@
+"""repro.analysis — project-specific static analysis with a CI gate.
+
+A stdlib-``ast`` framework plus a suite of checkers for the semantic
+invariants generic linters cannot see, each grounded in a bug this codebase
+actually shipped (see ``docs/ANALYSIS.md`` for the rule catalog):
+
+========  ====================  =====================================================
+REP101    dtype-policy          no hard-coded float precision in ``repro.nn`` op paths
+REP102    determinism           no unseeded/global/time-seeded randomness outside ``repro.rng``
+REP103    asyncio-hygiene       no blocking calls inside ``async def`` in ``repro.serving``
+REP104    lock-discipline       ``_GUARDED_BY`` attributes only touched under their lock
+REP105    exception-policy      subsystems raise the ``repro.exceptions`` hierarchy
+REP106    annotation-integrity  every annotation root name resolves in its module
+========  ====================  =====================================================
+
+Run ``python -m repro.analysis check`` (the CI gate), ``explain REP104``
+for a rule's shipped-bug rationale, or ``update-baseline`` to grandfather
+findings during adoption.  Deliberate exemptions are inline:
+``# repro: noqa[RULE]`` with a justification comment.
+"""
+
+from .baseline import Baseline, default_baseline_path
+from .checkers import all_checkers, checker_index
+from .core import Checker, FileContext, Finding
+from .discovery import default_root, discover
+from .engine import AnalysisResult, run_analysis
+from .reporters import render_json, render_text
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "all_checkers",
+    "checker_index",
+    "default_baseline_path",
+    "default_root",
+    "discover",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` dispatches to :mod:`repro.analysis.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,107 @@
+"""Committed baseline: grandfathered findings that do not fail the gate.
+
+The baseline is a JSON file mapping finding *content keys* (rule + path +
+stripped source line, see :attr:`repro.analysis.core.Finding.content_key`)
+to occurrence counts.  Content keys survive unrelated edits that shift line
+numbers, and a baselined line that gets fixed simply stops matching — the
+engine reports such stale entries so ``update-baseline`` can prune them.
+
+Project policy (ISSUE 9): the baseline exists for *grandfathering during
+adoption only*.  Deliberate, permanent exemptions belong inline as
+``# repro: noqa[RULE]`` next to a justification; the committed baseline in
+this repo is empty because every finding the initial rollout surfaced was
+fixed at the source.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import AnalysisError
+from .core import Finding
+
+__all__ = ["Baseline", "default_baseline_path"]
+
+_FORMAT_VERSION = 1
+
+
+def default_baseline_path(root: Path) -> Path:
+    """``analysis_baseline.json`` next to the tree under analysis.
+
+    For the canonical ``src/repro`` layout this lands at the repository
+    root, where the file is committed; a missing file is an empty baseline.
+    """
+    root = Path(root).resolve()
+    base = root.parent
+    if base.name == "src":
+        base = base.parent
+    return base / "analysis_baseline.json"
+
+
+class Baseline:
+    """Occurrence-counted set of grandfathered finding keys."""
+
+    def __init__(self, entries: Optional[Dict[str, int]] = None) -> None:
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not Path(path).exists():
+            return cls()
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise AnalysisError(f"baseline {path} is not a v{_FORMAT_VERSION} baseline file")
+        entries = payload["entries"]
+        if not isinstance(entries, dict) or not all(
+            isinstance(key, str) and isinstance(count, int) and count > 0
+            for key, count in entries.items()
+        ):
+            raise AnalysisError(f"baseline {path} has malformed entries")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(dict(Counter(finding.content_key for finding in findings)))
+
+    def save(self, path: Path) -> Path:
+        path = Path(path)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered repro.analysis findings (adoption aid only; "
+                "permanent exemptions use inline '# repro: noqa[RULE]')."
+            ),
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        return path
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], Dict[str, int]]:
+        """Split findings into (active, baselined); also return stale entries.
+
+        Each baseline entry absorbs up to its recorded count of matching
+        findings; anything beyond the count is active (a *new* occurrence of
+        a grandfathered pattern still fails the gate).  ``stale`` maps
+        baseline keys to the unconsumed remainder — entries whose source
+        lines were fixed and should be pruned.
+        """
+        budget = Counter(self.entries)
+        active: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.content_key
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                active.append(finding)
+        stale = {key: count for key, count in budget.items() if count > 0}
+        return active, baselined, stale

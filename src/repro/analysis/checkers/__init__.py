@@ -1,0 +1,40 @@
+"""Checker registry: every project invariant the analysis gate enforces."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import Checker
+from .annotations import AnnotationIntegrityChecker
+from .asyncio_hygiene import AsyncioHygieneChecker
+from .determinism import DeterminismChecker
+from .dtype_policy import DtypePolicyChecker
+from .exception_policy import ExceptionPolicyChecker
+from .lock_discipline import LockDisciplineChecker
+
+__all__ = [
+    "AnnotationIntegrityChecker",
+    "AsyncioHygieneChecker",
+    "DeterminismChecker",
+    "DtypePolicyChecker",
+    "ExceptionPolicyChecker",
+    "LockDisciplineChecker",
+    "all_checkers",
+    "checker_index",
+]
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, in rule-id order."""
+    return [
+        DtypePolicyChecker(),
+        DeterminismChecker(),
+        AsyncioHygieneChecker(),
+        LockDisciplineChecker(),
+        ExceptionPolicyChecker(),
+        AnnotationIntegrityChecker(),
+    ]
+
+
+def checker_index() -> Dict[str, Checker]:
+    return {checker.rule: checker for checker in all_checkers()}

@@ -1,0 +1,165 @@
+"""REP106 — annotation integrity: every name used in a type annotation resolves.
+
+The shipped bug (PR 6 era, fixed in ``repro.serving.telemetry``): under
+``from __future__ import annotations`` every annotation is a string that is
+never evaluated, so ``self._first_request_at: Optional[float] = None``
+imports cleanly and runs forever with ``Optional`` missing from the module
+— runtime never notices, and ``typing.get_type_hints`` cannot help because
+attribute annotations inside method bodies are not stored anywhere.
+
+Originally closed as a standalone test (``tests/test_annotation_integrity``)
+that *imported* each module and checked ``vars(module)``; ported here as a
+pure AST pass so all repo invariants live in one engine: module-level
+bindings are collected statically (imports — including conditional ones
+inside ``if``/``try`` blocks —, assignments, def/class statements, loop and
+context-manager targets), and every root identifier of every annotation
+expression (variable/attribute annotations, arguments, return types,
+recursing into string-literal annotations) must resolve against those
+bindings or builtins.  Deleting the ``Optional`` import from any module
+that annotates with it produces a finding immediately, no import required.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, List, Set
+
+from ..core import Checker, FileContext, Finding
+
+__all__ = ["AnnotationIntegrityChecker"]
+
+_IMPLICIT_GLOBALS = {
+    "__name__", "__doc__", "__package__", "__loader__", "__spec__",
+    "__file__", "__path__", "__builtins__", "__annotations__",
+}
+
+
+def _iter_annotation_exprs(tree: ast.AST) -> Iterator[ast.expr]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            yield node.annotation
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            yield node.annotation
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.returns:
+            yield node.returns
+
+
+def _names_in_annotation(expr: ast.expr) -> Set[str]:
+    """Root identifiers referenced by one annotation expression.
+
+    String-literal annotations (``"Future[np.ndarray]"``) are parsed and
+    recursed into; an attribute chain like ``np.ndarray`` contributes only
+    its root ``np`` (the attribute is resolved by that module, not ours).
+    """
+    names: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                inner = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                continue  # a plain string payload in Annotated[...] etc.
+            names.update(_names_in_annotation(inner))
+    return names
+
+
+def _bind_target(target: ast.expr, bound: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        bound.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, bound)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, bound)
+
+
+def module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound in the module namespace by import-time execution.
+
+    Recurses into module-level compound statements (``if``/``try``/loops/
+    ``with`` all execute at import) but not into function or class bodies —
+    names bound there are not module globals, matching what the original
+    import-based checker saw in ``vars(module)``.
+    """
+    bound: Set[str] = set(_IMPLICIT_GLOBALS)
+
+    def visit(statements) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.Import):
+                for item in statement.names:
+                    bound.add(item.asname or item.name.split(".")[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for item in statement.names:
+                    if item.name != "*":
+                        bound.add(item.asname or item.name)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(statement.name)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    _bind_target(target, bound)
+            elif isinstance(statement, ast.AnnAssign):
+                _bind_target(statement.target, bound)
+            elif isinstance(statement, ast.AugAssign):
+                _bind_target(statement.target, bound)
+            elif isinstance(statement, (ast.If, ast.While)):
+                visit(statement.body)
+                visit(statement.orelse)
+            elif isinstance(statement, (ast.For, ast.AsyncFor)):
+                _bind_target(statement.target, bound)
+                visit(statement.body)
+                visit(statement.orelse)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    if item.optional_vars is not None:
+                        _bind_target(item.optional_vars, bound)
+                visit(statement.body)
+            elif isinstance(statement, ast.Try):
+                visit(statement.body)
+                for handler in statement.handlers:
+                    if handler.name:
+                        bound.add(handler.name)
+                    visit(handler.body)
+                visit(statement.orelse)
+                visit(statement.finalbody)
+
+    visit(tree.body)
+    # Module-level walrus targets (rare, but they do bind globals).
+    for statement in tree.body:
+        if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for node in ast.walk(statement):
+                if isinstance(node, ast.NamedExpr):
+                    _bind_target(node.target, bound)
+    return bound
+
+
+class AnnotationIntegrityChecker(Checker):
+    rule = "REP106"
+    name = "annotation-integrity"
+    description = "every root name used in a type annotation must resolve in the module"
+    rationale = (
+        "from __future__ import annotations makes every annotation a string "
+        "that is never evaluated: the telemetry collector shipped with "
+        "Optional annotated but not imported, importing cleanly and running "
+        "forever one typo away from a NameError. Static resolution of every "
+        "annotation root (including string annotations and attribute "
+        "annotations inside method bodies, which get_type_hints never sees) "
+        "catches the whole class at check time."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        bound = module_bindings(ctx.tree)
+        findings: List[Finding] = []
+        for annotation in _iter_annotation_exprs(ctx.tree):
+            for name in sorted(_names_in_annotation(annotation)):
+                if name in bound or hasattr(builtins, name):
+                    continue
+                findings.append(
+                    ctx.finding(
+                        self.rule, annotation,
+                        f"annotation references {name!r}, which is bound "
+                        "nowhere in the module namespace",
+                    )
+                )
+        return findings

@@ -1,0 +1,137 @@
+"""REP103 — asyncio hygiene: no blocking calls inside ``async def`` in ``repro.serving``.
+
+The PR 8 gateway runs every connection on one asyncio event loop thread: a
+single blocking call inside any coroutine — a ``time.sleep``, a synchronous
+socket read, a ``Future.result()`` — stalls *every* in-flight connection at
+once, turning one slow handler into a full-gateway outage.  The gateway's
+own discipline is to bridge the threaded batcher with
+``asyncio.wrap_future`` + ``await`` and to do all socket I/O through the
+asyncio stream API; this rule makes that discipline checkable.
+
+Flagged inside any ``async def`` in ``repro.serving`` modules:
+
+* ``time.sleep(...)`` (use ``await asyncio.sleep``);
+* synchronous file/socket/network I/O: builtin ``open``, ``socket.*``
+  module calls, ``urllib.request.*``, ``subprocess.*``, ``os.system``;
+* blocking synchronisation: ``<x>.acquire()`` / ``<x>.wait()`` /
+  ``<x>.result()`` / ``<x>.get()``-on-a-queue calls that are **not**
+  awaited (``await lock.acquire()`` on an asyncio primitive is fine —
+  the ``Await`` wrapper is exactly what distinguishes the two APIs).
+
+The rule is lexical: a nested *sync* ``def`` inside a coroutine is skipped
+(it runs wherever it is called, typically an executor), and a nested
+``async def`` is checked on its own.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..core import Checker, FileContext, Finding
+
+__all__ = ["AsyncioHygieneChecker"]
+
+_BLOCKING_QUALIFIED = {
+    "time.sleep": "time.sleep() stalls the whole event loop; await asyncio.sleep()",
+    "os.system": "os.system() blocks the event loop; use an executor",
+    "urllib.request.urlopen": "synchronous HTTP blocks the event loop; use an executor",
+    "subprocess.run": "subprocess.run() blocks the event loop; use asyncio.create_subprocess_exec",
+    "subprocess.call": "subprocess.call() blocks the event loop; use asyncio.create_subprocess_exec",
+    "subprocess.check_output": (
+        "subprocess.check_output() blocks the event loop; use asyncio.create_subprocess_exec"
+    ),
+    "socket.create_connection": (
+        "synchronous socket I/O blocks the event loop; use asyncio.open_connection"
+    ),
+}
+
+_BLOCKING_MODULE_PREFIXES = {
+    "socket.": "synchronous socket I/O blocks the event loop; use the asyncio stream API",
+}
+
+#: Method names that block when invoked synchronously on concurrency
+#: primitives.  Only flagged when the call is not directly awaited.
+_BLOCKING_METHODS = {
+    "acquire": "blocking acquire() in a coroutine stalls the event loop; "
+               "use an asyncio.Lock and `async with`",
+    "wait": "blocking wait() in a coroutine stalls the event loop; "
+            "await the asyncio equivalent",
+    "result": "Future.result() blocks the event loop; "
+              "await asyncio.wrap_future(future) instead",
+}
+
+
+class AsyncioHygieneChecker(Checker):
+    rule = "REP103"
+    name = "asyncio-hygiene"
+    description = "no blocking calls inside async def in repro.serving"
+    rationale = (
+        "The PR 8 gateway multiplexes every connection onto one event loop "
+        "thread; one blocking call in one coroutine freezes all in-flight "
+        "requests simultaneously (admission control, health checks, drains "
+        "included). The codebase bridges the threaded batcher via "
+        "asyncio.wrap_future + await; anything that can block must go "
+        "through the asyncio API or an executor."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro.serving")
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(self._check_coroutine(ctx, node))
+        return findings
+
+    def _check_coroutine(
+        self, ctx: FileContext, coroutine: ast.AsyncFunctionDef
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        awaited: Set[int] = set()
+        skipped: Set[int] = set()
+
+        for node in ast.walk(coroutine):
+            # Sync defs nested in the coroutine run elsewhere — skip their
+            # bodies (a nested async def is reached by the outer walk too,
+            # and re-checked as its own coroutine there).
+            if isinstance(node, ast.FunctionDef):
+                for sub in ast.walk(node):
+                    skipped.add(id(sub))
+            elif isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+
+        for node in ast.walk(coroutine):
+            if node is coroutine or id(node) in skipped:
+                continue
+            if isinstance(node, ast.AsyncFunctionDef):
+                for sub in ast.walk(node):
+                    skipped.add(id(sub))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._blocking_message(ctx, node, awaited)
+            if message is not None:
+                findings.append(ctx.finding(self.rule, node, message))
+        return findings
+
+    def _blocking_message(
+        self, ctx: FileContext, node: ast.Call, awaited: Set[int]
+    ) -> Optional[str]:
+        resolved = ctx.imports.resolve_node(node.func)
+        if resolved is not None:
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                return "synchronous file I/O blocks the event loop; use an executor"
+            if resolved in _BLOCKING_QUALIFIED:
+                return _BLOCKING_QUALIFIED[resolved]
+            for prefix, message in _BLOCKING_MODULE_PREFIXES.items():
+                if resolved.startswith(prefix):
+                    return message
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_METHODS
+            and id(node) not in awaited
+        ):
+            return _BLOCKING_METHODS[node.func.attr]
+        return None

@@ -1,0 +1,171 @@
+"""REP102 — determinism: no unseeded or time-derived randomness outside ``repro.rng``.
+
+The shipped bug behind this rule: the ``Dropout`` module silently fell back
+to an unseeded ``np.random.default_rng()`` when no generator was supplied,
+so every training run drew different masks regardless of the experiment
+seed — run-to-run reproducibility broke with zero visible failure (fixed in
+PR 4 by making a generator mandatory in training mode).  The contract since:
+every stochastic component takes an explicit ``numpy.random.Generator``,
+and the *only* module allowed to mint entropy is :mod:`repro.rng` — its
+``make_rng()`` is the single audited escape hatch for callers that
+explicitly opt out of seeding.
+
+Flagged anywhere under ``src/repro`` except ``rng.py`` itself:
+
+* calls through numpy's **global** stream (``np.random.rand``,
+  ``np.random.seed``, ``np.random.shuffle``, …) — global-stream state is
+  invisible cross-module coupling even when seeded;
+* seedless ``np.random.default_rng()`` / ``np.random.Generator`` /
+  stdlib ``random.Random()`` construction;
+* stdlib ``random`` module-level draws (``random.random()``, …);
+* seeds derived from wall-clock or process identity (``time.time()``,
+  ``time.time_ns()``, ``os.urandom``, ``os.getpid``, ``uuid.uuid4``) passed
+  to any generator constructor — a "seeded" stream that can never be
+  replayed is still nondeterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..core import Checker, FileContext, Finding
+
+__all__ = ["DeterminismChecker"]
+
+#: numpy.random attributes that are classes/constructors, not global draws.
+_NP_RANDOM_NON_DRAWS = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "RandomState",
+    "default_rng",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: stdlib ``random`` attributes that are not module-level draws.
+_STDLIB_RANDOM_NON_DRAWS = {"Random", "SystemRandom", "seed"}
+
+#: Generator constructors whose seed argument must be replayable.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "random.Random",
+    "repro.rng.make_rng",
+}
+
+_ENTROPY_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "os.urandom",
+    "os.getpid",
+    "uuid.uuid4",
+    "uuid.uuid1",
+}
+
+
+class DeterminismChecker(Checker):
+    rule = "REP102"
+    name = "determinism"
+    description = (
+        "stochastic code must take an explicit seeded Generator; only "
+        "repro.rng mints entropy"
+    )
+    rationale = (
+        "The Dropout fallback bug (fixed in PR 4): a silent unseeded "
+        "np.random.default_rng() fallback made every training run "
+        "irreproducible with no visible failure. All randomness flows from "
+        "an explicit numpy Generator derived from the experiment seed "
+        "(repro.rng.RNGRegistry); repro.rng.make_rng() is the one audited "
+        "place a caller may opt out of seeding, so unseeded/global-stream/"
+        "time-seeded draws anywhere else are latent reproducibility bugs."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module != "repro.rng"
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve_node(node.func)
+            if resolved is None:
+                continue
+            finding = self._check_resolved_call(ctx, node, resolved)
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def _check_resolved_call(
+        self, ctx: FileContext, node: ast.Call, resolved: str
+    ) -> Optional[Finding]:
+        # Global numpy stream: np.random.<draw>(...)
+        if resolved.startswith("numpy.random."):
+            tail = resolved.split(".", 2)[2]
+            if tail == "seed":
+                return ctx.finding(
+                    self.rule, node,
+                    "np.random.seed() mutates hidden global state; pass "
+                    "seeded Generators explicitly",
+                )
+            if "." not in tail and tail not in _NP_RANDOM_NON_DRAWS:
+                return ctx.finding(
+                    self.rule, node,
+                    f"np.random.{tail}() draws from the global stream; take "
+                    "an explicit np.random.Generator instead",
+                )
+
+        # Stdlib random module-level draws: random.random(), random.choice()…
+        if resolved.startswith("random.") and resolved.count(".") == 1:
+            tail = resolved.split(".")[1]
+            if tail not in _STDLIB_RANDOM_NON_DRAWS:
+                return ctx.finding(
+                    self.rule, node,
+                    f"random.{tail}() draws from the interpreter-global "
+                    "stream; use a seeded random.Random or numpy Generator",
+                )
+            if tail == "seed":
+                return ctx.finding(
+                    self.rule, node,
+                    "random.seed() mutates hidden global state; construct "
+                    "a seeded random.Random instead",
+                )
+
+        # Seedless / time-seeded generator construction.
+        if resolved in _SEEDED_CONSTRUCTORS and resolved != "repro.rng.make_rng":
+            if not node.args and not any(k.arg in ("seed", "entropy", "x") for k in node.keywords):
+                short = resolved.replace("numpy.random", "np.random")
+                return ctx.finding(
+                    self.rule, node,
+                    f"seedless {short}() is OS-entropy randomness; derive the "
+                    "generator from the experiment seed, or call "
+                    "repro.rng.make_rng() where opting out is intended",
+                )
+        if resolved in _SEEDED_CONSTRUCTORS:
+            entropy = self._entropy_argument(ctx, node)
+            if entropy is not None:
+                return ctx.finding(
+                    self.rule, node,
+                    f"seed derived from {entropy}() can never be replayed; "
+                    "derive it from the experiment seed",
+                )
+        return None
+
+    def _entropy_argument(self, ctx: FileContext, node: ast.Call) -> Optional[str]:
+        candidates = list(node.args) + [k.value for k in node.keywords]
+        for argument in candidates:
+            for sub in ast.walk(argument):
+                if isinstance(sub, ast.Call):
+                    resolved = ctx.imports.resolve_node(sub.func)
+                    if resolved in _ENTROPY_SOURCES:
+                        return resolved
+        return None

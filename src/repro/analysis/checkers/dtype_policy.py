@@ -1,0 +1,154 @@
+"""REP101 — dtype policy: no hard-coded float precision in ``repro.nn`` op paths.
+
+The PR 4 bug class: under NEP 50, a wrapped python scalar or ``np.float64``
+constant is a *strong* float64 and silently promotes a float32 forward pass
+back to float64 — the model "works", at half the serving throughput the
+precision policy was built to deliver.  The fix made every op preserve
+operand dtype and construct new arrays in the policy dtype
+(``get_default_dtype()``) or an operand's dtype.  This rule keeps it that
+way by flagging hard-coded float precision in *construction* contexts:
+
+* ``np.float64(x)`` / ``np.float32(x)`` scalar wrappers (strong scalars
+  under NEP 50 — exactly the shipped promotion bug);
+* ``dtype=np.float64`` / ``dtype="float64"`` (and the float32 spellings)
+  keyword arguments, and ``.astype(np.float64)``-style hard-coded casts;
+* the float64-defaulting constructors (``np.zeros``/``ones``/``empty``/
+  ``full``/``eye``/``identity``/``linspace``) called without an explicit
+  ``dtype`` (keyword or the signature's positional slot) — a bare
+  ``np.zeros(n)`` mints float64 regardless of the policy.
+
+Dtype *tests* (``x.dtype == np.float32`` — the JIT strength-reduction
+gates) promote nothing and are not flagged.  Integer/bool dtypes are exempt
+(indices and masks are precision-neutral), and so are the policy-definition
+and exchange surfaces themselves — ``tensor.py``/``module.py`` (the
+policy), ``serialization.py`` (checkpoints record their dtype by design)
+and ``utils.py`` (flat float64 vectors are the all-reduce wire contract) —
+the rule polices the *op* modules that must follow the policy, not the
+modules that define it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..core import Checker, FileContext, Finding, call_keyword
+
+__all__ = ["DtypePolicyChecker"]
+
+#: numpy constructors whose default dtype is float64, with the 0-based
+#: positional index of their ``dtype`` parameter.
+_FLOAT64_CONSTRUCTORS = {
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+    "numpy.eye": 3,
+    "numpy.identity": 1,
+    "numpy.linspace": 5,
+}
+
+_HARDCODED_FLOATS = {"numpy.float64", "numpy.float32"}
+_HARDCODED_STRINGS = {"float64", "float32"}
+
+#: Modules inside ``repro.nn`` that define (rather than follow) the policy.
+_POLICY_MODULES = {
+    "repro.nn.tensor",
+    "repro.nn.module",
+    "repro.nn.serialization",
+    "repro.nn.utils",
+}
+
+
+class DtypePolicyChecker(Checker):
+    rule = "REP101"
+    name = "dtype-policy"
+    description = (
+        "repro.nn op paths must not hard-code float dtypes or call "
+        "float64-defaulting constructors without an explicit dtype"
+    )
+    rationale = (
+        "PR 4 shipped the NEP-50 scalar-promotion bug: np.float64 constants "
+        "and dtype-less constructors silently upcast float32 forwards to "
+        "float64, costing ~1.7x serving throughput with zero visible failure. "
+        "Ops must construct in get_default_dtype() or an operand's dtype; "
+        "only repro.nn.tensor/module define the policy, and "
+        "serialization/utils exchange float64 deliberately (checkpoint and "
+        "all-reduce wire formats). Dtype comparisons are fine — hard-coded "
+        "construction precision is not."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro.nn") and ctx.module not in _POLICY_MODULES
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node))
+        return findings
+
+    def _hardcoded_float(self, ctx: FileContext, node: ast.expr) -> Optional[str]:
+        """The offending spelling when ``node`` hard-codes a float dtype."""
+        resolved = ctx.imports.resolve_node(node)
+        if resolved in _HARDCODED_FLOATS:
+            return f"np.{resolved.split('.')[-1]}"
+        if isinstance(node, ast.Constant) and node.value in _HARDCODED_STRINGS:
+            return f'"{node.value}"'
+        return None
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> List[Finding]:
+        findings: List[Finding] = []
+        advice = "use get_default_dtype() or an operand's dtype"
+
+        # np.float64(x) — a strong scalar under NEP 50.
+        func_resolved = ctx.imports.resolve_node(node.func)
+        if func_resolved in _HARDCODED_FLOATS:
+            findings.append(
+                ctx.finding(
+                    self.rule, node,
+                    f"np.{func_resolved.split('.')[-1]}(...) wraps a strong "
+                    f"scalar that promotes float32 operands; {advice}",
+                )
+            )
+
+        # dtype=<hard-coded float> keyword on any call.
+        dtype_kw = call_keyword(node, "dtype")
+        if dtype_kw is not None:
+            spelling = self._hardcoded_float(ctx, dtype_kw)
+            if spelling is not None:
+                findings.append(
+                    ctx.finding(
+                        self.rule, dtype_kw,
+                        f"hard-coded dtype={spelling} defeats the precision "
+                        f"policy; {advice}",
+                    )
+                )
+
+        # x.astype(np.float64) — a hard-coded cast.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+        ):
+            spelling = self._hardcoded_float(ctx, node.args[0])
+            if spelling is not None:
+                findings.append(
+                    ctx.finding(
+                        self.rule, node.args[0],
+                        f".astype({spelling}) hard-codes float precision; {advice}",
+                    )
+                )
+
+        # np.zeros(n) and friends — float64 by default.
+        if func_resolved in _FLOAT64_CONSTRUCTORS:
+            dtype_position = _FLOAT64_CONSTRUCTORS[func_resolved]
+            if dtype_kw is None and len(node.args) <= dtype_position:
+                findings.append(
+                    ctx.finding(
+                        self.rule, node,
+                        f"{func_resolved.replace('numpy', 'np')}() without "
+                        "dtype= mints float64 regardless of the precision policy",
+                    )
+                )
+        return findings

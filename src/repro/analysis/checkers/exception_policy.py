@@ -1,0 +1,128 @@
+"""REP105 — exception policy: subsystems raise the ``repro.exceptions`` hierarchy.
+
+Callers of the subsystem APIs catch :class:`~repro.exceptions.ReproError`
+subclasses — that is the contract the serving gateway's status-code mapping
+(``QueueFullError`` → 429, other ``ServingError`` → 4xx/5xx), the
+experiments CLI's exit codes and the test suites are all built on.  A bare
+``ValueError`` from inside one of those subsystems escapes every one of
+those handlers: PR 8's admission control, for example, can only translate
+rejections it can *catch*.  The fix that motivated the rule was exactly
+such a hole — serving errors that started life as builtins and bypassed the
+gateway's error mapping until rewrapped.
+
+Flagged: ``raise ValueError(...)`` / ``raise RuntimeError(...)`` (the two
+generic builtins the hierarchy replaces) inside the subsystem packages that
+own a domain exception — serving, obs, parallel, experiments, core,
+evaluation, datasets, masking, training, bayesopt, deployment, baselines
+and ``nn.jit``.  Deliberately out of scope: ``repro.nn`` (ex-jit),
+``repro.signal`` and ``repro.rng`` — the low-level numeric library keeps
+numpy's convention of ``ValueError`` for malformed array arguments, which
+is what its callers (including our own ops) expect to catch.
+
+Re-raises (``raise``), raising pre-built exception objects (``raise exc``)
+and other builtins with precise semantics (``TypeError`` for wrong types,
+``KeyError`` from mapping protocols, ``NotImplementedError``) are not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..core import Checker, FileContext, Finding
+
+__all__ = ["ExceptionPolicyChecker"]
+
+_BANNED = {"ValueError", "RuntimeError"}
+
+#: Subsystem package prefixes (under ``repro.``) with a domain exception.
+_SCOPED_PREFIXES = (
+    "repro.serving",
+    "repro.obs",
+    "repro.parallel",
+    "repro.experiments",
+    "repro.core",
+    "repro.evaluation",
+    "repro.datasets",
+    "repro.masking",
+    "repro.training",
+    "repro.bayesopt",
+    "repro.deployment",
+    "repro.baselines",
+    "repro.nn.jit",
+    "repro.analysis",
+)
+
+#: The replacement to suggest per package (documentation in the finding).
+_SUGGESTIONS = {
+    "repro.serving": "ServingError",
+    "repro.obs": "ObservabilityError",
+    "repro.parallel": "ParallelError",
+    "repro.experiments": "ConfigurationError/ReproError",
+    "repro.core": "ConfigurationError/TrainingError",
+    "repro.evaluation": "ConfigurationError",
+    "repro.datasets": "DataError",
+    "repro.masking": "MaskingError",
+    "repro.training": "TrainingError/ConfigurationError",
+    "repro.bayesopt": "SearchError",
+    "repro.deployment": "DeploymentError",
+    "repro.baselines": "ConfigurationError/TrainingError",
+    "repro.nn.jit": "ConfigurationError/TraceError",
+    "repro.analysis": "AnalysisError",
+}
+
+
+class ExceptionPolicyChecker(Checker):
+    rule = "REP105"
+    name = "exception-policy"
+    description = (
+        "subsystem packages raise the repro.exceptions hierarchy, not bare "
+        "ValueError/RuntimeError"
+    )
+    rationale = (
+        "Admission control, CLI exit codes and retry classification all "
+        "dispatch on ReproError subclasses (QueueFullError→429 is the "
+        "canonical example). A bare ValueError from inside a subsystem "
+        "bypasses every such handler and surfaces as an unclassified 500 / "
+        "stack trace. The low-level numeric library (repro.nn ex-jit, "
+        "repro.signal, repro.rng) deliberately keeps numpy's "
+        "ValueError-for-bad-arguments convention and is out of scope."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return self._prefix_for(ctx.module) is not None
+
+    @staticmethod
+    def _prefix_for(module: str) -> Optional[str]:
+        for prefix in _SCOPED_PREFIXES:
+            if module == prefix or module.startswith(prefix + "."):
+                return prefix
+        return None
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        prefix = self._prefix_for(ctx.module)
+        suggestion = _SUGGESTIONS.get(prefix, "a ReproError subclass")
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_builtin(node.exc)
+            if name is not None:
+                findings.append(
+                    ctx.finding(
+                        self.rule, node,
+                        f"raise {name} escapes the repro.exceptions hierarchy "
+                        f"callers dispatch on; raise {suggestion} instead",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _raised_builtin(exc: ast.expr) -> Optional[str]:
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            if exc.func.id in _BANNED:
+                return exc.func.id
+        elif isinstance(exc, ast.Name) and exc.id in _BANNED:
+            return exc.id
+        return None

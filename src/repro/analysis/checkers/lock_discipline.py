@@ -1,0 +1,186 @@
+"""REP104 — lock discipline: ``_GUARDED_BY`` attributes only touched under their lock.
+
+The shared-state classes in ``obs.metrics``, ``obs.tracing``,
+``serving.batcher`` and ``serving.telemetry`` are hit concurrently by the
+serving worker pool, the parallel trainer and exporter threads.  Their
+locking protocols exist only as convention — nothing stops a future method
+from reading ``self._queue`` without ``self._lock`` and shipping a
+heisenbug.  This rule makes the protocol declarative and checkable: a class
+states
+
+.. code-block:: python
+
+    _GUARDED_BY = {"_lock": ("_queue", "_closed")}
+
+(mapping each lock attribute to the attributes it guards; an attribute may
+appear under several locks — e.g. a ``Condition`` constructed over the same
+underlying ``Lock`` — and holding *any* of them suffices).  Every
+``self.<attr>`` access to a guarded attribute must then sit lexically
+inside a ``with self.<lock>:`` block in the same method.
+
+``__init__`` is exempt (the object is not shared before construction
+returns), and deliberately lock-free fast paths (the tracer's GIL-atomic
+``deque.append`` hot path) opt out per line with ``# repro: noqa[REP104]``
+plus a justification — the exemption is then visible in the diff and the
+rule still covers every other access.
+
+The declaration must be a literal dict of ``str`` → tuple/list of ``str``;
+anything else is itself reported (a guard that cannot be parsed guards
+nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import Checker, FileContext, Finding
+
+__all__ = ["LockDisciplineChecker"]
+
+_DECLARATION = "_GUARDED_BY"
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+
+def _parse_declaration(node: ast.Assign) -> Optional[Dict[str, Tuple[str, ...]]]:
+    try:
+        value = ast.literal_eval(node.value)
+    except (ValueError, SyntaxError):
+        return None
+    if not isinstance(value, dict):
+        return None
+    parsed: Dict[str, Tuple[str, ...]] = {}
+    for lock, attrs in value.items():
+        if not isinstance(lock, str) or not isinstance(attrs, (tuple, list)):
+            return None
+        if not all(isinstance(attr, str) for attr in attrs):
+            return None
+        parsed[lock] = tuple(attrs)
+    return parsed
+
+
+class LockDisciplineChecker(Checker):
+    rule = "REP104"
+    name = "lock-discipline"
+    description = (
+        "_GUARDED_BY-declared attributes may only be accessed inside "
+        "`with self.<lock>:`"
+    )
+    rationale = (
+        "MicroBatcher, TelemetryCollector, the metrics registry children and "
+        "the tracer are mutated from many threads (serving workers, parallel "
+        "trainer, exporter scrapes). Their lock protocols were folklore; a "
+        "method touching self._queue without self._lock ships a rare-loss "
+        "heisenbug no test reliably catches. _GUARDED_BY turns the protocol "
+        "into a checked declaration; the tracer's GIL-atomic append path "
+        "opts out explicitly with noqa so the exemption is visible."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> List[Finding]:
+        declaration: Optional[Dict[str, Tuple[str, ...]]] = None
+        declaration_node: Optional[ast.Assign] = None
+        for statement in cls.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == _DECLARATION
+            ):
+                declaration_node = statement
+                declaration = _parse_declaration(statement)
+        if declaration_node is None:
+            return []
+        if declaration is None:
+            return [
+                ctx.finding(
+                    self.rule, declaration_node,
+                    f"{_DECLARATION} must be a literal dict mapping lock "
+                    "attribute names to tuples of guarded attribute names",
+                )
+            ]
+
+        guards: Dict[str, Set[str]] = {}
+        for lock, attrs in declaration.items():
+            for attr in attrs:
+                guards.setdefault(attr, set()).add(lock)
+        if not guards:
+            return []
+
+        findings: List[Finding] = []
+        for statement in cls.body:
+            if (
+                isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name not in _EXEMPT_METHODS
+            ):
+                findings.extend(
+                    self._check_method(ctx, cls.name, statement, guards)
+                )
+        return findings
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        method: ast.AST,
+        guards: Dict[str, Set[str]],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def held_after(node: ast.AST, held: Set[str]) -> None:
+            """Recurse, tracking which locks the `with` nesting holds."""
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired = set(held)
+                for item in node.items:
+                    lock = self._self_attribute(item.context_expr)
+                    if lock is not None:
+                        acquired.add(lock)
+                for child in node.body:
+                    held_after(child, acquired)
+                # `with` item expressions themselves are evaluated unlocked.
+                for item in node.items:
+                    visit_expr(item.context_expr, held)
+                return
+            if isinstance(node, ast.Attribute):
+                visit_expr(node, held)
+                return
+            for child in ast.iter_child_nodes(node):
+                held_after(child, held)
+
+        def visit_expr(node: ast.AST, held: Set[str]) -> None:
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Attribute):
+                    continue
+                attr = self._self_attribute(sub)
+                if attr is None or attr not in guards:
+                    continue
+                if guards[attr] & held:
+                    continue
+                findings.append(
+                    ctx.finding(
+                        self.rule, sub,
+                        f"{class_name}.{attr} is declared _GUARDED_BY "
+                        f"{sorted(guards[attr])} but is accessed without "
+                        "holding any of them",
+                    )
+                )
+
+        for child in ast.iter_child_nodes(method):
+            held_after(child, set())
+        return findings
+
+    @staticmethod
+    def _self_attribute(node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None

@@ -1,0 +1,136 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Three subcommands, mirroring the :mod:`repro.experiments` CLI shape:
+
+``check``
+    The CI gate: run every checker over the tree (default: the installed
+    ``repro`` package) and exit non-zero on any finding that is neither
+    ``# repro: noqa[RULE]``-suppressed nor covered by the committed
+    baseline.
+``explain RULE``
+    Print one rule's catalog entry — what it flags and the shipped-bug
+    rationale behind it.
+``update-baseline``
+    Rewrite the baseline file from the current findings (pruning stale
+    entries).  Adoption aid only; permanent exemptions belong inline.
+
+Exit codes: 0 clean, 1 findings (or stale baseline under ``--strict``),
+2 usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..exceptions import ReproError
+from .baseline import Baseline, default_baseline_path
+from .checkers import all_checkers, checker_index
+from .discovery import default_root
+from .engine import run_analysis
+from .reporters import REPORTERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static-analysis checks (AST invariants) with a CI gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run every checker; non-zero exit on findings")
+    check.add_argument("--root", type=Path, default=None,
+                       help="tree to analyse (default: the installed repro package)")
+    check.add_argument("--baseline", type=Path, default=None,
+                       help="baseline file (default: analysis_baseline.json next to the tree; "
+                            "a missing file is an empty baseline)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="ignore the baseline entirely (report grandfathered findings too)")
+    check.add_argument("--rules", default=None,
+                       help="comma-separated rule ids to run (default: all)")
+    check.add_argument("--format", choices=sorted(REPORTERS), default="text")
+    check.add_argument("--strict", action="store_true",
+                       help="also fail when baseline entries are stale (fixed lines not pruned)")
+
+    explain = sub.add_parser("explain", help="print one rule's catalog entry and rationale")
+    explain.add_argument("rule", help="rule id, e.g. REP104")
+
+    update = sub.add_parser("update-baseline",
+                            help="rewrite the baseline from current findings (prunes stale entries)")
+    update.add_argument("--root", type=Path, default=None)
+    update.add_argument("--baseline", type=Path, default=None)
+    update.add_argument("--rules", default=None)
+    return parser
+
+
+def _split_rules(raw: Optional[str]) -> Optional[Sequence[str]]:
+    if raw is None:
+        return None
+    return [rule.strip() for rule in raw.split(",") if rule.strip()]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    root = args.root if args.root is not None else default_root()
+    baseline_path = args.baseline if args.baseline is not None else default_baseline_path(root)
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    result = run_analysis(
+        root, all_checkers(), baseline=baseline, rules=_split_rules(args.rules)
+    )
+    print(REPORTERS[args.format](result))
+    if not result.ok:
+        return 1
+    if args.strict and result.stale_baseline:
+        return 1
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    index = checker_index()
+    rule = args.rule.strip().upper()
+    checker = index.get(rule)
+    if checker is None:
+        print(
+            f"unknown rule {args.rule!r}; known rules: {', '.join(sorted(index))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{checker.rule} ({checker.name})")
+    print(f"  {checker.description}")
+    print()
+    print("  Why this rule exists:")
+    print(f"  {checker.rationale}")
+    print()
+    print(f"  Suppress a deliberate exemption with `# repro: noqa[{checker.rule}]`"
+          " plus a justification comment.")
+    return 0
+
+
+def _cmd_update_baseline(args: argparse.Namespace) -> int:
+    root = args.root if args.root is not None else default_root()
+    baseline_path = args.baseline if args.baseline is not None else default_baseline_path(root)
+    result = run_analysis(
+        root, all_checkers(), baseline=Baseline(), rules=_split_rules(args.rules)
+    )
+    path = Baseline.from_findings(result.findings).save(baseline_path)
+    print(f"baseline: {len(result.findings)} finding(s) recorded in {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "check": _cmd_check,
+        "explain": _cmd_explain,
+        "update-baseline": _cmd_update_baseline,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

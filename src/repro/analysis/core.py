@@ -1,0 +1,212 @@
+"""Core types of the static-analysis framework: rules, findings, checkers.
+
+A :class:`Checker` encodes one repo-specific semantic invariant as an AST
+pass.  Each produces typed :class:`Finding`\\ s (rule id, path, line,
+message) over one parsed file (:class:`FileContext`); the engine
+(:mod:`repro.analysis.engine`) handles discovery, inline suppressions and
+the committed baseline.  Checkers are *pure*: they read the AST and source,
+never import the module under analysis, and never touch global state — so
+the whole suite runs in well under a second over ``src/repro`` and can gate
+CI next to ruff.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import AnalysisError
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "qualified_name",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line.
+
+    Findings order by location so reports are stable, and ``content_key``
+    (rule + path + the stripped source line) is the baseline identity:
+    grandfathered findings keep matching after unrelated edits shift line
+    numbers, and disappear from the baseline once the offending line is
+    fixed or removed.
+    """
+
+    path: str  # POSIX-style, relative to the analysis root's parent
+    line: int
+    col: int
+    rule: str
+    message: str
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def content_key(self) -> str:
+        return f"{self.rule}|{self.path}|{self.source_line.strip()}"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """One parsed source file handed to every checker.
+
+    ``module`` is the dotted import path (``repro.nn.layers``); checkers use
+    it for scoping (REP101 only looks at ``repro.nn`` op paths, REP103 only
+    at ``repro.serving``).  The AST is parsed once and shared.
+    """
+
+    def __init__(self, path: Path, relpath: str, module: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.module = module
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        try:
+            self.tree: ast.Module = ast.parse(source)
+        except SyntaxError as exc:  # pragma: no cover - repo code always parses
+            raise AnalysisError(f"cannot parse {relpath}: {exc}") from exc
+        self._import_map: Optional[ImportMap] = None
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        module: str = "repro.example",
+        path: Optional[str] = None,
+        relpath: Optional[str] = None,
+    ) -> "FileContext":
+        """Build a context from an in-memory snippet (fixture tests)."""
+        default = module.replace(".", "/") + ".py"
+        return cls(
+            path=Path(path or default),
+            relpath=relpath or path or default,
+            module=module,
+            source=source,
+        )
+
+    @property
+    def imports(self) -> "ImportMap":
+        if self._import_map is None:
+            self._import_map = ImportMap.from_tree(self.tree)
+        return self._import_map
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            path=self.relpath,
+            line=lineno,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            source_line=self.line_text(lineno),
+        )
+
+
+class Checker:
+    """Base class: one rule id, one invariant, one AST pass per file.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` is the shipped-bug story behind the rule — surfaced by
+    ``python -m repro.analysis explain RULE`` so a developer hitting the
+    gate learns *why* the invariant exists, not just that it tripped.
+    """
+
+    rule: str = ""
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: FileContext) -> List[Finding]:
+        if not self.applies_to(ctx):
+            return []
+        return self.check(ctx)
+
+
+class ImportMap:
+    """Resolve local names/attribute chains to qualified dotted names.
+
+    Built from a module's import statements so checkers can recognise
+    ``np.random.default_rng`` regardless of the alias numpy was imported
+    under (``import numpy as np``, ``from numpy import random as npr``, …).
+    """
+
+    def __init__(self, aliases: Dict[str, str]) -> None:
+        self._aliases = dict(aliases)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    aliases[local] = item.name if item.asname else item.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+        return cls(aliases)
+
+    def resolve(self, dotted: str) -> str:
+        """Map ``np.random.rand`` to ``numpy.random.rand`` (or itself)."""
+        root, _, rest = dotted.partition(".")
+        base = self._aliases.get(root)
+        if base is None:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+    def resolve_node(self, node: ast.AST) -> Optional[str]:
+        dotted = qualified_name(node)
+        if dotted is None:
+            return None
+        return self.resolve(dotted)
+
+
+def qualified_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``np.random.default_rng`` → ``"np.random.default_rng"``; chains rooted
+    in calls or subscripts (``x().attr``) return ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name`` on a call, if present."""
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def walk_scoped(
+    tree: ast.AST, kinds: Tuple[type, ...]
+) -> Sequence[ast.AST]:
+    """``ast.walk`` filtered to ``kinds`` (tiny convenience used by checkers)."""
+    return [node for node in ast.walk(tree) if isinstance(node, kinds)]

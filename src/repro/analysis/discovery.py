@@ -1,0 +1,61 @@
+"""File discovery: enumerate the python files one analysis run covers.
+
+The analysis root defaults to the installed ``repro`` package directory, so
+``python -m repro.analysis check`` needs no arguments in CI or locally —
+wherever the package imports from is what gets checked.  Paths in findings
+are reported relative to the root's *parent* (``repro/nn/layers.py``), so
+reports read the same from any checkout location.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List
+
+from ..exceptions import AnalysisError
+from .core import FileContext
+
+__all__ = ["default_root", "discover", "iter_source_files"]
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory (what CI checks by default)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_source_files(root: Path) -> Iterator[Path]:
+    root = Path(root)
+    if root.is_file():
+        yield root
+        return
+    if not root.is_dir():
+        raise AnalysisError(f"analysis root {root} does not exist")
+    yield from sorted(root.rglob("*.py"))
+
+
+def module_name(path: Path, root: Path) -> str:
+    """Dotted import path of ``path`` (``repro.nn.layers``)."""
+    relative = path.resolve().relative_to(Path(root).resolve().parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def discover(root: Path) -> List[FileContext]:
+    """Parse every python file under ``root`` into a :class:`FileContext`."""
+    root = Path(root).resolve()
+    base = root.parent if root.is_dir() else root.parent.parent
+    contexts: List[FileContext] = []
+    for path in iter_source_files(root):
+        source = path.read_text(encoding="utf-8")
+        relpath = path.resolve().relative_to(base).as_posix()
+        contexts.append(
+            FileContext(
+                path=path,
+                relpath=relpath,
+                module=module_name(path, root if root.is_dir() else root.parent),
+                source=source,
+            )
+        )
+    return contexts

@@ -1,0 +1,92 @@
+"""Analysis engine: discovery → checkers → suppressions → baseline.
+
+One :func:`run_analysis` call is one gate evaluation: parse every file under
+the root once, run every registered checker over each parsed context, drop
+findings covered by inline ``# repro: noqa[RULE]`` markers, then partition
+the remainder against the committed baseline.  The gate passes when no
+*active* finding survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import AnalysisError
+from .baseline import Baseline
+from .core import Checker, Finding
+from .discovery import discover
+from .suppressions import SuppressionIndex
+
+__all__ = ["AnalysisResult", "run_analysis"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one gate evaluation learned."""
+
+    root: Path
+    files_checked: int
+    rules: List[str]
+    findings: List[Finding] = field(default_factory=list)  # active → gate fails
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def run_analysis(
+    root: Path,
+    checkers: Sequence[Checker],
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Run ``checkers`` over every python file under ``root``.
+
+    ``rules`` optionally restricts the run to a subset of rule ids (the CLI's
+    ``--rules``); unknown ids raise so a typo cannot silently disable a gate.
+    """
+    selected = list(checkers)
+    if rules is not None:
+        wanted = {rule.upper() for rule in rules}
+        known = {checker.rule for checker in selected}
+        unknown = wanted - known
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule id(s) {sorted(unknown)}; known rules: {sorted(known)}"
+            )
+        selected = [checker for checker in selected if checker.rule in wanted]
+
+    contexts = discover(Path(root))
+    raw: List[Finding] = []
+    suppressed: List[Finding] = []
+    for ctx in contexts:
+        index = SuppressionIndex(ctx.lines)
+        for checker in selected:
+            for finding in checker.run(ctx):
+                if index.covers(finding):
+                    suppressed.append(finding)
+                else:
+                    raw.append(finding)
+
+    baseline = baseline if baseline is not None else Baseline()
+    active, baselined, stale = baseline.partition(raw)
+    return AnalysisResult(
+        root=Path(root),
+        files_checked=len(contexts),
+        rules=[checker.rule for checker in selected],
+        findings=sorted(active),
+        baselined=sorted(baselined),
+        suppressed=sorted(suppressed),
+        stale_baseline=stale,
+    )

@@ -1,0 +1,67 @@
+"""Reporters: render an :class:`~repro.analysis.engine.AnalysisResult`.
+
+``text`` is the human/CI log format (one ``path:line:col: RULE message``
+per finding, ruff-style, plus a summary line); ``json`` is the structured
+format downstream tooling can diff or annotate PRs from.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .engine import AnalysisResult
+
+__all__ = ["render_json", "render_text", "REPORTERS"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    lines = [finding.format() for finding in result.findings]
+    if result.stale_baseline:
+        lines.append("")
+        lines.append(
+            f"note: {sum(result.stale_baseline.values())} stale baseline "
+            "entr(y/ies) no longer match any finding — run "
+            "`python -m repro.analysis update-baseline` to prune:"
+        )
+        for key in sorted(result.stale_baseline):
+            lines.append(f"  {key}")
+    summary = (
+        f"{len(result.findings)} finding(s) "
+        f"({len(result.baselined)} baselined, {len(result.suppressed)} noqa-suppressed) "
+        f"across {result.files_checked} file(s), rules: {', '.join(result.rules)}"
+    )
+    if result.findings:
+        by_rule = ", ".join(
+            f"{rule}×{count}" for rule, count in sorted(result.counts_by_rule().items())
+        )
+        summary += f" — {by_rule}"
+    lines.append(summary)
+    return "\n".join(line for line in lines if line is not None)
+
+
+def _finding_dict(finding) -> Dict[str, object]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+    }
+
+
+def render_json(result: AnalysisResult) -> str:
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules": result.rules,
+        "findings": [_finding_dict(f) for f in result.findings],
+        "baselined": [_finding_dict(f) for f in result.baselined],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+        "stale_baseline": result.stale_baseline,
+        "counts_by_rule": result.counts_by_rule(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,61 @@
+"""Inline suppressions: ``# repro: noqa[RULE]`` comments.
+
+A finding is suppressed when the physical line it anchors to carries a
+``# repro: noqa[REP104]`` comment naming its rule (several rules separate
+with commas), or a bare ``# repro: noqa`` covering every rule.  The marker
+is deliberately distinct from ruff/flake8's ``# noqa`` so the two tools
+never swallow each other's suppressions, and the project convention
+(enforced by review, surfaced by ``explain``) is that every marker carries
+a justification comment — exemptions are *documented decisions*, not
+silence.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+from .core import Finding
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel rule set meaning "suppress everything on this line".
+_ALL = frozenset({"*"})
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        if "repro:" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressed[index] = _ALL
+        else:
+            suppressed[index] = frozenset(
+                rule.strip().upper() for rule in rules.split(",") if rule.strip()
+            )
+    return suppressed
+
+
+class SuppressionIndex:
+    """Per-file noqa lookup built once from the source lines."""
+
+    def __init__(self, lines: List[str]) -> None:
+        self._by_line = parse_suppressions(lines)
+
+    def covers(self, finding: Finding) -> bool:
+        rules = self._by_line.get(finding.line)
+        if rules is None:
+            return False
+        return rules is _ALL or "*" in rules or finding.rule.upper() in rules
+
+    @property
+    def count(self) -> int:
+        return len(self._by_line)

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..datasets.base import IMUDataset
+from ..exceptions import ConfigurationError
 from ..training.metrics import ClassificationMetrics
 
 
@@ -30,9 +31,9 @@ class MethodBudget:
 
     def __post_init__(self) -> None:
         if self.pretrain_epochs < 0 or self.finetune_epochs <= 0:
-            raise ValueError("epochs must be positive (pretrain may be zero)")
+            raise ConfigurationError("epochs must be positive (pretrain may be zero)")
         if self.batch_size <= 0 or self.learning_rate <= 0:
-            raise ValueError("batch_size and learning_rate must be positive")
+            raise ConfigurationError("batch_size and learning_rate must be positive")
 
 
 class PerceptionMethod(abc.ABC):

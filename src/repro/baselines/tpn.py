@@ -20,6 +20,7 @@ from ..datasets.base import IMUDataset
 from ..datasets.loaders import DataLoader
 from ..exceptions import TrainingError
 from ..models.classifier import MLPClassifier
+from ..rng import make_rng
 from ..nn import (
     Adam,
     Conv1d,
@@ -48,7 +49,7 @@ class SmallConvEncoder(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         sizes = list(channel_sizes)
         self.conv1 = Conv1d(input_channels, sizes[0], kernel_size=7, stride=3, padding=3, rng=generator)
         self.conv2 = Conv1d(sizes[0], sizes[1], kernel_size=5, stride=2, padding=2, rng=generator)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exceptions import SearchError
+
 
 class Kernel:
     """Base class: a positive-definite covariance function ``k(x, x')``."""
@@ -22,7 +24,7 @@ class Kernel:
         a = np.atleast_2d(np.asarray(a, dtype=np.float64))
         b = np.atleast_2d(np.asarray(b, dtype=np.float64))
         if a.shape[1] != b.shape[1]:
-            raise ValueError(
+            raise SearchError(
                 f"kernel inputs must share the feature dimension, got {a.shape} and {b.shape}"
             )
         a_sq = np.sum(a ** 2, axis=1)[:, None]
@@ -36,7 +38,7 @@ class RBFKernel(Kernel):
 
     def __init__(self, length_scale: float = 0.2, signal_variance: float = 1.0) -> None:
         if length_scale <= 0 or signal_variance <= 0:
-            raise ValueError("length_scale and signal_variance must be positive")
+            raise SearchError("length_scale and signal_variance must be positive")
         self.length_scale = length_scale
         self.signal_variance = signal_variance
 
@@ -53,7 +55,7 @@ class Matern52Kernel(Kernel):
 
     def __init__(self, length_scale: float = 0.2, signal_variance: float = 1.0) -> None:
         if length_scale <= 0 or signal_variance <= 0:
-            raise ValueError("length_scale and signal_variance must be positive")
+            raise SearchError("length_scale and signal_variance must be positive")
         self.length_scale = length_scale
         self.signal_variance = signal_variance
 

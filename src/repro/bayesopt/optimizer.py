@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import SearchError
+from ..rng import make_rng
 from .acquisition import AcquisitionFunction
 from .gp import GaussianProcessRegressor
 from .kernels import Kernel
@@ -100,7 +101,7 @@ class BayesianOptimizer:
         Otherwise the acquisition function is maximised over the candidate
         set (optionally excluding already-evaluated points).
         """
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         if not self.observations:
             index = int(generator.integers(0, self.candidates.shape[0]))
             return self.candidates[index].copy()
@@ -136,7 +137,7 @@ class BayesianOptimizer:
         """Run the full suggest/evaluate/tell loop for ``budget`` evaluations."""
         if budget <= 0:
             raise SearchError("budget must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         stale_rounds = 0
         best_so_far = -np.inf
         for iteration in range(budget):

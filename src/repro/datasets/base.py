@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import DataError
+from ..rng import make_rng
 
 TASK_ACTIVITY = "activity"
 TASK_USER = "user"
@@ -149,7 +150,7 @@ class IMUDataset:
         """
         if len(ratios) != 3 or abs(sum(ratios) - 1.0) > 1e-6:
             raise DataError(f"split ratios must have length 3 and sum to 1, got {ratios}")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
 
         if stratify_task is None:
             permutation = generator.permutation(len(self))
@@ -192,7 +193,7 @@ class IMUDataset:
         """
         if not 0.0 < labelling_rate <= 1.0:
             raise DataError(f"labelling_rate must be in (0, 1], got {labelling_rate}")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         labels = self.task_labels(task)
         kept: List[int] = []
         for cls in np.unique(labels):
@@ -212,7 +213,7 @@ class IMUDataset:
         """Keep at most ``samples_per_class`` samples of every class of ``task``."""
         if samples_per_class <= 0:
             raise DataError("samples_per_class must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         labels = self.task_labels(task)
         kept: List[int] = []
         for cls in np.unique(labels):

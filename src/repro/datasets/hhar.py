@@ -12,6 +12,7 @@ and benchmarks can work with a smaller (but identically structured) dataset.
 
 from __future__ import annotations
 
+from ..exceptions import DataError
 from .base import IMUDataset
 from .synthetic import SyntheticIMUConfig, SyntheticIMUGenerator
 
@@ -36,7 +37,7 @@ def make_hhar(scale: float = 1.0, seed: int = 11, window_length: int = HHAR_WIND
         Window length in samples; the paper uses 120 (6 s at 20 Hz).
     """
     if scale <= 0:
-        raise ValueError("scale must be positive")
+        raise DataError("scale must be positive")
     combinations = HHAR_NUM_USERS * len(HHAR_ACTIVITIES)
     windows_per_combination = max(1, int(round(HHAR_TARGET_SAMPLES * scale / combinations)))
     config = SyntheticIMUConfig(

@@ -29,6 +29,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from ..exceptions import DataError
+from ..rng import make_rng
 from .base import IMUDataset
 
 
@@ -110,7 +111,7 @@ class DataLoader:
         self.seed = seed
         self.num_shards = num_shards
         self.shard_index = shard_index
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else make_rng()
         self._epoch = 0
         if task is not None and task not in dataset.labels:
             raise DataError(f"dataset has no labels for task {task!r}")

@@ -8,6 +8,7 @@ single device model.
 
 from __future__ import annotations
 
+from ..exceptions import DataError
 from .base import IMUDataset
 from .synthetic import SyntheticIMUConfig, SyntheticIMUGenerator
 
@@ -20,7 +21,7 @@ MOTION_TARGET_SAMPLES = 4534
 def make_motion(scale: float = 1.0, seed: int = 23, window_length: int = MOTION_WINDOW_LENGTH) -> IMUDataset:
     """Build the simulated Motion dataset (see :func:`repro.datasets.hhar.make_hhar`)."""
     if scale <= 0:
-        raise ValueError("scale must be positive")
+        raise DataError("scale must be positive")
     combinations = MOTION_NUM_USERS * len(MOTION_ACTIVITIES)
     windows_per_combination = max(1, int(round(MOTION_TARGET_SAMPLES * scale / combinations)))
     config = SyntheticIMUConfig(

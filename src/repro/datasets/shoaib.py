@@ -8,6 +8,7 @@ device-placement (DP) downstream task.
 
 from __future__ import annotations
 
+from ..exceptions import DataError
 from .base import IMUDataset
 from .synthetic import DEFAULT_PLACEMENTS, SyntheticIMUConfig, SyntheticIMUGenerator
 
@@ -23,7 +24,7 @@ SHOAIB_TARGET_SAMPLES = 10500
 def make_shoaib(scale: float = 1.0, seed: int = 37, window_length: int = SHOAIB_WINDOW_LENGTH) -> IMUDataset:
     """Build the simulated Shoaib dataset (see :func:`repro.datasets.hhar.make_hhar`)."""
     if scale <= 0:
-        raise ValueError("scale must be positive")
+        raise DataError("scale must be positive")
     combinations = SHOAIB_NUM_USERS * len(SHOAIB_ACTIVITIES) * len(SHOAIB_PLACEMENTS)
     windows_per_combination = max(1, int(round(SHOAIB_TARGET_SAMPLES * scale / combinations)))
     config = SyntheticIMUConfig(

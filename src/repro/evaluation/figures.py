@@ -34,6 +34,7 @@ from ..deployment.devices import all_phones
 from ..deployment.latency import LatencyMeasurement, latency_by_phone, latency_table
 from ..evaluation.protocol import TASKS
 from ..evaluation.results import ResultTable, format_mapping_table
+from ..exceptions import ConfigurationError
 from ..experiments.grids import DETAIL_FIGURE_PAIRS
 from ..experiments.runner import GridResult, Runner
 from ..experiments.spec import expand_grid
@@ -350,7 +351,7 @@ def _deployable_model(method) -> object:
         from ..nn import Sequential
 
         return Sequential(encoder, classifier)
-    raise ValueError(f"cannot extract a deployable model from {method!r}")
+    raise ConfigurationError(f"cannot extract a deployable model from {method!r}")
 
 
 # ----------------------------------------------------------------------

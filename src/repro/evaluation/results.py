@@ -7,6 +7,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..exceptions import ConfigurationError
+
 
 @dataclass(frozen=True)
 class ExperimentRecord:
@@ -25,7 +27,7 @@ class ExperimentRecord:
     def relative_to(self, reference_accuracy: float, reference_f1: float) -> "ExperimentRecord":
         """Return a copy with accuracy/F1 expressed relative (%) to a reference."""
         if reference_accuracy <= 0 or reference_f1 <= 0:
-            raise ValueError("reference metrics must be positive")
+            raise ConfigurationError("reference metrics must be positive")
         return ExperimentRecord(
             method=self.method,
             task=self.task,

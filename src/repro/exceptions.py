@@ -58,3 +58,7 @@ class TraceError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised by :mod:`repro.obs` (metrics registry, tracer, profilers)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by :mod:`repro.analysis` (static-analysis framework misuse)."""

@@ -16,6 +16,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..nn import Dropout, LayerNorm, Linear, Module, PositionalEmbedding, Tensor, TransformerEncoder
 from ..nn.tensor import ensure_tensor
+from ..rng import make_rng
 
 
 @dataclass
@@ -51,7 +52,7 @@ class SagaBackbone(Module):
     def __init__(self, config: Optional[BackboneConfig] = None, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
         self.config = config if config is not None else BackboneConfig()
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         cfg = self.config
         self.input_projection = Linear(cfg.input_channels, cfg.hidden_dim, rng=generator)
         self.input_norm = LayerNorm(cfg.hidden_dim)

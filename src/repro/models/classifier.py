@@ -14,6 +14,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..nn import GRU, Dropout, Linear, Module, Tensor
 from ..nn.tensor import ensure_tensor
+from ..rng import make_rng
 
 
 class GRUClassifier(Module):
@@ -31,7 +32,7 @@ class GRUClassifier(Module):
         super().__init__()
         if input_dim <= 0 or num_classes <= 0 or hidden_dim <= 0:
             raise ConfigurationError("input_dim, num_classes and hidden_dim must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.input_dim = input_dim
         self.num_classes = num_classes
         self.gru = GRU(input_dim, hidden_dim, num_layers=num_layers, rng=generator)
@@ -63,7 +64,7 @@ class MLPClassifier(Module):
         super().__init__()
         if input_dim <= 0 or num_classes <= 0 or hidden_dim <= 0:
             raise ConfigurationError("input_dim, num_classes and hidden_dim must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.dense = Linear(input_dim, hidden_dim, rng=generator)
         self.dropout = Dropout(dropout, rng=generator)
         self.head = Linear(hidden_dim, num_classes, rng=generator)

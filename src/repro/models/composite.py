@@ -8,6 +8,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn import Module, Tensor
+from ..rng import make_rng
 from .backbone import BackboneConfig, SagaBackbone
 from .classifier import GRUClassifier
 from .decoder import ReconstructionDecoder
@@ -108,7 +109,7 @@ def build_pretraining_model(
     rng: Optional[np.random.Generator] = None,
 ) -> MaskedReconstructionModel:
     """Construct a fresh backbone + decoder pair for pre-training."""
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else make_rng()
     backbone = SagaBackbone(config, rng=generator)
     return MaskedReconstructionModel(backbone, rng=generator)
 

@@ -16,6 +16,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..nn import LayerNorm, Linear, Module, Tensor
 from ..nn.tensor import ensure_tensor
+from ..rng import make_rng
 
 
 class ReconstructionDecoder(Module):
@@ -31,7 +32,7 @@ class ReconstructionDecoder(Module):
         super().__init__()
         if hidden_dim <= 0 or output_channels <= 0:
             raise ConfigurationError("hidden_dim and output_channels must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         intermediate = intermediate_dim if intermediate_dim is not None else hidden_dim
         self.hidden_dim = hidden_dim
         self.output_channels = output_channels

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from ..rng import make_rng
 
 from . import init
 from .module import Module, Parameter
@@ -83,7 +84,7 @@ class Conv1d(Module):
         super().__init__()
         if kernel_size <= 0 or stride <= 0:
             raise ValueError("kernel_size and stride must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

@@ -47,7 +47,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ...exceptions import TraceError
+from ...exceptions import ConfigurationError, TraceError
 from ..tensor import Tensor
 from .executor import SUPPORTED_OPS, TapeExecutor
 from .passes import optimize
@@ -87,7 +87,7 @@ def power_of_two_buckets(max_batch: int) -> list:
     ``log2(max_batch)`` tapes instead of one per distinct batch size.
     """
     if max_batch < 1:
-        raise ValueError("max_batch must be at least 1")
+        raise ConfigurationError("max_batch must be at least 1")
     sizes = []
     size = 1
     while size < max_batch:
@@ -111,7 +111,7 @@ class CompiledModule:
         copy_output: bool = True,
     ) -> None:
         if max_buckets < 1:
-            raise ValueError("max_buckets must be at least 1")
+            raise ConfigurationError("max_buckets must be at least 1")
         self.module = module
         self.max_buckets = max_buckets
         self.bucket_sizes = tuple(sorted(set(bucket_sizes))) if bucket_sizes else None

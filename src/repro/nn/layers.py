@@ -11,6 +11,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
+from ..rng import make_rng
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, ensure_tensor
@@ -29,7 +30,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear dimensions must be positive")
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), generator))
@@ -98,7 +99,7 @@ class Embedding(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), generator))
@@ -120,7 +121,7 @@ class PositionalEmbedding(Module):
 
     def __init__(self, max_length: int, dim: int, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.max_length = max_length
         self.dim = dim
         self.weight = Parameter(init.normal((max_length, dim), generator))

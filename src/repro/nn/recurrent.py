@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+from ..rng import make_rng
 
 from . import init
 from .module import Module, Parameter
@@ -29,7 +30,7 @@ class GRUCell(Module):
 
     def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else make_rng()
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         # Input-to-hidden and hidden-to-hidden weights for the three gates,

@@ -96,6 +96,7 @@ class CounterChild:
     """Monotonically increasing count for one label set."""
 
     __slots__ = ("_lock", "_value")
+    _GUARDED_BY = {"_lock": ("_value",)}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -137,6 +138,7 @@ class GaugeChild:
     """
 
     __slots__ = ("_lock", "_value", "_fn")
+    _GUARDED_BY = {"_lock": ("_value", "_fn")}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -202,6 +204,14 @@ class HistogramChild:
         "_lock", "_bounds", "_bucket_counts", "_count", "_sum", "_min", "_max",
         "_reservoir", "_reservoir_size", "_rng", "_quantiles",
     )
+    # _bounds/_reservoir_size/_quantiles are immutable after __init__ and
+    # deliberately read lock-free by export().
+    _GUARDED_BY = {
+        "_lock": (
+            "_count", "_sum", "_min", "_max", "_bucket_counts",
+            "_reservoir", "_rng",
+        )
+    }
 
     def __init__(
         self,
@@ -434,6 +444,10 @@ class MetricFamily:
     no-labels case one call shorter.
     """
 
+    # name/labelnames/_child_kwargs are immutable after __init__; only the
+    # child map mutates.
+    _GUARDED_BY = {"_lock": ("_children",)}
+
     def __init__(
         self,
         name: str,
@@ -521,6 +535,8 @@ class MetricFamily:
 
 class MetricsRegistry:
     """Thread-safe, process-wide collection of metric families."""
+
+    _GUARDED_BY = {"_lock": ("_families",)}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

@@ -113,6 +113,12 @@ class _Span:
 class Tracer:
     """Span collector with bounded storage and probabilistic root sampling."""
 
+    # The recording hot path (record/ingest) appends lock-free — a single
+    # deque.append is atomic under the GIL — so only the compound
+    # read-modify sequences (configure's resize, drain's copy-and-clear)
+    # take the lock.  Lock-free sites carry inline REP104 exemptions.
+    _GUARDED_BY = {"_lock": ("_spans",)}
+
     def __init__(self, sample_rate: float = 0.0, capacity: int = 4096) -> None:
         self._lock = threading.Lock()
         # Raw (trace_id, name, started, finished, pid, thread_id,
@@ -123,7 +129,9 @@ class Tracer:
         # per call — too slow for six records per request, and thread names
         # never change here, so resolve each ident once.
         self._thread_names: Dict[int, str] = {}
-        self._rng = random.Random()
+        # Sampling decisions are intentionally non-reproducible: the tracer
+        # must not perturb (or depend on) the experiment's seeded RNG stream.
+        self._rng = random.Random()  # repro: noqa[REP102]
         self._ids = itertools.count(1)
         self._epoch = time.perf_counter()
         self.sample_rate = sample_rate  # property setter validates
@@ -148,7 +156,9 @@ class Tracer:
 
     @property
     def capacity(self) -> int:
-        return self._spans.maxlen or 0
+        # maxlen is only replaced wholesale by configure(); a stale read
+        # here is benign.
+        return self._spans.maxlen or 0  # repro: noqa[REP104]
 
     def configure(
         self, sample_rate: Optional[float] = None, capacity: Optional[int] = None
@@ -214,7 +224,7 @@ class Tracer:
         if thread_name is None:
             thread_name = threading.current_thread().name
             self._thread_names[ident] = thread_name
-        self._spans.append(
+        self._spans.append(  # repro: noqa[REP104] — GIL-atomic hot path
             (trace_id, name, started, finished, os.getpid(), ident, thread_name, args)
         )
 
@@ -275,7 +285,7 @@ class Tracer:
             trace_id, name, started, finished, pid, thread_id, thread_name, args = record
             if trace_id is None:
                 continue
-            self._spans.append(
+            self._spans.append(  # repro: noqa[REP104] — GIL-atomic, like record()
                 (
                     str(trace_id), str(name), float(started), float(finished),
                     int(pid), int(thread_id), str(thread_name),
@@ -337,7 +347,8 @@ class Tracer:
 
     def __repr__(self) -> str:
         return (
-            f"Tracer(sample_rate={self._sample_rate}, spans={len(self._spans)}, "
+            f"Tracer(sample_rate={self._sample_rate}, "
+            f"spans={len(self._spans)}, "  # repro: noqa[REP104] — debug repr
             f"capacity={self.capacity})"
         )
 

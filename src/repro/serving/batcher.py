@@ -95,6 +95,13 @@ class MicroBatcher:
         batch (the telemetry hook).
     """
 
+    # _not_empty is a Condition over _lock, so holding either name is
+    # holding the same mutex.
+    _GUARDED_BY = {
+        "_lock": ("_queue", "_closed", "_batches_processed", "_requests_processed"),
+        "_not_empty": ("_queue", "_closed", "_batches_processed", "_requests_processed"),
+    }
+
     def __init__(
         self,
         handler: BatchHandler,

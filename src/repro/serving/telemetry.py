@@ -112,6 +112,10 @@ class TelemetryCollector:
     series while the snapshot API stays per-collector.
     """
 
+    # The metric children (_requests, _latency, …) are internally locked;
+    # only the cross-field max/first-seen state needs this collector's lock.
+    _GUARDED_BY = {"_lock": ("_max_queue_depth", "_first_request_at")}
+
     def __init__(
         self,
         percentiles: tuple = DEFAULT_PERCENTILES,

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..exceptions import TrainingError
+
 
 @dataclass
 class EpochRecord:
@@ -45,7 +47,7 @@ class TrainingHistory:
 
     def final_loss(self) -> float:
         if not self.records:
-            raise ValueError("history is empty")
+            raise TrainingError("history is empty")
         return self.records[-1].train_loss
 
     def improved(self, window: int = 5, tolerance: float = 1e-4) -> bool:

@@ -7,17 +7,19 @@ from typing import Dict
 
 import numpy as np
 
+from ..exceptions import TrainingError
+
 
 def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
     """Proportion of correctly predicted samples."""
     predictions = np.asarray(predictions)
     labels = np.asarray(labels)
     if predictions.shape != labels.shape:
-        raise ValueError(
+        raise TrainingError(
             f"predictions shape {predictions.shape} does not match labels shape {labels.shape}"
         )
     if predictions.size == 0:
-        raise ValueError("cannot compute accuracy of an empty prediction set")
+        raise TrainingError("cannot compute accuracy of an empty prediction set")
     return float(np.mean(predictions == labels))
 
 
@@ -26,7 +28,7 @@ def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: i
     predictions = np.asarray(predictions, dtype=np.int64)
     labels = np.asarray(labels, dtype=np.int64)
     if predictions.shape != labels.shape:
-        raise ValueError("predictions and labels must have the same shape")
+        raise TrainingError("predictions and labels must have the same shape")
     matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
     np.add.at(matrix, (labels, predictions), 1)
     return matrix
@@ -95,5 +97,5 @@ def relative_metric(value: float, reference: float) -> float:
     all labelled data* (Figure 6); this helper implements that normalisation.
     """
     if reference <= 0:
-        raise ValueError("reference must be positive")
+        raise TrainingError("reference must be positive")
     return 100.0 * value / reference

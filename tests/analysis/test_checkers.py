@@ -1,0 +1,267 @@
+"""Per-rule fixture tests: each rule proves a true positive and a clean pass."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.annotations import AnnotationIntegrityChecker
+from repro.analysis.checkers.asyncio_hygiene import AsyncioHygieneChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.dtype_policy import DtypePolicyChecker
+from repro.analysis.checkers.exception_policy import ExceptionPolicyChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.core import FileContext
+
+
+def run(checker, source, module):
+    return checker.run(FileContext.from_source(source, module=module))
+
+
+class TestREP101DtypePolicy:
+    CHECKER = DtypePolicyChecker()
+    MODULE = "repro.nn.functional"  # an op path the policy covers
+
+    def test_flags_dtype_less_zeros(self):
+        findings = run(self.CHECKER, "import numpy as np\nx = np.zeros(4)\n", self.MODULE)
+        assert [f.rule for f in findings] == ["REP101"]
+        assert "float64" in findings[0].message
+
+    def test_flags_strong_scalar_wrapper(self):
+        findings = run(self.CHECKER, "import numpy as np\ns = np.float64(0.5)\n", self.MODULE)
+        assert len(findings) == 1 and "strong" in findings[0].message
+
+    def test_flags_hardcoded_dtype_keyword(self):
+        source = "import numpy as np\nx = np.asarray(v, dtype=np.float64)\n"
+        assert len(run(self.CHECKER, source, self.MODULE)) == 1
+
+    def test_flags_string_dtype_and_astype(self):
+        source = (
+            "import numpy as np\n"
+            'a = np.asarray(v, dtype="float32")\n'
+            "b = x.astype(np.float64)\n"
+        )
+        assert len(run(self.CHECKER, source, self.MODULE)) == 2
+
+    def test_clean_policy_conformant_construction(self):
+        source = (
+            "import numpy as np\n"
+            "from .tensor import get_default_dtype\n"
+            "x = np.zeros(4, dtype=get_default_dtype())\n"
+            "y = np.zeros_like(v)\n"
+            "mask = np.zeros(4, dtype=bool)\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_dtype_comparisons_are_not_construction(self):
+        # The JIT strength-reduction gates test dtypes; promoting nothing.
+        source = "import numpy as np\nok = x.dtype == np.float32\n"
+        assert run(self.CHECKER, source, "repro.nn.jit.passes") == []
+
+    def test_policy_modules_and_foreign_packages_exempt(self):
+        source = "import numpy as np\nx = np.zeros(4)\n"
+        assert run(self.CHECKER, source, "repro.nn.tensor") == []
+        assert run(self.CHECKER, source, "repro.datasets.base") == []
+
+
+class TestREP102Determinism:
+    CHECKER = DeterminismChecker()
+    MODULE = "repro.models.backbone"
+
+    def test_flags_seedless_default_rng(self):
+        source = "import numpy as np\ngen = np.random.default_rng()\n"
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert [f.rule for f in findings] == ["REP102"]
+        assert "make_rng" in findings[0].message
+
+    def test_flags_global_stream_draw_and_seed(self):
+        source = (
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "x = np.random.rand(3)\n"
+        )
+        assert len(run(self.CHECKER, source, self.MODULE)) == 2
+
+    def test_flags_stdlib_global_draws(self):
+        source = "import random\nx = random.random()\n"
+        assert len(run(self.CHECKER, source, self.MODULE)) == 1
+
+    def test_flags_time_derived_seed(self):
+        source = "import numpy as np\nimport time\ng = np.random.default_rng(int(time.time()))\n"
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "replayed" in findings[0].message
+
+    def test_clean_seeded_generators(self):
+        source = (
+            "import numpy as np\n"
+            "import random\n"
+            "g = np.random.default_rng(seed)\n"
+            "r = random.Random(1234)\n"
+            "x = g.normal(size=3)\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_make_rng_is_the_audited_escape_hatch(self):
+        source = "from repro.rng import make_rng\ngen = make_rng()\n"
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_repro_rng_itself_is_exempt(self):
+        source = "import numpy as np\ngen = np.random.default_rng()\n"
+        assert run(self.CHECKER, source, "repro.rng") == []
+
+
+class TestREP103AsyncioHygiene:
+    CHECKER = AsyncioHygieneChecker()
+    MODULE = "repro.serving.gateway"
+
+    def test_flags_time_sleep_in_coroutine(self):
+        source = "import time\n\nasync def handle():\n    time.sleep(0.1)\n"
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "asyncio.sleep" in findings[0].message
+
+    def test_flags_sync_file_io_and_unawaited_result(self):
+        source = (
+            "async def handle(fut):\n"
+            "    data = open('f').read()\n"
+            "    return fut.result()\n"
+        )
+        assert len(run(self.CHECKER, source, self.MODULE)) == 2
+
+    def test_awaited_primitives_are_fine(self):
+        source = (
+            "import asyncio\n\n"
+            "async def handle(lock, fut):\n"
+            "    await asyncio.sleep(0.1)\n"
+            "    await lock.acquire()\n"
+            "    return await asyncio.wrap_future(fut)\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_sync_functions_are_out_of_scope(self):
+        source = "import time\n\ndef worker():\n    time.sleep(0.1)\n"
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_nested_sync_def_runs_elsewhere(self):
+        source = (
+            "import time\n\n"
+            "async def handle(loop):\n"
+            "    def blocking():\n"
+            "        time.sleep(0.1)\n"
+            "    await loop.run_in_executor(None, blocking)\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_only_serving_modules_are_checked(self):
+        source = "import time\n\nasync def handle():\n    time.sleep(0.1)\n"
+        assert run(self.CHECKER, source, "repro.experiments.runner") == []
+
+
+class TestREP104LockDiscipline:
+    CHECKER = LockDisciplineChecker()
+    MODULE = "repro.serving.batcher"
+
+    GUARDED = (
+        "import threading\n\n"
+        "class Box:\n"
+        '    _GUARDED_BY = {"_lock": ("_value",)}\n\n'
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._value = 0\n\n"
+    )
+
+    def test_flags_unlocked_access(self):
+        source = self.GUARDED + "    def peek(self):\n        return self._value\n"
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "_GUARDED_BY" in findings[0].message
+
+    def test_clean_access_under_the_lock(self):
+        source = self.GUARDED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._value += 1\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_init_is_exempt(self):
+        # The GUARDED fixture itself assigns _value in __init__ without the
+        # lock; that alone must not trip the rule.
+        assert run(self.CHECKER, self.GUARDED, self.MODULE) == []
+
+    def test_any_declared_lock_suffices(self):
+        source = (
+            "import threading\n\n"
+            "class Batcher:\n"
+            "    _GUARDED_BY = {\n"
+            '        "_lock": ("_queue",),\n'
+            '        "_not_empty": ("_queue",),\n'
+            "    }\n\n"
+            "    def drain(self):\n"
+            "        with self._not_empty:\n"
+            "            return list(self._queue)\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_malformed_declaration_is_itself_a_finding(self):
+        source = "class Bad:\n    _GUARDED_BY = {'_lock': 3}\n"
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "literal dict" in findings[0].message
+
+    def test_undeclared_classes_are_ignored(self):
+        source = "class Plain:\n    def peek(self):\n        return self._value\n"
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+
+class TestREP105ExceptionPolicy:
+    CHECKER = ExceptionPolicyChecker()
+    MODULE = "repro.serving.gateway"
+
+    def test_flags_bare_valueerror(self):
+        source = "def f(x):\n    raise ValueError('bad')\n"
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "ServingError" in findings[0].message
+
+    def test_flags_bare_runtimeerror_without_call(self):
+        assert len(run(self.CHECKER, "def f():\n    raise RuntimeError\n", self.MODULE)) == 1
+
+    def test_domain_exceptions_and_reraise_are_fine(self):
+        source = (
+            "from repro.exceptions import ServingError\n"
+            "def f(exc):\n"
+            "    try:\n"
+            "        raise ServingError('no')\n"
+            "    except ServingError:\n"
+            "        raise\n"
+            "    raise exc\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_precise_builtins_are_fine(self):
+        source = "def f(x):\n    raise TypeError('wrong type')\n"
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_numeric_library_keeps_numpy_convention(self):
+        source = "def f(x):\n    raise ValueError('bad shape')\n"
+        assert run(self.CHECKER, source, "repro.signal") == []
+        assert run(self.CHECKER, source, "repro.nn.functional") == []
+
+
+class TestREP106AnnotationIntegrity:
+    CHECKER = AnnotationIntegrityChecker()
+    MODULE = "repro.serving.telemetry"
+
+    def test_flags_the_original_telemetry_bug(self):
+        source = (
+            "from __future__ import annotations\n"
+            "class C:\n"
+            "    def __init__(self) -> None:\n"
+            "        self._first_request_at: Optional[float] = None\n"
+        )
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "'Optional'" in findings[0].message
+
+    def test_clean_when_imported(self):
+        source = (
+            "from __future__ import annotations\n"
+            "from typing import Optional\n"
+            "class C:\n"
+            "    def __init__(self) -> None:\n"
+            "        self._first_request_at: Optional[float] = None\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []

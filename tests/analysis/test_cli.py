@@ -1,0 +1,94 @@
+"""CLI exit-code contract: 0 clean, 1 findings, 2 usage errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+BAD_GATEWAY = "import time\n\nasync def drain():\n    time.sleep(0.5)\n"
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A miniature repro package with one seeded REP103 bug."""
+    root = tmp_path / "repro"
+    (root / "serving").mkdir(parents=True)
+    (root / "clean.py").write_text("x = 1\n")
+    (root / "serving" / "gateway_extra.py").write_text(BAD_GATEWAY)
+    return root
+
+
+def test_check_clean_tree_exits_zero(tmp_path, capsys):
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "ok.py").write_text("x = 1\n")
+    assert main(["check", "--root", str(root)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_check_seeded_bug_exits_one(tree, capsys):
+    assert main(["check", "--root", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "REP103" in out and "gateway_extra.py" in out
+
+
+def test_check_json_format(tree, capsys):
+    assert main(["check", "--root", str(tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counts_by_rule"] == {"REP103": 1}
+
+
+def test_noqa_suppression_restores_zero(tree, capsys):
+    path = tree / "serving" / "gateway_extra.py"
+    path.write_text(BAD_GATEWAY.replace(
+        "time.sleep(0.5)", "time.sleep(0.5)  # repro: noqa[REP103]"
+    ))
+    assert main(["check", "--root", str(tree)]) == 0
+    assert "1 noqa-suppressed" in capsys.readouterr().out
+
+
+def test_update_baseline_then_check_passes(tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["update-baseline", "--root", str(tree), "--baseline", str(baseline)]) == 0
+    assert baseline.exists()
+    assert main(["check", "--root", str(tree), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # --no-baseline sees through the grandfathering.
+    assert main(["check", "--root", str(tree), "--baseline", str(baseline),
+                 "--no-baseline"]) == 1
+
+
+def test_strict_fails_on_stale_baseline(tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["update-baseline", "--root", str(tree), "--baseline", str(baseline)]) == 0
+    (tree / "serving" / "gateway_extra.py").write_text("x = 1\n")  # bug fixed
+    assert main(["check", "--root", str(tree), "--baseline", str(baseline)]) == 0
+    assert main(["check", "--root", str(tree), "--baseline", str(baseline),
+                 "--strict"]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_rules_subset_and_unknown_rule(tree, capsys):
+    assert main(["check", "--root", str(tree), "--rules", "REP105"]) == 0
+    assert main(["check", "--root", str(tree), "--rules", "REP999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_explain_known_rule(capsys):
+    assert main(["explain", "REP104"]) == 0
+    out = capsys.readouterr().out
+    assert "lock-discipline" in out and "noqa[REP104]" in out
+
+
+def test_explain_unknown_rule(capsys):
+    assert main(["explain", "REP999"]) == 2
+    assert "known rules" in capsys.readouterr().err
+
+
+def test_missing_root_is_a_usage_error(tmp_path, capsys):
+    assert main(["check", "--root", str(tmp_path / "missing")]) == 2
+    assert "error:" in capsys.readouterr().err

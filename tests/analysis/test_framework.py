@@ -1,0 +1,218 @@
+"""Framework-level tests: findings, suppressions, baseline, engine, reporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, default_baseline_path
+from repro.analysis.checkers import all_checkers, checker_index
+from repro.analysis.core import FileContext, Finding, ImportMap
+from repro.analysis.discovery import default_root, discover, module_name
+from repro.analysis.engine import run_analysis
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.suppressions import SuppressionIndex
+from repro.exceptions import AnalysisError
+
+
+def make_finding(rule="REP102", path="repro/x.py", line=3,
+                 source_line="    rng = np.random.default_rng()"):
+    return Finding(path=path, line=line, col=11, rule=rule,
+                   message="msg", source_line=source_line)
+
+
+class TestFinding:
+    def test_format_is_ruff_style(self):
+        assert make_finding().format() == "repro/x.py:3:11: REP102 msg"
+
+    def test_content_key_strips_indentation(self):
+        a = make_finding(source_line="    rng = np.random.default_rng()")
+        b = make_finding(line=99, source_line="rng = np.random.default_rng()")
+        assert a.content_key == b.content_key
+
+    def test_orders_by_location(self):
+        early = make_finding(line=1)
+        late = make_finding(line=9)
+        assert sorted([late, early]) == [early, late]
+
+
+class TestImportMap:
+    def test_resolves_aliased_module(self):
+        ctx = FileContext.from_source("import numpy as np\nx = np.random.rand()\n")
+        assert ctx.imports.resolve("np.random.rand") == "numpy.random.rand"
+
+    def test_resolves_from_import(self):
+        ctx = FileContext.from_source("from numpy.random import default_rng as mk\n")
+        assert ctx.imports.resolve("mk") == "numpy.random.default_rng"
+
+    def test_unknown_names_pass_through(self):
+        assert ImportMap({}).resolve("local.helper") == "local.helper"
+
+
+class TestSuppressions:
+    def test_rule_specific_marker_covers_only_that_rule(self):
+        index = SuppressionIndex(["x = 1", "y = f()  # repro: noqa[REP102]"])
+        assert index.covers(make_finding(rule="REP102", line=2))
+        assert not index.covers(make_finding(rule="REP104", line=2))
+        assert not index.covers(make_finding(rule="REP102", line=1))
+
+    def test_bare_marker_covers_every_rule(self):
+        index = SuppressionIndex(["y = f()  # repro: noqa"])
+        assert index.covers(make_finding(rule="REP101", line=1))
+        assert index.covers(make_finding(rule="REP106", line=1))
+
+    def test_comma_separated_rules(self):
+        index = SuppressionIndex(["y = f()  # repro: noqa[REP102, REP104]"])
+        assert index.covers(make_finding(rule="REP104", line=1))
+        assert not index.covers(make_finding(rule="REP105", line=1))
+
+    def test_plain_ruff_noqa_is_not_ours(self):
+        index = SuppressionIndex(["y = f()  # noqa: E501"])
+        assert not index.covers(make_finding(line=1))
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [make_finding(), make_finding(line=7)]
+        path = Baseline.from_findings(findings).save(tmp_path / "baseline.json")
+        loaded = Baseline.load(path)
+        assert loaded.entries == {findings[0].content_key: 2}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == {}
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a baseline"}')
+        with pytest.raises(AnalysisError):
+            Baseline.load(path)
+
+    def test_partition_respects_occurrence_budget(self):
+        one = make_finding(line=3)
+        two = make_finding(line=8)  # same content key (same stripped line)
+        baseline = Baseline({one.content_key: 1})
+        active, baselined, stale = baseline.partition([one, two])
+        assert baselined == [one]
+        assert active == [two]  # a NEW occurrence of an old pattern still fails
+        assert stale == {}
+
+    def test_partition_reports_stale_entries(self):
+        baseline = Baseline({"REP102|repro/gone.py|x = f()": 2})
+        active, baselined, stale = baseline.partition([])
+        assert active == [] and baselined == []
+        assert stale == {"REP102|repro/gone.py|x = f()": 2}
+
+    def test_default_path_lands_at_repo_root_for_src_layout(self, tmp_path):
+        root = tmp_path / "src" / "repro"
+        root.mkdir(parents=True)
+        assert default_baseline_path(root) == tmp_path / "analysis_baseline.json"
+
+
+class TestDiscovery:
+    def test_module_names(self, tmp_path):
+        root = tmp_path / "repro"
+        (root / "nn").mkdir(parents=True)
+        (root / "__init__.py").write_text("")
+        (root / "nn" / "__init__.py").write_text("")
+        (root / "nn" / "layers.py").write_text("x = 1\n")
+        contexts = discover(root)
+        assert [ctx.module for ctx in contexts] == ["repro", "repro.nn", "repro.nn.layers"]
+        assert contexts[-1].relpath == "repro/nn/layers.py"
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            discover(tmp_path / "missing")
+
+    def test_default_root_is_the_repro_package(self):
+        root = default_root()
+        assert root.name == "repro"
+        assert (root / "analysis").is_dir()
+
+    def test_module_name_drops_init(self, tmp_path):
+        root = tmp_path / "repro"
+        root.mkdir()
+        assert module_name(root / "__init__.py", root) == "repro"
+
+
+class TestEngine:
+    def _tree(self, tmp_path, source):
+        root = tmp_path / "repro"
+        (root / "serving").mkdir(parents=True)
+        (root / "serving" / "gateway_extra.py").write_text(source)
+        return root
+
+    BAD = "import time\n\nasync def handle():\n    time.sleep(1)\n"
+
+    def test_findings_fail_the_gate(self, tmp_path):
+        result = run_analysis(self._tree(tmp_path, self.BAD), all_checkers())
+        assert not result.ok
+        assert result.counts_by_rule() == {"REP103": 1}
+
+    def test_noqa_moves_finding_to_suppressed(self, tmp_path):
+        source = self.BAD.replace(
+            "time.sleep(1)", "time.sleep(1)  # repro: noqa[REP103]"
+        )
+        result = run_analysis(self._tree(tmp_path, source), all_checkers())
+        assert result.ok
+        assert len(result.suppressed) == 1
+
+    def test_baseline_moves_finding_to_baselined(self, tmp_path):
+        root = self._tree(tmp_path, self.BAD)
+        first = run_analysis(root, all_checkers())
+        baseline = Baseline.from_findings(first.findings)
+        second = run_analysis(root, all_checkers(), baseline=baseline)
+        assert second.ok
+        assert len(second.baselined) == 1
+
+    def test_rule_selection(self, tmp_path):
+        root = self._tree(tmp_path, self.BAD)
+        result = run_analysis(root, all_checkers(), rules=["REP105"])
+        assert result.rules == ["REP105"]
+        assert result.ok  # the REP103 bug is out of the selected set
+
+    def test_unknown_rule_raises(self, tmp_path):
+        root = self._tree(tmp_path, self.BAD)
+        with pytest.raises(AnalysisError):
+            run_analysis(root, all_checkers(), rules=["REP999"])
+
+
+class TestReporters:
+    def test_text_report(self, tmp_path):
+        root = tmp_path / "repro"
+        (root / "serving").mkdir(parents=True)
+        (root / "serving" / "bad.py").write_text(TestEngine.BAD)
+        result = run_analysis(root, all_checkers())
+        text = render_text(result)
+        assert "repro/serving/bad.py:4" in text
+        assert "REP103" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_is_parseable(self, tmp_path):
+        root = tmp_path / "repro"
+        root.mkdir()
+        (root / "clean.py").write_text("x = 1\n")
+        payload = json.loads(render_json(run_analysis(root, all_checkers())))
+        assert payload["ok"] is True
+        assert payload["files_checked"] == 1
+        assert payload["findings"] == []
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        rules = [checker.rule for checker in all_checkers()]
+        assert rules == ["REP101", "REP102", "REP103", "REP104", "REP105", "REP106"]
+
+    def test_every_checker_documents_itself(self):
+        for checker in all_checkers():
+            assert checker.name and checker.description and checker.rationale
+
+    def test_index_keys_match_rules(self):
+        index = checker_index()
+        assert set(index) == {c.rule for c in all_checkers()}
+
+
+def test_gate_is_clean_on_the_shipped_tree():
+    """The tier-1 mirror of the CI leg: src/repro has no active findings."""
+    result = run_analysis(default_root(), all_checkers())
+    assert result.ok, render_text(result)

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.clhar import ConvEncoder
+from repro.exceptions import ConfigurationError
 from repro.baselines.tpn import SmallConvEncoder
 from repro.models.backbone import BackboneConfig, SagaBackbone
 from repro.models.classifier import GRUClassifier, MLPClassifier
@@ -401,5 +402,5 @@ class TestReviewRegressions:
         assert power_of_two_buckets(1) == [1]
         assert power_of_two_buckets(8) == [1, 2, 4, 8]
         assert power_of_two_buckets(96) == [1, 2, 4, 8, 16, 32, 64, 96]
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             power_of_two_buckets(0)

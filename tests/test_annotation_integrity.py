@@ -7,100 +7,50 @@ imports cleanly and runs forever with ``Optional`` missing from the module —
 runtime never notices, and ``typing.get_type_hints`` cannot help because
 attribute annotations inside method bodies are not stored anywhere.
 
-This test closes the gap statically: it parses every module's AST, collects
-every annotation expression (variable and attribute annotations, function
-arguments, return types — including annotations written as string literals),
-and asserts each root identifier resolves in the imported module's namespace
-or in builtins.  Deleting the ``Optional`` import from any module that
-annotates with it fails this test immediately.
+The check itself now lives in the static-analysis framework as rule REP106
+(:mod:`repro.analysis.checkers.annotations`), where it resolves annotation
+roots against *statically collected* module bindings instead of importing
+each module.  This file is the thin tier-1 wrapper that keeps the invariant
+enforced by ``pytest`` as well as by ``python -m repro.analysis check``,
+plus regression tests pinning the behaviours the original import-based
+checker had.
 """
 
 from __future__ import annotations
 
 import ast
-import builtins
-import importlib
-from pathlib import Path
-from typing import Iterator, List, Set, Tuple
 
 import pytest
 
-SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+from repro.analysis.checkers.annotations import (
+    AnnotationIntegrityChecker,
+    _iter_annotation_exprs,
+    _names_in_annotation,
+    module_bindings,
+)
+from repro.analysis.core import FileContext
+from repro.analysis.discovery import default_root, discover
 
 
-def _iter_annotation_exprs(tree: ast.AST) -> Iterator[ast.expr]:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.AnnAssign):
-            yield node.annotation
-        elif isinstance(node, ast.arg) and node.annotation is not None:
-            yield node.annotation
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.returns:
-            yield node.returns
+def _contexts():
+    return discover(default_root())
 
 
-def _names_in_annotation(expr: ast.expr) -> Set[str]:
-    """Root identifiers referenced by one annotation expression.
-
-    String-literal annotations (``"Future[np.ndarray]"``) are parsed and
-    recursed into; an attribute chain like ``np.ndarray`` contributes only
-    its root ``np`` (the attribute is resolved by that module, not ours).
-    """
-    names: Set[str] = set()
-    for node in ast.walk(expr):
-        if isinstance(node, ast.Name):
-            names.add(node.id)
-        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-            try:
-                inner = ast.parse(node.value, mode="eval").body
-            except SyntaxError:
-                continue  # a plain string in an Annotated[...] payload etc.
-            names.update(_names_in_annotation(inner))
-    # Roots of attribute chains are already Names; drop attribute tails that
-    # ast.walk surfaced as part of the chain's Name set (none — walk only
-    # yields the root Name for Attribute nodes).
-    return names
-
-
-def _collect_unresolved(module_name: str, source: str) -> List[Tuple[int, str]]:
-    tree = ast.parse(source)
-    module = importlib.import_module(module_name)
-    namespace = vars(module)
-    unresolved: List[Tuple[int, str]] = []
-    for annotation in _iter_annotation_exprs(tree):
-        for name in sorted(_names_in_annotation(annotation)):
-            if name in namespace or hasattr(builtins, name):
-                continue
-            unresolved.append((annotation.lineno, name))
-    return unresolved
-
-
-def _all_modules() -> List[str]:
-    modules = []
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        relative = path.relative_to(SRC_ROOT.parent)
-        parts = list(relative.with_suffix("").parts)
-        if parts[-1] == "__main__":
-            continue  # importing a CLI entry point runs its argparse
-        if parts[-1] == "__init__":
-            parts = parts[:-1]
-        modules.append(".".join(parts))
-    return modules
-
-
-@pytest.mark.parametrize("module_name", _all_modules())
-def test_module_annotations_resolve(module_name: str) -> None:
-    relative = Path(*module_name.split("."))
-    path = SRC_ROOT.parent / relative
-    path = (path / "__init__.py") if path.is_dir() else path.with_suffix(".py")
-    unresolved = _collect_unresolved(module_name, path.read_text(encoding="utf-8"))
-    assert not unresolved, (
-        f"{module_name}: annotations reference names missing from the module "
-        f"namespace: " + ", ".join(f"line {line}: {name!r}" for line, name in unresolved)
+@pytest.mark.parametrize("ctx", _contexts(), ids=lambda ctx: ctx.module)
+def test_module_annotations_resolve(ctx: FileContext) -> None:
+    findings = AnnotationIntegrityChecker().run(ctx)
+    assert not findings, (
+        f"{ctx.module}: annotations reference names missing from the module "
+        "namespace: " + ", ".join(f.format() for f in findings)
     )
 
 
+def _check_source(source: str, module: str = "repro.example") -> list:
+    return AnnotationIntegrityChecker().run(FileContext.from_source(source, module=module))
+
+
 class TestCheckerCatchesTheOriginalBug:
-    """The checker must flag the exact pattern the telemetry fix removed."""
+    """REP106 must flag the exact pattern the telemetry fix removed."""
 
     BUGGY = (
         "from __future__ import annotations\n"
@@ -110,15 +60,27 @@ class TestCheckerCatchesTheOriginalBug:
     )
 
     def test_missing_optional_is_reported(self):
-        tree = ast.parse(self.BUGGY)
-        flagged = set()
-        for annotation in _iter_annotation_exprs(tree):
-            flagged |= _names_in_annotation(annotation)
-        # `Optional` is referenced by the attribute annotation but is bound
-        # nowhere in the module — exactly what resolution would reject.
-        assert "Optional" in flagged
+        findings = _check_source(self.BUGGY)
+        assert len(findings) == 1
+        assert findings[0].rule == "REP106"
+        assert "'Optional'" in findings[0].message
+
+    def test_importing_optional_fixes_it(self):
+        assert not _check_source("from typing import Optional\n" + self.BUGGY)
 
     def test_string_annotations_are_recursed(self):
         tree = ast.parse('x: "Future[np.ndarray]" = None\n')
         (annotation,) = list(_iter_annotation_exprs(tree))
         assert _names_in_annotation(annotation) == {"Future", "np"}
+
+    def test_conditional_imports_count_as_bindings(self):
+        source = (
+            "try:\n"
+            "    from concurrent.futures import Future\n"
+            "except ImportError:\n"
+            "    Future = None\n"
+            "x: 'Future[int]' = None\n"
+        )
+        assert not _check_source(source)
+        bound = module_bindings(ast.parse(source))
+        assert "Future" in bound

@@ -13,7 +13,7 @@ from repro.baselines import (
     TPNMethod,
 )
 from repro.datasets import SyntheticIMUConfig, generate_synthetic_dataset
-from repro.exceptions import TrainingError
+from repro.exceptions import ConfigurationError, TrainingError
 from repro.models import BackboneConfig
 from repro.nn import Tensor
 
@@ -59,9 +59,9 @@ class TestMethodBudget:
         assert budget.learning_rate == pytest.approx(1e-3)
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MethodBudget(finetune_epochs=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MethodBudget(batch_size=0)
 
 

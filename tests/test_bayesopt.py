@@ -49,9 +49,9 @@ class TestKernels:
         assert near > far
 
     def test_kernel_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SearchError):
             RBFKernel(length_scale=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(SearchError):
             RBFKernel(length_scale=1.0)(np.zeros((2, 2)), np.zeros((2, 3)))
 
     def test_registry(self):

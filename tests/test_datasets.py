@@ -200,7 +200,7 @@ class TestFactoriesAndRegistry:
             load_dataset("unknown")
 
     def test_invalid_scale(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             make_hhar(scale=0.0)
 
 

@@ -88,7 +88,7 @@ class TestResultTable:
         relative = record.relative_to(0.9, 0.8)
         assert relative.accuracy == pytest.approx(50.0)
         assert relative.f1 == pytest.approx(50.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             record.relative_to(0.0, 1.0)
 
     def test_format_table_contains_methods_and_rates(self, table):

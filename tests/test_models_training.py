@@ -158,9 +158,9 @@ class TestMetrics:
         assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
 
     def test_accuracy_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TrainingError):
             accuracy(np.array([1]), np.array([1, 2]))
-        with pytest.raises(ValueError):
+        with pytest.raises(TrainingError):
             accuracy(np.array([]), np.array([]))
 
     def test_confusion_matrix(self):
@@ -188,7 +188,7 @@ class TestMetrics:
 
     def test_relative_metric(self):
         assert relative_metric(0.45, 0.9) == pytest.approx(50.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(TrainingError):
             relative_metric(0.5, 0.0)
 
 
@@ -207,7 +207,7 @@ class TestHistory:
         assert history.best("accuracy") is None
 
     def test_final_loss_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TrainingError):
             TrainingHistory().final_loss()
 
     def test_improved_window(self):
