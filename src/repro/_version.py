@@ -5,4 +5,4 @@ key caches on the code version — :mod:`repro.experiments.cache` — can import
 it without importing the whole package, and without circular imports.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

@@ -11,6 +11,7 @@ from .determinism import DeterminismChecker
 from .dtype_policy import DtypePolicyChecker
 from .exception_policy import ExceptionPolicyChecker
 from .lock_discipline import LockDisciplineChecker
+from .swallowed_exceptions import SwallowedExceptionChecker
 
 __all__ = [
     "AnnotationIntegrityChecker",
@@ -19,6 +20,7 @@ __all__ = [
     "DtypePolicyChecker",
     "ExceptionPolicyChecker",
     "LockDisciplineChecker",
+    "SwallowedExceptionChecker",
     "all_checkers",
     "checker_index",
 ]
@@ -33,6 +35,7 @@ def all_checkers() -> List[Checker]:
         LockDisciplineChecker(),
         ExceptionPolicyChecker(),
         AnnotationIntegrityChecker(),
+        SwallowedExceptionChecker(),
     ]
 
 

@@ -52,6 +52,7 @@ _SCOPED_PREFIXES = (
     "repro.baselines",
     "repro.nn.jit",
     "repro.analysis",
+    "repro.faults",
 )
 
 #: The replacement to suggest per package (documentation in the finding).
@@ -70,6 +71,7 @@ _SUGGESTIONS = {
     "repro.baselines": "ConfigurationError/TrainingError",
     "repro.nn.jit": "ConfigurationError/TraceError",
     "repro.analysis": "AnalysisError",
+    "repro.faults": "FaultError",
 }
 
 

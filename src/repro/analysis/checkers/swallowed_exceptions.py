@@ -1,0 +1,125 @@
+"""REP107 — swallowed exceptions: every handler re-raises, raises, or records.
+
+The fault-injection work (PR 10) made exception handlers load-bearing: the
+parallel engine's respawn path, the forward-path quarantine and the registry
+rollback all *depend* on failures being observable.  A handler whose body is
+``pass`` (or only rebinds a variable-free constant) erases the failure — the
+chaos suite can inject a fault and CI still goes green because nothing saw
+it.  The rule enforces the failure-visibility floor on the subsystems with
+recovery semantics: a handler must either re-raise, raise a domain
+exception, or *do something observable* (log, count a metric, send an error
+reply, record state).
+
+Mechanically, an ``except`` handler is flagged when its body contains no
+statement that could plausibly surface or react to the failure: no
+``raise``, no call (loggers, metric ``.inc()``, ``conn.send``), no
+assignment (recording the exception into state), no ``await``/``yield``,
+and no ``return``/``continue``/``break`` *carrying a call or name* — i.e.
+bodies made only of ``pass``, bare control flow and constants.
+
+``return``/``continue``/``break`` alone do **not** count as handling: they
+are exactly how failures get silently skipped.  Handlers that legitimately
+*must* swallow (asyncio teardown races, best-effort pipe closes) carry an
+inline ``# repro: noqa[REP107]`` with a justification — the suppression is
+the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..core import Checker, FileContext, Finding
+
+__all__ = ["SwallowedExceptionChecker"]
+
+#: Packages with recovery/observability semantics where a silent handler is
+#: a correctness bug, not a style preference.
+_SCOPED_PREFIXES = (
+    "repro.serving",
+    "repro.parallel",
+    "repro.obs",
+    "repro.faults",
+)
+
+#: Statement types whose presence means the handler *reacted*: raising,
+#: calling (log/metric/reply), recording into state, or yielding control.
+_HANDLING_NODES = (
+    ast.Raise,
+    ast.Call,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+)
+
+
+class SwallowedExceptionChecker(Checker):
+    rule = "REP107"
+    name = "swallowed-exceptions"
+    description = (
+        "except handlers in recovery-bearing subsystems must re-raise, raise "
+        "a domain exception, or observably record the failure"
+    )
+    rationale = (
+        "Self-healing paths (worker respawn, tape quarantine, registry "
+        "rollback) only work when failures are seen. A bare `except: pass` "
+        "erases the very signal the chaos suite injects, so a regression in "
+        "a recovery path can pass CI silently. Handlers that must swallow "
+        "(teardown races, best-effort closes) document why with an inline "
+        "`# repro: noqa[REP107]`."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return self._in_scope(ctx.module)
+
+    @staticmethod
+    def _in_scope(module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _SCOPED_PREFIXES
+        )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._handles(node):
+                continue
+            caught = self._caught_names(node)
+            findings.append(
+                ctx.finding(
+                    self.rule, node,
+                    f"except handler for {caught} swallows the failure "
+                    "(no raise, call, assignment or await in its body); "
+                    "re-raise, raise a domain exception, or record it "
+                    "(log/metric/state)",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _handles(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, _HANDLING_NODES):
+                    return True
+        return False
+
+    @staticmethod
+    def _caught_names(handler: ast.ExceptHandler) -> str:
+        def name_of(node: Optional[ast.expr]) -> str:
+            if node is None:
+                return "<all>"
+            if isinstance(node, ast.Name):
+                return node.id
+            if isinstance(node, ast.Attribute):
+                return node.attr
+            if isinstance(node, ast.Tuple):
+                return "(" + ", ".join(name_of(el) for el in node.elts) + ")"
+            return "<expr>"
+
+        return name_of(handler.type)

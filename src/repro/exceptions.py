@@ -52,6 +52,25 @@ class ParallelError(ReproError):
     """Raised by the data-parallel training subsystem (workers, all-reduce)."""
 
 
+class FaultError(ReproError):
+    """Raised by :mod:`repro.faults` for plan/configuration misuse.
+
+    Distinct from :class:`FaultInjectedError`: this one means the *harness*
+    is broken (bad ``REPRO_FAULTS`` grammar, invalid schedule parameters),
+    never that a fault fired.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """The exception a :mod:`repro.faults` site raises when an ``error`` (or
+    pid-downgraded ``kill``) fault fires.
+
+    A dedicated type so recovery paths and tests can distinguish injected
+    faults from organic failures, while still being a :class:`ReproError`
+    that the serving stack's error mapping classifies instead of crashing on.
+    """
+
+
 class TraceError(ReproError):
     """Raised when :mod:`repro.nn.jit` cannot trace a module's forward."""
 

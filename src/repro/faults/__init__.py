@@ -1,0 +1,66 @@
+"""repro.faults — deterministic, seeded fault injection for the whole stack.
+
+The robustness harness behind the chaos suite (``tests/faults/``,
+``tests/serving/test_gateway_chaos.py``) and the recovery benchmark
+(``BENCH_fault_recovery.json``).  Fault-tolerant code declares named *sites*
+on its failure-prone paths::
+
+    from repro import faults
+    faults.site("parallel.worker.step", rank=rank, step=step_index)
+
+and a :class:`FaultPlan` — armed via :func:`arm`, the :func:`injected`
+context manager, or the ``REPRO_FAULTS`` environment variable — decides
+deterministically which hits inject latency, raise
+:class:`~repro.exceptions.FaultInjectedError`, or ``SIGKILL`` the worker
+process.  Disarmed sites are near-zero-cost no-ops, so the sites stay in
+production code permanently (the observability-overhead benchmark gates
+this).  The site catalog and the full ``REPRO_FAULTS`` grammar live in
+``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import FaultError, FaultInjectedError
+from .injector import (
+    active_plan,
+    arm,
+    arm_from_env,
+    asite,
+    disarm,
+    injected,
+    is_armed,
+    site,
+)
+from .plan import (
+    KIND_ERROR,
+    KIND_KILL,
+    KIND_LATENCY,
+    KINDS,
+    FaultPlan,
+    FaultRule,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultRule",
+    "KINDS",
+    "KIND_ERROR",
+    "KIND_KILL",
+    "KIND_LATENCY",
+    "active_plan",
+    "arm",
+    "arm_from_env",
+    "asite",
+    "disarm",
+    "injected",
+    "is_armed",
+    "parse_fault_plan",
+    "site",
+]
+
+# Arm from the environment at import: REPRO_FAULTS reaches every entry point
+# (CLI, tests, benchmarks, the CI chaos leg) without code changes.
+arm_from_env()

@@ -1,0 +1,189 @@
+"""The site primitive: near-zero-cost when disarmed, deterministic when armed.
+
+``site(name, **context)`` is the only thing fault-tolerant code sprinkles on
+its paths.  Disarmed (the default, and the only production state) it is one
+module-global load and a ``None`` check — cheap enough for serving and
+training hot paths, which is what keeps the observability-overhead gate
+honest with the faults module imported.  Armed, it consults the active
+:class:`~repro.faults.plan.FaultPlan` and applies whatever fault fires:
+sleep, raise :class:`~repro.exceptions.FaultInjectedError`, or ``SIGKILL``
+the current process.
+
+``asite`` is the coroutine-safe twin for asyncio code (the gateway): injected
+latency awaits ``asyncio.sleep`` so the event loop never blocks — the same
+invariant REP103 enforces on the rest of :mod:`repro.serving`.
+
+Fork semantics
+--------------
+The armed plan is plain module state, so forked workers inherit a snapshot
+of it (rules *and* counters) and count their own hits from there.  ``kill``
+rules only deliver a real ``SIGKILL`` when ``os.getpid()`` differs from the
+pid that armed the plan; in the arming process they downgrade to an
+``error`` fault, so a kill schedule can never take out the driver process
+that armed it.  The parallel engine respawns workers with faults disarmed
+(`disarm()` runs in the fresh fork), so a deterministic chunk replay cannot
+re-trigger the fault that killed its predecessor.
+
+Every injection is counted in ``faults_injected_total{site,kind}`` in the
+process metrics registry (looked up at injection time, so post-fork registry
+resets are respected).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional, Union
+
+from ..exceptions import FaultInjectedError
+from ..logging_utils import get_logger
+from .plan import KIND_ERROR, KIND_LATENCY, FaultPlan, FaultRule, parse_fault_plan
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "active_plan",
+    "arm",
+    "arm_from_env",
+    "asite",
+    "disarm",
+    "injected",
+    "is_armed",
+    "site",
+]
+
+#: The armed plan; ``None`` (disarmed) keeps every site a no-op.
+_plan: Optional[FaultPlan] = None
+_arm_lock = threading.Lock()
+
+
+def arm(plan: Union[FaultPlan, str], seed: int = 0) -> FaultPlan:
+    """Arm ``plan`` (a :class:`FaultPlan` or ``REPRO_FAULTS`` spec string)."""
+    global _plan
+    if isinstance(plan, str):
+        plan = parse_fault_plan(plan, seed=seed)
+    with _arm_lock:
+        plan.armed_pid = os.getpid()
+        _plan = plan
+    logger.warning("fault injection armed: %s", plan.describe())
+    return plan
+
+
+def disarm() -> Optional[FaultPlan]:
+    """Disarm fault injection; returns the previously armed plan, if any."""
+    global _plan
+    with _arm_lock:
+        previous, _plan = _plan, None
+    if previous is not None:
+        logger.info("fault injection disarmed")
+    return previous
+
+
+def is_armed() -> bool:
+    return _plan is not None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _plan
+
+
+@contextmanager
+def injected(plan: Union[FaultPlan, str], seed: int = 0) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the duration of a ``with`` block (tests), restoring
+    whatever was armed before on exit."""
+    global _plan
+    previous = _plan
+    armed = arm(plan, seed=seed)
+    try:
+        yield armed
+    finally:
+        with _arm_lock:
+            _plan = previous
+
+
+def arm_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[FaultPlan]:
+    """Arm from ``REPRO_FAULTS`` (+ ``REPRO_FAULTS_SEED``) when set.
+
+    Called once at :mod:`repro.faults` import, so exporting the variable arms
+    every entry point (tests, benchmarks, the CI chaos leg) without code
+    changes.  A malformed spec raises :class:`~repro.exceptions.FaultError`
+    at import — loud, because a typo that silently disarmed the chaos suite
+    would pass CI while testing nothing.
+    """
+    environ = os.environ if environ is None else environ
+    spec = str(environ.get("REPRO_FAULTS", "")).strip()
+    if not spec:
+        return None
+    seed_text = str(environ.get("REPRO_FAULTS_SEED", "")).strip()
+    seed = int(seed_text) if seed_text else 0
+    return arm(parse_fault_plan(spec, seed=seed))
+
+
+def _count_injection(name: str, kind: str) -> None:
+    # Lazy imports on the (rare) injection path: the faults module must be
+    # importable before repro.obs during partial-package initialisation, and
+    # the registry must be re-looked-up after fork resets.
+    from ..obs.metrics import get_registry
+
+    get_registry().counter(
+        "faults_injected_total",
+        "Faults injected by repro.faults, by site and kind",
+        labels=("site", "kind"),
+    ).labels(site=name, kind=kind).inc()
+
+
+def _apply(plan: FaultPlan, rule: FaultRule, name: str) -> Optional[FaultRule]:
+    """Count and apply a fired rule; returns it for latency handling upstream.
+
+    ``error`` raises here; ``kill`` never returns (or raises, downgraded);
+    ``latency`` is returned to the caller so sync and async sites can sleep
+    in their own way.
+    """
+    _count_injection(name, rule.kind)
+    if rule.kind == KIND_LATENCY:
+        logger.debug("fault injected at %s: +%gms latency", name, rule.latency_ms)
+        return rule
+    if rule.kind == KIND_ERROR:
+        logger.warning("fault injected at %s: error", name)
+        raise FaultInjectedError(f"injected fault at site {name!r}")
+    # kill
+    if plan.armed_pid is not None and os.getpid() == plan.armed_pid:
+        logger.warning(
+            "fault injected at %s: kill downgraded to error in the arming process "
+            "(pid %d)", name, os.getpid(),
+        )
+        raise FaultInjectedError(
+            f"injected kill at site {name!r} (downgraded to an exception: "
+            "this process armed the plan)"
+        )
+    logger.warning("fault injected at %s: SIGKILL pid %d", name, os.getpid())
+    os.kill(os.getpid(), signal.SIGKILL)
+    return None  # pragma: no cover — unreachable past SIGKILL
+
+
+def site(name: str, **context: object) -> None:
+    """Hit the named fault site; a no-op unless an armed rule fires here."""
+    plan = _plan
+    if plan is None:
+        return
+    rule = plan.fire(name, context)
+    if rule is None:
+        return
+    if _apply(plan, rule, name) is not None:
+        time.sleep(rule.latency_ms / 1000.0)
+
+
+async def asite(name: str, **context: object) -> None:
+    """`site` for coroutines: injected latency awaits instead of blocking."""
+    plan = _plan
+    if plan is None:
+        return
+    rule = plan.fire(name, context)
+    if rule is None:
+        return
+    if _apply(plan, rule, name) is not None:
+        await asyncio.sleep(rule.latency_ms / 1000.0)

@@ -1,0 +1,277 @@
+"""Fault plans: which sites fail, how, and on which deterministic schedule.
+
+A :class:`FaultPlan` is a set of :class:`FaultRule`\\ s, each binding one
+named fault site (``"parallel.worker.step"``, ``"serving.forward"``, …) to a
+fault *kind* and a seeded schedule.  Plans are deterministic by construction:
+probability draws come from per-rule generators seeded from
+``(plan seed, rule index)``, and the counting schedules (``every``/``times``/
+``after``) are plain counters — so the same plan against the same workload
+injects the same faults, which is what makes chaos tests and the recovery
+benchmark reproducible.
+
+Kinds
+-----
+``error``
+    Raise :class:`~repro.exceptions.FaultInjectedError` at the site.
+``latency``
+    Sleep ``ms`` milliseconds at the site (``await asyncio.sleep`` at async
+    sites, so the event loop is never blocked).
+``kill``
+    ``SIGKILL`` the *current process* at the site — the worker-death fault.
+    In the process that armed the plan the kill downgrades to an ``error``
+    fault instead, so arming a kill schedule can never take out the test or
+    training driver itself; only forked workers (whose pid differs from the
+    arming pid) actually die.
+
+Schedule parameters (all composable on one rule)
+------------------------------------------------
+``p``      probability per matched hit (default 1.0), drawn from the rule's
+           seeded generator;
+``every``  fire on every Nth eligible hit (default: every one);
+``times``  stop after N injections (``times=1`` is a one-shot);
+``after``  skip the first N matched hits;
+``ms``     injected latency in milliseconds (``latency`` rules);
+``seed``   per-rule seed override (default derives from the plan seed).
+
+Any other ``key=value`` parameter is a *match constraint*: the rule only
+applies when the site call's context kwarg of that name stringifies to the
+value (``faults.site("parallel.worker.step", rank=1, step=3)`` matches
+``rank=1,step=3``).  Counters are per-process state: forked workers inherit
+a copy-on-write snapshot and count their own hits from there.
+
+``REPRO_FAULTS`` grammar
+------------------------
+``site:kind[:param=value[,param=value...]][;site:kind...]``, e.g.::
+
+    REPRO_FAULTS="serving.forward:error:times=2;serving.gateway.read:latency:ms=5,p=0.1"
+    REPRO_FAULTS="parallel.worker.step:kill:rank=1,step=3,times=1"
+
+``REPRO_FAULTS_SEED`` sets the plan seed (default 0).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import FaultError
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "KIND_ERROR",
+    "KIND_KILL",
+    "KIND_LATENCY",
+    "KINDS",
+    "parse_fault_plan",
+]
+
+KIND_ERROR = "error"
+KIND_LATENCY = "latency"
+KIND_KILL = "kill"
+KINDS = (KIND_ERROR, KIND_LATENCY, KIND_KILL)
+
+#: Recognised schedule parameters of the env grammar; anything else is a
+#: match constraint on the site call's context kwargs.
+_SCHEDULE_PARAMS = ("p", "every", "times", "after", "ms", "seed")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site → fault binding with its deterministic schedule."""
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    every: int = 0
+    times: int = 0
+    after: int = 0
+    latency_ms: float = 0.0
+    match: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise FaultError(f"fault rule needs a non-empty site name, got {self.site!r}")
+        if self.kind not in KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError(f"fault probability must be in [0, 1], got {self.probability}")
+        for name in ("every", "times", "after"):
+            if int(getattr(self, name)) < 0:
+                raise FaultError(f"fault {name} must be >= 0, got {getattr(self, name)}")
+        if self.latency_ms < 0:
+            raise FaultError(f"fault latency must be >= 0 ms, got {self.latency_ms}")
+        if self.kind == KIND_LATENCY and self.latency_ms == 0:
+            raise FaultError(f"latency rule on {self.site!r} needs ms=<milliseconds>")
+
+    def describe(self) -> str:
+        """The rule in (re-parseable) ``REPRO_FAULTS`` grammar."""
+        params = []
+        if self.probability < 1.0:
+            params.append(f"p={self.probability:g}")
+        for name in ("every", "times", "after"):
+            value = getattr(self, name)
+            if value:
+                params.append(f"{name}={value}")
+        if self.latency_ms:
+            params.append(f"ms={self.latency_ms:g}")
+        if self.seed is not None:
+            params.append(f"seed={self.seed}")
+        params.extend(f"{key}={value}" for key, value in self.match)
+        head = f"{self.site}:{self.kind}"
+        return f"{head}:{','.join(params)}" if params else head
+
+
+def _matches(match: Tuple[Tuple[str, str], ...], context: Mapping[str, Any]) -> bool:
+    for key, expected in match:
+        if key not in context or str(context[key]) != expected:
+            return False
+    return True
+
+
+class FaultPlan:
+    """An armed set of fault rules with per-rule deterministic runtime state.
+
+    The plan carries its own counters and seeded generators; arming the same
+    plan object twice resumes where it left off, while building a fresh plan
+    from the same spec replays the identical injection sequence.  State is
+    guarded by ``_lock`` so thread-backend workers and serving threads can
+    share one armed plan.
+    """
+
+    _GUARDED_BY = {"_lock": ("_hits", "_injections", "_rngs")}
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        if not self.rules:
+            raise FaultError("a fault plan needs at least one rule")
+        self.seed = int(seed)
+        for rule in self.rules:
+            rule.validate()
+        self._by_site: Dict[str, List[int]] = {}
+        for index, rule in enumerate(self.rules):
+            self._by_site.setdefault(rule.site, []).append(index)
+        self._lock = threading.Lock()
+        self._hits = [0] * len(self.rules)
+        self._injections = [0] * len(self.rules)
+        self._rngs = [
+            np.random.default_rng(
+                np.random.SeedSequence(
+                    [self.seed, index] if rule.seed is None else [int(rule.seed)]
+                )
+            )
+            for index, rule in enumerate(self.rules)
+        ]
+        # Stamped by faults.arm(): kill rules in this pid downgrade to error.
+        self.armed_pid: Optional[int] = None
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(self._by_site)
+
+    def fire(self, site: str, context: Mapping[str, Any]) -> Optional[FaultRule]:
+        """The rule injecting at this hit of ``site``, or ``None``.
+
+        First matching rule wins per hit; every matching rule's hit counter
+        advances whether or not it fires, so ``every``/``after`` schedules on
+        one site stay independent of each other.
+        """
+        indexes = self._by_site.get(site)
+        if not indexes:
+            return None
+        fired: Optional[FaultRule] = None
+        with self._lock:
+            for index in indexes:
+                rule = self.rules[index]
+                if rule.match and not _matches(rule.match, context):
+                    continue
+                hit = self._hits[index]
+                self._hits[index] = hit + 1
+                if fired is not None:
+                    continue
+                if rule.times and self._injections[index] >= rule.times:
+                    continue
+                if hit < rule.after:
+                    continue
+                if rule.every > 1 and (hit - rule.after) % rule.every != rule.every - 1:
+                    continue
+                if rule.probability < 1.0 and self._rngs[index].random() >= rule.probability:
+                    continue
+                self._injections[index] += 1
+                fired = rule
+        return fired
+
+    def stats(self) -> List[Dict[str, Union[str, int]]]:
+        """Per-rule hit/injection counters (test and debugging introspection)."""
+        with self._lock:
+            return [
+                {
+                    "site": rule.site,
+                    "kind": rule.kind,
+                    "hits": self._hits[index],
+                    "injections": self._injections[index],
+                }
+                for index, rule in enumerate(self.rules)
+            ]
+
+    def injected(self, site: Optional[str] = None) -> int:
+        """Total injections so far (optionally restricted to one site)."""
+        with self._lock:
+            return sum(
+                count
+                for rule, count in zip(self.rules, self._injections)
+                if site is None or rule.site == site
+            )
+
+    def describe(self) -> str:
+        return "; ".join(rule.describe() for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.describe()!r}, seed={self.seed})"
+
+
+def _parse_rule(part: str) -> FaultRule:
+    fields = part.split(":", 2)
+    if len(fields) < 2 or not fields[0].strip() or not fields[1].strip():
+        raise FaultError(
+            f"bad fault rule {part!r}: expected site:kind[:param=value,...]"
+        )
+    site, kind = fields[0].strip(), fields[1].strip().lower()
+    kwargs: Dict[str, Any] = {"site": site, "kind": kind}
+    match: List[Tuple[str, str]] = []
+    if len(fields) == 3:
+        for pair in fields[2].split(","):
+            key, sep, value = pair.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not key or not value:
+                raise FaultError(f"bad fault parameter {pair!r} in rule {part!r}")
+            try:
+                if key == "p":
+                    kwargs["probability"] = float(value)
+                elif key in ("every", "times", "after"):
+                    kwargs[key] = int(value)
+                elif key == "ms":
+                    kwargs["latency_ms"] = float(value)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                else:
+                    match.append((key, value))
+            except ValueError:
+                raise FaultError(
+                    f"fault parameter {key}={value!r} in rule {part!r} is not numeric"
+                ) from None
+    rule = FaultRule(match=tuple(match), **kwargs)
+    rule.validate()
+    return rule
+
+
+def parse_fault_plan(spec: str, seed: int = 0) -> FaultPlan:
+    """Build a :class:`FaultPlan` from the ``REPRO_FAULTS`` grammar."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise FaultError("empty fault plan spec")
+    rules = [_parse_rule(part.strip()) for part in spec.split(";") if part.strip()]
+    return FaultPlan(rules, seed=seed)

@@ -48,12 +48,19 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ...exceptions import ConfigurationError, TraceError
+from ...faults import site as _fault_site
 from ..tensor import Tensor
 from .executor import SUPPORTED_OPS, TapeExecutor
 from .passes import optimize
 from .tracing import trace_module
 
 logger = logging.getLogger(__name__)
+
+#: Replay failures tolerated per input signature before the signature is
+#: poisoned permanently (served eagerly, never re-traced).  Below the cap a
+#: quarantine discards the damaged tape and lets the lazy-trace path build a
+#: fresh one, so a transient corruption self-heals at full speed.
+MAX_TAPE_QUARANTINES = 2
 
 
 @dataclass
@@ -66,6 +73,7 @@ class CompileStats:
     padded_replays: int = 0
     self_check_failures: int = 0
     evictions: int = 0
+    quarantines: int = 0
     pass_report: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
@@ -76,6 +84,7 @@ class CompileStats:
             "padded_replays": self.padded_replays,
             "self_check_failures": self.self_check_failures,
             "evictions": self.evictions,
+            "quarantines": self.quarantines,
         }
 
 
@@ -120,6 +129,7 @@ class CompiledModule:
         self.copy_output = copy_output
         self.stats = CompileStats()
         self._tapes: "OrderedDict[tuple, Optional[TapeExecutor]]" = OrderedDict()
+        self._quarantine_counts: Dict[tuple, int] = {}
         self._lock = threading.RLock()
         self._unsupported = False
         self._traced_param_dtype: Optional[np.dtype] = None
@@ -194,19 +204,60 @@ class CompiledModule:
         executor = self._executor_for(key, array, bucket)
         if executor is None:
             return None
-        if bucket != batch:
-            padded = np.empty((bucket,) + array.shape[1:], array.dtype)
-            padded[:batch] = array
-            padded[batch:] = array[:1]
-            output = executor.run(padded)[:batch]
+        try:
+            # The serving forward-path fault site lives *inside* the replay
+            # attempt: an injected error is indistinguishable from a tape
+            # whose replay organically raises, which is exactly the failure
+            # the quarantine below must absorb.
+            _fault_site("serving.forward", bucket=bucket)
+            if bucket != batch:
+                padded = np.empty((bucket,) + array.shape[1:], array.dtype)
+                padded[:batch] = array
+                padded[batch:] = array[:1]
+                output = executor.run(padded)[:batch]
+                with self._lock:
+                    self.stats.replays += 1
+                    self.stats.padded_replays += 1
+                return output.copy() if self.copy_output else output
+            output = executor.run(array)
             with self._lock:
                 self.stats.replays += 1
-                self.stats.padded_replays += 1
             return output.copy() if self.copy_output else output
-        output = executor.run(array)
+        except Exception as exc:
+            self._quarantine(key, exc)
+            return None
+
+    def _quarantine(self, key: tuple, exc: BaseException) -> None:
+        """Discard a tape whose replay raised; the request falls back to eager.
+
+        Replays are supposed to be infallible once a tape passed its
+        self-check, so any exception here means the tape (or the process
+        around it) is damaged.  The damaged tape is dropped, the failed
+        request is answered eagerly, and the normal lazy-trace path builds a
+        *fresh* tape on a later request — a transiently corrupted tape costs
+        one fallback plus one re-trace, not degraded serving forever.  A
+        signature that keeps failing (``MAX_TAPE_QUARANTINES`` times) is
+        poisoned permanently instead: the cause is then in the trace or the
+        model, and flapping trace → fail → retrace would burn CPU on every
+        miss without ever recovering.
+        """
         with self._lock:
-            self.stats.replays += 1
-        return output.copy() if self.copy_output else output
+            count = self._quarantine_counts.get(key, 0) + 1
+            self._quarantine_counts[key] = count
+            permanent = count >= MAX_TAPE_QUARANTINES
+            if permanent:
+                self._tapes[key] = None
+            else:
+                self._tapes.pop(key, None)
+            self.stats.quarantines += 1
+        logger.warning(
+            "%s: replay for signature %s raised (%s: %s); tape quarantined "
+            "(failure %d/%d) — %s",
+            type(self.module).__name__, key, type(exc).__name__, exc,
+            count, MAX_TAPE_QUARANTINES,
+            "serving this signature eagerly from now on" if permanent
+            else "a fresh tape will be traced on a later request",
+        )
 
     def _executor_for(self, key: tuple, array: np.ndarray, bucket: int) -> Optional[TapeExecutor]:
         with self._lock:

@@ -51,6 +51,8 @@ import numpy as np
 
 from ..datasets.loaders import Batch
 from ..exceptions import ParallelError
+from ..faults import disarm as _disarm_faults
+from ..faults import site as _fault_site
 from ..logging_utils import get_logger
 from ..nn import Module, clip_grad_norm
 from ..nn.tensor import Tensor
@@ -190,6 +192,12 @@ def _local_step(
             metrics.record(0, time.perf_counter() - started)
         return 0.0, 0.0, {}
     replica.zero_grad()
+    # The canonical worker-death fault site: an injected error here surfaces
+    # as a failed future (thread backend) or an "error" reply (process
+    # backend), an injected kill takes the forked worker down mid-step.
+    # Either way the engine respawns the worker and replays this exact chunk;
+    # the per-(seed, step, rank) RNG below makes the replay bit-identical.
+    _fault_site("parallel.worker.step", rank=rank, step=step_index)
     with tracer.span("forward", trace_id, rank=rank, step=step_index):
         result = step_fn(replica, batch, _step_rng(seed, step_index, rank))
         if isinstance(result, tuple):
@@ -227,6 +235,7 @@ def _process_worker_main(
     allreduce: SharedMemoryAllReduce,
     param_shm,
     seed: int,
+    disarm_faults: bool = False,
 ) -> None:
     """Forked worker loop: step on request, then wait for the param broadcast.
 
@@ -245,6 +254,11 @@ def _process_worker_main(
     # otherwise traverse (and copy-on-write fault) every object the parent
     # ever allocated, which measurably throttles the worker.
     gc.freeze()
+    if disarm_faults:
+        # A respawned worker must *replay* the chunk that killed its
+        # predecessor, not re-trigger the same fault forever: the engine
+        # respawns with the inherited plan disarmed.
+        _disarm_faults()
     params = replica.parameters()
     param_view = np.frombuffer(param_shm, dtype=np.float64)
     # Unlabelled on purpose: the parent stamps worker=<rank> at merge time.
@@ -253,7 +267,7 @@ def _process_worker_main(
     while True:
         try:
             message = conn.recv()
-        except EOFError:
+        except EOFError:  # repro: noqa[REP107] — parent gone; nothing to tell
             return
         kind = message[0]
         if kind == "step":
@@ -279,7 +293,7 @@ def _process_worker_main(
         elif kind == "close":
             try:
                 conn.send(("bye", drain_worker_obs(tracer=tracer)))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError):  # repro: noqa[REP107] — best-effort final flush
                 pass
             conn.close()
             return
@@ -311,21 +325,32 @@ class DataParallelEngine:
         backend: str = BACKEND_THREAD,
         seed: int = 0,
         timeout: float = 120.0,
+        max_worker_restarts: int = 2,
     ) -> None:
         if num_workers < 1:
             raise ParallelError(f"num_workers must be >= 1, got {num_workers}")
+        if max_worker_restarts < 0:
+            raise ParallelError(
+                f"max_worker_restarts must be >= 0, got {max_worker_restarts}"
+            )
         self.model = model
         self.step_fn = step_fn
         self.num_workers = num_workers
         self.backend = resolve_backend(backend)
         self.seed = int(seed)
         self.timeout = timeout
+        # Self-healing budget: how many times one worker may be respawned
+        # (and its chunk replayed) within a single step before the engine
+        # falls back to fail-fast ParallelError.  0 disables recovery.
+        self.max_worker_restarts = int(max_worker_restarts)
         self.grad_size = parameters_to_vector(model.parameters()).size
         # Opt-in phase attribution (workers / allreduce / optimizer /
         # broadcast); a no-op unless repro.obs.enable_phase_timing() ran.
         self.phase_timer = PhaseTimer("parallel")
         self._engine_name = f"engine-{next(_engine_ids)}"
         self._liveness = None
+        self._respawns_total = None
+        self._recovery_seconds = None
         self._step_index = 0
         self._pending_broadcast = False
         self._started = False
@@ -339,6 +364,7 @@ class DataParallelEngine:
         self._replicas: List[Module] = []
         self._worker_metrics: List[_WorkerMetrics] = []
         # process backend state
+        self._ctx = None
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._connections: List = []
         self._param_shm = None
@@ -363,29 +389,13 @@ class DataParallelEngine:
                 _WorkerMetrics(rank, labelled=True) for rank in range(self.num_workers)
             ]
         else:
-            ctx = multiprocessing.get_context("fork")
+            self._ctx = multiprocessing.get_context("fork")
             self._allreduce = SharedMemoryAllReduce(
-                self.num_workers, self.grad_size, ctx=ctx, timeout=self.timeout
+                self.num_workers, self.grad_size, ctx=self._ctx, timeout=self.timeout
             )
-            self._param_shm = ctx.RawArray("d", self.grad_size)
+            self._param_shm = self._ctx.RawArray("d", self.grad_size)
             for rank in range(self.num_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_process_worker_main,
-                    args=(
-                        rank,
-                        child_conn,
-                        self.model,
-                        self.step_fn,
-                        self._allreduce,
-                        self._param_shm,
-                        self.seed,
-                    ),
-                    daemon=True,
-                    name=f"dp-worker-{rank}",
-                )
-                process.start()
-                child_conn.close()
+                process, parent_conn = self._spawn_process_worker(rank)
                 self._processes.append(process)
                 self._connections.append(parent_conn)
         self._liveness = get_registry().gauge(
@@ -397,12 +407,84 @@ class DataParallelEngine:
             # Pool threads live for the engine's lifetime; no per-thread poll.
             self._liveness.set(float(self.num_workers))
         else:
-            processes = list(self._processes)
+            # Read self._processes live (not a captured copy) so the gauge
+            # reflects respawned workers, not the original forks.
             self._liveness.set_function(
-                lambda: float(sum(process.is_alive() for process in processes))
+                lambda: float(sum(process.is_alive() for process in self._processes))
             )
+        # Named outside the parallel_worker_* family namespace on purpose:
+        # those series must be byte-identical across backends (the obs merge
+        # gate), while respawn/recovery series carry a backend label.
+        self._respawns_total = get_registry().counter(
+            "parallel_respawns_total",
+            "Workers respawned (and their chunk replayed) after a mid-step failure",
+            labels=("backend",),
+        ).labels(backend=self.backend)
+        self._recovery_seconds = get_registry().histogram(
+            "parallel_recovery_seconds",
+            "Failure-detection to recovered-result time for respawned workers",
+            labels=("backend",),
+            buckets=PHASE_SECONDS_BUCKETS,
+        ).labels(backend=self.backend)
         self._started = True
         return self
+
+    def _spawn_process_worker(self, rank: int, disarm_faults: bool = False):
+        """Fork one worker for ``rank``; returns ``(process, parent_conn)``.
+
+        A fork inherits the master model as it stands *right now*, which is
+        exactly the replica contract: at engine start and at any respawn
+        point (pre-optimizer-step), the master parameters are what every
+        in-sync replica holds.
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_process_worker_main,
+            args=(
+                rank,
+                child_conn,
+                self.model,
+                self.step_fn,
+                self._allreduce,
+                self._param_shm,
+                self.seed,
+            ),
+            kwargs={"disarm_faults": disarm_faults},
+            daemon=True,
+            name=f"dp-worker-{rank}",
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def _respawn_process_worker(self, rank: int) -> None:
+        """Replace a dead/failed process worker with a fresh fork of the master.
+
+        The new fork inherits the *current* master parameters (the engine is
+        mid-``accumulate``, before any optimizer step, so the master is still
+        what the dead worker's replica held) and starts with fault injection
+        disarmed, so replaying the lost chunk cannot re-trigger the fault
+        that killed its predecessor.
+        """
+        old_conn = self._connections[rank]
+        try:
+            old_conn.close()
+        except OSError as exc:
+            logger.debug("closing dead worker %d pipe failed: %s", rank, exc)
+        old_process = self._processes[rank]
+        if old_process.is_alive():
+            # A worker that *replied* "error" and returned may still be mid-exit.
+            old_process.terminate()
+        old_process.join(timeout=5.0)
+        process, parent_conn = self._spawn_process_worker(rank, disarm_faults=True)
+        self._processes[rank] = process
+        self._connections[rank] = parent_conn
+        if self._respawns_total is not None:
+            self._respawns_total.inc()
+        logger.warning(
+            "respawned process worker %d (pid %s -> %s)",
+            rank, old_process.pid, process.pid,
+        )
 
     def __enter__(self) -> "DataParallelEngine":
         return self.start()
@@ -427,8 +509,8 @@ class DataParallelEngine:
                 # reach their control pipe again before shutdown.
                 try:
                     self.broadcast()
-                except ParallelError:
-                    pass
+                except ParallelError as exc:
+                    logger.debug("pre-shutdown broadcast failed: %s", exc)
             for rank, conn in enumerate(self._connections):
                 try:
                     conn.send(("close",))
@@ -440,13 +522,13 @@ class DataParallelEngine:
                         message = conn.recv()
                         if message and message[0] == "bye":
                             merge_worker_obs(message[1], worker=rank)
-                except (BrokenPipeError, EOFError, OSError):
-                    pass
+                except (BrokenPipeError, EOFError, OSError) as exc:
+                    logger.debug("worker %d did not flush on close: %s", rank, exc)
                 finally:
                     try:
                         conn.close()
-                    except OSError:
-                        pass
+                    except OSError as exc:
+                        logger.debug("closing worker %d pipe failed: %s", rank, exc)
             for process in self._processes:
                 process.join(timeout=5.0)
                 if process.is_alive():
@@ -513,35 +595,135 @@ class DataParallelEngine:
                     )
                     for rank in range(self.num_workers)
                 ]
-                try:
-                    results = [future.result(timeout=self.timeout) for future in futures]
-                except FuturesTimeoutError:
-                    self._hung = True
-                    raise ParallelError(
-                        f"a thread worker did not finish within {self.timeout:.0f}s"
-                    ) from None
+                results = []
+                for rank in range(self.num_workers):
+                    future = futures[rank]
+                    restarts = 0
+                    detected: Optional[float] = None
+                    while True:
+                        try:
+                            result = future.result(timeout=self.timeout)
+                        except FuturesTimeoutError:
+                            # Hung is not dead: a stuck pool thread can be
+                            # neither killed nor replayed, so timeouts stay
+                            # fail-fast instead of entering the respawn path.
+                            self._hung = True
+                            raise ParallelError(
+                                f"a thread worker did not finish within {self.timeout:.0f}s"
+                            ) from None
+                        except Exception as exc:
+                            if detected is None:
+                                detected = time.perf_counter()
+                            restarts += 1
+                            if restarts > self.max_worker_restarts:
+                                raise ParallelError(
+                                    f"worker {rank} failed {restarts} times in step "
+                                    f"{step_index} (respawn budget "
+                                    f"{self.max_worker_restarts} exhausted): {exc}"
+                                ) from exc
+                            logger.warning(
+                                "thread worker %d failed in step %d (%s); rebuilding "
+                                "replica and replaying its chunk (attempt %d/%d)",
+                                rank, step_index, exc, restarts, self.max_worker_restarts,
+                            )
+                            # A fresh deepcopy of the master *is* the in-sync
+                            # replica: accumulate() runs pre-optimizer-step, so
+                            # the master still holds what the failed replica
+                            # held.  Replaying the same chunk with the same
+                            # per-(seed, step, rank) RNG is then bit-identical
+                            # to the run that never failed; contribute()
+                            # overwrites the rank's all-reduce slot, so a
+                            # partial first attempt cannot double-count.
+                            self._replicas[rank] = copy.deepcopy(self.model)
+                            if self._respawns_total is not None:
+                                self._respawns_total.inc()
+                            future = self._executor.submit(
+                                _local_step,
+                                self._replicas[rank],
+                                self.step_fn,
+                                chunks[rank],
+                                self._allreduce,
+                                rank,
+                                self.seed,
+                                step_index,
+                                self._worker_metrics[rank],
+                                trace_id,
+                            )
+                            continue
+                        if detected is not None and self._recovery_seconds is not None:
+                            self._recovery_seconds.observe(time.perf_counter() - detected)
+                        results.append(result)
+                        break
             else:
                 for rank, conn in enumerate(self._connections):
                     conn.send(
                         ("step", step_index, chunks[rank].windows, chunks[rank].labels, trace_id)
                     )
-                results = []
-                for rank, conn in enumerate(self._connections):
-                    if not conn.poll(self.timeout):
-                        # Break the barrier so workers already parked there exit
-                        # through the broken-barrier error path instead of being
-                        # SIGTERM-killed by close() after another full timeout.
-                        self._allreduce.abort()
-                        raise ParallelError(
-                            f"worker {rank} did not answer within {self.timeout:.0f}s"
+                rank_results: List[Optional[Tuple[float, float, Dict[str, float]]]] = (
+                    [None] * self.num_workers
+                )
+                restarts_by_rank = [0] * self.num_workers
+                recovery_started: Dict[int, float] = {}
+                pending = list(range(self.num_workers))
+                while pending:
+                    still_pending: List[int] = []
+                    for rank in pending:
+                        conn = self._connections[rank]
+                        if not conn.poll(self.timeout):
+                            # Hung is not dead: no reply and no EOF means the
+                            # worker is stuck, not gone — replaying could fork a
+                            # second writer for the same all-reduce slot.  Break
+                            # the barrier so workers already parked there exit
+                            # through the broken-barrier error path instead of
+                            # being SIGTERM-killed by close() after another
+                            # full timeout.
+                            self._allreduce.abort()
+                            raise ParallelError(
+                                f"worker {rank} did not answer within {self.timeout:.0f}s"
+                            )
+                        failure: Optional[str] = None
+                        try:
+                            message = conn.recv()
+                        except (EOFError, OSError) as exc:
+                            # Pipe EOF without a reply: the worker process died
+                            # mid-step (SIGKILL, OOM kill, hard crash).
+                            failure = f"worker process died mid-step ({type(exc).__name__})"
+                        else:
+                            if message[0] == "ok":
+                                rank_results[rank] = message[1]
+                                obs_payloads.append((rank, message[2]))
+                                started = recovery_started.pop(rank, None)
+                                if started is not None and self._recovery_seconds is not None:
+                                    self._recovery_seconds.observe(
+                                        time.perf_counter() - started
+                                    )
+                                continue
+                            # The worker protocol exits after an "error" reply,
+                            # so a clean failure report needs a respawn too.
+                            failure = str(message[1])
+                        recovery_started.setdefault(rank, time.perf_counter())
+                        restarts_by_rank[rank] += 1
+                        if restarts_by_rank[rank] > self.max_worker_restarts:
+                            self._allreduce.abort()
+                            raise ParallelError(
+                                f"worker {rank} failed {restarts_by_rank[rank]} times in "
+                                f"step {step_index} (respawn budget "
+                                f"{self.max_worker_restarts} exhausted): {failure}"
+                            )
+                        logger.warning(
+                            "worker %d failed in step %d (%s); respawning and replaying "
+                            "its chunk (attempt %d/%d)",
+                            rank, step_index, failure,
+                            restarts_by_rank[rank], self.max_worker_restarts,
                         )
-                    message = conn.recv()
-                    status = message[0]
-                    if status != "ok":
-                        self._allreduce.abort()
-                        raise ParallelError(f"worker {rank} failed: {message[1]}")
-                    results.append(message[1])
-                    obs_payloads.append((rank, message[2]))
+                        self._respawn_process_worker(rank)
+                        self._connections[rank].send(
+                            ("step", step_index, chunks[rank].windows,
+                             chunks[rank].labels, trace_id)
+                        )
+                        still_pending.append(rank)
+                    pending = still_pending
+                results = [result for result in rank_results if result is not None]
 
         with self.phase_timer.phase("allreduce"), tracer.span(
             "allreduce", trace_id, step=step_index

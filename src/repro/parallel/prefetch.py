@@ -82,7 +82,7 @@ class PrefetchDataLoader:
                         try:
                             batches.put(batch, timeout=0.1)
                             break
-                        except queue.Full:
+                        except queue.Full:  # repro: noqa[REP107] — bounded-put retry; Full is flow control
                             continue
                     if stop.is_set():
                         return
@@ -93,7 +93,7 @@ class PrefetchDataLoader:
                 try:
                     batches.put(item, timeout=0.1)
                     return
-                except queue.Full:
+                except queue.Full:  # repro: noqa[REP107] — bounded-put retry; Full is flow control
                     continue
 
         producer = threading.Thread(target=produce, name="prefetch-producer", daemon=True)

@@ -23,7 +23,7 @@ is recorded during serving.  See ``DESIGN.md`` for the architecture.
 from .batcher import BatchRecord, MicroBatcher, MicroBatcherConfig
 from .gateway import GatewayConfig, InferenceGateway, serve_gateway
 from .ingestion import IngestionConfig, StreamIngestor
-from .loadgen import LoadResult, run_closed_loop, run_open_loop
+from .loadgen import LoadResult, RetryPolicy, run_closed_loop, run_open_loop
 from .registry import ModelRegistry, ModelVersion
 from .server import InferenceServer, Prediction, ServerConfig, serve
 from .telemetry import (
@@ -49,6 +49,7 @@ __all__ = [
     "InferenceGateway",
     "serve_gateway",
     "LoadResult",
+    "RetryPolicy",
     "run_closed_loop",
     "run_open_loop",
     "LatencyCrossCheck",

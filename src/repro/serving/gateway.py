@@ -68,7 +68,8 @@ from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import GatewayError, QueueFullError, ServingError
+from ..exceptions import FaultInjectedError, GatewayError, QueueFullError, ServingError
+from ..faults import asite as _fault_asite
 from ..logging_utils import get_logger
 from ..obs.exporter import ObsHTTPServer
 from .ingestion import StreamIngestor
@@ -438,8 +439,8 @@ class InferenceGateway:
         if self._loop is not None and self._shutdown is not None:
             try:
                 self._loop.call_soon_threadsafe(self._shutdown.set)
-            except RuntimeError:
-                pass  # loop already closed
+            except RuntimeError:  # repro: noqa[REP107] — loop already closed; stop() is idempotent
+                pass
         self._thread.join(timeout=self.config.drain_timeout_s + 10.0)
         self._thread = None
         if self.obs_server is not None:
@@ -517,13 +518,19 @@ class InferenceGateway:
     # ------------------------------------------------------------------
     async def _read_head(self, reader: asyncio.StreamReader) -> Optional[_Head]:
         """Parse the request line + headers; ``None`` on clean EOF/idle close."""
+        # Connection-ingress fault site, *before* any byte is parsed and
+        # before admission: an injected error here models a socket dying
+        # mid-read and must surface as a dropped connection, never as a
+        # half-admitted request (which would break the exactly-one-response
+        # invariant the chaos suite asserts).
+        await _fault_asite("serving.gateway.read")
         timeout = self.config.keepalive_timeout_s
         try:
             # The idle timeout covers the first request too, so a connection
             # that opens and never speaks cannot hold a slot forever.
             line = await asyncio.wait_for(reader.readline(), timeout=timeout)
-        except asyncio.TimeoutError:
-            return None  # idle connection: close silently
+        except asyncio.TimeoutError:  # repro: noqa[REP107] — idle keepalive expiry is the designed outcome
+            return None
         except ValueError:
             raise _HTTPError(400, "bad_request", "request line too long", close=True) from None
         if not line:
@@ -715,8 +722,11 @@ class InferenceGateway:
                 keep = await self._dispatch(head, reader, writer, peer)
                 if not keep:
                     break
-        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
-            pass  # client went away or the gateway is tearing down
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError, FaultInjectedError):  # repro: noqa[REP107] — pre-admission drop, by design
+            # Client went away, the gateway is tearing down, or an injected
+            # read fault modelled exactly that; either way the pre-admission
+            # connection just drops.
+            pass
         except Exception:  # noqa: BLE001 — one broken connection must not escape
             logger.exception("gateway connection handler failed")
         finally:
@@ -725,7 +735,7 @@ class InferenceGateway:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, RuntimeError):
+            except (ConnectionError, RuntimeError):  # repro: noqa[REP107] — peer already gone at teardown
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
@@ -860,7 +870,10 @@ class InferenceGateway:
                 "deadline", 503,
                 f"request missed its {self.config.deadline_ms:g} ms deadline",
             ) from None
-        except ServingError as exc:
+        except (ServingError, FaultInjectedError) as exc:
+            # FaultInjectedError: an armed fault that escaped the forward
+            # path's quarantine still maps to a clean 500 — an admitted
+            # request always gets exactly one response.
             raise _HTTPError(500, "internal", f"inference failed: {exc}") from None
         return {
             "label": int(prediction.label),
@@ -893,7 +906,7 @@ class InferenceGateway:
                 "deadline", 503,
                 f"batch missed its {self.config.deadline_ms:g} ms deadline",
             ) from None
-        except ServingError as exc:
+        except (ServingError, FaultInjectedError) as exc:
             raise _HTTPError(500, "internal", f"inference failed: {exc}") from None
         include_probabilities = bool(payload.get("return_probabilities", False))
         rows: List[Dict[str, Any]] = []

@@ -51,6 +51,7 @@ logger = get_logger(__name__)
 
 __all__ = [
     "LoadResult",
+    "RetryPolicy",
     "batch_body",
     "predict_body",
     "run_closed_loop",
@@ -86,6 +87,12 @@ class LoadResult:
     status_counts: Dict[int, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
     errors: int = 0
+    #: Shed responses (429/503) retried under a :class:`RetryPolicy`; the
+    #: eventual outcome is counted once in ``status_counts``.
+    retries: int = 0
+    #: Requests whose retry budget ran out (their last shed status is what
+    #: lands in ``status_counts``).
+    give_ups: int = 0
 
     @property
     def completed(self) -> int:
@@ -130,6 +137,8 @@ class LoadResult:
             "shed": float(self.shed),
             "errors": float(self.errors),
             "shed_rate": self.shed_rate,
+            "retries": float(self.retries),
+            "give_ups": float(self.give_ups),
             "throughput_rps": self.throughput_rps,
             "latency_p50_ms": self.latency_percentile(50.0),
             "latency_p99_ms": self.latency_percentile(99.0),
@@ -139,6 +148,60 @@ class LoadResult:
         self.status_counts[status] = self.status_counts.get(status, 0) + 1
         if status == 200:
             self.latencies_ms.append(latency_ms)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded, jittered exponential backoff for shed (429/503) responses.
+
+    Honors the gateway's ``Retry-After`` header: the delay for an attempt is
+    ``max(Retry-After, base_delay_s * 2**attempt)``, capped at
+    ``max_delay_s``, then jittered by up to ``±jitter`` of itself.  The
+    jitter stream is seeded per ``(seed, request, attempt)``, so a load run
+    with retries is exactly as reproducible as one without — the property
+    every benchmark in this repo is built on.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    honor_retry_after: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServingError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ServingError(
+                "need 0 <= base_delay_s <= max_delay_s, got "
+                f"{self.base_delay_s}/{self.max_delay_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServingError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(
+        self, attempt: int, retry_after_s: Optional[float], request_index: int
+    ) -> float:
+        """Backoff before retry number ``attempt`` (0-based) of one request."""
+        delay = self.base_delay_s * (2.0 ** attempt)
+        if self.honor_retry_after and retry_after_s is not None:
+            delay = max(delay, retry_after_s)
+        delay = min(delay, self.max_delay_s)
+        if self.jitter > 0.0:
+            rng = random.Random(f"{self.seed}:{request_index}:{attempt}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+def _retry_after_seconds(headers: Dict[str, str]) -> Optional[float]:
+    value = headers.get("retry-after")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:  # repro: noqa[REP107] — malformed Retry-After == header absent
+        return None
 
 
 class _Connection:
@@ -156,8 +219,11 @@ class _Connection:
                 self.host, self.port, limit=1 << 20
             )
 
-    async def request(self, path: str, body: bytes, client_id: str) -> Tuple[int, bytes]:
-        """Send one POST, return ``(status, body)``; raises on transport failure."""
+    async def request(
+        self, path: str, body: bytes, client_id: str
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Send one POST, return ``(status, body, headers)``; raises on
+        transport failure.  Header names come back lower-cased."""
         await self.ensure_open()
         assert self.reader is not None and self.writer is not None
         head = _HEADER_TEMPLATE.format(
@@ -185,13 +251,13 @@ class _Connection:
         payload = await self.reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             self.close()
-        return status, payload
+        return status, payload, headers
 
     def close(self) -> None:
         if self.writer is not None:
             try:
                 self.writer.close()
-            except RuntimeError:
+            except RuntimeError:  # repro: noqa[REP107] — loop already closed at teardown
                 pass
         self.reader = None
         self.writer = None
@@ -213,6 +279,47 @@ def _parse_url(url: str) -> Tuple[str, int, str]:
 
 
 # ----------------------------------------------------------------------
+# Request execution (shared by both loops)
+# ----------------------------------------------------------------------
+async def _perform(
+    connection: _Connection,
+    path: str,
+    body: bytes,
+    client_id: str,
+    result: LoadResult,
+    retry: Optional[RetryPolicy],
+    request_index: int,
+) -> bool:
+    """Issue one logical request, retrying sheds per ``retry``; records the
+    terminal outcome (exactly once) into ``result``.  Returns whether the
+    connection is still good for reuse."""
+    attempt = 0
+    while True:
+        started = time.perf_counter()
+        try:
+            status, _, headers = await connection.request(path, body, client_id)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # Below-HTTP failures are terminal: without a response there is
+            # no Retry-After contract to honor, and retrying a request the
+            # server may have half-processed would skew the offered counts.
+            result.errors += 1
+            connection.close()
+            return False
+        if status not in (429, 503) or retry is None:
+            result.record(status, 1000.0 * (time.perf_counter() - started))
+            return True
+        if attempt >= retry.max_retries:
+            result.give_ups += 1
+            result.record(status, 1000.0 * (time.perf_counter() - started))
+            return True
+        result.retries += 1
+        await asyncio.sleep(
+            retry.delay_s(attempt, _retry_after_seconds(headers), request_index)
+        )
+        attempt += 1
+
+
+# ----------------------------------------------------------------------
 # Closed loop
 # ----------------------------------------------------------------------
 async def _closed_loop_async(
@@ -221,6 +328,7 @@ async def _closed_loop_async(
     body_fn: BodyFn,
     clients: int,
     requests_per_client: int,
+    retry: Optional[RetryPolicy],
 ) -> LoadResult:
     host, port, base = _parse_url(url)
     result = LoadResult(mode="closed", duration_s=0.0)
@@ -232,15 +340,10 @@ async def _closed_loop_async(
         try:
             for i in range(requests_per_client):
                 request_index = client_index * requests_per_client + i
-                body = body_fn(request_index)
-                started = time.perf_counter()
-                try:
-                    status, _ = await connection.request(base + path, body, client_id)
-                except (ConnectionError, asyncio.IncompleteReadError, OSError):
-                    result.errors += 1
-                    connection.close()
-                    continue
-                result.record(status, 1000.0 * (time.perf_counter() - started))
+                await _perform(
+                    connection, base + path, body_fn(request_index), client_id,
+                    result, retry, request_index,
+                )
         finally:
             connection.close()
 
@@ -256,12 +359,17 @@ def run_closed_loop(
     body_fn: BodyFn,
     clients: int = 8,
     requests_per_client: int = 32,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadResult:
     """``clients`` concurrent keep-alive connections, each issuing
     ``requests_per_client`` sequential POSTs of ``body_fn(i)`` to ``path``.
+
+    ``retry`` opts shed (429/503) responses into seeded, ``Retry-After``-aware
+    backoff; ``None`` (the default, and what the throughput benchmarks use)
+    records every shed as-is.
     """
     return asyncio.run(
-        _closed_loop_async(url, path, body_fn, clients, requests_per_client)
+        _closed_loop_async(url, path, body_fn, clients, requests_per_client, retry)
     )
 
 
@@ -310,6 +418,7 @@ async def _open_loop_async(
     burst_factor: float,
     burst_period_s: float,
     num_client_ids: int,
+    retry: Optional[RetryPolicy],
 ) -> LoadResult:
     host, port, base = _parse_url(url)
     arrivals = _arrival_times(rate_rps, duration_s, seed, burst_factor, burst_period_s)
@@ -324,16 +433,11 @@ async def _open_loop_async(
         except asyncio.QueueEmpty:
             connection = _Connection(host, port)
         client_id = f"open-{index % num_client_ids}"
-        body = body_fn(index)
-        started = time.perf_counter()
-        try:
-            status, _ = await connection.request(base + path, body, client_id)
-        except (ConnectionError, asyncio.IncompleteReadError, OSError):
-            result.errors += 1
-            connection.close()
-            return
-        result.record(status, 1000.0 * (time.perf_counter() - started))
-        pool.put_nowait(connection)
+        reusable = await _perform(
+            connection, base + path, body_fn(index), client_id, result, retry, index
+        )
+        if reusable:
+            pool.put_nowait(connection)
 
     epoch = time.perf_counter()
     for index, offset in enumerate(arrivals):
@@ -359,13 +463,16 @@ def run_open_loop(
     burst_factor: float = 1.0,
     burst_period_s: float = 1.0,
     num_client_ids: int = 64,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadResult:
     """Poisson arrivals at ``rate_rps`` for ``duration_s`` seconds, fired on
     schedule regardless of outstanding requests (offered load is independent
     of service rate — the saturation/shed measurement).  ``burst_factor`` > 1
     turns the rate into a square wave of equal mean (bursty traces);
     requests rotate across ``num_client_ids`` distinct ``X-Client-Id``
-    values so the per-client cap is not the first limit hit.
+    values so the per-client cap is not the first limit hit.  ``retry``
+    opts shed responses into seeded ``Retry-After``-aware backoff (retried
+    sheds still count once, at their terminal status).
     """
     if rate_rps <= 0 or duration_s <= 0:
         raise ServingError("rate_rps and duration_s must be positive")
@@ -374,7 +481,7 @@ def run_open_loop(
     return asyncio.run(
         _open_loop_async(
             url, path, body_fn, rate_rps, duration_s, seed,
-            burst_factor, burst_period_s, max(1, num_client_ids),
+            burst_factor, burst_period_s, max(1, num_client_ids), retry,
         )
     )
 

@@ -27,12 +27,17 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import ServingError
+from ..faults import site as _fault_site
+from ..logging_utils import get_logger
 from ..models.backbone import BackboneConfig, SagaBackbone
 from ..models.composite import ClassificationModel
 from ..nn.jit import CompiledModule
 from ..nn.jit.compiled import power_of_two_buckets
 from ..nn.tensor import DTypeLike
 from ..nn.serialization import checkpoint_dtype, load_metadata, load_state_dict, save_module
+from ..obs.metrics import get_registry
+
+logger = get_logger(__name__)
 
 PathLike = Union[str, Path]
 
@@ -86,6 +91,11 @@ class ModelRegistry:
         # Shared compiled wrappers (same key): all servers loading a version
         # at one precision replay the same traced tapes.
         self._compiled_cache: Dict[Tuple[Path, Optional[str]], CompiledModule] = {}
+        # Checkpoints that failed to load (corrupt/truncated/bad metadata).
+        # Discovery skips them — so latest() and an unpinned load() roll back
+        # to the newest *loadable* version — but _version_files still counts
+        # them, so publish() never reuses a bad file's version number.
+        self._bad_paths: set = set()
 
     # ------------------------------------------------------------------
     # Publishing
@@ -158,7 +168,16 @@ class ModelRegistry:
             files = self._version_files(dataset, task, profile)
             versions = []
             for number in sorted(files):
-                metadata = load_metadata(files[number])
+                if files[number] in self._bad_paths:
+                    continue
+                try:
+                    metadata = load_metadata(files[number])
+                except Exception as exc:
+                    # Unreadable at the metadata level (truncated upload,
+                    # corrupt zip): quarantine the file so latest() keeps
+                    # resolving to the newest version that actually loads.
+                    self._mark_bad(files[number], exc)
+                    continue
                 versions.append(
                     ModelVersion(
                         dataset=dataset, task=task, profile=profile,
@@ -186,9 +205,13 @@ class ModelRegistry:
                     profile_dir.parent.parent.name, profile_dir.parent.name, profile_dir.name,
                 )
                 stem = checkpoint.name[1:].split(".", 1)[0]
-                if not stem.isdigit():
+                if not stem.isdigit() or checkpoint in self._bad_paths:
                     continue
-                metadata = load_metadata(checkpoint)
+                try:
+                    metadata = load_metadata(checkpoint)
+                except Exception as exc:
+                    self._mark_bad(checkpoint, exc)
+                    continue
                 entries.append(
                     ModelVersion(
                         dataset=dataset, task=task, profile=profile,
@@ -222,10 +245,16 @@ class ModelRegistry:
         :class:`~repro.nn.jit.CompiledModule`: every server loading the same
         version at the same precision then shares one set of traced tapes,
         which compile lazily on the first batch per batch-size bucket.
+
+        Rollback: when following the latest version (``version=None``), a
+        checkpoint that fails to load — truncated file, corrupt arrays, bad
+        metadata — is quarantined and the next-newest version is tried, so a
+        botched publish degrades a hot-swap into a no-op instead of taking
+        serving down.  A *pinned* version that fails to load raises: the
+        caller asked for that exact artefact.
         """
-        if version is None:
-            record = self.latest(dataset, task, profile)
-        else:
+        resolved_dtype = np.dtype(dtype) if dtype is not None else None
+        if version is not None:
             files = self._version_files(
                 _sanitise(dataset, "dataset"), _sanitise(task, "task"),
                 _sanitise(profile, "profile"),
@@ -235,16 +264,64 @@ class ModelRegistry:
                     f"version v{version} not found for {dataset}/{task}/{profile}; "
                     f"available: {sorted(files)}"
                 )
-            metadata = load_metadata(files[version])
-            record = ModelVersion(
-                dataset=dataset.lower(), task=task.lower(), profile=profile.lower(),
-                version=version, path=files[version], metadata=metadata,
+            try:
+                metadata = load_metadata(files[version])
+                record = ModelVersion(
+                    dataset=dataset.lower(), task=task.lower(), profile=profile.lower(),
+                    version=version, path=files[version], metadata=metadata,
+                )
+                return self._load_cached(record, rng, resolved_dtype, compiled)
+            except Exception as exc:
+                self._mark_bad(files[version], exc)
+                if isinstance(exc, ServingError):
+                    raise
+                raise ServingError(
+                    f"pinned version v{version} of {dataset}/{task}/{profile} "
+                    f"failed to load: {exc}"
+                ) from exc
+        candidates = self.versions(dataset, task, profile)
+        if not candidates:
+            raise ServingError(
+                f"no model published for {dataset}/{task}/{profile} under {self.root}"
             )
-        resolved_dtype = np.dtype(dtype) if dtype is not None else None
+        last_exc: Optional[Exception] = None
+        for record in reversed(candidates):
+            try:
+                loaded = self._load_cached(record, rng, resolved_dtype, compiled)
+            except Exception as exc:
+                self._mark_bad(record.path, exc)
+                last_exc = exc
+                continue
+            if last_exc is not None:
+                get_registry().counter(
+                    "registry_rollbacks_total",
+                    "Loads served by an older version after the newest failed",
+                ).labels().inc()
+                logger.warning(
+                    "registry rolled back to %s after newer checkpoint(s) failed "
+                    "to load (%s)", record.name, last_exc,
+                )
+            return loaded
+        raise ServingError(
+            f"every published version of {dataset}/{task}/{profile} failed to "
+            f"load; newest failure: {last_exc}"
+        ) from last_exc
+
+    def _load_cached(
+        self,
+        record: ModelVersion,
+        rng: Optional[np.random.Generator],
+        resolved_dtype: Optional[np.dtype],
+        compiled: bool,
+    ) -> Tuple[Union["ClassificationModel", "CompiledModule"], ModelVersion]:
         cache_key = (record.path, str(resolved_dtype) if resolved_dtype else None)
         with self._lock:
             model = self._cache.get(cache_key)
             if model is None:
+                # The checkpoint-corruption fault site: an injected error here
+                # is what a torn/garbled artefact produces organically, and
+                # must trigger the same quarantine-and-roll-back handling.
+                _fault_site("registry.load", version=record.version)
                 model = self._rebuild(record, rng=rng, dtype=resolved_dtype)
                 self._cache[cache_key] = model
             if not compiled:
@@ -258,6 +335,21 @@ class ModelRegistry:
                 wrapper = model.compile(bucket_sizes=power_of_two_buckets(64))
                 self._compiled_cache[cache_key] = wrapper
             return wrapper, record
+
+    def _mark_bad(self, path: Path, exc: BaseException) -> None:
+        """Quarantine an unloadable checkpoint and count the failure."""
+        with self._lock:
+            if path in self._bad_paths:
+                return
+            self._bad_paths.add(path)
+        get_registry().counter(
+            "registry_load_failures_total",
+            "Checkpoints quarantined because they failed to load",
+        ).labels().inc()
+        logger.warning(
+            "quarantined unloadable checkpoint %s (%s: %s)",
+            path, type(exc).__name__, exc,
+        )
 
     def _rebuild(
         self,

@@ -222,11 +222,21 @@ class InferenceServer:
         compiled = self._compiled
         for stat in (
             "traces", "replays", "fallbacks",
-            "padded_replays", "self_check_failures", "evictions",
+            "padded_replays", "self_check_failures", "evictions", "quarantines",
         ):
             family.labels(collector=self.telemetry.name, stat=stat).set_function(
                 lambda stat=stat: float(getattr(compiled.stats, stat))
             )
+        # Quarantines also get a first-class gauge: "how many tapes has this
+        # server poisoned after a replay raised" is the signal the failure
+        # runbook (docs/OPERATIONS.md) alerts on.
+        self.telemetry.registry.gauge(
+            "serving_quarantined_tapes",
+            "Tape signatures quarantined to eager fallback after a replay raised",
+            labels=("collector",),
+        ).labels(collector=self.telemetry.name).set_function(
+            lambda: float(compiled.stats.quarantines)
+        )
 
     # ------------------------------------------------------------------
     # Batched forward (worker threads)

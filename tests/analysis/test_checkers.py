@@ -8,6 +8,7 @@ from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.dtype_policy import DtypePolicyChecker
 from repro.analysis.checkers.exception_policy import ExceptionPolicyChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.swallowed_exceptions import SwallowedExceptionChecker
 from repro.analysis.core import FileContext
 
 
@@ -265,3 +266,74 @@ class TestREP106AnnotationIntegrity:
             "        self._first_request_at: Optional[float] = None\n"
         )
         assert run(self.CHECKER, source, self.MODULE) == []
+
+
+class TestREP107SwallowedExceptions:
+    CHECKER = SwallowedExceptionChecker()
+    MODULE = "repro.parallel.engine"
+
+    def test_flags_bare_pass(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        findings = run(self.CHECKER, source, self.MODULE)
+        assert len(findings) == 1 and "OSError" in findings[0].message
+
+    def test_flags_silent_control_flow(self):
+        source = (
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        try:\n"
+            "            g(item)\n"
+            "        except (ValueError, KeyError):\n"
+            "            continue\n"
+        )
+        assert len(run(self.CHECKER, source, self.MODULE)) == 1
+
+    def test_reraise_is_fine(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except OSError:\n"
+            "        raise\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_logging_counts_as_handling(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except OSError as exc:\n"
+            "        logger.debug('g failed: %s', exc)\n"
+            "        return None\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_recording_into_state_counts_as_handling(self):
+        source = (
+            "def f(self):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except OSError as exc:\n"
+            "        self.last_error = exc\n"
+        )
+        assert run(self.CHECKER, source, self.MODULE) == []
+
+    def test_out_of_scope_modules_are_ignored(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        checker = SwallowedExceptionChecker()
+        from repro.analysis.core import FileContext
+        ctx = FileContext.from_source(source, module="repro.nn.functional")
+        assert not checker.applies_to(ctx)

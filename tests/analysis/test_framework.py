@@ -199,9 +199,11 @@ class TestReporters:
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         rules = [checker.rule for checker in all_checkers()]
-        assert rules == ["REP101", "REP102", "REP103", "REP104", "REP105", "REP106"]
+        assert rules == [
+            "REP101", "REP102", "REP103", "REP104", "REP105", "REP106", "REP107",
+        ]
 
     def test_every_checker_documents_itself(self):
         for checker in all_checkers():

@@ -1,0 +1,183 @@
+"""Self-healing data-parallel training under injected worker faults.
+
+The acceptance property: a worker killed (or erroring) mid-step is respawned
+from the master parameters and its chunk replayed deterministically, so the
+final model is *numerically identical* to the fault-free run — recovery is
+invisible to training, not merely survivable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.datasets.loaders import Batch
+from repro.exceptions import ParallelError
+from repro.nn import SGD, CrossEntropyLoss, Flatten, Linear, ReLUActivation, Sequential
+from repro.nn.utils import parameters_to_vector
+from repro.parallel import DataParallelEngine, fork_available
+
+FEATURES = (3, 4)  # (window, channels) -> 12 flat features
+NUM_CLASSES = 4
+STEPS = 4
+
+loss_fn = CrossEntropyLoss()
+
+process_only = pytest.mark.skipif(not fork_available(), reason="no fork")
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def build_model(seed=3):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Flatten(), Linear(12, 16, rng=rng), ReLUActivation(), Linear(16, NUM_CLASSES, rng=rng)
+    )
+
+
+def step_fn(model, batch, rng):
+    return loss_fn(model(batch.windows), batch.labels)
+
+
+def make_batches(steps=STEPS, batch_size=8, seed=7):
+    rng = np.random.default_rng(seed)
+    return [
+        Batch(
+            windows=rng.normal(size=(batch_size, *FEATURES)),
+            labels=rng.integers(0, NUM_CLASSES, size=batch_size),
+        )
+        for _ in range(steps)
+    ]
+
+
+def run_training(backend, plan=None, max_worker_restarts=2):
+    """Train STEPS steps; returns (final param vector, worker pids before/after)."""
+    model = build_model()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    if plan is not None:
+        faults.arm(plan)
+    try:
+        with DataParallelEngine(
+            model, step_fn, num_workers=2, backend=backend,
+            max_worker_restarts=max_worker_restarts,
+        ) as engine:
+            pids_before = (
+                [p.pid for p in engine._processes] if backend == "process" else None
+            )
+            for batch in make_batches():
+                engine.accumulate(batch)
+                optimizer.step()
+                engine.broadcast()
+            pids_after = (
+                [p.pid for p in engine._processes] if backend == "process" else None
+            )
+    finally:
+        faults.disarm()
+    return parameters_to_vector(model.parameters()), pids_before, pids_after
+
+
+class TestThreadBackendRecovery:
+    def test_injected_error_recovers_with_exact_parity(self):
+        baseline, _, _ = run_training("thread")
+        recovered, _, _ = run_training(
+            "thread", plan="parallel.worker.step:error:rank=1,step=2,times=1"
+        )
+        np.testing.assert_allclose(recovered, baseline, atol=1e-6)
+
+    def test_repeated_failures_within_budget_still_recover(self):
+        baseline, _, _ = run_training("thread")
+        # Two consecutive failures of the same (rank, step): first replay
+        # refails, second succeeds — still within max_worker_restarts=2.
+        recovered, _, _ = run_training(
+            "thread", plan="parallel.worker.step:error:rank=0,step=1,times=2"
+        )
+        np.testing.assert_allclose(recovered, baseline, atol=1e-6)
+
+    def test_exhausted_respawn_budget_fails_fast(self):
+        with pytest.raises(ParallelError, match="respawn budget"):
+            run_training("thread", plan="parallel.worker.step:error:rank=0")
+
+    def test_zero_budget_disables_recovery(self):
+        with pytest.raises(ParallelError):
+            run_training(
+                "thread",
+                plan="parallel.worker.step:error:rank=1,step=0,times=1",
+                max_worker_restarts=0,
+            )
+
+
+@process_only
+class TestProcessBackendRecovery:
+    def test_sigkill_mid_step_recovers_with_exact_parity(self):
+        """The headline acceptance test: SIGKILL a forked worker mid-step."""
+        baseline, _, _ = run_training("process")
+        recovered, pids_before, pids_after = run_training(
+            "process", plan="parallel.worker.step:kill:rank=1,step=1,times=1"
+        )
+        np.testing.assert_allclose(recovered, baseline, atol=1e-6)
+        # The killed worker really was replaced; its peer was not.
+        assert pids_after[1] != pids_before[1]
+        assert pids_after[0] == pids_before[0]
+
+    def test_error_reply_triggers_respawn_and_parity(self):
+        """A worker that *reports* an error exits too — same respawn path."""
+        baseline, _, _ = run_training("process")
+        recovered, pids_before, pids_after = run_training(
+            "process", plan="parallel.worker.step:error:rank=0,step=2,times=1"
+        )
+        np.testing.assert_allclose(recovered, baseline, atol=1e-6)
+        assert pids_after[0] != pids_before[0]
+
+    def test_process_matches_thread_backend_under_faults(self):
+        thread_params, _, _ = run_training(
+            "thread", plan="parallel.worker.step:error:rank=1,step=2,times=1"
+        )
+        process_params, _, _ = run_training(
+            "process", plan="parallel.worker.step:kill:rank=1,step=2,times=1"
+        )
+        np.testing.assert_allclose(process_params, thread_params, atol=1e-6)
+
+    def test_exhausted_budget_fails_fast_without_hanging(self):
+        # An unbounded kill schedule on one rank: respawned workers are
+        # disarmed, but the parent's plan keeps killing each *fresh* fork's
+        # predecessor... except respawns fork with faults disarmed, so the
+        # budget only exhausts if the error repeats in the parent-armed
+        # forks.  Use error-on-every-hit via match on rank with no times cap
+        # — the original fork fails, the respawn (disarmed) succeeds; to
+        # actually exhaust the budget the failure must out-live respawns,
+        # which only a zero budget guarantees deterministically.
+        with pytest.raises(ParallelError):
+            run_training(
+                "process",
+                plan="parallel.worker.step:kill:rank=1,step=0,times=1",
+                max_worker_restarts=0,
+            )
+
+
+class TestRecoveryObservability:
+    def test_respawns_and_recovery_time_are_recorded(self):
+        from repro.obs import MetricsRegistry, set_registry, snapshot_registry
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            run_training(
+                "thread", plan="parallel.worker.step:error:rank=1,step=2,times=1"
+            )
+            families = {
+                family["name"]: family
+                for family in snapshot_registry(registry)["families"]
+            }
+            respawns = families["parallel_respawns_total"]["children"][0]
+            assert respawns["state"]["value"] == 1.0
+            recovery = families["parallel_recovery_seconds"]["children"][0]
+            assert recovery["state"]["count"] == 1
+            injected = families["faults_injected_total"]["children"][0]
+            assert dict(injected["labels"])["site"] == "parallel.worker.step"
+        finally:
+            set_registry(previous)

@@ -1,0 +1,188 @@
+"""repro.faults unit coverage: grammar, schedules, determinism, arming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.exceptions import FaultError, FaultInjectedError
+from repro.faults import FaultPlan, FaultRule, parse_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no armed plan."""
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestGrammar:
+    def test_site_and_kind(self):
+        plan = parse_fault_plan("serving.forward:error")
+        assert plan.rules[0].site == "serving.forward"
+        assert plan.rules[0].kind == "error"
+
+    def test_schedule_params(self):
+        rule = parse_fault_plan(
+            "a.b:latency:ms=5,p=0.25,every=3,times=2,after=1,seed=9"
+        ).rules[0]
+        assert rule.latency_ms == 5.0
+        assert rule.probability == 0.25
+        assert (rule.every, rule.times, rule.after, rule.seed) == (3, 2, 1, 9)
+
+    def test_unknown_params_are_match_constraints(self):
+        rule = parse_fault_plan("parallel.worker.step:kill:rank=1,step=3").rules[0]
+        assert rule.match == (("rank", "1"), ("step", "3"))
+
+    def test_multiple_rules_split_on_semicolon(self):
+        plan = parse_fault_plan("a.b:error;c.d:latency:ms=2")
+        assert [rule.site for rule in plan.rules] == ["a.b", "c.d"]
+
+    def test_describe_round_trips(self):
+        spec = "a.b:error:times=2,rank=1;c.d:latency:p=0.5,ms=2"
+        plan = parse_fault_plan(spec, seed=3)
+        reparsed = parse_fault_plan(plan.describe(), seed=3)
+        assert reparsed.describe() == plan.describe()
+
+    @pytest.mark.parametrize("bad", [
+        "", "justasite", "a.b:notakind", "a.b:error:times=x",
+        "a.b:latency",            # latency needs ms
+        "a.b:error:p=1.5",        # probability out of range
+        "a.b:error:times=-1",
+    ])
+    def test_bad_specs_raise_fault_error(self, bad):
+        with pytest.raises(FaultError):
+            parse_fault_plan(bad)
+
+
+class TestSchedules:
+    def fires(self, rule: FaultRule, hits: int, seed: int = 0):
+        plan = FaultPlan([rule], seed=seed)
+        return [plan.fire(rule.site, {}) is not None for _ in range(hits)]
+
+    def test_one_shot(self):
+        rule = FaultRule(site="a.b", kind="error", times=1)
+        assert self.fires(rule, 4) == [True, False, False, False]
+
+    def test_after_skips_warmup(self):
+        rule = FaultRule(site="a.b", kind="error", after=2, times=1)
+        assert self.fires(rule, 4) == [False, False, True, False]
+
+    def test_every_nth(self):
+        rule = FaultRule(site="a.b", kind="error", every=3)
+        assert self.fires(rule, 6) == [False, False, True, False, False, True]
+
+    def test_probability_is_seed_deterministic(self):
+        rule = FaultRule(site="a.b", kind="error", probability=0.5)
+        first = self.fires(rule, 32, seed=1)
+        assert self.fires(rule, 32, seed=1) == first
+        assert self.fires(rule, 32, seed=2) != first
+        assert any(first) and not all(first)
+
+    def test_match_constraints_gate_by_context(self):
+        rule = FaultRule(site="a.b", kind="error", match=(("rank", "1"),))
+        plan = FaultPlan([rule])
+        assert plan.fire("a.b", {"rank": 0}) is None
+        assert plan.fire("a.b", {"rank": 1}) is not None
+        # Unmatched hits must not advance the schedule counters.
+        assert plan.stats()[0]["hits"] == 1
+
+    def test_first_matching_rule_wins_but_all_count_hits(self):
+        plan = parse_fault_plan("a.b:error:times=1;a.b:latency:ms=1")
+        assert plan.fire("a.b", {}).kind == "error"
+        assert plan.fire("a.b", {}).kind == "latency"
+        assert [entry["hits"] for entry in plan.stats()] == [2, 2]
+
+
+class TestInjection:
+    def test_disarmed_site_is_noop(self):
+        faults.site("anything.at.all", rank=7)  # must not raise
+
+    def test_error_rule_raises_fault_injected(self):
+        with faults.injected("x.y:error:times=1"):
+            with pytest.raises(FaultInjectedError):
+                faults.site("x.y")
+            faults.site("x.y")  # exhausted: no-op again
+
+    def test_kill_downgrades_to_error_in_arming_process(self):
+        # The driver process armed the plan, so a kill must never SIGKILL it.
+        with faults.injected("x.y:kill:times=1"):
+            with pytest.raises(FaultInjectedError):
+                faults.site("x.y")
+
+    def test_latency_rule_sleeps(self):
+        import time
+        with faults.injected("x.y:latency:ms=30,times=1"):
+            started = time.perf_counter()
+            faults.site("x.y")
+            assert time.perf_counter() - started >= 0.025
+
+    def test_injected_restores_previous_plan(self):
+        outer = faults.arm("outer.site:error")
+        with faults.injected("inner.site:error"):
+            assert faults.active_plan().sites == ("inner.site",)
+        assert faults.active_plan() is outer
+
+    def test_arm_from_env(self):
+        plan = faults.arm_from_env(
+            {"REPRO_FAULTS": "a.b:error:times=1", "REPRO_FAULTS_SEED": "5"}
+        )
+        assert plan.seed == 5 and faults.is_armed()
+
+    def test_arm_from_env_rejects_malformed_spec(self):
+        with pytest.raises(FaultError):
+            faults.arm_from_env({"REPRO_FAULTS": "nonsense"})
+
+    def test_injections_counted_in_metrics(self):
+        from repro.obs import MetricsRegistry, set_registry, snapshot_registry
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            with faults.injected("x.y:error:times=1") as plan:
+                with pytest.raises(FaultInjectedError):
+                    faults.site("x.y")
+            assert plan.injected("x.y") == 1
+            families = {
+                family["name"]: family
+                for family in snapshot_registry(registry)["families"]
+            }
+            child = families["faults_injected_total"]["children"][0]
+            assert dict(child["labels"]) == {"site": "x.y", "kind": "error"}
+            assert child["state"]["value"] == 1.0
+        finally:
+            set_registry(previous)
+
+    def test_same_plan_same_workload_injects_identically(self):
+        spec = "x.y:error:p=0.3"
+
+        def run():
+            outcomes = []
+            with faults.injected(spec, seed=11):
+                for _ in range(64):
+                    try:
+                        faults.site("x.y")
+                        outcomes.append(False)
+                    except FaultInjectedError:
+                        outcomes.append(True)
+            return outcomes
+
+        assert run() == run()
+
+
+class TestAsyncSite:
+    def test_asite_raises_and_sleeps_async(self):
+        import asyncio
+
+        async def scenario():
+            with faults.injected("a.z:error:times=1;a.z:latency:ms=10,times=1"):
+                with pytest.raises(FaultInjectedError):
+                    await faults.asite("a.z")
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                await faults.asite("a.z")  # latency rule
+                assert loop.time() - started >= 0.005
+                await faults.asite("a.z")  # both exhausted: no-op
+
+        asyncio.run(scenario())

@@ -1,0 +1,122 @@
+"""Forward-path quarantine: a tape whose replay raises falls back to eager.
+
+The serving invariant under test: a damaged tape costs one failed replay
+(answered eagerly — correct, slower) plus one re-trace, after which the
+signature replays at full speed again.  A signature that keeps failing is
+poisoned permanently.  Either way requests keep succeeding and the damage is
+visible in ``quarantines``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.nn import Flatten, Linear, Sequential
+
+FEATURES = (3, 4)
+NUM_CLASSES = 4
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def build_compiled(seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    model = Sequential(Flatten(), Linear(12, NUM_CLASSES, rng=rng))
+    return model, model.compile(**kwargs)
+
+
+def test_replay_failure_quarantines_then_retraces():
+    model, compiled = build_compiled()
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(8, *FEATURES))
+    compiled.run(x)  # trace + warm replay
+    assert compiled.stats.replays >= 1 and compiled.stats.quarantines == 0
+
+    with faults.injected("serving.forward:error:times=1"):
+        out = compiled.run(x)
+    # The failed request still produced the correct (eager) answer.
+    np.testing.assert_allclose(out, model.inference(x).data)
+    assert compiled.stats.quarantines == 1
+    assert compiled.stats.fallbacks == 1
+
+    # The damaged tape was discarded: the next request traces a fresh one
+    # and the signature replays at full speed again.
+    traces_before, replays_before = compiled.stats.traces, compiled.stats.replays
+    out2 = compiled.run(x)
+    np.testing.assert_allclose(out2, model.inference(x).data)
+    assert compiled.stats.traces == traces_before + 1
+    assert compiled.stats.replays == replays_before + 1
+    assert compiled.stats.fallbacks == 1  # no further fallbacks
+
+
+def test_repeated_failures_poison_the_signature_permanently():
+    model, compiled = build_compiled()
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(8, *FEATURES))
+    compiled.run(x)
+    with faults.injected("serving.forward:error:times=2"):
+        compiled.run(x)  # quarantine 1: tape discarded
+        compiled.run(x)  # re-trace, quarantine 2: poisoned for good
+    assert compiled.stats.quarantines == 2
+    traces_before, replays_before = compiled.stats.traces, compiled.stats.replays
+    fallbacks_before = compiled.stats.fallbacks
+    for _ in range(2):
+        out = compiled.run(x)  # eager forever; still correct
+        np.testing.assert_allclose(out, model.inference(x).data)
+    assert compiled.stats.traces == traces_before
+    assert compiled.stats.replays == replays_before
+    assert compiled.stats.fallbacks == fallbacks_before + 2
+
+
+def test_other_signatures_keep_replaying():
+    _, compiled = build_compiled()
+    rng = np.random.default_rng(2)
+    small, large = rng.normal(size=(4, *FEATURES)), rng.normal(size=(16, *FEATURES))
+    compiled.run(small)
+    compiled.run(large)
+    with faults.injected("serving.forward:error:bucket=4,times=1"):
+        compiled.run(small)  # quarantines the batch-4 signature only
+    assert compiled.stats.quarantines == 1
+    replays_before = compiled.stats.replays
+    compiled.run(large)
+    assert compiled.stats.replays == replays_before + 1  # batch-16 still replays
+
+
+def test_quarantine_exposed_via_serving_gauge():
+    from repro.serving import InferenceServer, ServerConfig
+    from repro.models.backbone import BackboneConfig, SagaBackbone
+    from repro.models.composite import ClassificationModel
+
+    rng = np.random.default_rng(3)
+    config = BackboneConfig(
+        input_channels=3, window_length=8, hidden_dim=8,
+        num_layers=1, num_heads=2, intermediate_dim=16,
+    )
+    model = ClassificationModel(
+        SagaBackbone(config, rng=rng), NUM_CLASSES, classifier_hidden_dim=8, rng=rng
+    )
+    server = InferenceServer(
+        model, config=ServerConfig(max_batch_size=8, max_wait_ms=0.5)
+    )
+    try:
+        window = rng.normal(size=(8, 3))
+        server.predict(window)  # traces (and self-checks) the bucket
+        with faults.injected("serving.forward:error:times=1"):
+            prediction = server.predict(window)  # quarantine, eager answer
+        assert prediction.label in range(NUM_CLASSES)
+        assert server._compiled.stats.quarantines == 1
+        exposition = server.telemetry.registry.render_prometheus()
+        lines = [
+            line for line in exposition.splitlines()
+            if line.startswith("serving_quarantined_tapes{")
+        ]
+        assert lines and lines[0].rstrip().endswith(" 1.0")
+    finally:
+        server.close()

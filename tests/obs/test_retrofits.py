@@ -31,6 +31,7 @@ class TestCompileStatGauges:
             assert set(stats) == {
                 "traces", "replays", "fallbacks",
                 "padded_replays", "self_check_failures", "evictions",
+                "quarantines",
             }
             # Polled at read time, so the gauges track the live counters.
             live = server.compile_stats()

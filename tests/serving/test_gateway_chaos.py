@@ -1,0 +1,150 @@
+"""Chaos suite: a live gateway under load with faults armed.
+
+The contract under fire (ISSUE 10): every *admitted* request gets exactly one
+response, shed requests get 429/503 (never a hang, never a duplicate), and the
+stack self-heals — replay faults quarantine to eager fallback, dropped
+connections stay pre-admission, and the gateway answers normally once the
+fault schedule exhausts.  Accounting is asserted from both sides: the load
+generator's ``offered == completed + errors`` and the gateway's pending gauge
+returning to zero.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro import faults
+from repro.serving import (
+    GatewayConfig,
+    InferenceServer,
+    RetryPolicy,
+    ServerConfig,
+    serve_gateway,
+)
+from repro.serving.loadgen import predict_body, run_closed_loop
+
+ALLOWED_STATUSES = {200, 429, 503}
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+@contextmanager
+def _chaos_gateway(model, **gateway_kwargs):
+    server = InferenceServer(
+        model=model, config=ServerConfig(max_batch_size=8, max_wait_ms=1.0)
+    )
+    gateway = serve_gateway(server, port=0, **gateway_kwargs)
+    try:
+        yield gateway, server
+    finally:
+        gateway.stop()
+        server.close()
+
+
+def _drive(gateway, windows, clients=6, requests_per_client=8, retry=None):
+    bodies = [predict_body(w) for w in windows[:8]]
+    return run_closed_loop(
+        gateway.url, "/v1/predict", lambda i: bodies[i % len(bodies)],
+        clients=clients, requests_per_client=requests_per_client, retry=retry,
+    )
+
+
+def _assert_accounted(result):
+    """Exactly-once from the client's view: every offered request resolved
+    as one HTTP response or one transport error — nothing vanished, nothing
+    answered twice (a duplicate would overshoot ``completed``)."""
+    assert result.completed + result.errors == result.offered
+    assert set(result.status_counts) <= ALLOWED_STATUSES, result.status_counts
+
+
+def _assert_healthy(gateway, windows):
+    """The gateway answers normally once the fault schedule is spent."""
+    probe = _drive(gateway, windows, clients=1, requests_per_client=3)
+    assert probe.succeeded == 3 and probe.errors == 0
+    assert gateway._pending == 0  # every admitted request resolved
+
+
+class TestForwardFaultChaos:
+    def test_replay_fault_is_absorbed_by_quarantine(self, serving_model, windows):
+        with _chaos_gateway(serving_model) as (gateway, server):
+            with faults.injected("serving.forward:error:times=2", seed=7):
+                result = _drive(gateway, windows)
+            _assert_accounted(result)
+            # The injected replay failures never surfaced to a client: the
+            # tape quarantined and the same request was answered eagerly.
+            assert result.errors == 0
+            assert result.succeeded == result.offered
+            assert server._compiled.stats.quarantines >= 1
+            _assert_healthy(gateway, windows)
+
+
+class TestConnectionChaos:
+    def test_read_faults_drop_pre_admission_only(self, serving_model, windows):
+        with _chaos_gateway(serving_model) as (gateway, _):
+            with faults.injected("serving.gateway.read:error:p=0.25", seed=13):
+                result = _drive(gateway, windows)
+            _assert_accounted(result)
+            # Dropped connections are transport errors on the client, not
+            # half-answered requests on the gateway.
+            assert result.errors > 0
+            assert gateway._pending == 0
+            _assert_healthy(gateway, windows)
+
+    def test_read_latency_does_not_break_accounting(self, serving_model, windows):
+        with _chaos_gateway(serving_model) as (gateway, _):
+            with faults.injected("serving.gateway.read:latency:ms=3,p=0.3", seed=5):
+                result = _drive(gateway, windows)
+            _assert_accounted(result)
+            assert result.errors == 0
+            _assert_healthy(gateway, windows)
+
+
+class TestOverloadChaos:
+    def test_sheds_are_clean_and_retry_policy_recovers_them(
+        self, serving_model, windows
+    ):
+        # max_pending far below the client count forces admission sheds while
+        # the read-latency fault keeps connections occupying the pre-admission
+        # window longer — the worst realistic combination.
+        with _chaos_gateway(serving_model, max_pending=2) as (gateway, _):
+            retry = RetryPolicy(max_retries=4, base_delay_s=0.01, max_delay_s=0.1, seed=3)
+            with faults.injected("serving.gateway.read:latency:ms=1,p=0.2", seed=9):
+                result = _drive(
+                    gateway, windows, clients=8, requests_per_client=6, retry=retry
+                )
+            _assert_accounted(result)
+            # Overload produced sheds; backoff turned (most of) them into
+            # eventual successes rather than client-visible failures.
+            assert result.retries > 0
+            assert result.succeeded + result.shed + result.errors == result.offered
+            assert result.succeeded > result.offered * 0.5
+            _assert_healthy(gateway, windows)
+
+
+class TestCanonicalChaosSchedule:
+    def test_combined_schedule_nothing_hangs(self, serving_model, windows):
+        """The benchmark's canonical schedule, asserted for invariants only:
+        forward faults + read latency + read drops, all at once."""
+        spec = (
+            "serving.forward:error:times=2,after=4;"
+            "serving.gateway.read:latency:ms=2,p=0.1;"
+            "serving.gateway.read:error:p=0.05"
+        )
+        with _chaos_gateway(serving_model) as (gateway, server):
+            retry = RetryPolicy(max_retries=3, base_delay_s=0.01, seed=1)
+            with faults.injected(spec, seed=21) as plan:
+                result = _drive(
+                    gateway, windows, clients=8, requests_per_client=8, retry=retry
+                )
+                injected_total = plan.injected()
+            _assert_accounted(result)
+            assert injected_total > 0  # the schedule actually fired
+            assert gateway._pending == 0
+            _assert_healthy(gateway, windows)
